@@ -1,0 +1,174 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//   A1  signature size     — the 2048-bit/4-line Bloom filter vs smaller /
+//                            larger filters: false-conflict rate and
+//                            throughput of the partitioned path.
+//   A2  ring size          — rollover aborts vs memory for the global ring.
+//   A3  in-flight validation after *every* sub-HTM commit (paper default,
+//                            Sec. 5.3.6) vs only at global commit.
+//   A4  partition granularity — segments per oversized transaction.
+//
+// A1 sweeps the analytic core directly (the Signature type is compile-time
+// sized); A2-A4 run the partitioned path under a write-heavy NRW workload.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "apps/nrw.hpp"
+#include "core/adaptive.hpp"
+#include "sig/signature.hpp"
+#include "tm/heap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace phtm;
+using namespace phtm::bench;
+
+// --- A1: signature size --> false conflict probability ---------------------
+
+template <unsigned Bits>
+void sig_rates(benchmark::State& st) {
+  Rng rng(42);
+  const unsigned read_lines = static_cast<unsigned>(st.range(0));
+  for (auto _ : st) {
+    BloomSig<Bits> rsig;
+    for (unsigned i = 0; i < read_lines; ++i)
+      rsig.add(reinterpret_cast<void*>(rng.next() << 6));
+    // Probability that a disjoint 32-line write set aliases into the
+    // read signature (one in-flight validation against one commit).
+    int hits = 0;
+    const int kTrials = 200;
+    for (int t = 0; t < kTrials; ++t) {
+      BloomSig<Bits> wsig;
+      for (int w = 0; w < 32; ++w)
+        wsig.add(reinterpret_cast<void*>(rng.next() << 6));
+      if (rsig.intersects(wsig)) ++hits;
+    }
+    st.counters["false_conflict_pct"] = 100.0 * hits / kTrials;
+  }
+}
+
+// --- A2/A3/A4 workload -----------------------------------------------------
+
+ThroughputResult run_nrw_partitioned(const tm::BackendConfig& bcfg,
+                                     unsigned reads_per_segment) {
+  apps::NrwApp::Config cfg;
+  cfg.n_reads = 4096;  // oversized for one HTM transaction once concurrent
+  cfg.m_writes = 64;
+  cfg.reads_per_segment = reads_per_segment;
+  const unsigned threads = max_threads(4);
+  apps::NrwApp app(cfg, threads);
+  return run_throughput(
+      tm::Algo::kPartHtmNoFast, sim::HtmConfig::haswell4c8t(), bcfg, threads,
+      bench_ms(),
+      [&](unsigned tid, tm::Backend& be, tm::Worker& w, std::atomic<bool>& stop) {
+        apps::NrwApp::Locals l;
+        while (!stop.load(std::memory_order_relaxed)) {
+          tm::Txn txn = app.make_txn(tid, l);
+          be.execute(w, txn);
+        }
+      });
+}
+
+void ring_size(benchmark::State& st) {
+  tm::BackendConfig bcfg;
+  bcfg.ring_entries = static_cast<unsigned>(st.range(0));
+  for (auto _ : st) {
+    const auto r = run_nrw_partitioned(bcfg, 512);
+    st.counters["tx_per_sec"] = r.tx_per_sec;
+    st.counters["rollovers"] = static_cast<double>(r.stats.total.ring_rollovers);
+  }
+}
+
+void validation_policy(benchmark::State& st) {
+  tm::BackendConfig bcfg;
+  bcfg.validate_after_each_sub = st.range(0) != 0;
+  for (auto _ : st) {
+    const auto r = run_nrw_partitioned(bcfg, 512);
+    st.counters["tx_per_sec"] = r.tx_per_sec;
+    st.counters["validations"] = static_cast<double>(r.stats.total.validations);
+    st.counters["global_aborts"] =
+        static_cast<double>(r.stats.total.global_aborts);
+  }
+}
+
+void partition_granularity(benchmark::State& st) {
+  for (auto _ : st) {
+    const auto r = run_nrw_partitioned({}, static_cast<unsigned>(st.range(0)));
+    st.counters["tx_per_sec"] = r.tx_per_sec;
+    st.counters["sub_commits_per_tx"] =
+        r.stats.total.total_commits()
+            ? static_cast<double>(r.stats.total.sub_htm_commits) /
+                  static_cast<double>(r.stats.total.total_commits())
+            : 0.0;
+    st.counters["capacity_aborts"] =
+        static_cast<double>(r.stats.total.aborts[1]);
+  }
+}
+
+// --- A5: adaptive vs static partition sizing --------------------------------
+// Starting deliberately mis-tuned (whole transaction in one segment), the
+// adaptive controller must converge to a viable granularity and approach
+// statically well-tuned throughput.
+
+void adaptive_partitioning(benchmark::State& st) {
+  const bool adaptive = st.range(0) == 0;
+  const unsigned fixed_rps = adaptive ? 0 : static_cast<unsigned>(st.range(0));
+  for (auto _ : st) {
+    apps::NrwApp::Config cfg;
+    cfg.n_reads = 512;
+    cfg.m_writes = 8192;  // 1024 contiguous lines: 2x the simulated L1
+    cfg.reads_per_segment = adaptive ? 1u << 20 : fixed_rps;
+    cfg.writes_per_segment = adaptive ? 1u << 20 : (fixed_rps + 7) / 8;
+    const unsigned threads = max_threads(4);
+    apps::NrwApp app(cfg, threads);
+    core::AdaptivePartitioner part(/*initial=*/1u << 20, /*min=*/64);
+    const ThroughputResult r = run_throughput(
+        tm::Algo::kPartHtmNoFast, sim::HtmConfig::haswell4c8t(), {}, threads,
+        bench_ms(),
+        [&](unsigned tid, tm::Backend& be, tm::Worker& w,
+            std::atomic<bool>& stop) {
+          apps::NrwApp::Locals l;
+          while (!stop.load(std::memory_order_relaxed)) {
+            tm::Txn txn = app.make_txn(tid, l);
+            if (adaptive) {
+              l.rps = part.ops_per_segment();
+              l.wps = (part.ops_per_segment() + 7) / 8;
+              core::AdaptiveFeedback fb(part, w.stats());
+              be.execute(w, txn);
+            } else {
+              be.execute(w, txn);
+            }
+          }
+        });
+    st.counters["tx_per_sec"] = r.tx_per_sec;
+    if (adaptive)
+      st.counters["converged_ops_per_seg"] =
+          static_cast<double>(part.ops_per_segment());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(adaptive_partitioning)
+    ->Arg(0)      // adaptive, mis-tuned start
+    ->Arg(512)    // statically well-tuned
+    ->Arg(1 << 20)  // statically mis-tuned (never partitions usefully)
+    ->Iterations(1)
+    ->Name("A5/partitioning");
+
+BENCHMARK(sig_rates<256>)->Arg(64)->Arg(512)->Iterations(1)->Name("A1/sig256");
+BENCHMARK(sig_rates<1024>)->Arg(64)->Arg(512)->Iterations(1)->Name("A1/sig1024");
+BENCHMARK(sig_rates<2048>)->Arg(64)->Arg(512)->Iterations(1)->Name("A1/sig2048");
+BENCHMARK(sig_rates<4096>)->Arg(64)->Arg(512)->Iterations(1)->Name("A1/sig4096");
+BENCHMARK(ring_size)->Arg(16)->Arg(256)->Arg(1024)->Iterations(1)->Name("A2/ring");
+BENCHMARK(validation_policy)->Arg(0)->Arg(1)->Iterations(1)->Name("A3/validate_each_sub");
+BENCHMARK(partition_granularity)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Iterations(1)
+    ->Name("A4/reads_per_segment");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// SpHT vs PART-HTM on resource-limited transactions (paper Sec. 3).
+//
+// The paper's argument: SpHT's lazy splitting helps when transactions
+// abort because of ancillary *computation* (the redo replay stays small),
+// but when they abort because of transactional *work* — a large write set —
+// every later SpHT sub-transaction replays the accumulated write set, so
+// the footprint that caused the abort never shrinks. PART-HTM's eager
+// sub-transactions write in place and stay small.
+//
+// Two workloads make both halves of the claim measurable:
+//   compute-bound — long transactions, small write set (SpHT competitive);
+//   write-bound   — write set ~2x the simulated L1 (SpHT cannot commit its
+//                   final sub-transaction in hardware and degrades to the
+//                   global lock; PART-HTM stays on the partitioned path).
+#include "bench_common.hpp"
+
+#include "apps/nrw.hpp"
+
+namespace {
+
+using namespace phtm;
+using namespace phtm::bench;
+
+SeriesTable g_compute("SpHT ablation: duration-bound (small writes)", "K tx/sec");
+SeriesTable g_writes("SpHT ablation: write-set-bound (2x L1 writes)", "tx/sec");
+
+void reg(const char* fig, const apps::NrwApp::Config& cfg, SeriesTable* table,
+         double scale, std::vector<tm::Algo> algos) {
+  const std::vector<unsigned> threads{1, 2, 4};
+  for (const auto algo : algos) {
+    for (const unsigned t : threads) {
+      if (t > max_threads(4)) continue;
+      const std::string name = std::string(fig) + "/" + tm::to_string(algo) +
+                               "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+        for (auto _ : st) {
+          apps::NrwApp app(cfg, t);
+          const ThroughputResult r = run_throughput(
+              algo, sim::HtmConfig::haswell4c8t(), {}, t, bench_ms(),
+              [&](unsigned tid, tm::Backend& be, tm::Worker& w,
+                  std::atomic<bool>& stop) {
+                apps::NrwApp::Locals l;
+                while (!stop.load(std::memory_order_relaxed)) {
+                  tm::Txn txn = app.make_txn(tid, l);
+                  be.execute(w, txn);
+                }
+              });
+          st.counters["tx_per_sec"] = r.tx_per_sec;
+          st.counters["pct_GL"] = r.stats.commit_pct(CommitPath::kGlobalLock);
+          table->set(tm::to_string(algo), t, r.tx_per_sec * scale);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<tm::Algo> algos{tm::Algo::kPartHtm, tm::Algo::kSpht,
+                                    tm::Algo::kHtmGl};
+
+  // Duration-bound: config C (100 x read/work/write) — writes are tiny.
+  reg("SpHT-compute", apps::NrwApp::Config::c(), &g_compute, 1e-3, algos);
+
+  // Write-set-bound: 1024 lines of writes, twice the simulated L1.
+  apps::NrwApp::Config wb;
+  wb.n_reads = 64;
+  wb.m_writes = 8192;  // contiguous words -> 1024 lines
+  wb.array_size = 100'000;
+  wb.reads_per_segment = 512;
+  reg("SpHT-writes", wb, &g_writes, 1.0, algos);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_compute.print();
+  g_writes.print();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary registers google-benchmark entries named
+//     <FigureId>/<Algorithm>/threads:<N>
+// each of which performs one measured run (its own worker threads inside)
+// and reports the paper's metric as a counter: `Mtx_per_sec` for the
+// throughput micro-benchmarks (Figs. 3-4) or `speedup` over the sequential
+// baseline (Figs. 5-6). After the google-benchmark report, binaries print a
+// paper-shaped series table via print_series().
+//
+// Environment knobs:
+//   PHTM_BENCH_MS      duration of each throughput measurement (default 700)
+//   PHTM_MAX_THREADS   cap on the thread sweep (default: figure's maximum)
+//   PHTM_QUICK=1       shorthand for fast smoke runs
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/stamp/stamp.hpp"
+#include "sim/config.hpp"
+#include "sim/runtime.hpp"
+#include "tm/backend.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/threads.hpp"
+
+namespace phtm::bench {
+
+inline int env_int(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : dflt;
+}
+
+inline int bench_ms() {
+  if (env_int("PHTM_QUICK", 0)) return 150;
+  return env_int("PHTM_BENCH_MS", 700);
+}
+
+inline unsigned max_threads(unsigned figure_max) {
+  const int cap = env_int("PHTM_MAX_THREADS", static_cast<int>(figure_max));
+  return cap < 1 ? 1u : (static_cast<unsigned>(cap) < figure_max
+                             ? static_cast<unsigned>(cap)
+                             : figure_max);
+}
+
+struct ThroughputResult {
+  double tx_per_sec = 0;
+  StatSummary stats;
+};
+
+/// Timed throughput run: `per_thread(tid, backend, worker, stop)` loops
+/// transactions until `stop`; committed transactions are taken from the
+/// workers' stat sheets.
+inline ThroughputResult run_throughput(
+    tm::Algo algo, const sim::HtmConfig& scfg, const tm::BackendConfig& bcfg,
+    unsigned threads, int duration_ms,
+    const std::function<void(unsigned, tm::Backend&, tm::Worker&,
+                             std::atomic<bool>&)>& per_thread) {
+  sim::HtmRuntime rt(scfg);
+  auto backend = tm::make_backend(algo, rt, bcfg);
+  std::vector<StatSheet> sheets(threads);
+  const double secs = run_timed(
+      threads, std::chrono::milliseconds(duration_ms),
+      [&](unsigned tid, std::atomic<bool>& stop) {
+        auto w = backend->make_worker(tid);
+        per_thread(tid, *backend, *w, stop);
+        sheets[tid] = w->stats();
+      });
+  ThroughputResult r;
+  r.stats = StatSummary::aggregate(sheets);
+  r.tx_per_sec = static_cast<double>(r.stats.total.total_commits()) / secs;
+  return r;
+}
+
+/// Fixed-work run of a STAMP-style app; returns wall seconds (and asserts
+/// the app verifies). `stats_out`, when given, receives the aggregated
+/// per-thread stat sheets (Table 1).
+inline double run_fixed(apps::StampApp& app, tm::Algo algo,
+                        const sim::HtmConfig& scfg, unsigned threads,
+                        std::uint64_t seed, bool* verified = nullptr,
+                        StatSummary* stats_out = nullptr) {
+  sim::HtmRuntime rt(scfg);
+  auto backend = tm::make_backend(algo, rt, {});
+  app.init(threads, seed);
+  std::vector<StatSheet> sheets(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  run_threads(threads, [&](unsigned tid) {
+    auto w = backend->make_worker(tid);
+    app.run_thread(*backend, *w, tid, threads);
+    sheets[tid] = w->stats();
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  const bool ok = app.verify();
+  if (verified) *verified = ok;
+  if (stats_out) *stats_out = StatSummary::aggregate(sheets);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Collects series (algo -> thread -> value) and prints the paper-shaped
+/// table at exit.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string metric)
+      : title_(std::move(title)), metric_(std::move(metric)) {}
+
+  void set(const std::string& algo, unsigned threads, double value) {
+    data_[algo][threads] = value;
+    thread_cols_.insert(threads);
+  }
+
+  void print() const {
+    std::printf("\n=== %s  (%s) ===\n", title_.c_str(), metric_.c_str());
+    std::vector<std::string> header{"algorithm"};
+    for (const auto t : thread_cols_) header.push_back(std::to_string(t) + "T");
+    Table tbl(header);
+    for (const auto& [algo, row] : data_) {
+      std::vector<std::string> cells{algo};
+      for (const auto t : thread_cols_) {
+        const auto it = row.find(t);
+        cells.push_back(it == row.end() ? "-" : Table::num(it->second, 3));
+      }
+      tbl.add_row(cells);
+    }
+    tbl.print();
+  }
+
+ private:
+  std::string title_;
+  std::string metric_;
+  std::map<std::string, std::map<unsigned, double>> data_;
+  std::set<unsigned> thread_cols_;
+};
+
+/// Abort/commit breakdown table (Table 1 shape).
+inline void print_breakdown(const std::string& title,
+                            const std::vector<std::pair<std::string, StatSummary>>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  Table tbl({"algorithm", "%conflict", "%capacity", "%explicit", "%other",
+             "%GL", "%HTM", "%SW", "aborts/commit"});
+  for (const auto& [name, s] : rows) {
+    const double apc = s.total.total_commits()
+                           ? static_cast<double>(s.total.total_aborts()) /
+                                 static_cast<double>(s.total.total_commits())
+                           : 0.0;
+    tbl.add_row({name, Table::num(s.abort_pct(AbortCause::kConflict), 2),
+                 Table::num(s.abort_pct(AbortCause::kCapacity), 2),
+                 Table::num(s.abort_pct(AbortCause::kExplicit), 2),
+                 Table::num(s.abort_pct(AbortCause::kOther), 2),
+                 Table::num(s.commit_pct(CommitPath::kGlobalLock), 1),
+                 Table::num(s.commit_pct(CommitPath::kHtm), 1),
+                 Table::num(s.commit_pct(CommitPath::kSoftware), 1),
+                 Table::num(apc, 2)});
+  }
+  tbl.print();
+}
+
+/// The paper's competitor set for the throughput figures.
+inline std::vector<tm::Algo> figure_algos(bool include_no_fast = false) {
+  std::vector<tm::Algo> v{tm::Algo::kRingStm, tm::Algo::kNorec, tm::Algo::kNorecRh,
+                          tm::Algo::kHtmGl,   tm::Algo::kPartHtm, tm::Algo::kPartHtmO};
+  if (include_no_fast) v.push_back(tm::Algo::kPartHtmNoFast);
+  return v;
+}
+
+}  // namespace phtm::bench

@@ -1,0 +1,75 @@
+// Figure 3 — N-Reads M-Writes throughput (paper Sec. 7.1).
+//
+//   Fig3a: N = M = 10           — HTM-friendly; HTM-GL expected on top with
+//                                  PART-HTM the closest competitor.
+//   Fig3b: N = 100K, M = 100    — read-capacity bound; HTM-GL holds until
+//                                  its capacity cliff, PART-HTM(-no-fast)
+//                                  takes over; pure STMs pay instrumentation.
+//   Fig3c: 100 x (read, FP work, write) — duration bound; PART-HTM well
+//                                  ahead, HTM-GL degenerates to the lock.
+//
+// Figs. 3a/3b ran on the 18-core Xeon in the paper; 3c on the 4c/8t
+// Haswell. The machine profiles mirror that.
+#include "bench_common.hpp"
+
+#include "apps/nrw.hpp"
+
+namespace {
+
+using namespace phtm;
+using namespace phtm::bench;
+
+SeriesTable g_a("Fig3a: NRW N=M=10 (xeon18c)", "M tx/sec");
+SeriesTable g_b("Fig3b: NRW N=100K M=100 (xeon18c)", "tx/sec");
+SeriesTable g_c("Fig3c: NRW 100x(read,work,write) (haswell4c8t)", "K tx/sec");
+
+void register_config(const char* fig, const apps::NrwApp::Config& cfg,
+                     const std::vector<unsigned>& threads, bool include_no_fast,
+                     const sim::HtmConfig& scfg, SeriesTable* table, double scale) {
+  for (const auto algo : figure_algos(include_no_fast)) {
+    for (const unsigned t : threads) {
+      if (t > max_threads(threads.back())) continue;
+      const std::string name = std::string(fig) + "/" + tm::to_string(algo) +
+                               "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+        for (auto _ : st) {
+          apps::NrwApp app(cfg, t);
+          const ThroughputResult r = run_throughput(
+              algo, scfg, {}, t, bench_ms(),
+              [&](unsigned tid, tm::Backend& be, tm::Worker& w,
+                  std::atomic<bool>& stop) {
+                apps::NrwApp::Locals l;
+                while (!stop.load(std::memory_order_relaxed)) {
+                  tm::Txn txn = app.make_txn(tid, l);
+                  be.execute(w, txn);
+                }
+              });
+          st.counters["tx_per_sec"] = r.tx_per_sec;
+          table->set(tm::to_string(algo), t, r.tx_per_sec * scale);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<unsigned> xeon_threads{1, 2, 4, 8, 12, 18};
+  const std::vector<unsigned> haswell_threads{1, 2, 4, 8};
+
+  register_config("Fig3a", apps::NrwApp::Config::a(), xeon_threads,
+                  /*no_fast=*/false, sim::HtmConfig::xeon18c(), &g_a, 1e-6);
+  register_config("Fig3b", apps::NrwApp::Config::b(), xeon_threads,
+                  /*no_fast=*/true, sim::HtmConfig::xeon18c(), &g_b, 1.0);
+  register_config("Fig3c", apps::NrwApp::Config::c(), haswell_threads,
+                  /*no_fast=*/false, sim::HtmConfig::haswell4c8t(), &g_c, 1e-3);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_a.print();
+  g_b.print();
+  g_c.print();
+  return 0;
+}

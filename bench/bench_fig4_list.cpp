@@ -1,0 +1,65 @@
+// Figure 4 — sorted linked-list throughput, 50% writes (paper Sec. 7.1).
+//
+//   Fig4a: 1K elements  — traversals fit best-effort HTM: HTM-GL on top,
+//                         PART-HTM the closest competitor.
+//   Fig4b: 10K elements — traversal read sets exceed the per-transaction
+//                         budget: resource failures dominate and PART-HTM's
+//                         partitioned path takes the lead (paper: +74% over
+//                         HTM-GL).
+#include "bench_common.hpp"
+
+#include "apps/list.hpp"
+
+namespace {
+
+using namespace phtm;
+using namespace phtm::bench;
+
+SeriesTable g_a("Fig4a: linked list 1K, 50% writes (haswell4c8t)", "K tx/sec");
+SeriesTable g_b("Fig4b: linked list 10K, 50% writes (haswell4c8t)", "K tx/sec");
+
+void register_size(const char* fig, unsigned size, SeriesTable* table) {
+  const std::vector<unsigned> threads{1, 2, 4, 8};
+  for (const auto algo : figure_algos()) {
+    for (const unsigned t : threads) {
+      if (t > max_threads(8)) continue;
+      const std::string name = std::string(fig) + "/" + tm::to_string(algo) +
+                               "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+        for (auto _ : st) {
+          apps::ListApp::Config cfg;
+          cfg.initial_size = size;
+          cfg.write_pct = 50;
+          apps::ListApp app(cfg);
+          const ThroughputResult r = run_throughput(
+              algo, sim::HtmConfig::haswell4c8t(), {}, t, bench_ms(),
+              [&](unsigned, tm::Backend& be, tm::Worker& w,
+                  std::atomic<bool>& stop) {
+                apps::ListApp::NodePool pool;
+                apps::ListApp::Locals l;
+                while (!stop.load(std::memory_order_relaxed)) {
+                  tm::Txn txn = app.make_txn(w.rng(), pool, l);
+                  be.execute(w, txn);
+                  app.finish(l, pool);
+                }
+              });
+          st.counters["tx_per_sec"] = r.tx_per_sec;
+          table->set(tm::to_string(algo), t, r.tx_per_sec / 1e3);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_size("Fig4a", 1000, &g_a);
+  register_size("Fig4b", 10000, &g_b);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_a.print();
+  g_b.print();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 5 — STAMP applications: speed-up over sequential (non-
+// transactional) execution (paper Sec. 7.2).
+//
+// Expected shapes per the paper:
+//   kmeans-low/high, ssca2, intruder, vacation-low, genome — short
+//     transactions, no resource failures: HTM-GL best, PART-HTM closest;
+//   labyrinth, yada — resource-failure-bound: PART-HTM best, NOrec(RH)
+//     next, HTM-GL worst (degenerates to the global lock);
+//   vacation-high — capacity pressure appears with hyper-threading.
+//
+// Run a single app with --app <name> (positional also works); default all.
+#include "bench_common.hpp"
+
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace phtm;
+using namespace phtm::bench;
+
+std::map<std::string, SeriesTable*> g_tables;
+std::map<std::string, double> g_seq_secs;
+
+void register_app(const std::string& app_name) {
+  auto* table = new SeriesTable("Fig5: " + app_name + " (haswell4c8t)",
+                                "speed-up over sequential");
+  g_tables[app_name] = table;
+
+  // Sequential baseline runs lazily inside the first benchmark that needs it.
+  const std::vector<unsigned> threads{1, 2, 4, 8};
+  for (const auto algo : figure_algos()) {
+    for (const unsigned t : threads) {
+      if (t > max_threads(8)) continue;
+      const std::string name = "Fig5/" + app_name + "/" + tm::to_string(algo) +
+                               "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+        for (auto _ : st) {
+          if (g_seq_secs.find(app_name) == g_seq_secs.end()) {
+            auto seq_app = apps::make_stamp_app(app_name);
+            bool ok = false;
+            double best = 1e100;
+            // Best of 2 to de-noise the baseline everything is divided by.
+            for (int rep = 0; rep < 2; ++rep) {
+              const double s = run_fixed(*seq_app, tm::Algo::kSeq,
+                                         sim::HtmConfig::haswell4c8t(), 1,
+                                         /*seed=*/7, &ok);
+              if (s < best) best = s;
+              if (!ok) st.SkipWithError("sequential verify failed");
+            }
+            g_seq_secs[app_name] = best;
+          }
+          auto app = apps::make_stamp_app(app_name);
+          bool ok = false;
+          const double secs = run_fixed(*app, algo, sim::HtmConfig::haswell4c8t(),
+                                        t, /*seed=*/7, &ok);
+          if (!ok) st.SkipWithError("verification failed");
+          const double speedup = g_seq_secs[app_name] / secs;
+          st.counters["speedup"] = speedup;
+          table->set(tm::to_string(algo), t, speedup);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  phtm::Cli cli(argc, argv);
+  std::string only = cli.get("app", "");
+  for (const auto& name : apps::stamp_app_names()) {
+    if (!only.empty() && name != only) continue;
+    register_app(name);
+  }
+  // Strip our own flags before handing argv to google-benchmark.
+  std::vector<char*> bargs;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--app") {
+      ++i;  // skip value
+      continue;
+    }
+    if (a.rfind("--app=", 0) == 0) continue;
+    bargs.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(bargs.size());
+  benchmark::Initialize(&bargc, bargs.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  for (const auto& name : apps::stamp_app_names()) {
+    const auto it = g_tables.find(name);
+    if (it != g_tables.end()) it->second->print();
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 6 — EigenBench: speed-up over sequential execution (Sec. 7.3).
+//
+//   Fig6a (mixed): 50% long transactions with non-transactional computation
+//     between operations + 50% short. PART-HTM expected best: it runs the
+//     computation segments in the software framework, outside sub-HTM
+//     transactions; PART-HTM-O trails by ~15%.
+//   Fig6b (hot): shared 32K hot array, 10K reads + 100 writes, 50% repeats —
+//     very high contention. HTM-GL degenerates to the lock; PART-HTM's
+//     committed sub-HTM locks let it progress.
+#include "bench_common.hpp"
+
+#include "apps/eigenbench.hpp"
+
+namespace {
+
+using namespace phtm;
+using namespace phtm::bench;
+
+SeriesTable g_a("Fig6a: EigenBench 50% long / 50% short (haswell4c8t)",
+                "speed-up over sequential");
+SeriesTable g_b("Fig6b: EigenBench high contention (haswell4c8t)",
+                "speed-up over sequential");
+
+/// Fixed-work EigenBench run: `total_txns` split across threads.
+double run_eigen(tm::Algo algo, const apps::EigenApp::Config& cfg,
+                 unsigned threads, unsigned total_txns) {
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto backend = tm::make_backend(algo, rt, {});
+  apps::EigenApp app(cfg, threads);
+  const unsigned per_thread = total_txns / threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_threads(threads, [&](unsigned tid) {
+    auto w = backend->make_worker(tid);
+    Rng rng(1234u + tid);
+    apps::EigenApp::Locals l;
+    for (unsigned i = 0; i < per_thread; ++i) {
+      tm::Txn t = app.make_txn(tid, rng, l);
+      backend->execute(*w, t);
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void register_cfg(const char* fig, const apps::EigenApp::Config& cfg,
+                  unsigned total_txns, SeriesTable* table, double* seq_secs) {
+  const std::vector<unsigned> threads{1, 2, 4, 8};
+  for (const auto algo : figure_algos()) {
+    for (const unsigned t : threads) {
+      if (t > max_threads(8)) continue;
+      const std::string name = std::string(fig) + "/" + tm::to_string(algo) +
+                               "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+        for (auto _ : st) {
+          if (*seq_secs == 0.0)
+            *seq_secs = run_eigen(tm::Algo::kSeq, cfg, 1, total_txns);
+          const double secs = run_eigen(algo, cfg, t, total_txns);
+          const double speedup = *seq_secs / secs;
+          st.counters["speedup"] = speedup;
+          table->set(tm::to_string(algo), t, speedup);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+double g_seq_a = 0.0, g_seq_b = 0.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned quick = env_int("PHTM_QUICK", 0);
+  register_cfg("Fig6a", apps::EigenApp::Config::mixed(), quick ? 400 : 2000,
+               &g_a, &g_seq_a);
+  register_cfg("Fig6b", apps::EigenApp::Config::hot(), quick ? 48 : 160, &g_b,
+               &g_seq_b);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_a.print();
+  g_b.print();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// grid_router: Labyrinth-style circuit routing as a library client — the
+// workload class PART-HTM was designed for (large, long, rarely-conflicting
+// transactions).
+//
+// Routes a batch of nets on a shared 2-layer grid and prints, per
+// algorithm, how the three execution paths split and how long the batch
+// took. With HTM-GL nearly every routing transaction exceeds the simulated
+// L1 and serializes on the global lock; PART-HTM commits the same
+// transactions as chains of sub-HTM transactions.
+//
+// Run:  ./grid_router [--threads 4] [--routes 48]
+#include <cstdio>
+
+#include "apps/stamp/stamp.hpp"
+#include "sim/runtime.hpp"
+#include "tm/backend.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/threads.hpp"
+
+using namespace phtm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const unsigned threads = static_cast<unsigned>(cli.get_int("threads", 4));
+
+  Table table({"algorithm", "batch ms", "HTM %", "partitioned %", "lock %",
+               "aborts/commit"});
+
+  for (const auto algo :
+       {tm::Algo::kHtmGl, tm::Algo::kPartHtm, tm::Algo::kPartHtmO,
+        tm::Algo::kNorec}) {
+    auto app = apps::make_stamp_app("labyrinth");
+    sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+    auto backend = tm::make_backend(algo, rt, {});
+    app->init(threads, /*seed=*/11);
+
+    std::vector<StatSheet> sheets(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    run_threads(threads, [&](unsigned tid) {
+      auto w = backend->make_worker(tid);
+      app->run_thread(*backend, *w, tid, threads);
+      sheets[tid] = w->stats();
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!app->verify()) {
+      std::fprintf(stderr, "%s: verification FAILED\n", tm::to_string(algo));
+      return 1;
+    }
+    const auto s = StatSummary::aggregate(sheets);
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double apc =
+        s.total.total_commits()
+            ? static_cast<double>(s.total.total_aborts()) /
+                  static_cast<double>(s.total.total_commits())
+            : 0.0;
+    table.add_row({tm::to_string(algo), Table::num(ms, 1),
+                   Table::num(s.commit_pct(CommitPath::kHtm), 1),
+                   Table::num(s.commit_pct(CommitPath::kSoftware), 1),
+                   Table::num(s.commit_pct(CommitPath::kGlobalLock), 1),
+                   Table::num(apc, 2)});
+  }
+
+  std::printf("Routing a fixed batch of nets, %u threads:\n", threads);
+  table.print();
+  return 0;
+}

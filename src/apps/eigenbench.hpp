@@ -1,0 +1,185 @@
+// EigenBench-style configurable TM workload [18] (paper Sec. 7.3, Fig. 6).
+//
+// Two configurations from the paper:
+//   mixed — 50% short transactions (50 reads + 5 writes on a disjoint
+//           1024-word slice) and 50% long transactions that interleave
+//           non-transactional computation between their operations. The
+//           long transactions are duration-bound in HTM; PART-HTM's
+//           partitioned path additionally runs the computation segments
+//           *outside* sub-HTM transactions (SegKind::kSw).
+//   hot   — high contention: a shared 32K-word hot array, 10K reads and
+//           100 writes per transaction with 50% repeated accesses.
+#pragma once
+
+#include <cstdint>
+
+#include "tm/api.hpp"
+#include "tm/heap.hpp"
+#include "util/rng.hpp"
+
+namespace phtm::apps {
+
+class EigenApp {
+ public:
+  enum class Mode { kMixed, kHot };
+
+  struct Config {
+    Mode mode = Mode::kMixed;
+    // mixed
+    unsigned slice_words = 1024;
+    unsigned short_reads = 50;
+    unsigned short_writes = 5;
+    unsigned long_ops = 400;        ///< reads+writes of a long transaction
+    /// Compute between operation bursts: 8 gaps x 9000 = 72k ticks, beyond
+    /// the 50k quantum — long transactions are duration-bound in HTM, the
+    /// property Fig. 6a turns on.
+    unsigned long_work_per_gap = 9000;
+    unsigned ops_per_segment = 50;
+    // hot
+    unsigned hot_words = 32 * 1024;
+    unsigned hot_reads = 10'000;
+    unsigned hot_writes = 100;
+    unsigned repeat_pct = 50;
+    unsigned hot_ops_per_segment = 1024;
+
+    static Config mixed() { return Config{}; }
+    static Config hot() {
+      Config c;
+      c.mode = Mode::kHot;
+      return c;
+    }
+  };
+
+  struct Locals {
+    std::uint64_t base;   ///< thread-private slice offset (mixed)
+    std::uint64_t seed;   ///< per-transaction deterministic access stream
+    std::uint64_t is_long;
+    std::uint64_t acc;
+  };
+
+  EigenApp(const Config& cfg, unsigned nthreads) : cfg_(cfg), nthreads_(nthreads) {
+    auto& heap = tm::TmHeap::instance();
+    const std::size_t words = cfg_.mode == Mode::kHot
+                                  ? cfg_.hot_words
+                                  : std::size_t{cfg_.slice_words} * nthreads;
+    array_ = heap.alloc_array<std::uint64_t>(words);
+    env_ = Env{array_, cfg_};
+  }
+
+  tm::Txn make_txn(unsigned tid, Rng& rng, Locals& l) const {
+    l.base = std::uint64_t{tid} * cfg_.slice_words;
+    l.seed = rng.next() | 1;
+    l.is_long = (cfg_.mode == Mode::kMixed) ? rng.below(2) : 0;
+    l.acc = 0;
+
+    tm::Txn t;
+    t.env = &env_;
+    t.locals = &l;
+    t.locals_bytes = sizeof(Locals);
+    if (cfg_.mode == Mode::kHot) {
+      t.step = &step_hot;
+    } else {
+      t.step = &step_mixed;
+      t.seg_kind = &seg_kind_mixed;
+    }
+    return t;
+  }
+
+ private:
+  struct Env {
+    std::uint64_t* array;
+    Config cfg;
+  };
+
+  static std::uint64_t next_rand(std::uint64_t& s) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+
+  // --- mixed: short txns are single-segment; long txns alternate
+  //     [ops segment][compute segment] pairs -------------------------------
+
+  static tm::SegKind seg_kind_mixed(const void*, const void*, unsigned seg) {
+    // Odd segments of long transactions are pure computation. Short
+    // transactions never reach seg 1, so the classification is harmless.
+    return (seg % 2 == 1) ? tm::SegKind::kSw : tm::SegKind::kHw;
+  }
+
+  static bool step_mixed(tm::Ctx& c, const void* envp, void* lp, unsigned seg) {
+    const Env& e = *static_cast<const Env*>(envp);
+    Locals& l = *static_cast<Locals*>(lp);
+    std::uint64_t* a = e.array;
+
+    if (!l.is_long) {
+      // Short transaction: disjoint reads then writes in the private slice.
+      std::uint64_t s = l.seed;
+      std::uint64_t acc = 0;
+      for (unsigned i = 0; i < e.cfg.short_reads; ++i)
+        acc += c.read(a + l.base + next_rand(s) % e.cfg.slice_words);
+      for (unsigned i = 0; i < e.cfg.short_writes; ++i)
+        c.write(a + l.base + next_rand(s) % e.cfg.slice_words, acc + i);
+      return false;
+    }
+
+    if (seg % 2 == 1) {
+      // Non-transactional computation between operation bursts.
+      c.work(e.cfg.long_work_per_gap);
+      return (seg + 1) * e.cfg.ops_per_segment / 2 < e.cfg.long_ops;
+    }
+
+    // Operation burst: ops_per_segment accesses (1 write per 10 reads).
+    std::uint64_t s = l.seed + seg;
+    std::uint64_t acc = l.acc;
+    for (unsigned i = 0; i < e.cfg.ops_per_segment; ++i) {
+      const std::uint64_t idx = l.base + next_rand(s) % e.cfg.slice_words;
+      if (i % 10 == 9)
+        c.write(a + idx, acc);
+      else
+        acc += c.read(a + idx);
+    }
+    l.acc = acc;
+    return true;  // a compute segment always follows
+  }
+
+  // --- hot: large conflicting transactions over the shared array ----------
+
+  static bool step_hot(tm::Ctx& c, const void* envp, void* lp, unsigned seg) {
+    const Env& e = *static_cast<const Env*>(envp);
+    Locals& l = *static_cast<Locals*>(lp);
+    std::uint64_t* a = e.array;
+    const unsigned total_ops = e.cfg.hot_reads + e.cfg.hot_writes;
+    const unsigned per_seg = e.cfg.hot_ops_per_segment;
+    const unsigned lo = seg * per_seg;
+    unsigned hi = lo + per_seg;
+    if (hi > total_ops) hi = total_ops;
+
+    std::uint64_t s = l.seed + seg * 0x9e37u;
+    std::uint64_t last = 0;
+    std::uint64_t acc = l.acc;
+    for (unsigned i = lo; i < hi; ++i) {
+      std::uint64_t idx;
+      if (next_rand(s) % 100 < e.cfg.repeat_pct && i != lo) {
+        idx = last;  // repeated access
+      } else {
+        idx = next_rand(s) % e.cfg.hot_words;
+        last = idx;
+      }
+      // Writes are spread uniformly through the transaction.
+      if (next_rand(s) % total_ops < e.cfg.hot_writes)
+        c.write(a + idx, acc + i);
+      else
+        acc += c.read(a + idx);
+    }
+    l.acc = acc;
+    return hi < total_ops;
+  }
+
+  Config cfg_;
+  unsigned nthreads_;
+  std::uint64_t* array_ = nullptr;
+  Env env_{};
+};
+
+}  // namespace phtm::apps

@@ -1,0 +1,201 @@
+// Sorted linked-list set micro-benchmark (paper Sec. 7.1, Fig. 4).
+//
+// Transactions traverse from the head to the requested key, which makes the
+// read set proportional to list size: small lists (1K) fit best-effort HTM,
+// large lists (10K) are resource-failure bound — the contrast Fig. 4 draws.
+// Write operations (insert/remove) are balanced so size stays stable.
+//
+// The transaction body is a traversal state machine: each segment advances
+// up to `nodes_per_segment` hops (a partition point every K nodes — the
+// manual static-profiler partitioning of Sec. 5.3.1), then the final
+// segment performs the mutation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tm/api.hpp"
+#include "tm/heap.hpp"
+#include "util/rng.hpp"
+
+namespace phtm::apps {
+
+class ListApp {
+ public:
+  struct Config {
+    unsigned initial_size = 1000;
+    unsigned write_pct = 50;        ///< % of insert+remove (balanced halves)
+    unsigned nodes_per_segment = 64;
+    unsigned key_space = 0;         ///< default: 2 * initial_size
+  };
+
+  enum Op : std::uint64_t { kContains = 0, kInsert = 1, kRemove = 2 };
+
+  /// One node per cache line so traversals have hardware-realistic
+  /// footprints and neighboring nodes never share a conflict line.
+  struct alignas(64) Node {
+    std::uint64_t key;
+    std::uint64_t next;  ///< encoded Node* (0 = null)
+    std::uint64_t pad[6];
+  };
+  static_assert(sizeof(Node) == 64);
+
+  struct Locals {
+    std::uint64_t key;
+    std::uint64_t op;
+    std::uint64_t prev;      ///< address of the next-field being followed
+    std::uint64_t cur;       ///< encoded Node* under inspection
+    std::uint64_t new_node;  ///< preallocated node for insert (encoded)
+    std::uint64_t result;    ///< 1 if op took effect / key found
+  };
+
+  explicit ListApp(const Config& cfg) : cfg_(cfg) {
+    if (cfg_.key_space == 0) cfg_.key_space = cfg_.initial_size * 2;
+    auto& heap = tm::TmHeap::instance();
+    head_ = heap.alloc_array<std::uint64_t>(1);
+    // Populate with every other key so inserts and removes both succeed.
+    Node* prev = nullptr;
+    for (unsigned i = 0; i < cfg_.initial_size; ++i) {
+      Node* n = heap.alloc_array<Node>(1);
+      n->key = 2 * i + 1;
+      n->next = 0;
+      if (prev == nullptr)
+        *head_ = enc(n);
+      else
+        prev->next = enc(n);
+      prev = n;
+    }
+    env_ = Env{head_, cfg_.nodes_per_segment};
+  }
+
+  /// Node pool for one worker thread: inserts draw from it, removes return
+  /// to it (safe reuse — all node-field accesses are transactional).
+  class NodePool {
+   public:
+    std::uint64_t take() {
+      if (free_.empty()) {
+        Node* n = tm::TmHeap::instance().alloc_array<Node>(1);
+        return enc(n);
+      }
+      const std::uint64_t p = free_.back();
+      free_.pop_back();
+      return p;
+    }
+    void give(std::uint64_t p) { free_.push_back(p); }
+
+   private:
+    std::vector<std::uint64_t> free_;
+  };
+
+  /// Prepare one random operation. Caller executes the returned Txn and then
+  /// calls finish() to recycle nodes.
+  tm::Txn make_txn(Rng& rng, NodePool& pool, Locals& l) const {
+    const std::uint64_t r = rng.below(100);
+    if (r < cfg_.write_pct / 2)
+      l.op = kInsert;
+    else if (r < cfg_.write_pct)
+      l.op = kRemove;
+    else
+      l.op = kContains;
+    l.key = rng.below(cfg_.key_space);
+    l.prev = reinterpret_cast<std::uint64_t>(env_.head);
+    l.cur = 0;
+    l.new_node = (l.op == kInsert) ? pool.take() : 0;
+    l.result = 0;
+
+    tm::Txn t;
+    t.step = &step;
+    t.env = &env_;
+    t.locals = &l;
+    t.locals_bytes = sizeof(Locals);
+    return t;
+  }
+
+  /// Recycle nodes after the transaction committed.
+  void finish(const Locals& l, NodePool& pool) const {
+    if (l.op == kInsert && !l.result && l.new_node) pool.give(l.new_node);
+    if (l.op == kRemove && l.result) pool.give(l.cur);
+  }
+
+  /// Non-transactional audit (quiescent state only).
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t p = *head_; p; p = dec(p)->next) ++n;
+    return n;
+  }
+  bool sorted_and_unique() const {
+    std::uint64_t last = 0;
+    bool first = true;
+    for (std::uint64_t p = *head_; p; p = dec(p)->next) {
+      if (!first && dec(p)->key <= last) return false;
+      last = dec(p)->key;
+      first = false;
+    }
+    return true;
+  }
+  bool contains_seq(std::uint64_t key) const {
+    for (std::uint64_t p = *head_; p; p = dec(p)->next)
+      if (dec(p)->key == key) return true;
+    return false;
+  }
+
+ private:
+  struct Env {
+    std::uint64_t* head;
+    unsigned nodes_per_segment;
+  };
+
+  static std::uint64_t enc(Node* n) { return reinterpret_cast<std::uint64_t>(n); }
+  static Node* dec(std::uint64_t p) { return reinterpret_cast<Node*>(p); }
+
+  static bool step(tm::Ctx& c, const void* envp, void* lp, unsigned seg) {
+    const Env& e = *static_cast<const Env*>(envp);
+    Locals& l = *static_cast<Locals*>(lp);
+    if (seg == 0) {
+      l.prev = reinterpret_cast<std::uint64_t>(e.head);
+      l.cur = c.read(e.head);
+    }
+    // Traverse up to K hops, then either continue in the next segment or
+    // finish the operation here.
+    for (unsigned hop = 0; hop < e.nodes_per_segment; ++hop) {
+      if (l.cur == 0 || c.read(&dec(l.cur)->key) >= l.key) {
+        apply(c, l);
+        return false;
+      }
+      l.prev = reinterpret_cast<std::uint64_t>(&dec(l.cur)->next);
+      l.cur = c.read(&dec(l.cur)->next);
+    }
+    return true;  // partition point: next segment keeps walking
+  }
+
+  static void apply(tm::Ctx& c, Locals& l) {
+    auto* prev_field = reinterpret_cast<std::uint64_t*>(l.prev);
+    const bool found = l.cur != 0 && c.read(&dec(l.cur)->key) == l.key;
+    switch (l.op) {
+      case kContains:
+        l.result = found;
+        break;
+      case kInsert:
+        if (!found) {
+          Node* n = dec(l.new_node);
+          c.write(&n->key, l.key);
+          c.write(&n->next, l.cur);
+          c.write(prev_field, l.new_node);
+          l.result = 1;
+        }
+        break;
+      case kRemove:
+        if (found) {
+          c.write(prev_field, c.read(&dec(l.cur)->next));
+          l.result = 1;
+        }
+        break;
+    }
+  }
+
+  Config cfg_;
+  std::uint64_t* head_ = nullptr;
+  Env env_{};
+};
+
+}  // namespace phtm::apps

@@ -1,0 +1,150 @@
+// N-Reads M-Writes micro-benchmark (RSTM [36]; paper Sec. 7.1, Fig. 3).
+//
+// Two fixed 100k-element arrays; each transaction reads N elements from the
+// source and writes M into the destination. Accesses are disjoint across
+// threads (writes always; reads disjoint in configs a/c, whole-array in b),
+// so all HTM aborts stem from resource limits or metadata false conflicts —
+// exactly what Fig. 3 isolates.
+//
+// Configurations:
+//   A (Fig. 3a): N = M = 10               — everything fits in HTM
+//   B (Fig. 3b): N = 100'000, M = 100     — read-capacity bound
+//   C (Fig. 3c): 100 x (read, FP work, write) — duration bound
+#pragma once
+
+#include <cstdint>
+
+#include "tm/api.hpp"
+#include "tm/backend.hpp"
+#include "tm/heap.hpp"
+
+namespace phtm::apps {
+
+class NrwApp {
+ public:
+  struct Config {
+    unsigned array_size = 100'000;
+    unsigned n_reads = 10;
+    unsigned m_writes = 10;
+    bool read_whole_array = false;   ///< config B: every txn scans the source
+    unsigned iter_work = 0;          ///< config C: FP work ticks per iteration
+    bool interleaved = false;        ///< config C: read/work/write loop
+    unsigned reads_per_segment = 512;   ///< partition sizing (static profiler)
+    unsigned writes_per_segment = 256;  ///< write-phase partition sizing
+    unsigned iters_per_segment = 25;    ///< config C: per paper, 100/4
+
+    static Config a() { return Config{}; }
+    static Config b() {
+      Config c;
+      c.n_reads = 100'000;
+      c.m_writes = 100;
+      c.read_whole_array = true;
+      return c;
+    }
+    static Config c() {
+      Config c;
+      c.n_reads = 100;
+      c.m_writes = 100;
+      c.interleaved = true;
+      c.iter_work = 600;  // 100 iters x 600 > the 50k tick quantum
+      return c;
+    }
+  };
+
+  struct Locals {
+    std::uint64_t base;  ///< this thread's disjoint slice offset
+    std::uint64_t n, m;
+    std::uint64_t rps;   ///< reads per segment (partition granularity)
+    std::uint64_t wps;   ///< writes per segment
+    std::uint64_t acc;
+  };
+
+  NrwApp(const Config& cfg, unsigned nthreads) : cfg_(cfg), nthreads_(nthreads) {
+    auto& heap = tm::TmHeap::instance();
+    src_ = heap.alloc_array<std::uint64_t>(cfg_.array_size);
+    dst_ = heap.alloc_array<std::uint64_t>(cfg_.array_size);
+    for (unsigned i = 0; i < cfg_.array_size; ++i) src_[i] = i;
+    env_ = Env{src_, dst_, cfg_};
+  }
+
+  /// Build this thread's transaction. `locals` must outlive execute().
+  tm::Txn make_txn(unsigned tid, Locals& l) const {
+    const std::uint64_t slice = cfg_.array_size / nthreads_;
+    l.base = std::uint64_t{tid} * slice;
+    l.n = cfg_.read_whole_array ? cfg_.array_size : cfg_.n_reads;
+    l.m = cfg_.m_writes;
+    l.rps = cfg_.reads_per_segment;
+    l.wps = cfg_.writes_per_segment;
+    l.acc = 0;
+
+    tm::Txn t;
+    t.env = &env_;
+    t.locals = &l;
+    t.locals_bytes = sizeof(Locals);
+    t.step = cfg_.interleaved ? &step_interleaved : &step_bulk;
+    return t;
+  }
+
+  std::uint64_t* dst() const { return dst_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Env {
+    std::uint64_t* src;
+    std::uint64_t* dst;
+    Config cfg;
+  };
+
+  /// Configs A/B: read phase chunked into segments, then one write segment
+  /// per `reads_per_segment` writes.
+  static bool step_bulk(tm::Ctx& c, const void* envp, void* lp, unsigned seg) {
+    const Env& e = *static_cast<const Env*>(envp);
+    Locals& l = *static_cast<Locals*>(lp);
+    const unsigned rps = static_cast<unsigned>(l.rps);
+    const unsigned read_segs = (l.n + rps - 1) / rps;
+    if (seg < read_segs) {
+      const std::uint64_t lo = std::uint64_t{seg} * rps;
+      const std::uint64_t hi = lo + rps < l.n ? lo + rps : l.n;
+      // Config B scans the array from 0; A reads the private slice.
+      const std::uint64_t base = e.cfg.read_whole_array ? 0 : l.base;
+      std::uint64_t acc = l.acc;
+      for (std::uint64_t i = lo; i < hi; ++i)
+        acc += c.read(e.src + (base + i) % e.cfg.array_size);
+      l.acc = acc;
+      return true;
+    }
+    // Write phase: M disjoint writes into this thread's slice, chunked.
+    const unsigned wps = static_cast<unsigned>(l.wps);
+    const std::uint64_t wseg = seg - read_segs;
+    const std::uint64_t lo = wseg * wps;
+    const std::uint64_t hi = lo + wps < l.m ? lo + wps : l.m;
+    for (std::uint64_t i = lo; i < hi; ++i)
+      c.write(e.dst + l.base + i, l.acc + i);
+    return hi < l.m;
+  }
+
+  /// Config C: 100 x { read one element, FP work, write it back }, with a
+  /// partition point every iters_per_segment iterations.
+  static bool step_interleaved(tm::Ctx& c, const void* envp, void* lp, unsigned seg) {
+    const Env& e = *static_cast<const Env*>(envp);
+    Locals& l = *static_cast<Locals*>(lp);
+    const unsigned ips = e.cfg.iters_per_segment;
+    const std::uint64_t lo = std::uint64_t{seg} * ips;
+    std::uint64_t hi = lo + ips;
+    if (hi > l.n) hi = l.n;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const std::uint64_t v = c.read(e.src + l.base + i);
+      c.work(e.cfg.iter_work);  // floating-point computation
+      c.write(e.dst + l.base + i, v * 3 + 1);
+    }
+    return hi < l.n;
+  }
+
+  Config cfg_;
+  unsigned nthreads_;
+  std::uint64_t* src_ = nullptr;
+  std::uint64_t* dst_ = nullptr;
+  Env env_{};
+};
+
+}  // namespace phtm::apps

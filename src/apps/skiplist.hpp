@@ -1,0 +1,245 @@
+// Skip-list set benchmark (beyond-paper workload).
+//
+// The linked list of Fig. 4 makes read-set size linear in the element
+// count; a skip list makes it logarithmic, which puts large structures
+// *back inside* best-effort HTM budgets. Comparing Fig. 4b (list, 10K)
+// with the same-size skip list separates "PART-HTM wins because traversals
+// are resource-bound" from data-structure-independent overheads — an
+// ablation the paper's conclusions invite.
+//
+// Same operation mix and state-machine style as ListApp: per-segment bound
+// on traversal hops, mutation in the final segment. Tower updates of an
+// insert/remove happen in one segment (towers are <= kMaxLevel cells).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tm/api.hpp"
+#include "tm/heap.hpp"
+#include "util/rng.hpp"
+
+namespace phtm::apps {
+
+class SkipListApp {
+ public:
+  static constexpr unsigned kMaxLevel = 12;
+
+  struct Config {
+    unsigned initial_size = 10'000;
+    unsigned write_pct = 50;
+    unsigned hops_per_segment = 64;
+    unsigned key_space = 0;  ///< default 2 * initial_size
+  };
+
+  enum Op : std::uint64_t { kContains = 0, kInsert = 1, kRemove = 2 };
+
+  /// Node: key + tower of next pointers; one cache line for key+low levels,
+  /// a second for the upper tower.
+  struct alignas(64) Node {
+    std::uint64_t key;
+    std::uint64_t level;  // number of valid next[] entries
+    std::uint64_t next[kMaxLevel];
+    std::uint64_t pad[2];
+  };
+  static_assert(sizeof(Node) == 128);
+
+  struct Locals {
+    std::uint64_t key, op, result;
+    std::uint64_t lvl;                 // current search level
+    std::uint64_t pred;                // encoded Node* under inspection
+    std::uint64_t preds[kMaxLevel];    // per-level predecessors
+    std::uint64_t new_node;            // preallocated (insert)
+    std::uint64_t new_level;
+    std::uint64_t victim;              // found node (remove)
+  };
+
+  explicit SkipListApp(const Config& cfg, std::uint64_t seed = 99) : cfg_(cfg) {
+    if (cfg_.key_space == 0) cfg_.key_space = cfg_.initial_size * 2;
+    head_ = alloc_node();
+    head_->key = 0;
+    head_->level = kMaxLevel;
+    Rng rng(seed);
+    // Deterministic pre-population with every other key.
+    for (unsigned i = 0; i < cfg_.initial_size; ++i)
+      seq_insert(2 * i + 1, random_level(rng));
+    env_ = Env{enc(head_), cfg_.hops_per_segment};
+  }
+
+  class NodePool {
+   public:
+    std::uint64_t take() {
+      if (free_.empty()) return enc(alloc_node());
+      const std::uint64_t p = free_.back();
+      free_.pop_back();
+      return p;
+    }
+    void give(std::uint64_t p) { free_.push_back(p); }
+
+   private:
+    std::vector<std::uint64_t> free_;
+  };
+
+  static unsigned random_level(Rng& rng) {
+    unsigned lvl = 1;
+    while (lvl < kMaxLevel && rng.chance(1, 2)) ++lvl;
+    return lvl;
+  }
+
+  tm::Txn make_txn(Rng& rng, NodePool& pool, Locals& l) const {
+    const std::uint64_t r = rng.below(100);
+    l.op = r < cfg_.write_pct / 2 ? kInsert
+           : r < cfg_.write_pct  ? kRemove
+                                 : kContains;
+    // Keys start at 1 (head holds the sentinel minimum).
+    l.key = 1 + rng.below(cfg_.key_space);
+    l.result = 0;
+    l.lvl = kMaxLevel - 1;
+    l.pred = env_.head;
+    l.victim = 0;
+    l.new_node = l.op == kInsert ? pool.take() : 0;
+    l.new_level = random_level(rng);
+
+    tm::Txn t;
+    t.step = &step;
+    t.env = &env_;
+    t.locals = &l;
+    t.locals_bytes = sizeof(Locals);
+    return t;
+  }
+
+  void finish(const Locals& l, NodePool& pool) const {
+    if (l.op == kInsert && !l.result && l.new_node) pool.give(l.new_node);
+    if (l.op == kRemove && l.result) pool.give(l.victim);
+  }
+
+  // Quiescent audits.
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t p = head_->next[0]; p; p = dec(p)->next[0]) ++n;
+    return n;
+  }
+  bool sorted_and_unique() const {
+    std::uint64_t last = 0;
+    for (std::uint64_t p = head_->next[0]; p; p = dec(p)->next[0]) {
+      if (dec(p)->key <= last) return false;
+      last = dec(p)->key;
+    }
+    return true;
+  }
+  /// Every tower level must be a sub-sequence of level 0.
+  bool towers_consistent() const {
+    for (unsigned lvl = 1; lvl < kMaxLevel; ++lvl) {
+      std::uint64_t p0 = head_->next[0];
+      for (std::uint64_t p = head_->next[lvl]; p; p = dec(p)->next[lvl]) {
+        while (p0 && p0 != p) p0 = dec(p0)->next[0];
+        if (p0 != p) return false;  // node linked at lvl but not at 0
+      }
+    }
+    return true;
+  }
+  bool contains_seq(std::uint64_t key) const {
+    for (std::uint64_t p = head_->next[0]; p; p = dec(p)->next[0])
+      if (dec(p)->key == key) return true;
+    return false;
+  }
+
+ private:
+  struct Env {
+    std::uint64_t head;
+    unsigned hops_per_segment;
+  };
+
+  static Node* alloc_node() {
+    Node* n = tm::TmHeap::instance().alloc_array<Node>(1);
+    return n;
+  }
+  static std::uint64_t enc(Node* n) { return reinterpret_cast<std::uint64_t>(n); }
+  static Node* dec(std::uint64_t p) { return reinterpret_cast<Node*>(p); }
+
+  void seq_insert(std::uint64_t key, unsigned level) {
+    Node* n = alloc_node();
+    n->key = key;
+    n->level = level;
+    Node* pred = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      while (pred->next[lvl] && dec(pred->next[lvl])->key < key)
+        pred = dec(pred->next[lvl]);
+      if (lvl < static_cast<int>(level)) {
+        n->next[lvl] = pred->next[lvl];
+        pred->next[lvl] = enc(n);
+      }
+    }
+  }
+
+  /// Traversal state machine: descend levels recording predecessors, at
+  /// most hops_per_segment pointer chases per segment.
+  static bool step(tm::Ctx& c, const void* envp, void* lp, unsigned) {
+    const Env& e = *static_cast<const Env*>(envp);
+    Locals& l = *static_cast<Locals*>(lp);
+    unsigned hops = 0;
+    while (hops < e.hops_per_segment) {
+      Node* pred = dec(l.pred);
+      const std::uint64_t nxt = c.read(&pred->next[l.lvl]);
+      if (nxt != 0 && c.read(&dec(nxt)->key) < l.key) {
+        l.pred = nxt;
+        ++hops;
+        continue;
+      }
+      l.preds[l.lvl] = l.pred;
+      if (l.lvl > 0) {
+        --l.lvl;
+        continue;
+      }
+      apply(c, l);
+      return false;
+    }
+    return true;  // partition point
+  }
+
+  static void apply(tm::Ctx& c, Locals& l) {
+    Node* pred0 = dec(l.preds[0]);
+    const std::uint64_t cur = c.read(&pred0->next[0]);
+    const bool found = cur != 0 && c.read(&dec(cur)->key) == l.key;
+    switch (l.op) {
+      case kContains:
+        l.result = found;
+        break;
+      case kInsert: {
+        if (found) break;
+        Node* n = dec(l.new_node);
+        c.write(&n->key, l.key);
+        c.write(&n->level, l.new_level);
+        for (unsigned lvl = 0; lvl < l.new_level; ++lvl) {
+          Node* pred = dec(l.preds[lvl]);
+          c.write(&n->next[lvl], c.read(&pred->next[lvl]));
+          c.write(&pred->next[lvl], l.new_node);
+        }
+        l.result = 1;
+        break;
+      }
+      case kRemove: {
+        if (!found) break;
+        Node* victim = dec(cur);
+        const std::uint64_t vlevel = c.read(&victim->level);
+        for (unsigned lvl = 0; lvl < vlevel; ++lvl) {
+          Node* pred = dec(l.preds[lvl]);
+          // The recorded predecessor is exact for level 0; for upper levels
+          // the victim may not be linked past pred (shorter tower) — only
+          // unlink where pred actually points at it.
+          if (c.read(&pred->next[lvl]) == cur)
+            c.write(&pred->next[lvl], c.read(&victim->next[lvl]));
+        }
+        l.victim = cur;
+        l.result = 1;
+        break;
+      }
+    }
+  }
+
+  Config cfg_;
+  Node* head_ = nullptr;
+  Env env_{};
+};
+
+}  // namespace phtm::apps

@@ -1,0 +1,153 @@
+// Genome (STAMP): gene sequencing. Phase 1 deduplicates DNA segments
+// through a shared hash set (short insert transactions, conflicts only on
+// hash-neighborhood collisions); phase 2 links unique segments into a
+// chain by matching overlaps (short read-modify-write transactions).
+// HTM-friendly workload (Fig. 5i).
+#include "apps/stamp/stamp.hpp"
+
+#include <vector>
+
+namespace phtm::apps {
+namespace {
+
+constexpr unsigned kUnique = 4096;
+constexpr unsigned kDuplication = 4;  // each segment appears this many times
+constexpr unsigned kSetCap = 16384;   // power of two
+
+struct Env {
+  std::uint64_t* set_keys;   // open addressing; 0 = empty
+  std::uint64_t* set_links;  // successor chain built in phase 2
+};
+
+struct Locals {
+  std::uint64_t key;
+  std::uint64_t succ;
+  std::uint64_t inserted;
+};
+
+bool step_insert(tm::Ctx& c, const void* envp, void* lp, unsigned) {
+  const Env& e = *static_cast<const Env*>(envp);
+  Locals& l = *static_cast<Locals*>(lp);
+  std::uint64_t slot = mix64(l.key) & (kSetCap - 1);
+  for (;;) {
+    const std::uint64_t k = c.read(&e.set_keys[slot]);
+    if (k == l.key) {
+      l.inserted = 0;  // duplicate
+      return false;
+    }
+    if (k == 0) {
+      c.write(&e.set_keys[slot], l.key);
+      l.inserted = 1;
+      return false;
+    }
+    slot = (slot + 1) & (kSetCap - 1);
+  }
+}
+
+bool step_link(tm::Ctx& c, const void* envp, void* lp, unsigned) {
+  const Env& e = *static_cast<const Env*>(envp);
+  Locals& l = *static_cast<Locals*>(lp);
+  // Find the key's slot, then record its successor (one write).
+  std::uint64_t slot = mix64(l.key) & (kSetCap - 1);
+  for (;;) {
+    const std::uint64_t k = c.read(&e.set_keys[slot]);
+    if (k == l.key) break;
+    if (k == 0) return false;  // should not happen after phase 1
+    slot = (slot + 1) & (kSetCap - 1);
+  }
+  c.write(&e.set_links[slot], l.succ);
+  return false;
+}
+
+class GenomeApp final : public StampApp {
+ public:
+  const char* name() const override { return "genome"; }
+
+  void init(unsigned nthreads, std::uint64_t seed) override {
+    auto& heap = tm::TmHeap::instance();
+    Rng rng(seed);
+    keys_.resize(kUnique);
+    for (auto& k : keys_) k = rng.next() | 1;  // nonzero keys
+    pool_.clear();
+    for (unsigned d = 0; d < kDuplication; ++d)
+      for (const auto k : keys_) pool_.push_back(k);
+    for (std::size_t i = pool_.size(); i > 1; --i)
+      std::swap(pool_[i - 1], pool_[rng.below(i)]);
+
+    set_keys_ = heap.alloc_array<std::uint64_t>(kSetCap);
+    set_links_ = heap.alloc_array<std::uint64_t>(kSetCap);
+    env_ = Env{set_keys_, set_links_};
+    insert_q_.reset(pool_.size());
+    link_q_.reset(kUnique - 1);
+    inserted_.store(0);
+    barrier_ = std::make_unique<Barrier>(nthreads);
+  }
+
+  void run_thread(tm::Backend& be, tm::Worker& w, unsigned, unsigned) override {
+    // Phase 1: dedup through the shared set.
+    std::uint64_t idx;
+    std::uint64_t mine = 0;
+    while (insert_q_.claim(idx)) {
+      Locals l{};
+      l.key = pool_[idx];
+      tm::Txn t;
+      t.step = &step_insert;
+      t.env = &env_;
+      t.locals = &l;
+      t.locals_bytes = sizeof(l);
+      be.execute(w, t);
+      mine += l.inserted;
+    }
+    inserted_.fetch_add(mine, std::memory_order_relaxed);
+    barrier_->arrive_and_wait();
+
+    // Phase 2: chain segment i -> i+1 (overlap matching).
+    while (link_q_.claim(idx)) {
+      Locals l{};
+      l.key = keys_[idx];
+      l.succ = keys_[idx + 1];
+      tm::Txn t;
+      t.step = &step_link;
+      t.env = &env_;
+      t.locals = &l;
+      t.locals_bytes = sizeof(l);
+      be.execute(w, t);
+      sim::burn_work(100);  // overlap computation
+    }
+  }
+
+  bool verify() override {
+    if (inserted_.load() != kUnique) return false;
+    // Walk the chain from keys_[0]; it must visit every unique segment.
+    std::uint64_t count = 1;
+    std::uint64_t cur = keys_[0];
+    while (count < kUnique) {
+      std::uint64_t slot = mix64(cur) & (kSetCap - 1);
+      while (set_keys_[slot] != cur) {
+        if (set_keys_[slot] == 0) return false;
+        slot = (slot + 1) & (kSetCap - 1);
+      }
+      const std::uint64_t next = set_links_[slot];
+      if (next == 0) return false;
+      cur = next;
+      ++count;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> pool_;
+  std::uint64_t* set_keys_ = nullptr;
+  std::uint64_t* set_links_ = nullptr;
+  Env env_{};
+  WorkCounter insert_q_, link_q_;
+  std::atomic<std::uint64_t> inserted_{0};
+  std::unique_ptr<Barrier> barrier_;
+};
+
+}  // namespace
+
+std::unique_ptr<StampApp> make_genome() { return std::make_unique<GenomeApp>(); }
+
+}  // namespace phtm::apps

@@ -1,0 +1,160 @@
+// Intruder (STAMP): network intrusion detection. Threads pull packet
+// fragments off a shared queue (short, head-contended transaction),
+// assemble them in a shared flow table (medium transaction over an open
+// hash), and run signature detection on completed flows (local compute).
+// Short conflicting transactions, no resource failures (Fig. 5e).
+#include "apps/stamp/stamp.hpp"
+
+#include <vector>
+
+namespace phtm::apps {
+namespace {
+
+constexpr unsigned kFlows = 2048;
+constexpr unsigned kMaxFrags = 8;
+constexpr unsigned kTableCap = 8192;  // open-addressing slots (power of two)
+
+struct FlowSlot {
+  std::uint64_t flow_id;   // 0 = empty, else id+1
+  std::uint64_t frag_mask;
+  std::uint64_t nfrags;
+  std::uint64_t done;
+  std::uint64_t pad[4];
+};
+static_assert(sizeof(FlowSlot) == 64);
+
+struct Env {
+  std::uint64_t* queue;     // packed fragments
+  std::uint64_t* head;      // shared dequeue cursor
+  std::uint64_t* qsize;
+  FlowSlot* table;
+};
+
+struct Locals {
+  std::uint64_t frag;       // packed fragment (0 = queue empty)
+  std::uint64_t completed;  // flow id+1 if this insert completed the flow
+};
+
+// fragment encoding: flow_id (32) | nfrags (16) | frag_idx (16)
+std::uint64_t pack(std::uint64_t flow, std::uint64_t n, std::uint64_t i) {
+  return (flow << 32) | (n << 16) | i;
+}
+
+bool step_dequeue(tm::Ctx& c, const void* envp, void* lp, unsigned) {
+  const Env& e = *static_cast<const Env*>(envp);
+  Locals& l = *static_cast<Locals*>(lp);
+  const std::uint64_t h = c.read(e.head);
+  if (h >= c.read(e.qsize)) {
+    l.frag = 0;
+    return false;
+  }
+  l.frag = c.read(e.queue + h);
+  c.write(e.head, h + 1);
+  return false;
+}
+
+bool step_assemble(tm::Ctx& c, const void* envp, void* lp, unsigned) {
+  const Env& e = *static_cast<const Env*>(envp);
+  Locals& l = *static_cast<Locals*>(lp);
+  const std::uint64_t flow = l.frag >> 32;
+  const std::uint64_t nfrags = (l.frag >> 16) & 0xffff;
+  const std::uint64_t fidx = l.frag & 0xffff;
+  // Open-addressing probe keyed by flow id.
+  std::uint64_t slot = mix64(flow) & (kTableCap - 1);
+  for (;;) {
+    FlowSlot& s = e.table[slot];
+    const std::uint64_t id = c.read(&s.flow_id);
+    if (id == flow + 1) break;
+    if (id == 0) {
+      c.write(&s.flow_id, flow + 1);
+      c.write(&s.nfrags, nfrags);
+      break;
+    }
+    slot = (slot + 1) & (kTableCap - 1);
+  }
+  FlowSlot& s = e.table[slot];
+  const std::uint64_t mask = c.read(&s.frag_mask) | (std::uint64_t{1} << fidx);
+  c.write(&s.frag_mask, mask);
+  if (mask == (std::uint64_t{1} << nfrags) - 1 && c.read(&s.done) == 0) {
+    c.write(&s.done, 1);
+    l.completed = flow + 1;
+  }
+  return false;
+}
+
+class IntruderApp final : public StampApp {
+ public:
+  const char* name() const override { return "intruder"; }
+
+  void init(unsigned /*nthreads*/, std::uint64_t seed) override {
+    auto& heap = tm::TmHeap::instance();
+    Rng rng(seed);
+    std::vector<std::uint64_t> frags;
+    for (unsigned f = 0; f < kFlows; ++f) {
+      const unsigned n = 1 + rng.below(kMaxFrags);
+      for (unsigned i = 0; i < n; ++i) frags.push_back(pack(f, n, i));
+    }
+    // Shuffle so fragments of one flow arrive interleaved.
+    for (std::size_t i = frags.size(); i > 1; --i)
+      std::swap(frags[i - 1], frags[rng.below(i)]);
+
+    queue_ = heap.alloc_array<std::uint64_t>(frags.size());
+    for (std::size_t i = 0; i < frags.size(); ++i) queue_[i] = frags[i];
+    head_ = heap.alloc_array<std::uint64_t>(1);
+    qsize_ = heap.alloc_array<std::uint64_t>(1);
+    *qsize_ = frags.size();
+    table_ = heap.alloc_array<FlowSlot>(kTableCap);
+    env_ = Env{queue_, head_, qsize_, table_};
+    detected_.store(0);
+  }
+
+  void run_thread(tm::Backend& be, tm::Worker& w, unsigned, unsigned) override {
+    std::uint64_t detected = 0;
+    for (;;) {
+      Locals l{};
+      tm::Txn deq;
+      deq.step = &step_dequeue;
+      deq.env = &env_;
+      deq.locals = &l;
+      deq.locals_bytes = sizeof(l);
+      be.execute(w, deq);
+      if (l.frag == 0) break;  // queue drained
+
+      tm::Txn asm_;
+      asm_.step = &step_assemble;
+      asm_.env = &env_;
+      asm_.locals = &l;
+      asm_.locals_bytes = sizeof(l);
+      be.execute(w, asm_);
+
+      if (l.completed) {
+        sim::burn_work(500);  // signature detection on the complete flow
+        ++detected;
+      }
+    }
+    detected_.fetch_add(detected, std::memory_order_relaxed);
+  }
+
+  bool verify() override {
+    // Every flow assembled exactly once.
+    if (detected_.load() != kFlows) return false;
+    std::uint64_t done = 0;
+    for (unsigned i = 0; i < kTableCap; ++i)
+      if (table_[i].done) ++done;
+    return done == kFlows;
+  }
+
+ private:
+  std::uint64_t* queue_ = nullptr;
+  std::uint64_t* head_ = nullptr;
+  std::uint64_t* qsize_ = nullptr;
+  FlowSlot* table_ = nullptr;
+  Env env_{};
+  std::atomic<std::uint64_t> detected_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<StampApp> make_intruder() { return std::make_unique<IntruderApp>(); }
+
+}  // namespace phtm::apps

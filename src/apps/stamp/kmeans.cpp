@@ -1,0 +1,129 @@
+// Kmeans (STAMP): iterative clustering. The transactional kernel updates the
+// per-cluster accumulator (D sums + a count) after a non-transactional
+// nearest-center search. Contention is governed by the cluster count: the
+// "low" configuration spreads updates over many clusters, "high" funnels
+// them through a few — short transactions, real conflicts, no resource
+// failures (Fig. 5a/5b: HTM-GL wins, PART-HTM must stay closest).
+#include "apps/stamp/stamp.hpp"
+
+namespace phtm::apps {
+namespace {
+
+constexpr unsigned kDims = 4;
+constexpr unsigned kPoints = 4096;
+constexpr unsigned kIters = 3;
+
+struct ClusterAcc {
+  std::uint64_t count;
+  std::uint64_t sum[kDims];
+  std::uint64_t pad[3];
+};
+static_assert(sizeof(ClusterAcc) == 64);
+
+class KmeansApp final : public StampApp {
+ public:
+  explicit KmeansApp(unsigned clusters, const char* nm) : k_(clusters), name_(nm) {}
+
+  const char* name() const override { return name_; }
+
+  void init(unsigned nthreads, std::uint64_t seed) override {
+    auto& heap = tm::TmHeap::instance();
+    points_ = heap.alloc_array<std::uint64_t>(std::size_t{kPoints} * kDims);
+    acc_ = heap.alloc_array<ClusterAcc>(k_);
+    centers_.assign(std::size_t{k_} * kDims, 0);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < std::size_t{kPoints} * kDims; ++i)
+      points_[i] = rng.below(1 << 16);
+    for (std::size_t i = 0; i < centers_.size(); ++i)
+      centers_[i] = rng.below(1 << 16);
+    barrier_ = std::make_unique<Barrier>(nthreads);
+    updates_.store(0);
+  }
+
+  void run_thread(tm::Backend& be, tm::Worker& w, unsigned tid,
+                  unsigned nthreads) override {
+    struct Env {
+      ClusterAcc* acc;
+      const std::uint64_t* point;
+    };
+    struct Locals {
+      std::uint64_t cluster;
+    };
+
+    const unsigned chunk = (kPoints + nthreads - 1) / nthreads;
+    const unsigned lo = tid * chunk;
+    const unsigned hi = lo + chunk < kPoints ? lo + chunk : kPoints;
+
+    for (unsigned iter = 0; iter < kIters; ++iter) {
+      for (unsigned p = lo; p < hi; ++p) {
+        const std::uint64_t* pt = points_ + std::size_t{p} * kDims;
+        // Nearest-center search on the stable snapshot: non-transactional,
+        // as in STAMP.
+        std::uint64_t best = 0, best_d = ~std::uint64_t{0};
+        for (unsigned c = 0; c < k_; ++c) {
+          std::uint64_t d = 0;
+          for (unsigned j = 0; j < kDims; ++j) {
+            const std::int64_t diff = static_cast<std::int64_t>(pt[j]) -
+                                      static_cast<std::int64_t>(centers_[c * kDims + j]);
+            d += static_cast<std::uint64_t>(diff * diff);
+          }
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        Env env{acc_, pt};
+        Locals l{best};
+        tm::Txn t;
+        t.env = &env;
+        t.locals = &l;
+        t.locals_bytes = sizeof(l);
+        t.step = +[](tm::Ctx& c, const void* e, void* lp, unsigned) {
+          const Env& env = *static_cast<const Env*>(e);
+          ClusterAcc& a = env.acc[static_cast<Locals*>(lp)->cluster];
+          c.write(&a.count, c.read(&a.count) + 1);
+          for (unsigned j = 0; j < kDims; ++j)
+            c.write(&a.sum[j], c.read(&a.sum[j]) + env.point[j]);
+          return false;
+        };
+        be.execute(w, t);
+        updates_.fetch_add(1, std::memory_order_relaxed);
+      }
+      barrier_->arrive_and_wait();
+      if (tid == 0) recompute_centers();
+      barrier_->arrive_and_wait();
+    }
+  }
+
+  bool verify() override {
+    return updates_.load() == std::uint64_t{kPoints} * kIters;
+  }
+
+ private:
+  void recompute_centers() {
+    for (unsigned c = 0; c < k_; ++c) {
+      const std::uint64_t n = acc_[c].count;
+      for (unsigned j = 0; j < kDims; ++j)
+        if (n) centers_[c * kDims + j] = acc_[c].sum[j] / n;
+      acc_[c].count = 0;
+      for (unsigned j = 0; j < kDims; ++j) acc_[c].sum[j] = 0;
+    }
+  }
+
+  unsigned k_;
+  const char* name_;
+  std::uint64_t* points_ = nullptr;
+  ClusterAcc* acc_ = nullptr;
+  std::vector<std::uint64_t> centers_;
+  std::unique_ptr<Barrier> barrier_;
+  std::atomic<std::uint64_t> updates_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<StampApp> make_kmeans(bool high_contention) {
+  return std::make_unique<KmeansApp>(high_contention ? 4 : 32,
+                                     high_contention ? "kmeans-high" : "kmeans-low");
+}
+
+}  // namespace phtm::apps

@@ -1,0 +1,299 @@
+// Labyrinth (STAMP): Lee path routing on a shared grid — the paper's
+// resource-failure showcase (Table 1, Fig. 5d).
+//
+// Each transaction routes one point-to-point path:
+//   1. copy   — snapshot the bounding-box region around the endpoints into
+//               a thread-private buffer. As in STAMP, the copy is
+//               *uninstrumented* (raw accesses): software TMs pay nothing,
+//               but hardware transactions still monitor every line, so
+//               long routes blow the simulated L1 write capacity while
+//               short routes fit — reproducing Table 1, where roughly half
+//               of Labyrinth's transactions exceed the HTM budget (70%+
+//               capacity aborts, ~50/50 HTM vs lock commits under HTM-GL).
+//               PART-HTM's partitioned path spreads the copy over many
+//               sub-HTM transactions instead.
+//   2. route  — breadth-first expansion + backtrace on the private copy
+//               (pure computation; a software segment for PART-HTM).
+//   3. write  — transactionally validate that the path cells are still free
+//               (reads only), then claim them. The instrumented footprint
+//               is just the path, so transactions are large yet *rarely
+//               conflict* — the workload class PART-HTM targets (Sec. 4).
+#include "apps/stamp/stamp.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace phtm::apps {
+namespace {
+
+constexpr unsigned kW = 64, kH = 64, kD = 2;
+constexpr unsigned kCells = kW * kH * kD;
+constexpr unsigned kRoutes = 64;
+constexpr unsigned kMargin = 8;            // bbox expansion around endpoints
+constexpr unsigned kCopyCellsPerSeg = 512;  // partition sizing (sub-HTM fit)
+constexpr unsigned kMaxPath = 320;
+constexpr unsigned kPathCellsPerSeg = 128;
+constexpr std::uint64_t kFree = 0;
+
+unsigned idx_of(unsigned x, unsigned y, unsigned z) { return (z * kH + y) * kW + x; }
+
+struct Env {
+  std::uint64_t* grid;   // shared grid: 0 = free, else route id
+  std::uint64_t* copy;   // this thread's private snapshot buffer
+};
+
+enum Phase : std::uint64_t { kCopy = 0, kRoute, kValidate, kClaim };
+
+struct Locals {
+  std::uint64_t src, dst, route_id;
+  std::uint64_t phase;
+  std::uint64_t bx0, by0, bx1, by1;  // bounding box (inclusive)
+  std::uint64_t copy_pos;            // progress through the bbox copy
+  std::uint64_t blocked;             // validation found an occupied cell
+  std::uint64_t no_path;             // expansion found no route
+  std::uint64_t path_len;
+  std::uint64_t pos;                 // progress through validate/claim
+  std::uint16_t dist[kCells];
+  std::uint16_t queue[kCells];
+  std::uint16_t path[kMaxPath];
+};
+
+/// The routing phase is pure computation over private data: PART-HTM's
+/// software framework runs it outside any hardware transaction.
+tm::SegKind seg_kind(const void*, const void* lp, unsigned) {
+  return static_cast<const Locals*>(lp)->phase == kRoute ? tm::SegKind::kSw
+                                                         : tm::SegKind::kHw;
+}
+
+std::uint64_t bbox_cells(const Locals& l) {
+  return (l.bx1 - l.bx0 + 1) * (l.by1 - l.by0 + 1) * kD;
+}
+
+unsigned bbox_cell(const Locals& l, std::uint64_t ci) {
+  const std::uint64_t bw = l.bx1 - l.bx0 + 1;
+  const std::uint64_t bh = l.by1 - l.by0 + 1;
+  const std::uint64_t z = ci / (bw * bh);
+  const std::uint64_t rem = ci % (bw * bh);
+  return idx_of(static_cast<unsigned>(l.bx0 + rem % bw),
+                static_cast<unsigned>(l.by0 + rem / bw),
+                static_cast<unsigned>(z));
+}
+
+bool route_on_copy(Locals& l, const std::uint64_t* copy);
+
+bool step(tm::Ctx& c, const void* envp, void* lp, unsigned seg) {
+  const Env& e = *static_cast<const Env*>(envp);
+  Locals& l = *static_cast<Locals*>(lp);
+
+  if (l.phase == kCopy) {
+    if (seg == 0) {
+      // Bounding box of the endpoints, expanded by the routing margin.
+      const unsigned sx = l.src % kW, sy = (l.src / kW) % kH;
+      const unsigned tx = l.dst % kW, ty = (l.dst / kW) % kH;
+      l.bx0 = std::min(sx, tx) > kMargin ? std::min(sx, tx) - kMargin : 0;
+      l.by0 = std::min(sy, ty) > kMargin ? std::min(sy, ty) - kMargin : 0;
+      l.bx1 = std::max(sx, tx) + kMargin < kW ? std::max(sx, tx) + kMargin : kW - 1;
+      l.by1 = std::max(sy, ty) + kMargin < kH ? std::max(sy, ty) + kMargin : kH - 1;
+      l.copy_pos = 0;
+    }
+    // Uninstrumented snapshot of the next chunk (STAMP's racy grid_copy).
+    const std::uint64_t total = bbox_cells(l);
+    std::uint64_t i = l.copy_pos;
+    const std::uint64_t hi = i + kCopyCellsPerSeg < total ? i + kCopyCellsPerSeg : total;
+    for (; i < hi; ++i) {
+      const unsigned cell = bbox_cell(l, i);
+      c.raw_write(e.copy + cell, c.raw_read(e.grid + cell));
+    }
+    l.copy_pos = hi;
+    if (hi < total) return true;
+    l.phase = kRoute;
+    return true;
+  }
+
+  if (l.phase == kRoute) {
+    c.work(2000);  // expansion bookkeeping the grid walk does not capture
+    l.no_path = route_on_copy(l, e.copy) ? 0 : 1;
+    l.phase = kValidate;
+    l.pos = 0;
+    return l.no_path == 0;  // nothing to claim if unroutable
+  }
+
+  if (l.phase == kValidate) {
+    // Reads only: a blocked route commits having written nothing; the TM
+    // protocol protects the validate->claim window.
+    std::uint64_t i = l.pos;
+    const std::uint64_t hi =
+        i + kPathCellsPerSeg < l.path_len ? i + kPathCellsPerSeg : l.path_len;
+    for (; i < hi; ++i) {
+      if (c.read(e.grid + l.path[i]) != kFree) {
+        l.blocked = 1;
+        return false;
+      }
+    }
+    l.pos = hi;
+    if (hi < l.path_len) return true;
+    l.phase = kClaim;
+    l.pos = 0;
+    return true;
+  }
+
+  // kClaim: write the validated path.
+  std::uint64_t i = l.pos;
+  const std::uint64_t hi =
+      i + kPathCellsPerSeg < l.path_len ? i + kPathCellsPerSeg : l.path_len;
+  for (; i < hi; ++i) c.write(e.grid + l.path[i], l.route_id);
+  l.pos = hi;
+  return hi < l.path_len;
+}
+
+/// BFS expansion from src within the bounding box, backtrace into l.path.
+bool route_on_copy(Locals& l, const std::uint64_t* copy) {
+  constexpr std::uint16_t kInf = 0xffff;
+  constexpr std::uint16_t kOcc = 0xfffe;
+  // Outside the bbox counts as occupied; inside, occupancy from the copy.
+  for (unsigned i = 0; i < kCells; ++i) l.dist[i] = kOcc;
+  for (std::uint64_t ci = 0, n = bbox_cells(l); ci < n; ++ci) {
+    const unsigned cell = bbox_cell(l, ci);
+    l.dist[cell] = (copy[cell] == kFree) ? kInf : kOcc;
+  }
+  if (l.dist[l.dst] == kOcc) return false;  // destination already claimed
+  l.dist[l.src] = 0;
+  unsigned qh = 0, qt = 0;
+  l.queue[qt++] = static_cast<std::uint16_t>(l.src);
+  const int dx[6] = {1, -1, 0, 0, 0, 0};
+  const int dy[6] = {0, 0, 1, -1, 0, 0};
+  const int dz[6] = {0, 0, 0, 0, 1, -1};
+  bool found = false;
+  while (qh < qt && !found) {
+    const unsigned cur = l.queue[qh++];
+    const unsigned x = cur % kW, y = (cur / kW) % kH, z = cur / (kW * kH);
+    for (unsigned d = 0; d < 6 && !found; ++d) {
+      const int nx = static_cast<int>(x) + dx[d];
+      const int ny = static_cast<int>(y) + dy[d];
+      const int nz = static_cast<int>(z) + dz[d];
+      if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<int>(kW) ||
+          ny >= static_cast<int>(kH) || nz >= static_cast<int>(kD))
+        continue;
+      const unsigned n = idx_of(nx, ny, nz);
+      if (l.dist[n] != kInf) continue;  // occupied, outside bbox, or visited
+      l.dist[n] = static_cast<std::uint16_t>(l.dist[cur] + 1);
+      if (n == l.dst)
+        found = true;
+      else if (qt < kCells)
+        l.queue[qt++] = static_cast<std::uint16_t>(n);
+    }
+  }
+  if (!found) return false;
+  // Backtrace dst -> src following strictly decreasing distance.
+  unsigned cur = l.dst;
+  unsigned len = 0;
+  while (cur != l.src && len < kMaxPath) {
+    l.path[len++] = static_cast<std::uint16_t>(cur);
+    const unsigned x = cur % kW, y = (cur / kW) % kH, z = cur / (kW * kH);
+    unsigned next = cur;
+    for (unsigned d = 0; d < 6; ++d) {
+      const int nx = static_cast<int>(x) + dx[d];
+      const int ny = static_cast<int>(y) + dy[d];
+      const int nz = static_cast<int>(z) + dz[d];
+      if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<int>(kW) ||
+          ny >= static_cast<int>(kH) || nz >= static_cast<int>(kD))
+        continue;
+      const unsigned n = idx_of(nx, ny, nz);
+      if (l.dist[n] < l.dist[cur]) {
+        next = n;
+        break;
+      }
+    }
+    if (next == cur) return false;  // broken gradient (snapshot raced)
+    cur = next;
+  }
+  if (cur != l.src || len == 0 || len >= kMaxPath) return false;
+  l.path[len++] = static_cast<std::uint16_t>(l.src);
+  l.path_len = len;
+  return true;
+}
+
+class LabyrinthApp final : public StampApp {
+ public:
+  const char* name() const override { return "labyrinth"; }
+
+  void init(unsigned nthreads, std::uint64_t seed) override {
+    auto& heap = tm::TmHeap::instance();
+    grid_ = heap.alloc_array<std::uint64_t>(kCells);
+    copies_.clear();
+    for (unsigned t = 0; t < nthreads; ++t)
+      copies_.push_back(heap.alloc_array<std::uint64_t>(kCells));
+    Rng rng(seed);
+    routes_.clear();
+    for (unsigned r = 0; r < kRoutes; ++r) {
+      const unsigned sx = rng.below(kW), sy = rng.below(kH), sz = rng.below(kD);
+      const unsigned tx = rng.below(kW), ty = rng.below(kH), tz = rng.below(kD);
+      routes_.push_back({idx_of(sx, sy, sz), idx_of(tx, ty, tz)});
+    }
+    queue_.reset(kRoutes);
+    routed_.clear();
+    routed_.resize(kRoutes, 0);
+  }
+
+  void run_thread(tm::Backend& be, tm::Worker& w, unsigned tid, unsigned) override {
+    Env env{grid_, copies_[tid]};
+    auto locals = std::make_unique<Locals>();
+    std::uint64_t r;
+    while (queue_.claim(r)) {
+      if (routes_[r].first == routes_[r].second) continue;
+      Locals& l = *locals;
+      l = Locals{};
+      l.src = routes_[r].first;
+      l.dst = routes_[r].second;
+      l.route_id = r + 1;
+      tm::Txn t;
+      t.step = &step;
+      t.seg_kind = &seg_kind;
+      t.env = &env;
+      t.locals = &l;
+      t.locals_bytes = sizeof(Locals);
+      be.execute(w, t);
+      if (!l.blocked && !l.no_path && l.path_len > 0) {
+        std::lock_guard<std::mutex> g(mu_);
+        routed_[r] = l.path_len;
+      }
+      // Blocked routes are dropped (STAMP retries bounded times; one
+      // attempt keeps run length deterministic across backends).
+    }
+  }
+
+  bool verify() override {
+    // Every successfully routed path's cells must carry its id and no cell
+    // may carry an id that was not routed.
+    std::vector<std::uint64_t> counts(kRoutes + 1, 0);
+    for (unsigned i = 0; i < kCells; ++i) {
+      const std::uint64_t v = grid_[i];
+      if (v > kRoutes) return false;
+      if (v) ++counts[v];
+    }
+    unsigned ok = 0;
+    for (unsigned r = 0; r < kRoutes; ++r) {
+      if (routed_[r] == 0) {
+        if (counts[r + 1] != 0) return false;  // ghost path
+        continue;
+      }
+      if (counts[r + 1] != routed_[r]) return false;  // torn path
+      ++ok;
+    }
+    return ok > 0;
+  }
+
+ private:
+  std::uint64_t* grid_ = nullptr;
+  std::vector<std::uint64_t*> copies_;
+  std::vector<std::pair<unsigned, unsigned>> routes_;
+  std::vector<std::uint64_t> routed_;
+  WorkCounter queue_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+std::unique_ptr<StampApp> make_labyrinth() { return std::make_unique<LabyrinthApp>(); }
+
+}  // namespace phtm::apps

@@ -1,0 +1,35 @@
+#include "apps/stamp/stamp.hpp"
+
+#include <vector>
+
+namespace phtm::apps {
+
+std::unique_ptr<StampApp> make_kmeans(bool high_contention);
+std::unique_ptr<StampApp> make_ssca2();
+std::unique_ptr<StampApp> make_labyrinth();
+std::unique_ptr<StampApp> make_intruder();
+std::unique_ptr<StampApp> make_vacation(bool high_contention);
+std::unique_ptr<StampApp> make_yada();
+std::unique_ptr<StampApp> make_genome();
+
+std::unique_ptr<StampApp> make_stamp_app(const std::string& name) {
+  if (name == "kmeans-low") return make_kmeans(false);
+  if (name == "kmeans-high") return make_kmeans(true);
+  if (name == "ssca2") return make_ssca2();
+  if (name == "labyrinth") return make_labyrinth();
+  if (name == "intruder") return make_intruder();
+  if (name == "vacation-low") return make_vacation(false);
+  if (name == "vacation-high") return make_vacation(true);
+  if (name == "yada") return make_yada();
+  if (name == "genome") return make_genome();
+  return nullptr;
+}
+
+const std::vector<std::string>& stamp_app_names() {
+  static const std::vector<std::string> names = {
+      "kmeans-low", "kmeans-high", "ssca2",         "labyrinth", "intruder",
+      "vacation-low", "vacation-high", "yada", "genome"};
+  return names;
+}
+
+}  // namespace phtm::apps

@@ -1,0 +1,68 @@
+// Common interface of the STAMP-style applications (paper Sec. 7.2, Fig. 5
+// and Table 1).
+//
+// Each app re-implements the *transactional kernel* of its STAMP namesake
+// with a workload generator sized so the transaction footprint class
+// (short/conflicting, long/large/rarely-conflicting, ...) matches what the
+// original exhibits on real best-effort HTM — see DESIGN.md's substitution
+// table. Work is fixed per run: the Fig. 5 harness measures wall time and
+// reports speed-up over the sequential baseline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tm/api.hpp"
+#include "tm/backend.hpp"
+#include "tm/heap.hpp"
+#include "util/rng.hpp"
+#include "util/threads.hpp"
+
+namespace phtm::apps {
+
+class StampApp {
+ public:
+  virtual ~StampApp() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Allocate state and generate the (deterministic) workload.
+  virtual void init(unsigned nthreads, std::uint64_t seed) = 0;
+
+  /// Execute thread `tid`'s share of the fixed workload to completion.
+  virtual void run_thread(tm::Backend& be, tm::Worker& w, unsigned tid,
+                          unsigned nthreads) = 0;
+
+  /// Post-run invariant check (quiescent state).
+  virtual bool verify() = 0;
+};
+
+/// kmeans-low | kmeans-high | ssca2 | labyrinth | intruder | vacation-low |
+/// vacation-high | yada | genome
+std::unique_ptr<StampApp> make_stamp_app(const std::string& name);
+
+/// Names in Fig. 5 order.
+const std::vector<std::string>& stamp_app_names();
+
+/// Shared atomic work queue for self-scheduling loops (work distribution is
+/// outside transactions, as in STAMP's thread pools).
+class WorkCounter {
+ public:
+  void reset(std::uint64_t total) {
+    next_.store(0, std::memory_order_relaxed);
+    total_ = total;
+  }
+  /// Claims the next index; returns false when the work is exhausted.
+  bool claim(std::uint64_t& idx) {
+    idx = next_.fetch_add(1, std::memory_order_relaxed);
+    return idx < total_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace phtm::apps

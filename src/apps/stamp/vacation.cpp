@@ -1,0 +1,153 @@
+// Vacation (STAMP): an in-memory travel reservation database. Each
+// transaction queries several records across the car/room/flight tables,
+// reserves the cheapest available one per table, and updates the customer's
+// reservation count — a medium OLTP-style transaction. The "low" and "high"
+// configurations differ in table size and queries per transaction, which
+// controls the conflict probability (Fig. 5f/5g).
+#include "apps/stamp/stamp.hpp"
+
+namespace phtm::apps {
+namespace {
+
+constexpr unsigned kTables = 3;  // cars, rooms, flights
+
+struct Record {
+  std::uint64_t total;
+  std::uint64_t used;
+  std::uint64_t price;
+  std::uint64_t pad[5];
+};
+static_assert(sizeof(Record) == 64);
+
+struct Params {
+  unsigned records;      // per table
+  unsigned queries;      // records examined per table per txn
+  unsigned transactions; // total workload
+};
+
+struct Env {
+  Record* tables[kTables];
+  std::uint64_t* customers;
+  unsigned records;
+  unsigned queries;
+};
+
+struct Locals {
+  std::uint64_t customer;
+  std::uint64_t cand[kTables * 8];  // pre-drawn candidate record ids
+  std::uint64_t reserved;           // bitmask: table t reserved
+};
+
+bool step_reserve(tm::Ctx& c, const void* envp, void* lp, unsigned) {
+  const Env& e = *static_cast<const Env*>(envp);
+  Locals& l = *static_cast<Locals*>(lp);
+  std::uint64_t made = 0;
+  for (unsigned t = 0; t < kTables; ++t) {
+    // Query phase: find the cheapest candidate with free capacity.
+    std::uint64_t best = ~std::uint64_t{0}, best_price = ~std::uint64_t{0};
+    for (unsigned q = 0; q < e.queries; ++q) {
+      Record& r = e.tables[t][l.cand[t * 8 + q]];
+      const std::uint64_t used = c.read(&r.used);
+      const std::uint64_t total = c.read(&r.total);
+      const std::uint64_t price = c.read(&r.price);
+      if (used < total && price < best_price) {
+        best_price = price;
+        best = l.cand[t * 8 + q];
+      }
+    }
+    if (best != ~std::uint64_t{0}) {
+      Record& r = e.tables[t][best];
+      c.write(&r.used, c.read(&r.used) + 1);
+      made |= std::uint64_t{1} << t;
+    }
+  }
+  if (made) {
+    std::uint64_t* cust = e.customers + l.customer;
+    c.write(cust, c.read(cust) + __builtin_popcountll(made));
+  }
+  l.reserved = made;
+  return false;
+}
+
+class VacationApp final : public StampApp {
+ public:
+  VacationApp(const Params& p, const char* nm) : p_(p), name_(nm) {}
+
+  const char* name() const override { return name_; }
+
+  void init(unsigned /*nthreads*/, std::uint64_t seed) override {
+    auto& heap = tm::TmHeap::instance();
+    Rng rng(seed);
+    for (unsigned t = 0; t < kTables; ++t) {
+      tables_[t] = heap.alloc_array<Record>(p_.records);
+      for (unsigned r = 0; r < p_.records; ++r) {
+        tables_[t][r].total = 2 + rng.below(6);
+        tables_[t][r].used = 0;
+        tables_[t][r].price = 50 + rng.below(450);
+      }
+    }
+    customers_ = heap.alloc_array<std::uint64_t>(p_.transactions);
+    queue_.reset(p_.transactions);
+    seed_ = seed;
+  }
+
+  void run_thread(tm::Backend& be, tm::Worker& w, unsigned, unsigned) override {
+    Env env{};
+    for (unsigned t = 0; t < kTables; ++t) env.tables[t] = tables_[t];
+    env.customers = customers_;
+    env.records = p_.records;
+    env.queries = p_.queries;
+
+    std::uint64_t idx;
+    while (queue_.claim(idx)) {
+      // Deterministic per-transaction candidates, independent of executing
+      // thread, so all backends process identical workloads.
+      Rng rng(seed_ ^ (idx * 0x9e3779b97f4a7c15ull));
+      Locals l{};
+      l.customer = idx;
+      for (unsigned t = 0; t < kTables; ++t)
+        for (unsigned q = 0; q < p_.queries; ++q)
+          l.cand[t * 8 + q] = rng.below(p_.records);
+      tm::Txn txn;
+      txn.step = &step_reserve;
+      txn.env = &env;
+      txn.locals = &l;
+      txn.locals_bytes = sizeof(l);
+      be.execute(w, txn);
+    }
+  }
+
+  bool verify() override {
+    // Conservation: total seats used == total reservations recorded.
+    std::uint64_t used = 0;
+    for (unsigned t = 0; t < kTables; ++t)
+      for (unsigned r = 0; r < p_.records; ++r) {
+        if (tables_[t][r].used > tables_[t][r].total) return false;
+        used += tables_[t][r].used;
+      }
+    std::uint64_t reserved = 0;
+    for (unsigned i = 0; i < p_.transactions; ++i) reserved += customers_[i];
+    return used == reserved && used > 0;
+  }
+
+ private:
+  Params p_;
+  const char* name_;
+  Record* tables_[kTables] = {};
+  std::uint64_t* customers_ = nullptr;
+  WorkCounter queue_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StampApp> make_vacation(bool high_contention) {
+  // STAMP: high contention = smaller relation, more queried items.
+  const Params low{16384, 2, 8192};
+  const Params high{512, 8, 8192};
+  return std::make_unique<VacationApp>(high_contention ? high : low,
+                                       high_contention ? "vacation-high"
+                                                       : "vacation-low");
+}
+
+}  // namespace phtm::apps

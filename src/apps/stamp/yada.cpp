@@ -1,0 +1,156 @@
+// Yada (STAMP): Delaunay mesh refinement. The kernel is modelled as
+// cavity-style region refinement on a shared mesh grid: a transaction pops
+// a "bad" element from the shared work list, reads a neighborhood cavity
+// around it, rewrites the cavity, and may push newly created bad elements.
+// Long transactions with genuinely high contention (overlapping cavities +
+// the shared work list): the workload where the paper observes every TM
+// slower than sequential yet PART-HTM ahead of the rest (Fig. 5h).
+#include "apps/stamp/stamp.hpp"
+
+namespace phtm::apps {
+namespace {
+
+constexpr unsigned kN = 64;                 // mesh is kN x kN
+constexpr unsigned kCells = kN * kN;
+constexpr int kRadius = 3;                  // cavity half-width (7x7 region)
+constexpr unsigned kInitialBad = 512;
+constexpr unsigned kWorkCap = 16384;        // shared work-list capacity
+constexpr std::uint64_t kQualityBad = 100;  // quality below this needs work
+constexpr unsigned kMaxGeneration = 2;      // bounds spawned refinements
+
+struct Env {
+  std::uint64_t* mesh;      // quality per cell
+  std::uint64_t* worklist;  // packed (cell | generation<<32)
+  std::uint64_t* wl_head;
+  std::uint64_t* wl_tail;
+};
+
+struct Locals {
+  std::uint64_t item;    // packed work item; 0 = list empty
+  std::uint64_t refined; // count of cells this txn improved
+  std::uint64_t spawned;
+};
+
+bool step_refine(tm::Ctx& c, const void* envp, void* lp, unsigned seg) {
+  const Env& e = *static_cast<const Env*>(envp);
+  Locals& l = *static_cast<Locals*>(lp);
+
+  if (seg == 0) {
+    // Pop one bad element from the shared list.
+    const std::uint64_t h = c.read(e.wl_head);
+    if (h >= c.read(e.wl_tail)) {
+      l.item = 0;
+      return false;
+    }
+    l.item = c.read(e.worklist + (h % kWorkCap));
+    c.write(e.wl_head, h + 1);
+    return true;
+  }
+
+  // Refine the cavity in one (sizeable) segment.
+  const std::uint64_t cell = l.item & 0xffffffffu;
+  const std::uint64_t gen = l.item >> 32;
+  const int cx = static_cast<int>(cell % kN);
+  const int cy = static_cast<int>(cell / kN);
+
+  // Read the whole cavity, compute (geometry work), rewrite it.
+  std::uint64_t acc = 0;
+  for (int dy = -kRadius; dy <= kRadius; ++dy) {
+    for (int dx = -kRadius; dx <= kRadius; ++dx) {
+      const int x = cx + dx, y = cy + dy;
+      if (x < 0 || y < 0 || x >= static_cast<int>(kN) || y >= static_cast<int>(kN))
+        continue;
+      acc += c.read(&e.mesh[y * kN + x]);
+    }
+  }
+  c.work(3000);  // retriangulation geometry
+
+  std::uint64_t spawned = 0;
+  for (int dy = -kRadius; dy <= kRadius; ++dy) {
+    for (int dx = -kRadius; dx <= kRadius; ++dx) {
+      const int x = cx + dx, y = cy + dy;
+      if (x < 0 || y < 0 || x >= static_cast<int>(kN) || y >= static_cast<int>(kN))
+        continue;
+      const unsigned i = y * kN + x;
+      const std::uint64_t q = c.read(&e.mesh[i]);
+      // Improve quality deterministically; the center gets fully fixed.
+      std::uint64_t nq = (dx == 0 && dy == 0) ? kQualityBad + 50 + acc % 100
+                                              : q + 20;
+      c.write(&e.mesh[i], nq);
+      // Refinement may degrade a border neighbor, spawning new work.
+      if (gen < kMaxGeneration && spawned < 2 &&
+          (dx == kRadius || dy == kRadius) && (acc + i) % 7 == 0) {
+        const std::uint64_t t = c.read(e.wl_tail);
+        if (t - c.read(e.wl_head) < kWorkCap) {
+          c.write(e.worklist + (t % kWorkCap), i | ((gen + 1) << 32));
+          c.write(e.wl_tail, t + 1);
+          ++spawned;
+        }
+      }
+    }
+  }
+  l.refined = 1;
+  l.spawned = spawned;
+  return false;
+}
+
+class YadaApp final : public StampApp {
+ public:
+  const char* name() const override { return "yada"; }
+
+  void init(unsigned /*nthreads*/, std::uint64_t seed) override {
+    auto& heap = tm::TmHeap::instance();
+    Rng rng(seed);
+    mesh_ = heap.alloc_array<std::uint64_t>(kCells);
+    for (unsigned i = 0; i < kCells; ++i) mesh_[i] = kQualityBad + rng.below(200);
+    worklist_ = heap.alloc_array<std::uint64_t>(kWorkCap);
+    wl_head_ = heap.alloc_array<std::uint64_t>(1);
+    wl_tail_ = heap.alloc_array<std::uint64_t>(1);
+    for (unsigned i = 0; i < kInitialBad; ++i) {
+      const std::uint64_t cell = rng.below(kCells);
+      mesh_[cell] = rng.below(kQualityBad);  // make it bad
+      worklist_[i] = cell;                   // generation 0
+    }
+    *wl_tail_ = kInitialBad;
+    env_ = Env{mesh_, worklist_, wl_head_, wl_tail_};
+    refined_.store(0);
+  }
+
+  void run_thread(tm::Backend& be, tm::Worker& w, unsigned, unsigned) override {
+    std::uint64_t refined = 0;
+    for (;;) {
+      Locals l{};
+      tm::Txn t;
+      t.step = &step_refine;
+      t.env = &env_;
+      t.locals = &l;
+      t.locals_bytes = sizeof(l);
+      be.execute(w, t);
+      if (l.item == 0) break;
+      refined += l.refined;
+    }
+    refined_.fetch_add(refined, std::memory_order_relaxed);
+  }
+
+  bool verify() override {
+    // Work conservation: every popped item was refined, and the list
+    // drained completely.
+    if (*wl_head_ < kInitialBad) return false;
+    if (*wl_head_ != *wl_tail_) return false;
+    return refined_.load() == *wl_head_;
+  }
+
+ private:
+  std::uint64_t* mesh_ = nullptr;
+  std::uint64_t* worklist_ = nullptr;
+  std::uint64_t* wl_head_ = nullptr;
+  std::uint64_t* wl_tail_ = nullptr;
+  Env env_{};
+  std::atomic<std::uint64_t> refined_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<StampApp> make_yada() { return std::make_unique<YadaApp>(); }
+
+}  // namespace phtm::apps

@@ -1,0 +1,114 @@
+// Runtime-adaptive partition sizing.
+//
+// The paper places partition points manually from a static profiler and
+// defers automation to compiler techniques; its Related Work (ref. [25])
+// sketches statically-inserted breaking points *activated at run time* by a
+// policy. This utility is that policy: one controller per transaction site
+// tunes how many operations a segment should carry, from commit/abort
+// feedback, with an AIMD-style rule:
+//
+//   - a capacity or duration abort (in the fast path or a sub-HTM
+//     transaction) halves the segment size — the footprint must shrink;
+//   - a streak of fast-path (unpartitioned) hardware commits doubles it —
+//     partitioning was unnecessary, stop paying for it;
+//   - conflict aborts leave the size unchanged (partitioning neither causes
+//     nor cures them).
+//
+// Thread-safe; shared by all workers executing the same site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace phtm::core {
+
+class AdaptivePartitioner {
+ public:
+  explicit AdaptivePartitioner(unsigned initial_ops = 4096, unsigned min_ops = 64,
+                               unsigned max_ops = 1u << 20,
+                               unsigned grow_streak = 16)
+      : min_(min_ops), max_(max_ops), grow_streak_(grow_streak), cur_(initial_ops) {}
+
+  /// Operations the next transaction should put in one segment.
+  unsigned ops_per_segment() const noexcept {
+    return cur_.load(std::memory_order_relaxed);
+  }
+
+  /// Feed back one executed transaction's outcome. Fast-path (whole-txn
+  /// hardware) commits are strong evidence the granularity is too fine;
+  /// clean partitioned commits are weak evidence, so they probe upward
+  /// slowly (AIMD).
+  void on_commit(CommitPath path) noexcept {
+    unsigned weight = 0;
+    switch (path) {
+      case CommitPath::kHtm: weight = 4; break;
+      case CommitPath::kSoftware: weight = 1; break;
+      default: break;  // global-lock commits say nothing about granularity
+    }
+    if (weight == 0) {
+      streak_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    if (streak_.fetch_add(weight, std::memory_order_relaxed) + weight >=
+        4 * grow_streak_) {
+      streak_.store(0, std::memory_order_relaxed);
+      grow();
+    }
+  }
+
+  void on_abort(AbortCause cause) noexcept {
+    streak_.store(0, std::memory_order_relaxed);
+    if (cause == AbortCause::kCapacity || cause == AbortCause::kOther) shrink();
+  }
+
+ private:
+  void shrink() noexcept {
+    unsigned c = cur_.load(std::memory_order_relaxed);
+    for (;;) {
+      const unsigned next = c / 2 < min_ ? min_ : c / 2;
+      if (next == c) return;
+      if (cur_.compare_exchange_weak(c, next, std::memory_order_relaxed)) return;
+    }
+  }
+  void grow() noexcept {
+    unsigned c = cur_.load(std::memory_order_relaxed);
+    for (;;) {
+      const unsigned next = c * 2 > max_ ? max_ : c * 2;
+      if (next == c) return;
+      if (cur_.compare_exchange_weak(c, next, std::memory_order_relaxed)) return;
+    }
+  }
+
+  const unsigned min_, max_, grow_streak_;
+  std::atomic<unsigned> cur_;
+  std::atomic<unsigned> streak_{0};
+};
+
+/// Convenience: derive the feedback from a worker's stat-sheet delta around
+/// one execute() call.
+class AdaptiveFeedback {
+ public:
+  AdaptiveFeedback(AdaptivePartitioner& p, const StatSheet& sheet)
+      : p_(p), sheet_(sheet), before_(sheet) {}
+
+  ~AdaptiveFeedback() {
+    for (unsigned c = 0; c < static_cast<unsigned>(AbortCause::kCauseCount); ++c) {
+      const auto delta = sheet_.aborts[c] - before_.aborts[c];
+      for (std::uint64_t i = 0; i < delta; ++i)
+        p_.on_abort(static_cast<AbortCause>(c));
+    }
+    for (unsigned c = 0; c < static_cast<unsigned>(CommitPath::kPathCount); ++c) {
+      if (sheet_.commits[c] > before_.commits[c])
+        p_.on_commit(static_cast<CommitPath>(c));
+    }
+  }
+
+ private:
+  AdaptivePartitioner& p_;
+  const StatSheet& sheet_;
+  StatSheet before_;
+};
+
+}  // namespace phtm::core

@@ -1,0 +1,42 @@
+#include "core/part_htm.hpp"
+#include "stm/htm_gl.hpp"
+#include "stm/norec.hpp"
+#include "stm/norec_rh.hpp"
+#include "stm/ringstm.hpp"
+#include "stm/spht.hpp"
+#include "tm/backend.hpp"
+#include "tm/direct.hpp"
+
+namespace phtm::tm {
+
+std::unique_ptr<Backend> make_backend(Algo algo, sim::HtmRuntime& rt,
+                                      const BackendConfig& cfg) {
+  using core::PartHtmBackend;
+  switch (algo) {
+    case Algo::kSeq:
+      return std::make_unique<SeqBackend>();
+    case Algo::kHtmGl:
+      return std::make_unique<stm::HtmGlBackend>(rt, cfg);
+    case Algo::kPartHtm:
+      return std::make_unique<PartHtmBackend>(rt, cfg, PartHtmBackend::Mode::kSerializable,
+                                              /*no_fast=*/false);
+    case Algo::kPartHtmO:
+      return std::make_unique<PartHtmBackend>(rt, cfg, PartHtmBackend::Mode::kOpaque,
+                                              /*no_fast=*/false);
+    case Algo::kPartHtmNoFast:
+      return std::make_unique<PartHtmBackend>(rt, cfg, PartHtmBackend::Mode::kSerializable,
+                                              /*no_fast=*/true);
+    case Algo::kRingStm:
+      return std::make_unique<stm::RingStmBackend>(rt, cfg);
+    case Algo::kNorec:
+      return std::make_unique<stm::NorecBackend>(rt);
+    case Algo::kNorecRh:
+      return std::make_unique<stm::NorecRhBackend>(rt, cfg);
+    case Algo::kSpht:
+      return std::make_unique<stm::SphtBackend>(rt, cfg);
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace phtm::tm

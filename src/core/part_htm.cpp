@@ -1,0 +1,533 @@
+#include "core/part_htm.hpp"
+
+#include <cassert>
+
+#include "stm/common.hpp"
+#include "tm/direct.hpp"
+#include "tm/heap.hpp"
+#include "util/spinlock.hpp"
+
+namespace phtm::core {
+
+using stm::to_cause;
+
+/// Explicit-abort codes private to PART-HTM's hardware transactions.
+enum PartXCode : std::uint32_t {
+  kXGlock = 101,      ///< global-lock subscription fired at begin
+  kXLocked,           ///< pre-commit validation intersected the lock table
+  kXLockedByOther,    ///< PART-HTM-O encounter-time lock hit
+  kXRingBusy,         ///< ring slot's previous occupant still publishing
+  kXTsChanged,        ///< PART-HTM-O timestamp subscription fired at begin
+};
+
+/// Signature maintained inside a hardware transaction.
+///
+/// `storage` is the worker's signature in ordinary memory. The body
+/// accumulates bits in a private `mirror` (register-cheap, discarded on
+/// abort exactly like hardware rollback) and flush() publishes the changed
+/// words through the transaction at commit time. Publishing transactionally
+/// keeps the paper's semantics — the signature lines join the write set
+/// (capacity cost) and become visible only if the hardware transaction
+/// commits — while per-access updates stay as cheap as the register
+/// operations they are on real hardware.
+class TxSig {
+ public:
+  TxSig(sim::HtmOps& ops, Signature& storage)
+      : ops_(ops), storage_(storage), mirror_(storage) {}
+
+  void add(const void* addr) {
+    const unsigned b = Signature::bit_of(addr);
+    mirror_.words()[b / 64] |= std::uint64_t{1} << (b % 64);
+  }
+
+  const Signature& view() const noexcept { return mirror_; }
+
+  /// Write the accumulated bits into storage (inside the transaction).
+  void flush() {
+    for (unsigned w = 0; w < Signature::kWords; ++w)
+      if (mirror_.words()[w] != storage_.words()[w])
+        ops_.write(&storage_.words()[w], mirror_.words()[w]);
+  }
+
+ private:
+  sim::HtmOps& ops_;
+  Signature& storage_;
+  Signature mirror_;
+};
+
+struct PartHtmBackend::W final : tm::Worker {
+  W(unsigned tid, sim::HtmRuntime& rt) : Worker(tid), th(rt) {}
+
+  sim::HtmRuntime::Thread th;
+
+  // Local metadata (paper Sec. 5.1). read_sig/write_sig are the in-HTM
+  // updated stores; agg_sig aggregates committed sub-HTM write signatures.
+  Signature read_sig;
+  Signature write_sig;
+  Signature agg_sig;
+  UndoLog undo;
+
+  std::uint64_t start_time = 0;
+  bool wrote = false;
+
+  tm::LocalsSnapshot txn_snap;  // whole-transaction rollback state
+  tm::LocalsSnapshot seg_snap;  // per-segment rollback state
+};
+
+// ---------------------------------------------------------------------------
+// Contexts
+// ---------------------------------------------------------------------------
+
+/// Fast path (Fig. 1 lines 1-15 / Fig. 2 lines 1-13).
+class PartHtmBackend::FastCtx final : public tm::Ctx {
+ public:
+  FastCtx(PartHtmBackend& b, W& w, sim::HtmOps& ops)
+      : b_(b), ops_(ops), rs_(ops, w.read_sig), ws_(ops, w.write_sig) {}
+
+  std::uint64_t read(const std::uint64_t* addr) override {
+    if (b_.mode_ == Mode::kOpaque) {
+      // Encounter-time lock detection replaces the read signature.
+      if (ops_.read(tm::TmHeap::instance().shadow_of(addr)) != 0)
+        ops_.xabort(kXLockedByOther);
+    } else {
+      rs_.add(addr);
+    }
+    return ops_.read(addr);
+  }
+
+  void write(std::uint64_t* addr, std::uint64_t val) override {
+    if (b_.mode_ == Mode::kOpaque) {
+      if (ops_.read(tm::TmHeap::instance().shadow_of(addr)) != 0)
+        ops_.xabort(kXLockedByOther);
+    }
+    ws_.add(addr);
+    wrote_ = true;
+    ops_.write(addr, val);
+  }
+
+  void work(std::uint64_t n) override { ops_.work(n); }
+
+  // Uninstrumented accesses stay hardware-monitored but skip signatures
+  // and lock checks (see tm::Ctx::raw_read).
+  std::uint64_t raw_read(const std::uint64_t* addr) override { return ops_.read(addr); }
+  void raw_write(std::uint64_t* addr, std::uint64_t val) override {
+    ops_.write(addr, val);
+  }
+
+  /// Pre-commit validation + ring publication (still inside the txn).
+  ///
+  /// Gated on the paper's own `active_tx` counter: locks can only be held,
+  /// and ring validators can only exist, while some transaction occupies
+  /// the partitioned path. Subscribing the counter makes the shortcut
+  /// sound — a transaction *entering* the partitioned path increments it
+  /// with a non-transactional RMW, which aborts every fast-path transaction
+  /// that took the shortcut. This keeps the fast path's instrumentation
+  /// footprint at its paper-intended "slight" level when the workload is
+  /// HTM-friendly.
+  void commit_epilogue() {
+    ops_.subscribe(&b_.active_tx_.value);
+    if (aload(&b_.active_tx_.value) == 0) return;
+
+    if (b_.mode_ == Mode::kSerializable) {
+      // The transaction must neither have read nor be about to overwrite a
+      // non-visible (locked) location (Fig. 1 lines 7-8). Subscribe to the
+      // lock table's cache lines once, then read its words plainly: the
+      // monitor guarantees a latched committer's lock publication is either
+      // fully visible or blocks/dooms this transaction first.
+      for (unsigned w = 0; w < Signature::kWords; w += 8)
+        ops_.subscribe(&b_.write_locks_.words()[w]);
+      for (unsigned i = 0; i < Signature::kWords; ++i) {
+        const std::uint64_t wl = aload(&b_.write_locks_.words()[i]);
+        if (wl & (rs_.view().words()[i] | ws_.view().words()[i]))
+          ops_.xabort(kXLocked);
+      }
+    }
+    if (wrote_) b_.ring_.publish_in_htm(ops_, ws_.view(), kXRingBusy);
+    // Note: the fast path's local signatures live only in the mirrors —
+    // nothing reads their memory copies after a fast commit, so no flush.
+  }
+
+ private:
+  PartHtmBackend& b_;
+  sim::HtmOps& ops_;
+  TxSig rs_, ws_;
+  bool wrote_ = false;
+};
+
+/// Sub-HTM transaction context (Fig. 1 lines 20-29 / Fig. 2 lines 22-35).
+class PartHtmBackend::SubCtx final : public tm::Ctx {
+ public:
+  SubCtx(PartHtmBackend& b, W& w, sim::HtmOps& ops)
+      : b_(b), w_(w), ops_(ops), rs_(ops, w.read_sig), ws_(ops, w.write_sig) {}
+
+  std::uint64_t read(const std::uint64_t* addr) override {
+    if (b_.mode_ == Mode::kOpaque) {
+      const std::uint64_t lk = ops_.read(tm::TmHeap::instance().shadow_of(addr));
+      if (lk != 0 && !self_locked(addr)) ops_.xabort(kXLockedByOther);
+    }
+    rs_.add(addr);
+    return ops_.read(addr);
+  }
+
+  void write(std::uint64_t* addr, std::uint64_t val) override {
+    if (b_.mode_ == Mode::kOpaque) {
+      const std::uint64_t lk = ops_.read(tm::TmHeap::instance().shadow_of(addr));
+      if (lk != 0) {
+        if (!self_locked(addr)) ops_.xabort(kXLockedByOther);
+        // Already locked by this global transaction: the pre-lock value is
+        // in the undo log (Fig. 2 lines 29-31) — just write.
+      } else {
+        w_.undo.stage(addr, ops_.read(addr));
+        ops_.write(tm::TmHeap::instance().shadow_of(addr), 1);  // acquire
+      }
+      ws_.add(addr);
+    } else {
+      // Eager write: log the displaced value first (Fig. 1 line 23). Reads
+      // served through HtmOps see this transaction's own earlier write, so
+      // repeated writes log intermediate values; reverse-order rollback
+      // restores the oldest.
+      w_.undo.stage(addr, ops_.read(addr));
+      ws_.add(addr);
+    }
+    w_.wrote = true;
+    ops_.write(addr, val);
+  }
+
+  void work(std::uint64_t n) override { ops_.work(n); }
+
+  // Hardware-monitored but software-invisible: no undo log, no locks, no
+  // signatures. Private scratch only (the paper's non-transactional-code
+  // contract, Sec. 4).
+  std::uint64_t raw_read(const std::uint64_t* addr) override { return ops_.read(addr); }
+  void raw_write(std::uint64_t* addr, std::uint64_t val) override {
+    ops_.write(addr, val);
+  }
+
+  /// Pre-commit validation + write-lock acquisition inside the sub-HTM
+  /// transaction (Fig. 1 lines 26-29). PART-HTM-O needs neither: its locks
+  /// are per-address and checked at encounter time (Sec. 5.5).
+  void commit_epilogue() {
+    // Publish signatures first: the software framework reads them from
+    // storage after the sub-HTM commit (aggregation, in-flight validation).
+    rs_.flush();
+    ws_.flush();
+    if (b_.mode_ != Mode::kSerializable) return;
+    for (unsigned w = 0; w < Signature::kWords; w += 8)
+      ops_.subscribe(&b_.write_locks_.words()[w]);
+    for (unsigned i = 0; i < Signature::kWords; ++i) {
+      const std::uint64_t wl = aload(&b_.write_locks_.words()[i]);
+      // Mask this global transaction's own locks out first (Fig. 1 line 26).
+      const std::uint64_t others = wl & ~w_.agg_sig.words()[i];
+      if (others & (rs_.view().words()[i] | ws_.view().words()[i]))
+        ops_.xabort(kXLocked);
+      // Announce newly written locations (Fig. 1 line 29). A concurrent
+      // sub-HTM committer OR-ing the same word is a hardware write-write
+      // conflict: one of the two aborts, so the read-modify-write is safe.
+      const std::uint64_t mine = ws_.view().words()[i];
+      if (mine & ~wl) ops_.write(&b_.write_locks_.words()[i], wl | mine);
+    }
+  }
+
+ private:
+  bool self_locked(const std::uint64_t* addr) const {
+    return w_.undo.self_locked(addr) || w_.undo.staged_contains(addr);
+  }
+
+  PartHtmBackend& b_;
+  W& w_;
+  sim::HtmOps& ops_;
+  TxSig rs_, ws_;
+};
+
+// ---------------------------------------------------------------------------
+// Backend
+// ---------------------------------------------------------------------------
+
+PartHtmBackend::PartHtmBackend(sim::HtmRuntime& rt, const tm::BackendConfig& cfg,
+                               Mode mode, bool no_fast)
+    : rt_(rt), cfg_(cfg), mode_(mode), no_fast_(no_fast), ring_(cfg.ring_entries) {}
+
+const char* PartHtmBackend::name() const {
+  if (no_fast_) return "Part-HTM-no-fast";
+  return mode_ == Mode::kOpaque ? "Part-HTM-O" : "Part-HTM";
+}
+
+std::unique_ptr<tm::Worker> PartHtmBackend::make_worker(unsigned tid) {
+  return std::make_unique<W>(tid, rt_);
+}
+
+void PartHtmBackend::dec_active() {
+  rt_.nontx_fetch_add(&active_tx_.value, ~std::uint64_t{0});  // -1
+}
+
+bool PartHtmBackend::fast_once(W& w, const tm::Txn& txn, sim::AbortStatus& status) {
+  const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
+    // Global-lock subscription (Fig. 1 lines 1-2).
+    if (ops.read(&glock_.value) != 0) ops.xabort(kXGlock);
+    FastCtx ctx(*this, w, ops);
+    tm::run_all_segments(ctx, txn);
+    ctx.commit_epilogue();
+  });
+  if (r.committed) return true;  // signatures lived in mirrors only
+  status = r.abort;
+  return false;
+}
+
+PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& txn) {
+  // --- global begin (Fig. 1 lines 16-19) ---
+  while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();
+  rt_.nontx_fetch_add(&active_tx_.value, 1);
+  if (rt_.nontx_load(&glock_.value) != 0) {
+    dec_active();
+    return POutcome::kAborted;
+  }
+  w.start_time = rt_.nontx_load(ring_.timestamp_addr());
+  w.read_sig.clear();
+  w.write_sig.clear();
+  w.agg_sig.clear();
+  w.undo.clear();
+  w.wrote = false;
+
+  unsigned seg = 0;
+  bool more = true;
+  while (more) {
+    // Compute-only segments run in the software framework, outside any
+    // hardware transaction (paper Sec. 4, "Non-transactional Code").
+    if (txn.seg_kind != nullptr &&
+        txn.seg_kind(txn.env, txn.locals, seg) == tm::SegKind::kSw) {
+      tm::DirectCtx soft;
+      more = txn.step(soft, txn.env, txn.locals, seg);
+      ++seg;
+      continue;
+    }
+
+    w.seg_snap.save(txn);
+    bool more_out = false;
+    unsigned tries = 0;
+    unsigned ts_restarts = 0;
+    for (;;) {
+      const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
+        if (mode_ == Mode::kOpaque) {
+          // Timestamp subscription (Fig. 2 lines 23-24): any global commit
+          // from now on aborts this sub-HTM transaction in hardware.
+          if (ops.read(ring_.timestamp_addr()) != w.start_time)
+            ops.xabort(kXTsChanged);
+        }
+        SubCtx ctx(*this, w, ops);
+        more_out = txn.step(ctx, txn.env, txn.locals, seg);
+        ctx.commit_epilogue();
+      });
+      if (r.committed) {
+        ++w.stats().sub_htm_commits;
+        break;
+      }
+
+      // --- sub-HTM abort handling (Sec. 5.3.5 / Fig. 2 lines 36-39) ---
+      ++w.stats().sub_htm_aborts;
+      w.stats().record_abort(to_cause(r.abort));
+      w.seg_snap.restore(txn);
+      w.undo.discard_staged();
+
+      const bool locked_hit =
+          r.abort.code == sim::AbortCode::kExplicit &&
+          (r.abort.xabort_code == kXLocked || r.abort.xabort_code == kXLockedByOther);
+      if (locked_hit) {
+        // Conflict on the global write-lock: propagate to the enclosing
+        // global transaction.
+        global_abort(w);
+        return POutcome::kAborted;
+      }
+
+      const bool ts_changed =
+          (r.abort.code == sim::AbortCode::kExplicit &&
+           r.abort.xabort_code == kXTsChanged) ||
+          (mode_ == Mode::kOpaque && r.abort.code == sim::AbortCode::kConflict &&
+           r.abort.conflict_line == line_of(ring_.timestamp_addr()));
+      if (ts_changed) {
+        // PART-HTM-O: a global transaction committed; re-validate and, if
+        // the snapshot still holds, restart only the sub-HTM transaction.
+        ++w.stats().validations;
+        const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig);
+        if (v != ValResult::kOk) {
+          if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+          global_abort(w);
+          return POutcome::kAborted;
+        }
+        // Fig. 2 restarts the sub-HTM transaction unconditionally; a high
+        // bound only guards against pathological livelock.
+        if (++ts_restarts > 1000) {
+          global_abort(w);
+          return POutcome::kAborted;
+        }
+        continue;
+      }
+
+      if (++tries >= cfg_.sub_htm_retries) {
+        global_abort(w);
+        return POutcome::kAborted;
+      }
+      cpu_relax();
+    }
+
+    // --- sub post-commit, in software (Fig. 1 lines 31-33) ---
+    // The undo log and aggregate signature absorb the just-committed
+    // sub-transaction *before* validating, so a failing validation's abort
+    // handler rolls back and unlocks everything including this segment.
+    w.undo.promote_staged();
+    w.agg_sig.union_with(w.write_sig);
+    w.write_sig.clear();
+    if (cfg_.validate_after_each_sub || mode_ == Mode::kOpaque) {
+      ++w.stats().validations;
+      const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig);
+      if (v != ValResult::kOk) {
+        if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+        global_abort(w);
+        return POutcome::kAborted;
+      }
+    }
+    more = more_out;
+    ++seg;
+  }
+
+  // --- global commit (Fig. 1 lines 42-52) ---
+  if (!w.wrote) {
+    dec_active();
+    w.stats().record_commit(CommitPath::kSoftware);
+    return POutcome::kCommitted;
+  }
+  // Ring publication exists for *other* partitioned transactions to
+  // validate against. If we are the only occupant of the partitioned path,
+  // there is no validator: any partitioned transaction beginning later
+  // takes a start time at or after this commit (our eager writes are
+  // already published), so reserving a slot would be dead weight.
+  const bool solo = rt_.nontx_load(&active_tx_.value) == 1;
+  if (solo) {
+    ++w.stats().validations;
+    const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig);
+    if (v != ValResult::kOk) {
+      if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+      global_abort(w);
+      return POutcome::kAborted;
+    }
+    release_locks(w);
+    w.read_sig.clear();
+    w.agg_sig.clear();
+    dec_active();
+    w.stats().record_commit(CommitPath::kSoftware);
+    return POutcome::kCommitted;
+  }
+  const std::uint64_t ts = ring_.reserve(rt_);
+  // Commit-time validation of everything serialized before our reserved
+  // timestamp. The paper argues the last in-flight validation suffices;
+  // performing one more after the reservation closes the publication window
+  // exactly (see DESIGN.md) at the cost the paper already accounts to the
+  // in-flight mechanism. A failed commit still fills its slot (with an
+  // empty signature) so validators never stall on it.
+  ++w.stats().validations;
+  const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig, ts - 1);
+  static const Signature kEmpty{};
+  ring_.fill_slot(rt_, ts, v == ValResult::kOk ? w.agg_sig : kEmpty);
+  if (v != ValResult::kOk) {
+    if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+    global_abort(w);
+    return POutcome::kAborted;
+  }
+  release_locks(w);
+  w.read_sig.clear();
+  w.agg_sig.clear();
+  dec_active();
+  w.stats().record_commit(CommitPath::kSoftware);
+  return POutcome::kCommitted;
+}
+
+void PartHtmBackend::release_locks(W& w) {
+  if (mode_ == Mode::kSerializable) {
+    // Fig. 1 lines 48-49: clear this transaction's bits from the shared
+    // lock table. Aliased bits may be cleared too — the paper's protocol
+    // has the same property.
+    for (unsigned i = 0; i < Signature::kWords; ++i) {
+      const std::uint64_t bits = w.agg_sig.words()[i];
+      if (bits) rt_.nontx_fetch_and(&write_locks_.words()[i], ~bits);
+    }
+  } else {
+    // Fig. 2 lines 55-56 / 61-62: unlock every written address.
+    for (const auto& e : w.undo.committed())
+      rt_.nontx_store(tm::TmHeap::instance().shadow_of(e.addr), 0);
+  }
+}
+
+void PartHtmBackend::global_abort(W& w) {
+  // Fig. 1 lines 53-58: restore displaced values (reverse order so the
+  // oldest value lands last), release locks, leave the path.
+  const auto& log = w.undo.committed();
+  for (auto it = log.rbegin(); it != log.rend(); ++it)
+    rt_.nontx_store(it->addr, it->old_val);
+  release_locks(w);
+  w.read_sig.clear();
+  w.write_sig.clear();
+  w.agg_sig.clear();
+  w.undo.clear();
+  ++w.stats().global_aborts;
+  dec_active();
+}
+
+void PartHtmBackend::slow_path(W& w, const tm::Txn& txn) {
+  // Fig. 1 lines 61-65: acquire the global lock (aborting every hardware
+  // subscriber via strong atomicity), wait out the partitioned population,
+  // then run uninstrumented.
+  while (!rt_.nontx_cas(&glock_.value, 0, 1)) cpu_relax();
+  while (rt_.nontx_load(&active_tx_.value) != 0) cpu_relax();
+  tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
+  tm::run_all_segments(ctx, txn);
+  rt_.nontx_store(&glock_.value, 0);
+  w.stats().record_commit(CommitPath::kGlobalLock);
+}
+
+void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
+  W& w = static_cast<W&>(wb);
+  if (txn.irrevocable) {
+    slow_path(w, txn);
+    return;
+  }
+  w.txn_snap.save(txn);
+
+  if (!no_fast_) {
+    bool resource_failure = false;
+    Backoff backoff;
+    for (unsigned a = 0; a < cfg_.htm_retries; ++a) {
+      while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();  // lemming guard
+      sim::AbortStatus st;
+      if (fast_once(w, txn, st)) {
+        w.stats().record_commit(CommitPath::kHtm);
+        return;
+      }
+      w.stats().record_abort(to_cause(st));
+      w.txn_snap.restore(txn);
+      // Resource failure: partitioning is the remedy — stop burning fast
+      // attempts (Sec. 4, "Partitioned Path").
+      if (st.code == sim::AbortCode::kCapacity || st.code == sim::AbortCode::kOther) {
+        resource_failure = true;
+        break;
+      }
+      backoff.pause();
+    }
+    if (!resource_failure) {
+      // Repeated failures for reasons other than resource limitation
+      // (extreme conflicts): the paper reserves the global lock for exactly
+      // this class (Sec. 4, "Slow Path") — partitioning would not help.
+      slow_path(w, txn);
+      return;
+    }
+  }
+
+  Backoff backoff;
+  for (unsigned g = 0; g < cfg_.partitioned_retries; ++g) {
+    if (partitioned_once(w, txn) == POutcome::kCommitted) return;
+    w.txn_snap.restore(txn);
+    backoff.pause();  // Fig. 1 line 59
+  }
+  // Extreme contention (or a pathological ring): mutual exclusion wins.
+  slow_path(w, txn);
+}
+
+}  // namespace phtm::core

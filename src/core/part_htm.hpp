@@ -1,0 +1,76 @@
+// PART-HTM and PART-HTM-O (paper Secs. 4-5): the hybrid TM that rescues
+// transactions aborted by best-effort HTM resource limitations by splitting
+// them into sub-HTM transactions glued together by a software framework.
+//
+// Three-path execution:
+//   fast        — whole transaction as one hardware transaction with light
+//                 instrumentation (signatures + lock-table check + ring
+//                 publication);
+//   partitioned — one sub-HTM transaction per segment, eager writes with a
+//                 value undo-log, Bloom write-lock table, in-flight
+//                 validation against the global ring;
+//   slow        — global lock, mutually exclusive with everything via the
+//                 active_tx handshake.
+//
+// Mode::kOpaque implements PART-HTM-O (Fig. 2): per-address
+// encounter-time write locks in the TM heap's shadow words (the repo's
+// address-embedded-lock equivalent, see DESIGN.md) and global-timestamp
+// subscription at every sub-HTM begin.
+#pragma once
+
+#include "core/ring.hpp"
+#include "core/undo.hpp"
+#include "sig/signature.hpp"
+#include "sim/runtime.hpp"
+#include "tm/backend.hpp"
+#include "util/cacheline.hpp"
+
+namespace phtm::core {
+
+class PartHtmBackend final : public tm::Backend {
+ public:
+  enum class Mode { kSerializable, kOpaque };
+
+  PartHtmBackend(sim::HtmRuntime& rt, const tm::BackendConfig& cfg, Mode mode,
+                 bool no_fast);
+
+  const char* name() const override;
+  std::unique_ptr<tm::Worker> make_worker(unsigned tid) override;
+  void execute(tm::Worker& w, const tm::Txn& txn) override;
+
+  // Introspection for tests/benches.
+  const Signature& write_locks() const noexcept { return write_locks_; }
+  GlobalRing& ring() noexcept { return ring_; }
+
+ private:
+  struct W;
+  class FastCtx;
+  class SubCtx;
+
+  enum class POutcome { kCommitted, kAborted };
+
+  /// One fast-path hardware attempt; true = committed.
+  bool fast_once(W& w, const tm::Txn& txn, sim::AbortStatus& status);
+
+  /// One partitioned-path execution (global begin .. commit/abort).
+  POutcome partitioned_once(W& w, const tm::Txn& txn);
+
+  void slow_path(W& w, const tm::Txn& txn);
+
+  /// Undo committed sub-HTM writes, release locks, leave the path.
+  void global_abort(W& w);
+  void release_locks(W& w);
+  void dec_active();
+
+  sim::HtmRuntime& rt_;
+  tm::BackendConfig cfg_;
+  Mode mode_;
+  bool no_fast_;
+
+  GlobalRing ring_;
+  Signature write_locks_;              ///< shared Bloom lock table (Fig. 1)
+  Padded<std::uint64_t> glock_{0};     ///< slow-path global lock
+  Padded<std::uint64_t> active_tx_{0}; ///< partitioned-path population count
+};
+
+}  // namespace phtm::core

@@ -1,0 +1,106 @@
+// Value-based undo log of the partitioned path (paper Sec. 4,
+// "a value-based undo-log is kept for handling the abort of a transaction
+// having sub-HTM transactions already committed").
+//
+// Entries written by the *current* sub-HTM attempt are staged separately:
+// real HTM rolls the log's memory back automatically on abort, and the
+// staging area emulates that (discarded on sub-abort, folded into the
+// durable log on sub-commit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace phtm::core {
+
+class UndoLog {
+ public:
+  struct Entry {
+    std::uint64_t* addr;
+    std::uint64_t old_val;
+  };
+
+  void clear() noexcept {
+    committed_.clear();
+    staged_.clear();
+    lock_set_.assign(lock_set_.size(), nullptr);
+    lock_count_ = 0;
+  }
+
+  void stage(std::uint64_t* addr, std::uint64_t old_val) {
+    staged_.push_back({addr, old_val});
+  }
+
+  void discard_staged() noexcept { staged_.clear(); }
+
+  /// Sub-HTM commit: staged entries become durable, and their addresses
+  /// enter the self-lock set (PART-HTM-O's `not_self_lock`, Fig. 2 lines
+  /// 18-21, implemented as a hash set instead of a linear walk).
+  void promote_staged() {
+    for (const auto& e : staged_) {
+      committed_.push_back(e);
+      lock_add(e.addr);
+    }
+    staged_.clear();
+  }
+
+  /// True iff `addr` was written (and hence locked) by a *committed*
+  /// sub-HTM transaction of this global transaction.
+  bool self_locked(const std::uint64_t* addr) const noexcept {
+    if (lock_count_ == 0) return false;
+    std::size_t i = phtm::hash_addr(addr) & (lock_set_.size() - 1);
+    for (;;) {
+      if (lock_set_[i] == nullptr) return false;
+      if (lock_set_[i] == addr) return true;
+      i = (i + 1) & (lock_set_.size() - 1);
+    }
+  }
+
+  /// True iff `addr` was locked by the *current* (uncommitted) sub-HTM
+  /// attempt. Staged sets are small, so a linear walk — the shape of the
+  /// paper's `not_self_lock` — is fine here.
+  bool staged_contains(const std::uint64_t* addr) const noexcept {
+    for (const auto& e : staged_)
+      if (e.addr == addr) return true;
+    return false;
+  }
+
+  /// Committed entries in append order; roll back by traversing in reverse
+  /// so the oldest value is restored last.
+  const std::vector<Entry>& committed() const noexcept { return committed_; }
+
+  bool empty() const noexcept { return committed_.empty() && staged_.empty(); }
+
+ private:
+  void lock_add(const std::uint64_t* addr) {
+    if (lock_set_.empty()) lock_set_.assign(64, nullptr);
+    if ((lock_count_ + 1) * 10 >= lock_set_.size() * 7) {
+      std::vector<const std::uint64_t*> old = std::move(lock_set_);
+      lock_set_.assign(old.size() * 2, nullptr);
+      for (const auto* p : old)
+        if (p) insert_nogrow(p);
+    }
+    if (insert_nogrow(addr)) ++lock_count_;
+  }
+
+  bool insert_nogrow(const std::uint64_t* addr) {
+    std::size_t i = phtm::hash_addr(addr) & (lock_set_.size() - 1);
+    for (;;) {
+      if (lock_set_[i] == nullptr) {
+        lock_set_[i] = addr;
+        return true;
+      }
+      if (lock_set_[i] == addr) return false;
+      i = (i + 1) & (lock_set_.size() - 1);
+    }
+  }
+
+  std::vector<Entry> committed_;
+  std::vector<Entry> staged_;
+  std::vector<const std::uint64_t*> lock_set_;
+  std::size_t lock_count_ = 0;
+};
+
+}  // namespace phtm::core

@@ -1,0 +1,132 @@
+// Cache-aligned Bloom-filter signatures (Sec. 5.1 of the paper).
+//
+// PART-HTM tracks read/write sets and the shared write-lock table as
+// fixed-size bit arrays with a single hash function: 2048 bits = 4 cache
+// lines by default. Signatures are deliberately *not* precise — false
+// conflicts from hash aliasing are part of the protocol the paper evaluates,
+// and the signature-size ablation bench sweeps `Bits`.
+//
+// Two access modes exist for the same storage:
+//   - plain methods (add/intersects/...) for thread-local signatures and
+//     for code already inside a hardware transaction that routes each word
+//     through the HTM simulator;
+//   - atomic_* methods for the *shared* write-locks-signature when it is
+//     manipulated from the software side of the protocol (Fig. 1 lines
+//     48-49 and 54-55).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "util/cacheline.hpp"
+#include "util/hash.hpp"
+
+namespace phtm {
+
+template <unsigned Bits>
+class alignas(kCacheLineBytes) BloomSig {
+  static_assert(Bits % 64 == 0 && Bits >= 64, "Bits must be a multiple of 64");
+
+ public:
+  static constexpr unsigned kBits = Bits;
+  static constexpr unsigned kWords = Bits / 64;
+
+  /// Single hash function mapping an address to a bit index.
+  /// Addresses are reduced to their cache-line id first: hardware detects
+  /// conflicts at line granularity anyway, so finer signature tracking
+  /// would only saturate the filter faster without adding precision.
+  static unsigned bit_of(const void* addr) noexcept {
+    return static_cast<unsigned>(
+        mix64(reinterpret_cast<std::uintptr_t>(addr) >> 6) % Bits);
+  }
+
+  void clear() noexcept { std::memset(words_, 0, sizeof(words_)); }
+
+  void add(const void* addr) noexcept {
+    const unsigned b = bit_of(addr);
+    words_[b / 64] |= (std::uint64_t{1} << (b % 64));
+  }
+
+  bool maybe_contains(const void* addr) const noexcept {
+    const unsigned b = bit_of(addr);
+    return (words_[b / 64] >> (b % 64)) & 1u;
+  }
+
+  bool empty() const noexcept {
+    for (const auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Bitwise intersection test (Fig. 1 lines 7, 27, 37).
+  bool intersects(const BloomSig& o) const noexcept {
+    for (unsigned i = 0; i < kWords; ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  /// this |= o (aggregate write-set accumulation, Fig. 1 line 32).
+  void union_with(const BloomSig& o) noexcept {
+    for (unsigned i = 0; i < kWords; ++i) words_[i] |= o.words_[i];
+  }
+
+  /// this &= ~o. Used to mask a transaction's own locks out of the global
+  /// lock table before validation (Fig. 1 line 26, `write_locks - agg`).
+  void subtract(const BloomSig& o) noexcept {
+    for (unsigned i = 0; i < kWords; ++i) words_[i] &= ~o.words_[i];
+  }
+
+  bool operator==(const BloomSig& o) const noexcept {
+    return std::memcmp(words_, o.words_, sizeof(words_)) == 0;
+  }
+
+  unsigned popcount() const noexcept {
+    unsigned n = 0;
+    for (const auto w : words_) n += static_cast<unsigned>(__builtin_popcountll(w));
+    return n;
+  }
+
+  // --- software-side atomic operations on shared signatures ---
+
+  /// Atomically set every bit of `o` in this signature (lock acquisition on
+  /// the software side; the HTM side does the same through monitored writes).
+  void atomic_union_with(const BloomSig& o) noexcept {
+    for (unsigned i = 0; i < kWords; ++i)
+      if (o.words_[i])
+        __atomic_fetch_or(&words_[i], o.words_[i], __ATOMIC_ACQ_REL);
+  }
+
+  /// Atomically clear every bit of `o` (lock release, Fig. 1 line 49).
+  /// Like the paper's bitwise removal, aliased bits owned by another
+  /// in-flight transaction can be cleared too; the protocol tolerates the
+  /// resulting (rare) false unlock exactly as the original does.
+  void atomic_subtract(const BloomSig& o) noexcept {
+    for (unsigned i = 0; i < kWords; ++i)
+      if (o.words_[i])
+        __atomic_fetch_and(&words_[i], ~o.words_[i], __ATOMIC_ACQ_REL);
+  }
+
+  /// Snapshot this (shared) signature with word-atomic loads.
+  BloomSig atomic_snapshot() const noexcept {
+    BloomSig s;
+    for (unsigned i = 0; i < kWords; ++i)
+      s.words_[i] = __atomic_load_n(&words_[i], __ATOMIC_ACQUIRE);
+    return s;
+  }
+
+  /// Raw word storage, exposed so transactional code can route word
+  /// accesses through the HTM simulator (keeping them "monitored").
+  std::uint64_t* words() noexcept { return words_; }
+  const std::uint64_t* words() const noexcept { return words_; }
+
+ private:
+  std::uint64_t words_[kWords]{};
+};
+
+/// Default protocol signature: 2048 bits, 4 cache lines (paper Sec. 5.1).
+using Signature = BloomSig<2048>;
+
+static_assert(sizeof(Signature) == 4 * kCacheLineBytes);
+
+}  // namespace phtm

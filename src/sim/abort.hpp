@@ -1,0 +1,63 @@
+// Abort taxonomy of the simulated best-effort HTM.
+//
+// Mirrors Intel RTM status semantics: a transaction fails with a cause
+// (conflict / capacity / explicit / other) and, for explicit aborts, a user
+// code. The simulator additionally reports the conflicting cache line when
+// it is known, which PART-HTM-O uses to distinguish timestamp-subscription
+// aborts from data conflicts (Fig. 2 lines 23-24, 36-39).
+#pragma once
+
+#include <cstdint>
+
+namespace phtm::sim {
+
+enum class AbortCode : std::uint8_t {
+  kNone = 0,
+  kConflict,   ///< another transaction or non-transactional access collided
+  kCapacity,   ///< cache model overflow (write L1 / associativity / read L2)
+  kExplicit,   ///< xabort() with a user code
+  kOther,      ///< timer-quantum expiry or asynchronous interrupt
+};
+
+inline const char* to_string(AbortCode c) {
+  switch (c) {
+    case AbortCode::kNone: return "none";
+    case AbortCode::kConflict: return "conflict";
+    case AbortCode::kCapacity: return "capacity";
+    case AbortCode::kExplicit: return "explicit";
+    case AbortCode::kOther: return "other";
+  }
+  return "?";
+}
+
+struct AbortStatus {
+  AbortCode code = AbortCode::kNone;
+  std::uint32_t xabort_code = 0;    ///< user payload for kExplicit
+  std::uint64_t conflict_line = 0;  ///< cache-line id for kConflict, else 0
+
+  bool is(AbortCode c) const noexcept { return code == c; }
+};
+
+/// Thrown inside a hardware attempt to unwind to the begin point; callers
+/// never see it — HtmRuntime::attempt catches it and returns AbortStatus.
+struct TxAbort {
+  AbortStatus status;
+};
+
+/// Packing of doom words: [code:8 | line:56]. Zero means "not doomed";
+/// kCommitSentinel means "commit has latched, dooming is no longer possible".
+inline constexpr std::uint64_t kCommitSentinel = ~std::uint64_t{0};
+
+inline std::uint64_t pack_doom(AbortCode c, std::uint64_t line) noexcept {
+  return (static_cast<std::uint64_t>(c) << 56) | (line & ((std::uint64_t{1} << 56) - 1));
+}
+
+inline AbortCode doom_code(std::uint64_t packed) noexcept {
+  return static_cast<AbortCode>(packed >> 56);
+}
+
+inline std::uint64_t doom_line(std::uint64_t packed) noexcept {
+  return packed & ((std::uint64_t{1} << 56) - 1);
+}
+
+}  // namespace phtm::sim

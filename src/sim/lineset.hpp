@@ -1,0 +1,149 @@
+// Per-transaction cache-line set with read/write flags and an L1
+// set-associativity occupancy model.
+//
+// Open-addressing table keyed by line id; each transactional access first
+// consults this set so the (locked) global monitor table is touched only on
+// the *first* access to each line — matching hardware, where a line already
+// in the transactional cache needs no new coherence traffic.
+//
+// clear() is O(1): slots carry an epoch stamp and stale slots count as
+// empty, so per-attempt setup costs nothing even for large tables (a
+// hardware transaction's begin is nearly free; the simulator's must be too).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace phtm::sim {
+
+class LineSet {
+ public:
+  enum : std::uint8_t { kRead = 1, kWrite = 2 };
+
+  explicit LineSet(std::size_t initial_capacity = 4096) { reset(initial_capacity); }
+
+  void clear() noexcept {
+    if (++epoch_ == 0) {  // epoch wrap: genuinely reset stamps
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+    count_ = 0;
+    n_read_ = n_write_ = 0;
+    order_.clear();
+  }
+
+  /// Returns previous flags for `line` (0 if absent) and sets `flag`.
+  std::uint8_t add(std::uint64_t line, std::uint8_t flag) {
+    if ((count_ + 1) * 10 >= lines_.size() * 7) grow();
+    std::size_t i = phtm::hash_line(line) & mask_;
+    for (;;) {
+      if (epochs_[i] != epoch_) {
+        lines_[i] = line;
+        flags_[i] = flag;
+        epochs_[i] = epoch_;
+        ++count_;
+        order_.push_back(line);
+        if (flag & kRead) ++n_read_;
+        if (flag & kWrite) ++n_write_;
+        return 0;
+      }
+      if (lines_[i] == line) {
+        const std::uint8_t prev = flags_[i];
+        if ((flag & kRead) && !(prev & kRead)) ++n_read_;
+        if ((flag & kWrite) && !(prev & kWrite)) ++n_write_;
+        flags_[i] = prev | flag;
+        return prev;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::uint8_t flags_of(std::uint64_t line) const noexcept {
+    std::size_t i = phtm::hash_line(line) & mask_;
+    for (;;) {
+      if (epochs_[i] != epoch_) return 0;
+      if (lines_[i] == line) return flags_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Distinct lines touched, in first-touch order (used to unregister from
+  /// the monitor table on commit/abort).
+  const std::vector<std::uint64_t>& touched() const noexcept { return order_; }
+
+  std::size_t distinct_lines() const noexcept { return count_; }
+  std::size_t read_lines() const noexcept { return n_read_; }
+  std::size_t write_lines() const noexcept { return n_write_; }
+
+ private:
+  void reset(std::size_t cap) {
+    std::size_t n = 16;
+    while (n < cap) n <<= 1;
+    lines_.assign(n, 0);
+    flags_.assign(n, 0);
+    epochs_.assign(n, 0);
+    mask_ = n - 1;
+    epoch_ = 1;
+    count_ = 0;
+    n_read_ = n_write_ = 0;
+    order_.clear();
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_lines = std::move(lines_);
+    std::vector<std::uint8_t> old_flags = std::move(flags_);
+    std::vector<std::uint32_t> old_epochs = std::move(epochs_);
+    const std::size_t n = old_lines.size() * 2;
+    lines_.assign(n, 0);
+    flags_.assign(n, 0);
+    epochs_.assign(n, 0);
+    mask_ = n - 1;
+    for (std::size_t j = 0; j < old_lines.size(); ++j) {
+      if (old_epochs[j] != epoch_) continue;
+      std::size_t i = phtm::hash_line(old_lines[j]) & mask_;
+      while (epochs_[i] == epoch_) i = (i + 1) & mask_;
+      lines_[i] = old_lines[j];
+      flags_[i] = old_flags[j];
+      epochs_[i] = epoch_;
+    }
+  }
+
+  std::vector<std::uint64_t> lines_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint32_t> epochs_;
+  std::vector<std::uint64_t> order_;
+  std::size_t mask_ = 0;
+  std::uint32_t epoch_ = 1;
+  std::size_t count_ = 0;
+  std::size_t n_read_ = 0;
+  std::size_t n_write_ = 0;
+};
+
+/// Occupancy counters for the L1 associativity model: a write to a set that
+/// already holds `ways` written lines models the eviction of a dirty
+/// transactional line, which aborts the transaction (Sec. 2).
+class AssocModel {
+ public:
+  void configure(unsigned sets, unsigned ways) {
+    occupancy_.assign(sets, 0);
+    ways_ = ways;
+  }
+
+  void clear() noexcept { std::fill(occupancy_.begin(), occupancy_.end(), 0); }
+
+  /// Account a newly *written* line; returns false on modelled eviction.
+  bool add_written_line(std::uint64_t line) noexcept {
+    auto& occ = occupancy_[line % occupancy_.size()];
+    if (occ >= ways_) return false;
+    ++occ;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint16_t> occupancy_;
+  unsigned ways_ = 8;
+};
+
+}  // namespace phtm::sim

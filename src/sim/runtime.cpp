@@ -1,0 +1,429 @@
+#include "sim/runtime.hpp"
+
+#include <bit>
+
+namespace phtm::sim {
+
+namespace {
+constexpr std::uint64_t bit_of_slot(unsigned slot) {
+  return std::uint64_t{1} << slot;
+}
+}  // namespace
+
+HtmRuntime::HtmRuntime(HtmConfig cfg)
+    : cfg_(cfg),
+      slots_(std::make_unique<Slot[]>(kMaxSlots)),
+      buckets_(std::make_unique<Bucket[]>(kBucketCount)) {
+  for (unsigned s = 0; s < kMaxSlots; ++s) {
+    slots_[s].assoc.configure(cfg_.assoc_sets, cfg_.assoc_ways);
+    slots_[s].rng.reseed(cfg_.seed * 0x9e3779b97f4a7c15ull + s + 1);
+  }
+}
+
+HtmRuntime::~HtmRuntime() = default;
+
+unsigned HtmRuntime::acquire_slot() {
+  LockGuard<Spinlock> g(slot_alloc_lock_);
+  for (unsigned s = 0; s < kMaxSlots; ++s) {
+    if (!(slot_used_ & bit_of_slot(s))) {
+      slot_used_ |= bit_of_slot(s);
+      return s;
+    }
+  }
+  assert(false && "more than 64 concurrent HTM threads");
+  return 0;
+}
+
+void HtmRuntime::release_slot(unsigned slot) {
+  LockGuard<Spinlock> g(slot_alloc_lock_);
+  slot_used_ &= ~bit_of_slot(slot);
+}
+
+HtmRuntime::Bucket& HtmRuntime::bucket_of(std::uint64_t line) noexcept {
+  return buckets_[hash_line(line) & (kBucketCount - 1)];
+}
+
+bool HtmRuntime::try_doom(unsigned victim, AbortCode code, std::uint64_t line) {
+  std::uint64_t expect = 0;
+  if (slots_[victim].doom.compare_exchange_strong(expect, pack_doom(code, line),
+                                                  std::memory_order_acq_rel)) {
+    return true;
+  }
+  // Already doomed by someone else: as good as doomed by us. Only a latched
+  // commit (sentinel) resists.
+  return expect != kCommitSentinel;
+}
+
+void HtmRuntime::check_doomed(unsigned slot) {
+  const std::uint64_t d = slots_[slot].doom.load(std::memory_order_acquire);
+  if (d != 0) {
+    assert(d != kCommitSentinel && "doom word latched while still running");
+    throw TxAbort{AbortStatus{doom_code(d), 0, doom_line(d)}};
+  }
+}
+
+void HtmRuntime::tick(unsigned slot, std::uint64_t n) {
+  Slot& s = slots_[slot];
+  s.ticks += n;
+  if (s.ticks > cfg_.tick_budget) {
+    // Timer interrupt: the OS scheduler preempts the core; any in-flight
+    // hardware transaction is aborted (Sec. 2 "resource limitation").
+    throw TxAbort{AbortStatus{AbortCode::kOther, 0, 0}};
+  }
+  if (cfg_.random_other_per_access > 0.0 &&
+      s.rng.uniform() < cfg_.random_other_per_access * static_cast<double>(n)) {
+    throw TxAbort{AbortStatus{AbortCode::kOther, 0, 0}};
+  }
+}
+
+unsigned HtmRuntime::effective_write_cap(unsigned slot) const {
+  unsigned cap = cfg_.write_lines_cap;
+  if (cfg_.hyperthread_pairs) {
+    const unsigned sibling = slot ^ cfg_.ht_sibling_stride;
+    if (sibling < kMaxSlots && slots_[sibling].in_txn.load(std::memory_order_relaxed))
+      cap /= 2;  // HT sibling shares the L1
+  }
+  return cap;
+}
+
+unsigned HtmRuntime::effective_read_cap(unsigned slot) const {
+  std::uint64_t cap = cfg_.read_lines_cap;
+  if (cfg_.scale_read_cap_with_conc) {
+    const unsigned c = active_.load(std::memory_order_relaxed);
+    cap /= (c == 0 ? 1 : c);
+  }
+  if (cfg_.hyperthread_pairs) {
+    const unsigned sibling = slot ^ cfg_.ht_sibling_stride;
+    if (sibling < kMaxSlots && slots_[sibling].in_txn.load(std::memory_order_relaxed))
+      cap /= 2;
+  }
+  // Even under extreme sharing a transaction keeps some private lines.
+  return static_cast<unsigned>(cap < 64 ? 64 : cap);
+}
+
+void HtmRuntime::register_read_line(unsigned slot, std::uint64_t line) {
+  bool self_abort = false;
+  {
+    Bucket& b = bucket_of(line);
+    LockGuard<Spinlock> g(b.lock);
+    Entry* e = nullptr;
+    for (auto& it : b.entries) {
+      if (it.line == line) {
+        e = &it;
+        break;
+      }
+    }
+    if (e == nullptr) {
+      b.entries.push_back(Entry{line, 0, 0});
+      e = &b.entries.back();
+    }
+    if (e->writer != 0 && e->writer - 1 != slot) {
+      // Requester wins: doom the transaction holding the line in its write
+      // set, unless it has latched its commit (then we must back off — its
+      // publication of this very line may be in flight).
+      if (try_doom(e->writer - 1, AbortCode::kConflict, line)) {
+        e->writer = 0;
+      } else {
+        self_abort = true;
+      }
+    }
+    if (!self_abort) e->readers |= bit_of_slot(slot);
+  }
+  if (self_abort) throw TxAbort{AbortStatus{AbortCode::kConflict, 0, line}};
+}
+
+void HtmRuntime::register_write_line(unsigned slot, std::uint64_t line) {
+  bool self_abort = false;
+  {
+    Bucket& b = bucket_of(line);
+    LockGuard<Spinlock> g(b.lock);
+    Entry* e = nullptr;
+    for (auto& it : b.entries) {
+      if (it.line == line) {
+        e = &it;
+        break;
+      }
+    }
+    if (e == nullptr) {
+      b.entries.push_back(Entry{line, 0, 0});
+      e = &b.entries.back();
+    }
+    if (e->writer != 0 && e->writer - 1 != slot) {
+      if (try_doom(e->writer - 1, AbortCode::kConflict, line)) {
+        e->writer = 0;
+      } else {
+        self_abort = true;
+      }
+    }
+    if (!self_abort) {
+      std::uint64_t others = e->readers & ~bit_of_slot(slot);
+      while (others != 0) {
+        const unsigned r = static_cast<unsigned>(std::countr_zero(others));
+        others &= others - 1;
+        if (try_doom(r, AbortCode::kConflict, line)) {
+          e->readers &= ~bit_of_slot(r);
+        }
+        // A reader whose commit has latched is serialized before this
+        // write; it publishes nothing for this line, so we may proceed.
+      }
+      e->writer = slot + 1;
+    }
+  }
+  if (self_abort) throw TxAbort{AbortStatus{AbortCode::kConflict, 0, line}};
+}
+
+void HtmRuntime::unregister_lines(unsigned slot) {
+  Slot& s = slots_[slot];
+  for (const std::uint64_t line : s.lines.touched()) {
+    Bucket& b = bucket_of(line);
+    LockGuard<Spinlock> g(b.lock);
+    for (std::size_t i = 0; i < b.entries.size(); ++i) {
+      Entry& e = b.entries[i];
+      if (e.line != line) continue;
+      if (e.writer == slot + 1) e.writer = 0;
+      e.readers &= ~bit_of_slot(slot);
+      // Leave empty entries cached: hot lines (shared metadata, reused
+      // data) then re-register without vector churn — mirroring hardware,
+      // where touching a cache-resident line is nearly free. Oversized
+      // buckets are compacted to bound scan lengths.
+      break;
+    }
+    if (b.entries.size() > kBucketCompactLimit) {
+      std::size_t i = 0;
+      while (i < b.entries.size()) {
+        if (b.entries[i].writer == 0 && b.entries[i].readers == 0) {
+          b.entries[i] = b.entries.back();
+          b.entries.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+}
+
+void HtmRuntime::begin(unsigned slot) {
+  Slot& s = slots_[slot];
+  assert(!s.active && "nested hardware transactions are not supported");
+  s.active = true;
+  s.wbuf.clear();
+  s.lines.clear();
+  s.assoc.clear();
+  s.ticks = 0;
+  active_.fetch_add(1, std::memory_order_relaxed);
+  s.in_txn.store(true, std::memory_order_relaxed);
+  begins_.fetch_add(1, std::memory_order_relaxed);
+  // Opening the doom word is the linearization point at which others may
+  // start aborting us; registrations only appear after this.
+  s.doom.store(0, std::memory_order_release);
+}
+
+void HtmRuntime::commit(unsigned slot) {
+  Slot& s = slots_[slot];
+  std::uint64_t expect = 0;
+  if (!s.doom.compare_exchange_strong(expect, kCommitSentinel,
+                                      std::memory_order_acq_rel)) {
+    // Doomed before the commit could latch.
+    throw TxAbort{AbortStatus{doom_code(expect), 0, doom_line(expect)}};
+  }
+  // From here on nobody can doom us; transactional accessors that meet our
+  // registrations self-abort, and software accessors proceed knowing the
+  // publication below is word-atomic.
+  s.wbuf.publish();
+  unregister_lines(slot);
+  s.in_txn.store(false, std::memory_order_relaxed);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  s.active = false;
+}
+
+void HtmRuntime::cleanup_aborted(unsigned slot) {
+  Slot& s = slots_[slot];
+  // Unregister while the doom word still carries a non-sentinel value:
+  // doomers that race with this cleanup must see "already doomed" (and
+  // proceed), not "committing" (which would make them self-abort). For
+  // self-aborts the word may still be 0 — a late doom CAS then succeeds,
+  // which is equally fine since we are aborting anyway.
+  unregister_lines(slot);
+  // Only after no monitor entry can lead to us, park the word.
+  s.doom.store(kCommitSentinel, std::memory_order_release);
+  s.wbuf.clear();
+  s.in_txn.store(false, std::memory_order_relaxed);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  s.active = false;
+}
+
+HtmResult HtmRuntime::attempt_impl(unsigned slot, BodyFn fn, void* ctx) {
+  begin(slot);
+  HtmOps ops(*this, slot);
+  try {
+    fn(ctx, ops);
+    commit(slot);
+    return HtmResult{true, {}};
+  } catch (const TxAbort& a) {
+    cleanup_aborted(slot);
+    return HtmResult{false, a.status};
+  }
+}
+
+// --- strong-atomicity software accessors ---
+
+void HtmRuntime::invalidate_line(std::uint64_t line, bool is_write) {
+  for (;;) {
+    bool writer_committing = false;
+    {
+      Bucket& b = bucket_of(line);
+      LockGuard<Spinlock> g(b.lock);
+      Entry* found = nullptr;
+      for (auto& e : b.entries) {
+        if (e.line == line) {
+          found = &e;
+          break;
+        }
+      }
+      if (found == nullptr) return;
+      Entry& e = *found;
+      if (e.writer != 0) {
+        // Non-transactional access to a line in a transaction's write set
+        // aborts the transaction (TSX strong atomicity).
+        if (try_doom(e.writer - 1, AbortCode::kConflict, line)) {
+          e.writer = 0;
+        } else {
+          // The writer has latched its commit: its publication of this line
+          // is in flight. Hardware commits are atomic, so *any* software
+          // access must serialize after the publication completes — a read
+          // could otherwise observe the pre-commit value of a line whose
+          // transaction is already (indivisibly) committed, and a write
+          // could be overwritten by the in-flight buffered value.
+          writer_committing = true;
+        }
+      }
+      if (!writer_committing && is_write) {
+        std::uint64_t readers = e.readers;
+        while (readers != 0) {
+          const unsigned r = static_cast<unsigned>(std::countr_zero(readers));
+          readers &= readers - 1;
+          if (try_doom(r, AbortCode::kConflict, line)) e.readers &= ~bit_of_slot(r);
+        }
+      }
+    }
+    if (!writer_committing) return;
+    cpu_relax();  // wait for the committer to publish and unregister
+  }
+}
+
+std::uint64_t HtmRuntime::nontx_load(const std::uint64_t* addr) {
+  if (active_.load(std::memory_order_relaxed) != 0)
+    invalidate_line(line_of(addr), /*is_write=*/false);
+  return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+}
+
+void HtmRuntime::nontx_store(std::uint64_t* addr, std::uint64_t val) {
+  if (active_.load(std::memory_order_relaxed) != 0)
+    invalidate_line(line_of(addr), /*is_write=*/true);
+  __atomic_store_n(addr, val, __ATOMIC_RELEASE);
+}
+
+bool HtmRuntime::nontx_cas(std::uint64_t* addr, std::uint64_t expect,
+                           std::uint64_t desired) {
+  if (active_.load(std::memory_order_relaxed) != 0)
+    invalidate_line(line_of(addr), /*is_write=*/true);
+  return __atomic_compare_exchange_n(addr, &expect, desired, false,
+                                     __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE);
+}
+
+std::uint64_t HtmRuntime::nontx_fetch_add(std::uint64_t* addr, std::uint64_t delta) {
+  if (active_.load(std::memory_order_relaxed) != 0)
+    invalidate_line(line_of(addr), /*is_write=*/true);
+  return __atomic_fetch_add(addr, delta, __ATOMIC_ACQ_REL);
+}
+
+std::uint64_t HtmRuntime::nontx_fetch_or(std::uint64_t* addr, std::uint64_t bits) {
+  if (active_.load(std::memory_order_relaxed) != 0)
+    invalidate_line(line_of(addr), /*is_write=*/true);
+  return __atomic_fetch_or(addr, bits, __ATOMIC_ACQ_REL);
+}
+
+std::uint64_t HtmRuntime::nontx_fetch_and(std::uint64_t* addr, std::uint64_t bits) {
+  if (active_.load(std::memory_order_relaxed) != 0)
+    invalidate_line(line_of(addr), /*is_write=*/true);
+  return __atomic_fetch_and(addr, bits, __ATOMIC_ACQ_REL);
+}
+
+// --- HtmOps ---
+
+std::uint64_t HtmOps::read(const std::uint64_t* addr) {
+  rt_.check_doomed(slot_);
+  Slot& s = rt_.slots_[slot_];
+  std::uint64_t v;
+  if (s.wbuf.get(addr, v)) {
+    // Own speculative write: served from L1, no new coherence traffic.
+    rt_.tick(slot_, 1);
+    return v;
+  }
+  const std::uint64_t line = line_of(addr);
+  const std::uint8_t prev = s.lines.add(line, LineSet::kRead);
+  if (prev == 0) {
+    // First touch of this line: model read-capacity before claiming it.
+    if (s.lines.read_lines() > rt_.effective_read_cap(slot_))
+      throw TxAbort{AbortStatus{AbortCode::kCapacity, 0, line}};
+    rt_.register_read_line(slot_, line);
+  }
+  // If the line was already in our write set we own it as writer; no
+  // monitor update is needed for reading another word of it.
+  v = __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+  rt_.tick(slot_, 1);
+  return v;
+}
+
+void HtmOps::subscribe(const std::uint64_t* addr) {
+  rt_.check_doomed(slot_);
+  Slot& s = rt_.slots_[slot_];
+  const std::uint64_t line = line_of(addr);
+  const std::uint8_t prev = s.lines.add(line, LineSet::kRead);
+  if (prev == 0) {
+    if (s.lines.read_lines() > rt_.effective_read_cap(slot_))
+      throw TxAbort{AbortStatus{AbortCode::kCapacity, 0, line}};
+    rt_.register_read_line(slot_, line);
+  }
+  rt_.tick(slot_, 1);
+}
+
+void HtmOps::write(std::uint64_t* addr, std::uint64_t val) {
+  rt_.check_doomed(slot_);
+  Slot& s = rt_.slots_[slot_];
+  const std::uint64_t line = line_of(addr);
+  const std::uint8_t prev = s.lines.add(line, LineSet::kWrite);
+  if (!(prev & LineSet::kWrite)) {
+    // First write to this line: it must fit the L1 model as a dirty line.
+    if (!s.assoc.add_written_line(line) ||
+        s.lines.write_lines() > rt_.effective_write_cap(slot_))
+      throw TxAbort{AbortStatus{AbortCode::kCapacity, 0, line}};
+    rt_.register_write_line(slot_, line);
+  }
+  s.wbuf.put(addr, val);
+  rt_.tick(slot_, 1);
+}
+
+void HtmOps::work(std::uint64_t n) {
+  rt_.check_doomed(slot_);
+  rt_.tick(slot_, n);
+  burn_work(n);
+}
+
+void HtmOps::xabort(std::uint32_t code) {
+  throw TxAbort{AbortStatus{AbortCode::kExplicit, code, 0}};
+}
+
+void burn_work(std::uint64_t n) {
+  // Register-only dependent chain: ~1ns per unit, linear in n. The single
+  // volatile store keeps the optimizer honest without putting memory
+  // traffic inside the loop (which would make the per-unit cost depend on
+  // store-forwarding behavior and break calibration).
+  std::uint64_t x = n + 1;
+  for (std::uint64_t i = 0; i < n; ++i) x = (x ^ i) + (x >> 7);
+  volatile std::uint64_t sink = x;
+  (void)sink;
+}
+
+}  // namespace phtm::sim

@@ -1,0 +1,223 @@
+// Simulated best-effort hardware transactional memory.
+//
+// The runtime gives every algorithm in this repository the same RTM-shaped
+// contract real TSX gives PART-HTM:
+//
+//   - eager, cache-line-granular conflict detection ("requester wins": the
+//     transaction that receives the conflicting coherence request is the
+//     one that aborts, as on Intel TSX);
+//   - speculative writes are invisible until commit (private write buffer);
+//   - no commit guarantee: capacity, duration and asynchronous-event aborts
+//     per the HtmConfig resource model;
+//   - strong atomicity: *software* accesses that go through the nontx_*
+//     helpers abort conflicting hardware transactions, exactly as
+//     non-transactional coherence traffic does on real hardware. All
+//     software sides of the TM protocols in this repo use these helpers.
+//
+// Usage:
+//     HtmRuntime rt(HtmConfig::haswell4c8t());
+//     HtmRuntime::Thread th(rt);               // one per OS thread
+//     HtmResult r = rt.attempt(th, [&](HtmOps& ops) {
+//       auto v = ops.read(&x);
+//       ops.write(&y, v + 1);
+//     });
+//     if (!r.committed) { /* inspect r.abort */ }
+//
+// Aborts unwind via an internal exception; user code must be exception
+// neutral inside the body (RAII only, no catching of TxAbort).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/abort.hpp"
+#include "sim/config.hpp"
+#include "sim/lineset.hpp"
+#include "sim/writebuf.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+
+namespace phtm::sim {
+
+class HtmRuntime;
+class HtmOps;
+
+struct HtmResult {
+  bool committed = false;
+  AbortStatus abort{};
+};
+
+/// Per-transaction state of one hardware-thread slot. At most 64 slots per
+/// runtime (reader bitmaps are one word).
+struct alignas(kCacheLineBytes) Slot {
+  // 0 = doomable (running); packed code = doomed; kCommitSentinel = latched
+  // for commit or idle. Doomers CAS 0 -> packed; commit CASes 0 -> sentinel.
+  std::atomic<std::uint64_t> doom{kCommitSentinel};
+  std::atomic<bool> in_txn{false};
+
+  // Private (owner-thread-only) transaction state.
+  WriteBuf wbuf;
+  LineSet lines;
+  AssocModel assoc;
+  std::uint64_t ticks = 0;
+  Rng rng;
+  bool active = false;  // owner-local "inside attempt" flag (assertions)
+};
+
+/// Simulated best-effort HTM device; one per experiment.
+class HtmRuntime {
+ public:
+  explicit HtmRuntime(HtmConfig cfg = HtmConfig{});
+  ~HtmRuntime();
+
+  HtmRuntime(const HtmRuntime&) = delete;
+  HtmRuntime& operator=(const HtmRuntime&) = delete;
+
+  /// RAII registration of the calling OS thread; holds a slot id.
+  class Thread {
+   public:
+    explicit Thread(HtmRuntime& rt) : rt_(rt), slot_(rt.acquire_slot()) {}
+    ~Thread() { rt_.release_slot(slot_); }
+    Thread(const Thread&) = delete;
+    Thread& operator=(const Thread&) = delete;
+
+    unsigned slot() const noexcept { return slot_; }
+    HtmRuntime& runtime() const noexcept { return rt_; }
+
+   private:
+    HtmRuntime& rt_;
+    unsigned slot_;
+  };
+
+  /// Run `body` as one hardware attempt. Returns commit/abort status; never
+  /// throws TxAbort to the caller.
+  template <typename F>
+  HtmResult attempt(Thread& th, F&& body) {
+    using Fn = std::remove_reference_t<F>;
+    return attempt_impl(
+        th.slot(), [](void* f, HtmOps& ops) { (*static_cast<Fn*>(f))(ops); },
+        const_cast<void*>(static_cast<const void*>(&body)));
+  }
+
+  // --- strong-atomicity software accessors (see header comment) ---
+  std::uint64_t nontx_load(const std::uint64_t* addr);
+  void nontx_store(std::uint64_t* addr, std::uint64_t val);
+  bool nontx_cas(std::uint64_t* addr, std::uint64_t expect, std::uint64_t desired);
+  std::uint64_t nontx_fetch_add(std::uint64_t* addr, std::uint64_t delta);
+  std::uint64_t nontx_fetch_or(std::uint64_t* addr, std::uint64_t bits);
+  std::uint64_t nontx_fetch_and(std::uint64_t* addr, std::uint64_t bits);
+
+  const HtmConfig& config() const noexcept { return cfg_; }
+
+  /// Hardware transactions currently executing (drives the shared-cache
+  /// read-budget model).
+  unsigned active_txns() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  // Debug/test counters.
+  std::uint64_t total_begins() const noexcept { return begins_.load(std::memory_order_relaxed); }
+  std::uint64_t total_commits() const noexcept { return commits_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class HtmOps;
+
+  struct Entry {
+    std::uint64_t line;
+    std::uint32_t writer;   // slot + 1; 0 = none
+    std::uint64_t readers;  // bitmap over slots
+  };
+  struct alignas(kCacheLineBytes) Bucket {
+    Spinlock lock;
+    std::vector<Entry> entries;
+  };
+
+  static constexpr unsigned kMaxSlots = 64;
+  static constexpr unsigned kBucketCount = 4096;  // power of two
+  static constexpr std::size_t kBucketCompactLimit = 24;  // entries kept cached
+
+  using BodyFn = void (*)(void*, HtmOps&);
+  HtmResult attempt_impl(unsigned slot, BodyFn fn, void* ctx);
+
+  unsigned acquire_slot();
+  void release_slot(unsigned slot);
+
+  void begin(unsigned slot);
+  void commit(unsigned slot);           // throws TxAbort if doomed
+  void cleanup_aborted(unsigned slot);  // releases registrations after doom
+
+  // Monitor-table operations (called with no bucket lock held; they lock
+  // exactly one bucket internally). They throw TxAbort on self-abort.
+  void register_read_line(unsigned slot, std::uint64_t line);
+  void register_write_line(unsigned slot, std::uint64_t line);
+  void unregister_lines(unsigned slot);
+
+  /// Doom `victim` with cause `code` on `line`. Returns false iff the victim
+  /// has latched its commit and can no longer be doomed.
+  bool try_doom(unsigned victim, AbortCode code, std::uint64_t line);
+
+  void check_doomed(unsigned slot);
+  void tick(unsigned slot, std::uint64_t n);
+
+  unsigned effective_write_cap(unsigned slot) const;
+  unsigned effective_read_cap(unsigned slot) const;
+
+  Bucket& bucket_of(std::uint64_t line) noexcept;
+  /// Doom every conflicting transaction for a software access.
+  void invalidate_line(std::uint64_t line, bool is_write);
+
+  HtmConfig cfg_;
+  std::unique_ptr<Slot[]> slots_;
+  std::unique_ptr<Bucket[]> buckets_;
+
+  Spinlock slot_alloc_lock_;
+  std::uint64_t slot_used_ = 0;  // bitmap
+
+  std::atomic<unsigned> active_{0};
+  std::atomic<std::uint64_t> begins_{0};
+  std::atomic<std::uint64_t> commits_{0};
+};
+
+/// Per-access operations available inside a hardware attempt.
+class HtmOps {
+ public:
+  HtmOps(HtmRuntime& rt, unsigned slot) : rt_(rt), slot_(slot) {}
+
+  /// Transactional word read (monitored).
+  std::uint64_t read(const std::uint64_t* addr);
+
+  /// Add `addr`'s cache line to the read set without returning a value
+  /// ("subscribe"). After subscribing, the caller may read any word of the
+  /// line with plain atomic loads: conflict semantics are identical to
+  /// read() — a latched committer blocks registration until its publication
+  /// completes, and later writers doom this transaction — but the simulator
+  /// charges the line once instead of per word, matching hardware (where
+  /// monitoring a resident line is free).
+  void subscribe(const std::uint64_t* addr);
+
+  /// Transactional word write (buffered until commit, monitored).
+  void write(std::uint64_t* addr, std::uint64_t val);
+
+  /// In-transaction computation: costs `n` ticks against the duration
+  /// budget and burns a proportional number of host cycles.
+  void work(std::uint64_t n);
+
+  /// Explicit abort with a user code (maps to _xabort(imm8)).
+  [[noreturn]] void xabort(std::uint32_t code);
+
+  unsigned slot() const noexcept { return slot_; }
+
+ private:
+  HtmRuntime& rt_;
+  unsigned slot_;
+};
+
+/// Burn roughly `n` units of CPU work outside any transaction (used by the
+/// software framework to run de-transactionalized computation).
+void burn_work(std::uint64_t n);
+
+}  // namespace phtm::sim

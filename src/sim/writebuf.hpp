@@ -1,0 +1,108 @@
+// Private write buffer of a simulated hardware transaction.
+//
+// Real HTM isolates speculative stores in L1 until commit; the simulator
+// buffers word writes here and publishes them (in program order) only at
+// commit, so concurrent software never observes a live transaction's
+// writes — the property PART-HTM's software framework relies on.
+//
+// clear() is O(1) via epoch-stamped slots (see lineset.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace phtm::sim {
+
+class WriteBuf {
+ public:
+  explicit WriteBuf(std::size_t initial_capacity = 1024) { reset(initial_capacity); }
+
+  void clear() noexcept {
+    if (++epoch_ == 0) {
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+    cells_.clear();
+  }
+
+  /// Buffer `val` for `addr` (8-byte-aligned word). Last write wins.
+  void put(std::uint64_t* addr, std::uint64_t val) {
+    if ((cells_.size() + 1) * 10 >= slots_.size() * 7) grow();
+    std::size_t i = phtm::hash_addr(addr) & mask_;
+    for (;;) {
+      if (epochs_[i] != epoch_) {
+        slots_[i] = static_cast<std::uint32_t>(cells_.size());
+        epochs_[i] = epoch_;
+        cells_.push_back({addr, val});
+        return;
+      }
+      if (cells_[slots_[i]].addr == addr) {
+        cells_[slots_[i]].val = val;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Look up a buffered value; true if found.
+  bool get(const std::uint64_t* addr, std::uint64_t& out) const noexcept {
+    std::size_t i = phtm::hash_addr(addr) & mask_;
+    for (;;) {
+      if (epochs_[i] != epoch_) return false;
+      if (cells_[slots_[i]].addr == addr) {
+        out = cells_[slots_[i]].val;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Publish all buffered writes to memory in first-write order with
+  /// release semantics.
+  void publish() const noexcept {
+    for (const auto& c : cells_) __atomic_store_n(c.addr, c.val, __ATOMIC_RELEASE);
+  }
+
+  std::size_t size() const noexcept { return cells_.size(); }
+  bool empty() const noexcept { return cells_.empty(); }
+
+  struct Cell {
+    std::uint64_t* addr;
+    std::uint64_t val;
+  };
+  const std::vector<Cell>& cells() const noexcept { return cells_; }
+
+ private:
+  void reset(std::size_t cap) {
+    std::size_t n = 16;
+    while (n < cap) n <<= 1;
+    slots_.assign(n, 0);
+    epochs_.assign(n, 0);
+    mask_ = n - 1;
+    epoch_ = 1;
+    cells_.clear();
+  }
+
+  void grow() {
+    const std::size_t n = slots_.size() * 2;
+    slots_.assign(n, 0);
+    epochs_.assign(n, 0);
+    mask_ = n - 1;
+    for (std::uint32_t idx = 0; idx < cells_.size(); ++idx) {
+      std::size_t i = phtm::hash_addr(cells_[idx].addr) & mask_;
+      while (epochs_[i] == epoch_) i = (i + 1) & mask_;
+      slots_[i] = idx;
+      epochs_[i] = epoch_;
+    }
+  }
+
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint32_t> epochs_;
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace phtm::sim

@@ -1,0 +1,71 @@
+// Shared pieces of the software TM baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/runtime.hpp"
+#include "tm/api.hpp"
+#include "util/stats.hpp"
+
+namespace phtm::stm {
+
+/// Software-side abort: unwinds the transaction body to the backend's retry
+/// loop. Distinct from sim::TxAbort (which never escapes the simulator).
+struct StmAbort {
+  AbortCause cause = AbortCause::kConflict;
+};
+
+/// Value-based read log (NOrec-style validation).
+class ReadLog {
+ public:
+  struct Entry {
+    const std::uint64_t* addr;
+    std::uint64_t val;
+  };
+
+  void clear() noexcept { entries_.clear(); }
+  void push(const std::uint64_t* addr, std::uint64_t val) {
+    entries_.push_back({addr, val});
+  }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Map a simulator abort cause onto the stats taxonomy.
+inline AbortCause to_cause(const sim::AbortStatus& s) {
+  switch (s.code) {
+    case sim::AbortCode::kConflict: return AbortCause::kConflict;
+    case sim::AbortCode::kCapacity: return AbortCause::kCapacity;
+    case sim::AbortCode::kExplicit: return AbortCause::kExplicit;
+    default: return AbortCause::kOther;
+  }
+}
+
+/// Ctx adapter running every access through a live hardware transaction.
+class HtmCtx final : public tm::Ctx {
+ public:
+  explicit HtmCtx(sim::HtmOps& ops) : ops_(ops) {}
+
+  std::uint64_t read(const std::uint64_t* addr) override { return ops_.read(addr); }
+  void write(std::uint64_t* addr, std::uint64_t val) override {
+    ops_.write(addr, val);
+  }
+  void work(std::uint64_t n) override { ops_.work(n); }
+
+ private:
+  sim::HtmOps& ops_;
+};
+
+/// Explicit-abort codes used by the hybrid schemes in this repo.
+enum XAbortCode : std::uint32_t {
+  kXGlockHeld = 1,   ///< global-lock subscription fired
+  kXSeqlockHeld,     ///< NOrec clock held by a software committer
+  kXLocked,          ///< PART-HTM pre-commit validation found a lock
+  kXLockedByOther,   ///< PART-HTM-O encounter-time lock hit
+};
+
+}  // namespace phtm::stm

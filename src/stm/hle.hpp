@@ -1,0 +1,86 @@
+// Hardware Lock Elision on the simulated best-effort HTM (paper Sec. 2).
+//
+// HLE wraps an existing lock-based critical section: the section first runs
+// as a hardware transaction that merely *subscribes* the lock word (readers
+// of the elided lock see it free), and only if the speculative trial fails
+// is the lock actually acquired. Unlike RTM, HLE retries exactly once —
+// the ISA falls back to the real lock on the first abort.
+//
+// PartHleMutex implements the extension the paper points out is simple:
+// when HLE's single speculative trial fails *for resource reasons*, run the
+// section through PART-HTM's partitioned machinery instead of taking the
+// lock (the section body must then be segment-aware, i.e. a tm::Txn).
+#pragma once
+
+#include "core/part_htm.hpp"
+#include "stm/common.hpp"
+#include "tm/direct.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace phtm::stm {
+
+/// Classic HLE: one speculative trial, then the real lock.
+class HleMutex {
+ public:
+  explicit HleMutex(sim::HtmRuntime& rt) : rt_(rt) {}
+
+  /// Run `body(tm::Ctx&)` as an elided critical section.
+  /// Returns true iff the execution was elided (committed in hardware).
+  template <typename F>
+  bool critical(sim::HtmRuntime::Thread& th, F&& body) {
+    // Lemming guard: never speculate while the lock is held.
+    while (rt_.nontx_load(&lock_.value) != 0) cpu_relax();
+    const sim::HtmResult r = rt_.attempt(th, [&](sim::HtmOps& ops) {
+      if (ops.read(&lock_.value) != 0) ops.xabort(kXGlockHeld);
+      HtmCtx ctx(ops);
+      body(static_cast<tm::Ctx&>(ctx));
+    });
+    if (r.committed) return true;
+    // Single trial failed: take the lock for real. Acquisition aborts every
+    // still-speculating subscriber (strong atomicity), as HLE requires.
+    while (!rt_.nontx_cas(&lock_.value, 0, 1)) cpu_relax();
+    tm::DirectCtx ctx;
+    body(static_cast<tm::Ctx&>(ctx));
+    rt_.nontx_store(&lock_.value, 0);
+    return false;
+  }
+
+  bool locked() const {
+    return __atomic_load_n(&lock_.value, __ATOMIC_ACQUIRE) != 0;
+  }
+
+ private:
+  sim::HtmRuntime& rt_;
+  mutable Padded<std::uint64_t> lock_{0};
+};
+
+/// PART-HTM applied to lock elision: speculative trial -> partitioned
+/// execution on resource failure -> real lock only as the last resort.
+/// Sections are expressed as tm::Txn so the partitioned path can split
+/// them; statistics land in the caller's Worker like any backend.
+class PartHleMutex {
+ public:
+  PartHleMutex(sim::HtmRuntime& rt, const tm::BackendConfig& cfg = {})
+      : backend_(rt, hle_config(cfg), core::PartHtmBackend::Mode::kSerializable,
+                 /*no_fast=*/false) {}
+
+  /// One elided critical section; commits exactly once via fast (elided) /
+  /// partitioned / lock path.
+  void critical(tm::Worker& w, const tm::Txn& section) {
+    backend_.execute(w, section);
+  }
+
+  std::unique_ptr<tm::Worker> make_worker(unsigned tid) {
+    return backend_.make_worker(tid);
+  }
+
+ private:
+  static tm::BackendConfig hle_config(tm::BackendConfig cfg) {
+    cfg.htm_retries = 1;  // HLE's single speculative trial
+    return cfg;
+  }
+  core::PartHtmBackend backend_;
+};
+
+}  // namespace phtm::stm

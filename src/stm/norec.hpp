@@ -1,0 +1,145 @@
+// NOrec [Dalessandro et al., PPoPP'10]: single global sequence lock,
+// value-based validation, lazy redo log, no ownership records.
+//
+// All memory traffic goes through the HTM runtime's strong-atomicity
+// helpers so the same implementation doubles as the software side of the
+// hybrid NOrecRH (where hardware transactions run concurrently). When no
+// hardware transaction is active the helpers degrade to plain atomics.
+#pragma once
+
+#include "sim/writebuf.hpp"
+#include "stm/common.hpp"
+#include "tm/costs.hpp"
+#include "tm/backend.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace phtm::stm {
+
+class NorecBackend : public tm::Backend {
+ public:
+  explicit NorecBackend(sim::HtmRuntime& rt) : rt_(rt) {}
+
+  const char* name() const override { return "NOrec"; }
+
+  std::unique_ptr<tm::Worker> make_worker(unsigned tid) override {
+    return std::make_unique<W>(tid);
+  }
+
+  void execute(tm::Worker& wb, const tm::Txn& txn) override {
+    W& w = static_cast<W&>(wb);
+    Backoff backoff;
+    for (;;) {
+      w.snap.save(txn);
+      if (try_once(w, txn)) {
+        w.stats().record_commit(CommitPath::kSoftware);
+        return;
+      }
+      w.snap.restore(txn);
+      backoff.pause();
+    }
+  }
+
+ protected:
+  struct W : tm::Worker {
+    explicit W(unsigned tid) : Worker(tid) {}
+    ReadLog rlog;
+    sim::WriteBuf redo;
+    tm::LocalsSnapshot snap;
+    std::uint64_t start = 0;
+  };
+
+  class SoftCtx final : public tm::Ctx {
+   public:
+    SoftCtx(NorecBackend& b, W& w) : b_(b), w_(w) {}
+    std::uint64_t read(const std::uint64_t* addr) override {
+      sim::burn_work(tm::kStmAccessCost);  // calibration, see tm/costs.hpp
+      return b_.tx_read(w_, addr);
+    }
+    void write(std::uint64_t* addr, std::uint64_t val) override {
+      sim::burn_work(tm::kStmAccessCost);
+      w_.redo.put(addr, val);
+    }
+    void work(std::uint64_t n) override { sim::burn_work(n); }
+    std::uint64_t raw_read(const std::uint64_t* addr) override {
+      sim::burn_work(tm::kRawAccessCost);
+      return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+    }
+    void raw_write(std::uint64_t* addr, std::uint64_t val) override {
+      sim::burn_work(tm::kRawAccessCost);
+      __atomic_store_n(addr, val, __ATOMIC_RELEASE);
+    }
+
+   private:
+    NorecBackend& b_;
+    W& w_;
+  };
+
+  /// One software attempt; false = aborted (stats recorded).
+  bool try_once(W& w, const tm::Txn& txn) {
+    w.rlog.clear();
+    w.redo.clear();
+    w.start = wait_even();
+    try {
+      SoftCtx ctx(*this, w);
+      tm::run_all_segments(ctx, txn);
+      software_commit(w);
+      return true;
+    } catch (const StmAbort& a) {
+      w.stats().record_abort(a.cause);
+      return false;
+    }
+  }
+
+  std::uint64_t wait_even() {
+    for (;;) {
+      const std::uint64_t s = rt_.nontx_load(&seq_.value);
+      if ((s & 1) == 0) return s;
+      cpu_relax();
+    }
+  }
+
+  /// Re-validate the read log against memory; returns the (even) clock the
+  /// validation is consistent with, or throws.
+  std::uint64_t validate(W& w) {
+    for (;;) {
+      const std::uint64_t s = wait_even();
+      bool ok = true;
+      for (const auto& e : w.rlog.entries()) {
+        if (rt_.nontx_load(e.addr) != e.val) {
+          ok = false;
+          break;
+        }
+      }
+      if (rt_.nontx_load(&seq_.value) != s) continue;  // raced a committer
+      if (!ok) throw StmAbort{AbortCause::kConflict};
+      return s;
+    }
+  }
+
+  std::uint64_t tx_read(W& w, const std::uint64_t* addr) {
+    std::uint64_t v;
+    if (w.redo.get(addr, v)) return v;
+    v = rt_.nontx_load(addr);
+    while (rt_.nontx_load(&seq_.value) != w.start) {
+      w.start = validate(w);
+      v = rt_.nontx_load(addr);
+    }
+    w.rlog.push(addr, v);
+    return v;
+  }
+
+  virtual void software_commit(W& w) {
+    if (w.redo.empty()) return;  // read-only commits are free
+    while (!rt_.nontx_cas(&seq_.value, w.start, w.start + 1))
+      w.start = validate(w);
+    // Clock held (odd): write back and release.
+    for (const auto& c : w.redo.cells()) rt_.nontx_store(c.addr, c.val);
+    rt_.nontx_store(&seq_.value, w.start + 2);
+  }
+
+  sim::HtmRuntime& rt_;
+  Padded<std::uint64_t> seq_{0};  ///< global sequence lock (even = free)
+};
+
+}  // namespace phtm::stm

@@ -1,0 +1,107 @@
+// NOrecRH — Reduced Hardware NOrec [Matveev & Shavit, TRANSACT'14].
+//
+// Hybrid TM: a transaction first runs entirely in hardware (subscribing
+// NOrec's sequence lock, bumping it at commit so concurrent software
+// readers revalidate), and after `htm_retries` failures it runs the NOrec
+// software path whose *commit write-back executes as a small hardware
+// transaction* — the "reduced hardware transaction" — publishing the write
+// set atomically. If even the write-back does not fit in hardware, it
+// degrades to a plain software write-back under the held clock, which is
+// still safe.
+#pragma once
+
+#include "stm/norec.hpp"
+
+namespace phtm::stm {
+
+class NorecRhBackend final : public NorecBackend {
+ public:
+  NorecRhBackend(sim::HtmRuntime& rt, const tm::BackendConfig& cfg)
+      : NorecBackend(rt), retries_(cfg.htm_retries) {}
+
+  const char* name() const override { return "NOrecRH"; }
+
+  std::unique_ptr<tm::Worker> make_worker(unsigned tid) override {
+    return std::make_unique<Wh>(tid, rt_);
+  }
+
+  void execute(tm::Worker& wb, const tm::Txn& txn) override {
+    Wh& w = static_cast<Wh&>(wb);
+    if (!txn.irrevocable) {
+      w.snap.save(txn);
+      Backoff backoff;
+      for (unsigned attempt = 0; attempt < retries_; ++attempt) {
+        while (rt_.nontx_load(&seq_.value) & 1) cpu_relax();  // lemming guard
+        const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
+          const std::uint64_t s = ops.read(&seq_.value);
+          if (s & 1) ops.xabort(kXSeqlockHeld);
+          CountingHtmCtx ctx(ops);
+          tm::run_all_segments(ctx, txn);
+          // Writers bump the clock so software readers revalidate against
+          // the values this commit publishes.
+          if (ctx.wrote) ops.write(&seq_.value, s + 2);
+        });
+        if (r.committed) {
+          w.stats().record_commit(CommitPath::kHtm);
+          return;
+        }
+        w.stats().record_abort(to_cause(r.abort));
+        w.snap.restore(txn);
+        backoff.pause();
+      }
+    }
+    // Software phase (NOrec semantics, reduced-hardware commit).
+    Backoff backoff;
+    for (;;) {
+      w.snap.save(txn);
+      if (try_once(w, txn)) {
+        w.stats().record_commit(CommitPath::kSoftware);
+        return;
+      }
+      w.snap.restore(txn);
+      backoff.pause();
+    }
+  }
+
+ private:
+  struct Wh final : W {
+    Wh(unsigned tid, sim::HtmRuntime& rt) : W(tid), th(rt) {}
+    sim::HtmRuntime::Thread th;
+  };
+
+  class CountingHtmCtx final : public tm::Ctx {
+   public:
+    explicit CountingHtmCtx(sim::HtmOps& ops) : ops_(ops) {}
+    std::uint64_t read(const std::uint64_t* addr) override { return ops_.read(addr); }
+    void write(std::uint64_t* addr, std::uint64_t val) override {
+      wrote = true;
+      ops_.write(addr, val);
+    }
+    void work(std::uint64_t n) override { ops_.work(n); }
+    bool wrote = false;
+
+   private:
+    sim::HtmOps& ops_;
+  };
+
+  void software_commit(W& wbase) override {
+    Wh& w = static_cast<Wh&>(wbase);
+    if (w.redo.empty()) return;
+    while (!rt_.nontx_cas(&seq_.value, w.start, w.start + 1))
+      w.start = validate(w);
+    // Clock held: publish the redo log as one small hardware transaction.
+    const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
+      for (const auto& c : w.redo.cells()) ops.write(c.addr, c.val);
+    });
+    if (!r.committed) {
+      // Fits-in-hardware is only an optimization; under the held clock a
+      // software write-back is equally correct.
+      for (const auto& c : w.redo.cells()) rt_.nontx_store(c.addr, c.val);
+    }
+    rt_.nontx_store(&seq_.value, w.start + 2);
+  }
+
+  unsigned retries_;
+};
+
+}  // namespace phtm::stm

@@ -1,0 +1,182 @@
+// RingSTM [Spear, Michael, von Praun — SPAA'08], single-writer variant.
+//
+// Commits serialize through a global timestamp; each writing commit
+// publishes its Bloom write signature into a circular ring, and readers
+// validate by intersecting their read signature with every ring entry that
+// appeared since their start time. The paper's PART-HTM borrows exactly
+// this ring (same size, same signatures), so this baseline shares the
+// Signature type with src/core.
+//
+// Implementation notes (standard RingSTM subtleties):
+//  - per-entry sequence numbers act as seqlocks: an entry is valid for
+//    timestamp i only while seq == i; a writer reusing the slot first sets
+//    seq = busy so validators detect rollover instead of reading torn
+//    signatures;
+//  - `last_complete` enforces in-order write-back completion so a
+//    transaction's start time never covers a commit whose write-back is
+//    still in flight (which could otherwise serve stale reads).
+#pragma once
+
+#include <vector>
+
+#include "sig/signature.hpp"
+#include "sim/writebuf.hpp"
+#include "stm/common.hpp"
+#include "tm/costs.hpp"
+#include "tm/backend.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace phtm::stm {
+
+class RingStmBackend final : public tm::Backend {
+ public:
+  RingStmBackend(sim::HtmRuntime& rt, const tm::BackendConfig& cfg)
+      : rt_(rt), ring_(cfg.ring_entries) {
+    // Genesis entry: timestamp 0, empty signature, complete.
+  }
+
+  const char* name() const override { return "RingSTM"; }
+
+  std::unique_ptr<tm::Worker> make_worker(unsigned tid) override {
+    return std::make_unique<W>(tid);
+  }
+
+  void execute(tm::Worker& wb, const tm::Txn& txn) override {
+    W& w = static_cast<W&>(wb);
+    Backoff backoff;
+    for (;;) {
+      w.snap.save(txn);
+      w.rsig.clear();
+      w.wsig.clear();
+      w.redo.clear();
+      w.start = last_complete_.value.load(std::memory_order_acquire);
+      try {
+        SoftCtx ctx(*this, w);
+        tm::run_all_segments(ctx, txn);
+        commit(w);
+        w.stats().record_commit(CommitPath::kSoftware);
+        return;
+      } catch (const StmAbort& a) {
+        w.stats().record_abort(a.cause);
+        if (a.cause == AbortCause::kOther) ++w.stats().ring_rollovers;
+        w.snap.restore(txn);
+        backoff.pause();
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kBusy = std::uint64_t{1} << 63;
+
+  struct alignas(kCacheLineBytes) RingEntry {
+    std::atomic<std::uint64_t> seq{0};
+    Signature sig;
+  };
+
+  struct W final : tm::Worker {
+    explicit W(unsigned tid) : Worker(tid) {}
+    Signature rsig, wsig;
+    sim::WriteBuf redo;
+    tm::LocalsSnapshot snap;
+    std::uint64_t start = 0;
+  };
+
+  class SoftCtx final : public tm::Ctx {
+   public:
+    SoftCtx(RingStmBackend& b, W& w) : b_(b), w_(w) {}
+    std::uint64_t read(const std::uint64_t* addr) override {
+      sim::burn_work(tm::kStmAccessCost);  // calibration, see tm/costs.hpp
+      return b_.tx_read(w_, addr);
+    }
+    void write(std::uint64_t* addr, std::uint64_t val) override {
+      sim::burn_work(tm::kStmAccessCost);
+      w_.wsig.add(addr);
+      w_.redo.put(addr, val);
+    }
+    void work(std::uint64_t n) override { sim::burn_work(n); }
+    std::uint64_t raw_read(const std::uint64_t* addr) override {
+      sim::burn_work(tm::kRawAccessCost);
+      return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+    }
+    void raw_write(std::uint64_t* addr, std::uint64_t val) override {
+      sim::burn_work(tm::kRawAccessCost);
+      __atomic_store_n(addr, val, __ATOMIC_RELEASE);
+    }
+
+   private:
+    RingStmBackend& b_;
+    W& w_;
+  };
+
+  RingEntry& entry_of(std::uint64_t ts) { return ring_[ts % ring_.size()]; }
+
+  /// Validate the read signature against every commit since w.start and
+  /// advance the start time. Throws on conflict or ring rollover.
+  void check(W& w) {
+    const std::uint64_t ts = timestamp_.value.load(std::memory_order_acquire);
+    if (ts == w.start) return;
+    if (ts - w.start >= ring_.size()) throw StmAbort{AbortCause::kOther};
+    for (std::uint64_t i = w.start + 1; i <= ts; ++i) {
+      RingEntry& e = entry_of(i);
+      for (;;) {
+        const std::uint64_t s = e.seq.load(std::memory_order_acquire);
+        if (s == i) break;
+        if ((s & ~kBusy) > i) throw StmAbort{AbortCause::kOther};  // reused
+        cpu_relax();  // publication in flight
+      }
+      const bool hit = e.sig.intersects(w.rsig);
+      if (e.seq.load(std::memory_order_acquire) != i)
+        throw StmAbort{AbortCause::kOther};  // torn: slot reused mid-check
+      if (hit) throw StmAbort{AbortCause::kConflict};
+    }
+    w.start = ts;
+  }
+
+  std::uint64_t tx_read(W& w, const std::uint64_t* addr) {
+    std::uint64_t v;
+    if (w.redo.get(addr, v)) return v;
+    v = rt_.nontx_load(addr);
+    w.rsig.add(addr);
+    // Poll-on-read: any commit that appeared since start must not overlap
+    // what we have read (including this address).
+    check(w);
+    return v;
+  }
+
+  void commit(W& w) {
+    if (w.redo.empty()) return;  // read-only
+    std::uint64_t ts;
+    for (;;) {
+      check(w);
+      ts = w.start;
+      std::uint64_t expect = ts;
+      if (timestamp_.value.compare_exchange_weak(expect, ts + 1,
+                                                 std::memory_order_acq_rel))
+        break;
+    }
+    const std::uint64_t mine = ts + 1;
+    RingEntry& e = entry_of(mine);
+    // Wait for the retired occupant's write-back before reusing the slot.
+    if (mine >= ring_.size()) {
+      const std::uint64_t retired = mine - ring_.size();
+      while (last_complete_.value.load(std::memory_order_acquire) < retired)
+        cpu_relax();
+    }
+    e.seq.store(mine | kBusy, std::memory_order_release);
+    e.sig = w.wsig;
+    e.seq.store(mine, std::memory_order_release);
+    for (const auto& c : w.redo.cells()) rt_.nontx_store(c.addr, c.val);
+    // In-order completion: start times only ever cover fully written-back
+    // commits.
+    while (last_complete_.value.load(std::memory_order_acquire) != ts) cpu_relax();
+    last_complete_.value.store(mine, std::memory_order_release);
+  }
+
+  sim::HtmRuntime& rt_;
+  std::vector<RingEntry> ring_;
+  Padded<std::atomic<std::uint64_t>> timestamp_{};
+  Padded<std::atomic<std::uint64_t>> last_complete_{};
+};
+
+}  // namespace phtm::stm

@@ -1,0 +1,220 @@
+// SpHT — Split Hardware Transactions [Lev & Maessen, PPoPP'08; paper
+// Sec. 3, ref. 23]: the *lazy* alternative to PART-HTM's eager partitioned
+// path, implemented here so the paper's comparison argument can be
+// measured (bench_ablation_spht).
+//
+// Like PART-HTM, SpHT splits a transaction into a sequence of sub-HTM
+// transactions. Unlike PART-HTM, writes are never published early:
+//
+//   - during a segment, writes execute in place (consuming HTM write
+//     capacity) but are *undone* inside the sub-transaction right before
+//     its commit, so memory never shows uncommitted state — no locks, no
+//     isolation framework needed;
+//   - at the start of every subsequent sub-transaction the accumulated
+//     redo log is *replayed* in place (and re-hidden at its end), so reads
+//     in later segments see the transaction's own writes;
+//   - each sub-transaction re-validates the accumulated value-based read
+//     log, which keeps the whole-transaction snapshot consistent;
+//   - the final sub-transaction replays the redo log and simply commits,
+//     publishing everything atomically through the HTM.
+//
+// The structural consequence the paper points out: every later
+// sub-transaction carries the transaction's *entire accumulated* write set
+// (replay) and read set (validation), so when a transaction aborts for
+// resource limitations caused by transactional work — not ancillary
+// computation — splitting does not shrink the footprint that matters, and
+// SpHT degrades to its fallback. PART-HTM's eager sub-transactions stay
+// small instead.
+//
+// Fallback policy mirrors the repo's other hybrids: `htm_retries` full-HTM
+// attempts, then the split execution, then the global lock.
+#pragma once
+
+#include <vector>
+
+#include "sim/writebuf.hpp"
+#include "stm/common.hpp"
+#include "tm/backend.hpp"
+#include "tm/direct.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace phtm::stm {
+
+class SphtBackend final : public tm::Backend {
+ public:
+  SphtBackend(sim::HtmRuntime& rt, const tm::BackendConfig& cfg)
+      : rt_(rt), cfg_(cfg) {}
+
+  const char* name() const override { return "SpHT"; }
+
+  std::unique_ptr<tm::Worker> make_worker(unsigned tid) override {
+    return std::make_unique<W>(tid, rt_);
+  }
+
+  void execute(tm::Worker& wb, const tm::Txn& txn) override {
+    W& w = static_cast<W&>(wb);
+    if (!txn.irrevocable) {
+      // Phase 1: plain full-HTM attempts.
+      w.txn_snap.save(txn);
+      Backoff backoff;
+      for (unsigned a = 0; a < cfg_.htm_retries; ++a) {
+        while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();
+        const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
+          if (ops.read(&glock_.value) != 0) ops.xabort(kXGlockHeld);
+          HtmCtx ctx(ops);
+          tm::run_all_segments(ctx, txn);
+        });
+        if (r.committed) {
+          w.stats().record_commit(CommitPath::kHtm);
+          return;
+        }
+        w.stats().record_abort(to_cause(r.abort));
+        w.txn_snap.restore(txn);
+        if (r.abort.code == sim::AbortCode::kCapacity ||
+            r.abort.code == sim::AbortCode::kOther)
+          break;  // resource failure: try the split execution
+        backoff.pause();
+      }
+      // Phase 2: split execution.
+      Backoff backoff2;
+      for (unsigned g = 0; g < cfg_.partitioned_retries; ++g) {
+        if (split_once(w, txn)) {
+          w.stats().record_commit(CommitPath::kSoftware);
+          return;
+        }
+        w.txn_snap.restore(txn);
+        backoff2.pause();
+      }
+    }
+    // Phase 3: global lock.
+    while (!rt_.nontx_cas(&glock_.value, 0, 1)) cpu_relax();
+    tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
+    tm::run_all_segments(ctx, txn);
+    rt_.nontx_store(&glock_.value, 0);
+    w.stats().record_commit(CommitPath::kGlobalLock);
+  }
+
+ private:
+  struct UndoEnt {
+    std::uint64_t* addr;
+    std::uint64_t old;
+  };
+
+  struct W final : tm::Worker {
+    W(unsigned tid, sim::HtmRuntime& rt) : Worker(tid), th(rt) {}
+    sim::HtmRuntime::Thread th;
+    ReadLog rlog;        // accumulated value-based read log
+    sim::WriteBuf redo;  // accumulated redo log
+    // Per-attempt state (discarded on sub-abort):
+    ReadLog rlog_staged;
+    std::vector<sim::WriteBuf::Cell> redo_staged;
+    std::vector<UndoEnt> hide_undo;  // displaced values, execution order
+    tm::LocalsSnapshot txn_snap, seg_snap;
+  };
+
+  /// Per-segment context: writes execute in place transactionally (logged
+  /// for hiding + redo), clean reads are value-logged for validation.
+  class SegCtx final : public tm::Ctx {
+   public:
+    SegCtx(W& w, sim::HtmOps& ops) : w_(w), ops_(ops) {}
+
+    std::uint64_t read(const std::uint64_t* addr) override {
+      // Own writes are physically in memory right now (replayed or written
+      // in place), so the transactional read returns them directly; only
+      // reads of clean locations enter the validation log.
+      const std::uint64_t v = ops_.read(addr);
+      std::uint64_t buffered;
+      if (!w_.redo.get(addr, buffered) && !staged_contains(addr))
+        w_.rlog_staged.push(addr, v);
+      return v;
+    }
+
+    void write(std::uint64_t* addr, std::uint64_t val) override {
+      w_.hide_undo.push_back({addr, ops_.read(addr)});
+      ops_.write(addr, val);  // in place: consumes sub-HTM write capacity
+      w_.redo_staged.push_back({addr, val});
+    }
+
+    void work(std::uint64_t n) override { ops_.work(n); }
+
+    std::uint64_t raw_read(const std::uint64_t* addr) override {
+      return ops_.read(addr);
+    }
+    void raw_write(std::uint64_t* addr, std::uint64_t val) override {
+      ops_.write(addr, val);
+    }
+
+   private:
+    bool staged_contains(const std::uint64_t* addr) const {
+      for (const auto& c : w_.redo_staged)
+        if (c.addr == addr) return true;
+      return false;
+    }
+    W& w_;
+    sim::HtmOps& ops_;
+  };
+
+  enum : std::uint32_t { kXInvalid = 201 };
+
+  /// One split execution attempt; false = abort (validation failed or a
+  /// sub-transaction exhausted its retries).
+  bool split_once(W& w, const tm::Txn& txn) {
+    w.rlog.clear();
+    w.redo.clear();
+    unsigned seg = 0;
+    bool more = true;
+    while (more) {
+      w.seg_snap.save(txn);
+      bool more_out = false;
+      unsigned tries = 0;
+      for (;;) {
+        w.rlog_staged.clear();
+        w.redo_staged.clear();
+        w.hide_undo.clear();
+        const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
+          if (ops.read(&glock_.value) != 0) ops.xabort(kXGlockHeld);
+          // (a) validate the accumulated read log by value;
+          for (const auto& e : w.rlog.entries())
+            if (ops.read(e.addr) != e.val) ops.xabort(kXInvalid);
+          // (b) replay the accumulated redo log in place — this is the
+          //     footprint that grows with the transaction;
+          for (const auto& c : w.redo.cells()) {
+            w.hide_undo.push_back({c.addr, ops.read(c.addr)});
+            ops.write(c.addr, c.val);
+          }
+          // (c) run the segment (its writes also enter hide_undo);
+          SegCtx ctx(w, ops);
+          more_out = txn.step(ctx, txn.env, txn.locals, seg);
+          // (d) intermediate sub-transactions hide every write again
+          //     (reverse order restores the oldest displaced value); the
+          //     final one publishes by committing.
+          if (more_out) {
+            for (auto it = w.hide_undo.rbegin(); it != w.hide_undo.rend(); ++it)
+              ops.write(it->addr, it->old);
+          }
+        });
+        if (r.committed) break;
+        w.stats().record_abort(to_cause(r.abort));
+        w.seg_snap.restore(txn);
+        if (r.abort.code == sim::AbortCode::kExplicit &&
+            r.abort.xabort_code == kXInvalid)
+          return false;  // snapshot broken: restart the whole transaction
+        if (++tries >= cfg_.sub_htm_retries) return false;
+        cpu_relax();
+      }
+      // Merge staged logs (sub-transaction committed).
+      for (const auto& e : w.rlog_staged.entries()) w.rlog.push(e.addr, e.val);
+      for (const auto& c : w.redo_staged) w.redo.put(c.addr, c.val);
+      more = more_out;
+      ++seg;
+    }
+    return true;
+  }
+
+  sim::HtmRuntime& rt_;
+  tm::BackendConfig cfg_;
+  Padded<std::uint64_t> glock_{0};
+};
+
+}  // namespace phtm::stm

@@ -1,0 +1,40 @@
+#include "tm/backend.hpp"
+
+namespace phtm::tm {
+
+const char* to_string(Algo a) {
+  switch (a) {
+    case Algo::kSeq: return "Sequential";
+    case Algo::kHtmGl: return "HTM-GL";
+    case Algo::kPartHtm: return "Part-HTM";
+    case Algo::kPartHtmO: return "Part-HTM-O";
+    case Algo::kPartHtmNoFast: return "Part-HTM-no-fast";
+    case Algo::kRingStm: return "RingSTM";
+    case Algo::kNorec: return "NOrec";
+    case Algo::kNorecRh: return "NOrecRH";
+    case Algo::kSpht: return "SpHT";
+    default: return "?";
+  }
+}
+
+bool parse_algo(const std::string& name, Algo& out) {
+  for (unsigned i = 0; i < static_cast<unsigned>(Algo::kAlgoCount); ++i) {
+    if (name == to_string(static_cast<Algo>(i))) {
+      out = static_cast<Algo>(i);
+      return true;
+    }
+  }
+  // Friendly lowercase aliases for CLI use.
+  if (name == "seq") { out = Algo::kSeq; return true; }
+  if (name == "htm-gl" || name == "htmgl") { out = Algo::kHtmGl; return true; }
+  if (name == "part-htm" || name == "parthtm") { out = Algo::kPartHtm; return true; }
+  if (name == "part-htm-o" || name == "parthtmo") { out = Algo::kPartHtmO; return true; }
+  if (name == "part-htm-no-fast" || name == "nofast") { out = Algo::kPartHtmNoFast; return true; }
+  if (name == "ringstm" || name == "ring") { out = Algo::kRingStm; return true; }
+  if (name == "norec") { out = Algo::kNorec; return true; }
+  if (name == "norecrh" || name == "norec-rh") { out = Algo::kNorecRh; return true; }
+  if (name == "spht") { out = Algo::kSpht; return true; }
+  return false;
+}
+
+}  // namespace phtm::tm

@@ -1,0 +1,117 @@
+// Unified transaction API every backend (PART-HTM, PART-HTM-O, HTM-GL,
+// RingSTM, NOrec, NOrecRH, sequential) executes against.
+//
+// A transaction is a *step function* invoked once per segment:
+//
+//     bool step(Ctx&, const void* env, void* locals, unsigned seg);
+//
+// It executes exactly segment `seg` and returns true iff another segment
+// follows. Single-segment transactions just do all their work at seg==0 and
+// return false. Segment boundaries are PART-HTM's partition points (the
+// paper's manually placed, profiler-derived breaking points); every other
+// backend simply runs all segments back to back inside one transaction.
+//
+//  - `env` is immutable shared context (tables, arrays, parameters).
+//  - `locals` is the transaction's mutable cross-segment state and must be
+//    trivially copyable: the framework snapshots and restores it around
+//    hardware attempts, emulating the register/stack rollback real HTM
+//    performs. Anything a segment mutates that must survive a retry lives
+//    here.
+//
+// All shared-memory accesses inside a step go through Ctx; 8-byte words are
+// the access granularity (the paper's protocol is word/address based).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace phtm::tm {
+
+/// Per-access operations a transaction body may perform.
+class Ctx {
+ public:
+  virtual ~Ctx() = default;
+
+  virtual std::uint64_t read(const std::uint64_t* addr) = 0;
+  virtual void write(std::uint64_t* addr, std::uint64_t val) = 0;
+
+  /// Computation of cost `n` (simulated cycles). On hardware paths it burns
+  /// transaction-duration budget; the partitioned path's software framework
+  /// and STM paths run it outside any hardware transaction.
+  virtual void work(std::uint64_t n) = 0;
+
+  /// Deliberately *uninstrumented* accesses — the "manual barrier" escape
+  /// hatch STAMP applications use for private buffers and racy snapshots
+  /// (e.g. Labyrinth's grid copy). Software TMs perform them as plain
+  /// memory operations (no logging, no validation); on hardware paths they
+  /// are still monitored by the HTM itself — real hardware cannot opt out —
+  /// so they keep consuming capacity and duration budget. Defaults to the
+  /// instrumented accessors; backends override.
+  virtual std::uint64_t raw_read(const std::uint64_t* addr) { return read(addr); }
+  virtual void raw_write(std::uint64_t* addr, std::uint64_t val) {
+    write(addr, val);
+  }
+
+  // Typed helpers for 8-byte trivially-copyable values (double, int64...).
+  template <typename T>
+  T get(const T* p) {
+    static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+    return std::bit_cast<T>(read(reinterpret_cast<const std::uint64_t*>(p)));
+  }
+  template <typename T>
+  void put(T* p, T v) {
+    static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+    write(reinterpret_cast<std::uint64_t*>(p), std::bit_cast<std::uint64_t>(v));
+  }
+};
+
+/// Segment classification for PART-HTM's partitioned path.
+enum class SegKind {
+  kHw = 0,  ///< transactional segment: runs as a sub-HTM transaction
+  kSw,      ///< compute-only segment: the software framework runs it outside
+            ///< any hardware transaction (paper Sec. 4, "Non-transactional
+            ///< Code"). Must only touch locals; shared accesses here are
+            ///< uninstrumented — the paper's documented limitation.
+};
+
+/// One transaction instance handed to a backend for execution-to-commit.
+struct Txn {
+  /// Executes segment `seg`; returns true iff more segments follow.
+  bool (*step)(Ctx&, const void* env, void* locals, unsigned seg) = nullptr;
+  const void* env = nullptr;
+  void* locals = nullptr;
+  std::size_t locals_bytes = 0;  ///< size of the trivially-copyable blob
+  bool irrevocable = false;      ///< force the global-lock path (syscalls...)
+  /// Optional classifier; null means every segment is transactional. Only
+  /// PART-HTM's partitioned path distinguishes: all other paths/backends
+  /// run software segments inline. Receives the locals as they stand when
+  /// the segment is about to run, so applications with data-dependent
+  /// segment counts can classify by execution phase.
+  SegKind (*seg_kind)(const void* env, const void* locals, unsigned seg) = nullptr;
+};
+
+/// Snapshot/restore of a transaction's locals blob (register rollback).
+class LocalsSnapshot {
+ public:
+  void save(const Txn& t) {
+    buf_.resize(t.locals_bytes);
+    if (t.locals_bytes) std::memcpy(buf_.data(), t.locals, t.locals_bytes);
+  }
+  void restore(const Txn& t) const {
+    if (t.locals_bytes) std::memcpy(t.locals, buf_.data(), t.locals_bytes);
+  }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Convenience: run every segment of `t` against `ctx` (used by backends
+/// that execute the whole transaction in one shot).
+inline void run_all_segments(Ctx& ctx, const Txn& t) {
+  unsigned seg = 0;
+  while (t.step(ctx, t.env, t.locals, seg)) ++seg;
+}
+
+}  // namespace phtm::tm

@@ -1,0 +1,82 @@
+// Backend interface: a TM algorithm that executes transactions to commit.
+//
+// One Backend instance owns the algorithm's *global* metadata (locks,
+// clocks, rings, signatures) plus a reference to the HtmRuntime when the
+// algorithm uses hardware transactions. Each OS thread obtains a Worker
+// (per-thread descriptor: signatures, logs, RNG, stats) and calls
+// execute(), which retries internally until the transaction commits.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/runtime.hpp"
+#include "tm/api.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace phtm::tm {
+
+/// All algorithms in the evaluation (Sec. 7's competitor list).
+enum class Algo {
+  kSeq = 0,       ///< single-thread direct execution (speed-up baseline)
+  kHtmGl,         ///< HTM, 5 retries, global-lock fallback
+  kPartHtm,       ///< PART-HTM (serializable)
+  kPartHtmO,      ///< PART-HTM-O (opaque)
+  kPartHtmNoFast, ///< PART-HTM that skips the fast path (Fig. 3b variant)
+  kRingStm,       ///< RingSTM
+  kNorec,         ///< NOrec
+  kNorecRh,       ///< Reduced-hardware NOrec
+  kSpht,          ///< Split Hardware Transactions (lazy splitting, [23])
+  kAlgoCount,
+};
+
+const char* to_string(Algo a);
+bool parse_algo(const std::string& name, Algo& out);
+
+/// Per-thread execution state; backends subclass this.
+class Worker {
+ public:
+  explicit Worker(unsigned tid) : tid_(tid) { rng_.reseed(0x7f4a7c15u + tid); }
+  virtual ~Worker() = default;
+
+  unsigned tid() const noexcept { return tid_; }
+  StatSheet& stats() noexcept { return stats_; }
+  const StatSheet& stats() const noexcept { return stats_; }
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  unsigned tid_;
+  StatSheet stats_{};
+  Rng rng_;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Create the calling thread's worker (registers an HTM slot if needed).
+  virtual std::unique_ptr<Worker> make_worker(unsigned tid) = 0;
+
+  /// Execute `txn` until it commits. Retry policy, path selection and stats
+  /// recording are internal; `w` must have been produced by make_worker of
+  /// this backend and be used by one thread only.
+  virtual void execute(Worker& w, const Txn& txn) = 0;
+};
+
+/// Knobs shared by backend constructors (ablation benches sweep these).
+struct BackendConfig {
+  unsigned htm_retries = 5;         ///< hardware attempts before fallback
+  unsigned partitioned_retries = 5; ///< global retries before the slow path
+  unsigned sub_htm_retries = 10;    ///< sub-HTM attempts before global abort
+  unsigned ring_entries = 1024;     ///< global ring size (power of two)
+  bool validate_after_each_sub = true;  ///< paper default (Sec. 5.3.6)
+};
+
+/// Build a backend over `rt`. The returned object owns all global metadata.
+std::unique_ptr<Backend> make_backend(Algo algo, sim::HtmRuntime& rt,
+                                      const BackendConfig& cfg = {});
+
+}  // namespace phtm::tm

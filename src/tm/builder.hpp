@@ -1,0 +1,84 @@
+// Type-safe construction of tm::Txn from C++ callables.
+//
+// The raw Txn contract (function pointer + void* env/locals) keeps the hot
+// path allocation-free, but hand-writing the casts is noisy. TxnOf<Env, L>
+// recovers type safety at zero runtime cost:
+//
+//     struct Env { std::uint64_t* cells; };
+//     struct L   { std::uint64_t sum; };
+//
+//     auto txn = tm::TxnOf<Env, L>::make(
+//         env, locals,
+//         [](tm::Ctx& c, const Env& e, L& l, unsigned seg) {
+//           l.sum += c.read(e.cells + seg);
+//           return seg + 1 < 4;
+//         });
+//
+// The lambda must be captureless (it becomes the step function pointer);
+// anything it needs goes through Env (immutable, shared) or L (mutable,
+// trivially copyable, rolled back on retry).
+#pragma once
+
+#include <type_traits>
+
+#include "tm/api.hpp"
+
+namespace phtm::tm {
+
+struct NoLocals {};
+
+template <typename Env, typename Locals = NoLocals>
+struct TxnOf {
+  static_assert(std::is_trivially_copyable_v<Locals>,
+                "transaction locals must be trivially copyable (the framework "
+                "snapshots them around hardware attempts)");
+
+  /// Build a Txn whose step is `fn(Ctx&, const Env&, Locals&, unsigned)`.
+  /// `fn` must be convertible to a plain function pointer (captureless).
+  template <typename Fn>
+  static Txn make(const Env& env, Locals& locals, Fn /*fn*/,
+                  bool irrevocable = false) {
+    using FnPtr = bool (*)(Ctx&, const Env&, Locals&, unsigned);
+    static_assert(std::is_convertible_v<Fn, FnPtr>,
+                  "step lambda must be captureless");
+    Txn t;
+    t.step = &invoke<Fn>;
+    t.env = &env;
+    t.locals = &locals;
+    t.locals_bytes = sizeof(Locals);
+    t.irrevocable = irrevocable;
+    return t;
+  }
+
+  /// Single-segment convenience: `fn(Ctx&, const Env&, Locals&)`.
+  template <typename Fn>
+  static Txn make_flat(const Env& env, Locals& locals, Fn /*fn*/,
+                       bool irrevocable = false) {
+    using FnPtr = void (*)(Ctx&, const Env&, Locals&);
+    static_assert(std::is_convertible_v<Fn, FnPtr>,
+                  "step lambda must be captureless");
+    Txn t;
+    t.step = &invoke_flat<Fn>;
+    t.env = &env;
+    t.locals = &locals;
+    t.locals_bytes = sizeof(Locals);
+    t.irrevocable = irrevocable;
+    return t;
+  }
+
+ private:
+  template <typename Fn>
+  static bool invoke(Ctx& c, const void* env, void* locals, unsigned seg) {
+    constexpr auto fn = static_cast<bool (*)(Ctx&, const Env&, Locals&, unsigned)>(Fn{});
+    return fn(c, *static_cast<const Env*>(env), *static_cast<Locals*>(locals), seg);
+  }
+
+  template <typename Fn>
+  static bool invoke_flat(Ctx& c, const void* env, void* locals, unsigned) {
+    constexpr auto fn = static_cast<void (*)(Ctx&, const Env&, Locals&)>(Fn{});
+    fn(c, *static_cast<const Env*>(env), *static_cast<Locals*>(locals));
+    return false;
+  }
+};
+
+}  // namespace phtm::tm

@@ -1,0 +1,68 @@
+// Direct (uninstrumented) execution context and the sequential baseline.
+//
+// DirectCtx is also reused by every global-lock path in the repository
+// (PART-HTM's slow path, HTM-GL's fallback): under mutual exclusion the
+// paper runs transactions without instrumentation (Fig. 1 lines 63-64).
+#pragma once
+
+#include "sim/runtime.hpp"
+#include "tm/api.hpp"
+#include "tm/backend.hpp"
+#include "tm/costs.hpp"
+
+namespace phtm::tm {
+
+/// Plain word-atomic loads/stores; no logging, no conflict detection.
+/// Burns kDirectAccessCost so the uninstrumented path costs what it would
+/// on real hardware relative to a monitored access (see tm/costs.hpp).
+///
+/// When constructed with a runtime, accesses go through the
+/// strong-atomicity helpers: required for every *global-lock* execution,
+/// because although the lock acquisition aborts all hardware subscribers,
+/// a transaction whose commit has already latched is indivisibly committed
+/// and its publication must be waited out — plain loads could otherwise
+/// observe its pre-commit values. Contexts touching only private data
+/// (software segments, the sequential baseline) may omit the runtime.
+class DirectCtx final : public Ctx {
+ public:
+  DirectCtx() = default;
+  explicit DirectCtx(sim::HtmRuntime& rt) : rt_(&rt) {}
+
+  std::uint64_t read(const std::uint64_t* addr) override {
+    sim::burn_work(kDirectAccessCost);
+    if (rt_) return rt_->nontx_load(addr);
+    return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+  }
+  void write(std::uint64_t* addr, std::uint64_t val) override {
+    sim::burn_work(kDirectAccessCost);
+    if (rt_) {
+      rt_->nontx_store(addr, val);
+      return;
+    }
+    __atomic_store_n(addr, val, __ATOMIC_RELEASE);
+  }
+  void work(std::uint64_t n) override { sim::burn_work(n); }
+
+ private:
+  sim::HtmRuntime* rt_ = nullptr;
+};
+
+/// Sequential baseline: the paper's "sequential (non-transactional)
+/// execution" reference for the STAMP/EigenBench speed-up plots. Only valid
+/// single-threaded.
+class SeqBackend final : public Backend {
+ public:
+  const char* name() const override { return "Sequential"; }
+
+  std::unique_ptr<Worker> make_worker(unsigned tid) override {
+    return std::make_unique<Worker>(tid);
+  }
+
+  void execute(Worker& w, const Txn& txn) override {
+    DirectCtx ctx;
+    run_all_segments(ctx, txn);
+    w.stats().record_commit(CommitPath::kSoftware);
+  }
+};
+
+}  // namespace phtm::tm

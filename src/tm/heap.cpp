@@ -1,0 +1,80 @@
+#include "tm/heap.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/cacheline.hpp"
+#include "util/hash.hpp"
+
+namespace phtm::tm {
+
+TmHeap& TmHeap::instance() {
+  static TmHeap heap;
+  return heap;
+}
+
+TmHeap::TmHeap() {
+  fallback_ = std::make_unique<std::uint64_t[]>(kFallbackLocks);
+  std::memset(fallback_.get(), 0, kFallbackLocks * 8);
+}
+
+void* TmHeap::alloc(std::size_t bytes) {
+  const std::size_t words = (bytes + 7) / 8;
+  // Round allocations to whole cache lines so unrelated objects never share
+  // a (conflict-granularity) line.
+  const std::size_t line_words = kCacheLineBytes / 8;
+  const std::size_t rounded = (words + line_words - 1) / line_words * line_words;
+
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  const std::size_t count = region_count_.load(std::memory_order_relaxed);
+  if (count != 0) {
+    Region& r = regions_[cur_region_];
+    if (cur_used_words_ + rounded <= r.words) {
+      std::uint64_t* p = reinterpret_cast<std::uint64_t*>(r.base) + cur_used_words_;
+      cur_used_words_ += rounded;
+      return p;
+    }
+  }
+  assert(count < kMaxRegions && "TmHeap region table exhausted");
+  const std::size_t slab_words = rounded > kSlabWords ? rounded : kSlabWords;
+  // operator new[] only guarantees 16-byte alignment; over-allocate and
+  // round the usable base up to a cache line.
+  auto data = std::make_unique<std::uint64_t[]>(slab_words + kCacheLineBytes / 8);
+  auto shadow = std::make_unique<std::uint64_t[]>(slab_words);
+  std::memset(data.get(), 0, (slab_words + kCacheLineBytes / 8) * 8);
+  std::memset(shadow.get(), 0, slab_words * 8);
+  Region& r = regions_[count];
+  r.base = (reinterpret_cast<std::uintptr_t>(data.get()) + kCacheLineBytes - 1) &
+           ~std::uintptr_t{kCacheLineBytes - 1};
+  r.words = slab_words;
+  r.shadow = shadow.get();
+  owned_.push_back(std::move(data));
+  owned_.push_back(std::move(shadow));
+  cur_region_ = count;
+  cur_used_words_ = rounded;
+  // Publish after the descriptor is fully written.
+  region_count_.store(count + 1, std::memory_order_release);
+  return reinterpret_cast<std::uint64_t*>(r.base);
+}
+
+std::uint64_t* TmHeap::shadow_of(const void* addr) const {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::size_t count = region_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Region& r = regions_[i];
+    if (a >= r.base && a < r.base + r.words * 8) return r.shadow + (a - r.base) / 8;
+  }
+  return fallback_.get() + (hash_addr(addr) & (kFallbackLocks - 1));
+}
+
+bool TmHeap::contains(const void* addr) const {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::size_t count = region_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Region& r = regions_[i];
+    if (a >= r.base && a < r.base + r.words * 8) return true;
+  }
+  return false;
+}
+
+}  // namespace phtm::tm

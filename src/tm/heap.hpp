@@ -1,0 +1,72 @@
+// TM heap: the allocator all benchmark applications draw shared
+// transactional data from.
+//
+// Besides alignment guarantees, the heap maintains a *shadow word* for every
+// data word. PART-HTM-O's address-embedded write locks (paper Sec. 5.5)
+// steal the LSB of a wrapped pointer; addressing real host memory makes bit
+// stealing on arbitrary application data UB, so this repo stores the same
+// one-lock-per-address bit in the co-located shadow word instead (see
+// DESIGN.md, substitution table). Semantics are identical: one lock per
+// word address, zero hash aliasing, one extra memory indirection per access.
+//
+// shadow_of() sits on PART-HTM-O's per-access hot path, so region lookup is
+// lock-free: slabs are published into a fixed-capacity descriptor array
+// with release stores and only ever appended.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace phtm::tm {
+
+class TmHeap {
+ public:
+  /// Process-wide heap used by apps/benches; tests may build private heaps.
+  static TmHeap& instance();
+
+  TmHeap();
+  TmHeap(const TmHeap&) = delete;
+  TmHeap& operator=(const TmHeap&) = delete;
+
+  /// Allocate `bytes` of zeroed, 64-byte-aligned shared memory.
+  void* alloc(std::size_t bytes);
+
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    return static_cast<T*>(alloc(n * sizeof(T)));
+  }
+
+  /// The shadow lock word co-located with the data word holding `addr`.
+  /// Falls back to a hashed global lock table for non-heap addresses (only
+  /// relevant if an application puts TM data outside the heap).
+  std::uint64_t* shadow_of(const void* addr) const;
+
+  bool contains(const void* addr) const;
+
+ private:
+  struct Region {
+    std::uintptr_t base = 0;
+    std::size_t words = 0;
+    std::uint64_t* shadow = nullptr;
+  };
+
+  static constexpr std::size_t kSlabWords = (64u << 20) / 8;  // 64 MiB slabs
+  static constexpr std::size_t kMaxRegions = 64;
+  static constexpr std::size_t kFallbackLocks = 1u << 16;
+
+  std::mutex alloc_mu_;
+  std::vector<std::unique_ptr<std::uint64_t[]>> owned_;  // keeps slabs alive
+  std::size_t cur_used_words_ = 0;
+  std::size_t cur_region_ = 0;
+
+  Region regions_[kMaxRegions];
+  std::atomic<std::size_t> region_count_{0};
+
+  std::unique_ptr<std::uint64_t[]> fallback_;
+};
+
+}  // namespace phtm::tm

@@ -1,0 +1,68 @@
+// Cache-line geometry and padding helpers shared by every layer.
+//
+// All conflict detection in the HTM simulator is cache-line granular, and
+// all hot shared metadata (signatures, ring entries, per-thread counters)
+// is laid out in whole cache lines to keep simulated and real false sharing
+// under the library's control.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace phtm {
+
+/// Cache-line size assumed throughout (Intel L1D line).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// log2(kCacheLineBytes); used to derive line ids from addresses.
+inline constexpr unsigned kCacheLineShift = 6;
+
+static_assert((std::size_t{1} << kCacheLineShift) == kCacheLineBytes);
+
+/// Identifier of the cache line containing `addr`.
+inline std::uint64_t line_of(const void* addr) noexcept {
+  return reinterpret_cast<std::uintptr_t>(addr) >> kCacheLineShift;
+}
+
+/// Number of distinct cache lines covered by [addr, addr+bytes).
+inline std::uint64_t lines_spanned(const void* addr, std::size_t bytes) noexcept {
+  if (bytes == 0) return 0;
+  const auto first = line_of(addr);
+  const auto last =
+      (reinterpret_cast<std::uintptr_t>(addr) + bytes - 1) >> kCacheLineShift;
+  return last - first + 1;
+}
+
+/// A value padded out to exclusively own one (or more) cache line(s).
+/// Used for per-thread counters and global single-word metadata so that
+/// unrelated updates never share a line.
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+  char pad_[kCacheLineBytes - (sizeof(T) % kCacheLineBytes == 0
+                                   ? kCacheLineBytes
+                                   : sizeof(T) % kCacheLineBytes)]{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+static_assert(sizeof(Padded<std::uint64_t>) == kCacheLineBytes);
+
+/// CPU relax hint for spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace phtm

@@ -1,0 +1,59 @@
+// Minimal command-line option parsing for bench/example binaries.
+//
+// Supports `--key value`, `--key=value` and bare `--flag`; unknown keys are
+// collected so google-benchmark flags can pass through untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phtm {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(a);
+        continue;
+      }
+      a = a.substr(2);
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        kv_[a.substr(0, eq)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[a] = argv[++i];
+      } else {
+        kv_[a] = "1";
+      }
+    }
+  }
+
+  bool has(const std::string& k) const { return kv_.count(k) != 0; }
+
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    const auto it = kv_.find(k);
+    return it == kv_.end() ? dflt : it->second;
+  }
+
+  std::int64_t get_int(const std::string& k, std::int64_t dflt) const {
+    const auto it = kv_.find(k);
+    return it == kv_.end() ? dflt : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& k, double dflt) const {
+    const auto it = kv_.find(k);
+    return it == kv_.end() ? dflt : std::stod(it->second);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace phtm

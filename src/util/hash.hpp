@@ -1,0 +1,25 @@
+// Small non-cryptographic hash utilities used by signatures and the
+// simulator's monitor table.
+#pragma once
+
+#include <cstdint>
+
+namespace phtm {
+
+/// Finalizer from MurmurHash3 / splitmix64; good avalanche, cheap.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hash an address (pointer value) to a uniformly distributed 64-bit value.
+inline std::uint64_t hash_addr(const void* p) noexcept {
+  return mix64(reinterpret_cast<std::uintptr_t>(p));
+}
+
+/// Hash a cache-line id.
+inline std::uint64_t hash_line(std::uint64_t line) noexcept { return mix64(line); }
+
+}  // namespace phtm

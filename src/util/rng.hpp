@@ -1,0 +1,64 @@
+// Deterministic per-thread random number generation.
+//
+// Benchmarks and workload generators must be reproducible across runs and
+// independent across threads; xoshiro256** seeded through splitmix64 gives
+// both with no shared state.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace phtm {
+
+/// xoshiro256** PRNG. Not thread-safe; create one per thread.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 stream to fill the state; guards against all-zero state.
+    for (auto& w : s_) {
+      seed = mix64(seed + 0x9e3779b97f4a7c15ull);
+      w = seed | 1u;
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+  /// Uniform double in [0,1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace phtm

@@ -1,0 +1,68 @@
+// Spin locks used for simulator-internal critical sections.
+//
+// These protect *simulator bookkeeping* (monitor-table buckets, software
+// commit of the global ring), never application data; hold times are a few
+// dozen instructions so TTAS spinning is appropriate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+
+namespace phtm {
+
+/// Test-and-test-and-set spinlock, one cache line wide.
+class alignas(kCacheLineBytes) Spinlock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard for Spinlock (and anything with lock/unlock).
+template <typename L>
+class LockGuard {
+ public:
+  explicit LockGuard(L& l) noexcept : l_(l) { l_.lock(); }
+  ~LockGuard() { l_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& l_;
+};
+
+/// Bounded exponential backoff for transaction retry loops
+/// (Fig. 1 line 59 `exp_backoff()`).
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_spins = 32, std::uint32_t max_spins = 1u << 14)
+      : cur_(min_spins), max_(max_spins) {}
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < cur_; ++i) cpu_relax();
+    if (cur_ < max_) cur_ *= 2;
+  }
+
+  void reset(std::uint32_t min_spins = 32) noexcept { cur_ = min_spins; }
+
+ private:
+  std::uint32_t cur_;
+  std::uint32_t max_;
+};
+
+}  // namespace phtm

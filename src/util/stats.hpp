@@ -1,0 +1,122 @@
+// Per-thread statistics sheets with lock-free recording and offline
+// aggregation.
+//
+// Every TM backend records commits-per-path and aborts-per-cause here; the
+// Table 1 reproduction and the abort-breakdown ablations are produced by
+// aggregating these sheets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace phtm {
+
+/// Why a hardware transaction aborted (mirrors the paper's taxonomy:
+/// conflict / capacity / explicit / other).
+enum class AbortCause : unsigned {
+  kConflict = 0,   ///< data (or metadata false-) conflict with another txn
+  kCapacity,       ///< write/read footprint exceeded the cache model
+  kExplicit,       ///< software-requested abort (xabort)
+  kOther,          ///< timer interrupt / asynchronous event
+  kCauseCount,
+};
+
+/// Which execution path finally committed a transaction.
+enum class CommitPath : unsigned {
+  kHtm = 0,        ///< single hardware transaction (fast path / HTM-GL htm)
+  kSoftware,       ///< partitioned path (Part-HTM) or STM execution
+  kGlobalLock,     ///< slow path / global-lock fallback
+  kPathCount,
+};
+
+inline const char* to_string(AbortCause c) {
+  switch (c) {
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kOther: return "other";
+    default: return "?";
+  }
+}
+
+inline const char* to_string(CommitPath p) {
+  switch (p) {
+    case CommitPath::kHtm: return "HTM";
+    case CommitPath::kSoftware: return "SW";
+    case CommitPath::kGlobalLock: return "GL";
+    default: return "?";
+  }
+}
+
+/// One thread's counters; padded so threads never share lines.
+struct alignas(kCacheLineBytes) StatSheet {
+  std::uint64_t aborts[static_cast<unsigned>(AbortCause::kCauseCount)]{};
+  std::uint64_t commits[static_cast<unsigned>(CommitPath::kPathCount)]{};
+  std::uint64_t sub_htm_commits{};   ///< committed sub-HTM transactions
+  std::uint64_t sub_htm_aborts{};    ///< aborted sub-HTM attempts
+  std::uint64_t global_aborts{};     ///< partitioned-path global aborts
+  std::uint64_t validations{};       ///< in-flight validations executed
+  std::uint64_t ring_rollovers{};    ///< aborts due to ring overflow
+
+  void record_abort(AbortCause c) noexcept {
+    ++aborts[static_cast<unsigned>(c)];
+  }
+  void record_commit(CommitPath p) noexcept {
+    ++commits[static_cast<unsigned>(p)];
+  }
+
+  std::uint64_t total_aborts() const noexcept {
+    std::uint64_t t = 0;
+    for (auto a : aborts) t += a;
+    return t;
+  }
+  std::uint64_t total_commits() const noexcept {
+    std::uint64_t t = 0;
+    for (auto c : commits) t += c;
+    return t;
+  }
+
+  StatSheet& operator+=(const StatSheet& o) noexcept {
+    for (unsigned i = 0; i < static_cast<unsigned>(AbortCause::kCauseCount); ++i)
+      aborts[i] += o.aborts[i];
+    for (unsigned i = 0; i < static_cast<unsigned>(CommitPath::kPathCount); ++i)
+      commits[i] += o.commits[i];
+    sub_htm_commits += o.sub_htm_commits;
+    sub_htm_aborts += o.sub_htm_aborts;
+    global_aborts += o.global_aborts;
+    validations += o.validations;
+    ring_rollovers += o.ring_rollovers;
+    return *this;
+  }
+};
+
+/// Aggregated view with the percentages Table 1 reports.
+struct StatSummary {
+  StatSheet total{};
+
+  static StatSummary aggregate(const std::vector<StatSheet>& sheets) {
+    StatSummary s;
+    for (const auto& sh : sheets) s.total += sh;
+    return s;
+  }
+
+  double abort_pct(AbortCause c) const {
+    const auto t = total.total_aborts();
+    if (t == 0) return 0.0;
+    return 100.0 * static_cast<double>(total.aborts[static_cast<unsigned>(c)]) /
+           static_cast<double>(t);
+  }
+
+  double commit_pct(CommitPath p) const {
+    const auto t = total.total_commits();
+    if (t == 0) return 0.0;
+    return 100.0 * static_cast<double>(total.commits[static_cast<unsigned>(p)]) /
+           static_cast<double>(t);
+  }
+};
+
+}  // namespace phtm

@@ -1,0 +1,61 @@
+// Fixed-width text table printer for benchmark harness output.
+//
+// Benchmarks print paper-shaped rows (series per algorithm, one column per
+// thread count) so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace phtm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        if (r[c].size() > w[c]) w[c] = r[c].size();
+
+    auto line = [&] {
+      os << '+';
+      for (auto cw : w) os << std::string(cw + 2, '-') << '+';
+      os << '\n';
+    };
+    auto row = [&](const std::vector<std::string>& r) {
+      os << '|';
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string{};
+        os << ' ' << cell << std::string(w[c] - cell.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    line();
+    row(header_);
+    line();
+    for (const auto& r : rows_) row(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phtm

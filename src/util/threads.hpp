@@ -1,0 +1,79 @@
+// Thread-team runner used by tests and benchmarks.
+//
+// Starts N workers behind a barrier, runs a timed or count-bounded region,
+// and joins; benchmark throughput is (total commits) / (wall time of the
+// timed region).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace phtm {
+
+/// Sense-reversing barrier for small thread counts.
+class Barrier {
+ public:
+  explicit Barrier(unsigned parties) : parties_(parties) {}
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense)
+        std::this_thread::yield();
+    }
+  }
+
+ private:
+  const unsigned parties_;
+  std::atomic<unsigned> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+/// Runs `body(tid)` on `nthreads` threads; all start together.
+inline void run_threads(unsigned nthreads,
+                        const std::function<void(unsigned)>& body) {
+  Barrier start(nthreads);
+  std::vector<std::thread> ts;
+  ts.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) {
+    ts.emplace_back([&, t] {
+      start.arrive_and_wait();
+      body(t);
+    });
+  }
+  for (auto& th : ts) th.join();
+}
+
+/// Timed throughput region: workers loop `body(tid)` until `stop` is set by
+/// the controller after `duration`. Returns elapsed seconds.
+inline double run_timed(unsigned nthreads, std::chrono::milliseconds duration,
+                        const std::function<void(unsigned, std::atomic<bool>&)>& body) {
+  std::atomic<bool> stop{false};
+  Barrier start(nthreads + 1);
+  std::vector<std::thread> ts;
+  ts.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) {
+    ts.emplace_back([&, t] {
+      start.arrive_and_wait();
+      body(t, stop);
+    });
+  }
+  start.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true, std::memory_order_release);
+  for (auto& th : ts) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace phtm

@@ -1,0 +1,269 @@
+// Cross-backend invariant suite: every TM algorithm in the repository must
+// provide atomic, isolated, serializable transactions. Each test is
+// instantiated for all 7 concurrent backends (TEST_P), so an invariant
+// violation pinpoints the offending protocol.
+#include "test_common.hpp"
+
+#include <numeric>
+
+namespace phtm::test {
+namespace {
+
+using tm::Ctx;
+
+class BackendInvariants : public testing::TestWithParam<tm::Algo> {};
+
+// --- 1. Lost-update freedom: concurrent increments of one counter --------
+
+TEST_P(BackendInvariants, CounterIncrementsAreNotLost) {
+  BackendHarness h(GetParam());
+  auto* counter = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  *counter = 0;
+
+  constexpr unsigned kThreads = 6;
+  constexpr unsigned kPerThread = 300;
+
+  struct Env {
+    std::uint64_t* counter;
+  } env{counter};
+
+  h.run(kThreads, [&](unsigned, tm::Worker& w) {
+    for (unsigned i = 0; i < kPerThread; ++i) {
+      tm::Txn t = make_txn(
+          +[](Ctx& c, const void* e, void*, unsigned) {
+            auto* cnt = static_cast<const Env*>(e)->counter;
+            c.write(cnt, c.read(cnt) + 1);
+            return false;
+          },
+          &env, nullptr, 0);
+      h.backend().execute(w, t);
+    }
+  });
+
+  EXPECT_EQ(*counter, std::uint64_t{kThreads} * kPerThread);
+}
+
+// --- 2. Multi-segment atomicity: all-or-nothing across partitions --------
+
+TEST_P(BackendInvariants, MultiSegmentTransactionIsAtomic) {
+  BackendHarness h(GetParam());
+  constexpr unsigned kCells = 4;
+  auto* cells = tm::TmHeap::instance().alloc_array<std::uint64_t>(kCells);
+
+  struct Env {
+    std::uint64_t* cells;
+  } env{cells};
+
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPerThread = 200;
+
+  h.run(kThreads, [&](unsigned, tm::Worker& w) {
+    for (unsigned i = 0; i < kPerThread; ++i) {
+      // One segment per cell: under PART-HTM each runs as its own sub-HTM
+      // transaction, yet all four increments must commit together.
+      tm::Txn t = make_txn(
+          +[](Ctx& c, const void* e, void*, unsigned seg) {
+            auto* cell = static_cast<const Env*>(e)->cells + seg;
+            c.write(cell, c.read(cell) + 1);
+            return seg + 1 < kCells;
+          },
+          &env, nullptr, 0);
+      h.backend().execute(w, t);
+    }
+  });
+
+  for (unsigned i = 0; i < kCells; ++i)
+    EXPECT_EQ(cells[i], std::uint64_t{kThreads} * kPerThread) << "cell " << i;
+}
+
+// --- 3. Isolation: transfers preserve the bank's total --------------------
+
+TEST_P(BackendInvariants, BankTransfersPreserveTotalAndReadersSeeIt) {
+  BackendHarness h(GetParam());
+  constexpr unsigned kAccounts = 64;
+  constexpr std::uint64_t kInitial = 1000;
+  auto* accounts = tm::TmHeap::instance().alloc_array<std::uint64_t>(kAccounts);
+  for (unsigned i = 0; i < kAccounts; ++i) accounts[i] = kInitial;
+
+  struct Env {
+    std::uint64_t* accounts;
+  } env{accounts};
+  struct Locals {
+    std::uint64_t from, to, amount, observed_total;
+  };
+
+  constexpr unsigned kThreads = 6;
+  constexpr unsigned kPerThread = 250;
+  std::atomic<std::uint64_t> bad_observations{0};
+
+  h.run(kThreads, [&](unsigned, tm::Worker& w) {
+    Locals l{};
+    for (unsigned i = 0; i < kPerThread; ++i) {
+      if (i % 4 == 3) {
+        // Read-only audit: a committed snapshot must sum to the invariant.
+        l.observed_total = 0;
+        tm::Txn t = make_txn(
+            +[](Ctx& c, const void* e, void* lp, unsigned) {
+              auto& loc = *static_cast<Locals*>(lp);
+              auto* acc = static_cast<const Env*>(e)->accounts;
+              std::uint64_t sum = 0;
+              for (unsigned a = 0; a < kAccounts; ++a) sum += c.read(acc + a);
+              loc.observed_total = sum;
+              return false;
+            },
+            &env, &l, sizeof(l));
+        h.backend().execute(w, t);
+        if (l.observed_total != std::uint64_t{kAccounts} * kInitial)
+          bad_observations.fetch_add(1);
+      } else {
+        l.from = w.rng().below(kAccounts);
+        l.to = w.rng().below(kAccounts);
+        l.amount = w.rng().below(20);
+        tm::Txn t = make_txn(
+            +[](Ctx& c, const void* e, void* lp, unsigned) {
+              auto& loc = *static_cast<Locals*>(lp);
+              auto* acc = static_cast<const Env*>(e)->accounts;
+              const std::uint64_t f = c.read(acc + loc.from);
+              if (f >= loc.amount) {
+                c.write(acc + loc.from, f - loc.amount);
+                c.write(acc + loc.to, c.read(acc + loc.to) + loc.amount);
+              }
+              return false;
+            },
+            &env, &l, sizeof(l));
+        h.backend().execute(w, t);
+      }
+    }
+  });
+
+  EXPECT_EQ(bad_observations.load(), 0u);
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i < kAccounts; ++i) total += accounts[i];
+  EXPECT_EQ(total, std::uint64_t{kAccounts} * kInitial);
+}
+
+// --- 4. Resource-failure transactions still commit correctly -------------
+// Write sets larger than the simulated L1 force HTM-GL to its lock path and
+// PART-HTM to the partitioned path; the result must be identical.
+
+TEST_P(BackendInvariants, OversizedWriteSetCommitsAtomically) {
+  BackendHarness h(GetParam());
+  // 1024 lines of writes: double the simulated L1 write capacity (512).
+  constexpr unsigned kWords = 1024 * 8;
+  constexpr unsigned kSegments = 16;
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(kWords);
+
+  struct Env {
+    std::uint64_t* arr;
+  } env{arr};
+  struct Locals {
+    std::uint64_t stamp;
+  };
+
+  constexpr unsigned kThreads = 3;
+  constexpr unsigned kPerThread = 8;
+
+  h.run(kThreads, [&](unsigned tid, tm::Worker& w) {
+    Locals l{};
+    for (unsigned i = 0; i < kPerThread; ++i) {
+      l.stamp = (std::uint64_t{tid} << 32) | (i + 1);
+      tm::Txn t = make_txn(
+          +[](Ctx& c, const void* e, void* lp, unsigned seg) {
+            auto* a = static_cast<const Env*>(e)->arr;
+            const auto stamp = static_cast<Locals*>(lp)->stamp;
+            const unsigned chunk = kWords / kSegments;
+            for (unsigned k = seg * chunk; k < (seg + 1) * chunk; ++k)
+              c.write(a + k, stamp);
+            return seg + 1 < kSegments;
+          },
+          &env, &l, sizeof(l));
+      h.backend().execute(w, t);
+    }
+  });
+
+  // Atomicity: after quiescence the whole array carries one single stamp.
+  const std::uint64_t first = arr[0];
+  for (unsigned k = 0; k < kWords; ++k)
+    ASSERT_EQ(arr[k], first) << "torn transaction visible at word " << k;
+}
+
+// --- 5. Locals rollback: aborted attempts must not leak into locals -------
+
+TEST_P(BackendInvariants, LocalsAreRolledBackAcrossRetries) {
+  BackendHarness h(GetParam());
+  auto* cell = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+
+  struct Env {
+    std::uint64_t* cell;
+  } env{cell};
+  struct Locals {
+    std::uint64_t additions;  // must end exactly 1 per executed transaction
+  };
+
+  constexpr unsigned kThreads = 6;
+  constexpr unsigned kPerThread = 200;
+  std::atomic<std::uint64_t> leaked{0};
+
+  h.run(kThreads, [&](unsigned, tm::Worker& w) {
+    Locals l{};
+    for (unsigned i = 0; i < kPerThread; ++i) {
+      l.additions = 0;
+      tm::Txn t = make_txn(
+          +[](Ctx& c, const void* e, void* lp, unsigned) {
+            auto& loc = *static_cast<Locals*>(lp);
+            auto* cl = static_cast<const Env*>(e)->cell;
+            loc.additions += 1;  // would exceed 1 if retries leaked
+            c.write(cl, c.read(cl) + 1);
+            return false;
+          },
+          &env, &l, sizeof(l));
+      h.backend().execute(w, t);
+      if (l.additions != 1) leaked.fetch_add(1);
+    }
+  });
+
+  EXPECT_EQ(leaked.load(), 0u);
+  EXPECT_EQ(*cell, std::uint64_t{kThreads} * kPerThread);
+}
+
+// --- 6. Write-after-read within one transaction reads its own writes ------
+
+TEST_P(BackendInvariants, ReadYourOwnWrites) {
+  BackendHarness h(GetParam());
+  auto* cell = tm::TmHeap::instance().alloc_array<std::uint64_t>(4);
+
+  struct Env {
+    std::uint64_t* cell;
+  } env{cell};
+  struct Locals {
+    std::uint64_t seen1, seen2;
+  } l{};
+
+  tm::Txn t = make_txn(
+      +[](Ctx& c, const void* e, void* lp, unsigned seg) {
+        auto& loc = *static_cast<Locals*>(lp);
+        auto* cl = static_cast<const Env*>(e)->cell;
+        if (seg == 0) {
+          c.write(cl, 42);
+          loc.seen1 = c.read(cl);  // own write, same segment
+          return true;
+        }
+        loc.seen2 = c.read(cl);  // own write, previous segment (published
+                                 // eagerly under PART-HTM, buffered in STMs)
+        c.write(cl + 1, loc.seen2 + 1);
+        return false;
+      },
+      &env, &l, sizeof(l));
+
+  h.run(1, [&](unsigned, tm::Worker& w) { h.backend().execute(w, t); });
+
+  EXPECT_EQ(l.seen1, 42u);
+  EXPECT_EQ(l.seen2, 42u);
+  EXPECT_EQ(cell[1], 43u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendInvariants,
+                         testing::ValuesIn(concurrent_algos()), algo_param_name);
+
+}  // namespace
+}  // namespace phtm::test

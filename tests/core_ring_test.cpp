@@ -1,0 +1,162 @@
+// Unit tests for PART-HTM's global ring + timestamp (core/ring.hpp) and the
+// undo log (core/undo.hpp).
+#include <gtest/gtest.h>
+
+#include "core/ring.hpp"
+#include "core/undo.hpp"
+#include "tm/heap.hpp"
+#include "util/threads.hpp"
+
+namespace phtm::core {
+namespace {
+
+TEST(GlobalRing, SoftwareReserveFillValidate) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  GlobalRing ring(8);
+  alignas(64) std::uint64_t obj[16];
+
+  Signature wsig;
+  wsig.add(&obj[0]);
+  const std::uint64_t ts = ring.reserve(rt);
+  EXPECT_EQ(ts, 1u);
+  ring.fill_slot(rt, ts, wsig);
+
+  // A reader of a different line passes; a reader of obj's line conflicts.
+  Signature clean, dirty;
+  clean.add(&obj[8]);
+  dirty.add(&obj[0]);
+  std::uint64_t start = 0;
+  EXPECT_EQ(ring.validate(rt, start, clean), ValResult::kOk);
+  EXPECT_EQ(start, 1u);
+  start = 0;
+  EXPECT_EQ(ring.validate(rt, start, dirty), ValResult::kConflict);
+}
+
+TEST(GlobalRing, ValidateAdvancesStartAndIsIdempotent) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  GlobalRing ring(8);
+  alignas(64) std::uint64_t obj[8];
+  Signature wsig;
+  wsig.add(&obj[0]);
+  for (int i = 0; i < 3; ++i) ring.fill_slot(rt, ring.reserve(rt), wsig);
+
+  Signature rsig;  // empty: conflicts with nothing
+  std::uint64_t start = 0;
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kOk);
+  EXPECT_EQ(start, 3u);
+  // No new commits: validation is a no-op.
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kOk);
+  EXPECT_EQ(start, 3u);
+}
+
+TEST(GlobalRing, RolloverDetected) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  GlobalRing ring(4);
+  Signature empty;
+  for (int i = 0; i < 6; ++i) ring.fill_slot(rt, ring.reserve(rt), empty);
+  std::uint64_t start = 0;  // 6 commits > ring size 4: unvalidatable
+  Signature rsig;
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kRollover);
+}
+
+TEST(GlobalRing, LimitBoundsValidationRange) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  GlobalRing ring(8);
+  alignas(64) std::uint64_t obj[8];
+  Signature wsig;
+  wsig.add(&obj[0]);
+  ring.fill_slot(rt, ring.reserve(rt), Signature{});  // ts 1: clean
+  ring.fill_slot(rt, ring.reserve(rt), wsig);         // ts 2: conflicting
+  Signature rsig;
+  rsig.add(&obj[0]);
+  std::uint64_t start = 0;
+  // Limited to ts 1 the conflicting entry is out of range.
+  EXPECT_EQ(ring.validate(rt, start, rsig, /*limit=*/1), ValResult::kOk);
+  EXPECT_EQ(start, 1u);
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kConflict);
+}
+
+TEST(GlobalRing, HtmPublicationVisibleToValidators) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  sim::HtmRuntime::Thread th(rt);
+  GlobalRing ring(8);
+  alignas(64) std::uint64_t obj[8];
+  Signature wsig;
+  wsig.add(&obj[0]);
+  const auto r = rt.attempt(th, [&](sim::HtmOps& ops) {
+    ring.publish_in_htm(ops, wsig, /*busy code=*/9);
+  });
+  ASSERT_TRUE(r.committed);
+  Signature rsig;
+  rsig.add(&obj[0]);
+  std::uint64_t start = 0;
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kConflict);
+}
+
+TEST(GlobalRing, ConcurrentCommittersGetUniqueOrderedSlots) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  GlobalRing ring(1024);
+  constexpr unsigned kThreads = 6;
+  constexpr unsigned kPer = 400;
+  run_threads(kThreads, [&](unsigned tid) {
+    alignas(64) std::uint64_t obj[8];
+    Signature wsig;
+    wsig.add(&obj[tid % 8]);
+    for (unsigned i = 0; i < kPer; ++i) ring.fill_slot(rt, ring.reserve(rt), wsig);
+  });
+  // All reserved timestamps were filled: a full validation pass from an
+  // empty read signature must terminate with kOk at the final timestamp.
+  Signature rsig;
+  std::uint64_t start = rt.nontx_load(ring.timestamp_addr()) - 100;
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kOk);
+  EXPECT_EQ(start, std::uint64_t{kThreads} * kPer);
+}
+
+TEST(UndoLog, StagePromoteDiscard) {
+  UndoLog log;
+  std::uint64_t a = 1, b = 2;
+  log.stage(&a, 1);
+  EXPECT_TRUE(log.staged_contains(&a));
+  EXPECT_FALSE(log.self_locked(&a));  // not yet committed
+  log.promote_staged();
+  EXPECT_TRUE(log.self_locked(&a));
+  EXPECT_FALSE(log.staged_contains(&a));
+  log.stage(&b, 2);
+  log.discard_staged();
+  EXPECT_FALSE(log.self_locked(&b));
+  ASSERT_EQ(log.committed().size(), 1u);
+  EXPECT_EQ(log.committed()[0].addr, &a);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_FALSE(log.self_locked(&a));
+}
+
+TEST(UndoLog, ReverseTraversalRestoresOldest) {
+  UndoLog log;
+  std::uint64_t x = 0;
+  // Two sub-transactions each overwrote x; the log keeps both pre-values.
+  log.stage(&x, 10);  // value before first write
+  log.promote_staged();
+  log.stage(&x, 20);  // value before second write (i.e. first write's value)
+  log.promote_staged();
+  x = 30;
+  const auto& entries = log.committed();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+    *it->addr = it->old_val;
+  EXPECT_EQ(x, 10u) << "rollback must restore the pre-transaction value";
+}
+
+TEST(UndoLog, SelfLockSetGrows) {
+  UndoLog log;
+  std::vector<std::uint64_t> words(500);
+  for (auto& w : words) {
+    log.stage(&w, 0);
+    log.promote_staged();
+  }
+  for (auto& w : words) EXPECT_TRUE(log.self_locked(&w));
+  std::uint64_t other;
+  EXPECT_FALSE(log.self_locked(&other));
+}
+
+}  // namespace
+}  // namespace phtm::core

@@ -1,0 +1,180 @@
+// Tests for the extension features: HLE / Part-HLE lock elision and the
+// adaptive partitioner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/adaptive.hpp"
+#include "stm/hle.hpp"
+#include "test_common.hpp"
+
+namespace phtm::test {
+namespace {
+
+// --- HLE --------------------------------------------------------------------
+
+TEST(Hle, UncontendedSectionsAreElided) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  sim::HtmRuntime::Thread th(rt);
+  stm::HleMutex mu(rt);
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  unsigned elided = 0;
+  for (int i = 0; i < 100; ++i)
+    elided += mu.critical(th, [&](tm::Ctx& c) { c.put(x, c.get(x) + 1); });
+  EXPECT_EQ(*x, 100u);
+  EXPECT_EQ(elided, 100u);
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(Hle, OversizedSectionFallsBackToTheLock) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.write_lines_cap = 8;
+  sim::HtmRuntime rt(cfg);
+  sim::HtmRuntime::Thread th(rt);
+  stm::HleMutex mu(rt);
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(32 * 8);
+  const bool elided = mu.critical(th, [&](tm::Ctx& c) {
+    for (unsigned i = 0; i < 32; ++i)
+      c.put(arr + i * 8, std::uint64_t{1});  // 32 lines > tiny L1
+  });
+  EXPECT_FALSE(elided);
+  for (unsigned i = 0; i < 32; ++i) EXPECT_EQ(arr[i * 8], 1u);
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(Hle, MutualExclusionUnderContention) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  stm::HleMutex mu(rt);
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  constexpr unsigned kThreads = 6, kPer = 500;
+  run_threads(kThreads, [&](unsigned) {
+    sim::HtmRuntime::Thread th(rt);
+    for (unsigned i = 0; i < kPer; ++i)
+      mu.critical(th, [&](tm::Ctx& c) { c.put(x, c.get(x) + 1); });
+  });
+  EXPECT_EQ(*x, std::uint64_t{kThreads} * kPer);
+}
+
+TEST(PartHle, ResourceFailingSectionAvoidsTheLock) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  // Big enough for a 16-line segment plus PART-HTM's metadata lines, far
+  // too small for the 64-line whole section.
+  cfg.write_lines_cap = 32;
+  sim::HtmRuntime rt(cfg);
+  stm::PartHleMutex mu(rt);
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(64 * 8);
+  auto w = mu.make_worker(0);
+  tm::Txn section;
+  section.step = +[](tm::Ctx& c, const void* e, void*, unsigned seg) {
+    auto* a = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    for (unsigned i = 0; i < 16; ++i) c.write(a + (seg * 16 + i) * 8, 1);
+    return seg + 1 < 4;
+  };
+  section.env = arr;
+  mu.critical(*w, section);
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(arr[i * 8], 1u);
+  // The section exceeded HLE's speculative capacity yet committed on the
+  // partitioned path, not under the lock.
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kSoftware)], 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 0u);
+}
+
+// --- adaptive partitioner ----------------------------------------------------
+
+TEST(Adaptive, CapacityAbortsHalveTheSegment) {
+  core::AdaptivePartitioner p(/*initial=*/1024, /*min=*/64, /*max=*/4096);
+  EXPECT_EQ(p.ops_per_segment(), 1024u);
+  p.on_abort(AbortCause::kCapacity);
+  EXPECT_EQ(p.ops_per_segment(), 512u);
+  p.on_abort(AbortCause::kOther);
+  EXPECT_EQ(p.ops_per_segment(), 256u);
+  // Conflicts leave the size alone.
+  p.on_abort(AbortCause::kConflict);
+  EXPECT_EQ(p.ops_per_segment(), 256u);
+  // Floor.
+  for (int i = 0; i < 10; ++i) p.on_abort(AbortCause::kCapacity);
+  EXPECT_EQ(p.ops_per_segment(), 64u);
+}
+
+TEST(Adaptive, CommitStreaksGrowTheSegment) {
+  core::AdaptivePartitioner p(128, 64, 1024, /*grow_streak=*/4);
+  // Fast-path commits carry weight 4: the 4th reaches the 4*4 threshold.
+  for (int i = 0; i < 3; ++i) p.on_commit(CommitPath::kHtm);
+  EXPECT_EQ(p.ops_per_segment(), 128u);  // streak not reached
+  p.on_commit(CommitPath::kHtm);
+  EXPECT_EQ(p.ops_per_segment(), 256u);
+  // Clean partitioned commits probe upward 4x more slowly (weight 1).
+  for (int i = 0; i < 15; ++i) p.on_commit(CommitPath::kSoftware);
+  EXPECT_EQ(p.ops_per_segment(), 256u);
+  p.on_commit(CommitPath::kSoftware);
+  EXPECT_EQ(p.ops_per_segment(), 512u);
+  // A global-lock commit resets the streak entirely.
+  for (int i = 0; i < 3; ++i) p.on_commit(CommitPath::kHtm);
+  p.on_commit(CommitPath::kGlobalLock);
+  p.on_commit(CommitPath::kHtm);
+  EXPECT_EQ(p.ops_per_segment(), 512u);
+  // Cap.
+  for (int i = 0; i < 100; ++i) p.on_commit(CommitPath::kHtm);
+  EXPECT_EQ(p.ops_per_segment(), 1024u);
+}
+
+TEST(Adaptive, FeedbackScopeDerivesDeltas) {
+  core::AdaptivePartitioner p(1024, 64, 4096);
+  StatSheet sheet;
+  {
+    core::AdaptiveFeedback fb(p, sheet);
+    sheet.record_abort(AbortCause::kCapacity);
+    sheet.record_commit(CommitPath::kSoftware);
+  }
+  EXPECT_EQ(p.ops_per_segment(), 512u);
+}
+
+TEST(Adaptive, ConvergesOnAWorkloadEndToEnd) {
+  // Oversized transaction under a small L1: starting from a far-too-coarse
+  // granularity, repeated executions must drive the segment size down until
+  // the partitioned path stops seeing capacity aborts.
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.write_lines_cap = 64;
+  sim::HtmRuntime rt(cfg);
+  auto be = tm::make_backend(tm::Algo::kPartHtm, rt, {});
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(4096);
+  auto w = be->make_worker(0);
+  core::AdaptivePartitioner part(/*initial=*/4096, /*min=*/16, /*max=*/8192);
+
+  struct Env {
+    std::uint64_t* arr;
+  } env{arr};
+  struct L {
+    std::uint64_t ops_per_seg;
+  };
+
+  for (int i = 0; i < 60; ++i) {
+    L l{part.ops_per_segment()};
+    tm::Txn t;
+    t.step = +[](tm::Ctx& c, const void* ep, void* lp, unsigned seg) {
+      auto* a = static_cast<const Env*>(ep)->arr;
+      const std::uint64_t per = static_cast<L*>(lp)->ops_per_seg;
+      const std::uint64_t lo = seg * per;
+      const std::uint64_t hi = lo + per < 512 ? lo + per : 512;
+      for (std::uint64_t k = lo; k < hi; ++k) c.write(a + k * 8, k);
+      return hi < 512;  // 512 total lines >> 32-line L1
+    };
+    t.env = &env;
+    t.locals = &l;
+    t.locals_bytes = sizeof(l);
+    {
+      core::AdaptiveFeedback fb(part, w->stats());
+      be->execute(*w, t);
+    }
+  }
+  // Must have converged to something the partitioned path can commit.
+  // The very first executions may still end under the lock while the
+  // controller is ratcheting down; after convergence everything commits on
+  // the partitioned path.
+  EXPECT_LE(part.ops_per_segment(), 64u);
+  EXPECT_GE(w->stats().commits[static_cast<unsigned>(CommitPath::kSoftware)], 50u);
+  EXPECT_LE(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 5u);
+}
+
+}  // namespace
+}  // namespace phtm::test

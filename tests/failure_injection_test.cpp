@@ -1,0 +1,161 @@
+// Failure injection: every backend must stay correct when the simulated
+// hardware is actively hostile — tiny capacities, aggressive timer quanta,
+// high asynchronous-interrupt rates, minuscule rings — and when
+// irrevocable transactions storm the global lock.
+#include "test_common.hpp"
+
+namespace phtm::test {
+namespace {
+
+using tm::Ctx;
+
+class FailureInjection : public testing::TestWithParam<tm::Algo> {};
+
+sim::HtmConfig hostile_config() {
+  sim::HtmConfig cfg;
+  cfg.write_lines_cap = 24;
+  cfg.assoc_sets = 8;
+  cfg.assoc_ways = 4;
+  cfg.read_lines_cap = 256;
+  cfg.tick_budget = 600;
+  cfg.random_other_per_access = 1e-3;  // constant interrupt drizzle
+  cfg.hyperthread_pairs = true;
+  cfg.ht_sibling_stride = 2;
+  return cfg;
+}
+
+TEST_P(FailureInjection, CountersSurviveHostileHardware) {
+  tm::BackendConfig bcfg;
+  bcfg.ring_entries = 16;  // rollover-prone ring
+  BackendHarness h(GetParam(), hostile_config(), bcfg);
+  auto* counters = tm::TmHeap::instance().alloc_array<std::uint64_t>(4 * 8);
+
+  struct Env {
+    std::uint64_t* counters;
+  } env{counters};
+
+  constexpr unsigned kThreads = 5;
+  constexpr unsigned kPer = 150;
+  h.run(kThreads, [&](unsigned, tm::Worker& w) {
+    for (unsigned i = 0; i < kPer; ++i) {
+      // Mix of sizes: small txns, multi-segment txns, compute-heavy txns.
+      tm::Txn t = make_txn(
+          +[](Ctx& c, const void* e, void*, unsigned seg) {
+            auto* cn = static_cast<const Env*>(e)->counters;
+            c.write(cn + seg * 8, c.read(cn + seg * 8) + 1);
+            if (seg == 1) c.work(500);  // approaches the tiny quantum by itself
+            return seg + 1 < 4;
+          },
+          &env, nullptr, 0);
+      h.backend().execute(w, t);
+    }
+  });
+  for (unsigned k = 0; k < 4; ++k)
+    EXPECT_EQ(counters[k * 8], std::uint64_t{kThreads} * kPer) << "cell " << k;
+}
+
+TEST_P(FailureInjection, IrrevocableStormsPreserveAtomicity) {
+  BackendHarness h(GetParam(), hostile_config());
+  auto* cells = tm::TmHeap::instance().alloc_array<std::uint64_t>(2 * 8);
+
+  struct Env {
+    std::uint64_t* cells;
+  } env{cells};
+
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPer = 120;
+  h.run(kThreads, [&](unsigned tid, tm::Worker& w) {
+    for (unsigned i = 0; i < kPer; ++i) {
+      tm::Txn t = make_txn(
+          +[](Ctx& c, const void* e, void*, unsigned) {
+            auto* cl = static_cast<const Env*>(e)->cells;
+            c.write(cl, c.read(cl) + 1);
+            c.write(cl + 8, c.read(cl + 8) + 1);
+            return false;
+          },
+          &env, nullptr, 0);
+      // Every third transaction demands irrevocability (system calls...).
+      t.irrevocable = (tid + i) % 3 == 0;
+      h.backend().execute(w, t);
+    }
+  });
+  EXPECT_EQ(cells[0], std::uint64_t{kThreads} * kPer);
+  EXPECT_EQ(cells[8], cells[0]);
+}
+
+TEST_P(FailureInjection, OversizedUnderHostileResourcesStillAtomic) {
+  BackendHarness h(GetParam(), hostile_config());
+  constexpr unsigned kWords = 64 * 8;  // 64 lines >> 24-line L1
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(kWords);
+
+  struct Env {
+    std::uint64_t* arr;
+  } env{arr};
+  struct L {
+    std::uint64_t stamp;
+  };
+
+  constexpr unsigned kThreads = 3;
+  h.run(kThreads, [&](unsigned tid, tm::Worker& w) {
+    L l{};
+    for (unsigned i = 1; i <= 10; ++i) {
+      l.stamp = (std::uint64_t{tid + 1} << 32) | i;
+      tm::Txn t = make_txn(
+          +[](Ctx& c, const void* e, void* lp, unsigned seg) {
+            auto* a = static_cast<const Env*>(e)->arr;
+            const auto stamp = static_cast<L*>(lp)->stamp;
+            for (unsigned k = 0; k < 8; ++k)
+              c.write(a + (seg * 8 + k) * 8, stamp);
+            return seg + 1 < 8;
+          },
+          &env, &l, sizeof(l));
+      h.backend().execute(w, t);
+    }
+  });
+  const std::uint64_t first = arr[0];
+  for (unsigned k = 0; k < 64; ++k) ASSERT_EQ(arr[k * 8], first);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, FailureInjection,
+                         testing::ValuesIn(concurrent_algos()), algo_param_name);
+
+// Deterministic injections of each abort cause through the simulator knobs.
+TEST(FailureInjectionSim, EveryKnobProducesItsCause) {
+  using sim::AbortCode;
+  // Associativity.
+  {
+    sim::HtmConfig cfg = sim::HtmConfig::testing();
+    cfg.assoc_sets = 2;
+    cfg.assoc_ways = 1;
+    sim::HtmRuntime rt(cfg);
+    sim::HtmRuntime::Thread th(rt);
+    auto* a = tm::TmHeap::instance().alloc_array<std::uint64_t>(64);
+    const auto r = rt.attempt(th, [&](sim::HtmOps& ops) {
+      ops.write(a, 1);
+      ops.write(a + 16, 1);  // same set of a 2-set model
+    });
+    EXPECT_EQ(r.abort.code, AbortCode::kCapacity);
+  }
+  // Quantum.
+  {
+    sim::HtmConfig cfg = sim::HtmConfig::testing();
+    cfg.tick_budget = 10;
+    sim::HtmRuntime rt(cfg);
+    sim::HtmRuntime::Thread th(rt);
+    const auto r = rt.attempt(th, [&](sim::HtmOps& ops) { ops.work(11); });
+    EXPECT_EQ(r.abort.code, AbortCode::kOther);
+  }
+  // Interrupt rate of 1: the very first access faults.
+  {
+    sim::HtmConfig cfg = sim::HtmConfig::testing();
+    cfg.random_other_per_access = 1.0;
+    sim::HtmRuntime rt(cfg);
+    sim::HtmRuntime::Thread th(rt);
+    auto* a = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+    const auto r = rt.attempt(th, [&](sim::HtmOps& ops) { ops.read(a); });
+    EXPECT_EQ(r.abort.code, AbortCode::kOther);
+  }
+}
+
+}  // namespace
+}  // namespace phtm::test

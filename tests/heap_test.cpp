@@ -1,0 +1,86 @@
+// Unit tests for the TM heap and its shadow lock words.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "tm/heap.hpp"
+#include "util/cacheline.hpp"
+#include "util/threads.hpp"
+
+namespace phtm::tm {
+namespace {
+
+TEST(TmHeap, AllocationsAreZeroedAndLineAligned) {
+  auto& h = TmHeap::instance();
+  auto* a = h.alloc_array<std::uint64_t>(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % kCacheLineBytes, 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], 0u);
+}
+
+TEST(TmHeap, DistinctAllocationsNeverShareALine) {
+  auto& h = TmHeap::instance();
+  auto* a = h.alloc_array<std::uint64_t>(1);
+  auto* b = h.alloc_array<std::uint64_t>(1);
+  EXPECT_NE(line_of(a), line_of(b));
+}
+
+TEST(TmHeap, ShadowIsPerWordAndStable) {
+  auto& h = TmHeap::instance();
+  auto* a = h.alloc_array<std::uint64_t>(16);
+  auto* s0 = h.shadow_of(a);
+  auto* s1 = h.shadow_of(a + 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0 + 1, s1) << "shadow words are co-located by address arithmetic";
+  EXPECT_EQ(h.shadow_of(a), s0) << "mapping must be stable";
+  EXPECT_EQ(*s0, 0u);
+}
+
+TEST(TmHeap, ContainsDistinguishesHeapMemory) {
+  auto& h = TmHeap::instance();
+  auto* a = h.alloc_array<std::uint64_t>(4);
+  std::uint64_t stack_word = 0;
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_TRUE(h.contains(a + 3));
+  EXPECT_FALSE(h.contains(&stack_word));
+}
+
+TEST(TmHeap, NonHeapAddressesGetFallbackLocks) {
+  auto& h = TmHeap::instance();
+  std::uint64_t stack_word = 0;
+  auto* s = h.shadow_of(&stack_word);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(h.shadow_of(&stack_word), s);
+}
+
+TEST(TmHeap, LargeAllocationSpansOwnSlab) {
+  auto& h = TmHeap::instance();
+  const std::size_t big = 80u << 20;  // 80 MiB > slab size
+  auto* p = static_cast<std::uint64_t*>(h.alloc(big));
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(h.contains(p));
+  EXPECT_TRUE(h.contains(reinterpret_cast<char*>(p) + big - 8));
+  // Shadow works across the whole region.
+  EXPECT_NE(h.shadow_of(p + (big / 8) - 1), nullptr);
+}
+
+TEST(TmHeap, ConcurrentAllocationIsSafe) {
+  auto& h = TmHeap::instance();
+  std::vector<std::uint64_t*> ptrs[8];
+  run_threads(8, [&](unsigned tid) {
+    for (int i = 0; i < 200; ++i)
+      ptrs[tid].push_back(h.alloc_array<std::uint64_t>(8 + tid));
+  });
+  // All distinct, all contained, shadows resolvable.
+  std::set<std::uint64_t*> all;
+  for (auto& v : ptrs)
+    for (auto* p : v) {
+      EXPECT_TRUE(all.insert(p).second);
+      EXPECT_TRUE(h.contains(p));
+      EXPECT_NE(h.shadow_of(p), nullptr);
+    }
+}
+
+}  // namespace
+}  // namespace phtm::tm

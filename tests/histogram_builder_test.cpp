@@ -1,0 +1,121 @@
+// Unit tests for the latency histogram and the type-safe Txn builder.
+#include <gtest/gtest.h>
+
+#include "test_common.hpp"
+#include "tm/builder.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace phtm {
+namespace {
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.99), 15u);
+}
+
+TEST(Histogram, BucketBoundsContainValues) {
+  Rng rng(17);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng.next() >> (rng.below(60));
+    const unsigned b = Histogram::bucket_of(v);
+    EXPECT_GE(Histogram::bucket_upper(b), v) << "v=" << v << " b=" << b;
+    if (b > 0 && b < Histogram::kBuckets - 1)
+      EXPECT_LT(Histogram::bucket_upper(b - 1), v) << "v=" << v;
+  }
+}
+
+TEST(Histogram, QuantilesWithinRelativeError) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  // p50 ~ 50000, p99 ~ 99000, each within the 6.25% bucket error.
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50000.0, 50000 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99000.0, 99000 * 0.07);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a, b, both;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.below(1 << 20);
+    ((i % 2) ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_EQ(a.min(), both.min());
+  for (double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_EQ(a.quantile(q), both.quantile(q));
+}
+
+TEST(TxnBuilder, MultiSegmentTypedStep) {
+  test::BackendHarness h(tm::Algo::kPartHtm);
+  struct Env {
+    std::uint64_t* cells;
+  };
+  struct L {
+    std::uint64_t sum;
+  };
+  auto* cells = tm::TmHeap::instance().alloc_array<std::uint64_t>(4 * 8);
+  for (int i = 0; i < 4; ++i) cells[i * 8] = i + 1;
+  Env env{cells};
+  L l{};
+  tm::Txn t = tm::TxnOf<Env, L>::make(
+      env, l, [](tm::Ctx& c, const Env& e, L& loc, unsigned seg) {
+        loc.sum += c.read(e.cells + seg * 8);
+        c.write(e.cells + seg * 8, loc.sum);
+        return seg + 1 < 4;
+      });
+  h.run(1, [&](unsigned, tm::Worker& w) { h.backend().execute(w, t); });
+  EXPECT_EQ(l.sum, 1u + 2 + 3 + 4);
+  EXPECT_EQ(cells[3 * 8], 10u);
+}
+
+TEST(TxnBuilder, FlatSingleSegment) {
+  test::BackendHarness h(tm::Algo::kNorec);
+  struct Env {
+    std::uint64_t* x;
+  };
+  struct L {
+    std::uint64_t seen;
+  };
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  *x = 41;
+  Env env{x};
+  L l{};
+  tm::Txn t = tm::TxnOf<Env, L>::make_flat(
+      env, l, [](tm::Ctx& c, const Env& e, L& loc) {
+        loc.seen = c.read(e.x);
+        c.write(e.x, loc.seen + 1);
+      });
+  h.run(1, [&](unsigned, tm::Worker& w) { h.backend().execute(w, t); });
+  EXPECT_EQ(l.seen, 41u);
+  EXPECT_EQ(*x, 42u);
+}
+
+TEST(TxnBuilder, IrrevocableFlagPropagates) {
+  struct Env {
+    int dummy;
+  };
+  struct L {
+    int dummy;
+  };
+  Env env{};
+  L l{};
+  tm::Txn t = tm::TxnOf<Env, L>::make(
+      env, l, [](tm::Ctx&, const Env&, L&, unsigned) { return false; },
+      /*irrevocable=*/true);
+  EXPECT_TRUE(t.irrevocable);
+  EXPECT_EQ(t.locals_bytes, sizeof(L));
+}
+
+}  // namespace
+}  // namespace phtm

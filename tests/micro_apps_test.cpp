@@ -1,0 +1,143 @@
+// Integration tests for the micro-benchmark applications (NRW, linked list,
+// EigenBench) across backends.
+#include <gtest/gtest.h>
+
+#include "apps/eigenbench.hpp"
+#include "apps/list.hpp"
+#include "apps/nrw.hpp"
+#include "test_common.hpp"
+
+namespace phtm::test {
+namespace {
+
+class MicroApps : public testing::TestWithParam<tm::Algo> {};
+
+TEST_P(MicroApps, NrwConfigAWritesLand) {
+  sim::HtmRuntime rt(sim::HtmConfig::xeon18c());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  apps::NrwApp app(apps::NrwApp::Config::a(), 4);
+  run_threads(4, [&](unsigned tid) {
+    auto w = be->make_worker(tid);
+    apps::NrwApp::Locals l;
+    for (int i = 0; i < 50; ++i) {
+      tm::Txn t = app.make_txn(tid, l);
+      be->execute(*w, t);
+    }
+  });
+  // Every thread's slice got its writes.
+  for (unsigned tid = 0; tid < 4; ++tid)
+    EXPECT_NE(app.dst()[tid * (100000 / 4)], 0u) << "thread " << tid;
+}
+
+TEST_P(MicroApps, NrwConfigBOversizedReadsCommit) {
+  sim::HtmRuntime rt(sim::HtmConfig::xeon18c());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  apps::NrwApp::Config cfg = apps::NrwApp::Config::b();
+  cfg.array_size = 20000;  // keep the test quick; still >> any L1
+  cfg.n_reads = 20000;
+  apps::NrwApp app(cfg, 2);
+  run_threads(2, [&](unsigned tid) {
+    auto w = be->make_worker(tid);
+    apps::NrwApp::Locals l;
+    for (int i = 0; i < 3; ++i) {
+      tm::Txn t = app.make_txn(tid, l);
+      be->execute(*w, t);
+    }
+  });
+  EXPECT_NE(app.dst()[0], 0u);
+}
+
+TEST_P(MicroApps, NrwConfigCDurationBoundCommits) {
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  apps::NrwApp app(apps::NrwApp::Config::c(), 2);
+  run_threads(2, [&](unsigned tid) {
+    auto w = be->make_worker(tid);
+    apps::NrwApp::Locals l;
+    for (int i = 0; i < 5; ++i) {
+      tm::Txn t = app.make_txn(tid, l);
+      be->execute(*w, t);
+    }
+  });
+  // dst[base+i] = src[base+i]*3+1 for the written prefix.
+  for (unsigned tid = 0; tid < 2; ++tid) {
+    const std::uint64_t base = tid * 50000;
+    EXPECT_EQ(app.dst()[base], base * 3 + 1);
+    EXPECT_EQ(app.dst()[base + 99], (base + 99) * 3 + 1);
+  }
+}
+
+TEST_P(MicroApps, ListStaysSortedAndSizeBalanced) {
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  apps::ListApp::Config cfg;
+  cfg.initial_size = 300;
+  apps::ListApp app(cfg);
+  std::atomic<std::int64_t> net{0};  // inserts - removes that took effect
+  run_threads(4, [&](unsigned tid) {
+    auto w = be->make_worker(tid);
+    apps::ListApp::NodePool pool;
+    apps::ListApp::Locals l;
+    std::int64_t mine = 0;
+    for (int i = 0; i < 300; ++i) {
+      tm::Txn t = app.make_txn(w->rng(), pool, l);
+      be->execute(*w, t);
+      if (l.op == apps::ListApp::kInsert && l.result) ++mine;
+      if (l.op == apps::ListApp::kRemove && l.result) --mine;
+      app.finish(l, pool);
+    }
+    net.fetch_add(mine);
+  });
+  EXPECT_TRUE(app.sorted_and_unique());
+  EXPECT_EQ(app.size(), 300u + net.load());
+}
+
+TEST_P(MicroApps, ListContainsAgreesWithSequentialCheck) {
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  apps::ListApp::Config cfg;
+  cfg.initial_size = 100;
+  cfg.write_pct = 0;  // read-only: the set is static
+  apps::ListApp app(cfg);
+  auto w = be->make_worker(0);
+  apps::ListApp::NodePool pool;
+  apps::ListApp::Locals l;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    tm::Txn t = app.make_txn(rng, pool, l);
+    be->execute(*w, t);
+    EXPECT_EQ(l.result != 0, app.contains_seq(l.key)) << "key " << l.key;
+  }
+}
+
+TEST_P(MicroApps, EigenMixedAndHotComplete) {
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  for (const auto cfg :
+       {apps::EigenApp::Config::mixed(), apps::EigenApp::Config::hot()}) {
+    apps::EigenApp::Config c2 = cfg;
+    if (c2.mode == apps::EigenApp::Mode::kHot) {
+      c2.hot_reads = 1000;  // keep the hot config quick
+    }
+    apps::EigenApp app(c2, 2);
+    std::atomic<std::uint64_t> done{0};
+    run_threads(2, [&](unsigned tid) {
+      auto w = be->make_worker(tid);
+      Rng rng(tid + 1);
+      apps::EigenApp::Locals l;
+      const int n = c2.mode == apps::EigenApp::Mode::kHot ? 4 : 40;
+      for (int i = 0; i < n; ++i) {
+        tm::Txn t = app.make_txn(tid, rng, l);
+        be->execute(*w, t);
+        done.fetch_add(1);
+      }
+    });
+    EXPECT_GT(done.load(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, MicroApps,
+                         testing::ValuesIn(concurrent_algos()), algo_param_name);
+
+}  // namespace
+}  // namespace phtm::test

@@ -1,0 +1,321 @@
+// PART-HTM-specific behavior: path selection, lock-table hygiene, undo on
+// global abort, software segments, irrevocability, and the PART-HTM-O
+// opacity property.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/part_htm.hpp"
+#include "test_common.hpp"
+
+namespace phtm::test {
+namespace {
+
+using core::PartHtmBackend;
+
+std::unique_ptr<PartHtmBackend> make_part(sim::HtmRuntime& rt,
+                                          PartHtmBackend::Mode mode,
+                                          bool no_fast = false,
+                                          tm::BackendConfig cfg = {}) {
+  return std::make_unique<PartHtmBackend>(rt, cfg, mode, no_fast);
+}
+
+// --- path selection -------------------------------------------------------
+
+TEST(PartHtm, SmallTransactionsCommitOnFastPath) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable);
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  auto w = be->make_worker(0);
+  for (int i = 0; i < 50; ++i) {
+    tm::Txn t;
+    t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+      auto* p = static_cast<std::uint64_t*>(const_cast<void*>(e));
+      c.write(p, c.read(p) + 1);
+      return false;
+    };
+    t.env = x;
+    be->execute(*w, t);
+  }
+  EXPECT_EQ(*x, 50u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kHtm)], 50u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kSoftware)], 0u);
+}
+
+TEST(PartHtm, OversizedTransactionsTakePartitionedPathNotLock) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.write_lines_cap = 32;  // tiny L1: 64-line write set cannot fit
+  sim::HtmRuntime rt(cfg);
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable);
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(64 * 8);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned seg) {
+    auto* a = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    for (unsigned i = 0; i < 16; ++i) c.write(a + (seg * 16 + i) * 8, 1);
+    return seg + 1 < 4;  // 4 segments x 16 lines
+  };
+  t.env = arr;
+  be->execute(*w, t);
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(arr[i * 8], 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kSoftware)], 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 0u);
+  EXPECT_GE(w->stats().sub_htm_commits, 4u);
+  // The discovery abort must be a capacity abort.
+  EXPECT_GE(w->stats().aborts[static_cast<unsigned>(AbortCause::kCapacity)], 1u);
+}
+
+TEST(PartHtm, NoFastVariantSkipsHardwareTrial) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable, /*no_fast=*/true);
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+    auto* p = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    c.write(p, c.read(p) + 1);
+    return false;
+  };
+  t.env = x;
+  be->execute(*w, t);
+  EXPECT_EQ(*x, 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kHtm)], 0u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kSoftware)], 1u);
+}
+
+TEST(PartHtm, IrrevocableTakesSlowPath) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable);
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+    auto* p = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    c.write(p, 5);
+    return false;
+  };
+  t.env = x;
+  t.irrevocable = true;
+  be->execute(*w, t);
+  EXPECT_EQ(*x, 5u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 1u);
+}
+
+// --- metadata hygiene -----------------------------------------------------
+
+TEST(PartHtm, WriteLocksReleasedAfterPartitionedCommit) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.write_lines_cap = 16;
+  sim::HtmRuntime rt(cfg);
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable);
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(32 * 8);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned seg) {
+    auto* a = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    for (unsigned i = 0; i < 8; ++i) c.write(a + (seg * 8 + i) * 8, 1);
+    return seg + 1 < 4;
+  };
+  t.env = arr;
+  be->execute(*w, t);
+  EXPECT_TRUE(be->write_locks().atomic_snapshot().empty())
+      << "lock table must be clean after commit";
+}
+
+TEST(PartHtm, SoftwareSegmentsRunOutsidePartitionedHardware) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.tick_budget = 3000;  // the compute segment alone would blow this
+  sim::HtmRuntime rt(cfg);
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable,
+                      /*no_fast=*/true);  // go straight to the partitioned path
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned seg) {
+    auto* p = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    if (seg == 0) {
+      c.write(p, c.read(p) + 1);
+      return true;
+    }
+    if (seg == 1) {
+      c.work(50'000);  // would abort any hardware transaction (OTHER)
+      return true;
+    }
+    c.write(p, c.read(p) + 1);
+    return false;
+  };
+  t.seg_kind = +[](const void*, const void*, unsigned seg) {
+    return seg == 1 ? tm::SegKind::kSw : tm::SegKind::kHw;
+  };
+  t.env = x;
+  be->execute(*w, t);
+  EXPECT_EQ(*x, 2u);
+  // If the work segment had run in hardware, the transaction could only
+  // have completed on the slow path.
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kSoftware)], 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 0u);
+}
+
+// --- abort handling -------------------------------------------------------
+
+TEST(PartHtm, GlobalAbortRestoresEagerWrites) {
+  // Two workers: A partitions and writes x in its first segment, then stalls
+  // on a flag; B overwrites one of A's read locations forcing A's in-flight
+  // validation to fail; A must roll x back before retrying.
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  sim::HtmRuntime rt(cfg);
+  tm::BackendConfig bcfg;
+  bcfg.validate_after_each_sub = true;
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable,
+                      /*no_fast=*/true, bcfg);
+  auto* mem = tm::TmHeap::instance().alloc_array<std::uint64_t>(16);
+  std::uint64_t* x = mem;       // written by A (eagerly published)
+  std::uint64_t* y = mem + 8;   // read by A, written by B
+
+  std::atomic<int> phase{0};
+  std::atomic<bool> first_pass{true};
+
+  struct E {
+    std::uint64_t *x, *y;
+    std::atomic<int>* phase;
+    std::atomic<bool>* first_pass;
+  } env{x, y, &phase, &first_pass};
+
+  std::thread ta([&] {
+    auto w = be->make_worker(0);
+    tm::Txn t;
+    t.step = +[](tm::Ctx& c, const void* ep, void*, unsigned seg) {
+      const E& e = *static_cast<const E*>(ep);
+      if (seg == 0) {
+        c.read(e.y);          // dependency on y
+        c.write(e.x, 42);     // eagerly published at sub-commit
+        return true;
+      }
+      // On the first global execution only: park between the segments so
+      // the main thread can interfere. Retries skip the handshake.
+      if (e.first_pass->exchange(false)) {
+        e.phase->store(2);
+        while (e.phase->load() != 3) cpu_relax();
+      }
+      c.write(e.x, 43);
+      return false;
+    };
+    t.env = &env;
+    be->execute(*w, t);
+    EXPECT_GE(w->stats().global_aborts, 1u);
+  });
+
+  // Wait for A to park between its two segments; its first sub-HTM commit
+  // has eagerly published x = 42 by then.
+  while (phase.load() != 2) cpu_relax();
+  EXPECT_EQ(__atomic_load_n(x, __ATOMIC_ACQUIRE), 42u);
+  // Invalidate A: overwrite y (a location A read).
+  {
+    auto wb = be->make_worker(1);
+    struct E {
+      std::uint64_t* y;
+    } env{y};
+    tm::Txn t;
+    t.step = +[](tm::Ctx& c, const void* ep, void*, unsigned) {
+      c.write(static_cast<const E*>(ep)->y, 7);
+      return false;
+    };
+    t.env = &env;
+    be->execute(*wb, t);
+  }
+  // A has not committed yet but had published x=42; after we release it, A
+  // must detect the invalidation, roll back x, and re-execute to completion.
+  phase.store(3);
+  ta.join();
+  EXPECT_EQ(*x, 43u);
+  EXPECT_EQ(*y, 7u);
+}
+
+// --- opacity (PART-HTM-O) --------------------------------------------------
+
+struct OpacityEnv {
+  std::uint64_t* a;
+  std::uint64_t* b;
+  std::atomic<std::uint64_t>* inconsistencies;
+};
+struct OpacityLocals {
+  std::uint64_t va;
+};
+
+/// Readers pull a then b in separate segments and count observed snapshot
+/// violations through a non-transactional side channel (locals would be
+/// rolled back, the side channel survives aborts).
+bool opacity_reader_step(tm::Ctx& c, const void* ep, void* lp, unsigned seg) {
+  const OpacityEnv& e = *static_cast<const OpacityEnv*>(ep);
+  OpacityLocals& l = *static_cast<OpacityLocals*>(lp);
+  if (seg == 0) {
+    l.va = c.read(e.a);
+    return true;
+  }
+  const std::uint64_t vb = c.read(e.b);
+  if (l.va + vb != 1000) e.inconsistencies->fetch_add(1);
+  return false;
+}
+
+bool opacity_writer_step(tm::Ctx& c, const void* ep, void*, unsigned seg) {
+  const OpacityEnv& e = *static_cast<const OpacityEnv*>(ep);
+  if (seg == 0) {
+    c.write(e.a, c.read(e.a) + 10);
+    return true;
+  }
+  c.write(e.b, c.read(e.b) - 10);
+  return false;
+}
+
+TEST(PartHtmO, NoSegmentEverRunsOnAnInvalidSnapshot) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = make_part(rt, PartHtmBackend::Mode::kOpaque, /*no_fast=*/true);
+  auto* mem = tm::TmHeap::instance().alloc_array<std::uint64_t>(16);
+  mem[0] = 400;
+  mem[8] = 600;  // invariant: a + b == 1000
+  std::atomic<std::uint64_t> inconsistencies{0};
+  OpacityEnv env{mem, mem + 8, &inconsistencies};
+
+  run_threads(4, [&](unsigned tid) {
+    auto w = be->make_worker(tid);
+    OpacityLocals l{};
+    for (int i = 0; i < 400; ++i) {
+      tm::Txn t;
+      t.step = (tid % 2 == 0) ? &opacity_reader_step : &opacity_writer_step;
+      t.env = &env;
+      t.locals = &l;
+      t.locals_bytes = sizeof(l);
+      be->execute(*w, t);
+    }
+  });
+
+  EXPECT_EQ(mem[0] + mem[8], 1000u);
+  // Opacity: even transactions that later abort never observed a broken
+  // snapshot across their segments.
+  EXPECT_EQ(inconsistencies.load(), 0u);
+}
+
+TEST(PartHtmO, EncounterTimeLocksKeepShadowClean) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.write_lines_cap = 16;
+  sim::HtmRuntime rt(cfg);
+  auto be = make_part(rt, PartHtmBackend::Mode::kOpaque);
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(64 * 8);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned seg) {
+    auto* a = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    for (unsigned i = 0; i < 16; ++i) c.write(a + (seg * 16 + i) * 8, 2);
+    return seg + 1 < 4;
+  };
+  t.env = arr;
+  be->execute(*w, t);
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(arr[i * 8], 2u);
+    EXPECT_EQ(*tm::TmHeap::instance().shadow_of(arr + i * 8), 0u)
+        << "shadow lock " << i << " leaked";
+  }
+}
+
+}  // namespace
+}  // namespace phtm::test

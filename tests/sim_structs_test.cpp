@@ -1,0 +1,138 @@
+// Unit tests for the simulator's per-transaction containers (LineSet,
+// WriteBuf, AssocModel) — in particular the O(1) epoch-based clear.
+#include <gtest/gtest.h>
+
+#include "sim/lineset.hpp"
+#include "sim/writebuf.hpp"
+#include "util/rng.hpp"
+
+namespace phtm::sim {
+namespace {
+
+TEST(LineSet, AddTracksFlagsAndCounts) {
+  LineSet s;
+  EXPECT_EQ(s.add(10, LineSet::kRead), 0);
+  EXPECT_EQ(s.add(10, LineSet::kRead), LineSet::kRead);
+  EXPECT_EQ(s.add(10, LineSet::kWrite), LineSet::kRead);
+  EXPECT_EQ(s.flags_of(10), LineSet::kRead | LineSet::kWrite);
+  EXPECT_EQ(s.flags_of(11), 0);
+  EXPECT_EQ(s.distinct_lines(), 1u);
+  EXPECT_EQ(s.read_lines(), 1u);
+  EXPECT_EQ(s.write_lines(), 1u);
+  s.add(11, LineSet::kWrite);
+  EXPECT_EQ(s.write_lines(), 2u);
+  EXPECT_EQ(s.read_lines(), 1u);
+}
+
+TEST(LineSet, ClearIsCompleteAndCheap) {
+  LineSet s;
+  for (std::uint64_t i = 0; i < 100; ++i) s.add(i, LineSet::kRead);
+  s.clear();
+  EXPECT_EQ(s.distinct_lines(), 0u);
+  EXPECT_TRUE(s.touched().empty());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(s.flags_of(i), 0);
+  // Entries survive re-adding after clear (epoch discrimination).
+  s.add(5, LineSet::kWrite);
+  EXPECT_EQ(s.flags_of(5), LineSet::kWrite);
+  EXPECT_EQ(s.write_lines(), 1u);
+}
+
+TEST(LineSet, GrowPreservesContents) {
+  LineSet s(16);
+  Rng rng(3);
+  std::vector<std::uint64_t> lines;
+  for (int i = 0; i < 5000; ++i) lines.push_back(rng.next());
+  for (const auto l : lines) s.add(l, LineSet::kRead);
+  for (const auto l : lines) EXPECT_NE(s.flags_of(l) & LineSet::kRead, 0);
+}
+
+TEST(LineSet, TouchedPreservesFirstTouchOrder) {
+  LineSet s;
+  s.add(30, LineSet::kRead);
+  s.add(10, LineSet::kWrite);
+  s.add(30, LineSet::kWrite);  // repeat must not duplicate
+  s.add(20, LineSet::kRead);
+  ASSERT_EQ(s.touched().size(), 3u);
+  EXPECT_EQ(s.touched()[0], 30u);
+  EXPECT_EQ(s.touched()[1], 10u);
+  EXPECT_EQ(s.touched()[2], 20u);
+}
+
+TEST(LineSet, EpochWrapIsHandled) {
+  LineSet s(16);
+  // Force many epochs; far beyond a uint8 but cheap for uint32 sanity.
+  for (int e = 0; e < 100000; ++e) {
+    s.clear();
+    s.add(static_cast<std::uint64_t>(e), LineSet::kRead);
+    ASSERT_EQ(s.distinct_lines(), 1u);
+  }
+}
+
+TEST(WriteBuf, PutGetLastWriteWins) {
+  WriteBuf w;
+  std::uint64_t a = 0, b = 0;
+  w.put(&a, 1);
+  w.put(&b, 2);
+  w.put(&a, 3);
+  std::uint64_t v;
+  ASSERT_TRUE(w.get(&a, v));
+  EXPECT_EQ(v, 3u);
+  ASSERT_TRUE(w.get(&b, v));
+  EXPECT_EQ(v, 2u);
+  std::uint64_t c;
+  EXPECT_FALSE(w.get(&c, v));
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(WriteBuf, PublishWritesAllInFirstWriteOrder) {
+  WriteBuf w;
+  std::uint64_t cells[3] = {};
+  w.put(&cells[2], 30);
+  w.put(&cells[0], 10);
+  w.put(&cells[2], 31);  // updated in place, keeps first-write position
+  w.put(&cells[1], 20);
+  ASSERT_EQ(w.cells().size(), 3u);
+  EXPECT_EQ(w.cells()[0].addr, &cells[2]);
+  EXPECT_EQ(w.cells()[0].val, 31u);
+  w.publish();
+  EXPECT_EQ(cells[0], 10u);
+  EXPECT_EQ(cells[1], 20u);
+  EXPECT_EQ(cells[2], 31u);
+}
+
+TEST(WriteBuf, ClearDropsEverything) {
+  WriteBuf w;
+  std::uint64_t a = 0;
+  w.put(&a, 1);
+  w.clear();
+  std::uint64_t v;
+  EXPECT_FALSE(w.get(&a, v));
+  EXPECT_TRUE(w.empty());
+  w.publish();
+  EXPECT_EQ(a, 0u);
+}
+
+TEST(WriteBuf, GrowKeepsAllCells) {
+  WriteBuf w(16);
+  std::vector<std::uint64_t> mem(4000);
+  for (std::size_t i = 0; i < mem.size(); ++i) w.put(&mem[i], i + 1);
+  std::uint64_t v;
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    ASSERT_TRUE(w.get(&mem[i], v));
+    EXPECT_EQ(v, i + 1);
+  }
+}
+
+TEST(AssocModel, EvictsBeyondWays) {
+  AssocModel m;
+  m.configure(4, 2);
+  EXPECT_TRUE(m.add_written_line(0));
+  EXPECT_TRUE(m.add_written_line(4));   // same set (0 % 4)
+  EXPECT_FALSE(m.add_written_line(8));  // third way: eviction
+  EXPECT_TRUE(m.add_written_line(1));   // different set
+  m.clear();
+  EXPECT_TRUE(m.add_written_line(8));
+}
+
+}  // namespace
+}  // namespace phtm::sim

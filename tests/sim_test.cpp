@@ -1,0 +1,336 @@
+// Unit tests for the best-effort HTM simulator: the abort taxonomy
+// (conflict / capacity / explicit / other), speculation isolation, strong
+// atomicity and the commit-latch protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sim/runtime.hpp"
+#include "tm/heap.hpp"
+#include "util/threads.hpp"
+
+namespace phtm::sim {
+namespace {
+
+std::uint64_t* fresh_words(std::size_t n) {
+  return tm::TmHeap::instance().alloc_array<std::uint64_t>(n);
+}
+
+TEST(Sim, CommitPublishesWrites) {
+  HtmRuntime rt(HtmConfig::testing());
+  HtmRuntime::Thread th(rt);
+  auto* x = fresh_words(2);
+  const auto r = rt.attempt(th, [&](HtmOps& ops) {
+    ops.write(x, 7);
+    ops.write(x + 1, ops.read(x) + 1);  // read own write
+  });
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(x[0], 7u);
+  EXPECT_EQ(x[1], 8u);
+}
+
+TEST(Sim, AbortDiscardsWrites) {
+  HtmRuntime rt(HtmConfig::testing());
+  HtmRuntime::Thread th(rt);
+  auto* x = fresh_words(1);
+  const auto r = rt.attempt(th, [&](HtmOps& ops) {
+    ops.write(x, 99);
+    ops.xabort(42);
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.abort.code, AbortCode::kExplicit);
+  EXPECT_EQ(r.abort.xabort_code, 42u);
+  EXPECT_EQ(*x, 0u) << "speculative write leaked";
+}
+
+TEST(Sim, SpeculativeWritesInvisibleToOtherThreads) {
+  HtmRuntime rt(HtmConfig::testing());
+  auto* x = fresh_words(1);
+  std::atomic<int> phase{0};
+  std::atomic<std::uint64_t> observed{~0ull};
+  std::thread writer([&] {
+    HtmRuntime::Thread th(rt);
+    rt.attempt(th, [&](HtmOps& ops) {
+      ops.write(x, 5);
+      phase.store(1);
+      while (phase.load() != 2) cpu_relax();  // hold the txn open
+      ops.xabort(1);                          // never commit
+    });
+    phase.store(3);
+  });
+  while (phase.load() != 1) cpu_relax();
+  observed = __atomic_load_n(x, __ATOMIC_ACQUIRE);  // raw peek, no doom
+  phase.store(2);
+  writer.join();
+  EXPECT_EQ(observed.load(), 0u);
+}
+
+TEST(Sim, WriteCapacityAborts) {
+  HtmConfig cfg = HtmConfig::testing();
+  cfg.write_lines_cap = 16;
+  HtmRuntime rt(cfg);
+  HtmRuntime::Thread th(rt);
+  auto* arr = fresh_words(8 * 64);
+  const auto r = rt.attempt(th, [&](HtmOps& ops) {
+    for (unsigned i = 0; i < 32; ++i) ops.write(arr + i * 8, i);  // 32 lines
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.abort.code, AbortCode::kCapacity);
+  for (unsigned i = 0; i < 32; ++i) EXPECT_EQ(arr[i * 8], 0u);
+}
+
+TEST(Sim, AssociativityEvictionAborts) {
+  HtmConfig cfg = HtmConfig::testing();
+  cfg.assoc_sets = 4;
+  cfg.assoc_ways = 2;
+  cfg.write_lines_cap = 1024;  // total cap must not be the trigger
+  HtmRuntime rt(cfg);
+  HtmRuntime::Thread th(rt);
+  auto* arr = fresh_words(8 * 64);
+  // Three lines mapping to the same set (stride = sets * line).
+  const auto r = rt.attempt(th, [&](HtmOps& ops) {
+    ops.write(arr + 0 * 4 * 8, 1);
+    ops.write(arr + 1 * 4 * 8, 1);
+    ops.write(arr + 2 * 4 * 8, 1);
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.abort.code, AbortCode::kCapacity);
+}
+
+TEST(Sim, ReadCapacityScalesWithConcurrency) {
+  HtmConfig cfg = HtmConfig::testing();
+  cfg.read_lines_cap = 256;
+  cfg.scale_read_cap_with_conc = true;
+  HtmRuntime rt(cfg);
+  // Alone: 200 read lines fit (budget 256/1).
+  {
+    HtmRuntime::Thread th(rt);
+    auto* arr = fresh_words(8 * 256);
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      for (unsigned i = 0; i < 200; ++i) ops.read(arr + i * 8);
+    });
+    EXPECT_TRUE(r.committed);
+  }
+  // With a second transaction active the budget halves and 200 lines spill
+  // (floor at 64 lines stays below 200).
+  std::atomic<int> phase{0};
+  std::thread occupant([&] {
+    HtmRuntime::Thread th(rt);
+    rt.attempt(th, [&](HtmOps& ops) {
+      ops.read(fresh_words(1));
+      phase.store(1);
+      while (phase.load() != 2) cpu_relax();
+    });
+  });
+  while (phase.load() != 1) cpu_relax();
+  {
+    HtmRuntime::Thread th(rt);
+    auto* arr = fresh_words(8 * 256);
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      for (unsigned i = 0; i < 200; ++i) ops.read(arr + i * 8);
+    });
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(r.abort.code, AbortCode::kCapacity);
+  }
+  phase.store(2);
+  occupant.join();
+}
+
+TEST(Sim, TickBudgetFiresTimerAbort) {
+  HtmConfig cfg = HtmConfig::testing();
+  cfg.tick_budget = 100;
+  HtmRuntime rt(cfg);
+  HtmRuntime::Thread th(rt);
+  const auto r = rt.attempt(th, [&](HtmOps& ops) { ops.work(200); });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.abort.code, AbortCode::kOther);
+}
+
+TEST(Sim, RandomInterruptsEventuallyFire) {
+  HtmConfig cfg = HtmConfig::testing();
+  cfg.random_other_per_access = 0.05;
+  HtmRuntime rt(cfg);
+  HtmRuntime::Thread th(rt);
+  auto* x = fresh_words(1);
+  int aborts = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      for (int k = 0; k < 20; ++k) ops.read(x);
+    });
+    if (!r.committed) {
+      EXPECT_EQ(r.abort.code, AbortCode::kOther);
+      ++aborts;
+    }
+  }
+  EXPECT_GT(aborts, 0);
+  EXPECT_LT(aborts, 200);
+}
+
+TEST(Sim, RequesterWinsConflict) {
+  HtmRuntime rt(HtmConfig::testing());
+  auto* x = fresh_words(1);
+  std::atomic<int> phase{0};
+  AbortStatus victim_abort{};
+  std::thread holder([&] {
+    HtmRuntime::Thread th(rt);
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      ops.read(x);
+      phase.store(1);
+      while (phase.load() != 2) cpu_relax();
+      ops.read(x);  // doomed by the requester's write by now
+    });
+    EXPECT_FALSE(r.committed);
+    victim_abort = r.abort;
+    phase.store(3);
+  });
+  while (phase.load() != 1) cpu_relax();
+  HtmRuntime::Thread th2(rt);
+  const auto r2 = rt.attempt(th2, [&](HtmOps& ops) { ops.write(x, 1); });
+  EXPECT_TRUE(r2.committed) << "requester should win";
+  phase.store(2);
+  holder.join();
+  EXPECT_EQ(victim_abort.code, AbortCode::kConflict);
+  EXPECT_EQ(victim_abort.conflict_line, line_of(x));
+}
+
+TEST(Sim, StrongAtomicityNontxStoreAbortsReader) {
+  HtmRuntime rt(HtmConfig::testing());
+  auto* x = fresh_words(1);
+  std::atomic<int> phase{0};
+  std::thread reader([&] {
+    HtmRuntime::Thread th(rt);
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      ops.read(x);
+      phase.store(1);
+      while (phase.load() != 2) cpu_relax();
+      ops.read(x);
+    });
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(r.abort.code, AbortCode::kConflict);
+  });
+  while (phase.load() != 1) cpu_relax();
+  rt.nontx_store(x, 9);  // non-transactional write: strong atomicity
+  phase.store(2);
+  reader.join();
+  EXPECT_EQ(*x, 9u);
+}
+
+TEST(Sim, NontxLoadDoomsWriterButNotReader) {
+  HtmRuntime rt(HtmConfig::testing());
+  auto* x = fresh_words(1);
+  auto* y = fresh_words(1);
+  std::atomic<int> phase{0};
+  std::thread txn([&] {
+    HtmRuntime::Thread th(rt);
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      ops.read(y);      // reader of y: must survive a nontx load
+      ops.write(x, 3);  // writer of x: must be doomed by a nontx load
+      phase.store(1);
+      while (phase.load() != 2) cpu_relax();
+      ops.read(x);
+    });
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(r.abort.code, AbortCode::kConflict);
+  });
+  while (phase.load() != 1) cpu_relax();
+  EXPECT_EQ(rt.nontx_load(y), 0u);  // reading a read-set line dooms nobody...
+  EXPECT_EQ(rt.nontx_load(x), 0u);  // ...reading a write-set line dooms the txn
+  phase.store(2);
+  txn.join();
+}
+
+TEST(Sim, SubscribeDetectsLaterWrites) {
+  HtmRuntime rt(HtmConfig::testing());
+  auto* x = fresh_words(1);
+  std::atomic<int> phase{0};
+  std::thread sub([&] {
+    HtmRuntime::Thread th(rt);
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      ops.subscribe(x);
+      phase.store(1);
+      while (phase.load() != 2) cpu_relax();
+      ops.read(x);  // doom must be delivered here
+    });
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(r.abort.code, AbortCode::kConflict);
+    EXPECT_EQ(r.abort.conflict_line, line_of(x));
+  });
+  while (phase.load() != 1) cpu_relax();
+  rt.nontx_store(x, 1);
+  phase.store(2);
+  sub.join();
+}
+
+TEST(Sim, ExplicitAbortCarriesUserCode) {
+  HtmRuntime rt(HtmConfig::testing());
+  HtmRuntime::Thread th(rt);
+  const auto r = rt.attempt(th, [&](HtmOps& ops) { ops.xabort(123); });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.abort.code, AbortCode::kExplicit);
+  EXPECT_EQ(r.abort.xabort_code, 123u);
+}
+
+TEST(Sim, CountersTrackBeginsAndCommits) {
+  HtmRuntime rt(HtmConfig::testing());
+  HtmRuntime::Thread th(rt);
+  auto* x = fresh_words(1);
+  const auto b0 = rt.total_begins();
+  const auto c0 = rt.total_commits();
+  rt.attempt(th, [&](HtmOps& ops) { ops.write(x, 1); });
+  rt.attempt(th, [&](HtmOps& ops) {
+    ops.read(x);
+    ops.xabort(1);
+  });
+  EXPECT_EQ(rt.total_begins(), b0 + 2);
+  EXPECT_EQ(rt.total_commits(), c0 + 1);
+  EXPECT_EQ(rt.active_txns(), 0u);
+}
+
+// Stress: concurrent increments through raw HTM attempts must not lose
+// updates even under heavy doom/retry traffic (commit-latch correctness).
+TEST(SimStress, NoLostUpdatesUnderContention) {
+  HtmRuntime rt(HtmConfig::testing());
+  auto* counter = fresh_words(1);
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPer = 3000;
+  run_threads(kThreads, [&](unsigned) {
+    HtmRuntime::Thread th(rt);
+    for (unsigned i = 0; i < kPer; ++i) {
+      for (;;) {
+        const auto r = rt.attempt(th, [&](HtmOps& ops) {
+          ops.write(counter, ops.read(counter) + 1);
+        });
+        if (r.committed) break;
+      }
+    }
+  });
+  EXPECT_EQ(*counter, std::uint64_t{kThreads} * kPer);
+}
+
+// Stress: mixed transactional and non-transactional RMWs on one word.
+TEST(SimStress, MixedTxAndNontxRmw) {
+  HtmRuntime rt(HtmConfig::testing());
+  auto* counter = fresh_words(1);
+  constexpr unsigned kThreads = 6;
+  constexpr unsigned kPer = 2000;
+  run_threads(kThreads, [&](unsigned tid) {
+    HtmRuntime::Thread th(rt);
+    for (unsigned i = 0; i < kPer; ++i) {
+      if (tid % 2 == 0) {
+        rt.nontx_fetch_add(counter, 1);
+      } else {
+        for (;;) {
+          const auto r = rt.attempt(th, [&](HtmOps& ops) {
+            ops.write(counter, ops.read(counter) + 1);
+          });
+          if (r.committed) break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(*counter, std::uint64_t{kThreads} * kPer);
+}
+
+}  // namespace
+}  // namespace phtm::sim

@@ -1,0 +1,91 @@
+// Skip-list application tests: structural invariants under concurrency on
+// every backend, plus sequential-semantics agreement.
+#include <gtest/gtest.h>
+
+#include "apps/skiplist.hpp"
+#include "test_common.hpp"
+
+namespace phtm::test {
+namespace {
+
+class SkipList : public testing::TestWithParam<tm::Algo> {};
+
+TEST_P(SkipList, StructureSurvivesConcurrentMutation) {
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  apps::SkipListApp::Config cfg;
+  cfg.initial_size = 400;
+  apps::SkipListApp app(cfg);
+
+  std::atomic<std::int64_t> net{0};
+  run_threads(4, [&](unsigned tid) {
+    auto w = be->make_worker(tid);
+    apps::SkipListApp::NodePool pool;
+    apps::SkipListApp::Locals l;
+    std::int64_t mine = 0;
+    for (int i = 0; i < 250; ++i) {
+      tm::Txn t = app.make_txn(w->rng(), pool, l);
+      be->execute(*w, t);
+      if (l.op == apps::SkipListApp::kInsert && l.result) ++mine;
+      if (l.op == apps::SkipListApp::kRemove && l.result) --mine;
+      app.finish(l, pool);
+    }
+    net.fetch_add(mine);
+  });
+
+  EXPECT_TRUE(app.sorted_and_unique());
+  EXPECT_TRUE(app.towers_consistent());
+  EXPECT_EQ(app.size(), 400u + net.load());
+}
+
+TEST_P(SkipList, ContainsAgreesWithSequentialScan) {
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto be = tm::make_backend(GetParam(), rt, {});
+  apps::SkipListApp::Config cfg;
+  cfg.initial_size = 128;
+  cfg.write_pct = 0;
+  apps::SkipListApp app(cfg);
+  auto w = be->make_worker(0);
+  apps::SkipListApp::NodePool pool;
+  apps::SkipListApp::Locals l;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    tm::Txn t = app.make_txn(rng, pool, l);
+    be->execute(*w, t);
+    EXPECT_EQ(l.result != 0, app.contains_seq(l.key)) << "key " << l.key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SkipList,
+                         testing::ValuesIn(concurrent_algos()), algo_param_name);
+
+// Sequential unit checks of tower mechanics.
+TEST(SkipListSeq, InsertRemoveRoundTrip) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = tm::make_backend(tm::Algo::kSeq, rt, {});
+  apps::SkipListApp::Config cfg;
+  cfg.initial_size = 0;
+  cfg.key_space = 64;
+  apps::SkipListApp app(cfg);
+  auto w = be->make_worker(0);
+  apps::SkipListApp::NodePool pool;
+  apps::SkipListApp::Locals l;
+  Rng rng(5);
+
+  // Insert keys 1..40 (driving the op through the public txn path would be
+  // random; use the pool/locals contract directly instead).
+  unsigned inserted = 0;
+  for (int round = 0; round < 2000 && inserted < 40; ++round) {
+    tm::Txn t = app.make_txn(rng, pool, l);
+    be->execute(*w, t);
+    if (l.op == apps::SkipListApp::kInsert && l.result) ++inserted;
+    if (l.op == apps::SkipListApp::kRemove && l.result) --inserted;
+    app.finish(l, pool);
+    ASSERT_TRUE(app.sorted_and_unique());
+    ASSERT_TRUE(app.towers_consistent());
+  }
+  EXPECT_EQ(app.size(), inserted);
+}
+
+}  // namespace
+}  // namespace phtm::test

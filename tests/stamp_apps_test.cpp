@@ -1,0 +1,87 @@
+// Integration tests: every STAMP-style application must complete and pass
+// its own semantic verification on every backend, single- and
+// multi-threaded. This exercises the full stack (apps -> TM API -> paths ->
+// HTM simulator) under real workloads.
+#include <gtest/gtest.h>
+
+#include "apps/stamp/stamp.hpp"
+#include "test_common.hpp"
+
+namespace phtm::test {
+namespace {
+
+struct Case {
+  std::string app;
+  tm::Algo algo;
+  unsigned threads;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  // Full backend matrix at 4 threads for the two poles of the workload
+  // spectrum (short-conflicting vs resource-bound), plus every app on the
+  // three most distinct backends.
+  for (const auto algo : concurrent_algos()) {
+    cases.push_back({"kmeans-high", algo, 4});
+    cases.push_back({"labyrinth", algo, 4});
+  }
+  for (const auto& app : apps::stamp_app_names()) {
+    cases.push_back({app, tm::Algo::kHtmGl, 4});
+    cases.push_back({app, tm::Algo::kPartHtm, 4});
+    cases.push_back({app, tm::Algo::kPartHtmO, 2});
+    cases.push_back({app, tm::Algo::kNorec, 2});
+  }
+  // Drop duplicates from the two generators above.
+  std::vector<Case> unique_cases;
+  for (const auto& c : cases) {
+    bool dup = false;
+    for (const auto& u : unique_cases)
+      if (u.app == c.app && u.algo == c.algo && u.threads == c.threads) dup = true;
+    if (!dup) unique_cases.push_back(c);
+  }
+  return unique_cases;
+}
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  std::string n = info.param.app + "_" + tm::to_string(info.param.algo) + "_t" +
+                  std::to_string(info.param.threads);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+class StampAppTest : public testing::TestWithParam<Case> {};
+
+TEST_P(StampAppTest, RunsAndVerifies) {
+  const Case& cs = GetParam();
+  auto app = apps::make_stamp_app(cs.app);
+  ASSERT_NE(app, nullptr);
+
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto backend = tm::make_backend(cs.algo, rt, {});
+  app->init(cs.threads, /*seed=*/42);
+  run_threads(cs.threads, [&](unsigned tid) {
+    auto w = backend->make_worker(tid);
+    app->run_thread(*backend, *w, tid, cs.threads);
+  });
+  EXPECT_TRUE(app->verify()) << cs.app << " on " << tm::to_string(cs.algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, StampAppTest, testing::ValuesIn(make_cases()),
+                         case_name);
+
+// The sequential baseline must also pass every app's verification.
+TEST(StampAppTest, SequentialBaselineVerifies) {
+  for (const auto& name : apps::stamp_app_names()) {
+    auto app = apps::make_stamp_app(name);
+    sim::HtmRuntime rt(sim::HtmConfig::testing());
+    auto backend = tm::make_backend(tm::Algo::kSeq, rt, {});
+    app->init(1, 42);
+    auto w = backend->make_worker(0);
+    app->run_thread(*backend, *w, 0, 1);
+    EXPECT_TRUE(app->verify()) << name << " (sequential)";
+  }
+}
+
+}  // namespace
+}  // namespace phtm::test

@@ -1,0 +1,216 @@
+// Backend-specific behavior of the baselines: NOrec's value-based
+// validation, RingSTM's ring mechanics, NOrecRH's hybrid phases and
+// HTM-GL's fallback policy.
+#include <gtest/gtest.h>
+
+#include "test_common.hpp"
+
+namespace phtm::test {
+namespace {
+
+std::uint64_t* heap_words(std::size_t n) {
+  return tm::TmHeap::instance().alloc_array<std::uint64_t>(n);
+}
+
+tm::Txn increment_txn(std::uint64_t* cell) {
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+    auto* p = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    c.write(p, c.read(p) + 1);
+    return false;
+  };
+  t.env = cell;
+  return t;
+}
+
+// --- HTM-GL ----------------------------------------------------------------
+
+TEST(HtmGl, SmallTxnsCommitInHardware) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = tm::make_backend(tm::Algo::kHtmGl, rt, {});
+  auto* x = heap_words(1);
+  auto w = be->make_worker(0);
+  for (int i = 0; i < 20; ++i) {
+    auto t = increment_txn(x);
+    be->execute(*w, t);
+  }
+  EXPECT_EQ(*x, 20u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kHtm)], 20u);
+}
+
+TEST(HtmGl, CapacityOverflowFallsBackToGlobalLockAfterRetries) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.write_lines_cap = 8;
+  sim::HtmRuntime rt(cfg);
+  tm::BackendConfig bcfg;
+  bcfg.htm_retries = 5;
+  auto be = tm::make_backend(tm::Algo::kHtmGl, rt, bcfg);
+  auto* arr = heap_words(32 * 8);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+    auto* a = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    for (unsigned i = 0; i < 32; ++i) c.write(a + i * 8, 1);
+    return false;
+  };
+  t.env = arr;
+  be->execute(*w, t);
+  for (unsigned i = 0; i < 32; ++i) EXPECT_EQ(arr[i * 8], 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 1u);
+  // The paper's configuration burns the full retry budget before falling
+  // back (Sec. 7).
+  EXPECT_EQ(w->stats().aborts[static_cast<unsigned>(AbortCause::kCapacity)], 5u);
+}
+
+TEST(HtmGl, IrrevocableGoesStraightToLock) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = tm::make_backend(tm::Algo::kHtmGl, rt, {});
+  auto* x = heap_words(1);
+  auto w = be->make_worker(0);
+  auto t = increment_txn(x);
+  t.irrevocable = true;
+  be->execute(*w, t);
+  EXPECT_EQ(w->stats().total_aborts(), 0u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 1u);
+}
+
+// --- NOrec ------------------------------------------------------------------
+
+TEST(Norec, ReadOnlyTransactionsCommitWithoutClockTraffic) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = tm::make_backend(tm::Algo::kNorec, rt, {});
+  auto* x = heap_words(1);
+  *x = 3;
+  struct L {
+    std::uint64_t seen;
+  } l{};
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void* lp, unsigned) {
+    static_cast<L*>(lp)->seen =
+        c.read(static_cast<const std::uint64_t*>(e));
+    return false;
+  };
+  t.env = x;
+  t.locals = &l;
+  t.locals_bytes = sizeof(l);
+  be->execute(*w, t);
+  EXPECT_EQ(l.seen, 3u);
+  EXPECT_EQ(w->stats().total_aborts(), 0u);
+}
+
+TEST(Norec, WriterInvalidatesConcurrentReaderByValue) {
+  // A reader stalls between its two reads; a writer changes both words; the
+  // reader's value-based validation must abort and retry, and the retried
+  // execution observes a consistent pair.
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = tm::make_backend(tm::Algo::kNorec, rt, {});
+  auto* mem = heap_words(16);
+  mem[0] = 1;
+  mem[8] = 99;
+  struct E {
+    std::uint64_t* a;
+    std::uint64_t* b;
+    std::atomic<int>* phase;
+  };
+  std::atomic<int> phase{0};
+  E env{mem, mem + 8, &phase};
+  struct L {
+    std::uint64_t va, vb;
+  } l{};
+
+  std::thread reader([&] {
+    auto w = be->make_worker(0);
+    tm::Txn t;
+    t.step = +[](tm::Ctx& c, const void* ep, void* lp, unsigned) {
+      const E& e = *static_cast<const E*>(ep);
+      L& loc = *static_cast<L*>(lp);
+      loc.va = c.read(e.a);
+      if (e.phase->load() == 0) {
+        e.phase->store(1);
+        while (e.phase->load() != 2) cpu_relax();
+      }
+      loc.vb = c.read(e.b);
+      return false;
+    };
+    t.env = &env;
+    t.locals = &l;
+    t.locals_bytes = sizeof(l);
+    be->execute(*w, t);
+  });
+  while (phase.load() != 1) cpu_relax();
+  {
+    auto w2 = be->make_worker(1);
+    tm::Txn t;
+    t.step = +[](tm::Ctx& c, const void* ep, void*, unsigned) {
+      const E& e = *static_cast<const E*>(ep);
+      c.write(e.a, 2);
+      c.write(e.b, 98);
+      return false;
+    };
+    t.env = &env;
+    be->execute(*w2, t);
+  }
+  phase.store(2);
+  reader.join();
+  EXPECT_EQ(l.va + l.vb, 100u) << "reader must observe a consistent snapshot";
+  EXPECT_EQ(l.va, 2u) << "retry reads the post-writer values";
+}
+
+// --- RingSTM ----------------------------------------------------------------
+
+TEST(RingStm, SmallRingRollsOverGracefully) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  tm::BackendConfig bcfg;
+  bcfg.ring_entries = 4;
+  auto be = tm::make_backend(tm::Algo::kRingStm, rt, bcfg);
+  auto* arr = heap_words(64);
+  constexpr unsigned kThreads = 4;
+  run_threads(kThreads, [&](unsigned tid) {
+    auto w = be->make_worker(tid);
+    for (int i = 0; i < 500; ++i) {
+      auto t = increment_txn(arr + (tid % 4) * 8);
+      be->execute(*w, t);
+    }
+  });
+  std::uint64_t total = 0;
+  for (int i = 0; i < 4; ++i) total += arr[i * 8];
+  EXPECT_EQ(total, kThreads * 500u);
+}
+
+// --- NOrecRH ----------------------------------------------------------------
+
+TEST(NorecRh, HardwarePhaseCommitsSmallTxns) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  auto be = tm::make_backend(tm::Algo::kNorecRh, rt, {});
+  auto* x = heap_words(1);
+  auto w = be->make_worker(0);
+  for (int i = 0; i < 10; ++i) {
+    auto t = increment_txn(x);
+    be->execute(*w, t);
+  }
+  EXPECT_EQ(*x, 10u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kHtm)], 10u);
+}
+
+TEST(NorecRh, OversizedTxnsUseSoftwarePhaseWithReducedHardwareCommit) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.write_lines_cap = 8;
+  sim::HtmRuntime rt(cfg);
+  auto be = tm::make_backend(tm::Algo::kNorecRh, rt, {});
+  auto* arr = heap_words(32 * 8);
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+    auto* a = static_cast<std::uint64_t*>(const_cast<void*>(e));
+    for (unsigned i = 0; i < 32; ++i) c.write(a + i * 8, 7);
+    return false;
+  };
+  t.env = arr;
+  be->execute(*w, t);
+  for (unsigned i = 0; i < 32; ++i) EXPECT_EQ(arr[i * 8], 7u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kSoftware)], 1u);
+}
+
+}  // namespace
+}  // namespace phtm::test

@@ -1,0 +1,77 @@
+// Shared helpers for the test suites: fixtures that run transactions on a
+// backend from many threads and the list of concurrent algorithms every
+// cross-backend invariant suite is instantiated over.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/runtime.hpp"
+#include "tm/api.hpp"
+#include "tm/backend.hpp"
+#include "tm/heap.hpp"
+#include "util/threads.hpp"
+
+namespace phtm::test {
+
+/// Every concurrent algorithm (kSeq is only a baseline and single-threaded).
+inline std::vector<tm::Algo> concurrent_algos() {
+  return {tm::Algo::kHtmGl,   tm::Algo::kPartHtm, tm::Algo::kPartHtmO,
+          tm::Algo::kPartHtmNoFast, tm::Algo::kRingStm, tm::Algo::kNorec,
+          tm::Algo::kNorecRh, tm::Algo::kSpht};
+}
+
+inline std::string algo_param_name(const testing::TestParamInfo<tm::Algo>& info) {
+  std::string n = tm::to_string(info.param);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+/// Runs `per_thread(tid, worker)` on `threads` threads against one backend
+/// built over a deterministic-config runtime; returns aggregated stats.
+class BackendHarness {
+ public:
+  explicit BackendHarness(tm::Algo algo,
+                          sim::HtmConfig cfg = sim::HtmConfig::testing(),
+                          tm::BackendConfig bcfg = {})
+      : rt_(cfg), backend_(tm::make_backend(algo, rt_, bcfg)) {}
+
+  tm::Backend& backend() { return *backend_; }
+  sim::HtmRuntime& runtime() { return rt_; }
+
+  StatSummary run(unsigned threads,
+                  const std::function<void(unsigned, tm::Worker&)>& per_thread) {
+    std::vector<StatSheet> sheets(threads);
+    run_threads(threads, [&](unsigned tid) {
+      auto w = backend_->make_worker(tid);
+      per_thread(tid, *w);
+      sheets[tid] = w->stats();
+    });
+    return StatSummary::aggregate(sheets);
+  }
+
+ private:
+  sim::HtmRuntime rt_;
+  std::unique_ptr<tm::Backend> backend_;
+};
+
+/// Shorthand for a captureless-lambda step function.
+using StepFn = bool (*)(tm::Ctx&, const void*, void*, unsigned);
+
+inline tm::Txn make_txn(StepFn fn, const void* env, void* locals,
+                        std::size_t locals_bytes) {
+  tm::Txn t;
+  t.step = fn;
+  t.env = env;
+  t.locals = locals;
+  t.locals_bytes = locals_bytes;
+  return t;
+}
+
+}  // namespace phtm::test

@@ -1,0 +1,170 @@
+// Unit tests for the utility layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/cacheline.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/threads.hpp"
+
+namespace phtm {
+namespace {
+
+TEST(Cacheline, PaddedOwnsWholeLines) {
+  EXPECT_EQ(sizeof(Padded<std::uint64_t>), kCacheLineBytes);
+  EXPECT_EQ(sizeof(Padded<char>), kCacheLineBytes);
+  struct Big {
+    char b[70];
+  };
+  EXPECT_EQ(sizeof(Padded<Big>) % kCacheLineBytes, 0u);
+  EXPECT_GE(sizeof(Padded<Big>), 2 * kCacheLineBytes);
+}
+
+TEST(Cacheline, LineOfGroupsBy64Bytes) {
+  alignas(64) char buf[256];
+  EXPECT_EQ(line_of(buf), line_of(buf + 63));
+  EXPECT_EQ(line_of(buf) + 1, line_of(buf + 64));
+  EXPECT_EQ(lines_spanned(buf, 0), 0u);
+  EXPECT_EQ(lines_spanned(buf, 1), 1u);
+  EXPECT_EQ(lines_spanned(buf, 64), 1u);
+  EXPECT_EQ(lines_spanned(buf, 65), 2u);
+  EXPECT_EQ(lines_spanned(buf + 60, 8), 2u);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, c.next());  // overwhelmingly likely
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const auto v = r.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformCoversBucketsEvenly) {
+  Rng r(1234);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[static_cast<int>(r.uniform() * 10)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock lock;
+  std::uint64_t counter = 0;  // deliberately non-atomic
+  run_threads(8, [&](unsigned) {
+    for (int i = 0; i < 20000; ++i) {
+      LockGuard<Spinlock> g(lock);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, 160000u);
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  Spinlock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Barrier, AllThreadsArriveBeforeAnyContinues) {
+  constexpr unsigned kThreads = 6;
+  Barrier bar(kThreads);
+  std::atomic<int> before{0}, after{0};
+  std::atomic<bool> violation{false};
+  run_threads(kThreads, [&](unsigned) {
+    for (int round = 0; round < 50; ++round) {
+      before.fetch_add(1);
+      bar.arrive_and_wait();
+      if (before.load() % kThreads != 0) violation.store(true);
+      bar.arrive_and_wait();
+      after.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(after.load(), static_cast<int>(kThreads) * 50);
+}
+
+TEST(Stats, PercentagesSumAndAggregate) {
+  StatSheet a, b;
+  a.record_abort(AbortCause::kConflict);
+  a.record_abort(AbortCause::kCapacity);
+  a.record_commit(CommitPath::kHtm);
+  b.record_abort(AbortCause::kCapacity);
+  b.record_commit(CommitPath::kGlobalLock);
+  b.record_commit(CommitPath::kSoftware);
+  const auto s = StatSummary::aggregate({a, b});
+  EXPECT_EQ(s.total.total_aborts(), 3u);
+  EXPECT_EQ(s.total.total_commits(), 3u);
+  EXPECT_DOUBLE_EQ(s.abort_pct(AbortCause::kCapacity), 200.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.commit_pct(CommitPath::kHtm), 100.0 / 3.0);
+}
+
+TEST(Stats, EmptySheetsGiveZeroPercentages) {
+  const auto s = StatSummary::aggregate({});
+  EXPECT_DOUBLE_EQ(s.abort_pct(AbortCause::kConflict), 0.0);
+  EXPECT_DOUBLE_EQ(s.commit_pct(CommitPath::kHtm), 0.0);
+}
+
+TEST(Cli, ParsesKeyValueFormsAndFlags) {
+  // A bare token after an option is greedily taken as its value (documented
+  // behavior), so positionals must precede options or follow `--k=v` forms.
+  const char* argv[] = {"prog", "pos", "--size", "100", "--name=abc", "--flag"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("size", 0), 100);
+  EXPECT_EQ(cli.get("name"), "abc");
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get("flag"), "1");
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Table, AlignsColumnsAndFormatsNumbers) {
+  Table t({"name", "value"});
+  t.add_row({"x", Table::num(1.23456, 2)});
+  t.add_row({"longer-name", "99"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_EQ(Table::num(2.0 / 3.0, 3), "0.667");
+}
+
+TEST(Threads, RunTimedStopsWorkers) {
+  std::atomic<std::uint64_t> iters{0};
+  const double secs = run_timed(4, std::chrono::milliseconds(50),
+                                [&](unsigned, std::atomic<bool>& stop) {
+                                  while (!stop.load(std::memory_order_relaxed))
+                                    iters.fetch_add(1, std::memory_order_relaxed);
+                                });
+  EXPECT_GE(secs, 0.045);
+  EXPECT_GT(iters.load(), 0u);
+}
+
+}  // namespace
+}  // namespace phtm
