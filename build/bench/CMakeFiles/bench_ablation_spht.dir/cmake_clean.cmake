@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spht.dir/bench_ablation_spht.cpp.o"
+  "CMakeFiles/bench_ablation_spht.dir/bench_ablation_spht.cpp.o.d"
+  "bench_ablation_spht"
+  "bench_ablation_spht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_nrw.dir/bench_fig3_nrw.cpp.o"
+  "CMakeFiles/bench_fig3_nrw.dir/bench_fig3_nrw.cpp.o.d"
+  "bench_fig3_nrw"
+  "bench_fig3_nrw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nrw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

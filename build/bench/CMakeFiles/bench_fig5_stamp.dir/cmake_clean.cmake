@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_stamp.dir/bench_fig5_stamp.cpp.o"
+  "CMakeFiles/bench_fig5_stamp.dir/bench_fig5_stamp.cpp.o.d"
+  "bench_fig5_stamp"
+  "bench_fig5_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

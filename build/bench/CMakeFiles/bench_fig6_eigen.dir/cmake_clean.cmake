@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_eigen.dir/bench_fig6_eigen.cpp.o"
+  "CMakeFiles/bench_fig6_eigen.dir/bench_fig6_eigen.cpp.o.d"
+  "bench_fig6_eigen"
+  "bench_fig6_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_labyrinth.dir/bench_table1_labyrinth.cpp.o"
+  "CMakeFiles/bench_table1_labyrinth.dir/bench_table1_labyrinth.cpp.o.d"
+  "bench_table1_labyrinth"
+  "bench_table1_labyrinth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_labyrinth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_router.dir/grid_router.cpp.o"
+  "CMakeFiles/grid_router.dir/grid_router.cpp.o.d"
+  "grid_router"
+  "grid_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

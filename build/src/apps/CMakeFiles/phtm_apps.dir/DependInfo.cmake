@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/stamp/genome.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/genome.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/genome.cpp.o.d"
+  "/root/repo/src/apps/stamp/intruder.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/intruder.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/intruder.cpp.o.d"
+  "/root/repo/src/apps/stamp/kmeans.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/kmeans.cpp.o.d"
+  "/root/repo/src/apps/stamp/labyrinth.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/labyrinth.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/labyrinth.cpp.o.d"
+  "/root/repo/src/apps/stamp/registry.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/registry.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/registry.cpp.o.d"
+  "/root/repo/src/apps/stamp/ssca2.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/ssca2.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/ssca2.cpp.o.d"
+  "/root/repo/src/apps/stamp/vacation.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/vacation.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/vacation.cpp.o.d"
+  "/root/repo/src/apps/stamp/yada.cpp" "src/apps/CMakeFiles/phtm_apps.dir/stamp/yada.cpp.o" "gcc" "src/apps/CMakeFiles/phtm_apps.dir/stamp/yada.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/phtm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/phtm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phtm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phtm_apps.dir/stamp/genome.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/genome.cpp.o.d"
+  "CMakeFiles/phtm_apps.dir/stamp/intruder.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/intruder.cpp.o.d"
+  "CMakeFiles/phtm_apps.dir/stamp/kmeans.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/kmeans.cpp.o.d"
+  "CMakeFiles/phtm_apps.dir/stamp/labyrinth.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/labyrinth.cpp.o.d"
+  "CMakeFiles/phtm_apps.dir/stamp/registry.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/registry.cpp.o.d"
+  "CMakeFiles/phtm_apps.dir/stamp/ssca2.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/ssca2.cpp.o.d"
+  "CMakeFiles/phtm_apps.dir/stamp/vacation.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/vacation.cpp.o.d"
+  "CMakeFiles/phtm_apps.dir/stamp/yada.cpp.o"
+  "CMakeFiles/phtm_apps.dir/stamp/yada.cpp.o.d"
+  "libphtm_apps.a"
+  "libphtm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phtm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/phtm_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/phtm_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/part_htm.cpp" "src/core/CMakeFiles/phtm_core.dir/part_htm.cpp.o" "gcc" "src/core/CMakeFiles/phtm_core.dir/part_htm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tm/CMakeFiles/phtm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phtm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phtm_core.dir/factory.cpp.o"
+  "CMakeFiles/phtm_core.dir/factory.cpp.o.d"
+  "CMakeFiles/phtm_core.dir/part_htm.cpp.o"
+  "CMakeFiles/phtm_core.dir/part_htm.cpp.o.d"
+  "libphtm_core.a"
+  "libphtm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phtm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

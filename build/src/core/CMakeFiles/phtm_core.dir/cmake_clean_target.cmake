@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphtm_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phtm_sim.dir/runtime.cpp.o"
+  "CMakeFiles/phtm_sim.dir/runtime.cpp.o.d"
+  "libphtm_sim.a"
+  "libphtm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phtm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

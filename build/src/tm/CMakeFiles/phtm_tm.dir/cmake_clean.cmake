@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phtm_tm.dir/algo.cpp.o"
+  "CMakeFiles/phtm_tm.dir/algo.cpp.o.d"
+  "CMakeFiles/phtm_tm.dir/heap.cpp.o"
+  "CMakeFiles/phtm_tm.dir/heap.cpp.o.d"
+  "libphtm_tm.a"
+  "libphtm_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phtm_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

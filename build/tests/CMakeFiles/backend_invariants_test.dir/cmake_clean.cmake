@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_invariants_test.dir/backend_invariants_test.cpp.o"
+  "CMakeFiles/backend_invariants_test.dir/backend_invariants_test.cpp.o.d"
+  "backend_invariants_test"
+  "backend_invariants_test.pdb"
+  "backend_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

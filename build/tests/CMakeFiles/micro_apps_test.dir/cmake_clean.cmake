@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_apps_test.dir/micro_apps_test.cpp.o"
+  "CMakeFiles/micro_apps_test.dir/micro_apps_test.cpp.o.d"
+  "micro_apps_test"
+  "micro_apps_test.pdb"
+  "micro_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

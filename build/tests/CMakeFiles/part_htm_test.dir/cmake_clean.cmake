@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_htm_test.dir/part_htm_test.cpp.o"
+  "CMakeFiles/part_htm_test.dir/part_htm_test.cpp.o.d"
+  "part_htm_test"
+  "part_htm_test.pdb"
+  "part_htm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_htm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

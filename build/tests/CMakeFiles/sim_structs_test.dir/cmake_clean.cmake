@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_structs_test.dir/sim_structs_test.cpp.o"
+  "CMakeFiles/sim_structs_test.dir/sim_structs_test.cpp.o.d"
+  "sim_structs_test"
+  "sim_structs_test.pdb"
+  "sim_structs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_structs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

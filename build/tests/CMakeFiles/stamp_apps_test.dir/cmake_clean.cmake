@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_apps_test.dir/stamp_apps_test.cpp.o"
+  "CMakeFiles/stamp_apps_test.dir/stamp_apps_test.cpp.o.d"
+  "stamp_apps_test"
+  "stamp_apps_test.pdb"
+  "stamp_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

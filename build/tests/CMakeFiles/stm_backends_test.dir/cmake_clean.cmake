@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_backends_test.dir/stm_backends_test.cpp.o"
+  "CMakeFiles/stm_backends_test.dir/stm_backends_test.cpp.o.d"
+  "stm_backends_test"
+  "stm_backends_test.pdb"
+  "stm_backends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_backends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sig_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_structs_test[1]_include.cmake")
+include("/root/repo/build/tests/core_ring_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/part_htm_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_backends_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/micro_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/stamp_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_edge_test[1]_include.cmake")
