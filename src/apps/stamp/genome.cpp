@@ -98,6 +98,7 @@ class GenomeApp final : public StampApp {
       be.execute(w, t);
       mine += l.inserted;
     }
+    // relaxed: result tally, read only after the run's barrier/joins.
     inserted_.fetch_add(mine, std::memory_order_relaxed);
     barrier_->arrive_and_wait();
 

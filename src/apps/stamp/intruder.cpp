@@ -132,6 +132,7 @@ class IntruderApp final : public StampApp {
         ++detected;
       }
     }
+    // relaxed: result tally, read only after the run's barrier/joins.
     detected_.fetch_add(detected, std::memory_order_relaxed);
   }
 

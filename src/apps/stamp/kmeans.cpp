@@ -87,6 +87,7 @@ class KmeansApp final : public StampApp {
           return false;
         };
         be.execute(w, t);
+        // relaxed: result tally, read only after the run's barrier/joins.
         updates_.fetch_add(1, std::memory_order_relaxed);
       }
       barrier_->arrive_and_wait();

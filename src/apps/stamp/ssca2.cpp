@@ -67,6 +67,7 @@ class Ssca2App final : public StampApp {
       be.execute(w, t);
       added += l.added;
     }
+    // relaxed: result tally, read only after the run's barrier/joins.
     added_.fetch_add(added, std::memory_order_relaxed);
   }
 

@@ -51,11 +51,13 @@ const std::vector<std::string>& stamp_app_names();
 class WorkCounter {
  public:
   void reset(std::uint64_t total) {
+    // relaxed: reset happens before workers start (barrier-ordered).
     next_.store(0, std::memory_order_relaxed);
     total_ = total;
   }
   /// Claims the next index; returns false when the work is exhausted.
   bool claim(std::uint64_t& idx) {
+    // relaxed: work-stealing ticket; only atomicity of the claim matters.
     idx = next_.fetch_add(1, std::memory_order_relaxed);
     return idx < total_;
   }

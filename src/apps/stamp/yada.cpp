@@ -129,6 +129,7 @@ class YadaApp final : public StampApp {
       if (l.item == 0) break;
       refined += l.refined;
     }
+    // relaxed: result tally, read only after the run's barrier/joins.
     refined_.fetch_add(refined, std::memory_order_relaxed);
   }
 

@@ -20,11 +20,12 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/cacheline.hpp"
 #include "util/stats.hpp"
 
 namespace phtm::core {
 
-class AdaptivePartitioner {
+class alignas(kCacheLineBytes) AdaptivePartitioner {
  public:
   explicit AdaptivePartitioner(unsigned initial_ops = 4096, unsigned min_ops = 64,
                                unsigned max_ops = 1u << 20,
@@ -33,6 +34,8 @@ class AdaptivePartitioner {
 
   /// Operations the next transaction should put in one segment.
   unsigned ops_per_segment() const noexcept {
+    // relaxed: tuning hint; any recently-published value is acceptable and
+    // no other data is ordered against it.
     return cur_.load(std::memory_order_relaxed);
   }
 
@@ -47,24 +50,30 @@ class AdaptivePartitioner {
       case CommitPath::kSoftware: weight = 1; break;
       default: break;  // global-lock commits say nothing about granularity
     }
+    // relaxed: streak_ is an approximate vote counter — lost or reordered
+    // updates merely delay an AIMD step; nothing is ordered against it.
     if (weight == 0) {
       streak_.store(0, std::memory_order_relaxed);
       return;
     }
     if (streak_.fetch_add(weight, std::memory_order_relaxed) + weight >=
         4 * grow_streak_) {
+      // relaxed: see streak_ note above.
       streak_.store(0, std::memory_order_relaxed);
       grow();
     }
   }
 
   void on_abort(AbortCause cause) noexcept {
+    // relaxed: see streak_ note in on_commit().
     streak_.store(0, std::memory_order_relaxed);
     if (cause == AbortCause::kCapacity || cause == AbortCause::kOther) shrink();
   }
 
  private:
   void shrink() noexcept {
+    // relaxed: cur_ is a self-contained tuning knob (see ops_per_segment);
+    // the CAS loop needs atomicity, not ordering.
     unsigned c = cur_.load(std::memory_order_relaxed);
     for (;;) {
       const unsigned next = c / 2 < min_ ? min_ : c / 2;
@@ -73,6 +82,7 @@ class AdaptivePartitioner {
     }
   }
   void grow() noexcept {
+    // relaxed: see shrink().
     unsigned c = cur_.load(std::memory_order_relaxed);
     for (;;) {
       const unsigned next = c * 2 > max_ ? max_ : c * 2;
@@ -82,6 +92,8 @@ class AdaptivePartitioner {
   }
 
   const unsigned min_, max_, grow_streak_;
+  // shared-atomic: self-contained tuning state, not protocol data — no
+  // other memory is ordered against these words (see the relaxed notes).
   std::atomic<unsigned> cur_;
   std::atomic<unsigned> streak_{0};
 };

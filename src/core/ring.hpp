@@ -26,10 +26,14 @@
 
 #include "sig/signature.hpp"
 #include "sim/runtime.hpp"
+#include "util/annotations.hpp"
 #include "util/cacheline.hpp"
 
 namespace phtm::core {
 
+// raw-atomic: designated acquire-load helper for ring/lock-table words that
+// are *stable* while being read (seq-validated or subscription-protected);
+// going through nontx_load here would re-run conflict invalidation per word.
 inline std::uint64_t aload(const std::uint64_t* p) noexcept {
   return __atomic_load_n(p, __ATOMIC_ACQUIRE);
 }
@@ -93,6 +97,10 @@ class GlobalRing {
       rt.nontx_store(&s.sig.words()[w], sig.words()[w]);
     }
     rt.nontx_store(&s.mask, mask);
+    // Ring-publication edge, release side: the seq store below (release via
+    // nontx_store) completes the entry; validators that observe seq == ts
+    // are ordered after every sig/mask word written above.
+    PHTM_ANNOTATE_HAPPENS_BEFORE(&s.seq);
     rt.nontx_store(&s.seq, ts);
   }
 
@@ -110,7 +118,13 @@ class GlobalRing {
       Slot& s = slot_of(i);
       for (;;) {
         const std::uint64_t q = aload(&s.seq);
-        if (q == i) break;
+        if (q == i) {
+          // Ring-publication edge, acquire side: seq == i was read with
+          // acquire, so the entry's sig/mask words read below are the ones
+          // the publisher wrote before its final seq store.
+          PHTM_ANNOTATE_HAPPENS_AFTER(&s.seq);
+          break;
+        }
         if ((q & ~kBusy) > i) return ValResult::kRollover;  // slot reused
         cpu_relax();  // publication in flight
       }

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "util/annotations.hpp"
+
 namespace phtm::sim {
 
 namespace {
@@ -49,9 +51,16 @@ bool HtmRuntime::try_doom(unsigned victim, AbortCode code, std::uint64_t line) {
                                                   std::memory_order_acq_rel)) {
     return true;
   }
-  // Already doomed by someone else: as good as doomed by us. Only a latched
-  // commit (sentinel) resists.
-  return expect != kCommitSentinel;
+  if (expect == kCommitSentinel) {
+    // Doom-latch edge, acquire side: observing the sentinel orders this
+    // thread after everything the committer did before latching (the CAS
+    // above read the sentinel with acquire). The caller may now wait for —
+    // or rely on — the victim's publication.
+    PHTM_ANNOTATE_HAPPENS_AFTER(&slots_[victim].doom);
+    return false;
+  }
+  // Already doomed by someone else: as good as doomed by us.
+  return true;
 }
 
 void HtmRuntime::check_doomed(unsigned slot) {
@@ -80,6 +89,8 @@ unsigned HtmRuntime::effective_write_cap(unsigned slot) const {
   unsigned cap = cfg_.write_lines_cap;
   if (cfg_.hyperthread_pairs) {
     const unsigned sibling = slot ^ cfg_.ht_sibling_stride;
+    // relaxed: capacity heuristic; a stale sibling flag only mis-sizes the
+    // modelled cap for one attempt, it orders nothing.
     if (sibling < kMaxSlots && slots_[sibling].in_txn.load(std::memory_order_relaxed))
       cap /= 2;  // HT sibling shares the L1
   }
@@ -89,11 +100,15 @@ unsigned HtmRuntime::effective_write_cap(unsigned slot) const {
 unsigned HtmRuntime::effective_read_cap(unsigned slot) const {
   std::uint64_t cap = cfg_.read_lines_cap;
   if (cfg_.scale_read_cap_with_conc) {
+    // relaxed: capacity heuristic (shared-L2 pressure model); staleness is
+    // harmless for the same reason as the sibling flag above.
     const unsigned c = active_.load(std::memory_order_relaxed);
     cap /= (c == 0 ? 1 : c);
   }
   if (cfg_.hyperthread_pairs) {
     const unsigned sibling = slot ^ cfg_.ht_sibling_stride;
+    // relaxed: capacity heuristic; a stale sibling flag only mis-sizes the
+    // modelled cap for one attempt, it orders nothing.
     if (sibling < kMaxSlots && slots_[sibling].in_txn.load(std::memory_order_relaxed))
       cap /= 2;
   }
@@ -210,6 +225,9 @@ void HtmRuntime::begin(unsigned slot) {
   s.lines.clear();
   s.assoc.clear();
   s.ticks = 0;
+  // relaxed: active_/in_txn feed capacity heuristics and advisory gates
+  // only; begins_ is a statistics counter. The protocol's ordering runs
+  // through the doom word and the monitor-table locks, not these.
   active_.fetch_add(1, std::memory_order_relaxed);
   s.in_txn.store(true, std::memory_order_relaxed);
   begins_.fetch_add(1, std::memory_order_relaxed);
@@ -221,6 +239,10 @@ void HtmRuntime::begin(unsigned slot) {
 void HtmRuntime::commit(unsigned slot) {
   Slot& s = slots_[slot];
   std::uint64_t expect = 0;
+  // Doom-latch edge, release side: the successful CAS below (release half
+  // of acq_rel) is what makes every speculative state transition of this
+  // transaction visible to threads that later observe the sentinel.
+  PHTM_ANNOTATE_HAPPENS_BEFORE(&s.doom);
   if (!s.doom.compare_exchange_strong(expect, kCommitSentinel,
                                       std::memory_order_acq_rel)) {
     // Doomed before the commit could latch.
@@ -231,6 +253,7 @@ void HtmRuntime::commit(unsigned slot) {
   // publication below is word-atomic.
   s.wbuf.publish();
   unregister_lines(slot);
+  // relaxed: same advisory/statistics roles as in begin().
   s.in_txn.store(false, std::memory_order_relaxed);
   active_.fetch_sub(1, std::memory_order_relaxed);
   commits_.fetch_add(1, std::memory_order_relaxed);
@@ -248,6 +271,7 @@ void HtmRuntime::cleanup_aborted(unsigned slot) {
   // Only after no monitor entry can lead to us, park the word.
   s.doom.store(kCommitSentinel, std::memory_order_release);
   s.wbuf.clear();
+  // relaxed: same advisory/statistics roles as in begin().
   s.in_txn.store(false, std::memory_order_relaxed);
   active_.fetch_sub(1, std::memory_order_relaxed);
   s.active = false;
@@ -313,12 +337,18 @@ void HtmRuntime::invalidate_line(std::uint64_t line, bool is_write) {
 }
 
 std::uint64_t HtmRuntime::nontx_load(const std::uint64_t* addr) {
+  // relaxed: advisory fast-out only. A stale zero skips the invalidation,
+  // which is indistinguishable from this access having been ordered before
+  // the transaction's first conflicting registration (see DESIGN.md).
   if (active_.load(std::memory_order_relaxed) != 0)
     invalidate_line(line_of(addr), /*is_write=*/false);
   return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
 }
 
 void HtmRuntime::nontx_store(std::uint64_t* addr, std::uint64_t val) {
+  // relaxed: advisory fast-out only. A stale zero skips the invalidation,
+  // which is indistinguishable from this access having been ordered before
+  // the transaction's first conflicting registration (see DESIGN.md).
   if (active_.load(std::memory_order_relaxed) != 0)
     invalidate_line(line_of(addr), /*is_write=*/true);
   __atomic_store_n(addr, val, __ATOMIC_RELEASE);
@@ -326,6 +356,9 @@ void HtmRuntime::nontx_store(std::uint64_t* addr, std::uint64_t val) {
 
 bool HtmRuntime::nontx_cas(std::uint64_t* addr, std::uint64_t expect,
                            std::uint64_t desired) {
+  // relaxed: advisory fast-out only. A stale zero skips the invalidation,
+  // which is indistinguishable from this access having been ordered before
+  // the transaction's first conflicting registration (see DESIGN.md).
   if (active_.load(std::memory_order_relaxed) != 0)
     invalidate_line(line_of(addr), /*is_write=*/true);
   return __atomic_compare_exchange_n(addr, &expect, desired, false,
@@ -333,18 +366,27 @@ bool HtmRuntime::nontx_cas(std::uint64_t* addr, std::uint64_t expect,
 }
 
 std::uint64_t HtmRuntime::nontx_fetch_add(std::uint64_t* addr, std::uint64_t delta) {
+  // relaxed: advisory fast-out only. A stale zero skips the invalidation,
+  // which is indistinguishable from this access having been ordered before
+  // the transaction's first conflicting registration (see DESIGN.md).
   if (active_.load(std::memory_order_relaxed) != 0)
     invalidate_line(line_of(addr), /*is_write=*/true);
   return __atomic_fetch_add(addr, delta, __ATOMIC_ACQ_REL);
 }
 
 std::uint64_t HtmRuntime::nontx_fetch_or(std::uint64_t* addr, std::uint64_t bits) {
+  // relaxed: advisory fast-out only. A stale zero skips the invalidation,
+  // which is indistinguishable from this access having been ordered before
+  // the transaction's first conflicting registration (see DESIGN.md).
   if (active_.load(std::memory_order_relaxed) != 0)
     invalidate_line(line_of(addr), /*is_write=*/true);
   return __atomic_fetch_or(addr, bits, __ATOMIC_ACQ_REL);
 }
 
 std::uint64_t HtmRuntime::nontx_fetch_and(std::uint64_t* addr, std::uint64_t bits) {
+  // relaxed: advisory fast-out only. A stale zero skips the invalidation,
+  // which is indistinguishable from this access having been ordered before
+  // the transaction's first conflicting registration (see DESIGN.md).
   if (active_.load(std::memory_order_relaxed) != 0)
     invalidate_line(line_of(addr), /*is_write=*/true);
   return __atomic_fetch_and(addr, bits, __ATOMIC_ACQ_REL);

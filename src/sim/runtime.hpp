@@ -116,10 +116,12 @@ class HtmRuntime {
   /// Hardware transactions currently executing (drives the shared-cache
   /// read-budget model).
   unsigned active_txns() const noexcept {
+    // relaxed: advisory population count; callers tolerate staleness.
     return active_.load(std::memory_order_relaxed);
   }
 
   // Debug/test counters.
+  // relaxed: monotonic statistics; read for reporting only.
   std::uint64_t total_begins() const noexcept { return begins_.load(std::memory_order_relaxed); }
   std::uint64_t total_commits() const noexcept { return commits_.load(std::memory_order_relaxed); }
 
@@ -177,9 +179,13 @@ class HtmRuntime {
   Spinlock slot_alloc_lock_;
   std::uint64_t slot_used_ = 0;  // bitmap
 
-  std::atomic<unsigned> active_{0};
-  std::atomic<std::uint64_t> begins_{0};
-  std::atomic<std::uint64_t> commits_{0};
+  // Each counter owns a cache line: active_ is read on every nontx_*
+  // access while begins_/commits_ are bumped once per transaction —
+  // co-locating them would put a store-invalidation on the hottest
+  // software-side read path.
+  alignas(kCacheLineBytes) std::atomic<unsigned> active_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> begins_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> commits_{0};
 };
 
 /// Per-access operations available inside a hardware attempt.

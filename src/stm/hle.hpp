@@ -47,6 +47,8 @@ class HleMutex {
   }
 
   bool locked() const {
+    // raw-atomic: test-only observer of the lock word; a snapshot needs no
+    // strong-atomicity invalidation.
     return __atomic_load_n(&lock_.value, __ATOMIC_ACQUIRE) != 0;
   }
 

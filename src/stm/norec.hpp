@@ -61,12 +61,16 @@ class NorecBackend : public tm::Backend {
       w_.redo.put(addr, val);
     }
     void work(std::uint64_t n) override { sim::burn_work(n); }
+    // raw-atomic: uninstrumented escape hatch by contract (private scratch
+    // only, see tm::Ctx::raw_read); NOrec runs no hardware transactions, so
+    // there is no speculative writer to invalidate.
     std::uint64_t raw_read(const std::uint64_t* addr) override {
       sim::burn_work(tm::kRawAccessCost);
       return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
     }
     void raw_write(std::uint64_t* addr, std::uint64_t val) override {
       sim::burn_work(tm::kRawAccessCost);
+      // raw-atomic: see raw_read above.
       __atomic_store_n(addr, val, __ATOMIC_RELEASE);
     }
 

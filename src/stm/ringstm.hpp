@@ -70,6 +70,8 @@ class RingStmBackend final : public tm::Backend {
   static constexpr std::uint64_t kBusy = std::uint64_t{1} << 63;
 
   struct alignas(kCacheLineBytes) RingEntry {
+    // shared-atomic: pure-software STM metadata — RingSTM never mixes these
+    // words with hardware transactions, so std::atomic is the whole story.
     std::atomic<std::uint64_t> seq{0};
     Signature sig;
   };
@@ -95,12 +97,16 @@ class RingStmBackend final : public tm::Backend {
       w_.redo.put(addr, val);
     }
     void work(std::uint64_t n) override { sim::burn_work(n); }
+    // raw-atomic: uninstrumented escape hatch by contract (private scratch
+    // only, see tm::Ctx::raw_read); RingSTM runs no hardware transactions,
+    // so there is no speculative writer to invalidate.
     std::uint64_t raw_read(const std::uint64_t* addr) override {
       sim::burn_work(tm::kRawAccessCost);
       return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
     }
     void raw_write(std::uint64_t* addr, std::uint64_t val) override {
       sim::burn_work(tm::kRawAccessCost);
+      // raw-atomic: see raw_read above.
       __atomic_store_n(addr, val, __ATOMIC_RELEASE);
     }
 
@@ -175,6 +181,7 @@ class RingStmBackend final : public tm::Backend {
 
   sim::HtmRuntime& rt_;
   std::vector<RingEntry> ring_;
+  // shared-atomic: same as RingEntry::seq — software-only STM metadata.
   Padded<std::atomic<std::uint64_t>> timestamp_{};
   Padded<std::atomic<std::uint64_t>> last_complete_{};
 };

@@ -31,6 +31,8 @@ class DirectCtx final : public Ctx {
   std::uint64_t read(const std::uint64_t* addr) override {
     sim::burn_work(kDirectAccessCost);
     if (rt_) return rt_->nontx_load(addr);
+    // raw-atomic: runtime-less DirectCtx touches only private data (class
+    // comment above) — there is no concurrent hardware transaction.
     return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
   }
   void write(std::uint64_t* addr, std::uint64_t val) override {
@@ -39,6 +41,7 @@ class DirectCtx final : public Ctx {
       rt_->nontx_store(addr, val);
       return;
     }
+    // raw-atomic: see read above.
     __atomic_store_n(addr, val, __ATOMIC_RELEASE);
   }
   void work(std::uint64_t n) override { sim::burn_work(n); }

@@ -26,6 +26,8 @@ void* TmHeap::alloc(std::size_t bytes) {
   const std::size_t rounded = (words + line_words - 1) / line_words * line_words;
 
   std::lock_guard<std::mutex> g(alloc_mu_);
+  // relaxed: writers hold alloc_mu_, so this read is mutex-ordered; the
+  // atomic exists for the lock-free reader in shadow_of().
   const std::size_t count = region_count_.load(std::memory_order_relaxed);
   if (count != 0) {
     Region& r = regions_[cur_region_];

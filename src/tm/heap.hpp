@@ -64,6 +64,8 @@ class TmHeap {
   std::size_t cur_region_ = 0;
 
   Region regions_[kMaxRegions];
+  // shared-atomic: allocator bookkeeping (publication counter for the
+  // lock-free shadow_of() reader), not transactional data.
   std::atomic<std::size_t> region_count_{0};
 
   std::unique_ptr<std::uint64_t[]> fallback_;

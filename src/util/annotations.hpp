@@ -1,0 +1,92 @@
+// Race-annotation layer: dynamic-analysis hooks behind no-op macros.
+//
+// Every cross-thread happens-before edge in this repository is carried by
+// C++/GCC atomics, which ThreadSanitizer models natively. The macros here
+// serve three purposes on top of that:
+//
+//  1. *Document* the two protocol edges that correctness hangs on — the
+//     doom/commit latch (sim/runtime.cpp) and ring publication
+//     (core/ring.hpp) — at the exact source line where each side of the
+//     edge executes. Under TSan the annotations re-assert edges the atomics
+//     already establish (harmless); without sanitizers they compile to
+//     nothing.
+//  2. Mark *benign* races explicitly. A racy-by-design access (e.g. an
+//     approximate statistics read) must carry
+//     PHTM_ANNOTATE_BENIGN_RACE_SIZED at its declaration, with the
+//     justification in the description string — never a tsan.supp entry.
+//     Suppressions hide every future bug on the same symbol; annotations
+//     hide exactly the bytes they name (policy enforced by tools/lint_tm.py:
+//     no `race:phtm::` suppressions).
+//  3. Give tests a stable seam: the negative harness
+//     (tests/tsan_negative_fixture.cpp) races through these wrappers to
+//     prove they do not silence TSan, and tests/annotations_test.cpp pins
+//     the no-op contract of the unsanitized build.
+//
+// Detection: PHTM_TSAN_ENABLED is 1 when the TU is compiled with
+// -fsanitize=thread (GCC defines __SANITIZE_THREAD__; Clang exposes
+// __has_feature(thread_sanitizer)), independent of the build system, so
+// manual flag experiments behave like the `tsan` preset.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_THREAD__)
+#define PHTM_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PHTM_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef PHTM_TSAN_ENABLED
+#define PHTM_TSAN_ENABLED 0
+#endif
+
+#if PHTM_TSAN_ENABLED
+
+// Dynamic-annotation entry points exported by the TSan runtime (libtsan's
+// Annotate* interface and the lower-level __tsan_* hooks). Declared here
+// instead of including a sanitizer header so the unsanitized build needs no
+// sanitizer toolchain files at all.
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line, const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line, const volatile void* addr);
+void AnnotateBenignRaceSized(const char* file, int line, const volatile void* addr,
+                             unsigned long size, const char* description);
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+
+/// Release side of a happens-before edge keyed on `addr`.
+#define PHTM_ANNOTATE_HAPPENS_BEFORE(addr) \
+  AnnotateHappensBefore(__FILE__, __LINE__, (const volatile void*)(addr))
+
+/// Acquire side of a happens-before edge keyed on `addr`.
+#define PHTM_ANNOTATE_HAPPENS_AFTER(addr) \
+  AnnotateHappensAfter(__FILE__, __LINE__, (const volatile void*)(addr))
+
+/// Declare [addr, addr+size) intentionally racy; `desc` states why the race
+/// is benign. Scoped to exactly these bytes — prefer this over tsan.supp.
+#define PHTM_ANNOTATE_BENIGN_RACE_SIZED(addr, size, desc)                      \
+  AnnotateBenignRaceSized(__FILE__, __LINE__, (const volatile void*)(addr),    \
+                          (unsigned long)(size), (desc))
+
+/// Raw TSan acquire/release hooks for code that implements its own
+/// synchronization primitive (same semantics as the Annotate* pair, without
+/// the file/line bookkeeping).
+#define PHTM_TSAN_ACQUIRE(addr) __tsan_acquire((void*)(addr))
+#define PHTM_TSAN_RELEASE(addr) __tsan_release((void*)(addr))
+
+#else  // !PHTM_TSAN_ENABLED
+
+// No-op expansions. Each evaluates its arguments exactly zero times and
+// yields void, so annotated code compiles identically (including in
+// constant-folding and dead-store terms) with and without sanitizers;
+// tests/annotations_test.cpp pins this contract with side-effecting
+// argument expressions.
+#define PHTM_ANNOTATE_HAPPENS_BEFORE(addr) ((void)0)
+#define PHTM_ANNOTATE_HAPPENS_AFTER(addr) ((void)0)
+#define PHTM_ANNOTATE_BENIGN_RACE_SIZED(addr, size, desc) ((void)0)
+#define PHTM_TSAN_ACQUIRE(addr) ((void)0)
+#define PHTM_TSAN_RELEASE(addr) ((void)0)
+
+#endif  // PHTM_TSAN_ENABLED

@@ -18,11 +18,15 @@ class alignas(kCacheLineBytes) Spinlock {
   void lock() noexcept {
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // relaxed: TTAS inner spin; the acquiring exchange above provides the
+      // ordering once the lock is observed free.
       while (locked_.load(std::memory_order_relaxed)) cpu_relax();
     }
   }
 
   bool try_lock() noexcept {
+    // relaxed: contention probe only; acquisition ordering comes from the
+    // exchange that follows.
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }

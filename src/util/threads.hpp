@@ -17,13 +17,17 @@
 namespace phtm {
 
 /// Sense-reversing barrier for small thread counts.
-class Barrier {
+class alignas(kCacheLineBytes) Barrier {
  public:
   explicit Barrier(unsigned parties) : parties_(parties) {}
 
   void arrive_and_wait() noexcept {
+    // relaxed: sense only flips in phases this thread itself participates
+    // in; the acq_rel fetch_add below orders the arrival.
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      // relaxed: reset is ordered before release by the sense store below;
+      // waiters of the *next* phase synchronize on that store.
       count_.store(0, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {

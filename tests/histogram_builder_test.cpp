@@ -26,8 +26,9 @@ TEST(Histogram, BucketBoundsContainValues) {
     const std::uint64_t v = rng.next() >> (rng.below(60));
     const unsigned b = Histogram::bucket_of(v);
     EXPECT_GE(Histogram::bucket_upper(b), v) << "v=" << v << " b=" << b;
-    if (b > 0 && b < Histogram::kBuckets - 1)
+    if (b > 0 && b < Histogram::kBuckets - 1) {
       EXPECT_LT(Histogram::bucket_upper(b - 1), v) << "v=" << v;
+    }
   }
 }
 

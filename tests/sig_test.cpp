@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "sig/signature.hpp"
 #include "util/rng.hpp"
@@ -14,7 +15,8 @@ TEST(Signature, LayoutIsFourCacheLines) {
   EXPECT_EQ(sizeof(Signature), 256u);
   EXPECT_EQ(Signature::kBits, 2048u);
   EXPECT_EQ(Signature::kWords, 32u);
-  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(new Signature) % 64, 0u);
+  auto sig = std::make_unique<Signature>();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(sig.get()) % 64, 0u);
 }
 
 TEST(Signature, NoFalseNegatives) {

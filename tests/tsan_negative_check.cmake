@@ -1,0 +1,27 @@
+# Driver for the TSan negative test: runs the deliberately racy fixture and
+# PASSES only if ThreadSanitizer killed it (nonzero exit). A zero exit means
+# the race went unreported — the annotation layer or sanitizer wiring is
+# suppressing real findings.
+if(NOT DEFINED FIXTURE)
+  message(FATAL_ERROR "usage: cmake -DFIXTURE=<path> -P tsan_negative_check.cmake")
+endif()
+
+execute_process(COMMAND "${FIXTURE}"
+                RESULT_VARIABLE fixture_rv
+                OUTPUT_VARIABLE fixture_out
+                ERROR_VARIABLE fixture_err)
+
+if(fixture_rv EQUAL 0)
+  message(FATAL_ERROR
+          "TSan did NOT fire on the deliberately racy fixture.\n"
+          "stdout:\n${fixture_out}\nstderr:\n${fixture_err}")
+endif()
+
+if(NOT fixture_err MATCHES "ThreadSanitizer: data race")
+  message(FATAL_ERROR
+          "fixture failed (exit ${fixture_rv}) but not with a TSan data-race "
+          "report.\nstdout:\n${fixture_out}\nstderr:\n${fixture_err}")
+endif()
+
+message(STATUS "TSan fired through the annotation wrappers as expected "
+               "(exit ${fixture_rv})")

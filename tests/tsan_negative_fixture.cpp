@@ -1,0 +1,51 @@
+// Deliberately racy fixture for the TSan negative test (built only under
+// PHTM_SANITIZE=thread; see tests/CMakeLists.txt).
+//
+// Two threads increment a plain word with no synchronization while using
+// the annotation wrappers *around* the race in ways that must NOT silence
+// it:
+//   - a happens-before edge is announced on an unrelated key (annotating
+//     one location must not order another);
+//   - a benign-race annotation covers an unrelated word (the annotation is
+//     byte-ranged, not translation-unit-ranged).
+//
+// Expected behavior: TSan reports the race on g_racy and, with
+// TSAN_OPTIONS=halt_on_error=1 exitcode=66, the process exits nonzero.
+// tsan_negative_check.cmake inverts that exit code. If this fixture ever
+// exits 0, the annotation layer (or the sanitizer wiring) is eating real
+// races — exactly the regression this harness exists to catch.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+#include "util/annotations.hpp"
+
+#if !PHTM_TSAN_ENABLED
+#error "tsan_negative_fixture must be compiled with -fsanitize=thread"
+#endif
+
+namespace {
+std::uint64_t g_racy = 0;          // the intended race
+std::uint64_t g_unrelated = 0;     // benign-annotated; never raced upon
+std::uint64_t g_edge_key = 0;      // HB edge key, unrelated to g_racy
+}  // namespace
+
+int main() {
+  PHTM_ANNOTATE_BENIGN_RACE_SIZED(&g_unrelated, sizeof(g_unrelated),
+                                  "negative-test: covers g_unrelated only");
+  std::atomic<bool> go{false};
+  std::thread other([&] {
+    while (!go.load(std::memory_order_relaxed)) std::this_thread::yield();
+    PHTM_ANNOTATE_HAPPENS_AFTER(&g_edge_key);
+    for (int i = 0; i < 1000; ++i) g_racy += 1;  // racy on purpose
+  });
+  PHTM_ANNOTATE_HAPPENS_BEFORE(&g_edge_key);
+  go.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) g_racy += 1;  // racy on purpose
+  other.join();
+  std::printf("no TSan report; g_racy=%llu\n",
+              static_cast<unsigned long long>(g_racy));
+  return 0;
+}

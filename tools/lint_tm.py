@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""TM-protocol lint: static checks of this repository's concurrency discipline.
+
+The PART-HTM protocol keeps its correctness argument in a small number of
+mechanical rules (DESIGN.md, "Memory model & analysis tooling").  This
+checker enforces them over the source tree so a refactor cannot silently
+drop one.  It runs as the `lint_tm` CTest target in every CI lane.
+
+Rules
+-----
+R1  nontx discipline (src/core, src/stm, src/tm):
+    The TM-protocol layer must route shared-word accesses through the
+    simulator's strong-atomicity helpers (rt.nontx_*), a hardware
+    transaction (ops.read/ops.write/ops.subscribe), or the designated
+    signature/ring helpers.  A raw `__atomic_*` builtin is allowed only
+    with a `// raw-atomic:` justification comment on the same line or
+    within the preceding comment block (<= RULE_WINDOW lines above).
+
+R1b shared-atomic declarations (src/core, src/stm, src/tm):
+    Declaring a `std::atomic` member in the protocol layer needs a
+    `// shared-atomic:` justification — protocol-shared words are plain
+    uint64_t accessed via nontx_*; a std::atomic member is reserved for
+    self-contained mechanisms (tuning knobs, software-TM metadata) and the
+    justification must say which.
+
+R2  cache-line alignment (src/core, src/stm, src/sim, src/sig, src/util):
+    Every struct/class that declares a std::atomic member is shared
+    mutable state and must be alignas(kCacheLineBytes), or pad the member
+    itself (alignas on the member / Padded<...>), so unrelated shared words
+    never share a conflict-granularity line.
+
+R3  relaxed justification (all of src/):
+    Every `memory_order_relaxed` needs a `// relaxed:` comment (same line
+    or <= RULE_WINDOW lines above) explaining why dropping the ordering is
+    sound.  Un-justified relaxed atomics are where fences go missing.
+
+R4  no blocking mutexes in protocol headers (src/core, src/stm, src/sim,
+    src/sig): `<mutex>` / `<shared_mutex>` must not be included.  The
+    protocol is lock-free except for the simulator-internal spinlocks;
+    an OS mutex in a protocol header is a design regression.
+
+R5  suppression hygiene (tsan.supp): no `race:phtm` entries.  Races in our
+    own code are fixed or annotated at the site (util/annotations.hpp),
+    never suppressed wholesale — a symbol-level suppression would hide
+    every future bug on the same code path.
+
+Exit status: 0 clean, 1 violations (one line each on stdout), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# How far above an occurrence a justification comment may sit (a small
+# comment block covering a short cluster of related operations).
+RULE_WINDOW = 6
+
+PROTOCOL_ACCESS_DIRS = ("src/core", "src/stm", "src/tm")
+ALIGNMENT_DIRS = ("src/core", "src/stm", "src/sim", "src/sig", "src/util")
+PROTOCOL_HEADER_DIRS = ("src/core", "src/stm", "src/sim", "src/sig")
+
+RAW_ATOMIC_RE = re.compile(r"\b__atomic_\w+")
+ATOMIC_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:alignas\([^)]*\)\s+)?(?:Padded<\s*)?std::atomic<")
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+MUTEX_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|shared_mutex)>')
+STRUCT_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?(struct|class)\s+"
+                       r"(?:alignas\([^)]*\)\s+)?(\w+)")
+
+
+def strip_line_comment(line: str) -> str:
+    """Drop a trailing // comment (good enough: no multiline strings here)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def has_marker(lines: list[str], i: int, marker: str) -> bool:
+    """Is `marker` present on line i or within RULE_WINDOW lines above it?"""
+    lo = max(0, i - RULE_WINDOW)
+    return any(marker in lines[j] for j in range(lo, i + 1))
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.errors: list[str] = []
+
+    def err(self, path: Path, lineno: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.root)
+        self.errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    # -- R1 / R1b ----------------------------------------------------------
+    def check_protocol_access(self, path: Path, lines: list[str]) -> None:
+        for i, line in enumerate(lines):
+            code = strip_line_comment(line)
+            if RAW_ATOMIC_RE.search(code) and not has_marker(lines, i, "raw-atomic:"):
+                self.err(path, i + 1, "R1",
+                         "raw __atomic_* builtin in the protocol layer; route "
+                         "through nontx_*/HtmOps or justify with '// raw-atomic:'")
+            if ATOMIC_MEMBER_RE.search(code) and not has_marker(
+                    lines, i, "shared-atomic:"):
+                self.err(path, i + 1, "R1b",
+                         "std::atomic member in the protocol layer; protocol-"
+                         "shared words are plain uint64_t behind nontx_* — "
+                         "justify with '// shared-atomic:'")
+
+    # -- R2 ----------------------------------------------------------------
+    def check_alignment(self, path: Path, lines: list[str]) -> None:
+        # Track the innermost struct/class declaration preceding each atomic
+        # member; brace counting keeps nesting honest enough for this tree.
+        stack: list[tuple[str, bool, int]] = []  # (name, aligned, lineno)
+        depth = 0
+        pending: tuple[str, bool, int] | None = None
+        for i, line in enumerate(lines):
+            code = strip_line_comment(line)
+            m = STRUCT_RE.match(code)
+            if m and not code.rstrip().endswith(";"):
+                pending = (m.group(2), "alignas" in code, i + 1)
+            for ch in code:
+                if ch == "{":
+                    if pending is not None:
+                        stack.append(pending)
+                        pending = None
+                    else:
+                        stack.append(("", True, i + 1))  # non-type scope
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    if stack:
+                        stack.pop()
+            if ATOMIC_MEMBER_RE.search(code):
+                member_padded = ("alignas" in code or "Padded<" in code)
+                owner = next((s for s in reversed(stack) if s[0]), None)
+                if owner and not owner[1] and not member_padded:
+                    self.err(path, i + 1, "R2",
+                             f"std::atomic member of '{owner[0]}' (line "
+                             f"{owner[2]}) without alignas(kCacheLineBytes) on "
+                             "the type or padding on the member")
+
+    # -- R3 ----------------------------------------------------------------
+    def check_relaxed(self, path: Path, lines: list[str]) -> None:
+        for i, line in enumerate(lines):
+            if RELAXED_RE.search(strip_line_comment(line)) and not has_marker(
+                    lines, i, "relaxed:"):
+                self.err(path, i + 1, "R3",
+                         "memory_order_relaxed without a '// relaxed:' "
+                         "justification comment")
+
+    # -- R4 ----------------------------------------------------------------
+    def check_mutex_includes(self, path: Path, lines: list[str]) -> None:
+        for i, line in enumerate(lines):
+            m = MUTEX_INCLUDE_RE.search(line)
+            if m:
+                self.err(path, i + 1, "R4",
+                         f"protocol header includes <{m.group(1)}>; the "
+                         "protocol layer is spinlock/atomic only")
+
+    # -- R5 ----------------------------------------------------------------
+    def check_suppressions(self) -> None:
+        supp = self.root / "tsan.supp"
+        if not supp.is_file():
+            return
+        for i, line in enumerate(supp.read_text().splitlines()):
+            body = line.split("#", 1)[0].strip()
+            if body.startswith("race:") and "phtm" in body:
+                self.err(supp, i + 1, "R5",
+                         "tsan.supp suppresses a phtm:: symbol; fix the race "
+                         "or annotate the site (util/annotations.hpp) instead")
+
+    # ----------------------------------------------------------------------
+    def run(self) -> int:
+        src = self.root / "src"
+        if not src.is_dir():
+            print(f"lint_tm: no src/ under {self.root}", file=sys.stderr)
+            return 2
+        for path in sorted(src.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
+                continue
+            rel = path.relative_to(self.root).as_posix()
+            lines = path.read_text().splitlines()
+            if rel.startswith(PROTOCOL_ACCESS_DIRS):
+                self.check_protocol_access(path, lines)
+            if rel.startswith(ALIGNMENT_DIRS):
+                self.check_alignment(path, lines)
+            self.check_relaxed(path, lines)
+            if rel.startswith(PROTOCOL_HEADER_DIRS) and path.suffix == ".hpp":
+                self.check_mutex_includes(path, lines)
+        self.check_suppressions()
+
+        if self.errors:
+            for e in self.errors:
+                print(e)
+            print(f"lint_tm: {len(self.errors)} violation(s)", file=sys.stderr)
+            return 1
+        print("lint_tm: clean")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: the checkout containing this script)")
+    args = ap.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
