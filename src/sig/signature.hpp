@@ -115,6 +115,27 @@ class alignas(kCacheLineBytes) BloomSig {
     return s;
   }
 
+  /// Word-atomic copy-in for a seqlock-guarded slot. Relaxed on purpose:
+  /// the enclosing sequence word (busy/final protocol) carries all the
+  /// ordering; these stores only need to be tear-free per word so a
+  /// validator racing the republication reads *some* word values and is
+  /// then sent back by its sequence recheck.
+  void atomic_assign(const BloomSig& o) noexcept {
+    for (unsigned i = 0; i < kWords; ++i)
+      __atomic_store_n(&words_[i], o.words_[i], __ATOMIC_RELAXED);
+  }
+
+  /// Word-atomic intersection of a seqlock-guarded slot (this) with a
+  /// private signature. Relaxed for the same reason as atomic_assign: the
+  /// caller revalidates the slot's sequence word after the scan and
+  /// discards the result if the slot was republished mid-read.
+  bool atomic_intersects(const BloomSig& o) const noexcept {
+    for (unsigned i = 0; i < kWords; ++i)
+      if (__atomic_load_n(&words_[i], __ATOMIC_RELAXED) & o.words_[i])
+        return true;
+    return false;
+  }
+
   /// Raw word storage, exposed so transactional code can route word
   /// accesses through the HTM simulator (keeping them "monitored").
   std::uint64_t* words() noexcept { return words_; }

@@ -12,9 +12,12 @@
 //    timestamp i only while seq == i; a writer reusing the slot first sets
 //    seq = busy so validators detect rollover instead of reading torn
 //    signatures;
-//  - `last_complete` enforces in-order write-back completion so a
-//    transaction's start time never covers a commit whose write-back is
-//    still in flight (which could otherwise serve stale reads).
+//  - `last_complete` serializes write-back: a commit's redo stores begin
+//    only after every logically earlier commit finished its own, so
+//    overlapping commits can never interleave their stores (write-only
+//    commits are mutually invisible to validation), and a transaction's
+//    start time never covers a commit whose write-back is still in flight
+//    (which could otherwise serve stale reads).
 #pragma once
 
 #include <vector>
@@ -131,12 +134,23 @@ class RingStmBackend final : public tm::Backend {
         if ((s & ~kBusy) > i) throw StmAbort{AbortCause::kOther};  // reused
         cpu_relax();  // publication in flight
       }
-      const bool hit = e.sig.intersects(w.rsig);
+      // Word-atomic scan: a writer reusing this slot republishes the
+      // signature while we may still be reading it; the seq recheck below
+      // discards any value read from a republication in flight.
+      const bool hit = e.sig.atomic_intersects(w.rsig);
       if (e.seq.load(std::memory_order_acquire) != i)
         throw StmAbort{AbortCause::kOther};  // torn: slot reused mid-check
       if (hit) throw StmAbort{AbortCause::kConflict};
     }
-    w.start = ts;
+    // Advance only past fully written-back commits: an entry between
+    // last_complete and ts has published its signature but may still be
+    // writing back, and covering it with w.start would let a later read
+    // return that commit's *pre*-write-back value with no revalidation.
+    // Entries in (last_complete, ts] simply get re-scanned by the next
+    // check until their write-back retires.
+    const std::uint64_t lc =
+        last_complete_.value.load(std::memory_order_acquire);
+    w.start = lc < ts ? lc : ts;
   }
 
   std::uint64_t tx_read(W& w, const std::uint64_t* addr) {
@@ -170,12 +184,18 @@ class RingStmBackend final : public tm::Backend {
         cpu_relax();
     }
     e.seq.store(mine | kBusy, std::memory_order_release);
-    e.sig = w.wsig;
+    e.sig.atomic_assign(w.wsig);
     e.seq.store(mine, std::memory_order_release);
+    // Single-writer write-back discipline: stores may only *start* once
+    // every logically earlier commit has finished its own write-back.
+    // Overlapping write-only commits never see each other in validation
+    // (their read signatures are empty), so this ordering is the only thing
+    // keeping their redo logs from interleaving in memory — waiting here
+    // merely for *completion* (i.e. after our own stores) admits torn
+    // results.
+    while (last_complete_.value.load(std::memory_order_acquire) != ts)
+      cpu_relax();
     for (const auto& c : w.redo.cells()) rt_.nontx_store(c.addr, c.val);
-    // In-order completion: start times only ever cover fully written-back
-    // commits.
-    while (last_complete_.value.load(std::memory_order_acquire) != ts) cpu_relax();
     last_complete_.value.store(mine, std::memory_order_release);
   }
 

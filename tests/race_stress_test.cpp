@@ -21,6 +21,10 @@
 #include "sig/signature.hpp"
 #include "sim/config.hpp"
 #include "sim/runtime.hpp"
+#include "stm/ringstm.hpp"
+#include "test_common.hpp"
+#include "tm/backend.hpp"
+#include "tm/heap.hpp"
 #include "util/annotations.hpp"
 #include "util/threads.hpp"
 
@@ -175,6 +179,71 @@ TEST(RaceStress, RingPublicationNeverTearsForValidators) {
           start = rt.nontx_load(ring.timestamp_addr());
         }
       }
+    }
+  });
+}
+
+/// Regression test for two TSan-surfaced races in the RingSTM baseline
+/// (both fixed in stm/ringstm.hpp; the tsan lane caught the first as a
+/// torn-commit assertion in the oversized-write-set invariant and the
+/// second as a data-race report in the kmeans app run):
+///  1. write-back started before the predecessor commit's write-back had
+///     completed, so overlapping *write-only* commits — invisible to each
+///     other's validation, their read signatures being empty — interleaved
+///     their redo-log stores and left a torn final state;
+///  2. slot signatures were republished with plain stores while a
+///     validator in its seqlock recheck window was still scanning the
+///     retired occupant's words.
+/// A tiny ring forces slot reuse every few commits so both code paths run
+/// hot; the barrier gives every round a quiescent point at which the array
+/// must carry exactly one commit's stamp.
+TEST(RaceStress, RingStmOverlappingWriteBacksStaySerialized) {
+  HtmConfig cfg = HtmConfig::testing();
+  HtmRuntime rt(cfg);
+  phtm::tm::BackendConfig bcfg;
+  bcfg.ring_entries = 8;  // force republication while validators scan
+  phtm::stm::RingStmBackend backend(rt, bcfg);
+
+  constexpr unsigned kWords = 2048;  // 256 lines: a long write-back window
+  auto* arr = phtm::tm::TmHeap::instance().alloc_array<std::uint64_t>(kWords);
+  for (unsigned i = 0; i < kWords; ++i) arr[i] = 0;
+
+  struct Env {
+    std::uint64_t* arr;
+  };
+  struct Locals {
+    std::uint64_t stamp;
+  };
+
+  constexpr unsigned kThreads = 3;
+  const unsigned rounds = kRounds / 15;
+  phtm::Barrier round_barrier(kThreads);
+  run_threads(kThreads, [&](unsigned tid) {
+    auto w = backend.make_worker(tid);
+    Env env{arr};
+    Locals l{};
+    for (unsigned round = 0; round < rounds; ++round) {
+      l.stamp = (std::uint64_t{tid} << 32) | (round + 1);
+      phtm::tm::Txn t = phtm::test::make_txn(
+          +[](phtm::tm::Ctx& c, const void* e, void* lp, unsigned) {
+            auto* a = static_cast<const Env*>(e)->arr;
+            const auto stamp = static_cast<Locals*>(lp)->stamp;
+            for (unsigned k = 0; k < kWords; ++k) c.write(a + k, stamp);
+            return false;
+          },
+          &env, &l, sizeof(l));
+      backend.execute(*w, t);
+      round_barrier.arrive_and_wait();
+      // All three commits returned, so all write-backs have retired; the
+      // array must be uniformly stamped by whichever commit came last.
+      if (tid == 0) {
+        const std::uint64_t first = rt.nontx_load(&arr[0]);
+        for (unsigned k = 1; k < kWords; ++k)
+          EXPECT_EQ(rt.nontx_load(&arr[k]), first)
+              << "torn RingSTM write-back at word " << k << ", round "
+              << round;
+      }
+      round_barrier.arrive_and_wait();
     }
   });
 }
