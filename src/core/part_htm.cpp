@@ -5,6 +5,7 @@
 #include "stm/common.hpp"
 #include "tm/direct.hpp"
 #include "tm/heap.hpp"
+#include "util/mc_hooks.hpp"
 #include "util/spinlock.hpp"
 
 namespace phtm::core {
@@ -275,7 +276,12 @@ bool PartHtmBackend::fast_once(W& w, const tm::Txn& txn, sim::AbortStatus& statu
 
 PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& txn) {
   // --- global begin (Fig. 1 lines 16-19) ---
-  while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();
+  while (rt_.nontx_load(&glock_.value) != 0) {
+    // mc-yield: glock held by a slow-path committer; only its release
+    // store can unblock us — force a deschedule.
+    PHTM_MC_SPIN(&glock_.value);
+    cpu_relax();
+  }
   rt_.nontx_fetch_add(&active_tx_.value, 1);
   if (rt_.nontx_load(&glock_.value) != 0) {
     dec_active();
@@ -475,8 +481,17 @@ void PartHtmBackend::slow_path(W& w, const tm::Txn& txn) {
   // Fig. 1 lines 61-65: acquire the global lock (aborting every hardware
   // subscriber via strong atomicity), wait out the partitioned population,
   // then run uninstrumented.
-  while (!rt_.nontx_cas(&glock_.value, 0, 1)) cpu_relax();
-  while (rt_.nontx_load(&active_tx_.value) != 0) cpu_relax();
+  while (!rt_.nontx_cas(&glock_.value, 0, 1)) {
+    // mc-yield: lost the glock race; only the holder's release unblocks us.
+    PHTM_MC_SPIN(&glock_.value);
+    cpu_relax();
+  }
+  while (rt_.nontx_load(&active_tx_.value) != 0) {
+    // mc-yield: quiescence wait — only partitioned transactions draining
+    // (commit or global_abort) can decrement active_tx.
+    PHTM_MC_SPIN(&active_tx_.value);
+    cpu_relax();
+  }
   tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
   tm::run_all_segments(ctx, txn);
   rt_.nontx_store(&glock_.value, 0);
@@ -495,7 +510,11 @@ void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
     bool resource_failure = false;
     Backoff backoff;
     for (unsigned a = 0; a < cfg_.htm_retries; ++a) {
-      while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();  // lemming guard
+      while (rt_.nontx_load(&glock_.value) != 0) {
+        // mc-yield: lemming guard — waiting for a slow-path release.
+        PHTM_MC_SPIN(&glock_.value);
+        cpu_relax();
+      }
       sim::AbortStatus st;
       if (fast_once(w, txn, st)) {
         w.stats().record_commit(CommitPath::kHtm);

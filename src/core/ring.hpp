@@ -28,6 +28,7 @@
 #include "sim/runtime.hpp"
 #include "util/annotations.hpp"
 #include "util/cacheline.hpp"
+#include "util/mc_hooks.hpp"
 
 namespace phtm::core {
 
@@ -88,7 +89,12 @@ class GlobalRing {
   /// Fill the slot reserved for `ts`. Waits for the retired occupant.
   void fill_slot(sim::HtmRuntime& rt, std::uint64_t ts, const Signature& sig) {
     Slot& s = slot_of(ts);
-    while (aload(&s.seq) != expected_prev(ts)) cpu_relax();
+    while (aload(&s.seq) != expected_prev(ts)) {
+      // mc-yield: waiting for the retired occupant's final seq store; only
+      // that publisher can change seq, so this must deschedule under mc.
+      PHTM_MC_SPIN(&s.seq);
+      cpu_relax();
+    }
     rt.nontx_store(&s.seq, ts | kBusy);
     std::uint64_t mask = 0;
     for (unsigned w = 0; w < Signature::kWords; ++w) {
@@ -116,6 +122,9 @@ class GlobalRing {
     if (ts - start >= slots_.size()) return ValResult::kRollover;
     for (std::uint64_t i = start + 1; i <= ts; ++i) {
       Slot& s = slot_of(i);
+      // mc-yield: seqlock read side — this load races the slot's publisher
+      // (busy store, signature fill, final seq store).
+      PHTM_MC_YIELD(kRawLoad, &s.seq);
       for (;;) {
         const std::uint64_t q = aload(&s.seq);
         if (q == i) {
@@ -126,15 +135,24 @@ class GlobalRing {
           break;
         }
         if ((q & ~kBusy) > i) return ValResult::kRollover;  // slot reused
+        // mc-yield: waiting out an in-flight publication; only the
+        // publisher can complete the entry, so force a deschedule.
+        PHTM_MC_SPIN(&s.seq);
         cpu_relax();  // publication in flight
       }
       bool hit = false;
+      // mc-yield: the mask/signature scan races a reusing publisher; the
+      // seq recheck below is the read side of that seqlock.
+      PHTM_MC_YIELD(kRawLoad, &s.mask);
       std::uint64_t mask = aload(&s.mask);
       for (unsigned w = 0; mask != 0 && w < Signature::kWords; ++w, mask >>= 1)
         if ((mask & 1) && (aload(&s.sig.words()[w]) & rsig.words()[w])) {
           hit = true;
           break;
         }
+      // mc-yield: seqlock recheck — discovers a reuse that began after the
+      // scan above started.
+      PHTM_MC_YIELD(kRawLoad, &s.seq);
       if (aload(&s.seq) != i) return ValResult::kRollover;  // torn: reused
       if (hit) return ValResult::kConflict;
     }

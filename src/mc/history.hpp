@@ -1,0 +1,124 @@
+// Transactional history capture for the schedule explorer (src/mc).
+//
+// Scenario step functions route every tracked access through rec_read /
+// rec_write, which perform the access via the backend's Ctx and append an
+// McOp both to a TxLog embedded in the transaction's *locals* blob and to a
+// Recorder-side mirror. The split is the whole trick:
+//
+//  - the in-locals TxLog is trivially copyable, so every abort path in
+//    every backend rolls its count back for free through the existing
+//    LocalsSnapshot save/restore (hardware rollback emulation) — no backend
+//    cooperation needed;
+//  - the Recorder mirror is never rolled back, so comparing the two at the
+//    next recorded event reveals exactly which suffix of the attempt was
+//    rolled back. That suffix (plus the surviving prefix the attempt had
+//    observed) becomes a *fragment*: the history of an aborted attempt,
+//    which the opacity checker must also be able to place consistently.
+//
+// Events are stamped with a global step counter. Under the cooperative
+// scheduler exactly one thread runs at a time and a recorded access plus
+// its note() call happen within one atomic step, so the counter is a plain
+// integer and stamps are totally ordered in execution order; they stand in
+// for real-time order in the checker.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "tm/api.hpp"
+
+namespace phtm::mc {
+
+/// One tracked access, as the transaction observed it.
+struct McOp {
+  const std::uint64_t* addr = nullptr;
+  std::uint64_t val = 0;    ///< value read, or value written
+  std::uint64_t step = 0;   ///< global event stamp (execution order)
+  bool is_write = false;
+};
+
+inline constexpr unsigned kMaxTxOps = 32;
+
+/// Lives at the head of a scenario's locals blob (trivially copyable).
+struct TxLog {
+  std::uint32_t nops = 0;
+  McOp ops[kMaxTxOps];
+};
+static_assert(std::is_trivially_copyable_v<TxLog>);
+
+/// History of one aborted attempt: every op the attempt had observed when
+/// it was rolled back (surviving prefix included — that prefix is what the
+/// attempt's later reads were judged against).
+struct Fragment {
+  std::vector<McOp> ops;
+  std::uint64_t begin_step = 0;
+  std::uint64_t end_step = 0;
+};
+
+struct TxRecord {
+  std::vector<McOp> mirror;        ///< ops of the attempt in progress
+  std::vector<Fragment> fragments; ///< rolled-back attempts (zombies)
+  std::uint64_t end_step = 0;      ///< stamp of execute() returning
+  bool committed = false;
+};
+
+class Recorder {
+ public:
+  void reset(unsigned nthreads) {
+    recs_.assign(nthreads, TxRecord{});
+    step_ = 0;
+  }
+
+  /// Record one performed access for thread `tid`. Detects rollbacks by
+  /// comparing the snapshot-restored in-locals count against the mirror.
+  void note(unsigned tid, TxLog& log, McOp op) {
+    TxRecord& r = recs_[tid];
+    harvest_rollback(r, log);
+    assert(log.nops < kMaxTxOps && "raise kMaxTxOps for this scenario");
+    op.step = ++step_;
+    log.ops[log.nops++] = op;
+    r.mirror.push_back(op);
+  }
+
+  /// Mark thread `tid`'s transaction committed (call when execute returns).
+  void finish(unsigned tid, TxLog& log) {
+    TxRecord& r = recs_[tid];
+    harvest_rollback(r, log);
+    r.end_step = ++step_;
+    r.committed = true;
+  }
+
+  const TxRecord& record(unsigned tid) const { return recs_[tid]; }
+  unsigned threads() const { return static_cast<unsigned>(recs_.size()); }
+
+ private:
+  static void harvest_rollback(TxRecord& r, const TxLog& log) {
+    if (log.nops >= r.mirror.size()) return;
+    Fragment f;
+    f.ops = r.mirror;
+    f.begin_step = f.ops.front().step;
+    f.end_step = f.ops.back().step;
+    r.fragments.push_back(std::move(f));
+    r.mirror.resize(log.nops);
+  }
+
+  std::vector<TxRecord> recs_;
+  std::uint64_t step_ = 0;
+};
+
+/// Tracked accessors for scenario step functions.
+inline std::uint64_t rec_read(tm::Ctx& c, Recorder& rec, unsigned tid,
+                              TxLog& log, const std::uint64_t* addr) {
+  const std::uint64_t v = c.read(addr);
+  rec.note(tid, log, McOp{addr, v, 0, /*is_write=*/false});
+  return v;
+}
+
+inline void rec_write(tm::Ctx& c, Recorder& rec, unsigned tid, TxLog& log,
+                      std::uint64_t* addr, std::uint64_t val) {
+  c.write(addr, val);
+  rec.note(tid, log, McOp{addr, val, 0, /*is_write=*/true});
+}
+
+}  // namespace phtm::mc

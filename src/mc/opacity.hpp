@@ -1,0 +1,206 @@
+// Serializability / opacity verdicts over explored histories (src/mc).
+//
+// Input: the committed transactions' op lists (reads with the values they
+// returned, writes with the values they stored), the aborted attempts'
+// fragments, the initial values of every tracked word and the final memory
+// state after the schedule ran.
+//
+// Serializability: search for a *sequential witness* — a permutation of the
+// committed transactions that (a) respects real-time order (if T1's commit
+// stamp precedes T2's first op stamp, T1 must come first), (b) makes every
+// read return the value the sequential execution would produce (own earlier
+// writes shadow the global state), and (c) reproduces the observed final
+// memory. With at most 4 transactions per scenario the n! search is exact
+// and instant.
+//
+// Opacity (PART-HTM-O scenarios): additionally, every aborted attempt must
+// have observed some consistent prefix of *some* valid witness — i.e. there
+// is a witness order and an insertion point k such that the fragment's
+// reads are explained by the first k committed transactions plus the
+// fragment's own earlier writes, with the insertion point compatible with
+// the fragment's real-time interval. A fragment that mixes two committed
+// transactions' half-states (the classic zombie) has no such k.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mc/history.hpp"
+
+namespace phtm::mc {
+
+struct CommittedTx {
+  unsigned tid = 0;
+  std::vector<McOp> ops;
+  std::uint64_t begin_step = 0;  ///< stamp of first op of the final attempt
+  std::uint64_t end_step = 0;    ///< stamp of execute() returning
+};
+
+struct HistoryInput {
+  std::vector<CommittedTx> txns;
+  std::vector<Fragment> fragments;
+  std::vector<std::pair<const std::uint64_t*, std::uint64_t>> initial;
+  std::vector<std::pair<const std::uint64_t*, std::uint64_t>> final_mem;
+  bool check_opacity = false;
+};
+
+struct HistoryVerdict {
+  bool ok = true;
+  std::string diagnosis;
+  std::vector<unsigned> witness;  ///< tids in serialization order (if ok)
+};
+
+namespace detail {
+
+using Mem = std::map<const std::uint64_t*, std::uint64_t>;
+
+/// Simulate one op list against `mem`; reads must match recorded values
+/// (own earlier writes shadow `mem`). On success and if `commit` is set,
+/// the writes are merged into `mem`.
+inline bool sim_ops(const std::vector<McOp>& ops, Mem& mem, bool commit,
+                    std::string* why) {
+  Mem own;
+  for (const McOp& op : ops) {
+    if (op.is_write) {
+      own[op.addr] = op.val;
+      continue;
+    }
+    std::uint64_t expect;
+    if (auto it = own.find(op.addr); it != own.end()) {
+      expect = it->second;
+    } else if (auto it2 = mem.find(op.addr); it2 != mem.end()) {
+      expect = it2->second;
+    } else {
+      if (why) {
+        std::ostringstream os;
+        os << "read of untracked address " << op.addr
+           << " (register it in the scenario's initial set)";
+        *why = os.str();
+      }
+      return false;
+    }
+    if (expect != op.val) {
+      if (why) {
+        std::ostringstream os;
+        os << "read at step " << op.step << " of " << op.addr << " returned "
+           << op.val << " but the sequential witness holds " << expect;
+        *why = os.str();
+      }
+      return false;
+    }
+  }
+  if (commit)
+    for (const auto& [a, v] : own) mem[a] = v;
+  return true;
+}
+
+/// Real-time admissibility of a permutation: no transaction placed later
+/// may have committed before an earlier-placed one began.
+inline bool respects_real_time(const std::vector<CommittedTx>& txns,
+                               const std::vector<unsigned>& perm) {
+  for (std::size_t p = 0; p < perm.size(); ++p)
+    for (std::size_t q = p + 1; q < perm.size(); ++q)
+      if (txns[perm[q]].end_step < txns[perm[p]].begin_step) return false;
+  return true;
+}
+
+/// Can `f` be explained by some prefix of the witness `perm`? Prefix k is
+/// admissible only if it contains every transaction that committed before
+/// the fragment began and none that began after the fragment died.
+inline bool fragment_fits(const HistoryInput& in,
+                          const std::vector<unsigned>& perm,
+                          const Fragment& f) {
+  for (std::size_t k = 0; k <= perm.size(); ++k) {
+    bool rt_ok = true;
+    for (std::size_t p = 0; p < perm.size() && rt_ok; ++p) {
+      const CommittedTx& t = in.txns[perm[p]];
+      if (p >= k && t.end_step < f.begin_step) rt_ok = false;  // must be in
+      if (p < k && t.begin_step > f.end_step) rt_ok = false;   // must be out
+    }
+    if (!rt_ok) continue;
+    Mem mem(in.initial.begin(), in.initial.end());
+    bool prefix_ok = true;
+    for (std::size_t p = 0; p < k && prefix_ok; ++p)
+      prefix_ok = sim_ops(in.txns[perm[p]].ops, mem, /*commit=*/true, nullptr);
+    if (!prefix_ok) continue;
+    if (sim_ops(f.ops, mem, /*commit=*/false, nullptr)) return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+inline HistoryVerdict check_history(const HistoryInput& in) {
+  HistoryVerdict v;
+  std::vector<unsigned> perm(in.txns.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end());
+
+  std::string first_fail = "no committed transactions";
+  bool committed_ok = false;
+  do {
+    if (!detail::respects_real_time(in.txns, perm)) continue;
+    detail::Mem mem(in.initial.begin(), in.initial.end());
+    std::string why;
+    bool ok = true;
+    for (unsigned idx : perm) {
+      if (!detail::sim_ops(in.txns[idx].ops, mem, /*commit=*/true, &why)) {
+        std::ostringstream os;
+        os << "tx tid=" << in.txns[idx].tid << ": " << why;
+        if (first_fail == "no committed transactions" || !committed_ok)
+          first_fail = os.str();
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const auto& [a, fv] : in.final_mem) {
+        auto it = mem.find(a);
+        const std::uint64_t wv = it == mem.end() ? 0 : it->second;
+        if (wv != fv) {
+          std::ostringstream os;
+          os << "final memory at " << a << " is " << fv
+             << " but the witness produces " << wv;
+          first_fail = os.str();
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    committed_ok = true;
+    if (in.check_opacity) {
+      bool all_frag = true;
+      for (const Fragment& f : in.fragments)
+        if (!detail::fragment_fits(in, perm, f)) {
+          all_frag = false;
+          break;
+        }
+      if (!all_frag) continue;  // another witness may place the fragments
+    }
+    // Accepted.
+    v.ok = true;
+    v.witness.clear();
+    for (unsigned idx : perm) v.witness.push_back(in.txns[idx].tid);
+    return v;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  v.ok = false;
+  if (!committed_ok) {
+    v.diagnosis = "not serializable: no real-time-respecting sequential "
+                  "witness explains the committed reads and final memory "
+                  "(first failure: " + first_fail + ")";
+  } else {
+    v.diagnosis = "opacity violation: committed transactions serialize, but "
+                  "some aborted attempt observed a snapshot no witness "
+                  "prefix can explain";
+  }
+  return v;
+}
+
+}  // namespace phtm::mc

@@ -1,0 +1,378 @@
+// Scenario library for the schedule explorer (see sched.hpp).
+//
+// Every scenario is a closed 2-3 thread world over a handful of padded
+// words. All protocol-visible storage lives in static objects that are
+// destroyed and rebuilt in the same order on every execution, so addresses
+// repeat and the DFS replay of a decision prefix is deterministic; the
+// scheduler cross-checks this with per-step fingerprints.
+//
+// Path forcing uses the duration model, not capacity: tick_budget is set so
+// a whole-transaction fast attempt overruns the quantum (resource abort ->
+// partitioned path) while each individual segment, including the sub-HTM
+// commit epilogue, fits comfortably. This keeps the hardware abort pattern
+// deterministic across interleavings.
+#include <optional>
+
+#include "core/part_htm.hpp"
+#include "mc/sched.hpp"
+#include "sim/config.hpp"
+#include "sim/runtime.hpp"
+#include "stm/ringstm.hpp"
+#include "tm/backend.hpp"
+#include "util/cacheline.hpp"
+
+namespace phtm::mc {
+namespace {
+
+using core::PartHtmBackend;
+using phtm::CommitPath;
+using sim::HtmConfig;
+using sim::HtmRuntime;
+
+constexpr unsigned kScenarioWords = 4;
+
+struct alignas(kCacheLineBytes) PadWord {
+  std::uint64_t v = 0;
+};
+PadWord g_data[kScenarioWords];
+
+std::uint64_t* word(unsigned i) { return &g_data[i].v; }
+
+struct SLocals {
+  TxLog log;
+};
+static_assert(std::is_trivially_copyable_v<SLocals>);
+SLocals g_locals[kMaxMcThreads];
+
+struct SEnv {
+  unsigned tid = 0;
+};
+SEnv g_env[kMaxMcThreads];
+
+Recorder g_rec;
+std::optional<HtmRuntime> g_rt;
+std::optional<PartHtmBackend> g_part;
+std::optional<stm::RingStmBackend> g_ringstm;
+std::vector<std::unique_ptr<tm::Worker>> g_workers;
+
+void destroy_world() {
+  g_workers.clear();  // workers hold HTM slots: destroy before the runtime
+  g_part.reset();
+  g_ringstm.reset();
+  g_rt.reset();
+#if defined(PHTM_MC) && PHTM_MC
+  stm::RingStmBackend::mc_fault_torn_writeback = false;
+#endif
+}
+
+void reset_common(unsigned nthreads) {
+  destroy_world();
+  for (auto& w : g_data) w.v = 0;
+  for (auto& l : g_locals) l = SLocals{};
+  for (unsigned t = 0; t < kMaxMcThreads; ++t) g_env[t] = SEnv{t};
+  g_rec.reset(nthreads);
+}
+
+/// Duration quantum such that one segment (ops + work(50) + sub-HTM commit
+/// epilogue) fits but any two segments — or a whole heavy transaction on
+/// the fast path — overrun.
+constexpr std::uint64_t kQuantum = 80;
+constexpr std::uint64_t kSegWork = 50;
+
+HtmConfig mc_htm_config() {
+  HtmConfig c = HtmConfig::testing();
+  c.tick_budget = kQuantum;
+  c.random_other_per_access = 0.0;  // determinism: no async-interrupt draws
+  c.seed = 42;
+  return c;
+}
+
+tm::BackendConfig mc_backend_config() {
+  tm::BackendConfig b;
+  // Small retry counts keep the bounded exploration tree tight; every
+  // fallback path is still reachable.
+  b.htm_retries = 2;
+  b.partitioned_retries = 1;
+  b.sub_htm_retries = 2;
+  b.ring_entries = 8;
+  return b;
+}
+
+void build_part(unsigned nthreads, PartHtmBackend::Mode mode) {
+  reset_common(nthreads);
+  g_rt.emplace(mc_htm_config());
+  g_part.emplace(*g_rt, mc_backend_config(), mode, /*no_fast=*/false);
+  for (unsigned t = 0; t < nthreads; ++t)
+    g_workers.push_back(g_part->make_worker(t));
+}
+
+void build_ringstm(unsigned nthreads) {
+  reset_common(nthreads);
+  g_rt.emplace(mc_htm_config());
+  g_ringstm.emplace(*g_rt, mc_backend_config());
+  for (unsigned t = 0; t < nthreads; ++t)
+    g_workers.push_back(g_ringstm->make_worker(t));
+}
+
+void run_txn(tm::Backend& b, unsigned tid, decltype(tm::Txn::step) step,
+             bool irrevocable = false) {
+  tm::Txn t;
+  t.step = step;
+  t.env = &g_env[tid];
+  t.locals = &g_locals[tid];
+  t.locals_bytes = sizeof(SLocals);
+  t.irrevocable = irrevocable;
+  b.execute(*g_workers[tid], t);
+  g_rec.finish(tid, g_locals[tid].log);
+}
+
+HistoryInput collect_common(unsigned nthreads, bool opacity) {
+  HistoryInput in;
+  in.check_opacity = opacity;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    const TxRecord& r = g_rec.record(t);
+    CommittedTx ct;
+    ct.tid = t;
+    ct.ops = r.mirror;
+    ct.begin_step = ct.ops.empty() ? r.end_step : ct.ops.front().step;
+    ct.end_step = r.end_step;
+    in.txns.push_back(std::move(ct));
+    for (const Fragment& f : r.fragments) in.fragments.push_back(f);
+  }
+  for (unsigned i = 0; i < kScenarioWords; ++i) {
+    in.initial.emplace_back(word(i), 0);
+    // Plain load: all workers have joined, the world is quiescent.
+    in.final_mem.emplace_back(word(i),
+                              __atomic_load_n(word(i), __ATOMIC_ACQUIRE));
+  }
+  return in;
+}
+
+unsigned env_tid(const void* e) { return static_cast<const SEnv*>(e)->tid; }
+TxLog& log_of(void* lp) { return static_cast<SLocals*>(lp)->log; }
+
+// ---- step functions (plain functions: no captures, fully deterministic) --
+
+/// Fast-path increment of word 0.
+bool step_inc_x(tm::Ctx& c, const void* e, void* lp, unsigned) {
+  TxLog& log = log_of(lp);
+  const std::uint64_t v = rec_read(c, g_rec, env_tid(e), log, word(0));
+  rec_write(c, g_rec, env_tid(e), log, word(0), v + 1);
+  return false;
+}
+
+/// Fast-path: copy word 0 into word 1 (conflicts with step_inc_x on x).
+bool step_copy_x_to_y(tm::Ctx& c, const void* e, void* lp, unsigned) {
+  TxLog& log = log_of(lp);
+  const std::uint64_t v = rec_read(c, g_rec, env_tid(e), log, word(0));
+  rec_write(c, g_rec, env_tid(e), log, word(1), v + 100);
+  return false;
+}
+
+/// Two heavy segments incrementing words 2 then 3: overruns the quantum as
+/// one transaction, fits per segment — deterministic partitioned fallback.
+bool step_part_heavy_zw(tm::Ctx& c, const void* e, void* lp, unsigned seg) {
+  TxLog& log = log_of(lp);
+  const std::uint64_t v = rec_read(c, g_rec, env_tid(e), log, word(2 + seg));
+  rec_write(c, g_rec, env_tid(e), log, word(2 + seg), v + 1);
+  c.work(kSegWork);
+  return seg == 0;
+}
+
+/// Two heavy segments eagerly writing x (word 0) then y (word 1).
+bool step_part_write_xy(tm::Ctx& c, const void* e, void* lp, unsigned seg) {
+  TxLog& log = log_of(lp);
+  rec_write(c, g_rec, env_tid(e), log, word(seg), 1);
+  c.work(kSegWork);
+  return seg == 0;
+}
+
+/// Fast-path read of x then y: the invariant probe against eager writes.
+bool step_read_xy(tm::Ctx& c, const void* e, void* lp, unsigned) {
+  TxLog& log = log_of(lp);
+  rec_read(c, g_rec, env_tid(e), log, word(0));
+  rec_read(c, g_rec, env_tid(e), log, word(1));
+  return false;
+}
+
+/// Irrevocable writer of x and y (global-lock path by construction).
+bool step_slow_write_xy(tm::Ctx& c, const void* e, void* lp, unsigned) {
+  TxLog& log = log_of(lp);
+  rec_write(c, g_rec, env_tid(e), log, word(0), 7);
+  rec_write(c, g_rec, env_tid(e), log, word(1), 7);
+  return false;
+}
+
+/// Segment 0 eagerly writes x and announces its write lock; segment 1 can
+/// never fit the quantum, so the sub-HTM retries exhaust and the attempt
+/// global-aborts: the undo log must retract the eager write and the lock.
+/// The transaction then commits on the slow path.
+bool step_undo_rollback_xy(tm::Ctx& c, const void* e, void* lp, unsigned seg) {
+  TxLog& log = log_of(lp);
+  if (seg == 0) {
+    rec_write(c, g_rec, env_tid(e), log, word(0), 1);
+    return true;
+  }
+  c.work(4 * kQuantum);  // guaranteed duration abort in any sub-HTM attempt
+  rec_write(c, g_rec, env_tid(e), log, word(1), 1);
+  return false;
+}
+
+/// RingSTM write-only transaction stamping words 0 and 1 with a per-thread
+/// value: any serial order leaves them equal, a torn write-back does not.
+bool step_ringstm_stamp(tm::Ctx& c, const void* e, void* lp, unsigned) {
+  TxLog& log = log_of(lp);
+  const std::uint64_t stamp = 101 * (std::uint64_t{env_tid(e)} + 1);
+  rec_write(c, g_rec, env_tid(e), log, word(0), stamp);
+  rec_write(c, g_rec, env_tid(e), log, word(1), stamp);
+  return false;
+}
+
+// ---- scenario registry ---------------------------------------------------
+
+McScenario make_fast_fast_ring() {
+  McScenario s;
+  s.name = "fast_fast_ring";
+  s.nthreads = 3;
+  s.setup = [] { build_part(3, PartHtmBackend::Mode::kSerializable); };
+  s.body = [](unsigned tid) {
+    switch (tid) {
+      case 0: run_txn(*g_part, 0, &step_inc_x); break;
+      case 1: run_txn(*g_part, 1, &step_copy_x_to_y); break;
+      default: run_txn(*g_part, 2, &step_part_heavy_zw); break;
+    }
+  };
+  s.collect = [] { return collect_common(3, false); };
+  s.teardown = [] { destroy_world(); };
+  s.invariant = [] {
+    // The heavy transaction can never fit one hardware attempt.
+    if (g_workers[2]->stats().commits[static_cast<unsigned>(CommitPath::kHtm)] != 0)
+      return std::string("heavy txn committed on the fast path");
+    return std::string{};
+  };
+  return s;
+}
+
+McScenario make_part_vs_fast() {
+  McScenario s;
+  s.name = "part_vs_fast";
+  s.nthreads = 2;
+  s.setup = [] { build_part(2, PartHtmBackend::Mode::kSerializable); };
+  s.body = [](unsigned tid) {
+    if (tid == 0)
+      run_txn(*g_part, 0, &step_part_write_xy);
+    else
+      run_txn(*g_part, 1, &step_read_xy);
+  };
+  s.collect = [] { return collect_common(2, false); };
+  s.teardown = [] { destroy_world(); };
+  s.invariant = [] {
+    if (g_workers[0]->stats().commits[static_cast<unsigned>(CommitPath::kHtm)] != 0)
+      return std::string("heavy txn committed on the fast path");
+    return std::string{};
+  };
+  return s;
+}
+
+McScenario make_slow_quiesce() {
+  McScenario s;
+  s.name = "slow_quiesce";
+  s.nthreads = 3;
+  s.setup = [] { build_part(3, PartHtmBackend::Mode::kSerializable); };
+  s.body = [](unsigned tid) {
+    switch (tid) {
+      case 0: run_txn(*g_part, 0, &step_slow_write_xy, /*irrevocable=*/true); break;
+      case 1: run_txn(*g_part, 1, &step_read_xy); break;
+      default: run_txn(*g_part, 2, &step_part_heavy_zw); break;
+    }
+  };
+  s.collect = [] { return collect_common(3, false); };
+  s.teardown = [] { destroy_world(); };
+  return s;
+}
+
+McScenario make_undo_rollback() {
+  McScenario s;
+  s.name = "undo_rollback";
+  s.nthreads = 2;
+  s.setup = [] { build_part(2, PartHtmBackend::Mode::kSerializable); };
+  s.body = [](unsigned tid) {
+    if (tid == 0)
+      run_txn(*g_part, 0, &step_undo_rollback_xy);
+    else
+      run_txn(*g_part, 1, &step_read_xy);
+  };
+  s.collect = [] { return collect_common(2, false); };
+  s.teardown = [] { destroy_world(); };
+  s.invariant = [] {
+    const auto& st = g_workers[0]->stats();
+    if (st.global_aborts == 0)
+      return std::string("writer never exercised the global-abort rollback");
+    if (st.commits[static_cast<unsigned>(CommitPath::kGlobalLock)] != 1)
+      return std::string("writer was expected to commit on the slow path");
+    if (!g_part->write_locks().empty())
+      return std::string("write-locks signature not retracted after commit");
+    return std::string{};
+  };
+  return s;
+}
+
+McScenario make_opaque_zombie() {
+  McScenario s;
+  s.name = "opaque_zombie";
+  s.nthreads = 2;
+  s.check_opacity = true;
+  s.setup = [] { build_part(2, PartHtmBackend::Mode::kOpaque); };
+  s.body = [](unsigned tid) {
+    if (tid == 0)
+      run_txn(*g_part, 0, &step_part_write_xy);
+    else
+      run_txn(*g_part, 1, &step_read_xy);
+  };
+  s.collect = [] { return collect_common(2, true); };
+  s.teardown = [] { destroy_world(); };
+  return s;
+}
+
+McScenario make_ringstm_writeback(bool fault) {
+  McScenario s;
+  s.name = fault ? "ringstm_writeback_fault" : "ringstm_writeback";
+  s.nthreads = 2;
+  s.setup = [fault] {
+    build_ringstm(2);
+#if defined(PHTM_MC) && PHTM_MC
+    stm::RingStmBackend::mc_fault_torn_writeback = fault;
+#else
+    (void)fault;
+#endif
+  };
+  s.body = [](unsigned tid) { run_txn(*g_ringstm, tid, &step_ringstm_stamp); };
+  s.collect = [] { return collect_common(2, false); };
+  s.teardown = [] { destroy_world(); };
+  return s;
+}
+
+}  // namespace
+
+const std::vector<McScenario>& scenarios() {
+  static const std::vector<McScenario> all = [] {
+    std::vector<McScenario> v;
+    v.push_back(make_fast_fast_ring());
+    v.push_back(make_part_vs_fast());
+    v.push_back(make_slow_quiesce());
+    v.push_back(make_undo_rollback());
+    v.push_back(make_opaque_zombie());
+    v.push_back(make_ringstm_writeback(false));
+    v.push_back(make_ringstm_writeback(true));
+    return v;
+  }();
+  return all;
+}
+
+const McScenario* find_scenario(const std::string& name) {
+  for (const McScenario& s : scenarios())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+}  // namespace phtm::mc

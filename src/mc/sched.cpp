@@ -1,0 +1,449 @@
+// Cooperative virtual scheduler + stateless DFS explorer. See sched.hpp.
+//
+// Execution model: each worker is a ucontext fiber multiplexed onto the
+// scheduler's OS thread, so a context switch is a userspace register swap
+// (~100ns) rather than a futex round trip — exhaustive enumeration stays
+// fast even on a single-core host. Exactly one worker runs at a time by
+// construction. A worker parks at every PHTM_MC yield point; when the
+// scheduler picks it, it performs the pending shared-memory action plus all
+// purely thread-local code up to its next yield as one atomic step. The
+// worker bodies themselves still use std::atomic for protocol state — the
+// instrumented stack is the production code — but no two fibers ever run
+// concurrently, so histories depend only on the schedule. Exploration is
+// stateless (CHESS-style): the decision stack records, per step, the
+// candidate threads and the index taken; backtracking truncates the stack
+// to the deepest node with an untried candidate and re-executes from the
+// start, replaying the prefix. Determinism of re-execution is what makes
+// the recorded prefix meaningful — scenarios keep all protocol-visible
+// state in storage whose addresses repeat across executions, and every
+// replayed decision re-validates the observed enabled set against the
+// recorded one, failing loudly on divergence.
+//
+// Spin handling: a thread that parks at PHTM_MC_SPIN re-ran a wait-loop
+// check that failed. Re-scheduling it before anything else writes the
+// watched line cannot change the outcome, so a spin-parked thread is not
+// eligible until some other thread performs a write-capable op on that line
+// (null footprints wake everyone). If no thread is eligible the schedule is a
+// genuine deadlock: the explorer prints the replay seed and aborts (the
+// worker threads are parked forever; there is no clean unwind).
+//
+// Preemption bounding (CHESS): switching away from a thread that is parked
+// at a normal yield (i.e. still able to run) consumes one unit of the
+// bound; switches forced by spins or thread completion are free.
+//
+// Sleep sets (Godefroid): after fully exploring candidate u at a node, u
+// joins the node's sleep set; a child reached by choosing w inherits the
+// sleep threads whose pending ops are independent of w's. Sleeping threads
+// are dropped from the candidate list — schedules that merely commute two
+// independent actions are visited once. Dependence is cache-line granular;
+// ops with null footprints are dependent with everything, and only
+// read-only kinds commute on the same line.
+#include "mc/sched.hpp"
+
+#include <ucontext.h>
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/cacheline.hpp"
+#include "util/mc_hooks.hpp"
+
+namespace phtm::mc {
+namespace {
+
+struct PendingOp {
+  YieldKind kind = YieldKind::kRawLoad;
+  const void* addr = nullptr;
+};
+
+bool read_only_kind(YieldKind k) {
+  switch (k) {
+    case YieldKind::kHwRead:
+    case YieldKind::kHwSubscribe:
+    case YieldKind::kNtLoad:
+    case YieldKind::kRawLoad:
+    case YieldKind::kSpin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_line(const void* a, const void* b) {
+  return phtm::line_of(a) == phtm::line_of(b);
+}
+
+bool dependent(const PendingOp& a, const PendingOp& b) {
+  if (a.addr == nullptr || b.addr == nullptr) return true;
+  if (!same_line(a.addr, b.addr)) return false;
+  return !(read_only_kind(a.kind) && read_only_kind(b.kind));
+}
+
+// Stable across executions: the cells double as the synthetic footprints of
+// the per-thread "about to start" pseudo-ops, which must be mutually
+// independent (prologues touch no shared protocol state before their first
+// real yield), hence one cache line each.
+struct alignas(kCacheLineBytes) Cell {
+  unsigned tid = 0;
+  bool done = false;
+  PendingOp pending;
+  bool spin_parked = false;
+  bool spin_woken = false;
+  std::exception_ptr err;
+  ucontext_t uc;  ///< the fiber's saved context while parked
+};
+
+Cell g_cells[kMaxMcThreads];
+ucontext_t g_sched_uc;              ///< scheduler context while a fiber runs
+Cell* g_running = nullptr;          ///< fiber currently scheduled (or null)
+const McScenario* g_scenario = nullptr;
+
+// 256 KiB per fiber: protocol code is shallow, but leave generous room for
+// backend internals (logs, vectors) that live on the worker stack.
+constexpr std::size_t kFiberStackBytes = 256 * 1024;
+alignas(64) char g_stacks[kMaxMcThreads][kFiberStackBytes];
+
+/// Park the running fiber at a yield point and switch to the scheduler.
+void park(Cell& c, YieldKind kind, const void* addr) {
+  c.pending = PendingOp{kind, addr};
+  c.spin_parked = (kind == YieldKind::kSpin);
+  c.spin_woken = false;
+  swapcontext(&c.uc, &g_sched_uc);
+}
+
+/// Fiber entry point (makecontext passes the tid as an int).
+void fiber_main(int tid) {
+  Cell& c = g_cells[tid];
+  try {
+    g_scenario->body(static_cast<unsigned>(tid));
+  } catch (...) {
+    c.err = std::current_exception();
+  }
+  c.done = true;
+  g_running = nullptr;
+  swapcontext(&c.uc, &g_sched_uc);  // never resumed
+  std::abort();                     // unreachable
+}
+
+/// Let `c` perform its pending action and run to its next park (or done).
+void run_until_park(Cell& c) {
+  g_running = &c;
+  swapcontext(&g_sched_uc, &c.uc);
+  g_running = nullptr;
+}
+
+/// (Re)create thread `t`'s fiber, parked at the synthetic start pseudo-op.
+void spawn_fiber(unsigned t) {
+  Cell& c = g_cells[t];
+  c.tid = t;
+  c.done = false;
+  c.err = nullptr;
+  c.pending = PendingOp{YieldKind::kRawLoad, &c};
+  c.spin_parked = false;
+  c.spin_woken = false;
+  getcontext(&c.uc);
+  c.uc.uc_stack.ss_sp = g_stacks[t];
+  c.uc.uc_stack.ss_size = kFiberStackBytes;
+  c.uc.uc_link = &g_sched_uc;
+  makecontext(&c.uc, reinterpret_cast<void (*)()>(&fiber_main), 1,
+              static_cast<int>(t));
+}
+
+struct Node {
+  std::vector<unsigned> cands;   ///< allowed candidates, default first
+  unsigned cur = 0;              ///< index of the choice taken
+  std::uint64_t sleep = 0;       ///< sleep set (tid bitmask) at node entry
+  std::uint64_t explored = 0;    ///< siblings fully explored at this node
+  PendingOp ops[kMaxMcThreads];  ///< pending op of every thread here
+  std::uint32_t live_mask = 0;   ///< fingerprint: not-done threads
+};
+
+std::string seed_of(const std::vector<unsigned>& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i) os << ',';
+    os << trace[i];
+  }
+  return os.str();
+}
+
+std::vector<unsigned> parse_seed(const std::string& s) {
+  std::vector<unsigned> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) out.push_back(std::stoul(tok));
+  return out;
+}
+
+[[noreturn]] void die_deadlocked(const std::vector<unsigned>& trace) {
+  std::fprintf(stderr,
+               "mc: DEADLOCK — every live thread is spin-parked with no "
+               "possible waker.\nmc: replay seed: %s\n",
+               seed_of(trace).c_str());
+  std::fflush(stderr);
+  std::abort();  // workers are parked forever; no clean unwind exists
+}
+
+}  // namespace
+
+// Called from the instrumented protocol stack (util/mc_hooks.hpp). Calls
+// from the scheduler thread itself (scenario setup/collect/teardown run the
+// instrumented code paths too) are no-ops: only fiber code is scheduled.
+void yield_hook(YieldKind kind, const void* addr) noexcept {
+  Cell* c = g_running;
+  if (c != nullptr) park(*c, kind, addr);
+}
+
+ExploreStats explore(const McScenario& sc, const ExploreOptions& opt) {
+  assert(sc.nthreads >= 1 && sc.nthreads <= kMaxMcThreads);
+  ExploreStats st;
+  std::vector<Node> stack;
+  bool truncated_any = false;
+  const bool replay_mode = !opt.replay.empty();
+  const std::vector<unsigned> seed =
+      replay_mode ? parse_seed(opt.replay) : std::vector<unsigned>{};
+
+  while (st.schedules < opt.max_schedules) {
+    // ---------- one execution ----------
+    g_scenario = &sc;
+    sc.setup();
+    for (unsigned t = 0; t < sc.nthreads; ++t) spawn_fiber(t);
+
+    std::vector<unsigned> trace;
+    int prev = -1;
+    unsigned preempts = 0;
+    std::uint64_t steps = 0;
+    bool runaway = false;      // execution exceeded max_steps_per_run
+    bool divergence = false;
+    std::string diverge_why;
+
+    for (;;) {
+      std::uint32_t live = 0;
+      std::uint64_t eligible = 0;
+      for (unsigned t = 0; t < sc.nthreads; ++t) {
+        Cell& c = g_cells[t];
+        if (c.done) continue;
+        live |= 1u << t;
+        if (!c.spin_parked || c.spin_woken) eligible |= 1u << t;
+      }
+      if (live == 0) break;  // all committed: schedule complete
+      if (eligible == 0) die_deadlocked(trace);
+      if (steps >= opt.max_steps_per_run) {
+        // Runaway execution (a schedule-dependent livelock, or the limit is
+        // too small for the scenario). Parked fibers cannot be unwound;
+        // abandon them — spawn_fiber reinitializes the stacks next run.
+        runaway = truncated_any = true;
+        std::fprintf(stderr,
+                     "mc: runaway execution (> %llu steps); live threads:\n",
+                     static_cast<unsigned long long>(opt.max_steps_per_run));
+        for (unsigned t = 0; t < sc.nthreads; ++t) {
+          const Cell& c = g_cells[t];
+          if (c.done) continue;
+          std::fprintf(stderr, "mc:   t%u pending kind=%d addr=%p%s\n", t,
+                       static_cast<int>(c.pending.kind), c.pending.addr,
+                       c.spin_parked ? " (spin)" : "");
+        }
+        std::fprintf(stderr, "mc:   trace tail:");
+        const std::size_t tail =
+            trace.size() > 64 ? trace.size() - 64 : std::size_t{0};
+        for (std::size_t i = tail; i < trace.size(); ++i)
+          std::fprintf(stderr, " %u", trace[i]);
+        std::fprintf(stderr, "\nmc: replay seed: %s\n", seed_of(trace).c_str());
+        break;
+      }
+
+      // Preemption bound: abandoning a thread parked at a normal yield
+      // costs one unit; switches forced by spins/completion are free.
+      const bool prev_holds =
+          prev >= 0 && !g_cells[prev].done && !g_cells[prev].spin_parked;
+      std::uint64_t allowed = eligible;
+      if (prev_holds && preempts >= opt.preemption_bound)
+        allowed = std::uint64_t{1} << prev;
+
+      unsigned chosen;
+      const std::size_t depth = trace.size();
+      if (replay_mode) {
+        if (depth < seed.size()) {
+          chosen = seed[depth];
+          if (chosen >= sc.nthreads || !((eligible >> chosen) & 1)) {
+            divergence = true;
+            std::ostringstream os;
+            os << "replay seed chooses thread " << chosen << " at step "
+               << depth << " but it is not eligible";
+            diverge_why = os.str();
+            chosen = static_cast<unsigned>(std::countr_zero(eligible));
+          }
+        } else {
+          // Past the seed: default = stick with prev when possible.
+          if (prev >= 0 && ((allowed >> prev) & 1))
+            chosen = static_cast<unsigned>(prev);
+          else
+            chosen = static_cast<unsigned>(std::countr_zero(allowed));
+        }
+      } else if (depth < stack.size()) {
+        // Replaying the decided prefix of the DFS.
+        Node& n = stack[depth];
+        chosen = n.cands[n.cur];
+        if (n.live_mask != live || !((eligible >> chosen) & 1)) {
+          divergence = true;
+          std::ostringstream os;
+          os << "nondeterministic re-execution at step " << depth
+             << ": recorded choice/live set no longer matches; scenario "
+                "state is not reset deterministically";
+          diverge_why = os.str();
+          chosen = static_cast<unsigned>(std::countr_zero(eligible));
+        }
+      } else if (divergence) {
+        chosen = (prev >= 0 && ((allowed >> prev) & 1))
+                     ? static_cast<unsigned>(prev)
+                     : static_cast<unsigned>(std::countr_zero(allowed));
+      } else {
+        // Fresh decision point: build the node.
+        Node n;
+        n.live_mask = live;
+        for (unsigned t = 0; t < sc.nthreads; ++t)
+          n.ops[t] = g_cells[t].pending;
+        if (!stack.empty()) {
+          const Node& p = stack.back();
+          const unsigned pc = p.cands[p.cur];
+          const std::uint64_t src = p.sleep | p.explored;
+          for (unsigned t = 0; t < sc.nthreads; ++t)
+            if (((src >> t) & 1) && t != pc &&
+                !dependent(p.ops[t], p.ops[pc]))
+              n.sleep |= std::uint64_t{1} << t;
+        }
+        std::uint64_t pick_from = allowed;
+        if (opt.sleep_sets) {
+          const std::uint64_t filtered = allowed & ~n.sleep;
+          if (filtered != 0) {
+            st.sleep_pruned += std::popcount(allowed) - std::popcount(filtered);
+            pick_from = filtered;
+          } else {
+            // Classic sleep sets would prune this whole branch; keeping it
+            // (with a cleared filter) is sound, merely redundant.
+            n.sleep = 0;
+          }
+        }
+        // Default first = stay on prev (fewest preemptions), then by tid.
+        if (prev >= 0 && ((pick_from >> prev) & 1))
+          n.cands.push_back(static_cast<unsigned>(prev));
+        for (unsigned t = 0; t < sc.nthreads; ++t)
+          if (((pick_from >> t) & 1) && static_cast<int>(t) != prev)
+            n.cands.push_back(t);
+        n.cur = 0;
+        chosen = n.cands[0];
+        stack.push_back(std::move(n));
+      }
+
+      if (prev_holds && static_cast<int>(chosen) != prev) ++preempts;
+
+      // The chosen thread is about to perform its pending op: wake any
+      // spin-parked thread whose watched line this op may change. Only
+      // write-capable ops qualify — loads cannot change the spinner's
+      // condition, and waking on them lets two spin loops watching the same
+      // line ping-pong forever through their recheck loads (each recheck is
+      // itself an instrumented load on the watched line).
+      Cell& cc = g_cells[chosen];
+      if (!cc.spin_parked && !read_only_kind(cc.pending.kind)) {
+        for (unsigned t = 0; t < sc.nthreads; ++t) {
+          Cell& s = g_cells[t];
+          if (t == chosen || s.done || !s.spin_parked || s.spin_woken)
+            continue;
+          if (cc.pending.addr == nullptr || s.pending.addr == nullptr ||
+              same_line(cc.pending.addr, s.pending.addr))
+            s.spin_woken = true;
+        }
+      }
+
+      // PHTM_MC_TRACE=N: dump the first N scheduled ops of every execution.
+      static const long trace_limit = [] {
+        const char* e = std::getenv("PHTM_MC_TRACE");
+        return e ? std::atol(e) : 0L;
+      }();
+      if (trace_limit > 0 && static_cast<long>(depth) < trace_limit)
+        std::fprintf(stderr, "mc-trace: %4zu t%u kind=%d addr=%p%s\n", depth,
+                     chosen, static_cast<int>(cc.pending.kind), cc.pending.addr,
+                     cc.spin_parked ? " spin" : "");
+
+      trace.push_back(chosen);
+      ++st.decisions;
+      ++steps;
+      run_until_park(cc);
+      prev = static_cast<int>(chosen);
+    }
+
+    ++st.schedules;
+
+    if (runaway) {
+      sc.teardown();
+      st.violation = true;
+      st.violation_kind = "internal";
+      st.violation_detail =
+          "runaway execution: exceeded max_steps_per_run (livelock under "
+          "this schedule, or limit too small for the scenario)";
+      st.violation_seed = seed_of(trace);
+      return st;
+    }
+
+    std::string internal_err;
+    for (unsigned t = 0; t < sc.nthreads; ++t) {
+      if (!g_cells[t].err) continue;
+      try {
+        std::rethrow_exception(g_cells[t].err);
+      } catch (const std::exception& e) {
+        internal_err = std::string("thread ") + std::to_string(t) +
+                       " threw: " + e.what();
+      } catch (...) {
+        internal_err =
+            std::string("thread ") + std::to_string(t) + " threw (unknown)";
+      }
+    }
+
+    HistoryInput hi = sc.collect();
+    const HistoryVerdict verdict = check_history(hi);
+    std::string inv = sc.invariant ? sc.invariant() : std::string{};
+    sc.teardown();
+
+    if (!internal_err.empty() || divergence) {
+      st.violation = true;
+      st.violation_kind = "internal";
+      st.violation_detail = divergence ? diverge_why : internal_err;
+      st.violation_seed = seed_of(trace);
+      return st;
+    }
+    if (!verdict.ok || !inv.empty()) {
+      st.violation = true;
+      st.violation_kind = verdict.ok ? "invariant" : "history";
+      st.violation_detail = verdict.ok ? inv : verdict.diagnosis;
+      st.violation_seed = seed_of(trace);
+      return st;
+    }
+    if (replay_mode) {
+      st.complete = true;
+      return st;
+    }
+
+    // ---------- backtrack ----------
+    bool advanced = false;
+    while (!stack.empty()) {
+      Node& n = stack.back();
+      n.explored |= std::uint64_t{1} << n.cands[n.cur];
+      if (n.cur + 1 < n.cands.size()) {
+        ++n.cur;
+        advanced = true;
+        break;
+      }
+      stack.pop_back();
+    }
+    if (!advanced) {
+      st.complete = !truncated_any;
+      return st;
+    }
+  }
+  return st;  // hit max_schedules
+}
+
+}  // namespace phtm::mc

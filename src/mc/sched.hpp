@@ -1,0 +1,71 @@
+// Deterministic schedule-exploration harness (Loom/CHESS-style) for the
+// PART-HTM protocol stack. See DESIGN.md, "Model checking".
+//
+// A scenario describes a small closed world: setup() builds the runtime,
+// backend and workers into stable storage, body(tid) drives one thread's
+// transactions, collect() harvests the transactional history and memory
+// state, teardown() destroys the world. explore() then runs the scenario
+// once per schedule, context-switching the worker threads only at the
+// PHTM_MC yield points the protocol stack exposes, and enumerates every
+// interleaving up to a preemption bound with sleep-set pruning. Each
+// completed schedule's history is handed to the serializability/opacity
+// checker; the first violation stops the search and reports a replay seed
+// (the comma-separated list of thread ids chosen at each decision point)
+// that reproduces the schedule deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mc/history.hpp"
+#include "mc/opacity.hpp"
+
+namespace phtm::mc {
+
+inline constexpr unsigned kMaxMcThreads = 4;
+
+struct McScenario {
+  std::string name;
+  unsigned nthreads = 2;
+  bool check_opacity = false;
+  std::function<void()> setup;
+  std::function<void(unsigned)> body;
+  std::function<HistoryInput()> collect;
+  std::function<void()> teardown;
+  /// Optional scenario-specific invariant checked after every schedule
+  /// (empty string = holds). Runs on the scheduler thread after collect().
+  std::function<std::string()> invariant;
+};
+
+struct ExploreOptions {
+  unsigned preemption_bound = 2;
+  bool sleep_sets = true;
+  std::uint64_t max_schedules = 1u << 20;
+  std::uint64_t max_steps_per_run = 200000;
+  /// Non-empty: replay exactly this one schedule ("3,0,0,1,...") and stop.
+  /// After the seed is exhausted the run continues with default choices.
+  std::string replay;
+};
+
+struct ExploreStats {
+  std::uint64_t schedules = 0;   ///< completed executions
+  std::uint64_t decisions = 0;   ///< scheduling decision points visited
+  std::uint64_t sleep_pruned = 0;///< candidates removed by sleep sets
+  bool complete = false;         ///< bounded tree fully enumerated
+  bool violation = false;
+  std::string violation_kind;    ///< "history" | "invariant" | "internal"
+  std::string violation_detail;
+  std::string violation_seed;    ///< replayable schedule
+};
+
+/// Exhaustively explore (or replay) `sc` under `opt`.
+ExploreStats explore(const McScenario& sc, const ExploreOptions& opt);
+
+/// The scenario library (see src/mc/scenario.cpp). Names:
+///   fast_fast_ring, part_vs_fast, slow_quiesce, undo_rollback,
+///   opaque_zombie, ringstm_writeback, ringstm_writeback_fault
+const std::vector<McScenario>& scenarios();
+const McScenario* find_scenario(const std::string& name);
+
+}  // namespace phtm::mc

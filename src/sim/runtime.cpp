@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "util/annotations.hpp"
+#include "util/mc_hooks.hpp"
 
 namespace phtm::sim {
 
@@ -238,6 +239,11 @@ void HtmRuntime::begin(unsigned slot) {
 
 void HtmRuntime::commit(unsigned slot) {
   Slot& s = slots_[slot];
+  // mc-yield: the doom-latch CAS decides the doom-vs-commit race, and the
+  // subsequent write-buffer publication makes every speculative store
+  // visible — a composite footprint, hence the null address (dependent with
+  // everything under the explorer's relation).
+  PHTM_MC_YIELD(kHwCommit, nullptr);
   std::uint64_t expect = 0;
   // Doom-latch edge, release side: the successful CAS below (release half
   // of acq_rel) is what makes every speculative state transition of this
@@ -332,11 +338,17 @@ void HtmRuntime::invalidate_line(std::uint64_t line, bool is_write) {
       }
     }
     if (!writer_committing) return;
+    // mc-yield: waiting out a latched committer's publication; progress
+    // requires the committer to run, so this must deschedule under mc.
+    PHTM_MC_SPIN(nullptr);
     cpu_relax();  // wait for the committer to publish and unregister
   }
 }
 
 std::uint64_t HtmRuntime::nontx_load(const std::uint64_t* addr) {
+  // mc-yield: software read of a protocol word; invalidation + load execute
+  // as one atomic step after the scheduler resumes this thread.
+  PHTM_MC_YIELD(kNtLoad, addr);
   // relaxed: advisory fast-out only. A stale zero skips the invalidation,
   // which is indistinguishable from this access having been ordered before
   // the transaction's first conflicting registration (see DESIGN.md).
@@ -346,6 +358,9 @@ std::uint64_t HtmRuntime::nontx_load(const std::uint64_t* addr) {
 }
 
 void HtmRuntime::nontx_store(std::uint64_t* addr, std::uint64_t val) {
+  // mc-yield: software store to a protocol word (aborts conflicting
+  // hardware transactions; orders against validators and readers).
+  PHTM_MC_YIELD(kNtStore, addr);
   // relaxed: advisory fast-out only. A stale zero skips the invalidation,
   // which is indistinguishable from this access having been ordered before
   // the transaction's first conflicting registration (see DESIGN.md).
@@ -356,6 +371,9 @@ void HtmRuntime::nontx_store(std::uint64_t* addr, std::uint64_t val) {
 
 bool HtmRuntime::nontx_cas(std::uint64_t* addr, std::uint64_t expect,
                            std::uint64_t desired) {
+  // mc-yield: global-lock acquisition and doom-CAS-shaped software RMWs
+  // race against every subscriber of the word.
+  PHTM_MC_YIELD(kNtRmw, addr);
   // relaxed: advisory fast-out only. A stale zero skips the invalidation,
   // which is indistinguishable from this access having been ordered before
   // the transaction's first conflicting registration (see DESIGN.md).
@@ -366,6 +384,9 @@ bool HtmRuntime::nontx_cas(std::uint64_t* addr, std::uint64_t expect,
 }
 
 std::uint64_t HtmRuntime::nontx_fetch_add(std::uint64_t* addr, std::uint64_t delta) {
+  // mc-yield: timestamp reservation / active_tx population RMW — the
+  // paper's "atomic" block, raced by fast-path subscribers.
+  PHTM_MC_YIELD(kNtRmw, addr);
   // relaxed: advisory fast-out only. A stale zero skips the invalidation,
   // which is indistinguishable from this access having been ordered before
   // the transaction's first conflicting registration (see DESIGN.md).
@@ -375,6 +396,8 @@ std::uint64_t HtmRuntime::nontx_fetch_add(std::uint64_t* addr, std::uint64_t del
 }
 
 std::uint64_t HtmRuntime::nontx_fetch_or(std::uint64_t* addr, std::uint64_t bits) {
+  // mc-yield: software-side lock-table bit set (write-locks announce).
+  PHTM_MC_YIELD(kNtRmw, addr);
   // relaxed: advisory fast-out only. A stale zero skips the invalidation,
   // which is indistinguishable from this access having been ordered before
   // the transaction's first conflicting registration (see DESIGN.md).
@@ -384,6 +407,8 @@ std::uint64_t HtmRuntime::nontx_fetch_or(std::uint64_t* addr, std::uint64_t bits
 }
 
 std::uint64_t HtmRuntime::nontx_fetch_and(std::uint64_t* addr, std::uint64_t bits) {
+  // mc-yield: software-side lock-table bit clear (write-locks release).
+  PHTM_MC_YIELD(kNtRmw, addr);
   // relaxed: advisory fast-out only. A stale zero skips the invalidation,
   // which is indistinguishable from this access having been ordered before
   // the transaction's first conflicting registration (see DESIGN.md).
@@ -395,6 +420,10 @@ std::uint64_t HtmRuntime::nontx_fetch_and(std::uint64_t* addr, std::uint64_t bit
 // --- HtmOps ---
 
 std::uint64_t HtmOps::read(const std::uint64_t* addr) {
+  // mc-yield: transactional load — the doom check, read-set registration
+  // (which may doom a conflicting writer) and the load itself form one
+  // atomic step, exactly as a coherence transaction serializes on hardware.
+  PHTM_MC_YIELD(kHwRead, addr);
   rt_.check_doomed(slot_);
   Slot& s = rt_.slots_[slot_];
   std::uint64_t v;
@@ -419,6 +448,8 @@ std::uint64_t HtmOps::read(const std::uint64_t* addr) {
 }
 
 void HtmOps::subscribe(const std::uint64_t* addr) {
+  // mc-yield: read-set registration; dooms a conflicting writer.
+  PHTM_MC_YIELD(kHwSubscribe, addr);
   rt_.check_doomed(slot_);
   Slot& s = rt_.slots_[slot_];
   const std::uint64_t line = line_of(addr);
@@ -432,6 +463,9 @@ void HtmOps::subscribe(const std::uint64_t* addr) {
 }
 
 void HtmOps::write(std::uint64_t* addr, std::uint64_t val) {
+  // mc-yield: transactional store — write-set registration dooms readers
+  // and writers of the line even though the value stays buffered.
+  PHTM_MC_YIELD(kHwWrite, addr);
   rt_.check_doomed(slot_);
   Slot& s = rt_.slots_[slot_];
   const std::uint64_t line = line_of(addr);

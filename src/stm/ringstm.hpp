@@ -28,6 +28,7 @@
 #include "tm/costs.hpp"
 #include "tm/backend.hpp"
 #include "util/cacheline.hpp"
+#include "util/mc_hooks.hpp"
 #include "util/spinlock.hpp"
 
 namespace phtm::stm {
@@ -41,6 +42,19 @@ class RingStmBackend final : public tm::Backend {
 
   const char* name() const override { return "RingSTM"; }
 
+#if defined(PHTM_MC) && PHTM_MC
+  // mc-yield: test-only fault injection. Setting this reintroduces the PR-1
+  // torn-write-back bug by undoing both halves of its fix: check() advances
+  // start times past commits whose write-back is still in flight, and
+  // commit() no longer waits for logically earlier commits to retire before
+  // starting its own stores. (Either half alone is masked by the other —
+  // the start cap already serializes committers through the timestamp CAS.)
+  // The model-checker acceptance test uses this to prove the explorer finds
+  // the tearing interleaving and prints a replay seed. Exists only in mc
+  // builds; production code has no such switch.
+  inline static bool mc_fault_torn_writeback = false;
+#endif
+
   std::unique_ptr<tm::Worker> make_worker(unsigned tid) override {
     return std::make_unique<W>(tid);
   }
@@ -53,6 +67,8 @@ class RingStmBackend final : public tm::Backend {
       w.rsig.clear();
       w.wsig.clear();
       w.redo.clear();
+      // mc-yield: start-time acquisition — races every retiring write-back.
+      PHTM_MC_YIELD(kRawLoad, &last_complete_.value);
       w.start = last_complete_.value.load(std::memory_order_acquire);
       try {
         SoftCtx ctx(*this, w);
@@ -123,24 +139,51 @@ class RingStmBackend final : public tm::Backend {
   /// Validate the read signature against every commit since w.start and
   /// advance the start time. Throws on conflict or ring rollover.
   void check(W& w) {
+    // mc-yield: the timestamp read anchors the validation window against
+    // concurrent commit reservations.
+    PHTM_MC_YIELD(kRawLoad, &timestamp_.value);
     const std::uint64_t ts = timestamp_.value.load(std::memory_order_acquire);
     if (ts == w.start) return;
     if (ts - w.start >= ring_.size()) throw StmAbort{AbortCause::kOther};
     for (std::uint64_t i = w.start + 1; i <= ts; ++i) {
       RingEntry& e = entry_of(i);
+      // mc-yield: seqlock read side — races the entry's (re)publisher.
+      PHTM_MC_YIELD(kRawLoad, &e.seq);
       for (;;) {
         const std::uint64_t s = e.seq.load(std::memory_order_acquire);
         if (s == i) break;
         if ((s & ~kBusy) > i) throw StmAbort{AbortCause::kOther};  // reused
+        // mc-yield: waiting out an in-flight publication; only the
+        // publisher can complete the entry, so force a deschedule.
+        PHTM_MC_SPIN(&e.seq);
         cpu_relax();  // publication in flight
       }
       // Word-atomic scan: a writer reusing this slot republishes the
       // signature while we may still be reading it; the seq recheck below
       // discards any value read from a republication in flight.
+      // mc-yield: the scan races a republication; the recheck is the read
+      // side of the seqlock.
+      PHTM_MC_YIELD(kRawLoad, &e.sig);
       const bool hit = e.sig.atomic_intersects(w.rsig);
+      PHTM_MC_YIELD(kRawLoad, &e.seq);  // mc-yield: seqlock recheck
       if (e.seq.load(std::memory_order_acquire) != i)
         throw StmAbort{AbortCause::kOther};  // torn: slot reused mid-check
-      if (hit) throw StmAbort{AbortCause::kConflict};
+      if (hit) {
+#if defined(PHTM_MC) && PHTM_MC
+        // Fair-schedule reduction (mc builds only). A conflicting retry
+        // re-observes the same window until the blocking commit's write-back
+        // retires, so idle retries form an infinite unfair cycle in the
+        // explorer. Waiting here collapses those redundant retries; the
+        // abort (and its history fragment) is unchanged.
+        while (last_complete_.value.load(std::memory_order_acquire) < i) {
+          // mc-yield: only the blocking committer's retirement store can
+          // change the recheck; it retires unconditionally — deadlock-free.
+          PHTM_MC_SPIN(&last_complete_.value);
+          cpu_relax();
+        }
+#endif
+        throw StmAbort{AbortCause::kConflict};
+      }
     }
     // Advance only past fully written-back commits: an entry between
     // last_complete and ts has published its signature but may still be
@@ -148,9 +191,17 @@ class RingStmBackend final : public tm::Backend {
     // return that commit's *pre*-write-back value with no revalidation.
     // Entries in (last_complete, ts] simply get re-scanned by the next
     // check until their write-back retires.
+    // mc-yield: start-advance decision point — races retiring write-backs.
+    PHTM_MC_YIELD(kRawLoad, &last_complete_.value);
     const std::uint64_t lc =
         last_complete_.value.load(std::memory_order_acquire);
     w.start = lc < ts ? lc : ts;
+#if defined(PHTM_MC) && PHTM_MC
+    // Fault injection (see mc_fault_torn_writeback): the pre-fix code
+    // advanced straight to the raw timestamp, letting a committer win the
+    // CAS while its predecessor's write-back was still in flight.
+    if (mc_fault_torn_writeback) w.start = ts;
+#endif
   }
 
   std::uint64_t tx_read(W& w, const std::uint64_t* addr) {
@@ -171,20 +222,43 @@ class RingStmBackend final : public tm::Backend {
       check(w);
       ts = w.start;
       std::uint64_t expect = ts;
+      // mc-yield: the timestamp CAS is the commit linearization race.
+      PHTM_MC_YIELD(kRawStore, &timestamp_.value);
       if (timestamp_.value.compare_exchange_weak(expect, ts + 1,
                                                  std::memory_order_acq_rel))
         break;
+      // Lost the race: the retry cannot succeed while last_complete still
+      // equals our start (check() caps w.start at last_complete, and the
+      // CAS needs start == timestamp, which some winner moved past us).
+      // The winner's retirement is what unblocks us — wait for it instead
+      // of burning no-progress retries (which would hand the explorer an
+      // unfair infinite schedule).
+      while (last_complete_.value.load(std::memory_order_acquire) == ts) {
+        // mc-yield: no-progress retry cycle; only a retirement store can
+        // change the outcome — force a deschedule.
+        PHTM_MC_SPIN(&last_complete_.value);
+        cpu_relax();
+      }
     }
     const std::uint64_t mine = ts + 1;
     RingEntry& e = entry_of(mine);
     // Wait for the retired occupant's write-back before reusing the slot.
     if (mine >= ring_.size()) {
       const std::uint64_t retired = mine - ring_.size();
-      while (last_complete_.value.load(std::memory_order_acquire) < retired)
+      while (last_complete_.value.load(std::memory_order_acquire) < retired) {
+        // mc-yield: waiting for the retired occupant's write-back; only
+        // that committer can advance last_complete — force a deschedule.
+        PHTM_MC_SPIN(&last_complete_.value);
         cpu_relax();
+      }
     }
+    // mc-yield: seqlock write side — busy opens the republication window.
+    PHTM_MC_YIELD(kRawStore, &e.seq);
     e.seq.store(mine | kBusy, std::memory_order_release);
+    // mc-yield: republication races validators' word-atomic scans.
+    PHTM_MC_YIELD(kRawStore, &e.sig);
     e.sig.atomic_assign(w.wsig);
+    PHTM_MC_YIELD(kRawStore, &e.seq);  // mc-yield: seqlock close
     e.seq.store(mine, std::memory_order_release);
     // Single-writer write-back discipline: stores may only *start* once
     // every logically earlier commit has finished its own write-back.
@@ -193,9 +267,22 @@ class RingStmBackend final : public tm::Backend {
     // keeping their redo logs from interleaving in memory — waiting here
     // merely for *completion* (i.e. after our own stores) admits torn
     // results.
-    while (last_complete_.value.load(std::memory_order_acquire) != ts)
-      cpu_relax();
+#if defined(PHTM_MC) && PHTM_MC
+    const bool wait_for_predecessors = !mc_fault_torn_writeback;
+#else
+    constexpr bool wait_for_predecessors = true;
+#endif
+    if (wait_for_predecessors) {
+      while (last_complete_.value.load(std::memory_order_acquire) != ts) {
+        // mc-yield: single-writer write-back gate; only the predecessor's
+        // retirement store can release it — force a deschedule.
+        PHTM_MC_SPIN(&last_complete_.value);
+        cpu_relax();
+      }
+    }
     for (const auto& c : w.redo.cells()) rt_.nontx_store(c.addr, c.val);
+    // mc-yield: retirement store — releases successors' write-back gates.
+    PHTM_MC_YIELD(kRawStore, &last_complete_.value);
     last_complete_.value.store(mine, std::memory_order_release);
   }
 

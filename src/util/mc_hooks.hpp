@@ -1,0 +1,78 @@
+// Model-checker hook layer: schedule-exploration yield points behind no-op
+// macros, mirroring util/annotations.hpp.
+//
+// The systematic interleaving explorer (src/mc/) runs 2-4 transactions under
+// a cooperative virtual scheduler that context-switches ONLY at the protocol
+// decision points marked by these macros. In ordinary builds every macro
+// expands to `((void)0)` — zero argument evaluations, zero codegen — so the
+// production libraries carry no trace of the instrumentation. The mc build
+// (src/mc/CMakeLists.txt) recompiles the protocol translation units with
+// `PHTM_MC=1`, turning each marker into a call into the scheduler.
+//
+// Two kinds of marker exist:
+//
+//  - PHTM_MC_YIELD(kind, addr): placed immediately BEFORE a shared-memory
+//    protocol action. The scheduler parks the thread here; when the thread
+//    is next scheduled it performs the action plus any purely thread-local
+//    code up to its next marker as one atomic step. `addr` names the shared
+//    word the action touches (the explorer's dependence relation is
+//    cache-line granular); pass nullptr for composite actions whose
+//    footprint spans many lines (e.g. the commit latch, which publishes the
+//    whole write buffer) — a null footprint is treated as dependent with
+//    everything, which is conservative and therefore sound.
+//
+//  - PHTM_MC_SPIN(addr): placed inside a spin-wait loop body, after the
+//    condition on `addr` was observed to fail. A spin yield is a *forced*
+//    deschedule: re-running the check with no intervening action cannot
+//    change its outcome (one thread runs at a time), so the scheduler never
+//    re-picks the spinning thread and never charges the switch as a
+//    preemption — only the choice of successor thread is explored. If every
+//    live thread is parked in a spin, the explorer reports a deadlock with
+//    its replay seed.
+//
+// Placement policy is linted: tools/lint_tm.py rule R6 requires every
+// PHTM_MC marker in a protocol header to carry an `mc-yield:` justification
+// comment (same line or the comment block above) explaining why the point
+// is a scheduling decision.
+#pragma once
+
+namespace phtm::mc {
+
+/// Classification of a yield point; the explorer's dependence relation and
+/// the replay trace printer both key on it.
+enum class YieldKind : unsigned char {
+  kHwRead = 0,    ///< HtmOps::read (monitored transactional load)
+  kHwWrite,       ///< HtmOps::write (buffered transactional store)
+  kHwSubscribe,   ///< HtmOps::subscribe (read-set registration only)
+  kHwCommit,      ///< commit latch CAS + write-buffer publication
+  kNtLoad,        ///< strong-atomicity software load
+  kNtStore,       ///< strong-atomicity software store
+  kNtRmw,         ///< strong-atomicity software RMW (cas/fetch-op)
+  kRawLoad,       ///< designated raw atomic load (ring/lock-table scans)
+  kRawStore,      ///< designated raw atomic store (STM metadata)
+  kSpin,          ///< spin-wait recheck (forced deschedule, not a branch)
+};
+
+#if defined(PHTM_MC) && PHTM_MC
+
+/// Defined by the mc scheduler (src/mc/sched.cpp). No-op for threads not
+/// registered with an active exploration (e.g. the explorer main thread).
+void yield_hook(YieldKind kind, const void* addr) noexcept;
+
+#define PHTM_MC_YIELD(kind, addr) \
+  ::phtm::mc::yield_hook(::phtm::mc::YieldKind::kind, \
+                         static_cast<const void*>(addr))
+#define PHTM_MC_SPIN(addr) \
+  ::phtm::mc::yield_hook(::phtm::mc::YieldKind::kSpin, \
+                         static_cast<const void*>(addr))
+
+#else  // !PHTM_MC
+
+// No-op expansions: arguments are evaluated exactly zero times, matching the
+// contract of util/annotations.hpp (pinned by tests/annotations_test.cpp).
+#define PHTM_MC_YIELD(kind, addr) ((void)0)
+#define PHTM_MC_SPIN(addr) ((void)0)
+
+#endif  // PHTM_MC
+
+}  // namespace phtm::mc

@@ -1,0 +1,221 @@
+// Unit tests for the history checker (src/mc/history.hpp, opacity.hpp)
+// against hand-built histories — no scheduler involved, so every accept /
+// reject decision is auditable by eye.
+#include <gtest/gtest.h>
+
+#include "mc/opacity.hpp"
+
+namespace phtm::mc {
+namespace {
+
+// A tiny word arena; only the addresses matter to the checker.
+struct Arena {
+  std::uint64_t w[4] = {0, 0, 0, 0};
+  std::uint64_t* x() { return &w[0]; }
+  std::uint64_t* y() { return &w[1]; }
+};
+
+McOp rd(const std::uint64_t* a, std::uint64_t v, std::uint64_t step) {
+  return McOp{a, v, step, /*is_write=*/false};
+}
+McOp wr(const std::uint64_t* a, std::uint64_t v, std::uint64_t step) {
+  return McOp{a, v, step, /*is_write=*/true};
+}
+
+HistoryInput base(Arena& ar) {
+  HistoryInput in;
+  in.initial = {{ar.x(), 0}, {ar.y(), 0}};
+  in.final_mem = {{ar.x(), 0}, {ar.y(), 0}};
+  return in;
+}
+
+TEST(McChecker, EmptyHistoryIsSerializable) {
+  Arena ar;
+  const HistoryVerdict v = check_history(base(ar));
+  EXPECT_TRUE(v.ok) << v.diagnosis;
+}
+
+TEST(McChecker, SerialWriterThenReaderAccepted) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  // T0 writes x=1,y=1 (steps 1-2, commits at 3); T1 reads 1,1 (steps 4-5).
+  in.txns.push_back({0, {wr(ar.x(), 1, 1), wr(ar.y(), 1, 2)}, 1, 3});
+  in.txns.push_back({1, {rd(ar.x(), 1, 4), rd(ar.y(), 1, 5)}, 4, 6});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 1}};
+  const HistoryVerdict v = check_history(in);
+  ASSERT_TRUE(v.ok) << v.diagnosis;
+  EXPECT_EQ(v.witness, (std::vector<unsigned>{0, 1}));
+}
+
+TEST(McChecker, TornReadRejected) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  // T1 observes x after T0's write but y before it: no serial order works.
+  in.txns.push_back({0, {wr(ar.x(), 1, 1), wr(ar.y(), 1, 2)}, 1, 3});
+  in.txns.push_back({1, {rd(ar.x(), 1, 4), rd(ar.y(), 0, 5)}, 4, 6});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 1}};
+  const HistoryVerdict v = check_history(in);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.diagnosis.find("not serializable"), std::string::npos);
+}
+
+TEST(McChecker, RealTimeOrderForbidsOtherwiseValidWitness) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  // Value-wise T1 (reads 0) would have to serialize before T0 (writes 1),
+  // but T1 began strictly after T0 committed — no admissible witness.
+  in.txns.push_back({0, {wr(ar.x(), 1, 1)}, 1, 2});
+  in.txns.push_back({1, {rd(ar.x(), 0, 3)}, 3, 4});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 0}};
+  const HistoryVerdict v = check_history(in);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(McChecker, ConcurrentStaleReaderMaySerializeFirst) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  // Same values, but T1 overlapped T0 (began before T0 committed): placing
+  // T1 first explains its stale read.
+  in.txns.push_back({0, {wr(ar.x(), 1, 2)}, 2, 4});
+  in.txns.push_back({1, {rd(ar.x(), 0, 1)}, 1, 3});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 0}};
+  const HistoryVerdict v = check_history(in);
+  ASSERT_TRUE(v.ok) << v.diagnosis;
+  EXPECT_EQ(v.witness, (std::vector<unsigned>{1, 0}));
+}
+
+TEST(McChecker, FinalMemoryMismatchRejected) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  in.txns.push_back({0, {wr(ar.x(), 1, 1)}, 1, 2});
+  in.final_mem = {{ar.x(), 2}, {ar.y(), 0}};  // lost/extra update
+  const HistoryVerdict v = check_history(in);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(McChecker, OwnWritesShadowGlobalState) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  in.txns.push_back(
+      {0, {wr(ar.x(), 5, 1), rd(ar.x(), 5, 2), wr(ar.x(), 6, 3)}, 1, 4});
+  in.final_mem = {{ar.x(), 6}, {ar.y(), 0}};
+  const HistoryVerdict v = check_history(in);
+  EXPECT_TRUE(v.ok) << v.diagnosis;
+}
+
+TEST(McChecker, UntrackedAddressDiagnosed) {
+  Arena ar;
+  std::uint64_t stray = 0;
+  HistoryInput in = base(ar);
+  in.txns.push_back({0, {rd(&stray, 0, 1)}, 1, 2});
+  const HistoryVerdict v = check_history(in);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.diagnosis.find("untracked"), std::string::npos);
+}
+
+// ---- opacity --------------------------------------------------------------
+
+TEST(McChecker, ZombieFragmentViolatesOpacity) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  in.check_opacity = true;
+  in.txns.push_back({0, {wr(ar.x(), 1, 2), wr(ar.y(), 1, 3)}, 2, 5});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 1}};
+  // An aborted attempt that saw x after T0's write but y before it: no
+  // witness prefix (neither {} nor {T0}) explains both reads.
+  Fragment f;
+  f.ops = {rd(ar.x(), 1, 4), rd(ar.y(), 0, 4)};
+  f.begin_step = 1;
+  f.end_step = 4;
+  in.fragments.push_back(f);
+  const HistoryVerdict v = check_history(in);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.diagnosis.find("opacity"), std::string::npos);
+}
+
+TEST(McChecker, ConsistentFragmentSatisfiesOpacity) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  in.check_opacity = true;
+  in.txns.push_back({0, {wr(ar.x(), 1, 2), wr(ar.y(), 1, 3)}, 2, 5});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 1}};
+  Fragment f;  // consistent pre-state snapshot: prefix k=0 explains it
+  f.ops = {rd(ar.x(), 0, 1), rd(ar.y(), 0, 1)};
+  f.begin_step = 1;
+  f.end_step = 1;
+  in.fragments.push_back(f);
+  const HistoryVerdict v = check_history(in);
+  EXPECT_TRUE(v.ok) << v.diagnosis;
+}
+
+TEST(McChecker, FragmentRealTimeIntervalConstrainsPrefix) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  in.check_opacity = true;
+  // T0 committed entirely before the fragment began, so prefix k=0 is not
+  // admissible: the fragment's stale reads cannot be explained.
+  in.txns.push_back({0, {wr(ar.x(), 1, 1), wr(ar.y(), 1, 2)}, 1, 3});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 1}};
+  Fragment f;
+  f.ops = {rd(ar.x(), 0, 4), rd(ar.y(), 0, 5)};
+  f.begin_step = 4;
+  f.end_step = 5;
+  in.fragments.push_back(f);
+  const HistoryVerdict v = check_history(in);
+  EXPECT_FALSE(v.ok);
+}
+
+// Serializability (check_opacity=false) must ignore fragments entirely.
+TEST(McChecker, SerializabilityIgnoresZombies) {
+  Arena ar;
+  HistoryInput in = base(ar);
+  in.txns.push_back({0, {wr(ar.x(), 1, 2), wr(ar.y(), 1, 3)}, 2, 5});
+  in.final_mem = {{ar.x(), 1}, {ar.y(), 1}};
+  Fragment f;
+  f.ops = {rd(ar.x(), 1, 4), rd(ar.y(), 0, 4)};
+  f.begin_step = 1;
+  f.end_step = 4;
+  in.fragments.push_back(f);
+  const HistoryVerdict v = check_history(in);
+  EXPECT_TRUE(v.ok) << v.diagnosis;
+}
+
+// ---- recorder -------------------------------------------------------------
+
+TEST(McRecorder, RollbackSuffixBecomesFragment) {
+  Arena ar;
+  Recorder rec;
+  rec.reset(1);
+  TxLog log;
+  rec.note(0, log, rd(ar.x(), 0, 0));
+  rec.note(0, log, rd(ar.y(), 7, 0));
+  // Hardware rollback: the locals snapshot restore rewinds the in-locals
+  // count; the mirror keeps both ops.
+  log.nops = 0;
+  rec.note(0, log, rd(ar.x(), 1, 0));  // retry's first op triggers harvest
+  rec.finish(0, log);
+  const TxRecord& r = rec.record(0);
+  ASSERT_EQ(r.fragments.size(), 1u);
+  EXPECT_EQ(r.fragments[0].ops.size(), 2u);
+  EXPECT_EQ(r.fragments[0].ops[1].val, 7u);
+  ASSERT_EQ(r.mirror.size(), 1u);
+  EXPECT_EQ(r.mirror[0].val, 1u);
+  EXPECT_TRUE(r.committed);
+  EXPECT_GT(r.end_step, r.mirror[0].step);
+}
+
+TEST(McRecorder, TrailingRollbackHarvestedAtFinish) {
+  Arena ar;
+  Recorder rec;
+  rec.reset(1);
+  TxLog log;
+  rec.note(0, log, wr(ar.x(), 1, 0));
+  log.nops = 0;  // aborted after its last recorded op
+  rec.finish(0, log);
+  const TxRecord& r = rec.record(0);
+  ASSERT_EQ(r.fragments.size(), 1u);
+  EXPECT_TRUE(r.mirror.empty());
+}
+
+}  // namespace
+}  // namespace phtm::mc

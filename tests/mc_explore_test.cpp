@@ -1,0 +1,134 @@
+// End-to-end tests of the schedule explorer (src/mc) against the scenario
+// library. These run the real protocol stack (compiled with PHTM_MC=1)
+// under the cooperative scheduler and exhaustively enumerate interleavings
+// up to a preemption bound.
+//
+// The acceptance bar: every protocol scenario explores to completion with
+// every history accepted, and the deliberately re-introduced torn-write-back
+// bug (RingSTM skipping its single-writer gate — the PR-1 race) is caught
+// with a deterministic replay seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "mc/sched.hpp"
+
+namespace phtm::mc {
+namespace {
+
+ExploreOptions bounded(unsigned bound) {
+  ExploreOptions o;
+  o.preemption_bound = bound;
+  return o;
+}
+
+/// PHTM_MC_PREEMPTIONS overrides the default bound (CI's extended job sets
+/// it higher; the quick suite runs at 2).
+unsigned env_bound(unsigned def) {
+  if (const char* s = std::getenv("PHTM_MC_PREEMPTIONS"))
+    return static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+  return def;
+}
+
+class McScenarioClean : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(McScenarioClean, ExhaustiveAtBoundTwoAllHistoriesAccepted) {
+  const McScenario* sc = find_scenario(GetParam());
+  ASSERT_NE(sc, nullptr);
+  const ExploreStats st = explore(*sc, bounded(env_bound(2)));
+  EXPECT_TRUE(st.complete) << "exploration truncated (schedules=" << st.schedules << ")";
+  EXPECT_FALSE(st.violation)
+      << st.violation_kind << ": " << st.violation_detail
+      << "\nreplay seed: " << st.violation_seed;
+  // Exhaustive means many schedules, not one happy path. The smallest
+  // scenario (two write-only RingSTM transactions, sleep sets on) explores
+  // 41 schedules at bound 2; every PART-HTM scenario is well into the
+  // hundreds or thousands.
+  EXPECT_GT(st.schedules, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocol, McScenarioClean,
+                         ::testing::Values("fast_fast_ring", "part_vs_fast",
+                                           "slow_quiesce", "undo_rollback",
+                                           "opaque_zombie",
+                                           "ringstm_writeback"),
+                         [](const auto& info) { return info.param; });
+
+TEST(McExplore, SeededFaultIsCaughtWithReplayableSchedule) {
+  const McScenario* sc = find_scenario("ringstm_writeback_fault");
+  ASSERT_NE(sc, nullptr);
+
+  const ExploreStats st = explore(*sc, bounded(2));
+  ASSERT_TRUE(st.violation)
+      << "torn write-back not found in " << st.schedules << " schedules";
+  EXPECT_EQ(st.violation_kind, "history");
+  ASSERT_FALSE(st.violation_seed.empty());
+
+  // The printed seed must reproduce the violation deterministically.
+  ExploreOptions replay;
+  replay.replay = st.violation_seed;
+  const ExploreStats re = explore(*sc, replay);
+  EXPECT_EQ(re.schedules, 1u);
+  ASSERT_TRUE(re.violation) << "seed did not reproduce the violation";
+  EXPECT_EQ(re.violation_kind, "history");
+  EXPECT_EQ(re.violation_seed, st.violation_seed);
+}
+
+TEST(McExplore, SleepSetsPruneButStillFindTheBug) {
+  const McScenario* sc = find_scenario("ringstm_writeback_fault");
+  ASSERT_NE(sc, nullptr);
+  ExploreOptions without = bounded(2);
+  without.sleep_sets = false;
+  const ExploreStats st_with = explore(*sc, bounded(2));
+  const ExploreStats st_without = explore(*sc, without);
+  EXPECT_TRUE(st_with.violation);
+  EXPECT_TRUE(st_without.violation);
+
+  // On the clean sibling, pruning must reduce work without losing
+  // completeness.
+  const McScenario* clean = find_scenario("ringstm_writeback");
+  ASSERT_NE(clean, nullptr);
+  ExploreOptions clean_without = bounded(2);
+  clean_without.sleep_sets = false;
+  const ExploreStats a = explore(*clean, bounded(2));
+  const ExploreStats b = explore(*clean, clean_without);
+  EXPECT_TRUE(a.complete);
+  EXPECT_TRUE(b.complete);
+  EXPECT_FALSE(a.violation);
+  EXPECT_FALSE(b.violation);
+  EXPECT_GT(a.sleep_pruned, 0u);
+  EXPECT_LE(a.schedules, b.schedules);
+}
+
+TEST(McExplore, UndoRollbackScenarioExercisesRetraction) {
+  // The clean sweep above already proves every interleaving of the
+  // global-abort rollback keeps the history serializable; this pins the
+  // scenario's own coverage invariants (the writer really did global-abort
+  // and really did retract its write-locks) via the scenario invariant,
+  // which explore() evaluates after every schedule — a violation would have
+  // surfaced there. Run a single default schedule and sanity-check stats.
+  const McScenario* sc = find_scenario("undo_rollback");
+  ASSERT_NE(sc, nullptr);
+  ExploreOptions one = bounded(0);
+  one.max_schedules = 1;
+  const ExploreStats st = explore(*sc, one);
+  EXPECT_FALSE(st.violation)
+      << st.violation_kind << ": " << st.violation_detail;
+  EXPECT_EQ(st.schedules, 1u);
+}
+
+TEST(McExplore, ReplayPastSeedContinuesWithDefaults) {
+  // A short prefix seed: the run must complete (defaults after the prefix)
+  // and stay clean.
+  const McScenario* sc = find_scenario("part_vs_fast");
+  ASSERT_NE(sc, nullptr);
+  ExploreOptions o;
+  o.replay = "0,1,0";
+  const ExploreStats st = explore(*sc, o);
+  EXPECT_EQ(st.schedules, 1u);
+  EXPECT_FALSE(st.violation)
+      << st.violation_kind << ": " << st.violation_detail;
+}
+
+}  // namespace
+}  // namespace phtm::mc

@@ -158,6 +158,64 @@ TEST(PartHtm, SoftwareSegmentsRunOutsidePartitionedHardware) {
 
 // --- abort handling -------------------------------------------------------
 
+TEST(PartHtm, SubHtmExhaustionRollsBackUndoLogAndRetractsLocks) {
+  // Deterministic, single-threaded companion to the model-checker scenario
+  // `undo_rollback` (src/mc/scenario.cpp): segment 0 eagerly writes x and
+  // announces its write lock; segment 1 can never fit the duration quantum,
+  // so every sub-HTM attempt aborts, the retries exhaust, and the attempt
+  // global-aborts. The undo log must restore x and the lock table must be
+  // retracted before the transaction re-executes — each fresh execution
+  // records the x it reads, so a leaked eager write is directly visible.
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.tick_budget = 80;  // seg 0 fits; seg 1 (work = 4x budget) never does
+  sim::HtmRuntime rt(cfg);
+  tm::BackendConfig bc;
+  bc.htm_retries = 1;
+  bc.partitioned_retries = 1;
+  bc.sub_htm_retries = 2;
+  auto be = make_part(rt, PartHtmBackend::Mode::kSerializable, false, bc);
+  auto* x = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+  auto* y = tm::TmHeap::instance().alloc_array<std::uint64_t>(16);
+  struct E {
+    std::uint64_t* x;
+    std::uint64_t* y;
+    std::uint64_t seen[8];
+    unsigned n = 0;
+  } env{x, y + 8, {}, 0};  // y+8: one full line away from y's base
+  auto w = be->make_worker(0);
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* ep, void*, unsigned seg) {
+    E& e = *const_cast<E*>(static_cast<const E*>(ep));
+    if (seg == 0) {
+      // The side channel survives rollback: plain store into the env.
+      e.seen[e.n++ % 8] = c.read(e.x);
+      c.write(e.x, 1);
+      return true;
+    }
+    c.work(320);  // guaranteed duration abort inside any sub-HTM attempt
+    c.write(e.y, 1);
+    return false;
+  };
+  t.env = &env;
+  be->execute(*w, t);
+
+  // Committed (on the slow path, after the partitioned path gave up).
+  EXPECT_EQ(*x, 1u);
+  EXPECT_EQ(env.y[0], 1u);
+  EXPECT_GE(w->stats().global_aborts, 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)], 1u);
+  EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kHtm)], 0u);
+  // Undo witness: every execution, including the final slow-path one, read
+  // x = 0 — the aborted attempt's eager write never leaked.
+  ASSERT_GE(env.n, 2u);
+  for (unsigned i = 0; i < env.n && i < 8; ++i)
+    EXPECT_EQ(env.seen[i], 0u) << "execution " << i << " saw a leaked write";
+  // Lock witness: the aborted attempt's write-lock bits were retracted (the
+  // slow path takes no locks, so any residue is the aborted attempt's).
+  EXPECT_TRUE(be->write_locks().atomic_snapshot().empty())
+      << "write-locks signature not retracted after global abort";
+}
+
 TEST(PartHtm, GlobalAbortRestoresEagerWrites) {
   // Two workers: A partitions and writes x in its first segment, then stalls
   // on a flag; B overwrites one of A's read locations forcing A's in-flight

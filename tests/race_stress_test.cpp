@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "core/ring.hpp"
@@ -37,11 +38,24 @@ using phtm::run_threads;
 using namespace phtm::sim;
 
 // Keep wall time sane on small machines; sanitizer lanes multiply the cost.
+// PHTM_STRESS_ITERS overrides the default round count — turn it up for soak
+// runs (the CI extended job, overnight TSan sessions) or down when iterating
+// locally; 0/garbage falls back to the build-appropriate default.
+unsigned stress_rounds() {
 #if PHTM_TSAN_ENABLED || defined(__SANITIZE_ADDRESS__)
-constexpr unsigned kRounds = 600;
+  constexpr unsigned kDefault = 600;
 #else
-constexpr unsigned kRounds = 4000;
+  constexpr unsigned kDefault = 4000;
 #endif
+  static const unsigned rounds = [] {
+    if (const char* s = std::getenv("PHTM_STRESS_ITERS")) {
+      const unsigned long v = std::strtoul(s, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return kDefault;
+  }();
+  return rounds;
+}
 
 /// Hardware increments versus software increments on the same word: every
 /// committed transactional +1 and every nontx_fetch_add +1 must survive.
@@ -61,7 +75,7 @@ TEST(RaceStress, CommitLatchVsStrongAtomicity) {
     std::uint64_t mine = 0;
     if (tid % 2 == 0) {
       HtmRuntime::Thread th(rt);
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         const HtmResult r = rt.attempt(th, [&](HtmOps& ops) {
           const std::uint64_t v = ops.read(&counter);
           ops.write(&counter, v + 1);
@@ -69,7 +83,7 @@ TEST(RaceStress, CommitLatchVsStrongAtomicity) {
         if (r.committed) ++mine;
       }
     } else {
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         rt.nontx_fetch_add(&counter, 1);
         ++mine;
       }
@@ -107,7 +121,7 @@ TEST(RaceStress, MixedTransactionalAndSoftwareRmw) {
     };
     if (tid % 2 == 0) {
       HtmRuntime::Thread th(rt);
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         const unsigned a = next() % kWords;
         const unsigned b = next() % kWords;
         const HtmResult r = rt.attempt(th, [&](HtmOps& ops) {
@@ -117,7 +131,7 @@ TEST(RaceStress, MixedTransactionalAndSoftwareRmw) {
         if (r.committed) mine += 2;
       }
     } else {
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         std::uint64_t* w = &words[next() % kWords];
         for (;;) {
           const std::uint64_t v = rt.nontx_load(w);
@@ -158,7 +172,7 @@ TEST(RaceStress, RingPublicationNeverTearsForValidators) {
         const unsigned bit = Signature::bit_of(reinterpret_cast<void*>(p));
         if (bit / 64 == tid) sig.add(reinterpret_cast<void*>(p));
       }
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         const std::uint64_t ts = ring.reserve(rt);
         ring.fill_slot(rt, ts, sig);
       }
@@ -169,7 +183,7 @@ TEST(RaceStress, RingPublicationNeverTearsForValidators) {
         if (bit / 64 == kWriters + 1) rsig.add(reinterpret_cast<void*>(p));
       }
       std::uint64_t start = 0;
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         const ValResult v = ring.validate(rt, start, rsig);
         EXPECT_NE(v, ValResult::kConflict)
             << "validator with a disjoint read signature saw a conflict: "
@@ -216,7 +230,7 @@ TEST(RaceStress, RingStmOverlappingWriteBacksStaySerialized) {
   };
 
   constexpr unsigned kThreads = 3;
-  const unsigned rounds = kRounds / 15;
+  const unsigned rounds = stress_rounds() / 15;
   phtm::Barrier round_barrier(kThreads);
   run_threads(kThreads, [&](unsigned tid) {
     auto w = backend.make_worker(tid);
@@ -262,13 +276,13 @@ TEST(RaceStress, RingValidationCatchesConflicts) {
   constexpr unsigned kThreads = 3;
   run_threads(kThreads, [&](unsigned tid) {
     if (tid == 0) {
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         const std::uint64_t ts = ring.reserve(rt);
         ring.fill_slot(rt, ts, shared);
       }
     } else {
       std::uint64_t start = rt.nontx_load(ring.timestamp_addr());
-      for (unsigned i = 0; i < kRounds; ++i) {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
         const std::uint64_t before = start;
         const ValResult v = ring.validate(rt, start, shared);
         if (v == ValResult::kOk) {

@@ -44,6 +44,21 @@ R5  suppression hygiene (tsan.supp): no `race:phtm` entries.  Races in our
     never suppressed wholesale — a symbol-level suppression would hide
     every future bug on the same code path.
 
+R6  annotation/instrumentation discipline (all of src/, excluding the
+    macro definition headers and the model checker itself):
+    a) Every PHTM_ANNOTATE_HAPPENS_BEFORE must have a matching
+       PHTM_ANNOTATE_HAPPENS_AFTER somewhere in the tree, and vice versa.
+       Pairing is by the trailing member/identifier of the address
+       expression (`&s.doom` pairs with `&slots_[victim].doom`): an
+       unpaired annotation either tells TSan about an edge nobody observes
+       (silencing real races) or trusts an edge nobody publishes.
+    b) Every PHTM_MC_YIELD / PHTM_MC_SPIN marker needs an `mc-yield:`
+       justification comment (same line or <= RULE_WINDOW lines above)
+       saying why that point is a scheduling decision.  The model checker
+       only switches threads at these markers, so an unjustified marker is
+       an unreviewed hole (or an unreviewed blind spot) in the explored
+       interleaving space.
+
 Exit status: 0 clean, 1 violations (one line each on stdout), 2 usage error.
 """
 
@@ -62,11 +77,19 @@ PROTOCOL_ACCESS_DIRS = ("src/core", "src/stm", "src/tm")
 ALIGNMENT_DIRS = ("src/core", "src/stm", "src/sim", "src/sig", "src/util")
 PROTOCOL_HEADER_DIRS = ("src/core", "src/stm", "src/sim", "src/sig")
 
+# Macro definition headers: R6 skips them (they define, not use, the markers).
+R6_EXEMPT_FILES = ("src/util/annotations.hpp", "src/util/mc_hooks.hpp")
+R6_EXEMPT_DIRS = ("src/mc",)
+
 RAW_ATOMIC_RE = re.compile(r"\b__atomic_\w+")
 ATOMIC_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:alignas\([^)]*\)\s+)?(?:Padded<\s*)?std::atomic<")
 RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
 MUTEX_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|shared_mutex)>')
+HB_ANNOT_RE = re.compile(r"\bPHTM_ANNOTATE_HAPPENS_(BEFORE|AFTER)\s*\(([^()]*)\)")
+MC_MARKER_RE = re.compile(r"\bPHTM_MC_(?:YIELD|SPIN)\s*\(")
+# Trailing identifier of an address expression: the pairing key for R6a.
+ADDR_TAIL_RE = re.compile(r"(\w+)\W*$")
 STRUCT_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?(struct|class)\s+"
                        r"(?:alignas\([^)]*\)\s+)?(\w+)")
 
@@ -87,6 +110,8 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.errors: list[str] = []
+        # R6a: (kind, tail) -> first occurrence, collected across the tree.
+        self.hb_annotations: list[tuple[str, str, Path, int]] = []
 
     def err(self, path: Path, lineno: int, rule: str, msg: str) -> None:
         rel = path.relative_to(self.root)
@@ -170,6 +195,39 @@ class Linter:
                          "tsan.supp suppresses a phtm:: symbol; fix the race "
                          "or annotate the site (util/annotations.hpp) instead")
 
+    # -- R6 ----------------------------------------------------------------
+    def check_annotation_discipline(self, path: Path, lines: list[str]) -> None:
+        for i, line in enumerate(lines):
+            code = strip_line_comment(line)
+            for m in HB_ANNOT_RE.finditer(code):
+                tail = ADDR_TAIL_RE.search(m.group(2))
+                if tail is None:
+                    self.err(path, i + 1, "R6",
+                             f"HAPPENS_{m.group(1)} with no identifiable "
+                             "address expression")
+                else:
+                    self.hb_annotations.append(
+                        (m.group(1), tail.group(1), path, i + 1))
+            if MC_MARKER_RE.search(code) and not has_marker(
+                    lines, i, "mc-yield:"):
+                self.err(path, i + 1, "R6",
+                         "PHTM_MC yield/spin marker without an '// mc-yield:' "
+                         "justification — every scheduling decision point "
+                         "must say why it is one")
+
+    def check_annotation_pairing(self) -> None:
+        tails = {"BEFORE": {}, "AFTER": {}}
+        for kind, tail, path, lineno in self.hb_annotations:
+            tails[kind].setdefault(tail, (path, lineno))
+        for kind, other in (("BEFORE", "AFTER"), ("AFTER", "BEFORE")):
+            for tail, (path, lineno) in tails[kind].items():
+                if tail not in tails[other]:
+                    self.err(path, lineno, "R6",
+                             f"HAPPENS_{kind} on '...{tail}' has no matching "
+                             f"HAPPENS_{other} anywhere in src/ — an unpaired "
+                             "annotation edge hides or invents a "
+                             "synchronization order")
+
     # ----------------------------------------------------------------------
     def run(self) -> int:
         src = self.root / "src"
@@ -188,6 +246,9 @@ class Linter:
             self.check_relaxed(path, lines)
             if rel.startswith(PROTOCOL_HEADER_DIRS) and path.suffix == ".hpp":
                 self.check_mutex_includes(path, lines)
+            if rel not in R6_EXEMPT_FILES and not rel.startswith(R6_EXEMPT_DIRS):
+                self.check_annotation_discipline(path, lines)
+        self.check_annotation_pairing()
         self.check_suppressions()
 
         if self.errors:

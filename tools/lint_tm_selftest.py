@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint_tm.py.
+
+The linter guards the protocol's concurrency discipline, so the linter
+itself needs a regression net: each rule gets a minimal fixture tree that
+must trigger it and a sibling fixture that must stay clean.  Runs as the
+`lint_tm_selftest` CTest target.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint_tm import Linter  # noqa: E402
+
+
+def run_lint(files: dict[str, str]) -> list[str]:
+    """Materialize `files` (path -> contents) in a temp root and lint it."""
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        for rel, text in files.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text)
+        (root / "src").mkdir(exist_ok=True)
+        linter = Linter(root)
+        linter.run()
+        return linter.errors
+
+
+def rules_of(errors: list[str]) -> set[str]:
+    return {e.split("[", 1)[1].split("]", 1)[0] for e in errors}
+
+
+class R1RawAtomic(unittest.TestCase):
+    def test_unjustified_raw_atomic_flagged(self):
+        errs = run_lint({"src/core/x.hpp": "auto v = __atomic_load_n(p, 0);\n"})
+        self.assertIn("R1", rules_of(errs))
+
+    def test_justified_raw_atomic_clean(self):
+        errs = run_lint({
+            "src/core/x.hpp":
+                "// raw-atomic: scratch word private to this worker\n"
+                "auto v = __atomic_load_n(p, 0);\n"})
+        self.assertNotIn("R1", rules_of(errs))
+
+
+class R3Relaxed(unittest.TestCase):
+    def test_unjustified_relaxed_flagged(self):
+        errs = run_lint({
+            "src/sim/x.hpp": "x.load(std::memory_order_relaxed);\n"})
+        self.assertIn("R3", rules_of(errs))
+
+    def test_justified_relaxed_clean(self):
+        errs = run_lint({
+            "src/sim/x.hpp":
+                "// relaxed: counter read outside any protocol decision\n"
+                "x.load(std::memory_order_relaxed);\n"})
+        self.assertNotIn("R3", rules_of(errs))
+
+
+class R6McMarkers(unittest.TestCase):
+    def test_unjustified_marker_flagged(self):
+        errs = run_lint({
+            "src/core/x.hpp": "PHTM_MC_YIELD(kNtLoad, &glock_.value);\n"})
+        self.assertIn("R6", rules_of(errs))
+
+    def test_unjustified_spin_flagged(self):
+        errs = run_lint({"src/stm/x.hpp": "PHTM_MC_SPIN(&lc_.value);\n"})
+        self.assertIn("R6", rules_of(errs))
+
+    def test_justified_marker_clean(self):
+        errs = run_lint({
+            "src/core/x.hpp":
+                "// mc-yield: glock subscription races the slow path\n"
+                "PHTM_MC_YIELD(kNtLoad, &glock_.value);\n"})
+        self.assertEqual(errs, [])
+
+    def test_justification_window_is_bounded(self):
+        filler = "int a;\n" * 7  # marker > RULE_WINDOW lines below the tag
+        errs = run_lint({
+            "src/core/x.hpp":
+                "// mc-yield: too far away\n" + filler +
+                "PHTM_MC_YIELD(kNtLoad, &glock_.value);\n"})
+        self.assertIn("R6", rules_of(errs))
+
+    def test_definition_headers_exempt(self):
+        errs = run_lint({
+            "src/util/mc_hooks.hpp": "#define PHTM_MC_SPIN(addr) ((void)0)\n",
+            "src/mc/sched.cpp": "PHTM_MC_YIELD(kNtLoad, p);\n"})
+        self.assertEqual(errs, [])
+
+
+class R6AnnotationPairing(unittest.TestCase):
+    def test_unpaired_before_flagged(self):
+        errs = run_lint({
+            "src/sim/x.cpp": "PHTM_ANNOTATE_HAPPENS_BEFORE(&s.doom);\n"})
+        self.assertIn("R6", rules_of(errs))
+
+    def test_unpaired_after_flagged(self):
+        errs = run_lint({
+            "src/sim/x.cpp": "PHTM_ANNOTATE_HAPPENS_AFTER(&s.doom);\n"})
+        self.assertIn("R6", rules_of(errs))
+
+    def test_pairing_is_by_trailing_member(self):
+        # Different base expressions, same member: that is a pair.
+        errs = run_lint({
+            "src/sim/x.cpp": "PHTM_ANNOTATE_HAPPENS_BEFORE(&s.doom);\n",
+            "src/sim/y.cpp":
+                "PHTM_ANNOTATE_HAPPENS_AFTER(&slots_[victim].doom);\n"})
+        self.assertEqual(errs, [])
+
+    def test_mismatched_members_flagged(self):
+        errs = run_lint({
+            "src/sim/x.cpp":
+                "PHTM_ANNOTATE_HAPPENS_BEFORE(&s.doom);\n"
+                "PHTM_ANNOTATE_HAPPENS_AFTER(&s.seq);\n"})
+        self.assertIn("R6", rules_of(errs))
+
+
+class RealTreeIsClean(unittest.TestCase):
+    def test_repository_lints_clean(self):
+        root = Path(__file__).resolve().parent.parent
+        linter = Linter(root)
+        self.assertEqual(linter.run(), 0, "\n".join(linter.errors))
+
+
+if __name__ == "__main__":
+    unittest.main()
