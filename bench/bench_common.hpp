@@ -12,12 +12,17 @@
 //   PHTM_BENCH_MS      duration of each throughput measurement (default 700)
 //   PHTM_MAX_THREADS   cap on the thread sweep (default: figure's maximum)
 //   PHTM_QUICK=1       shorthand for fast smoke runs
+//   PHTM_BENCH_JSON    path: append every printed series as a JSON line
+//                      (tools/bench_report.py folds these into BENCH_*.json)
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <map>
@@ -37,7 +42,18 @@ namespace phtm::bench {
 
 inline int env_int(const char* name, int dflt) {
   const char* v = std::getenv(name);
-  return v ? std::atoi(v) : dflt;
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    // A typo'd knob silently parsing as 0 (atoi semantics) yields plausible
+    // garbage measurements; refuse loudly instead.
+    std::fprintf(stderr, "bench: %s=\"%s\" is not an integer\n", name, v);
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
 }
 
 inline int bench_ms() {
@@ -131,6 +147,31 @@ class SeriesTable {
       tbl.add_row(cells);
     }
     tbl.print();
+    emit_json();
+  }
+
+  /// Append every series as one JSON line per algorithm to the file named
+  /// by PHTM_BENCH_JSON (no-op when unset). Machine consumption only —
+  /// schema: {"figure","metric","algo","series":{"<threads>":value}}.
+  void emit_json() const {
+    const char* path = std::getenv("PHTM_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open PHTM_BENCH_JSON=%s\n", path);
+      std::exit(2);
+    }
+    for (const auto& [algo, row] : data_) {
+      std::fprintf(f, "{\"figure\":\"%s\",\"metric\":\"%s\",\"algo\":\"%s\",\"series\":{",
+                   title_.c_str(), metric_.c_str(), algo.c_str());
+      bool first = true;
+      for (const auto& [threads, value] : row) {
+        std::fprintf(f, "%s\"%u\":%.6g", first ? "" : ",", threads, value);
+        first = false;
+      }
+      std::fprintf(f, "}}\n");
+    }
+    std::fclose(f);
   }
 
  private:

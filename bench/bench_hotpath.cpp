@@ -1,0 +1,279 @@
+// Hot-path micro-benchmarks: signature ops, monitor-table registration and
+// ring validation in isolation.
+//
+// These are the per-access costs the figure benches (Figs. 3-6) pay on every
+// transactional read/write; the paper's premise is that this instrumentation
+// stays "slight" (Sec. 5.1). Each benchmark pins one primitive:
+//
+//   Sig/*        BloomSig operations at sparse (a handful of set bits, the
+//                common transactional footprint) and dense occupancies;
+//   Monitor/*    simulator monitor-table read/write registration, private
+//                and read-read shared (the Fig. 3 read-dominated case);
+//   Ring/*       in-flight validation windows against published entries
+//                whose signatures are disjoint from the validator's.
+//
+// tools/bench_report.py runs this binary with --benchmark_out to fold the
+// ns/op numbers into BENCH_<label>.json; CI runs it as a smoke test under
+// the `bench` ctest label.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ring.hpp"
+#include "sig/signature.hpp"
+#include "sim/config.hpp"
+#include "sim/runtime.hpp"
+
+namespace {
+
+using phtm::Signature;
+using phtm::core::GlobalRing;
+using phtm::sim::HtmConfig;
+using phtm::sim::HtmOps;
+using phtm::sim::HtmRuntime;
+
+// ---------------------------------------------------------------------------
+// Signature ops
+// ---------------------------------------------------------------------------
+
+/// Build a signature with exactly `nbits` set bits, all of whose words fall
+/// in [wlo, whi). Driving word placement lets the disjoint benchmarks
+/// guarantee a miss without relying on hash luck.
+Signature sig_in_words(unsigned nbits, unsigned wlo, unsigned whi,
+                       std::uintptr_t salt) {
+  Signature s;
+  s.clear();
+  unsigned added = 0;
+  for (std::uintptr_t p = (salt + 1) * 64; added < nbits; p += 64) {
+    const void* addr = reinterpret_cast<const void*>(p);
+    const unsigned w = Signature::bit_of(addr) / 64;
+    if (w >= wlo && w < whi && !s.maybe_contains(addr)) {
+      s.add(addr);
+      ++added;
+    }
+  }
+  return s;
+}
+
+/// Addresses (one per cache line) whose signature words fall in [wlo, whi).
+std::vector<std::uintptr_t> addrs_in_words(unsigned n, unsigned wlo,
+                                           unsigned whi, std::uintptr_t salt) {
+  std::vector<std::uintptr_t> v;
+  for (std::uintptr_t p = (salt + 1) * 64; v.size() < n; p += 64) {
+    const unsigned w =
+        Signature::bit_of(reinterpret_cast<const void*>(p)) / 64;
+    if (w >= wlo && w < whi) v.push_back(p);
+  }
+  return v;
+}
+
+constexpr unsigned kHalf = Signature::kWords / 2;
+
+/// Intersection miss: the protocol's dominant case (validation against a
+/// disjoint write signature). range(0) = set bits per signature.
+void BM_SigIntersectsMiss(benchmark::State& state) {
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  Signature a = sig_in_words(bits, 0, kHalf, 1);
+  Signature b = sig_in_words(bits, kHalf, Signature::kWords, 2);
+  benchmark::DoNotOptimize(&a);
+  benchmark::DoNotOptimize(&b);
+  for (auto _ : state) {
+    bool hit = a.intersects(b);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_SigIntersectsMiss)->Arg(4)->Arg(256);
+
+/// Word-atomic snapshot of a shared signature (commit-path lock-table read)
+/// into a worker-persistent destination — the protocol's usage pattern. The
+/// by-value form is floored by materializing a fresh multi-cache-line
+/// object per call regardless of sparsity; the into-form touches only
+/// occupied words.
+void BM_SigSnapshot(benchmark::State& state) {
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  Signature src = sig_in_words(bits, 0, Signature::kWords, 3);
+  Signature dst;
+  benchmark::DoNotOptimize(&src);
+  for (auto _ : state) {
+    src.atomic_snapshot_into(dst);
+    benchmark::DoNotOptimize(&dst);
+  }
+}
+BENCHMARK(BM_SigSnapshot)->Arg(4)->Arg(256);
+
+/// Aggregate-signature accumulation (Fig. 1 line 32): agg |= write_sig.
+void BM_SigUnionWith(benchmark::State& state) {
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  Signature dst = sig_in_words(bits, 0, kHalf, 4);
+  Signature src = sig_in_words(bits, kHalf, Signature::kWords, 5);
+  benchmark::DoNotOptimize(&dst);
+  benchmark::DoNotOptimize(&src);
+  for (auto _ : state) {
+    dst.union_with(src);
+    benchmark::DoNotOptimize(&dst);
+  }
+}
+BENCHMARK(BM_SigUnionWith)->Arg(4)->Arg(256);
+
+/// Lock-masking subtraction (Fig. 1 line 26) with disjoint operands.
+void BM_SigSubtractMiss(benchmark::State& state) {
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  Signature a = sig_in_words(bits, 0, kHalf, 6);
+  Signature b = sig_in_words(bits, kHalf, Signature::kWords, 7);
+  benchmark::DoNotOptimize(&a);
+  benchmark::DoNotOptimize(&b);
+  for (auto _ : state) {
+    a.subtract(b);
+    benchmark::DoNotOptimize(&a);
+  }
+}
+BENCHMARK(BM_SigSubtractMiss)->Arg(4)->Arg(256);
+
+/// Per-transaction signature reset + re-population (begin-path cost).
+void BM_SigClearAdd(benchmark::State& state) {
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  const auto addrs = addrs_in_words(bits, 0, Signature::kWords, 8);
+  Signature s;
+  benchmark::DoNotOptimize(&s);
+  for (auto _ : state) {
+    s.clear();
+    for (const auto p : addrs) s.add(reinterpret_cast<const void*>(p));
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_SigClearAdd)->Arg(4)->Arg(256);
+
+void BM_SigPopcount(benchmark::State& state) {
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  Signature s = sig_in_words(bits, 0, Signature::kWords, 9);
+  benchmark::DoNotOptimize(&s);
+  for (auto _ : state) {
+    unsigned n = s.popcount();
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_SigPopcount)->Arg(4)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Monitor-table registration
+// ---------------------------------------------------------------------------
+
+constexpr unsigned kMonLines = 16;
+constexpr unsigned kMonMaxThreads = 8;
+
+struct alignas(64) BenchLine {
+  std::uint64_t w[8];
+};
+
+BenchLine g_shared[kMonLines];
+BenchLine g_private[kMonMaxThreads][kMonLines];
+
+HtmRuntime& monitor_rt() {
+  static HtmRuntime rt{HtmConfig::testing()};
+  return rt;
+}
+
+/// One transaction subscribing `kMonLines` lines every thread also reads:
+/// the read-read sharing case a Fig. 3 read-dominated mix lives in. Reported
+/// items = line registrations (each paid once more at unregistration).
+void BM_MonitorReadShared(benchmark::State& state) {
+  HtmRuntime& rt = monitor_rt();
+  HtmRuntime::Thread th(rt);
+  for (auto _ : state) {
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      for (unsigned i = 0; i < kMonLines; ++i) ops.subscribe(&g_shared[i].w[0]);
+    });
+    benchmark::DoNotOptimize(r.committed);
+  }
+  state.SetItemsProcessed(state.iterations() * kMonLines);
+}
+BENCHMARK(BM_MonitorReadShared)->Threads(1)->Threads(4)->UseRealTime();
+
+/// Same shape, thread-private lines: the uncontended registration cost.
+void BM_MonitorReadPrivate(benchmark::State& state) {
+  HtmRuntime& rt = monitor_rt();
+  HtmRuntime::Thread th(rt);
+  const unsigned me = static_cast<unsigned>(state.thread_index()) % kMonMaxThreads;
+  for (auto _ : state) {
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      for (unsigned i = 0; i < kMonLines; ++i)
+        ops.subscribe(&g_private[me][i].w[0]);
+    });
+    benchmark::DoNotOptimize(r.committed);
+  }
+  state.SetItemsProcessed(state.iterations() * kMonLines);
+}
+BENCHMARK(BM_MonitorReadPrivate)->Threads(1)->Threads(4)->UseRealTime();
+
+/// Write registration keeps the bucket lock by design (dooming must be
+/// atomic against the doom-latch protocol); this is the control group.
+void BM_MonitorWritePrivate(benchmark::State& state) {
+  HtmRuntime& rt = monitor_rt();
+  HtmRuntime::Thread th(rt);
+  const unsigned me = static_cast<unsigned>(state.thread_index()) % kMonMaxThreads;
+  for (auto _ : state) {
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      for (unsigned i = 0; i < kMonLines; ++i)
+        ops.write(&g_private[me][i].w[0], i);
+    });
+    benchmark::DoNotOptimize(r.committed);
+  }
+  state.SetItemsProcessed(state.iterations() * kMonLines);
+}
+BENCHMARK(BM_MonitorWritePrivate)->Threads(1)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Ring validation
+// ---------------------------------------------------------------------------
+
+/// Validate a window of range(0) published entries whose write signatures
+/// are word-disjoint from the validator's read signature — the common case
+/// for an in-flight validation that passes. Items = entries scanned.
+void BM_RingValidateDisjoint(benchmark::State& state) {
+  const unsigned window = static_cast<unsigned>(state.range(0));
+  static HtmRuntime rt{HtmConfig::testing()};
+  GlobalRing ring(1024);
+  const Signature wsig = sig_in_words(32, 0, kHalf, 10);
+  for (unsigned i = 0; i < window; ++i) {
+    const std::uint64_t ts = ring.reserve(rt);
+    ring.fill_slot(rt, ts, wsig);
+  }
+  const std::uint64_t top = rt.nontx_load(ring.timestamp_addr());
+  const Signature rsig = sig_in_words(2, kHalf, Signature::kWords, 11);
+  for (auto _ : state) {
+    std::uint64_t start = top - window;
+    const auto v = ring.validate(rt, start, rsig);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_RingValidateDisjoint)->Arg(16)->Arg(64);
+
+/// Same window, empty read signature: a write-only partitioned transaction
+/// revalidating after each sub-commit can never conflict.
+void BM_RingValidateEmptyRsig(benchmark::State& state) {
+  const unsigned window = static_cast<unsigned>(state.range(0));
+  static HtmRuntime rt{HtmConfig::testing()};
+  GlobalRing ring(1024);
+  const Signature wsig = sig_in_words(32, 0, Signature::kWords, 12);
+  for (unsigned i = 0; i < window; ++i) {
+    const std::uint64_t ts = ring.reserve(rt);
+    ring.fill_slot(rt, ts, wsig);
+  }
+  const std::uint64_t top = rt.nontx_load(ring.timestamp_addr());
+  Signature rsig;
+  rsig.clear();
+  for (auto _ : state) {
+    std::uint64_t start = top - window;
+    const auto v = ring.validate(rt, start, rsig);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_RingValidateEmptyRsig)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,6 @@
 #include "core/part_htm.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "stm/common.hpp"
@@ -36,18 +37,22 @@ class TxSig {
   TxSig(sim::HtmOps& ops, Signature& storage)
       : ops_(ops), storage_(storage), mirror_(storage) {}
 
-  void add(const void* addr) {
-    const unsigned b = Signature::bit_of(addr);
-    mirror_.words()[b / 64] |= std::uint64_t{1} << (b % 64);
-  }
+  void add(const void* addr) { mirror_.set_bit(Signature::bit_of(addr)); }
 
   const Signature& view() const noexcept { return mirror_; }
 
-  /// Write the accumulated bits into storage (inside the transaction).
+  /// Write the accumulated bits into storage (inside the transaction). The
+  /// mirror starts as a copy of storage, so its occupancy is a superset and
+  /// every changed word carries a mirror occupancy bit — scanning only those
+  /// words is exact.
   void flush() {
-    for (unsigned w = 0; w < Signature::kWords; ++w)
+    const std::uint64_t mocc = mirror_.occupancy();
+    for (std::uint64_t rest = mocc; rest != 0; rest &= rest - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(rest));
       if (mirror_.words()[w] != storage_.words()[w])
         ops_.write(&storage_.words()[w], mirror_.words()[w]);
+    }
+    if (mocc != storage_.occupancy()) ops_.write(storage_.occ_addr(), mocc);
   }
 
  private:
@@ -69,6 +74,13 @@ struct PartHtmBackend::W final : tm::Worker {
   UndoLog undo;
 
   std::uint64_t start_time = 0;
+  /// Incremental-validation watermark: the highest ring timestamp this
+  /// global transaction's read signature is known to be consistent with.
+  /// Starts at `start_time` and advances on every successful validation, so
+  /// repeated in-flight validations only scan ring entries published since
+  /// the previous one instead of re-walking the window from the begin
+  /// snapshot. Owner-private: never read or written by other threads.
+  std::uint64_t validated_ts = 0;
   bool wrote = false;
 
   tm::LocalsSnapshot txn_snap;  // whole-transaction rollback state
@@ -134,10 +146,14 @@ class PartHtmBackend::FastCtx final : public tm::Ctx {
       // non-visible (locked) location (Fig. 1 lines 7-8). Subscribe to the
       // lock table's cache lines once, then read its words plainly: the
       // monitor guarantees a latched committer's lock publication is either
-      // fully visible or blocks/dooms this transaction first.
+      // fully visible or blocks/dooms this transaction first. Only words
+      // this transaction has bits in can intersect a lock, so the occupancy
+      // masks bound both the subscription set and the scan.
+      const std::uint64_t occ = rs_.view().occupancy() | ws_.view().occupancy();
       for (unsigned w = 0; w < Signature::kWords; w += 8)
-        ops_.subscribe(&b_.write_locks_.words()[w]);
-      for (unsigned i = 0; i < Signature::kWords; ++i) {
+        if (((occ >> w) & 0xffu) != 0) ops_.subscribe(&b_.write_locks_.words()[w]);
+      for (std::uint64_t rest = occ; rest != 0; rest &= rest - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
         const std::uint64_t wl = aload(&b_.write_locks_.words()[i]);
         if (wl & (rs_.view().words()[i] | ws_.view().words()[i]))
           ops_.xabort(kXLocked);
@@ -213,9 +229,13 @@ class PartHtmBackend::SubCtx final : public tm::Ctx {
     rs_.flush();
     ws_.flush();
     if (b_.mode_ != Mode::kSerializable) return;
+    // Lock checks and announcements only matter in words this transaction
+    // has bits in (see the fast path's epilogue for the argument).
+    const std::uint64_t occ = rs_.view().occupancy() | ws_.view().occupancy();
     for (unsigned w = 0; w < Signature::kWords; w += 8)
-      ops_.subscribe(&b_.write_locks_.words()[w]);
-    for (unsigned i = 0; i < Signature::kWords; ++i) {
+      if (((occ >> w) & 0xffu) != 0) ops_.subscribe(&b_.write_locks_.words()[w]);
+    for (std::uint64_t rest = occ; rest != 0; rest &= rest - 1) {
+      const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
       const std::uint64_t wl = aload(&b_.write_locks_.words()[i]);
       // Mask this global transaction's own locks out first (Fig. 1 line 26).
       const std::uint64_t others = wl & ~w_.agg_sig.words()[i];
@@ -227,6 +247,12 @@ class PartHtmBackend::SubCtx final : public tm::Ctx {
       const std::uint64_t mine = ws_.view().words()[i];
       if (mine & ~wl) ops_.write(&b_.write_locks_.words()[i], wl | mine);
     }
+    // Keep the shared lock table's occupancy a superset of its set words.
+    // The read is monitored, so a concurrent committer updating the mask
+    // dooms this transaction instead of having its bits overwritten.
+    const std::uint64_t wocc = ws_.view().occupancy();
+    const std::uint64_t cur = ops_.read(b_.write_locks_.occ_addr());
+    if ((wocc & ~cur) != 0) ops_.write(b_.write_locks_.occ_addr(), cur | wocc);
   }
 
  private:
@@ -288,6 +314,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     return POutcome::kAborted;
   }
   w.start_time = rt_.nontx_load(ring_.timestamp_addr());
+  w.validated_ts = w.start_time;
   w.read_sig.clear();
   w.write_sig.clear();
   w.agg_sig.clear();
@@ -315,8 +342,11 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
       const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
         if (mode_ == Mode::kOpaque) {
           // Timestamp subscription (Fig. 2 lines 23-24): any global commit
-          // from now on aborts this sub-HTM transaction in hardware.
-          if (ops.read(ring_.timestamp_addr()) != w.start_time)
+          // from now on aborts this sub-HTM transaction in hardware. The
+          // comparison is against the validation watermark, not the begin
+          // snapshot: commits the last validation already covered need not
+          // abort this sub-transaction.
+          if (ops.read(ring_.timestamp_addr()) != w.validated_ts)
             ops.xabort(kXTsChanged);
         }
         SubCtx ctx(*this, w, ops);
@@ -353,7 +383,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
         // PART-HTM-O: a global transaction committed; re-validate and, if
         // the snapshot still holds, restart only the sub-HTM transaction.
         ++w.stats().validations;
-        const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig);
+        const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
         if (v != ValResult::kOk) {
           if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
           global_abort(w);
@@ -384,7 +414,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     w.write_sig.clear();
     if (cfg_.validate_after_each_sub || mode_ == Mode::kOpaque) {
       ++w.stats().validations;
-      const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig);
+      const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
       if (v != ValResult::kOk) {
         if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
         global_abort(w);
@@ -409,7 +439,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   const bool solo = rt_.nontx_load(&active_tx_.value) == 1;
   if (solo) {
     ++w.stats().validations;
-    const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig);
+    const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
     if (v != ValResult::kOk) {
       if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
       global_abort(w);
@@ -430,7 +460,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   // in-flight mechanism. A failed commit still fills its slot (with an
   // empty signature) so validators never stall on it.
   ++w.stats().validations;
-  const ValResult v = ring_.validate(rt_, w.start_time, w.read_sig, ts - 1);
+  const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig, ts - 1);
   static const Signature kEmpty{};
   ring_.fill_slot(rt_, ts, v == ValResult::kOk ? w.agg_sig : kEmpty);
   if (v != ValResult::kOk) {
@@ -450,8 +480,10 @@ void PartHtmBackend::release_locks(W& w) {
   if (mode_ == Mode::kSerializable) {
     // Fig. 1 lines 48-49: clear this transaction's bits from the shared
     // lock table. Aliased bits may be cleared too — the paper's protocol
-    // has the same property.
-    for (unsigned i = 0; i < Signature::kWords; ++i) {
+    // has the same property. The table's occupancy mask is left alone (a
+    // stale superset is benign; clearing it could race a committer).
+    for (std::uint64_t rest = w.agg_sig.occupancy(); rest != 0; rest &= rest - 1) {
+      const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
       const std::uint64_t bits = w.agg_sig.words()[i];
       if (bits) rt_.nontx_fetch_and(&write_locks_.words()[i], ~bits);
     }

@@ -21,6 +21,7 @@
 // hardware transaction that has subscribed to or claimed it.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -69,8 +70,9 @@ class GlobalRing {
     if (ops.read(&s.seq) != expected_prev(ts)) ops.xabort(busy_xabort_code);
     ops.write(&s.seq, ts | kBusy);
     std::uint64_t mask = 0;
-    for (unsigned w = 0; w < Signature::kWords; ++w) {
-      if (wsig.words()[w] == 0) continue;
+    for (std::uint64_t rest = wsig.occupancy(); rest != 0; rest &= rest - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(rest));
+      if (wsig.words()[w] == 0) continue;  // occupancy may be a superset
       mask |= std::uint64_t{1} << w;
       ops.write(&s.sig.words()[w], wsig.words()[w]);
     }
@@ -97,8 +99,9 @@ class GlobalRing {
     }
     rt.nontx_store(&s.seq, ts | kBusy);
     std::uint64_t mask = 0;
-    for (unsigned w = 0; w < Signature::kWords; ++w) {
-      if (sig.words()[w] == 0) continue;
+    for (std::uint64_t rest = sig.occupancy(); rest != 0; rest &= rest - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(rest));
+      if (sig.words()[w] == 0) continue;  // occupancy may be a superset
       mask |= std::uint64_t{1} << w;
       rt.nontx_store(&s.sig.words()[w], sig.words()[w]);
     }
@@ -119,6 +122,14 @@ class GlobalRing {
     std::uint64_t ts = rt.nontx_load(&timestamp_.value);
     if (ts > limit) ts = limit;
     if (ts == start) return ValResult::kOk;
+    // An empty read signature is vacuously consistent with every entry —
+    // even a reused (rolled-over) slot — so the watermark advances without
+    // touching the ring (write-only transactions validate in O(1)).
+    const std::uint64_t rocc = rsig.occupancy();
+    if (rocc == 0) {
+      start = ts;
+      return ValResult::kOk;
+    }
     if (ts - start >= slots_.size()) return ValResult::kRollover;
     for (std::uint64_t i = start + 1; i <= ts; ++i) {
       Slot& s = slot_of(i);
@@ -144,12 +155,17 @@ class GlobalRing {
       // mc-yield: the mask/signature scan races a reusing publisher; the
       // seq recheck below is the read side of that seqlock.
       PHTM_MC_YIELD(kRawLoad, &s.mask);
-      std::uint64_t mask = aload(&s.mask);
-      for (unsigned w = 0; mask != 0 && w < Signature::kWords; ++w, mask >>= 1)
-        if ((mask & 1) && (aload(&s.sig.words()[w]) & rsig.words()[w])) {
+      // Words the entry populates AND the validator occupies: only those can
+      // intersect, so a disjoint entry costs two word loads (seq + mask) and
+      // no signature traffic at all.
+      std::uint64_t both = aload(&s.mask) & rocc;
+      for (; both != 0; both &= both - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(both));
+        if (aload(&s.sig.words()[w]) & rsig.words()[w]) {
           hit = true;
           break;
         }
+      }
       // mc-yield: seqlock recheck — discovers a reuse that began after the
       // scan above started.
       PHTM_MC_YIELD(kRawLoad, &s.seq);

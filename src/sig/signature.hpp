@@ -2,9 +2,24 @@
 //
 // PART-HTM tracks read/write sets and the shared write-lock table as
 // fixed-size bit arrays with a single hash function: 2048 bits = 4 cache
-// lines by default. Signatures are deliberately *not* precise — false
-// conflicts from hash aliasing are part of the protocol the paper evaluates,
-// and the signature-size ablation bench sweeps `Bits`.
+// lines of filter by default. Signatures are deliberately *not* precise —
+// false conflicts from hash aliasing are part of the protocol the paper
+// evaluates, and the signature-size ablation bench sweeps `Bits`.
+//
+// Sparsity: a typical transaction sets a handful of bits, so every scan
+// that walked all `kWords` words was paying for emptiness. Each signature
+// therefore carries an occupancy mask (`occ_`, one bit per 64-bit word)
+// and the bulk operations iterate only populated words, falling back to an
+// 8x-unrolled, auto-vectorizable full scan when both operands are dense.
+//
+// Occupancy invariant: a word with a clear occupancy bit is zero. For
+// signatures mutated only through this class's plain interface the mask is
+// exact (bit set <=> word nonzero). Shared signatures whose words are also
+// mutated externally (transactionally routed stores, nontx_fetch_and lock
+// release) keep a *conservative superset*: extra mask bits over zero words
+// are legal and only cost a wasted word load; a nonzero word without its
+// mask bit is a protocol bug (a conflict scan would miss it). See
+// DESIGN.md, "Performance engineering".
 //
 // Two access modes exist for the same storage:
 //   - plain methods (add/intersects/...) for thread-local signatures and
@@ -16,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 
@@ -27,10 +43,16 @@ namespace phtm {
 template <unsigned Bits>
 class alignas(kCacheLineBytes) BloomSig {
   static_assert(Bits % 64 == 0 && Bits >= 64, "Bits must be a multiple of 64");
+  static_assert(Bits / 64 <= 64, "occupancy mask is a single 64-bit word");
 
  public:
   static constexpr unsigned kBits = Bits;
   static constexpr unsigned kWords = Bits / 64;
+
+  /// Past this many populated words the word-indexed loop loses to the
+  /// unrolled full scan (which the compiler turns into wide vector ops).
+  static constexpr int kDenseCutoff =
+      kWords <= 8 ? static_cast<int>(kWords) : static_cast<int>(kWords / 4);
 
   /// Single hash function mapping an address to a bit index.
   /// Addresses are reduced to their cache-line id first: hardware detects
@@ -41,12 +63,24 @@ class alignas(kCacheLineBytes) BloomSig {
         mix64(reinterpret_cast<std::uintptr_t>(addr) >> 6) % Bits);
   }
 
-  void clear() noexcept { std::memset(words_, 0, sizeof(words_)); }
-
-  void add(const void* addr) noexcept {
-    const unsigned b = bit_of(addr);
-    words_[b / 64] |= (std::uint64_t{1} << (b % 64));
+  void clear() noexcept {
+    if (std::popcount(occ_) >= kDenseCutoff) {
+      std::memset(words_, 0, sizeof(words_));
+    } else {
+      for (std::uint64_t occ = occ_; occ != 0; occ &= occ - 1)
+        words_[std::countr_zero(occ)] = 0;
+    }
+    occ_ = 0;
   }
+
+  /// Set bit `b` directly (callers that already hashed, e.g. the in-HTM
+  /// signature mirrors). Keeps the occupancy mask exact.
+  void set_bit(unsigned b) noexcept {
+    words_[b / 64] |= (std::uint64_t{1} << (b % 64));
+    occ_ |= (std::uint64_t{1} << (b / 64));
+  }
+
+  void add(const void* addr) noexcept { set_bit(bit_of(addr)); }
 
   bool maybe_contains(const void* addr) const noexcept {
     const unsigned b = bit_of(addr);
@@ -54,36 +88,64 @@ class alignas(kCacheLineBytes) BloomSig {
   }
 
   bool empty() const noexcept {
-    for (const auto w : words_)
-      if (w != 0) return false;
+    // Verify under the mask instead of trusting it: exact even on masks
+    // that are conservative supersets (shared signatures).
+    for (std::uint64_t occ = occ_; occ != 0; occ &= occ - 1)
+      if (words_[std::countr_zero(occ)] != 0) return false;
     return true;
   }
 
   /// Bitwise intersection test (Fig. 1 lines 7, 27, 37).
   bool intersects(const BloomSig& o) const noexcept {
-    for (unsigned i = 0; i < kWords; ++i)
-      if (words_[i] & o.words_[i]) return true;
+    const std::uint64_t both = occ_ & o.occ_;
+    if (both == 0) return false;
+    if (std::popcount(both) >= kDenseCutoff)
+      return intersects_dense(o);
+    for (std::uint64_t m = both; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      if (words_[w] & o.words_[w]) return true;
+    }
     return false;
   }
 
   /// this |= o (aggregate write-set accumulation, Fig. 1 line 32).
   void union_with(const BloomSig& o) noexcept {
-    for (unsigned i = 0; i < kWords; ++i) words_[i] |= o.words_[i];
+    if (std::popcount(o.occ_) >= kDenseCutoff) {
+      for (unsigned i = 0; i < kWords; ++i) words_[i] |= o.words_[i];
+    } else {
+      for (std::uint64_t m = o.occ_; m != 0; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        words_[w] |= o.words_[w];
+      }
+    }
+    occ_ |= o.occ_;
   }
 
   /// this &= ~o. Used to mask a transaction's own locks out of the global
   /// lock table before validation (Fig. 1 line 26, `write_locks - agg`).
   void subtract(const BloomSig& o) noexcept {
-    for (unsigned i = 0; i < kWords; ++i) words_[i] &= ~o.words_[i];
+    for (std::uint64_t m = occ_ & o.occ_; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      words_[w] &= ~o.words_[w];
+      if (words_[w] == 0) occ_ &= ~(std::uint64_t{1} << w);
+    }
   }
 
   bool operator==(const BloomSig& o) const noexcept {
-    return std::memcmp(words_, o.words_, sizeof(words_)) == 0;
+    // Words outside both masks are zero on both sides by the occupancy
+    // invariant; masks themselves may differ in superset bits.
+    for (std::uint64_t m = occ_ | o.occ_; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      if (words_[w] != o.words_[w]) return false;
+    }
+    return true;
   }
 
   unsigned popcount() const noexcept {
     unsigned n = 0;
-    for (const auto w : words_) n += static_cast<unsigned>(__builtin_popcountll(w));
+    for (std::uint64_t m = occ_; m != 0; m &= m - 1)
+      n += static_cast<unsigned>(
+          __builtin_popcountll(words_[std::countr_zero(m)]));
     return n;
   }
 
@@ -91,27 +153,59 @@ class alignas(kCacheLineBytes) BloomSig {
 
   /// Atomically set every bit of `o` in this signature (lock acquisition on
   /// the software side; the HTM side does the same through monitored writes).
+  /// The occupancy bits are set *before* the word bits so a concurrent
+  /// snapshot/scan that observes a new word value always holds its mask bit;
+  /// the reverse order could leak a nonzero word outside the mask.
   void atomic_union_with(const BloomSig& o) noexcept {
-    for (unsigned i = 0; i < kWords; ++i)
-      if (o.words_[i])
-        __atomic_fetch_or(&words_[i], o.words_[i], __ATOMIC_ACQ_REL);
+    if (o.occ_ == 0) return;
+    __atomic_fetch_or(&occ_, o.occ_, __ATOMIC_ACQ_REL);
+    for (std::uint64_t m = o.occ_; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      if (o.words_[w])
+        __atomic_fetch_or(&words_[w], o.words_[w], __ATOMIC_ACQ_REL);
+    }
   }
 
   /// Atomically clear every bit of `o` (lock release, Fig. 1 line 49).
   /// Like the paper's bitwise removal, aliased bits owned by another
   /// in-flight transaction can be cleared too; the protocol tolerates the
-  /// resulting (rare) false unlock exactly as the original does.
+  /// resulting (rare) false unlock exactly as the original does. The
+  /// occupancy mask is left alone — clearing it could race a concurrent
+  /// atomic_union_with on an aliased word; a stale superset bit is benign.
   void atomic_subtract(const BloomSig& o) noexcept {
-    for (unsigned i = 0; i < kWords; ++i)
-      if (o.words_[i])
-        __atomic_fetch_and(&words_[i], ~o.words_[i], __ATOMIC_ACQ_REL);
+    for (std::uint64_t m = o.occ_; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      if (o.words_[w])
+        __atomic_fetch_and(&words_[w], ~o.words_[w], __ATOMIC_ACQ_REL);
+    }
   }
 
-  /// Snapshot this (shared) signature with word-atomic loads.
+  /// Snapshot this (shared) signature with word-atomic loads into `out`, a
+  /// caller-owned (typically worker-persistent and reused) signature. The
+  /// result's occupancy mask is recomputed from the loaded values, so a
+  /// conservative source mask yields an exact snapshot. Touches only words
+  /// occupied on either side — for sparse signatures this is a handful of
+  /// loads and stores, where re-materializing a zeroed `BloomSig` per call
+  /// would pay a full-width store sweep.
+  void atomic_snapshot_into(BloomSig& out) const noexcept {
+    const std::uint64_t src_occ = __atomic_load_n(&occ_, __ATOMIC_ACQUIRE);
+    std::uint64_t res = 0;
+    for (std::uint64_t m = src_occ | out.occ_; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      const std::uint64_t v =
+          (src_occ >> w) & 1
+              ? __atomic_load_n(&words_[w], __ATOMIC_ACQUIRE)
+              : 0;
+      out.words_[w] = v;  // also zeroes words only the old snapshot held
+      if (v != 0) res |= std::uint64_t{1} << w;
+    }
+    out.occ_ = res;
+  }
+
+  /// By-value convenience form of atomic_snapshot_into (tests, cold paths).
   BloomSig atomic_snapshot() const noexcept {
     BloomSig s;
-    for (unsigned i = 0; i < kWords; ++i)
-      s.words_[i] = __atomic_load_n(&words_[i], __ATOMIC_ACQUIRE);
+    atomic_snapshot_into(s);
     return s;
   }
 
@@ -119,10 +213,20 @@ class alignas(kCacheLineBytes) BloomSig {
   /// the enclosing sequence word (busy/final protocol) carries all the
   /// ordering; these stores only need to be tear-free per word so a
   /// validator racing the republication reads *some* word values and is
-  /// then sent back by its sequence recheck.
+  /// then sent back by its sequence recheck. Words populated by the retired
+  /// occupant but not by `o` are explicitly zeroed (the union of the two
+  /// masks covers every possibly-nonzero word).
   void atomic_assign(const BloomSig& o) noexcept {
-    for (unsigned i = 0; i < kWords; ++i)
-      __atomic_store_n(&words_[i], o.words_[i], __ATOMIC_RELAXED);
+    // relaxed: seqlock-guarded slot republication; the caller's sequence
+    // word carries the ordering and validators discard torn reads.
+    const std::uint64_t old_occ = __atomic_load_n(&occ_, __ATOMIC_RELAXED);
+    for (std::uint64_t m = old_occ | o.occ_; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      // relaxed: see above — per-word tear-freedom is all that is needed.
+      __atomic_store_n(&words_[w], o.words_[w], __ATOMIC_RELAXED);
+    }
+    // relaxed: see above.
+    __atomic_store_n(&occ_, o.occ_, __ATOMIC_RELAXED);
   }
 
   /// Word-atomic intersection of a seqlock-guarded slot (this) with a
@@ -130,24 +234,59 @@ class alignas(kCacheLineBytes) BloomSig {
   /// caller revalidates the slot's sequence word after the scan and
   /// discards the result if the slot was republished mid-read.
   bool atomic_intersects(const BloomSig& o) const noexcept {
-    for (unsigned i = 0; i < kWords; ++i)
-      if (__atomic_load_n(&words_[i], __ATOMIC_RELAXED) & o.words_[i])
+    // relaxed: seqlock-guarded scan; a mask read from a republication in
+    // flight produces a result the caller's sequence recheck discards.
+    const std::uint64_t occ = __atomic_load_n(&occ_, __ATOMIC_RELAXED);
+    for (std::uint64_t m = occ & o.occ_; m != 0; m &= m - 1) {
+      const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+      // relaxed: see above.
+      if (__atomic_load_n(&words_[w], __ATOMIC_RELAXED) & o.words_[w])
         return true;
+    }
     return false;
   }
 
   /// Raw word storage, exposed so transactional code can route word
   /// accesses through the HTM simulator (keeping them "monitored").
+  /// Code that *sets* bits through this pointer must keep the occupancy
+  /// invariant by also updating `*occ_addr()` (conservatively is fine).
   std::uint64_t* words() noexcept { return words_; }
   const std::uint64_t* words() const noexcept { return words_; }
 
+  /// The occupancy mask (bit w set => words()[w] may be nonzero).
+  std::uint64_t occupancy() const noexcept { return occ_; }
+
+  /// Address of the occupancy mask, for transactionally routed updates
+  /// alongside raw words() stores.
+  std::uint64_t* occ_addr() noexcept { return &occ_; }
+
  private:
+  /// Full scan for dense operands: no early exit inside the unrolled block,
+  /// so the compiler vectorizes the AND+OR reduction (8 words = one or two
+  /// vector registers per step; see the PHTM_NATIVE build option).
+  bool intersects_dense(const BloomSig& o) const noexcept {
+    if constexpr (kWords % 8 == 0) {
+      for (unsigned i = 0; i < kWords; i += 8) {
+        std::uint64_t acc = 0;
+        for (unsigned j = 0; j < 8; ++j) acc |= words_[i + j] & o.words_[i + j];
+        if (acc != 0) return true;
+      }
+      return false;
+    } else {
+      for (unsigned i = 0; i < kWords; ++i)
+        if (words_[i] & o.words_[i]) return true;
+      return false;
+    }
+  }
+
   std::uint64_t words_[kWords]{};
+  std::uint64_t occ_ = 0;
 };
 
-/// Default protocol signature: 2048 bits, 4 cache lines (paper Sec. 5.1).
+/// Default protocol signature: 2048 bits = 4 cache lines of filter plus the
+/// occupancy line (paper Sec. 5.1 sizes the filter; the mask is ours).
 using Signature = BloomSig<2048>;
 
-static_assert(sizeof(Signature) == 4 * kCacheLineBytes);
+static_assert(sizeof(Signature) == 5 * kCacheLineBytes);
 
 }  // namespace phtm

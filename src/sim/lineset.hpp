@@ -135,7 +135,10 @@ class AssocModel {
 
   /// Account a newly *written* line; returns false on modelled eviction.
   bool add_written_line(std::uint64_t line) noexcept {
-    auto& occ = occupancy_[line % occupancy_.size()];
+    // Hash before reducing: line ids are host heap addresses, and a plain
+    // modulo would tie the modeled set index to allocator placement (a
+    // power-of-two allocation stride aliases every write into one set).
+    auto& occ = occupancy_[phtm::hash_line(line) % occupancy_.size()];
     if (occ >= ways_) return false;
     ++occ;
     return true;

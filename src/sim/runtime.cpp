@@ -23,7 +23,19 @@ HtmRuntime::HtmRuntime(HtmConfig cfg)
   }
 }
 
-HtmRuntime::~HtmRuntime() = default;
+HtmRuntime::~HtmRuntime() {
+  // Overflow chunks are only ever appended (entry addresses must stay
+  // stable for lock-free readers), so the chains are freed exactly once,
+  // here, after every Thread has released its slot.
+  for (unsigned i = 0; i < kBucketCount; ++i) {
+    MonChunk* c = buckets_[i].head.next.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      MonChunk* next = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = next;
+    }
+  }
+}
 
 unsigned HtmRuntime::acquire_slot() {
   LockGuard<Spinlock> g(slot_alloc_lock_);
@@ -117,33 +129,126 @@ unsigned HtmRuntime::effective_read_cap(unsigned slot) const {
   return static_cast<unsigned>(cap < 64 ? 64 : cap);
 }
 
+HtmRuntime::MonEntry* HtmRuntime::probe_entry(Bucket& b, std::uint64_t line,
+                                              std::uint32_t& tag_out) noexcept {
+  for (MonChunk* c = &b.head; c != nullptr;
+       c = c->next.load(std::memory_order_acquire)) {
+    for (auto& e : c->entries) {
+      const std::uint32_t tag = e.tag.load(std::memory_order_acquire);
+      if (tag == 0) return nullptr;  // end of the claimed prefix
+      if (tag & 1u) continue;        // identity change in flight
+      if (e.line.load(std::memory_order_acquire) != line) continue;
+      tag_out = tag;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+HtmRuntime::MonEntry& HtmRuntime::locked_find_or_claim(Bucket& b,
+                                                       std::uint64_t line) {
+  for (;;) {
+    MonEntry* dead = nullptr;
+    MonEntry* unclaimed = nullptr;
+    MonChunk* last = nullptr;
+    for (MonChunk* c = &b.head; c != nullptr && unclaimed == nullptr;
+         c = c->next.load(std::memory_order_acquire)) {
+      last = c;
+      for (auto& e : c->entries) {
+        const std::uint32_t tag = e.tag.load(std::memory_order_acquire);
+        if (tag == 0) {
+          unclaimed = &e;  // claimed entries form a prefix: no match beyond
+          break;
+        }
+        if (e.line.load(std::memory_order_acquire) == line) return e;
+        if (dead == nullptr && !(tag & 1u) &&
+            e.writer.load(std::memory_order_acquire) == 0 &&
+            e.readers.load(std::memory_order_seq_cst) == 0) {
+          dead = &e;
+        }
+      }
+    }
+    // Prefer reviving a dead entry over growing the claimed prefix; chain a
+    // new chunk only when the bucket is completely full.
+    MonEntry* target = dead != nullptr ? dead : unclaimed;
+    if (target == nullptr) {
+      auto* c = new MonChunk;
+      target = &c->entries[0];
+      target->tag.store(1, std::memory_order_release);
+      target->line.store(line, std::memory_order_release);
+      target->tag.store(2, std::memory_order_release);
+      // Publish the chunk only after its first entry is fully formed.
+      last->next.store(c, std::memory_order_release);
+      return *target;
+    }
+    // Identity seqlock, write side. The odd store and the deadness recheck
+    // form a Dekker pair with the reader fast path (readers.fetch_or then
+    // tag recheck, both seq_cst): either the late reader's bit is visible
+    // here and the retag is abandoned, or the reader's recheck sees the odd
+    // tag and undoes its registration. Field stores are release so a reader
+    // that observes any new field value is guaranteed to observe the tag
+    // change on its recheck.
+    const std::uint32_t t0 = target->tag.load(std::memory_order_acquire);
+    target->tag.store(t0 + 1, std::memory_order_seq_cst);
+    if (target != unclaimed &&
+        target->readers.load(std::memory_order_seq_cst) != 0) {
+      target->tag.store(t0 + 2, std::memory_order_release);  // revived; rescan
+      continue;
+    }
+    target->readers.store(0, std::memory_order_release);
+    target->writer.store(0, std::memory_order_release);
+    target->line.store(line, std::memory_order_release);
+    target->tag.store(t0 + 2, std::memory_order_release);
+    return *target;
+  }
+}
+
+bool HtmRuntime::fast_register_read(unsigned slot, std::uint64_t line) noexcept {
+  Bucket& b = bucket_of(line);
+  std::uint32_t tag = 0;
+  MonEntry* e = probe_entry(b, line, tag);
+  if (e == nullptr) return false;
+  const std::uint64_t bit = bit_of_slot(slot);
+  e->readers.fetch_or(bit, std::memory_order_seq_cst);
+  // Dekker pair with the locked write path: a registering writer stores
+  // `writer` before sweeping `readers`; we set our reader bit before
+  // loading `writer`. Both sides seq_cst, so at least one observes the
+  // other — a concurrent conflicting writer either dooms us or is seen
+  // here (and doomed on the locked path).
+  const std::uint32_t w = e->writer.load(std::memory_order_seq_cst);
+  if (e->tag.load(std::memory_order_seq_cst) != tag) {
+    // The entry changed identity under us: the bit may sit in an entry now
+    // monitoring a different line, where nothing would ever clear it. Undo
+    // and re-register under the bucket lock.
+    e->readers.fetch_and(~bit, std::memory_order_acq_rel);
+    return false;
+  }
+  if (w != 0 && w - 1 != slot) return false;  // dooming requires the lock
+  return true;
+}
+
 void HtmRuntime::register_read_line(unsigned slot, std::uint64_t line) {
+  // Lock-free fast path: the line is already monitored with no conflicting
+  // writer — read-read sharing, the steady state of a read-dominated mix,
+  // never serializes on the bucket lock.
+  if (fast_register_read(slot, line)) return;
   bool self_abort = false;
   {
     Bucket& b = bucket_of(line);
     LockGuard<Spinlock> g(b.lock);
-    Entry* e = nullptr;
-    for (auto& it : b.entries) {
-      if (it.line == line) {
-        e = &it;
-        break;
-      }
-    }
-    if (e == nullptr) {
-      b.entries.push_back(Entry{line, 0, 0});
-      e = &b.entries.back();
-    }
-    if (e->writer != 0 && e->writer - 1 != slot) {
+    MonEntry& e = locked_find_or_claim(b, line);
+    const std::uint32_t w = e.writer.load(std::memory_order_acquire);
+    if (w != 0 && w - 1 != slot) {
       // Requester wins: doom the transaction holding the line in its write
       // set, unless it has latched its commit (then we must back off — its
       // publication of this very line may be in flight).
-      if (try_doom(e->writer - 1, AbortCode::kConflict, line)) {
-        e->writer = 0;
+      if (try_doom(w - 1, AbortCode::kConflict, line)) {
+        e.writer.store(0, std::memory_order_release);
       } else {
         self_abort = true;
       }
     }
-    if (!self_abort) e->readers |= bit_of_slot(slot);
+    if (!self_abort) e.readers.fetch_or(bit_of_slot(slot), std::memory_order_seq_cst);
   }
   if (self_abort) throw TxAbort{AbortStatus{AbortCode::kConflict, 0, line}};
 }
@@ -153,36 +258,33 @@ void HtmRuntime::register_write_line(unsigned slot, std::uint64_t line) {
   {
     Bucket& b = bucket_of(line);
     LockGuard<Spinlock> g(b.lock);
-    Entry* e = nullptr;
-    for (auto& it : b.entries) {
-      if (it.line == line) {
-        e = &it;
-        break;
-      }
-    }
-    if (e == nullptr) {
-      b.entries.push_back(Entry{line, 0, 0});
-      e = &b.entries.back();
-    }
-    if (e->writer != 0 && e->writer - 1 != slot) {
-      if (try_doom(e->writer - 1, AbortCode::kConflict, line)) {
-        e->writer = 0;
+    MonEntry& e = locked_find_or_claim(b, line);
+    const std::uint32_t w = e.writer.load(std::memory_order_acquire);
+    if (w != 0 && w - 1 != slot) {
+      if (try_doom(w - 1, AbortCode::kConflict, line)) {
+        e.writer.store(0, std::memory_order_release);
       } else {
         self_abort = true;
       }
     }
     if (!self_abort) {
-      std::uint64_t others = e->readers & ~bit_of_slot(slot);
+      // Claim the line as writer *before* sweeping readers: this store and
+      // the reader fast path's readers.fetch_or are a Dekker pair (both
+      // seq_cst), so a reader registering concurrently either sees this
+      // writer and takes the locked path, or its bit is visible to the
+      // sweep below.
+      e.writer.store(slot + 1, std::memory_order_seq_cst);
+      std::uint64_t others =
+          e.readers.load(std::memory_order_seq_cst) & ~bit_of_slot(slot);
       while (others != 0) {
         const unsigned r = static_cast<unsigned>(std::countr_zero(others));
         others &= others - 1;
         if (try_doom(r, AbortCode::kConflict, line)) {
-          e->readers &= ~bit_of_slot(r);
+          e.readers.fetch_and(~bit_of_slot(r), std::memory_order_acq_rel);
         }
         // A reader whose commit has latched is serialized before this
         // write; it publishes nothing for this line, so we may proceed.
       }
-      e->writer = slot + 1;
     }
   }
   if (self_abort) throw TxAbort{AbortStatus{AbortCode::kConflict, 0, line}};
@@ -190,31 +292,28 @@ void HtmRuntime::register_write_line(unsigned slot, std::uint64_t line) {
 
 void HtmRuntime::unregister_lines(unsigned slot) {
   Slot& s = slots_[slot];
+  const std::uint64_t bit = bit_of_slot(slot);
   for (const std::uint64_t line : s.lines.touched()) {
     Bucket& b = bucket_of(line);
-    LockGuard<Spinlock> g(b.lock);
-    for (std::size_t i = 0; i < b.entries.size(); ++i) {
-      Entry& e = b.entries[i];
-      if (e.line != line) continue;
-      if (e.writer == slot + 1) e.writer = 0;
-      e.readers &= ~bit_of_slot(slot);
-      // Leave empty entries cached: hot lines (shared metadata, reused
-      // data) then re-register without vector churn — mirroring hardware,
-      // where touching a cache-resident line is nearly free. Oversized
-      // buckets are compacted to bound scan lengths.
-      break;
-    }
-    if (b.entries.size() > kBucketCompactLimit) {
-      std::size_t i = 0;
-      while (i < b.entries.size()) {
-        if (b.entries[i].writer == 0 && b.entries[i].readers == 0) {
-          b.entries[i] = b.entries.back();
-          b.entries.pop_back();
-        } else {
-          ++i;
-        }
+    if (!(s.lines.flags_of(line) & LineSet::kWrite)) {
+      // Read-only line: clear the reader bit lock-free. While our bit is
+      // set the entry cannot be retagged (retags require readers == 0), so
+      // the probe either finds the line's entry or the bit is already gone
+      // (cleared by a dooming writer after it doomed us).
+      std::uint32_t tag = 0;
+      if (MonEntry* e = probe_entry(b, line, tag)) {
+        e->readers.fetch_and(~bit, std::memory_order_acq_rel);
       }
+      continue;
     }
+    LockGuard<Spinlock> g(b.lock);
+    std::uint32_t tag = 0;
+    MonEntry* e = probe_entry(b, line, tag);
+    if (e == nullptr) continue;
+    if (e->writer.load(std::memory_order_acquire) == slot + 1) {
+      e->writer.store(0, std::memory_order_release);
+    }
+    e->readers.fetch_and(~bit, std::memory_order_acq_rel);
   }
 }
 
@@ -304,20 +403,16 @@ void HtmRuntime::invalidate_line(std::uint64_t line, bool is_write) {
     {
       Bucket& b = bucket_of(line);
       LockGuard<Spinlock> g(b.lock);
-      Entry* found = nullptr;
-      for (auto& e : b.entries) {
-        if (e.line == line) {
-          found = &e;
-          break;
-        }
-      }
+      std::uint32_t tag = 0;
+      MonEntry* found = probe_entry(b, line, tag);
       if (found == nullptr) return;
-      Entry& e = *found;
-      if (e.writer != 0) {
+      MonEntry& e = *found;
+      const std::uint32_t w = e.writer.load(std::memory_order_acquire);
+      if (w != 0) {
         // Non-transactional access to a line in a transaction's write set
         // aborts the transaction (TSX strong atomicity).
-        if (try_doom(e.writer - 1, AbortCode::kConflict, line)) {
-          e.writer = 0;
+        if (try_doom(w - 1, AbortCode::kConflict, line)) {
+          e.writer.store(0, std::memory_order_release);
         } else {
           // The writer has latched its commit: its publication of this line
           // is in flight. Hardware commits are atomic, so *any* software
@@ -329,11 +424,13 @@ void HtmRuntime::invalidate_line(std::uint64_t line, bool is_write) {
         }
       }
       if (!writer_committing && is_write) {
-        std::uint64_t readers = e.readers;
+        std::uint64_t readers = e.readers.load(std::memory_order_seq_cst);
         while (readers != 0) {
           const unsigned r = static_cast<unsigned>(std::countr_zero(readers));
           readers &= readers - 1;
-          if (try_doom(r, AbortCode::kConflict, line)) e.readers &= ~bit_of_slot(r);
+          if (try_doom(r, AbortCode::kConflict, line)) {
+            e.readers.fetch_and(~bit_of_slot(r), std::memory_order_acq_rel);
+          }
         }
       }
     }

@@ -128,19 +128,37 @@ class HtmRuntime {
  private:
   friend class HtmOps;
 
-  struct Entry {
-    std::uint64_t line;
-    std::uint32_t writer;   // slot + 1; 0 = none
-    std::uint64_t readers;  // bitmap over slots
+  /// One monitored cache line. The entry's *identity* (`line`) is published
+  /// through `tag`, a seqlock: 0 = never claimed, odd = claim/retag in
+  /// flight (bucket lock held), even >= 2 = stable. Readers register on the
+  /// reader bitmap lock-free (fetch_or) after validating the identity and
+  /// revalidate `tag` afterwards; every identity change and every writer
+  /// mutation holds the bucket lock. Cache-line aligned: entries are
+  /// RMW-shared across threads and must not false-share (lint R2).
+  struct alignas(kCacheLineBytes) MonEntry {
+    std::atomic<std::uint32_t> tag{0};
+    std::atomic<std::uint32_t> writer{0};   // slot + 1; 0 = none
+    std::atomic<std::uint64_t> line{0};
+    std::atomic<std::uint64_t> readers{0};  // bitmap over slots
+  };
+  /// Entry storage grows by chaining fixed chunks so entry addresses stay
+  /// stable for the runtime's lifetime — lock-free readers may hold an
+  /// entry pointer across a concurrent retag and rely on the tag seqlock,
+  /// never on deallocation order. Claimed entries form a prefix of the
+  /// chain (claims take the first unclaimed slot; retags reuse dead entries
+  /// in place), so scans stop at the first tag == 0.
+  struct alignas(kCacheLineBytes) MonChunk {
+    static constexpr unsigned kEntries = 4;
+    MonEntry entries[kEntries];
+    std::atomic<MonChunk*> next{nullptr};
   };
   struct alignas(kCacheLineBytes) Bucket {
     Spinlock lock;
-    std::vector<Entry> entries;
+    MonChunk head;
   };
 
   static constexpr unsigned kMaxSlots = 64;
   static constexpr unsigned kBucketCount = 4096;  // power of two
-  static constexpr std::size_t kBucketCompactLimit = 24;  // entries kept cached
 
   using BodyFn = void (*)(void*, HtmOps&);
   HtmResult attempt_impl(unsigned slot, BodyFn fn, void* ctx);
@@ -152,11 +170,25 @@ class HtmRuntime {
   void commit(unsigned slot);           // throws TxAbort if doomed
   void cleanup_aborted(unsigned slot);  // releases registrations after doom
 
-  // Monitor-table operations (called with no bucket lock held; they lock
-  // exactly one bucket internally). They throw TxAbort on self-abort.
+  // Monitor-table operations (called with no bucket lock held; read
+  // registration and read-only unregistration are lock-free in the common
+  // case, everything else locks exactly one bucket internally). They throw
+  // TxAbort on self-abort.
   void register_read_line(unsigned slot, std::uint64_t line);
   void register_write_line(unsigned slot, std::uint64_t line);
   void unregister_lines(unsigned slot);
+
+  /// Scan `b` for a stable entry monitoring `line`. Lock-free; returns
+  /// nullptr on miss or when the matching entry's identity is in flight.
+  /// On hit, `tag_out` holds the even tag the identity was validated under.
+  MonEntry* probe_entry(Bucket& b, std::uint64_t line,
+                        std::uint32_t& tag_out) noexcept;
+  /// Find the entry for `line`, claiming or retagging a slot (possibly in a
+  /// freshly chained chunk) if the line is not monitored. Bucket lock held.
+  MonEntry& locked_find_or_claim(Bucket& b, std::uint64_t line);
+  /// Lock-free read registration; true on success, false = take the locked
+  /// path (first touch, identity churn, or a conflicting writer to doom).
+  bool fast_register_read(unsigned slot, std::uint64_t line) noexcept;
 
   /// Doom `victim` with cause `code` on `line`. Returns false iff the victim
   /// has latched its commit and can no longer be doomed.

@@ -56,7 +56,15 @@ TEST(GlobalRing, RolloverDetected) {
   for (int i = 0; i < 6; ++i) ring.fill_slot(rt, ring.reserve(rt), empty);
   std::uint64_t start = 0;  // 6 commits > ring size 4: unvalidatable
   Signature rsig;
+  alignas(64) std::uint64_t obj[8];
+  rsig.add(&obj[0]);  // non-empty: the window must genuinely be scanned
   EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kRollover);
+  // An empty read signature is vacuously consistent with every entry, so
+  // the watermark advances past the rollover in O(1) instead of aborting.
+  start = 0;
+  Signature none;
+  EXPECT_EQ(ring.validate(rt, start, none), ValResult::kOk);
+  EXPECT_EQ(start, 6u);
 }
 
 TEST(GlobalRing, LimitBoundsValidationRange) {

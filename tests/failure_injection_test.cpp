@@ -129,10 +129,18 @@ TEST(FailureInjectionSim, EveryKnobProducesItsCause) {
     cfg.assoc_ways = 1;
     sim::HtmRuntime rt(cfg);
     sim::HtmRuntime::Thread th(rt);
-    auto* a = tm::TmHeap::instance().alloc_array<std::uint64_t>(64);
+    auto* a = tm::TmHeap::instance().alloc_array<std::uint64_t>(64 * 8);
+    // Two lines mapping to the same set of the 2-set model; set indexing
+    // hashes the line id, so find a colliding pair by hash.
+    std::uint64_t* same_set[2] = {a, nullptr};
+    for (unsigned i = 1; i < 64 && same_set[1] == nullptr; ++i)
+      if (phtm::hash_line(phtm::line_of(a + i * 8)) % cfg.assoc_sets ==
+          phtm::hash_line(phtm::line_of(a)) % cfg.assoc_sets)
+        same_set[1] = a + i * 8;
+    ASSERT_NE(same_set[1], nullptr);
     const auto r = rt.attempt(th, [&](sim::HtmOps& ops) {
-      ops.write(a, 1);
-      ops.write(a + 16, 1);  // same set of a 2-set model
+      ops.write(same_set[0], 1);
+      ops.write(same_set[1], 1);
     });
     EXPECT_EQ(r.abort.code, AbortCode::kCapacity);
   }

@@ -262,6 +262,68 @@ TEST(RaceStress, RingStmOverlappingWriteBacksStaySerialized) {
   });
 }
 
+/// Hammers the monitor table's lock-free read-registration fast path
+/// (fast_register_read: reader-bitmap fetch_or + writer check + identity-tag
+/// recheck) from several threads sharing the same lines, while one writer
+/// repeatedly claims them — read-read sharing must stay coherent with
+/// writer dooming even though readers take no bucket lock. Each reader also
+/// subscribes a rotating churn line so entries keep dying and bucket slots
+/// keep getting retagged for new lines underneath concurrent fast-path
+/// probes. Invariants:
+///  - a committed reader's snapshot of the shared lines is consistent (the
+///    writer stamps all of them in one transaction, so seeing a mix means a
+///    reader survived a write it should have been doomed by or vice versa);
+///  - every committed writer increment survives (a lost doom would let a
+///    stale writer publish over a newer value).
+TEST(RaceStress, LockFreeReadRegistrationVsWriterDooming) {
+  HtmConfig cfg = HtmConfig::testing();
+  cfg.seed = 23;
+  HtmRuntime rt(cfg);
+
+  constexpr unsigned kShared = 4;
+  alignas(64) static std::uint64_t shared_lines[kShared][8];
+  for (auto& l : shared_lines) l[0] = 0;
+  constexpr unsigned kChurn = 4096;  // distinct lines: forces entry retags
+  auto* churn = phtm::tm::TmHeap::instance().alloc_array<std::uint64_t>(kChurn * 8);
+
+  constexpr unsigned kThreads = 4;  // thread 0 writes, the rest read
+  std::uint64_t writer_commits = 0;
+  run_threads(kThreads, [&](unsigned tid) {
+    HtmRuntime::Thread th(rt);
+    if (tid == 0) {
+      std::uint64_t mine = 0;
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
+        const HtmResult r = rt.attempt(th, [&](HtmOps& ops) {
+          const std::uint64_t v = ops.read(&shared_lines[0][0]);
+          for (unsigned k = 0; k < kShared; ++k)
+            ops.write(&shared_lines[k][0], v + 1);
+        });
+        if (r.committed) ++mine;
+      }
+      writer_commits = mine;
+    } else {
+      for (unsigned i = 0; i < stress_rounds(); ++i) {
+        std::uint64_t snap[kShared];
+        const HtmResult r = rt.attempt(th, [&](HtmOps& ops) {
+          ops.subscribe(&churn[((i * (2 * tid + 1)) % kChurn) * 8]);
+          for (unsigned k = 0; k < kShared; ++k)
+            snap[k] = ops.read(&shared_lines[k][0]);
+        });
+        if (r.committed) {
+          for (unsigned k = 1; k < kShared; ++k)
+            EXPECT_EQ(snap[k], snap[0])
+                << "committed reader saw a torn multi-line write (round "
+                << i << ")";
+        }
+      }
+    }
+  });
+
+  for (unsigned k = 0; k < kShared; ++k)
+    EXPECT_EQ(rt.nontx_load(&shared_lines[k][0]), writer_commits)
+        << "a committed writer increment was lost on line " << k;
+}
+
 /// Validators must detect intersecting publications: with every writer
 /// publishing the same signature word a validator subscribed to, kOk may
 /// only be returned for an empty window.

@@ -1,6 +1,7 @@
 // Unit and property tests for the Bloom signatures (paper Sec. 5.1).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <memory>
 
@@ -11,8 +12,10 @@
 namespace phtm {
 namespace {
 
-TEST(Signature, LayoutIsFourCacheLines) {
-  EXPECT_EQ(sizeof(Signature), 256u);
+TEST(Signature, LayoutIsFourCacheLinesPlusOccupancy) {
+  // Four cache lines of filter (paper Sec. 5.1) plus one line holding the
+  // word-occupancy mask that makes the sparse fast paths possible.
+  EXPECT_EQ(sizeof(Signature), 320u);
   EXPECT_EQ(Signature::kBits, 2048u);
   EXPECT_EQ(Signature::kWords, 32u);
   auto sig = std::make_unique<Signature>();
@@ -78,9 +81,8 @@ TEST(Signature, AtomicOpsAreThreadSafe) {
     alignas(64) std::uint64_t dummy;
     (void)dummy;
     // Build a per-thread pattern that cannot alias across threads by
-    // construction: set bit (tid * 64 + k).
-    for (unsigned k = 0; k < 8; ++k)
-      mine.words()[tid] |= std::uint64_t{1} << (k * 7);
+    // construction: all bits live in word `tid`.
+    for (unsigned k = 0; k < 8; ++k) mine.set_bit(tid * 64 + k * 7);
     for (int round = 0; round < 1000; ++round) {
       shared.atomic_union_with(mine);
       shared.atomic_subtract(mine);
@@ -106,6 +108,154 @@ TEST(SignatureProperty, FalsePositiveRateNearAnalytic) {
   const double rate = static_cast<double>(fp) / kProbes;
   const double analytic = 1.0 - std::exp(-static_cast<double>(kInserted) / 2048.0);
   EXPECT_NEAR(rate, analytic, 0.02);
+}
+
+// Naive dense reference implementation: plain word array, no occupancy
+// tracking, every operation a full-width loop. The sparse implementation
+// must be observationally identical to it.
+struct RefSig {
+  std::uint64_t words[Signature::kWords]{};
+
+  void add(const void* addr) {
+    const unsigned b = Signature::bit_of(addr);
+    words[b / 64] |= std::uint64_t{1} << (b % 64);
+  }
+  void set_bit(unsigned b) { words[b / 64] |= std::uint64_t{1} << (b % 64); }
+  void clear() {
+    for (auto& w : words) w = 0;
+  }
+  void union_with(const RefSig& o) {
+    for (unsigned w = 0; w < Signature::kWords; ++w) words[w] |= o.words[w];
+  }
+  void subtract(const RefSig& o) {
+    for (unsigned w = 0; w < Signature::kWords; ++w) words[w] &= ~o.words[w];
+  }
+  bool intersects(const RefSig& o) const {
+    for (unsigned w = 0; w < Signature::kWords; ++w)
+      if (words[w] & o.words[w]) return true;
+    return false;
+  }
+  bool empty() const {
+    for (const auto w : words)
+      if (w != 0) return false;
+    return true;
+  }
+  unsigned popcount() const {
+    unsigned n = 0;
+    for (const auto w : words) n += static_cast<unsigned>(std::popcount(w));
+    return n;
+  }
+};
+
+// Property: a long randomized stream of mixed operations drives the sparse
+// signature and the dense reference in lockstep; after every operation the
+// words must match and the occupancy mask must honor its contract — always
+// sound (clear bit => zero word), and exact (set bit => nonzero word) until
+// an atomic_subtract leaves it a superset (cleared again by clear()).
+TEST(SignatureProperty, SparseMatchesDenseReferenceOverMixedOps) {
+  Rng rng(20260806);
+  constexpr int kOps = 1000000;
+  constexpr int kSigs = 4;
+  Signature sig[kSigs];
+  RefSig ref[kSigs];
+  bool exact[kSigs] = {true, true, true, true};
+
+  auto addr = [&]() {
+    // A modest pool of lines so signatures reach interesting densities.
+    return reinterpret_cast<const void*>(((rng.next() % 4096) + 1) << 6);
+  };
+  auto check = [&](int i, int op) {
+    const std::uint64_t occ = sig[i].occupancy();
+    for (unsigned w = 0; w < Signature::kWords; ++w) {
+      if (sig[i].words()[w] != ref[i].words[w]) {
+        FAIL() << "word mismatch: op " << op << " sig " << i << " word " << w;
+      }
+      const bool occ_bit = ((occ >> w) & 1) != 0;
+      if (!occ_bit && ref[i].words[w] != 0) {
+        FAIL() << "occupancy unsound: op " << op << " sig " << i << " word " << w;
+      }
+      if (exact[i] && occ_bit && ref[i].words[w] == 0) {
+        FAIL() << "occupancy not exact: op " << op << " sig " << i << " word " << w;
+      }
+    }
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int i = static_cast<int>(rng.next() % kSigs);
+    const int j = static_cast<int>(rng.next() % kSigs);
+    switch (rng.next() % 10) {
+      case 0: {
+        const void* a = addr();
+        sig[i].add(a);
+        ref[i].add(a);
+        break;
+      }
+      case 1: {
+        const unsigned b = static_cast<unsigned>(rng.next() % Signature::kBits);
+        sig[i].set_bit(b);
+        ref[i].set_bit(b);
+        break;
+      }
+      case 2:
+        sig[i].clear();
+        ref[i].clear();
+        exact[i] = true;
+        break;
+      case 3:
+        sig[i].union_with(sig[j]);
+        ref[i].union_with(ref[j]);
+        exact[i] = exact[i] && exact[j];
+        break;
+      case 4:
+        if (i != j) {
+          sig[i].subtract(sig[j]);
+          ref[i].subtract(ref[j]);
+        }
+        break;
+      case 5:
+        ASSERT_EQ(sig[i].intersects(sig[j]), ref[i].intersects(ref[j]))
+            << "op " << op;
+        break;
+      case 6:
+        ASSERT_EQ(sig[i].empty(), ref[i].empty()) << "op " << op;
+        ASSERT_EQ(sig[i].popcount(), ref[i].popcount()) << "op " << op;
+        break;
+      case 7: {
+        const void* a = addr();
+        const unsigned b = Signature::bit_of(a);
+        const bool expect =
+            (ref[i].words[b / 64] >> (b % 64)) & 1;
+        ASSERT_EQ(sig[i].maybe_contains(a), expect) << "op " << op;
+        break;
+      }
+      case 8: {
+        // Single-threaded, so the atomic variants must agree with the
+        // plain reference semantics; atomic_subtract leaves the occupancy
+        // a (documented) superset.
+        sig[i].atomic_union_with(sig[j]);
+        ref[i].union_with(ref[j]);
+        exact[i] = exact[i] && exact[j];
+        break;
+      }
+      case 9:
+        if (i != j) {
+          sig[i].atomic_subtract(sig[j]);
+          ref[i].subtract(ref[j]);
+          exact[i] = false;
+        }
+        break;
+    }
+    check(i, op);
+    if ((op & 0xffff) == 0) {
+      // Snapshots recompute an exact mask regardless of superset state.
+      const Signature snap = sig[i].atomic_snapshot();
+      const std::uint64_t socc = snap.occupancy();
+      for (unsigned w = 0; w < Signature::kWords; ++w) {
+        ASSERT_EQ(snap.words()[w], ref[i].words[w]);
+        ASSERT_EQ(((socc >> w) & 1) != 0, ref[i].words[w] != 0);
+      }
+    }
+  }
 }
 
 // Ablation sizes compile and behave.

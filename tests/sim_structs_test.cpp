@@ -123,15 +123,54 @@ TEST(WriteBuf, GrowKeepsAllCells) {
   }
 }
 
+// Line ids that land in `set` under the model's hashed indexing.
+std::vector<std::uint64_t> lines_in_set(unsigned sets, unsigned set,
+                                        unsigned count) {
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t line = 0; v.size() < count; ++line)
+    if (phtm::hash_line(line) % sets == set) v.push_back(line);
+  return v;
+}
+
 TEST(AssocModel, EvictsBeyondWays) {
+  constexpr unsigned kSets = 4, kWays = 2;
   AssocModel m;
-  m.configure(4, 2);
-  EXPECT_TRUE(m.add_written_line(0));
-  EXPECT_TRUE(m.add_written_line(4));   // same set (0 % 4)
-  EXPECT_FALSE(m.add_written_line(8));  // third way: eviction
-  EXPECT_TRUE(m.add_written_line(1));   // different set
+  m.configure(kSets, kWays);
+  const auto same_set = lines_in_set(kSets, 0, kWays + 1);
+  const auto other_set = lines_in_set(kSets, 1, 1);
+  EXPECT_TRUE(m.add_written_line(same_set[0]));
+  EXPECT_TRUE(m.add_written_line(same_set[1]));
+  EXPECT_FALSE(m.add_written_line(same_set[2]));  // third way: eviction
+  EXPECT_TRUE(m.add_written_line(other_set[0]));  // different set
   m.clear();
-  EXPECT_TRUE(m.add_written_line(8));
+  EXPECT_TRUE(m.add_written_line(same_set[2]));
+}
+
+// The ways+1'th write into one modeled set aborts even when the line ids are
+// a regular allocator stride: indexing hashes the line id first, so the
+// colliding lines are found by their hash, not by `line % sets` arithmetic.
+TEST(AssocModel, ModeledEvictionAtWaysPlusOneCollidingWrites) {
+  constexpr unsigned kSets = 64, kWays = 8;
+  AssocModel m;
+  m.configure(kSets, kWays);
+  const auto colliding = lines_in_set(kSets, 17, kWays + 1);
+  for (unsigned i = 0; i < kWays; ++i)
+    EXPECT_TRUE(m.add_written_line(colliding[i])) << "way " << i;
+  EXPECT_FALSE(m.add_written_line(colliding[kWays]));
+}
+
+// Conversely, a power-of-two allocation stride no longer aliases the whole
+// write set into one modeled set: under the old `line % sets` indexing every
+// one of these writes hit set 0 and the transaction aborted at ways+1 lines
+// regardless of the cache's true capacity.
+TEST(AssocModel, HashedIndexingDecouplesStrideFromSets) {
+  constexpr unsigned kSets = 64, kWays = 2;
+  AssocModel m;
+  m.configure(kSets, kWays);
+  unsigned ok = 0;
+  for (std::uint64_t i = 0; i < 16; ++i)
+    ok += m.add_written_line(i * kSets) ? 1u : 0u;
+  EXPECT_GT(ok, kWays);  // strided writes spread across sets
 }
 
 }  // namespace

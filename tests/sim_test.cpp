@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "sim/runtime.hpp"
 #include "tm/heap.hpp"
@@ -88,11 +89,15 @@ TEST(Sim, AssociativityEvictionAborts) {
   HtmRuntime rt(cfg);
   HtmRuntime::Thread th(rt);
   auto* arr = fresh_words(8 * 64);
-  // Three lines mapping to the same set (stride = sets * line).
+  // Three lines mapping to the same modeled set. Set indexing hashes the
+  // line id, so collisions are found by hash rather than address stride.
+  std::vector<std::uint64_t*> same_set;
+  for (unsigned i = 0; i < 64 && same_set.size() < 3; ++i)
+    if (phtm::hash_line(line_of(arr + i * 8)) % cfg.assoc_sets == 0)
+      same_set.push_back(arr + i * 8);
+  ASSERT_EQ(same_set.size(), 3u);
   const auto r = rt.attempt(th, [&](HtmOps& ops) {
-    ops.write(arr + 0 * 4 * 8, 1);
-    ops.write(arr + 1 * 4 * 8, 1);
-    ops.write(arr + 2 * 4 * 8, 1);
+    for (auto* p : same_set) ops.write(p, 1);
   });
   EXPECT_FALSE(r.committed);
   EXPECT_EQ(r.abort.code, AbortCode::kCapacity);

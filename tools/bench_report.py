@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and fold the results into a schema-stable JSON
+report (BENCH_<label>.json).
+
+Two result sources are combined:
+
+  * bench_hotpath — a google-benchmark binary; run with --benchmark_out and
+    the per-benchmark ns/op numbers are lifted from its JSON report.
+  * the per-figure binaries (bench_fig3_nrw, ...) — print paper-shaped
+    series tables and, when PHTM_BENCH_JSON is set, append each series as a
+    JSON line; this script sets that knob and folds the lines in.
+
+The output schema is intentionally flat and stable so successive reports
+diff cleanly::
+
+    {
+      "schema": 1,
+      "label": "...",            # from --label
+      "commit": "...",           # git rev-parse HEAD (or "unknown")
+      "config": {"build_type": ..., "quick": ..., "max_threads": ...},
+      "hotpath": {"BM_SigIntersectsMiss/4": {"ns_per_op": 0.52}, ...},
+      "figures": [{"figure": ..., "metric": ..., "algo": ...,
+                   "series": {"1": ..., "2": ...}}, ...]
+    }
+
+Typical use (see EXPERIMENTS.md):
+
+    tools/bench_report.py --label my-machine --build-dir build --out BENCH_my-machine.json
+    tools/bench_report.py --label ci-smoke --quick ...   # fast smoke numbers
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HOTPATH_BIN = "bench_hotpath"
+# Figure binaries folded into the report. Keep in sync with bench/CMakeLists.
+FIGURE_BINS = [
+    "bench_fig3_nrw",
+    "bench_fig4_list",
+    "bench_fig5_stamp",
+    "bench_fig6_eigen",
+]
+
+
+def run(cmd, env, what):
+    print(f"bench_report: running {what}: {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd, env=env)
+    if proc.returncode != 0:
+        sys.exit(f"bench_report: {what} failed with exit code {proc.returncode}")
+
+
+def git_commit(root):
+    try:
+        out = subprocess.run(
+            ["git", "-C", root, "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True)
+        head = out.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "-C", root, "status", "--porcelain"],
+            capture_output=True, text=True, check=True)
+        return head + "-dirty" if dirty.stdout.strip() else head
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build_type(build_dir):
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    try:
+        with open(cache, encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("CMAKE_BUILD_TYPE:"):
+                    val = line.split("=", 1)[1].strip()
+                    # Empty cache entry: the top-level CMakeLists defaulted
+                    # the (non-cache) variable to RelWithDebInfo.
+                    return val or "RelWithDebInfo"
+    except OSError:
+        pass
+    return "unknown"
+
+
+def collect_hotpath(bench_dir, env, min_time):
+    binary = os.path.join(bench_dir, HOTPATH_BIN)
+    if not os.path.exists(binary):
+        sys.exit(f"bench_report: {binary} not found (build the bench targets first)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        run([binary, f"--benchmark_out={out_path}", "--benchmark_out_format=json",
+             f"--benchmark_min_time={min_time}"], env, HOTPATH_BIN)
+        with open(out_path, encoding="utf-8") as f:
+            report = json.load(f)
+    finally:
+        os.unlink(out_path)
+    hotpath = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        ns = b["real_time"] if b.get("time_unit") == "ns" else None
+        entry = {"ns_per_op": ns}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        hotpath[b["name"]] = entry
+    return hotpath
+
+
+def collect_figures(bench_dir, env):
+    figures = []
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as tmp:
+        series_path = tmp.name
+    env = dict(env, PHTM_BENCH_JSON=series_path)
+    try:
+        for name in FIGURE_BINS:
+            binary = os.path.join(bench_dir, name)
+            if not os.path.exists(binary):
+                print(f"bench_report: skipping {name} (not built)", flush=True)
+                continue
+            run([binary], env, name)
+        with open(series_path, encoding="utf-8") as f:
+            for ln, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    figures.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    sys.exit(f"bench_report: bad series line {ln}: {e}")
+    finally:
+        os.unlink(series_path)
+    return figures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--label", required=True,
+                    help="report label; output defaults to BENCH_<label>.json")
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory holding bench/ binaries")
+    ap.add_argument("--out", default=None, help="output path")
+    ap.add_argument("--quick", action="store_true",
+                    help="fast smoke numbers (PHTM_QUICK=1, short min_time)")
+    ap.add_argument("--max-threads", type=int, default=None,
+                    help="cap the figure benches' thread sweep")
+    ap.add_argument("--skip-figures", action="store_true",
+                    help="hotpath micro-benchmarks only")
+    args = ap.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bench_dir = os.path.join(args.build_dir, "bench")
+    out_path = args.out or f"BENCH_{args.label}.json"
+
+    env = dict(os.environ)
+    if args.quick:
+        env["PHTM_QUICK"] = "1"
+    if args.max_threads is not None:
+        env["PHTM_MAX_THREADS"] = str(args.max_threads)
+
+    report = {
+        "schema": 1,
+        "label": args.label,
+        "commit": git_commit(root),
+        "config": {
+            "build_type": build_type(args.build_dir),
+            "quick": bool(args.quick),
+            "max_threads": args.max_threads,
+        },
+        "hotpath": collect_hotpath(bench_dir, env,
+                                   "0.02" if args.quick else "0.2"),
+        "figures": [] if args.skip_figures
+                   else collect_figures(bench_dir, env),
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_report: wrote {out_path}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,19 @@ R6  annotation/instrumentation discipline (all of src/, excluding the
        only switches threads at these markers, so an unjustified marker is
        an unreviewed hole (or an unreviewed blind spot) in the explored
        interleaving space.
+    c) Happens-before annotations must name an edge from the reviewed
+       inventory (KNOWN_HB_EDGE_TAILS).  The annotations tell TSan (and the
+       reader) about synchronization the memory model cannot see; each such
+       edge is an argued exception documented in DESIGN.md, so a new tail
+       is a new correctness argument — add it to the inventory alongside
+       that write-up, don't just annotate.
+    d) Some fields must never carry HB annotations or MC markers
+       (ANNOTATION_FORBIDDEN_TAILS): the monitor table's seqlock-guarded
+       entry fields (tag/readers/writer) are natively std::atomic with
+       load-bearing orderings — an annotation there would paper over a
+       missing ordering instead of surfacing it — and the ring-validation
+       watermark (validated_ts) is owner-private, so an annotation would
+       invent a cross-thread edge where none exists.
 
 Exit status: 0 clean, 1 violations (one line each on stdout), 2 usage error.
 """
@@ -81,13 +94,34 @@ PROTOCOL_HEADER_DIRS = ("src/core", "src/stm", "src/sim", "src/sig")
 R6_EXEMPT_FILES = ("src/util/annotations.hpp", "src/util/mc_hooks.hpp")
 R6_EXEMPT_DIRS = ("src/mc",)
 
+# R6c: the reviewed happens-before edge inventory. Keys are the pairing
+# tails (trailing member of the annotated address); values say which
+# DESIGN.md-documented edge the annotation encodes.
+KNOWN_HB_EDGE_TAILS = {
+    "doom": "doom-latch edge: doomer's store vs. the doomed owner's cleanup",
+    "seq": "ring-slot seqlock: publisher's closing seq store vs. a "
+           "validator's recheck",
+}
+
+# R6d: fields that must never be annotated or marked, with the reason.
+ANNOTATION_FORBIDDEN_TAILS = {
+    "tag": "monitor-entry identity seqlock word — natively std::atomic; fix "
+           "the ordering, don't annotate over it",
+    "readers": "monitor-entry reader bitmap — natively std::atomic; fix the "
+               "ordering, don't annotate over it",
+    "writer": "monitor-entry writer slot — natively std::atomic; fix the "
+              "ordering, don't annotate over it",
+    "validated_ts": "owner-private ring-validation watermark — no "
+                    "cross-thread edge exists to annotate",
+}
+
 RAW_ATOMIC_RE = re.compile(r"\b__atomic_\w+")
 ATOMIC_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:alignas\([^)]*\)\s+)?(?:Padded<\s*)?std::atomic<")
 RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
 MUTEX_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|shared_mutex)>')
 HB_ANNOT_RE = re.compile(r"\bPHTM_ANNOTATE_HAPPENS_(BEFORE|AFTER)\s*\(([^()]*)\)")
-MC_MARKER_RE = re.compile(r"\bPHTM_MC_(?:YIELD|SPIN)\s*\(")
+MC_MARKER_RE = re.compile(r"\bPHTM_MC_(?:YIELD|SPIN)\s*\(([^()]*)\)")
 # Trailing identifier of an address expression: the pairing key for R6a.
 ADDR_TAIL_RE = re.compile(r"(\w+)\W*$")
 STRUCT_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?(struct|class)\s+"
@@ -205,15 +239,31 @@ class Linter:
                     self.err(path, i + 1, "R6",
                              f"HAPPENS_{m.group(1)} with no identifiable "
                              "address expression")
+                elif tail.group(1) in ANNOTATION_FORBIDDEN_TAILS:
+                    self.err(path, i + 1, "R6",
+                             f"HAPPENS_{m.group(1)} on '...{tail.group(1)}': "
+                             f"{ANNOTATION_FORBIDDEN_TAILS[tail.group(1)]}")
+                elif tail.group(1) not in KNOWN_HB_EDGE_TAILS:
+                    self.err(path, i + 1, "R6",
+                             f"HAPPENS_{m.group(1)} on '...{tail.group(1)}' is "
+                             "not in the reviewed edge inventory "
+                             "(KNOWN_HB_EDGE_TAILS); document the new edge in "
+                             "DESIGN.md and add it there")
                 else:
                     self.hb_annotations.append(
                         (m.group(1), tail.group(1), path, i + 1))
-            if MC_MARKER_RE.search(code) and not has_marker(
-                    lines, i, "mc-yield:"):
-                self.err(path, i + 1, "R6",
-                         "PHTM_MC yield/spin marker without an '// mc-yield:' "
-                         "justification — every scheduling decision point "
-                         "must say why it is one")
+            mc = MC_MARKER_RE.search(code)
+            if mc:
+                if not has_marker(lines, i, "mc-yield:"):
+                    self.err(path, i + 1, "R6",
+                             "PHTM_MC yield/spin marker without an "
+                             "'// mc-yield:' justification — every scheduling "
+                             "decision point must say why it is one")
+                mc_tail = ADDR_TAIL_RE.search(mc.group(1))
+                if mc_tail and mc_tail.group(1) in ANNOTATION_FORBIDDEN_TAILS:
+                    self.err(path, i + 1, "R6",
+                             f"MC marker on '...{mc_tail.group(1)}': "
+                             f"{ANNOTATION_FORBIDDEN_TAILS[mc_tail.group(1)]}")
 
     def check_annotation_pairing(self) -> None:
         tails = {"BEFORE": {}, "AFTER": {}}

@@ -122,6 +122,56 @@ class R6AnnotationPairing(unittest.TestCase):
         self.assertIn("R6", rules_of(errs))
 
 
+class R6EdgeInventory(unittest.TestCase):
+    def test_known_edge_pair_clean(self):
+        errs = run_lint({
+            "src/sim/x.cpp": "PHTM_ANNOTATE_HAPPENS_BEFORE(&s.seq);\n"
+                             "PHTM_ANNOTATE_HAPPENS_AFTER(&s.seq);\n"})
+        self.assertEqual(errs, [])
+
+    def test_unknown_edge_tail_flagged(self):
+        # Even a correctly paired annotation is rejected when the edge is
+        # not in the reviewed inventory.
+        errs = run_lint({
+            "src/sim/x.cpp": "PHTM_ANNOTATE_HAPPENS_BEFORE(&s.latch);\n"
+                             "PHTM_ANNOTATE_HAPPENS_AFTER(&s.latch);\n"})
+        self.assertIn("R6", rules_of(errs))
+        self.assertTrue(any("inventory" in e for e in errs))
+
+
+class R6ForbiddenFields(unittest.TestCase):
+    def test_annotation_on_seqlock_guarded_entry_field_flagged(self):
+        for field in ("tag", "readers", "writer"):
+            errs = run_lint({
+                "src/sim/x.cpp":
+                    f"PHTM_ANNOTATE_HAPPENS_BEFORE(&e.{field});\n"
+                    f"PHTM_ANNOTATE_HAPPENS_AFTER(&e.{field});\n"})
+            self.assertIn("R6", rules_of(errs), field)
+            self.assertTrue(any("std::atomic" in e for e in errs), field)
+
+    def test_annotation_on_private_watermark_flagged(self):
+        errs = run_lint({
+            "src/core/x.cpp":
+                "PHTM_ANNOTATE_HAPPENS_BEFORE(&w.validated_ts);\n"
+                "PHTM_ANNOTATE_HAPPENS_AFTER(&w.validated_ts);\n"})
+        self.assertIn("R6", rules_of(errs))
+        self.assertTrue(any("owner-private" in e for e in errs))
+
+    def test_mc_marker_on_forbidden_field_flagged_despite_justification(self):
+        errs = run_lint({
+            "src/sim/x.cpp":
+                "// mc-yield: plausible-sounding but wrong\n"
+                "PHTM_MC_YIELD(kNtLoad, &e.readers);\n"})
+        self.assertIn("R6", rules_of(errs))
+
+    def test_mc_marker_on_ordinary_address_clean(self):
+        errs = run_lint({
+            "src/sim/x.cpp":
+                "// mc-yield: strong-atomicity load is a decision point\n"
+                "PHTM_MC_YIELD(kNtLoad, addr);\n"})
+        self.assertEqual(errs, [])
+
+
 class RealTreeIsClean(unittest.TestCase):
     def test_repository_lints_clean(self):
         root = Path(__file__).resolve().parent.parent
