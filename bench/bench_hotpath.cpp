@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/ring.hpp"
+#include "obs/trace.hpp"
 #include "sig/signature.hpp"
 #include "sim/config.hpp"
 #include "sim/runtime.hpp"
@@ -273,6 +274,36 @@ void BM_RingValidateEmptyRsig(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * window);
 }
 BENCHMARK(BM_RingValidateEmptyRsig)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Tracer emit cost (src/obs)
+// ---------------------------------------------------------------------------
+// The obs library is always compiled, so the per-event cost is measurable
+// from any build; what PHTM_TRACE gates is whether the protocol's macro
+// sites expand to these calls at all. OBSERVABILITY.md quotes these numbers
+// as the instrumented-build overhead bound per event.
+
+/// Direct ring store: clock read + record store + relaxed cursor bump.
+void BM_ObsEmit(benchmark::State& state) {
+  for (auto _ : state) {
+    phtm::obs::emit(phtm::obs::EventKind::kRingValidate, 0, 1, 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEmit);
+
+/// Deferred path the simulator uses inside a (simulated) hardware
+/// transaction: one event parked in the thread-local pending array by
+/// txn_enter()/txn_exit() and flushed to the ring on exit.
+void BM_ObsEmitDeferred(benchmark::State& state) {
+  for (auto _ : state) {
+    phtm::obs::txn_enter();
+    phtm::obs::emit(phtm::obs::EventKind::kRingValidate, 0, 1, 2);
+    phtm::obs::txn_exit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEmitDeferred);
 
 }  // namespace
 

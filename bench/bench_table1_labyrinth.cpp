@@ -13,6 +13,7 @@
 // aborts are conflicts, largely on metadata) and the global-lock path is
 // almost never taken — its share moves to the partitioned (SW) path.
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -44,6 +45,29 @@ void register_algo(tm::Algo algo) {
   })->Iterations(1)->Unit(benchmark::kMillisecond);
 }
 
+// In trace-enabled builds, register the run's aggregate StatSheet totals
+// with the tracer so the exported trace carries them: trace_view.py --check
+// cross-verifies the per-cause abort and per-path commit event counts
+// against these (exact when nothing was dropped). No-op otherwise.
+void register_trace_counters() {
+  StatSheet total;
+  for (const auto& row : g_rows) total += row.second.total;
+  PHTM_TRACE_META("stats_aborts_conflict",
+                  total.aborts[static_cast<unsigned>(AbortCause::kConflict)]);
+  PHTM_TRACE_META("stats_aborts_capacity",
+                  total.aborts[static_cast<unsigned>(AbortCause::kCapacity)]);
+  PHTM_TRACE_META("stats_aborts_explicit",
+                  total.aborts[static_cast<unsigned>(AbortCause::kExplicit)]);
+  PHTM_TRACE_META("stats_aborts_other",
+                  total.aborts[static_cast<unsigned>(AbortCause::kOther)]);
+  PHTM_TRACE_META("stats_commits_HTM",
+                  total.commits[static_cast<unsigned>(CommitPath::kHtm)]);
+  PHTM_TRACE_META("stats_commits_SW",
+                  total.commits[static_cast<unsigned>(CommitPath::kSoftware)]);
+  PHTM_TRACE_META("stats_commits_GL",
+                  total.commits[static_cast<unsigned>(CommitPath::kGlobalLock)]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,5 +80,6 @@ int main(int argc, char** argv) {
       "Table 1: Labyrinth abort causes & committed paths, 4 threads "
       "(A=HTM-GL, B=Part-HTM)",
       g_rows);
+  register_trace_counters();
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "stm/common.hpp"
 #include "tm/direct.hpp"
 #include "tm/heap.hpp"
@@ -339,6 +340,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     unsigned tries = 0;
     unsigned ts_restarts = 0;
     for (;;) {
+      PHTM_TRACE_SUB_BEGIN(seg);
       const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
         if (mode_ == Mode::kOpaque) {
           // Timestamp subscription (Fig. 2 lines 23-24): any global commit
@@ -354,13 +356,17 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
         ctx.commit_epilogue();
       });
       if (r.committed) {
-        ++w.stats().sub_htm_commits;
+        w.stats().add_sub_htm_commit();
+        PHTM_TRACE_SUB_COMMIT(seg);
         break;
       }
 
       // --- sub-HTM abort handling (Sec. 5.3.5 / Fig. 2 lines 36-39) ---
-      ++w.stats().sub_htm_aborts;
+      w.stats().add_sub_htm_abort();
       w.stats().record_abort(to_cause(r.abort));
+      PHTM_TRACE_SUB_ABORT(seg, to_cause(r.abort));
+      PHTM_TRACE_TX_ABORT(to_cause(r.abort), r.abort.xabort_code,
+                          r.abort.conflict_line);
       w.seg_snap.restore(txn);
       w.undo.discard_staged();
 
@@ -382,10 +388,11 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
       if (ts_changed) {
         // PART-HTM-O: a global transaction committed; re-validate and, if
         // the snapshot still holds, restart only the sub-HTM transaction.
-        ++w.stats().validations;
+        w.stats().add_validation();
         const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
+        PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
         if (v != ValResult::kOk) {
-          if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+          if (v == ValResult::kRollover) w.stats().add_ring_rollover();
           global_abort(w);
           return POutcome::kAborted;
         }
@@ -413,10 +420,11 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     w.agg_sig.union_with(w.write_sig);
     w.write_sig.clear();
     if (cfg_.validate_after_each_sub || mode_ == Mode::kOpaque) {
-      ++w.stats().validations;
+      w.stats().add_validation();
       const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
+      PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
       if (v != ValResult::kOk) {
-        if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+        if (v == ValResult::kRollover) w.stats().add_ring_rollover();
         global_abort(w);
         return POutcome::kAborted;
       }
@@ -429,6 +437,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   if (!w.wrote) {
     dec_active();
     w.stats().record_commit(CommitPath::kSoftware);
+    PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
     return POutcome::kCommitted;
   }
   // Ring publication exists for *other* partitioned transactions to
@@ -438,10 +447,11 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   // already published), so reserving a slot would be dead weight.
   const bool solo = rt_.nontx_load(&active_tx_.value) == 1;
   if (solo) {
-    ++w.stats().validations;
+    w.stats().add_validation();
     const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
+    PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
     if (v != ValResult::kOk) {
-      if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+      if (v == ValResult::kRollover) w.stats().add_ring_rollover();
       global_abort(w);
       return POutcome::kAborted;
     }
@@ -450,6 +460,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     w.agg_sig.clear();
     dec_active();
     w.stats().record_commit(CommitPath::kSoftware);
+    PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
     return POutcome::kCommitted;
   }
   const std::uint64_t ts = ring_.reserve(rt_);
@@ -459,12 +470,14 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   // exactly (see DESIGN.md) at the cost the paper already accounts to the
   // in-flight mechanism. A failed commit still fills its slot (with an
   // empty signature) so validators never stall on it.
-  ++w.stats().validations;
+  w.stats().add_validation();
   const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig, ts - 1);
+  PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
   static const Signature kEmpty{};
   ring_.fill_slot(rt_, ts, v == ValResult::kOk ? w.agg_sig : kEmpty);
+  PHTM_TRACE_RING_PUBLISH(ts, w.agg_sig.popcount());
   if (v != ValResult::kOk) {
-    if (v == ValResult::kRollover) ++w.stats().ring_rollovers;
+    if (v == ValResult::kRollover) w.stats().add_ring_rollover();
     global_abort(w);
     return POutcome::kAborted;
   }
@@ -473,6 +486,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   w.agg_sig.clear();
   dec_active();
   w.stats().record_commit(CommitPath::kSoftware);
+  PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
   return POutcome::kCommitted;
 }
 
@@ -505,7 +519,8 @@ void PartHtmBackend::global_abort(W& w) {
   w.write_sig.clear();
   w.agg_sig.clear();
   w.undo.clear();
-  ++w.stats().global_aborts;
+  w.stats().add_global_abort();
+  PHTM_TRACE_GLOBAL_ABORT();
   dec_active();
 }
 
@@ -513,6 +528,7 @@ void PartHtmBackend::slow_path(W& w, const tm::Txn& txn) {
   // Fig. 1 lines 61-65: acquire the global lock (aborting every hardware
   // subscriber via strong atomicity), wait out the partitioned population,
   // then run uninstrumented.
+  PHTM_TRACE_PATH(CommitPath::kGlobalLock);
   while (!rt_.nontx_cas(&glock_.value, 0, 1)) {
     // mc-yield: lost the glock race; only the holder's release unblocks us.
     PHTM_MC_SPIN(&glock_.value);
@@ -528,10 +544,12 @@ void PartHtmBackend::slow_path(W& w, const tm::Txn& txn) {
   tm::run_all_segments(ctx, txn);
   rt_.nontx_store(&glock_.value, 0);
   w.stats().record_commit(CommitPath::kGlobalLock);
+  PHTM_TRACE_TX_COMMIT(CommitPath::kGlobalLock);
 }
 
 void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
   W& w = static_cast<W&>(wb);
+  PHTM_TRACE_TX_BEGIN();
   if (txn.irrevocable) {
     slow_path(w, txn);
     return;
@@ -541,6 +559,7 @@ void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
   if (!no_fast_) {
     bool resource_failure = false;
     Backoff backoff;
+    PHTM_TRACE_PATH(CommitPath::kHtm);
     for (unsigned a = 0; a < cfg_.htm_retries; ++a) {
       while (rt_.nontx_load(&glock_.value) != 0) {
         // mc-yield: lemming guard — waiting for a slow-path release.
@@ -550,9 +569,11 @@ void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
       sim::AbortStatus st;
       if (fast_once(w, txn, st)) {
         w.stats().record_commit(CommitPath::kHtm);
+        PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);
         return;
       }
       w.stats().record_abort(to_cause(st));
+      PHTM_TRACE_TX_ABORT(to_cause(st), st.xabort_code, st.conflict_line);
       w.txn_snap.restore(txn);
       // Resource failure: partitioning is the remedy — stop burning fast
       // attempts (Sec. 4, "Partitioned Path").
@@ -572,6 +593,7 @@ void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
   }
 
   Backoff backoff;
+  PHTM_TRACE_PATH(CommitPath::kSoftware);
   for (unsigned g = 0; g < cfg_.partitioned_retries; ++g) {
     if (partitioned_once(w, txn) == POutcome::kCommitted) return;
     w.txn_snap.restore(txn);

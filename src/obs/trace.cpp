@@ -1,0 +1,559 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "util/spinlock.hpp"
+#include "util/stats.hpp"
+
+namespace phtm::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+constexpr std::size_t kMinCapacity = std::size_t{1} << 10;
+constexpr std::size_t kMaxCapacity = std::size_t{1} << 24;
+
+/// In-txn pending array size. Per hardware transaction only monitor-table
+/// dooms defer (≤ one successful doom per victim slot per attempt, 64
+/// slots); the bound is generous and overflow is *accounted*, not silent.
+constexpr unsigned kPendingCap = 128;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t round_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::size_t capacity_from_env() {
+  const char* s = std::getenv("PHTM_TRACE_BUF");
+  if (s == nullptr || *s == '\0') return kDefaultCapacity;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return kDefaultCapacity;
+  std::size_t cap = round_pow2(static_cast<std::size_t>(v));
+  if (cap < kMinCapacity) cap = kMinCapacity;
+  if (cap > kMaxCapacity) cap = kMaxCapacity;
+  return cap;
+}
+
+/// Process-wide registry. Owns every thread's buffer (buffers outlive their
+/// threads so post-join drains see everything); registration is the only
+/// locked operation on the emission side and happens once per thread.
+struct Registry {
+  Spinlock lock;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::map<std::string, std::uint64_t> meta_counters;
+  std::size_t capacity = capacity_from_env();
+  unsigned next_tid = 0;
+  bool atexit_registered = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Per-thread emission state. The buffer pointer is owned by the registry;
+/// pending[] holds events deferred while inside a simulated hardware
+/// transaction (see trace.hpp file comment).
+struct TlsState {
+  TraceBuffer* buf = nullptr;
+  std::uint32_t txn = 0;
+  bool in_txn = false;
+  unsigned npending = 0;
+  Event pending[kPendingCap];
+};
+
+thread_local TlsState g_tls;
+
+void atexit_finalize() { finalize_from_env(); }
+
+TraceBuffer* acquire_buffer() {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.lock);
+  r.buffers.push_back(
+      std::make_unique<TraceBuffer>(r.next_tid++, r.capacity));
+  if (!r.atexit_registered) {
+    r.atexit_registered = true;
+    std::atexit(atexit_finalize);
+  }
+  return r.buffers.back().get();
+}
+
+TlsState& tls() {
+  TlsState& t = g_tls;
+  if (t.buf == nullptr) t.buf = acquire_buffer();
+  return t;
+}
+
+}  // namespace
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kTxBegin: return "tx_begin";
+    case EventKind::kTxCommit: return "tx_commit";
+    case EventKind::kTxAbort: return "tx_abort";
+    case EventKind::kPathEnter: return "path_enter";
+    case EventKind::kSubBegin: return "sub_begin";
+    case EventKind::kSubCommit: return "sub_commit";
+    case EventKind::kSubAbort: return "sub_abort";
+    case EventKind::kRingPublish: return "ring_publish";
+    case EventKind::kRingValidate: return "ring_validate";
+    case EventKind::kDoom: return "doom";
+    case EventKind::kGlobalAbort: return "global_abort";
+    default: return "?";
+  }
+}
+
+TraceBuffer::TraceBuffer(unsigned tid, std::size_t capacity)
+    : ring_(round_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(ring_.size() - 1),
+      tid_(tid) {}
+
+std::vector<Event> TraceBuffer::snapshot_events() const {
+  // relaxed: quiescent read — the owner is joined (or is the caller), so
+  // the join/program edge already ordered every record store before us.
+  const std::uint64_t c = cursor_.load(std::memory_order_relaxed);
+  const std::uint64_t n = c < capacity() ? c : capacity();
+  const std::uint64_t first = c - n;
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::uint64_t i = first; i < c; ++i) out.push_back(ring_[i & mask_]);
+  return out;
+}
+
+void TraceBuffer::reset() noexcept {
+  // relaxed: quiescent (see snapshot_events).
+  cursor_.store(0, std::memory_order_relaxed);
+  pending_drops_.store(0, std::memory_order_relaxed);
+}
+
+void emit(EventKind kind, std::uint8_t aux, std::uint64_t a0,
+          std::uint64_t a1) noexcept {
+  TlsState& t = tls();
+  Event e;
+  e.ns = now_ns();
+  e.a0 = a0;
+  e.a1 = a1;
+  e.txn = t.txn;
+  e.kind = kind;
+  e.aux = aux;
+  e.pad = 0;
+  if (t.in_txn) {
+    if (t.npending < kPendingCap) {
+      t.pending[t.npending++] = e;
+    } else {
+      t.buf->count_pending_drop();
+    }
+    return;
+  }
+  t.buf->push(e);
+}
+
+void tx_begin() noexcept {
+  TlsState& t = tls();
+  ++t.txn;
+  emit(EventKind::kTxBegin, 0, 0, 0);
+}
+
+void txn_enter() noexcept { tls().in_txn = true; }
+
+void txn_exit() noexcept {
+  TlsState& t = g_tls;
+  t.in_txn = false;
+  if (t.npending == 0) return;
+  // tls() not needed: pending is only non-empty if emit() ran, which
+  // registered the buffer.
+  for (unsigned i = 0; i < t.npending; ++i) t.buf->push(t.pending[i]);
+  t.npending = 0;
+}
+
+void set_meta(const char* key, std::uint64_t value) {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.lock);
+  r.meta_counters[key] = value;
+}
+
+std::map<std::string, std::uint64_t> meta() {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.lock);
+  return r.meta_counters;
+}
+
+Telemetry telemetry() {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.lock);
+  Telemetry t;
+  t.threads = static_cast<unsigned>(r.buffers.size());
+  for (const auto& b : r.buffers) {
+    t.emitted += b->emitted();
+    t.dropped += b->dropped();
+  }
+  return t;
+}
+
+std::vector<ThreadTrace> drain() {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.lock);
+  std::vector<ThreadTrace> out;
+  out.reserve(r.buffers.size());
+  for (const auto& b : r.buffers) {
+    ThreadTrace t;
+    t.tid = b->tid();
+    t.emitted = b->emitted();
+    t.dropped = b->dropped();
+    t.events = b->snapshot_events();
+    t.first_seq = t.emitted - t.events.size();
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.lock);
+  for (const auto& b : r.buffers) b->reset();
+  r.meta_counters.clear();
+}
+
+TraceSummary summarize(const std::vector<ThreadTrace>& traces) {
+  TraceSummary s;
+  s.threads = static_cast<unsigned>(traces.size());
+  for (const auto& t : traces) {
+    s.events += t.events.size();
+    s.dropped += t.dropped;
+    // Latency attribution: events are in per-thread emission order, so the
+    // last kTxBegin with a matching ordinal anchors commit/abort deltas.
+    // A begin lost to ring rollover simply yields no latency sample.
+    std::uint64_t begin_ns = 0;
+    std::uint32_t begin_txn = 0;
+    bool have_begin = false;
+    for (const Event& e : t.events) {
+      switch (e.kind) {
+        case EventKind::kTxBegin:
+          ++s.tx_begins;
+          begin_ns = e.ns;
+          begin_txn = e.txn;
+          have_begin = true;
+          break;
+        case EventKind::kTxCommit:
+          if (e.aux < 3) {
+            ++s.commits[e.aux];
+            if (have_begin && e.txn == begin_txn)
+              s.commit_latency_ns[e.aux].record(e.ns - begin_ns);
+          }
+          break;
+        case EventKind::kTxAbort:
+          if (e.aux < 4) {
+            ++s.aborts[e.aux];
+            if (have_begin && e.txn == begin_txn)
+              s.abort_latency_ns[e.aux].record(e.ns - begin_ns);
+          }
+          break;
+        case EventKind::kPathEnter:
+          if (e.aux < 3) ++s.path_enters[e.aux];
+          break;
+        case EventKind::kSubBegin: ++s.sub_begins; break;
+        case EventKind::kSubCommit: ++s.sub_commits; break;
+        case EventKind::kSubAbort: ++s.sub_aborts; break;
+        case EventKind::kRingPublish: ++s.ring_publishes; break;
+        case EventKind::kRingValidate:
+          if (e.aux < 3) ++s.ring_validates[e.aux];
+          break;
+        case EventKind::kDoom: ++s.dooms; break;
+        case EventKind::kGlobalAbort: ++s.global_aborts; break;
+        default: break;
+      }
+    }
+  }
+  return s;
+}
+
+namespace {
+
+const char* cause_name(std::uint8_t aux) noexcept {
+  return aux < 4 ? to_string(static_cast<AbortCause>(aux)) : "?";
+}
+
+const char* path_name(std::uint8_t aux) noexcept {
+  return aux < 3 ? to_string(static_cast<CommitPath>(aux)) : "?";
+}
+
+// kDoom's aux is a sim::AbortCode (kNone first), not an AbortCause —
+// mirror its value order without dragging sim headers into the tracer.
+const char* abort_code_name(std::uint8_t aux) noexcept {
+  switch (aux) {
+    case 0: return "none";
+    case 1: return "conflict";
+    case 2: return "capacity";
+    case 3: return "explicit";
+    case 4: return "other";
+    default: return "?";
+  }
+}
+
+const char* val_name(std::uint8_t aux) noexcept {
+  switch (aux) {
+    case 0: return "ok";
+    case 1: return "conflict";
+    case 2: return "rollover";
+    default: return "?";
+  }
+}
+
+double us_of(std::uint64_t ns, std::uint64_t base) noexcept {
+  return static_cast<double>(ns - base) / 1000.0;
+}
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ThreadTrace>& traces,
+                        const std::map<std::string, std::uint64_t>& meta_counters) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::uint64_t base = ~std::uint64_t{0};
+  std::uint64_t events = 0, dropped = 0;
+  for (const auto& t : traces) {
+    dropped += t.dropped;
+    events += t.events.size();
+    if (!t.events.empty() && t.events.front().ns < base)
+      base = t.events.front().ns;
+  }
+  if (base == ~std::uint64_t{0}) base = 0;
+
+  std::fputs("{\"traceEvents\":[\n", f);
+  std::fputs(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"phtm\"}}", f);
+  // Run-level metadata record: exact loss accounting plus whatever
+  // aggregate counters the run registered via PHTM_TRACE_META. Offline
+  // checkers (tools/trace_view.py --check) compare event counts against
+  // these; dropped==0 upgrades the comparison to exact equality.
+  std::fprintf(f,
+               ",\n{\"name\":\"phtm_meta\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
+               "\"tid\":0,\"ts\":0,\"args\":{\"events\":%llu,\"dropped\":%llu,"
+               "\"threads\":%u",
+               static_cast<unsigned long long>(events),
+               static_cast<unsigned long long>(dropped),
+               static_cast<unsigned>(traces.size()));
+  for (const auto& [k, v] : meta_counters)
+    std::fprintf(f, ",\"%s\":%llu", k.c_str(),
+                 static_cast<unsigned long long>(v));
+  std::fputs("}}", f);
+
+  for (const auto& t : traces) {
+    std::fprintf(f,
+                 ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                 "\"tid\":%u,\"args\":{\"name\":\"trace-%u\"}}",
+                 t.tid, t.tid);
+    std::uint64_t begin_ns = 0;
+    std::uint32_t begin_txn = 0;
+    bool have_begin = false;
+    for (const Event& e : t.events) {
+      switch (e.kind) {
+        case EventKind::kTxBegin:
+          begin_ns = e.ns;
+          begin_txn = e.txn;
+          have_begin = true;
+          break;
+        case EventKind::kTxCommit: {
+          // Transactions render as complete ("X") spans named by their
+          // commit path; a begin lost to rollover degrades to an instant.
+          if (have_begin && e.txn == begin_txn) {
+            std::fprintf(f,
+                         ",\n{\"name\":\"tx/%s\",\"ph\":\"X\",\"pid\":0,"
+                         "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                         "\"args\":{\"txn\":%u}}",
+                         path_name(e.aux), t.tid, us_of(begin_ns, base),
+                         static_cast<double>(e.ns - begin_ns) / 1000.0, e.txn);
+          } else {
+            std::fprintf(f,
+                         ",\n{\"name\":\"tx/%s\",\"ph\":\"i\",\"s\":\"t\","
+                         "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                         "\"args\":{\"txn\":%u}}",
+                         path_name(e.aux), t.tid, us_of(e.ns, base), e.txn);
+          }
+          break;
+        }
+        case EventKind::kTxAbort:
+          std::fprintf(f,
+                       ",\n{\"name\":\"abort/%s\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{\"txn\":%u,\"code\":%llu,\"line\":%llu}}",
+                       cause_name(e.aux), t.tid, us_of(e.ns, base), e.txn,
+                       static_cast<unsigned long long>(e.a0),
+                       static_cast<unsigned long long>(e.a1));
+          break;
+        case EventKind::kPathEnter:
+          std::fprintf(f,
+                       ",\n{\"name\":\"path/%s\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"args\":{\"txn\":%u}}",
+                       path_name(e.aux), t.tid, us_of(e.ns, base), e.txn);
+          break;
+        case EventKind::kSubBegin:
+        case EventKind::kSubCommit:
+        case EventKind::kSubAbort:
+          std::fprintf(f,
+                       ",\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{\"txn\":%u,\"seg\":%llu%s%s}}",
+                       to_string(e.kind), t.tid, us_of(e.ns, base), e.txn,
+                       static_cast<unsigned long long>(e.a0),
+                       e.kind == EventKind::kSubAbort ? ",\"cause\":\"" : "",
+                       e.kind == EventKind::kSubAbort
+                           ? (std::string(cause_name(e.aux)) + "\"").c_str()
+                           : "");
+          break;
+        case EventKind::kRingPublish:
+          std::fprintf(f,
+                       ",\n{\"name\":\"ring/publish\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{\"txn\":%u,\"ring_ts\":%llu,\"sig_bits\":%llu}}",
+                       t.tid, us_of(e.ns, base), e.txn,
+                       static_cast<unsigned long long>(e.a0),
+                       static_cast<unsigned long long>(e.a1));
+          break;
+        case EventKind::kRingValidate:
+          std::fprintf(f,
+                       ",\n{\"name\":\"ring/validate/%s\",\"ph\":\"i\","
+                       "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{\"txn\":%u,\"watermark\":%llu}}",
+                       val_name(e.aux), t.tid, us_of(e.ns, base), e.txn,
+                       static_cast<unsigned long long>(e.a0));
+          break;
+        case EventKind::kDoom:
+          std::fprintf(f,
+                       ",\n{\"name\":\"doom/%s\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{\"txn\":%u,\"victim\":%llu,\"line\":%llu}}",
+                       abort_code_name(e.aux), t.tid, us_of(e.ns, base), e.txn,
+                       static_cast<unsigned long long>(e.a0),
+                       static_cast<unsigned long long>(e.a1));
+          break;
+        case EventKind::kGlobalAbort:
+          std::fprintf(f,
+                       ",\n{\"name\":\"global_abort\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"args\":{\"txn\":%u}}",
+                       t.tid, us_of(e.ns, base), e.txn);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+namespace {
+
+void write_hist(std::FILE* f, const Histogram& h) {
+  std::fprintf(f,
+               "{\"count\":%llu,\"mean\":%.1f,\"p50\":%llu,\"p95\":%llu,"
+               "\"p99\":%llu,\"max\":%llu}",
+               static_cast<unsigned long long>(h.count()), h.mean(),
+               static_cast<unsigned long long>(h.quantile(0.50)),
+               static_cast<unsigned long long>(h.quantile(0.95)),
+               static_cast<unsigned long long>(h.quantile(0.99)),
+               static_cast<unsigned long long>(h.max()));
+}
+
+}  // namespace
+
+bool write_telemetry_json(const std::string& path, const TraceSummary& s,
+                          const std::map<std::string, std::uint64_t>& meta_counters) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": 1,\n"
+               "  \"events\": %llu,\n"
+               "  \"dropped\": %llu,\n"
+               "  \"threads\": %u,\n"
+               "  \"tx_begins\": %llu,\n",
+               static_cast<unsigned long long>(s.events),
+               static_cast<unsigned long long>(s.dropped), s.threads,
+               static_cast<unsigned long long>(s.tx_begins));
+  std::fputs("  \"aborts\": {", f);
+  for (unsigned i = 0; i < 4; ++i)
+    std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
+                 to_string(static_cast<AbortCause>(i)),
+                 static_cast<unsigned long long>(s.aborts[i]));
+  std::fputs("},\n  \"commits\": {", f);
+  for (unsigned i = 0; i < 3; ++i)
+    std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
+                 to_string(static_cast<CommitPath>(i)),
+                 static_cast<unsigned long long>(s.commits[i]));
+  std::fputs("},\n  \"path_enters\": {", f);
+  for (unsigned i = 0; i < 3; ++i)
+    std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
+                 to_string(static_cast<CommitPath>(i)),
+                 static_cast<unsigned long long>(s.path_enters[i]));
+  std::fprintf(f,
+               "},\n"
+               "  \"sub_htm\": {\"begins\": %llu, \"commits\": %llu, "
+               "\"aborts\": %llu},\n"
+               "  \"ring\": {\"publishes\": %llu, \"validates_ok\": %llu, "
+               "\"validates_conflict\": %llu, \"validates_rollover\": %llu},\n"
+               "  \"dooms\": %llu,\n"
+               "  \"global_aborts\": %llu,\n",
+               static_cast<unsigned long long>(s.sub_begins),
+               static_cast<unsigned long long>(s.sub_commits),
+               static_cast<unsigned long long>(s.sub_aborts),
+               static_cast<unsigned long long>(s.ring_publishes),
+               static_cast<unsigned long long>(s.ring_validates[0]),
+               static_cast<unsigned long long>(s.ring_validates[1]),
+               static_cast<unsigned long long>(s.ring_validates[2]),
+               static_cast<unsigned long long>(s.dooms),
+               static_cast<unsigned long long>(s.global_aborts));
+  std::fputs("  \"commit_latency_ns\": {", f);
+  for (unsigned i = 0; i < 3; ++i) {
+    std::fprintf(f, "%s\"%s\": ", i ? ", " : "",
+                 to_string(static_cast<CommitPath>(i)));
+    write_hist(f, s.commit_latency_ns[i]);
+  }
+  std::fputs("},\n  \"abort_latency_ns\": {", f);
+  for (unsigned i = 0; i < 4; ++i) {
+    std::fprintf(f, "%s\"%s\": ", i ? ", " : "",
+                 to_string(static_cast<AbortCause>(i)));
+    write_hist(f, s.abort_latency_ns[i]);
+  }
+  std::fputs("},\n  \"counters\": {", f);
+  bool first = true;
+  for (const auto& [k, v] : meta_counters) {
+    std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", k.c_str(),
+                 static_cast<unsigned long long>(v));
+    first = false;
+  }
+  std::fputs("}\n}\n", f);
+  return std::fclose(f) == 0;
+}
+
+bool finalize_from_env() {
+  const char* out = std::getenv("PHTM_TRACE_OUT");
+  const char* tel = std::getenv("PHTM_TRACE_TELEMETRY");
+  if ((out == nullptr || *out == '\0') && (tel == nullptr || *tel == '\0'))
+    return false;
+  const std::vector<ThreadTrace> traces = drain();
+  const std::map<std::string, std::uint64_t> m = meta();
+  bool ok = true;
+  if (out != nullptr && *out != '\0') ok &= write_chrome_trace(out, traces, m);
+  if (tel != nullptr && *tel != '\0')
+    ok &= write_telemetry_json(tel, summarize(traces), m);
+  return ok;
+}
+
+}  // namespace phtm::obs

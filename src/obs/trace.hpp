@@ -1,0 +1,314 @@
+// Transaction-event tracer: per-thread lock-free ring buffers of POD event
+// records, drained post-run, plus the `PHTM_TRACE_*` macro layer the
+// protocol stack is instrumented with.
+//
+// Mirrors the util/mc_hooks.hpp pattern: in ordinary builds every macro
+// expands to `((void)0)` — zero argument evaluations, zero codegen — so the
+// production libraries carry no trace of the instrumentation (pinned by
+// tests/obs_macros_test.cpp and the symbol check in tests/CMakeLists.txt).
+// Trace-enabled builds compile the protocol translation units with
+// `PHTM_TRACE=1`; like the model checker, the flag changes inline functions
+// in protocol headers, so instrumented binaries link the `*_obs` library
+// flavor (src/obs/CMakeLists.txt) and never mix flavors in one binary.
+//
+// Hot-path contract (the reason this is usable for measurement at all):
+//
+//  - emission is owner-only: each thread appends to its own fixed-size ring
+//    with plain stores plus one *relaxed* atomic cursor bump — no fences,
+//    no RMWs, no locks, no allocation (the buffer is allocated once, on the
+//    thread's first event);
+//  - the ring wraps: when a run outgrows the capacity (PHTM_TRACE_BUF
+//    events per thread, default 64Ki) the oldest records are overwritten
+//    and the loss is accounted exactly (`dropped`), never silently;
+//  - mid-run readers (the telemetry poller) may read only the relaxed
+//    cursor and drop counters; draining the records themselves requires
+//    quiescence (threads joined — the join edge publishes the plain
+//    stores).
+//
+// Events emitted while the simulator is inside a hardware transaction are
+// buffered in a small thread-local pending array and flushed after the
+// outcome (commit or abort) — see PHTM_TRACE_TXN_ENTER/EXIT and lint rule
+// R7 (tools/lint_tm.py), which forbids direct emission from HTM-simulated
+// critical sections. In practice only monitor-table dooms fire in-txn
+// (a transactional access dooming a conflicting victim): a doom is a real
+// side effect even if the dooming transaction later aborts, so deferred
+// flushing keeps the event without ever touching the ring mid-speculation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/histogram.hpp"
+
+namespace phtm::obs {
+
+/// Typed event taxonomy. The aux byte and the two argument words are
+/// per-kind (see the emission macros below); OBSERVABILITY.md carries the
+/// full table including the mapping onto the paper's Table 1 categories.
+enum class EventKind : std::uint8_t {
+  kTxBegin = 0,    ///< backend execute() entry; bumps the per-thread tx uid
+  kTxCommit,       ///< aux = CommitPath; 1:1 with StatSheet::record_commit
+  kTxAbort,        ///< aux = AbortCause; 1:1 with StatSheet::record_abort;
+                   ///< a0 = xabort code, a1 = conflict line
+  kPathEnter,      ///< aux = path (CommitPath encoding: HTM/SW/GL)
+  kSubBegin,       ///< a0 = segment index (partitioned path sub-HTM attempt)
+  kSubCommit,      ///< a0 = segment index
+  kSubAbort,       ///< a0 = segment index, aux = AbortCause
+  kRingPublish,    ///< a0 = ring timestamp, a1 = published signature popcount
+  kRingValidate,   ///< aux = ValResult (ok/conflict/rollover), a0 = watermark
+  kDoom,           ///< a0 = victim slot, aux = AbortCode, a1 = cache line
+  kGlobalAbort,    ///< partitioned-path global abort (rollback + unlock)
+  kKindCount,
+};
+
+const char* to_string(EventKind k) noexcept;
+
+/// One trace record. 32 bytes, trivially copyable: records are written into
+/// the ring with plain stores and drained by memcpy-like copies, so they
+/// must carry no vtables, no owners, no invariants.
+struct Event {
+  std::uint64_t ns;    ///< steady-clock nanoseconds at emission
+  std::uint64_t a0;    ///< per-kind argument (see EventKind)
+  std::uint64_t a1;    ///< per-kind argument (see EventKind)
+  std::uint32_t txn;   ///< per-thread transaction ordinal (kTxBegin bumps it)
+  EventKind kind;
+  std::uint8_t aux;    ///< per-kind small enum (cause / path / result)
+  std::uint16_t pad;
+};
+static_assert(sizeof(Event) == 32, "Event must stay 4 words");
+static_assert(std::is_trivially_copyable_v<Event>);
+
+/// One thread's event ring. Owner-only writes; see the file comment for the
+/// reader discipline. Padded to a cache line so the cursor of one thread's
+/// buffer never false-shares with another's.
+class alignas(kCacheLineBytes) TraceBuffer {
+ public:
+  /// `capacity` is rounded up to a power of two (masking beats modulo on
+  /// the emission path).
+  TraceBuffer(unsigned tid, std::size_t capacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Owner-only append. Plain record store + relaxed cursor bump: the only
+  /// concurrent readers by contract read the cursor, not the records.
+  void push(const Event& e) noexcept {
+    // relaxed: single-writer cursor — the owner is the only mutator, and
+    // mid-run readers use the value purely as a monotonic progress counter
+    // (record contents are only read after a join edge).
+    const std::uint64_t c = cursor_.load(std::memory_order_relaxed);
+    ring_[c & mask_] = e;
+    // relaxed: see above — publication of the record itself rides the
+    // drainer's thread-join edge, not this store.
+    cursor_.store(c + 1, std::memory_order_relaxed);
+  }
+
+  /// Accounts an event discarded before reaching the ring (the in-txn
+  /// pending array overflowed).
+  void count_pending_drop() noexcept {
+    // relaxed: single-writer counter, same discipline as the cursor.
+    pending_drops_.store(pending_drops_.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  }
+
+  /// Total events ever emitted (monotonic; safe to poll mid-run).
+  std::uint64_t emitted() const noexcept {
+    // relaxed: monotonic progress counter (see push).
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost so far: ring overwrites plus pending-array overflow.
+  /// Exact, never an estimate. Safe to poll mid-run.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t c = emitted();
+    const std::uint64_t lost = c > capacity() ? c - capacity() : 0;
+    // relaxed: see count_pending_drop.
+    return lost + pending_drops_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  unsigned tid() const noexcept { return tid_; }
+
+  /// Copies the surviving records out in emission order. Requires
+  /// quiescence: the owning thread must have been joined (or be the
+  /// caller).
+  std::vector<Event> snapshot_events() const;
+
+  /// Zeroes the cursor and drop counters. Requires quiescence.
+  void reset() noexcept;
+
+ private:
+  std::vector<Event> ring_;
+  std::uint64_t mask_;
+  unsigned tid_;
+  // shared-atomic: owner-written, poller-read progress/loss counters — the
+  // whole mid-run-visible state of a buffer.
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::uint64_t> pending_drops_{0};
+};
+
+/// A drained per-thread trace.
+struct ThreadTrace {
+  unsigned tid = 0;
+  std::uint64_t emitted = 0;    ///< total events the thread ever emitted
+  std::uint64_t dropped = 0;    ///< of those, how many were lost (exact)
+  std::uint64_t first_seq = 0;  ///< emission ordinal of events.front()
+  std::vector<Event> events;    ///< surviving records, emission order
+};
+
+/// Mid-run-safe aggregate counters (cursor/drop reads only).
+struct Telemetry {
+  unsigned threads = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Post-run aggregate: event counts by kind/cause/path plus per-cause and
+/// per-path latency histograms (nanoseconds from kTxBegin).
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  unsigned threads = 0;
+  std::uint64_t tx_begins = 0;
+  std::uint64_t aborts[4]{};          ///< kTxAbort count by AbortCause
+  std::uint64_t commits[3]{};         ///< kTxCommit count by CommitPath
+  std::uint64_t path_enters[3]{};     ///< kPathEnter count by path
+  std::uint64_t sub_begins = 0;
+  std::uint64_t sub_commits = 0;
+  std::uint64_t sub_aborts = 0;
+  std::uint64_t ring_publishes = 0;
+  std::uint64_t ring_validates[3]{};  ///< by ValResult (ok/conflict/rollover)
+  std::uint64_t dooms = 0;
+  std::uint64_t global_aborts = 0;
+  Histogram commit_latency_ns[3];     ///< by CommitPath
+  Histogram abort_latency_ns[4];      ///< by AbortCause
+};
+
+// --- emission runtime (implemented in trace.cpp) --------------------------
+//
+// Declared unconditionally: the obs library itself and its tests always
+// compile this API. Only the macros below are gated on PHTM_TRACE, so an
+// uninstrumented build that never calls the API links no obs code at all.
+
+/// Appends one event to the calling thread's buffer (registering the thread
+/// with the process-wide registry on first use), or to the thread's pending
+/// array while the simulator is inside a hardware transaction.
+void emit(EventKind kind, std::uint8_t aux, std::uint64_t a0,
+          std::uint64_t a1) noexcept;
+
+/// Bumps the per-thread transaction ordinal and emits kTxBegin.
+void tx_begin() noexcept;
+
+/// Simulator guard: between txn_enter() and txn_exit(), emitted events are
+/// deferred to the pending array; txn_exit() flushes them to the ring.
+void txn_enter() noexcept;
+void txn_exit() noexcept;
+
+/// Records a named aggregate counter (e.g. the run's StatSheet totals) to
+/// be embedded in the exported trace, so offline checkers can cross-check
+/// event counts against the run's own statistics.
+void set_meta(const char* key, std::uint64_t value);
+std::map<std::string, std::uint64_t> meta();
+
+/// Mid-run-safe counters over every registered thread.
+Telemetry telemetry();
+
+/// Drains every registered buffer. Requires quiescence (all emitting
+/// threads joined).
+std::vector<ThreadTrace> drain();
+
+/// Zeroes every buffer and clears the meta map. Requires quiescence.
+void reset();
+
+TraceSummary summarize(const std::vector<ThreadTrace>& traces);
+
+/// Chrome trace_event JSON (chrome://tracing, Perfetto, tools/trace_view.py).
+/// Returns false if the file could not be written.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ThreadTrace>& traces,
+                        const std::map<std::string, std::uint64_t>& meta_counters);
+
+/// Flat telemetry JSON (counts + latency quantiles); the block
+/// tools/bench_report.py folds into BENCH_<label>.json.
+bool write_telemetry_json(const std::string& path, const TraceSummary& s,
+                          const std::map<std::string, std::uint64_t>& meta_counters);
+
+/// Drains and exports per environment: PHTM_TRACE_OUT names the Chrome
+/// trace file, PHTM_TRACE_TELEMETRY the telemetry JSON. No-op (returns
+/// false) when neither is set. Registered via atexit() when the first
+/// thread registers, so any instrumented binary exports on request without
+/// per-main wiring; callable manually for deterministic placement.
+bool finalize_from_env();
+
+// --- instrumentation macros ----------------------------------------------
+
+#if defined(PHTM_TRACE) && PHTM_TRACE
+
+#define PHTM_TRACE_TX_BEGIN() ::phtm::obs::tx_begin()
+#define PHTM_TRACE_TX_COMMIT(path)                         \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kTxCommit,     \
+                    static_cast<std::uint8_t>(path), 0, 0)
+#define PHTM_TRACE_TX_ABORT(cause, code, line)             \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kTxAbort,      \
+                    static_cast<std::uint8_t>(cause),      \
+                    static_cast<std::uint64_t>(code),      \
+                    static_cast<std::uint64_t>(line))
+#define PHTM_TRACE_PATH(path)                              \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kPathEnter,    \
+                    static_cast<std::uint8_t>(path), 0, 0)
+#define PHTM_TRACE_SUB_BEGIN(seg)                          \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kSubBegin, 0,  \
+                    static_cast<std::uint64_t>(seg), 0)
+#define PHTM_TRACE_SUB_COMMIT(seg)                         \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kSubCommit, 0, \
+                    static_cast<std::uint64_t>(seg), 0)
+#define PHTM_TRACE_SUB_ABORT(seg, cause)                   \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kSubAbort,     \
+                    static_cast<std::uint8_t>(cause),      \
+                    static_cast<std::uint64_t>(seg), 0)
+#define PHTM_TRACE_RING_PUBLISH(ts, bits)                  \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kRingPublish, 0, \
+                    static_cast<std::uint64_t>(ts),        \
+                    static_cast<std::uint64_t>(bits))
+#define PHTM_TRACE_RING_VALIDATE(result, watermark)        \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kRingValidate, \
+                    static_cast<std::uint8_t>(result),     \
+                    static_cast<std::uint64_t>(watermark), 0)
+#define PHTM_TRACE_DOOM(victim, code, line)                \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kDoom,         \
+                    static_cast<std::uint8_t>(code),       \
+                    static_cast<std::uint64_t>(victim),    \
+                    static_cast<std::uint64_t>(line))
+#define PHTM_TRACE_GLOBAL_ABORT() \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kGlobalAbort, 0, 0, 0)
+#define PHTM_TRACE_TXN_ENTER() ::phtm::obs::txn_enter()
+#define PHTM_TRACE_TXN_EXIT() ::phtm::obs::txn_exit()
+#define PHTM_TRACE_META(key, value) ::phtm::obs::set_meta((key), (value))
+
+#else  // !PHTM_TRACE
+
+// No-op expansions: arguments are evaluated exactly zero times, matching
+// the contract of util/mc_hooks.hpp (pinned by tests/obs_macros_test.cpp).
+#define PHTM_TRACE_TX_BEGIN() ((void)0)
+#define PHTM_TRACE_TX_COMMIT(path) ((void)0)
+#define PHTM_TRACE_TX_ABORT(cause, code, line) ((void)0)
+#define PHTM_TRACE_PATH(path) ((void)0)
+#define PHTM_TRACE_SUB_BEGIN(seg) ((void)0)
+#define PHTM_TRACE_SUB_COMMIT(seg) ((void)0)
+#define PHTM_TRACE_SUB_ABORT(seg, cause) ((void)0)
+#define PHTM_TRACE_RING_PUBLISH(ts, bits) ((void)0)
+#define PHTM_TRACE_RING_VALIDATE(result, watermark) ((void)0)
+#define PHTM_TRACE_DOOM(victim, code, line) ((void)0)
+#define PHTM_TRACE_GLOBAL_ABORT() ((void)0)
+#define PHTM_TRACE_TXN_ENTER() ((void)0)
+#define PHTM_TRACE_TXN_EXIT() ((void)0)
+#define PHTM_TRACE_META(key, value) ((void)0)
+
+#endif  // PHTM_TRACE
+
+}  // namespace phtm::obs

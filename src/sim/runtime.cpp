@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/trace.hpp"
 #include "util/annotations.hpp"
 #include "util/mc_hooks.hpp"
 
@@ -62,6 +63,11 @@ bool HtmRuntime::try_doom(unsigned victim, AbortCode code, std::uint64_t line) {
   std::uint64_t expect = 0;
   if (slots_[victim].doom.compare_exchange_strong(expect, pack_doom(code, line),
                                                   std::memory_order_acq_rel)) {
+    // The doomer may itself be inside a hardware transaction (a monitored
+    // access invalidating a conflicting victim); the tracer defers the
+    // record until the outcome in that case — a doom is a real side effect
+    // either way (the CAS above is not rolled back).
+    PHTM_TRACE_DOOM(victim, code, line);
     return true;
   }
   if (expect == kCommitSentinel) {
@@ -384,13 +390,20 @@ void HtmRuntime::cleanup_aborted(unsigned slot) {
 
 HtmResult HtmRuntime::attempt_impl(unsigned slot, BodyFn fn, void* ctx) {
   begin(slot);
+  // Tracer txn guard: events emitted between here and the outcome are
+  // buffered thread-locally and flushed after commit/cleanup, so the
+  // speculative window never writes the trace ring (lint rule R7's
+  // buffered-pre-commit / flushed-post-outcome contract).
+  PHTM_TRACE_TXN_ENTER();
   HtmOps ops(*this, slot);
   try {
     fn(ctx, ops);
     commit(slot);
+    PHTM_TRACE_TXN_EXIT();
     return HtmResult{true, {}};
   } catch (const TxAbort& a) {
     cleanup_aborted(slot);
+    PHTM_TRACE_TXN_EXIT();
     return HtmResult{false, a.status};
   }
 }

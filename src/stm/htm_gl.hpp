@@ -7,6 +7,7 @@
 // attempt while the lock is held [38].
 #pragma once
 
+#include "obs/trace.hpp"
 #include "stm/common.hpp"
 #include "tm/backend.hpp"
 #include "tm/direct.hpp"
@@ -28,9 +29,11 @@ class HtmGlBackend final : public tm::Backend {
 
   void execute(tm::Worker& wb, const tm::Txn& txn) override {
     W& w = static_cast<W&>(wb);
+    PHTM_TRACE_TX_BEGIN();
     if (!txn.irrevocable) {
       w.snap.save(txn);
       Backoff backoff;
+      PHTM_TRACE_PATH(CommitPath::kHtm);
       for (unsigned attempt = 0; attempt < retries_; ++attempt) {
         // Lemming-effect avoidance: do not even begin while the lock is held.
         while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();
@@ -41,9 +44,12 @@ class HtmGlBackend final : public tm::Backend {
         });
         if (r.committed) {
           w.stats().record_commit(CommitPath::kHtm);
+          PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);
           return;
         }
         w.stats().record_abort(to_cause(r.abort));
+        PHTM_TRACE_TX_ABORT(to_cause(r.abort), r.abort.xabort_code,
+                            r.abort.conflict_line);
         w.snap.restore(txn);
         // The paper's configuration retries a fixed 5 times before falling
         // back, regardless of abort cause (Sec. 7).
@@ -51,11 +57,13 @@ class HtmGlBackend final : public tm::Backend {
       }
     }
     // Fallback: single global lock, uninstrumented execution.
+    PHTM_TRACE_PATH(CommitPath::kGlobalLock);
     while (!rt_.nontx_cas(&glock_.value, 0, 1)) cpu_relax();
     tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
     tm::run_all_segments(ctx, txn);
     rt_.nontx_store(&glock_.value, 0);
     w.stats().record_commit(CommitPath::kGlobalLock);
+    PHTM_TRACE_TX_COMMIT(CommitPath::kGlobalLock);
   }
 
  private:

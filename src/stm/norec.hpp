@@ -7,6 +7,7 @@
 // hardware transaction is active the helpers degrade to plain atomics.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "sim/writebuf.hpp"
 #include "stm/common.hpp"
 #include "tm/costs.hpp"
@@ -28,11 +29,14 @@ class NorecBackend : public tm::Backend {
 
   void execute(tm::Worker& wb, const tm::Txn& txn) override {
     W& w = static_cast<W&>(wb);
+    PHTM_TRACE_TX_BEGIN();
+    PHTM_TRACE_PATH(CommitPath::kSoftware);
     Backoff backoff;
     for (;;) {
       w.snap.save(txn);
       if (try_once(w, txn)) {
         w.stats().record_commit(CommitPath::kSoftware);
+        PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
         return;
       }
       w.snap.restore(txn);
@@ -91,6 +95,7 @@ class NorecBackend : public tm::Backend {
       return true;
     } catch (const StmAbort& a) {
       w.stats().record_abort(a.cause);
+      PHTM_TRACE_TX_ABORT(a.cause, 0, 0);
       return false;
     }
   }

@@ -27,9 +27,11 @@ class NorecRhBackend final : public NorecBackend {
 
   void execute(tm::Worker& wb, const tm::Txn& txn) override {
     Wh& w = static_cast<Wh&>(wb);
+    PHTM_TRACE_TX_BEGIN();
     if (!txn.irrevocable) {
       w.snap.save(txn);
       Backoff backoff;
+      PHTM_TRACE_PATH(CommitPath::kHtm);
       for (unsigned attempt = 0; attempt < retries_; ++attempt) {
         while (rt_.nontx_load(&seq_.value) & 1) cpu_relax();  // lemming guard
         const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
@@ -43,19 +45,24 @@ class NorecRhBackend final : public NorecBackend {
         });
         if (r.committed) {
           w.stats().record_commit(CommitPath::kHtm);
+          PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);
           return;
         }
         w.stats().record_abort(to_cause(r.abort));
+        PHTM_TRACE_TX_ABORT(to_cause(r.abort), r.abort.xabort_code,
+                            r.abort.conflict_line);
         w.snap.restore(txn);
         backoff.pause();
       }
     }
     // Software phase (NOrec semantics, reduced-hardware commit).
+    PHTM_TRACE_PATH(CommitPath::kSoftware);
     Backoff backoff;
     for (;;) {
       w.snap.save(txn);
       if (try_once(w, txn)) {
         w.stats().record_commit(CommitPath::kSoftware);
+        PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
         return;
       }
       w.snap.restore(txn);

@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sig/signature.hpp"
 #include "sim/writebuf.hpp"
 #include "stm/common.hpp"
@@ -61,6 +62,8 @@ class RingStmBackend final : public tm::Backend {
 
   void execute(tm::Worker& wb, const tm::Txn& txn) override {
     W& w = static_cast<W&>(wb);
+    PHTM_TRACE_TX_BEGIN();
+    PHTM_TRACE_PATH(CommitPath::kSoftware);
     Backoff backoff;
     for (;;) {
       w.snap.save(txn);
@@ -75,10 +78,12 @@ class RingStmBackend final : public tm::Backend {
         tm::run_all_segments(ctx, txn);
         commit(w);
         w.stats().record_commit(CommitPath::kSoftware);
+        PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
         return;
       } catch (const StmAbort& a) {
         w.stats().record_abort(a.cause);
-        if (a.cause == AbortCause::kOther) ++w.stats().ring_rollovers;
+        PHTM_TRACE_TX_ABORT(a.cause, 0, 0);
+        if (a.cause == AbortCause::kOther) w.stats().add_ring_rollover();
         w.snap.restore(txn);
         backoff.pause();
       }

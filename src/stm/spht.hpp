@@ -32,6 +32,7 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/writebuf.hpp"
 #include "stm/common.hpp"
 #include "tm/backend.hpp"
@@ -54,10 +55,12 @@ class SphtBackend final : public tm::Backend {
 
   void execute(tm::Worker& wb, const tm::Txn& txn) override {
     W& w = static_cast<W&>(wb);
+    PHTM_TRACE_TX_BEGIN();
     if (!txn.irrevocable) {
       // Phase 1: plain full-HTM attempts.
       w.txn_snap.save(txn);
       Backoff backoff;
+      PHTM_TRACE_PATH(CommitPath::kHtm);
       for (unsigned a = 0; a < cfg_.htm_retries; ++a) {
         while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();
         const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
@@ -67,9 +70,12 @@ class SphtBackend final : public tm::Backend {
         });
         if (r.committed) {
           w.stats().record_commit(CommitPath::kHtm);
+          PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);
           return;
         }
         w.stats().record_abort(to_cause(r.abort));
+        PHTM_TRACE_TX_ABORT(to_cause(r.abort), r.abort.xabort_code,
+                            r.abort.conflict_line);
         w.txn_snap.restore(txn);
         if (r.abort.code == sim::AbortCode::kCapacity ||
             r.abort.code == sim::AbortCode::kOther)
@@ -77,10 +83,12 @@ class SphtBackend final : public tm::Backend {
         backoff.pause();
       }
       // Phase 2: split execution.
+      PHTM_TRACE_PATH(CommitPath::kSoftware);
       Backoff backoff2;
       for (unsigned g = 0; g < cfg_.partitioned_retries; ++g) {
         if (split_once(w, txn)) {
           w.stats().record_commit(CommitPath::kSoftware);
+          PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
           return;
         }
         w.txn_snap.restore(txn);
@@ -88,11 +96,13 @@ class SphtBackend final : public tm::Backend {
       }
     }
     // Phase 3: global lock.
+    PHTM_TRACE_PATH(CommitPath::kGlobalLock);
     while (!rt_.nontx_cas(&glock_.value, 0, 1)) cpu_relax();
     tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
     tm::run_all_segments(ctx, txn);
     rt_.nontx_store(&glock_.value, 0);
     w.stats().record_commit(CommitPath::kGlobalLock);
+    PHTM_TRACE_TX_COMMIT(CommitPath::kGlobalLock);
   }
 
  private:
@@ -172,6 +182,7 @@ class SphtBackend final : public tm::Backend {
         w.rlog_staged.clear();
         w.redo_staged.clear();
         w.hide_undo.clear();
+        PHTM_TRACE_SUB_BEGIN(seg);
         const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
           if (ops.read(&glock_.value) != 0) ops.xabort(kXGlockHeld);
           // (a) validate the accumulated read log by value;
@@ -194,8 +205,14 @@ class SphtBackend final : public tm::Backend {
               ops.write(it->addr, it->old);
           }
         });
-        if (r.committed) break;
+        if (r.committed) {
+          PHTM_TRACE_SUB_COMMIT(seg);
+          break;
+        }
         w.stats().record_abort(to_cause(r.abort));
+        PHTM_TRACE_SUB_ABORT(seg, to_cause(r.abort));
+        PHTM_TRACE_TX_ABORT(to_cause(r.abort), r.abort.xabort_code,
+                            r.abort.conflict_line);
         w.seg_snap.restore(txn);
         if (r.abort.code == sim::AbortCode::kExplicit &&
             r.abort.xabort_code == kXInvalid)

@@ -5,6 +5,7 @@
 // paper runs transactions without instrumentation (Fig. 1 lines 63-64).
 #pragma once
 
+#include "obs/trace.hpp"
 #include "sim/runtime.hpp"
 #include "tm/api.hpp"
 #include "tm/backend.hpp"
@@ -62,9 +63,11 @@ class SeqBackend final : public Backend {
   }
 
   void execute(Worker& w, const Txn& txn) override {
+    PHTM_TRACE_TX_BEGIN();
     DirectCtx ctx;
     run_all_segments(ctx, txn);
     w.stats().record_commit(CommitPath::kSoftware);
+    PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
   }
 };
 

@@ -53,6 +53,15 @@ inline const char* to_string(CommitPath p) {
 }
 
 /// One thread's counters; padded so threads never share lines.
+///
+/// Recording discipline: the sheet is single-writer (its owning thread),
+/// but a telemetry drainer may snapshot() it mid-run. Increments therefore
+/// go through relaxed atomic builtins — on every supported target this
+/// compiles to the same load/add/store a plain `++` would, but the read in
+/// a concurrent snapshot() is guaranteed un-torn (and TSan-clean), the
+/// same discipline as the tracer cursors (src/obs/trace.hpp). The fields
+/// stay plain uint64_t so offline aggregation (operator+=, tests) keeps
+/// reading them directly once the writers are joined.
 struct alignas(kCacheLineBytes) StatSheet {
   std::uint64_t aborts[static_cast<unsigned>(AbortCause::kCauseCount)]{};
   std::uint64_t commits[static_cast<unsigned>(CommitPath::kPathCount)]{};
@@ -63,10 +72,33 @@ struct alignas(kCacheLineBytes) StatSheet {
   std::uint64_t ring_rollovers{};    ///< aborts due to ring overflow
 
   void record_abort(AbortCause c) noexcept {
-    ++aborts[static_cast<unsigned>(c)];
+    bump(&aborts[static_cast<unsigned>(c)]);
   }
   void record_commit(CommitPath p) noexcept {
-    ++commits[static_cast<unsigned>(p)];
+    bump(&commits[static_cast<unsigned>(p)]);
+  }
+  void add_sub_htm_commit() noexcept { bump(&sub_htm_commits); }
+  void add_sub_htm_abort() noexcept { bump(&sub_htm_aborts); }
+  void add_global_abort() noexcept { bump(&global_aborts); }
+  void add_validation() noexcept { bump(&validations); }
+  void add_ring_rollover() noexcept { bump(&ring_rollovers); }
+
+  /// Torn-read-safe copy for a drainer polling a live sheet: every field is
+  /// read with a relaxed atomic load, pairing with bump()'s stores. Counts
+  /// from distinct fields may be skewed by in-flight recording (it is a
+  /// moving snapshot), but each count is a value the writer actually stored.
+  StatSheet snapshot() const noexcept {
+    StatSheet s;
+    for (unsigned i = 0; i < static_cast<unsigned>(AbortCause::kCauseCount); ++i)
+      s.aborts[i] = read(&aborts[i]);
+    for (unsigned i = 0; i < static_cast<unsigned>(CommitPath::kPathCount); ++i)
+      s.commits[i] = read(&commits[i]);
+    s.sub_htm_commits = read(&sub_htm_commits);
+    s.sub_htm_aborts = read(&sub_htm_aborts);
+    s.global_aborts = read(&global_aborts);
+    s.validations = read(&validations);
+    s.ring_rollovers = read(&ring_rollovers);
+    return s;
   }
 
   std::uint64_t total_aborts() const noexcept {
@@ -91,6 +123,19 @@ struct alignas(kCacheLineBytes) StatSheet {
     validations += o.validations;
     ring_rollovers += o.ring_rollovers;
     return *this;
+  }
+
+ private:
+  // raw-atomic: single-writer counter bump — relaxed load+store of the
+  // owner's own field (never a contended RMW), paired with the relaxed
+  // loads in snapshot() so a concurrent drainer cannot tear the read.
+  static void bump(std::uint64_t* c) noexcept {
+    __atomic_store_n(c, __atomic_load_n(c, __ATOMIC_RELAXED) + 1,
+                     __ATOMIC_RELAXED);
+  }
+  // raw-atomic: snapshot read side of bump() (see above).
+  static std::uint64_t read(const std::uint64_t* c) noexcept {
+    return __atomic_load_n(c, __ATOMIC_RELAXED);
   }
 };
 

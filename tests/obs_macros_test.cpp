@@ -1,0 +1,69 @@
+// Compiled-out contract of the PHTM_TRACE_* macros (mirrors
+// annotations_test.cpp for the mc hooks): in a build without PHTM_TRACE the
+// macros must expand to `((void)0)` — evaluating their arguments exactly
+// zero times — so instrumentation sites in protocol headers cost literally
+// nothing. The binary-level half of the contract (no phtm::obs symbols get
+// linked into untraced binaries) is the trace_compiled_out_symbols test in
+// tests/CMakeLists.txt.
+//
+// This file links the *plain* libraries on purpose; under a whole-tree
+// -DPHTM_TRACE=ON configure the macros are live and the zero-evaluation
+// expectation does not apply, so the suite skips itself.
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using phtm::AbortCause;
+using phtm::CommitPath;
+
+#if defined(PHTM_TRACE) && PHTM_TRACE
+
+TEST(TraceMacrosCompiledOut, SkippedInTraceEnabledBuild) {
+  GTEST_SKIP() << "macros are live under -DPHTM_TRACE=ON";
+}
+
+#else
+
+TEST(TraceMacrosCompiledOut, ArgumentsAreNeverEvaluated) {
+  int evals = 0;
+  // [[maybe_unused]] is the test passing at compile time: zero-evaluation
+  // macros leave the counting lambda with no uses at all.
+  [[maybe_unused]] auto count = [&evals](auto v) {
+    ++evals;
+    return v;
+  };
+
+  PHTM_TRACE_TX_BEGIN();
+  PHTM_TRACE_TX_COMMIT(count(CommitPath::kHtm));
+  PHTM_TRACE_TX_ABORT(count(AbortCause::kConflict), count(0u), count(0u));
+  PHTM_TRACE_PATH(count(CommitPath::kSoftware));
+  PHTM_TRACE_SUB_BEGIN(count(0u));
+  PHTM_TRACE_SUB_COMMIT(count(0u));
+  PHTM_TRACE_SUB_ABORT(count(0u), count(AbortCause::kCapacity));
+  PHTM_TRACE_RING_PUBLISH(count(0u), count(0u));
+  PHTM_TRACE_RING_VALIDATE(count(0u), count(0u));
+  PHTM_TRACE_DOOM(count(0u), count(0u), count(0u));
+  PHTM_TRACE_GLOBAL_ABORT();
+  PHTM_TRACE_TXN_ENTER();
+  PHTM_TRACE_TXN_EXIT();
+  PHTM_TRACE_META(count("key"), count(0u));
+
+  EXPECT_EQ(evals, 0) << "a compiled-out trace macro evaluated an argument";
+}
+
+TEST(TraceMacrosCompiledOut, UsableAsSingleStatement) {
+  // Must parse as one statement in unbraced if/else chains.
+  if (false)
+    PHTM_TRACE_TX_BEGIN();
+  else
+    PHTM_TRACE_GLOBAL_ABORT();
+  SUCCEED();
+}
+
+#endif  // PHTM_TRACE
+
+}  // namespace

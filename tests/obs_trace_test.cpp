@@ -1,0 +1,288 @@
+// Tracer unit and integration tests. This binary links the PHTM_TRACE=1
+// flavor of the protocol stack (phtm_core_obs et al., see
+// src/obs/CMakeLists.txt), so the PHTM_TRACE_* macros are live and every
+// backend emits typed events; the suite pins:
+//  - exact ring-rollover loss accounting on a standalone buffer;
+//  - per-thread emission-order preservation through a multi-thread drain;
+//  - the 1:1 invariant between trace events and StatSheet counters
+//    (every record_abort/record_commit site has an adjacent emission), for
+//    every concurrent backend — this is what lets tools/trace_view.py
+//    cross-check a trace against the run's aggregate statistics;
+//  - the in-txn deferral contract (events buffered between txn_enter and
+//    txn_exit, pending-array overflow accounted exactly);
+//  - mid-run telemetry polling racing live emitters (meaningful under the
+//    tsan preset: the poller touches only the relaxed cursor/drop atomics).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "test_common.hpp"
+#include "tm/heap.hpp"
+#include "util/stats.hpp"
+#include "util/threads.hpp"
+
+namespace {
+
+using namespace phtm;
+using namespace phtm::obs;
+
+/// Drained traces keyed down to the ones that saw any events (the registry
+/// keeps buffers of threads from earlier tests in this process; reset()
+/// zeroes them but they stay registered).
+std::vector<ThreadTrace> active_traces() {
+  std::vector<ThreadTrace> out;
+  for (auto& t : drain())
+    if (t.emitted > 0) out.push_back(std::move(t));
+  return out;
+}
+
+TEST(TraceBufferTest, RolloverAccountsLossExactly) {
+  TraceBuffer buf(/*tid=*/0, /*capacity=*/64);
+  ASSERT_EQ(buf.capacity(), 64u);  // already a power of two
+
+  const std::uint64_t total = 64 + 17;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    Event e{};
+    e.ns = i;
+    e.a0 = i;
+    e.kind = EventKind::kTxBegin;
+    buf.push(e);
+  }
+
+  EXPECT_EQ(buf.emitted(), total);
+  EXPECT_EQ(buf.dropped(), 17u);  // exactly the overwritten prefix
+
+  const auto events = buf.snapshot_events();
+  ASSERT_EQ(events.size(), 64u);
+  // Survivors are the newest `capacity` records, still in emission order.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].a0, 17 + i);
+}
+
+TEST(TraceBufferTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceBuffer buf(/*tid=*/0, /*capacity=*/100);
+  EXPECT_EQ(buf.capacity(), 128u);
+}
+
+TEST(TraceBufferTest, NoLossBelowCapacity) {
+  TraceBuffer buf(/*tid=*/0, /*capacity=*/128);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Event e{};
+    e.a0 = i;
+    e.kind = EventKind::kTxCommit;
+    buf.push(e);
+  }
+  EXPECT_EQ(buf.emitted(), 100u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.snapshot_events().size(), 100u);
+}
+
+TEST(TraceRegistryTest, MultiThreadDrainPreservesPerThreadOrder) {
+  reset();
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+
+  run_threads(kThreads, [&](unsigned tid) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i)
+      emit(EventKind::kSubBegin, static_cast<std::uint8_t>(tid),
+           /*a0=*/i, /*a1=*/tid);
+  });
+
+  const auto traces = active_traces();
+  ASSERT_EQ(traces.size(), kThreads);
+  std::vector<bool> tid_seen(64, false);
+  for (const auto& t : traces) {
+    EXPECT_EQ(t.emitted, kPerThread);
+    EXPECT_EQ(t.dropped, 0u);
+    ASSERT_EQ(t.events.size(), kPerThread);
+    // All events of one buffer belong to one emitter, in emission order.
+    const auto owner = t.events.front().a1;
+    EXPECT_LT(owner, std::uint64_t{64});
+    EXPECT_FALSE(tid_seen[owner]) << "two buffers for one thread";
+    tid_seen[owner] = true;
+    std::uint64_t last_ns = 0;
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      EXPECT_EQ(t.events[i].a0, i) << "emission order lost";
+      EXPECT_EQ(t.events[i].a1, owner) << "foreign event in buffer";
+      EXPECT_GE(t.events[i].ns, last_ns) << "time ran backwards";
+      last_ns = t.events[i].ns;
+    }
+  }
+}
+
+TEST(TraceRegistryTest, InTxnEventsAreDeferredAndFlushed) {
+  reset();
+  const Telemetry t0 = telemetry();
+
+  txn_enter();
+  for (int i = 0; i < 3; ++i) emit(EventKind::kDoom, 1, i, 0);
+  // Deferred: nothing has reached the ring yet.
+  EXPECT_EQ(telemetry().emitted, t0.emitted);
+  txn_exit();
+  EXPECT_EQ(telemetry().emitted, t0.emitted + 3);
+  EXPECT_EQ(telemetry().dropped, t0.dropped);
+}
+
+TEST(TraceRegistryTest, PendingOverflowIsAccountedExactly) {
+  reset();
+  const Telemetry t0 = telemetry();
+
+  constexpr std::uint64_t kBurst = 4096;  // far over the pending-array cap
+  txn_enter();
+  for (std::uint64_t i = 0; i < kBurst; ++i)
+    emit(EventKind::kDoom, 0, i, 0);
+  txn_exit();
+
+  const Telemetry t1 = telemetry();
+  const std::uint64_t flushed = t1.emitted - t0.emitted;
+  const std::uint64_t lost = t1.dropped - t0.dropped;
+  EXPECT_GT(lost, 0u) << "burst did not overflow the pending array";
+  EXPECT_EQ(flushed + lost, kBurst) << "events vanished unaccounted";
+}
+
+TEST(TraceRegistryTest, TelemetryPollerRacesLiveEmitters) {
+  reset();
+  constexpr unsigned kEmitters = 3;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::atomic<unsigned> running{kEmitters};
+
+  // The poller participates via run_threads as thread 0; it reads only the
+  // cursor/drop atomics, which is the documented mid-run contract.
+  std::uint64_t polls = 0;
+  run_threads(kEmitters + 1, [&](unsigned tid) {
+    if (tid == 0) {
+      std::uint64_t last = 0;
+      // do-while: poll at least once even if the emitters outrace this
+      // thread's first scheduling quantum on a loaded host.
+      do {
+        const Telemetry t = telemetry();
+        EXPECT_GE(t.emitted, last) << "telemetry went backwards";
+        last = t.emitted;
+        ++polls;
+      } while (running.load(std::memory_order_acquire) != 0);
+    } else {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        emit(EventKind::kRingValidate, 0, i, 0);
+      running.fetch_sub(1, std::memory_order_release);
+    }
+  });
+
+  EXPECT_GT(polls, 0u);
+  std::uint64_t total = 0;
+  for (const auto& t : active_traces()) total += t.emitted;
+  EXPECT_EQ(total, kEmitters * kPerThread);
+}
+
+// --- trace/stats consistency across every concurrent backend --------------
+
+struct Env {
+  std::uint64_t* arr;
+};
+
+/// Three-segment read-modify-write over shared words: enough contention for
+/// aborts on every backend, enough segments for the partitioned path.
+bool contended_step(tm::Ctx& c, const void* e, void*, unsigned seg) {
+  auto* a = static_cast<const Env*>(e)->arr;
+  const std::uint64_t v = c.read(a + 8 * seg);
+  c.work(16);
+  c.write(a + 8 * seg, v + 1);
+  return seg + 1 < 3;
+}
+
+class TraceStatsConsistency : public testing::TestWithParam<tm::Algo> {};
+
+/// The acceptance invariant behind tools/trace_view.py --check: with zero
+/// drops, the trace's per-cause abort counts and per-path commit counts
+/// equal the run's aggregate StatSheet exactly — every recording site
+/// emits, every emission is recorded.
+TEST_P(TraceStatsConsistency, EventCountsMatchAggregateCounters) {
+  reset();
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kRounds = 400;
+
+  test::BackendHarness h(GetParam());
+  auto* arr = tm::TmHeap::instance().alloc_array<std::uint64_t>(8 * 3);
+  for (unsigned i = 0; i < 8 * 3; ++i) arr[i] = 0;
+  Env env{arr};
+
+  const StatSummary stats = h.run(kThreads, [&](unsigned, tm::Worker& w) {
+    for (unsigned i = 0; i < kRounds; ++i) {
+      tm::Txn t = test::make_txn(&contended_step, &env, nullptr, 0);
+      h.backend().execute(w, t);
+    }
+  });
+
+  const auto traces = active_traces();
+  const TraceSummary ts = summarize(traces);
+  ASSERT_EQ(ts.dropped, 0u) << "raise PHTM_TRACE_BUF for this workload";
+
+  // Every execute() commits exactly once (all backends retry to completion).
+  EXPECT_EQ(ts.tx_begins, std::uint64_t{kThreads} * kRounds);
+  for (unsigned p = 0; p < 3; ++p)
+    EXPECT_EQ(ts.commits[p], stats.total.commits[p])
+        << "commit path " << to_string(static_cast<CommitPath>(p));
+  for (unsigned c = 0; c < 4; ++c)
+    EXPECT_EQ(ts.aborts[c], stats.total.aborts[c])
+        << "abort cause " << to_string(static_cast<AbortCause>(c));
+
+  // Sub-HTM boundary events agree with the dedicated counters where the
+  // backend maintains them (the PART-HTM variants).
+  if (stats.total.sub_htm_commits > 0) {
+    EXPECT_EQ(ts.sub_commits, stats.total.sub_htm_commits);
+  }
+  if (stats.total.global_aborts > 0) {
+    EXPECT_EQ(ts.global_aborts, stats.total.global_aborts);
+  }
+  EXPECT_EQ(ts.ring_validates[0] + ts.ring_validates[1] + ts.ring_validates[2],
+            stats.total.validations);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TraceStatsConsistency,
+                         testing::ValuesIn(test::concurrent_algos()),
+                         test::algo_param_name);
+
+/// summarize() must agree with what the exporters serialize; spot-check the
+/// summary math on a hand-built trace.
+TEST(TraceSummaryTest, CountsAndLatenciesFromHandBuiltTrace) {
+  ThreadTrace t;
+  t.tid = 0;
+  t.emitted = 5;
+  auto push = [&t](EventKind k, std::uint8_t aux, std::uint64_t ns) {
+    Event e{};
+    e.ns = ns;
+    e.kind = k;
+    e.aux = aux;
+    e.txn = 1;
+    t.events.push_back(e);
+  };
+  push(EventKind::kTxBegin, 0, 1000);
+  push(EventKind::kPathEnter, 0, 1001);
+  push(EventKind::kTxAbort, static_cast<std::uint8_t>(AbortCause::kCapacity),
+       1500);
+  push(EventKind::kPathEnter, 1, 1501);
+  push(EventKind::kTxCommit, static_cast<std::uint8_t>(CommitPath::kSoftware),
+       3000);
+
+  const TraceSummary s = summarize({t});
+  EXPECT_EQ(s.events, 5u);
+  EXPECT_EQ(s.tx_begins, 1u);
+  EXPECT_EQ(s.aborts[static_cast<unsigned>(AbortCause::kCapacity)], 1u);
+  EXPECT_EQ(s.commits[static_cast<unsigned>(CommitPath::kSoftware)], 1u);
+  EXPECT_EQ(s.path_enters[0], 1u);
+  EXPECT_EQ(s.path_enters[1], 1u);
+  // Latency attribution: from the owning kTxBegin.
+  const auto& h =
+      s.commit_latency_ns[static_cast<unsigned>(CommitPath::kSoftware)];
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 2000u);
+  const auto& ha =
+      s.abort_latency_ns[static_cast<unsigned>(AbortCause::kCapacity)];
+  ASSERT_EQ(ha.count(), 1u);
+  EXPECT_EQ(ha.max(), 500u);
+}
+
+}  // namespace

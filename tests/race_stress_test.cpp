@@ -27,6 +27,7 @@
 #include "tm/backend.hpp"
 #include "tm/heap.hpp"
 #include "util/annotations.hpp"
+#include "util/stats.hpp"
 #include "util/threads.hpp"
 
 namespace {
@@ -322,6 +323,48 @@ TEST(RaceStress, LockFreeReadRegistrationVsWriterDooming) {
   for (unsigned k = 0; k < kShared; ++k)
     EXPECT_EQ(rt.nontx_load(&shared_lines[k][0]), writer_commits)
         << "a committed writer increment was lost on line " << k;
+}
+
+/// A telemetry drainer polling StatSheet::snapshot() while the owning
+/// thread records: snapshot values must be monotonic (each count is a value
+/// the writer actually stored — no torn or out-of-thin-air reads), and the
+/// final sheet must hold exactly what the writer recorded. Under the tsan
+/// preset this is the regression test for the snapshot/bump atomic
+/// discipline (plain `++` here was a data race the mid-run telemetry
+/// reader could tear).
+TEST(RaceStress, StatSheetSnapshotVsLiveRecording) {
+  phtm::StatSheet sheet;
+  std::atomic<bool> done{false};
+  const unsigned rounds = stress_rounds();
+
+  run_threads(2, [&](unsigned tid) {
+    if (tid == 0) {
+      for (unsigned i = 0; i < rounds; ++i) {
+        sheet.record_commit(phtm::CommitPath::kSoftware);
+        sheet.record_abort(phtm::AbortCause::kConflict);
+        sheet.add_validation();
+      }
+      done.store(true, std::memory_order_release);
+    } else {
+      std::uint64_t last_commits = 0, last_aborts = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const phtm::StatSheet s = sheet.snapshot();
+        const auto commits = s.total_commits();
+        const auto aborts = s.total_aborts();
+        EXPECT_GE(commits, last_commits) << "snapshot went backwards";
+        EXPECT_GE(aborts, last_aborts) << "snapshot went backwards";
+        EXPECT_LE(commits, rounds);
+        EXPECT_LE(aborts, rounds);
+        last_commits = commits;
+        last_aborts = aborts;
+      }
+    }
+  });
+
+  const phtm::StatSheet final_s = sheet.snapshot();
+  EXPECT_EQ(final_s.total_commits(), rounds);
+  EXPECT_EQ(final_s.total_aborts(), rounds);
+  EXPECT_EQ(final_s.validations, rounds);
 }
 
 /// Validators must detect intersecting publications: with every writer

@@ -1,0 +1,29 @@
+# Asserts that an untraced binary carries no tracer symbols: with
+# PHTM_TRACE off the macros are no-ops, so nothing references src/obs and
+# the linker must drop the phtm_obs archive members entirely. A match here
+# means an instrumentation site leaked past the macro gate (or a plain
+# library started calling the tracer unconditionally).
+#
+# Usage: cmake -DNM=<nm> -DBINARY=<file> -P trace_symbol_check.cmake
+if(NOT EXISTS "${BINARY}")
+  message(FATAL_ERROR "binary not found: ${BINARY}")
+endif()
+
+execute_process(COMMAND "${NM}" "${BINARY}"
+                OUTPUT_VARIABLE symbols
+                RESULT_VARIABLE rv
+                ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY}: ${err}")
+endif()
+
+# The phtm::obs namespace mangles as ...N4phtm3obs...; any hit means obs
+# code was linked in.
+string(REGEX MATCHALL "[^\n]*4phtm3obs[^\n]*" hits "${symbols}")
+if(hits)
+  list(LENGTH hits n)
+  list(GET hits 0 first)
+  message(FATAL_ERROR
+          "untraced binary contains ${n} tracer symbol(s), e.g.: ${first}")
+endif()
+message(STATUS "no tracer symbols in ${BINARY}")

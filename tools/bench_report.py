@@ -20,8 +20,17 @@ diff cleanly::
       "config": {"build_type": ..., "quick": ..., "max_threads": ...},
       "hotpath": {"BM_SigIntersectsMiss/4": {"ns_per_op": 0.52}, ...},
       "figures": [{"figure": ..., "metric": ..., "algo": ...,
-                   "series": {"1": ..., "2": ...}}, ...]
+                   "series": {"1": ..., "2": ...}}, ...],
+      "telemetry": {"bench_fig3_nrw": {...}, ...}   # trace builds only
     }
+
+When the build directory was configured with -DPHTM_TRACE=ON (detected
+from CMakeCache.txt), each bench binary is run with PHTM_TRACE_TELEMETRY
+pointing at a scratch file and the tracer's aggregate telemetry block
+(src/obs/trace.cpp write_telemetry_json, schema 1: event/drop accounting,
+per-cause abort and per-path commit totals, latency histograms) is folded
+into the report under "telemetry", keyed by binary. Untraced builds omit
+the "telemetry" key entirely and record config.trace = false.
 
 Typical use (see EXPERIMENTS.md):
 
@@ -53,6 +62,32 @@ def run(cmd, env, what):
         sys.exit(f"bench_report: {what} failed with exit code {proc.returncode}")
 
 
+def run_with_telemetry(cmd, env, what, telemetry):
+    """Run `cmd`; when `telemetry` is a dict (trace-enabled build), point
+    PHTM_TRACE_TELEMETRY at a scratch file and fold the block the binary
+    writes at exit into it under `what`."""
+    if telemetry is None:
+        run(cmd, env, what)
+        return
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tel_path = tmp.name
+    try:
+        run(cmd, dict(env, PHTM_TRACE_TELEMETRY=tel_path), what)
+        with open(tel_path, encoding="utf-8") as f:
+            text = f.read().strip()
+        if not text:
+            # The binary never emitted an event (tracer not touched), so
+            # the atexit exporter had nothing to finalize.
+            print(f"bench_report: no telemetry from {what}", flush=True)
+            return
+        try:
+            telemetry[what] = json.loads(text)
+        except json.JSONDecodeError as e:
+            sys.exit(f"bench_report: bad telemetry from {what}: {e}")
+    finally:
+        os.unlink(tel_path)
+
+
 def git_commit(root):
     try:
         out = subprocess.run(
@@ -67,30 +102,42 @@ def git_commit(root):
         return "unknown"
 
 
-def build_type(build_dir):
+def cache_entry(build_dir, key):
     cache = os.path.join(build_dir, "CMakeCache.txt")
     try:
         with open(cache, encoding="utf-8") as f:
             for line in f:
-                if line.startswith("CMAKE_BUILD_TYPE:"):
-                    val = line.split("=", 1)[1].strip()
-                    # Empty cache entry: the top-level CMakeLists defaulted
-                    # the (non-cache) variable to RelWithDebInfo.
-                    return val or "RelWithDebInfo"
+                if line.startswith(key + ":"):
+                    return line.split("=", 1)[1].strip()
     except OSError:
         pass
-    return "unknown"
+    return None
 
 
-def collect_hotpath(bench_dir, env, min_time):
+def build_type(build_dir):
+    val = cache_entry(build_dir, "CMAKE_BUILD_TYPE")
+    if val is None:
+        return "unknown"
+    # Empty cache entry: the top-level CMakeLists defaulted the (non-cache)
+    # variable to RelWithDebInfo.
+    return val or "RelWithDebInfo"
+
+
+def trace_enabled(build_dir):
+    val = cache_entry(build_dir, "PHTM_TRACE")
+    return val is not None and val.upper() in ("ON", "1", "TRUE", "YES")
+
+
+def collect_hotpath(bench_dir, env, min_time, telemetry):
     binary = os.path.join(bench_dir, HOTPATH_BIN)
     if not os.path.exists(binary):
         sys.exit(f"bench_report: {binary} not found (build the bench targets first)")
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = tmp.name
     try:
-        run([binary, f"--benchmark_out={out_path}", "--benchmark_out_format=json",
-             f"--benchmark_min_time={min_time}"], env, HOTPATH_BIN)
+        run_with_telemetry(
+            [binary, f"--benchmark_out={out_path}", "--benchmark_out_format=json",
+             f"--benchmark_min_time={min_time}"], env, HOTPATH_BIN, telemetry)
         with open(out_path, encoding="utf-8") as f:
             report = json.load(f)
     finally:
@@ -107,7 +154,7 @@ def collect_hotpath(bench_dir, env, min_time):
     return hotpath
 
 
-def collect_figures(bench_dir, env):
+def collect_figures(bench_dir, env, telemetry):
     figures = []
     with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as tmp:
         series_path = tmp.name
@@ -118,7 +165,7 @@ def collect_figures(bench_dir, env):
             if not os.path.exists(binary):
                 print(f"bench_report: skipping {name} (not built)", flush=True)
                 continue
-            run([binary], env, name)
+            run_with_telemetry([binary], env, name, telemetry)
         with open(series_path, encoding="utf-8") as f:
             for ln, line in enumerate(f, 1):
                 line = line.strip()
@@ -158,6 +205,9 @@ def main():
     if args.max_threads is not None:
         env["PHTM_MAX_THREADS"] = str(args.max_threads)
 
+    trace = trace_enabled(args.build_dir)
+    telemetry = {} if trace else None
+
     report = {
         "schema": 1,
         "label": args.label,
@@ -166,12 +216,15 @@ def main():
             "build_type": build_type(args.build_dir),
             "quick": bool(args.quick),
             "max_threads": args.max_threads,
+            "trace": trace,
         },
         "hotpath": collect_hotpath(bench_dir, env,
-                                   "0.02" if args.quick else "0.2"),
+                                   "0.02" if args.quick else "0.2", telemetry),
         "figures": [] if args.skip_figures
-                   else collect_figures(bench_dir, env),
+                   else collect_figures(bench_dir, env, telemetry),
     }
+    if telemetry:
+        report["telemetry"] = telemetry
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -44,6 +44,20 @@ R5  suppression hygiene (tsan.supp): no `race:phtm` entries.  Races in our
     never suppressed wholesale — a symbol-level suppression would hide
     every future bug on the same code path.
 
+R7  no trace emission inside HTM-simulated critical sections (src/core,
+    src/stm, src/sim, src/tm, src/sig):
+    A PHTM_TRACE_* emission macro must not appear inside an rt.attempt()
+    lambda, an HtmOps:: method body, or a class holding an HtmOps&
+    (the transactional execution contexts).  On real hardware the
+    tracer's ring store would become transactional state — rolled back
+    on abort, inflating the footprint the paper's capacity argument is
+    about — so events from speculative regions are buffered pre-commit
+    and flushed post-outcome (obs::txn_enter/txn_exit; the runtime's
+    pending array).  PHTM_TRACE_TXN_ENTER/EXIT and PHTM_TRACE_META are
+    exempt (they are the buffering mechanism / run-level metadata); a
+    site that deliberately relies on the runtime's dynamic deferral
+    carries a `// trace-deferred:` justification.
+
 R6  annotation/instrumentation discipline (all of src/, excluding the
     macro definition headers and the model checker itself):
     a) Every PHTM_ANNOTATE_HAPPENS_BEFORE must have a matching
@@ -89,6 +103,7 @@ RULE_WINDOW = 6
 PROTOCOL_ACCESS_DIRS = ("src/core", "src/stm", "src/tm")
 ALIGNMENT_DIRS = ("src/core", "src/stm", "src/sim", "src/sig", "src/util")
 PROTOCOL_HEADER_DIRS = ("src/core", "src/stm", "src/sim", "src/sig")
+TRACE_EMISSION_DIRS = ("src/core", "src/stm", "src/sim", "src/tm", "src/sig")
 
 # Macro definition headers: R6 skips them (they define, not use, the markers).
 R6_EXEMPT_FILES = ("src/util/annotations.hpp", "src/util/mc_hooks.hpp")
@@ -126,12 +141,37 @@ MC_MARKER_RE = re.compile(r"\bPHTM_MC_(?:YIELD|SPIN)\s*\(([^()]*)\)")
 ADDR_TAIL_RE = re.compile(r"(\w+)\W*$")
 STRUCT_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?(struct|class)\s+"
                        r"(?:alignas\([^)]*\)\s+)?(\w+)")
+# R7: emission macros (the buffering/metadata macros are exempt).
+TRACE_EMIT_RE = re.compile(r"\bPHTM_TRACE_(?!TXN_ENTER\b|TXN_EXIT\b|META\b)\w+\s*\(")
+ATTEMPT_CALL_RE = re.compile(r"\.attempt\s*\(")
+HTMOPS_METHOD_RE = re.compile(r"\bHtmOps::\w+\s*\(")
+HTMOPS_MEMBER_RE = re.compile(r"\bHtmOps&\s+\w+\s*[;=]")
+# Function definition taking an HtmOps& parameter (lambdas are already
+# covered by the .attempt() span; '[' excludes them here).
+HTMOPS_PARAM_RE = re.compile(r"\w+\s*\([^)]*\bHtmOps&\s+\w+\s*[,)]")
 
 
 def strip_line_comment(line: str) -> str:
     """Drop a trailing // comment (good enough: no multiline strings here)."""
     idx = line.find("//")
     return line if idx < 0 else line[:idx]
+
+
+def brace_span_end(lines: list[str], start: int) -> int:
+    """Last line (0-based, inclusive) of the brace block opening at or after
+    lines[start]; the end of the file if the block never closes."""
+    depth = 0
+    opened = False
+    for i in range(start, len(lines)):
+        for ch in strip_line_comment(lines[i]):
+            if ch == "{":
+                depth += 1
+                opened = True
+            elif ch == "}":
+                depth -= 1
+                if opened and depth <= 0:
+                    return i
+    return len(lines) - 1
 
 
 def has_marker(lines: list[str], i: int, marker: str) -> bool:
@@ -229,6 +269,70 @@ class Linter:
                          "tsan.supp suppresses a phtm:: symbol; fix the race "
                          "or annotate the site (util/annotations.hpp) instead")
 
+    # -- R7 ----------------------------------------------------------------
+    def check_trace_emission(self, path: Path, lines: list[str]) -> None:
+        # Forbidden spans: rt.attempt() lambdas, HtmOps method bodies, and
+        # classes holding an HtmOps& — the transactional execution contexts.
+        spans: list[tuple[int, int, str]] = []
+        for i, line in enumerate(lines):
+            code = strip_line_comment(line)
+            if ATTEMPT_CALL_RE.search(code):
+                spans.append((i, brace_span_end(lines, i),
+                              "inside an rt.attempt() critical section"))
+            if HTMOPS_METHOD_RE.search(code) and not code.rstrip().endswith(";"):
+                spans.append((i, brace_span_end(lines, i),
+                              "inside an HtmOps transactional-access method"))
+            if (HTMOPS_PARAM_RE.search(code) and "[" not in code
+                    and not code.rstrip().endswith(";")):
+                spans.append((i, brace_span_end(lines, i),
+                              "inside a function taking HtmOps& (runs under "
+                              "the hardware transaction)"))
+        # Classes holding an HtmOps& member are transactional execution
+        # contexts (HtmCtx and friends); attribute the member to the
+        # *innermost* enclosing class — a backend merely nesting such a
+        # context class is not itself speculative.
+        stack: list[list] = []  # [name, start_line, holds_ops]
+        pending: tuple[str, int] | None = None
+        for i, line in enumerate(lines):
+            code = strip_line_comment(line)
+            m = STRUCT_RE.match(code)
+            if m and not code.rstrip().endswith(";"):
+                pending = (m.group(2), i)
+            if HTMOPS_MEMBER_RE.search(code):
+                for s in reversed(stack):
+                    if s[0]:
+                        s[2] = True
+                        break
+            for ch in code:
+                if ch == "{":
+                    if pending is not None:
+                        stack.append([pending[0], pending[1], False])
+                        pending = None
+                    else:
+                        stack.append(["", i, False])
+                elif ch == "}" and stack:
+                    name, start, holds = stack.pop()
+                    if name and holds:
+                        spans.append((start, i,
+                                      f"inside '{name}', which executes "
+                                      "transactionally (holds an HtmOps&)"))
+        if not spans:
+            return
+        for i, line in enumerate(lines):
+            if not TRACE_EMIT_RE.search(strip_line_comment(line)):
+                continue
+            if has_marker(lines, i, "trace-deferred:"):
+                continue
+            for s, e, why in spans:
+                if s <= i <= e:
+                    self.err(path, i + 1, "R7",
+                             f"PHTM_TRACE_* emission {why}; trace events from "
+                             "speculative regions must be buffered pre-commit "
+                             "and flushed post-outcome — emit after the "
+                             "attempt returns, or justify a deliberate "
+                             "deferral with '// trace-deferred:'")
+                    break
+
     # -- R6 ----------------------------------------------------------------
     def check_annotation_discipline(self, path: Path, lines: list[str]) -> None:
         for i, line in enumerate(lines):
@@ -296,6 +400,8 @@ class Linter:
             self.check_relaxed(path, lines)
             if rel.startswith(PROTOCOL_HEADER_DIRS) and path.suffix == ".hpp":
                 self.check_mutex_includes(path, lines)
+            if rel.startswith(TRACE_EMISSION_DIRS):
+                self.check_trace_emission(path, lines)
             if rel not in R6_EXEMPT_FILES and not rel.startswith(R6_EXEMPT_DIRS):
                 self.check_annotation_discipline(path, lines)
         self.check_annotation_pairing()

@@ -172,6 +172,87 @@ class R6ForbiddenFields(unittest.TestCase):
         self.assertEqual(errs, [])
 
 
+class R7TraceEmission(unittest.TestCase):
+    def test_emission_inside_attempt_lambda_flagged(self):
+        errs = run_lint({
+            "src/stm/x.hpp":
+                "const auto r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {\n"
+                "  ops.write(addr, v);\n"
+                "  PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);\n"
+                "});\n"})
+        self.assertIn("R7", rules_of(errs))
+
+    def test_emission_after_attempt_returns_clean(self):
+        errs = run_lint({
+            "src/stm/x.hpp":
+                "const auto r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {\n"
+                "  ops.write(addr, v);\n"
+                "});\n"
+                "PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);\n"})
+        self.assertNotIn("R7", rules_of(errs))
+
+    def test_emission_inside_htmops_method_flagged(self):
+        errs = run_lint({
+            "src/sim/x.cpp":
+                "void HtmOps::write(std::uint64_t* a, std::uint64_t v) {\n"
+                "  PHTM_TRACE_RING_PUBLISH(0, 0);\n"
+                "}\n"})
+        self.assertIn("R7", rules_of(errs))
+
+    def test_emission_inside_htmops_param_function_flagged(self):
+        errs = run_lint({
+            "src/core/x.cpp":
+                "void publish(sim::HtmOps& ops, std::uint64_t ts) {\n"
+                "  PHTM_TRACE_RING_PUBLISH(ts, 0);\n"
+                "}\n"})
+        self.assertIn("R7", rules_of(errs))
+
+    def test_emission_inside_ctx_holding_htmops_flagged(self):
+        errs = run_lint({
+            "src/stm/x.hpp":
+                "class HtmCtx {\n"
+                "  void write(std::uint64_t* a, std::uint64_t v) {\n"
+                "    PHTM_TRACE_SUB_BEGIN(0);\n"
+                "  }\n"
+                "  sim::HtmOps& ops_;\n"
+                "};\n"})
+        self.assertIn("R7", rules_of(errs))
+
+    def test_backend_merely_nesting_a_ctx_class_clean(self):
+        # The innermost-class attribution: an outer backend that *contains*
+        # an HtmOps-holding context class is not itself speculative.
+        errs = run_lint({
+            "src/stm/x.hpp":
+                "class Backend {\n"
+                "  class HtmCtx {\n"
+                "    sim::HtmOps& ops_;\n"
+                "  };\n"
+                "  void execute() {\n"
+                "    PHTM_TRACE_TX_BEGIN();\n"
+                "  }\n"
+                "};\n"})
+        self.assertNotIn("R7", rules_of(errs))
+
+    def test_buffering_macros_exempt(self):
+        errs = run_lint({
+            "src/sim/x.cpp":
+                "void HtmOps::write(std::uint64_t* a, std::uint64_t v) {\n"
+                "  PHTM_TRACE_TXN_ENTER();\n"
+                "  PHTM_TRACE_TXN_EXIT();\n"
+                "}\n"})
+        self.assertNotIn("R7", rules_of(errs))
+
+    def test_justified_deferral_clean(self):
+        errs = run_lint({
+            "src/sim/x.cpp":
+                "void f(sim::HtmOps& ops) {\n"
+                "  // trace-deferred: doom is a real side effect; the\n"
+                "  // runtime's pending array flushes it post-outcome\n"
+                "  PHTM_TRACE_DOOM(0, 0, 0);\n"
+                "}\n"})
+        self.assertNotIn("R7", rules_of(errs))
+
+
 class RealTreeIsClean(unittest.TestCase):
     def test_repository_lints_clean(self):
         root = Path(__file__).resolve().parent.parent

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Post-process a PART-HTM Chrome trace (PHTM_TRACE_OUT).
+
+Default mode prints a run summary: per-thread event totals, the event
+vocabulary histogram, the abort mix by cause, and commits by execution
+path — the same shape as the EXPERIMENTS.md abort-breakdown rows, derived
+from raw events instead of aggregate counters.
+
+`--check` validates the file for CI: the JSON must parse, carry exactly one
+`phtm_meta` record (the tracer's exact loss accounting plus any aggregate
+counters the run registered via PHTM_TRACE_META), use only the known event
+vocabulary, and — the acceptance invariant — the per-cause abort totals and
+per-path commit totals counted from raw events must agree with the run's
+own `stats_*` counters: exact equality when `dropped == 0`, `<=` otherwise
+(a dropped event can only lose a count, never invent one).
+
+Exit status: 0 clean, 1 check failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+
+CAUSES = ("conflict", "capacity", "explicit", "other")
+PATHS = ("HTM", "SW", "GL")
+
+# Event-name vocabulary the C++ writer emits (src/obs/trace.cpp).
+NAME_RE = re.compile(
+    r"^(process_name|thread_name|phtm_meta"
+    r"|tx/(HTM|SW|GL)"
+    r"|abort/(conflict|capacity|explicit|other)"
+    r"|path/(HTM|SW|GL)"
+    r"|sub_begin|sub_commit|sub_abort"
+    r"|ring/publish|ring/validate/(ok|conflict|rollover)"
+    r"|doom/(none|conflict|capacity|explicit|other)"
+    r"|global_abort)$")
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def load(path: Path) -> list[dict]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise CheckFailure(f"cannot load {path}: {e}") from None
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise CheckFailure("no traceEvents array")
+    return events
+
+
+def validate_schema(events: list[dict]) -> dict:
+    """Structural checks; returns the phtm_meta args."""
+    metas = [e for e in events if e.get("name") == "phtm_meta"]
+    if len(metas) != 1:
+        raise CheckFailure(f"expected exactly one phtm_meta record, "
+                           f"found {len(metas)}")
+    meta = metas[0].get("args", {})
+    for key in ("events", "dropped", "threads"):
+        if not isinstance(meta.get(key), int):
+            raise CheckFailure(f"phtm_meta.args.{key} missing or non-integer")
+    for e in events:
+        name = e.get("name")
+        if not isinstance(name, str) or not NAME_RE.match(name):
+            raise CheckFailure(f"unknown event name: {name!r}")
+        if e.get("ph") not in ("M", "i", "X"):
+            raise CheckFailure(f"unknown phase {e.get('ph')!r} on {name}")
+        if e.get("ph") in ("i", "X"):
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise CheckFailure(f"bad ts on {name}: {ts!r}")
+        if e.get("ph") == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise CheckFailure(f"bad dur on {name}: {dur!r}")
+    return meta
+
+
+def count_names(events: list[dict]) -> Counter:
+    return Counter(e["name"] for e in events
+                   if e.get("ph") != "M" and e.get("name") != "phtm_meta")
+
+
+def check_counters(meta: dict, names: Counter) -> list[str]:
+    """Cross-check event counts against the run's aggregate counters.
+
+    The instrumentation keeps a 1:1 invariant between emissions and
+    StatSheet recordings (every record_abort has an adjacent
+    PHTM_TRACE_TX_ABORT, ditto commits), so with no drops the trace is a
+    complete replica of the statistics.
+    """
+    lines = []
+    exact = meta.get("dropped", 0) == 0
+
+    def compare(label: str, counted: int, recorded: int) -> None:
+        if exact and counted != recorded:
+            raise CheckFailure(
+                f"{label}: trace counts {counted} but the run recorded "
+                f"{recorded} (dropped == 0, so these must be equal)")
+        if not exact and counted > recorded:
+            raise CheckFailure(
+                f"{label}: trace counts {counted} > recorded {recorded} "
+                "(drops can lose events, never invent them)")
+        lines.append(f"  {label}: {counted} vs recorded {recorded} "
+                     f"[{'==' if exact else '<='}] ok")
+
+    found_any = False
+    for cause in CAUSES:
+        key = f"stats_aborts_{cause}"
+        if key in meta:
+            found_any = True
+            compare(f"aborts/{cause}", names.get(f"abort/{cause}", 0),
+                    meta[key])
+    for p in PATHS:
+        key = f"stats_commits_{p}"
+        if key in meta:
+            found_any = True
+            compare(f"commits/{p}", names.get(f"tx/{p}", 0), meta[key])
+    if not found_any:
+        lines.append("  (run registered no stats_* counters; "
+                     "schema-only check)")
+    return lines
+
+
+def print_summary(events: list[dict], meta: dict, names: Counter) -> None:
+    threads = sorted({e.get("tid", 0) for e in events
+                      if e.get("ph") != "M" and e.get("name") != "phtm_meta"})
+    per_thread = Counter(e.get("tid", 0) for e in events
+                         if e.get("ph") != "M" and e.get("name") != "phtm_meta")
+    print(f"events: {meta['events']}  dropped: {meta['dropped']}  "
+          f"threads: {meta['threads']}")
+    print(f"records in file: {sum(names.values())} over "
+          f"{len(threads)} emitting thread(s)")
+    for t in threads:
+        print(f"  tid {t}: {per_thread[t]} records")
+
+    aborts = {c: names.get(f"abort/{c}", 0) for c in CAUSES}
+    total_aborts = sum(aborts.values())
+    print(f"\nabort mix ({total_aborts} aborts):")
+    for c in CAUSES:
+        pct = 100.0 * aborts[c] / total_aborts if total_aborts else 0.0
+        print(f"  {c:<9} {aborts[c]:>10}  {pct:5.1f}%")
+
+    commits = {p: names.get(f"tx/{p}", 0) for p in PATHS}
+    total_commits = sum(commits.values())
+    print(f"\ncommits by path ({total_commits} commits):")
+    for p in PATHS:
+        pct = 100.0 * commits[p] / total_commits if total_commits else 0.0
+        print(f"  {p:<9} {commits[p]:>10}  {pct:5.1f}%")
+
+    print("\nevent vocabulary:")
+    for name, n in sorted(names.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<24} {n:>10}")
+
+    extra = {k: v for k, v in meta.items()
+             if k not in ("events", "dropped", "threads")}
+    if extra:
+        print("\nrun counters (PHTM_TRACE_META):")
+        for k, v in sorted(extra.items()):
+            print(f"  {k:<28} {v}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", type=Path, help="Chrome trace JSON "
+                    "(PHTM_TRACE_OUT output)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate schema and cross-check event counts "
+                    "against the run's aggregate counters; nonzero exit on "
+                    "any mismatch")
+    args = ap.parse_args()
+
+    try:
+        events = load(args.trace)
+        meta = validate_schema(events)
+        names = count_names(events)
+        if args.check:
+            print(f"{args.trace}: schema ok "
+                  f"({meta['events']} events, {meta['dropped']} dropped, "
+                  f"{meta['threads']} threads)")
+            for line in check_counters(meta, names):
+                print(line)
+            print("check: ok")
+        else:
+            print_summary(events, meta, names)
+    except CheckFailure as e:
+        print(f"check FAILED: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
