@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "core/ring.hpp"
 #include "obs/trace.hpp"
 #include "sig/signature.hpp"
@@ -274,6 +275,50 @@ void BM_RingValidateEmptyRsig(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * window);
 }
 BENCHMARK(BM_RingValidateEmptyRsig)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Contention-manager overhead (src/core/policy.hpp)
+// ---------------------------------------------------------------------------
+// The policy engine's footprint on an *uncontended* fast-path commit is one
+// SiteTable hash + quarantine probe before the attempt and two relaxed
+// stores after it (on_hw_commit); the budget/backoff objects are
+// constructed once per execute(). These pins bound that added cost: the
+// acceptance budget is <= 2 ns over the pre-policy fast path (DESIGN.md
+// "Robustness & contention management").
+
+/// Per-execute site consultation: hash lookup + should_skip_fast on a
+/// healthy site + the commit-side reset. Everything the uncontended fast
+/// path pays the policy engine per transaction.
+void BM_PolicySiteConsult(benchmark::State& state) {
+  const phtm::tm::PolicyConfig pc;
+  phtm::core::SiteTable sites;
+  int dummy;  // stands in for the step-function pointer
+  const void* key = &dummy;
+  for (auto _ : state) {
+    phtm::core::SiteState& site = sites.of(key);
+    bool skip = site.should_skip_fast(pc);
+    benchmark::DoNotOptimize(skip);
+    site.on_hw_commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicySiteConsult);
+
+/// Per-execute control-object setup: the per-cause budget and the jittered
+/// backoff are stack objects rebuilt every transaction.
+void BM_PolicyBudgetSetup(benchmark::State& state) {
+  const phtm::tm::PolicyConfig pc;
+  std::uint64_t jitter = 0x9e3779b97f4a7c15ull | 1;
+  for (auto _ : state) {
+    phtm::core::CauseBudget budget(5, pc.htm_capacity_retries, 5,
+                                   pc.htm_other_retries);
+    phtm::core::JitterBackoff backoff(pc, &jitter);
+    benchmark::DoNotOptimize(&budget);
+    benchmark::DoNotOptimize(&backoff);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyBudgetSetup);
 
 // ---------------------------------------------------------------------------
 // Tracer emit cost (src/obs)

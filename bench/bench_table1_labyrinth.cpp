@@ -66,6 +66,12 @@ void register_trace_counters() {
                   total.commits[static_cast<unsigned>(CommitPath::kSoftware)]);
   PHTM_TRACE_META("stats_commits_GL",
                   total.commits[static_cast<unsigned>(CommitPath::kGlobalLock)]);
+  for (unsigned r = 0; r < static_cast<unsigned>(FallbackReason::kReasonCount);
+       ++r) {
+    const std::string key =
+        std::string("stats_fallbacks_") + to_string(static_cast<FallbackReason>(r));
+    PHTM_TRACE_META(key.c_str(), total.fallbacks[r]);
+  }
 }
 
 }  // namespace

@@ -8,7 +8,6 @@
 #include "tm/direct.hpp"
 #include "tm/heap.hpp"
 #include "util/mc_hooks.hpp"
-#include "util/spinlock.hpp"
 
 namespace phtm::core {
 
@@ -63,9 +62,17 @@ class TxSig {
 };
 
 struct PartHtmBackend::W final : tm::Worker {
-  W(unsigned tid, sim::HtmRuntime& rt) : Worker(tid), th(rt) {}
+  W(unsigned tid, sim::HtmRuntime& rt)
+      : Worker(tid),
+        th(rt),
+        jitter_state((tid + 1) * 0x9e3779b97f4a7c15ull | 1) {}
 
   sim::HtmRuntime::Thread th;
+
+  /// Backoff-jitter stream (JitterBackoff), owner-only. Seeded from the
+  /// tid so pause sequences are deterministic per thread and distinct
+  /// across threads (convoys desynchronize).
+  std::uint64_t jitter_state;
 
   // Local metadata (paper Sec. 5.1). read_sig/write_sig are the in-HTM
   // updated stores; agg_sig aggregates committed sub-HTM write signatures.
@@ -301,13 +308,66 @@ bool PartHtmBackend::fast_once(W& w, const tm::Txn& txn, sim::AbortStatus& statu
   return false;
 }
 
+PartHtmBackend::FastOutcome PartHtmBackend::run_fast(W& w, const tm::Txn& txn,
+                                                     SiteState& site) {
+  // Per-cause attempt budgets, halved per step of the site's failure
+  // streak (floor 1): a site that keeps failing in hardware gets fewer
+  // fast attempts before failover, and eventually quarantines (execute()).
+  const unsigned shift = site.budget_shift();
+  const auto scaled = [shift](unsigned base) {
+    const unsigned b = base >> shift;
+    return b == 0 ? 1u : b;
+  };
+  const tm::PolicyConfig& pol = cfg_.policy;
+  CauseBudget budget(scaled(cfg_.htm_retries), scaled(pol.htm_capacity_retries),
+                     scaled(cfg_.htm_retries), scaled(pol.htm_other_retries));
+  JitterBackoff backoff(pol, &w.jitter_state);
+  PHTM_TRACE_PATH(CommitPath::kHtm);
+  for (;;) {
+    // Lemming guard (bounded): don't start a hardware attempt that the
+    // glock subscription would immediately kill — but a convoy of
+    // slow-path holders must not pin us here forever either.
+    BoundedSpin lemming_guard(pol.spin_escalation_bound);
+    while (rt_.nontx_load(&glock_.value) != 0) {
+      // mc-yield: glock held by a slow-path committer; only its release
+      // store can unblock us.
+      PHTM_MC_SPIN(&glock_.value);
+      if (lemming_guard.exhausted()) return FastOutcome::kStarved;
+    }
+    sim::AbortStatus st;
+    if (fast_once(w, txn, st)) {
+      w.stats().record_commit(CommitPath::kHtm);
+      PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);
+      site.on_hw_commit();
+      return FastOutcome::kCommitted;
+    }
+    const AbortCause cause = to_cause(st);
+    w.stats().record_abort(cause);
+    PHTM_TRACE_TX_ABORT(cause, st.xabort_code, st.conflict_line);
+    w.txn_snap.restore(txn);
+    if (!budget.spend(cause)) {
+      // Resource-shaped exhaustion steers to the partitioned path (the
+      // remedy for footprints that don't fit, Sec. 4); conflict-shaped
+      // exhaustion to the slow path (partitioning would not help).
+      return (cause == AbortCause::kCapacity || cause == AbortCause::kOther)
+                 ? FastOutcome::kResource
+                 : FastOutcome::kExhausted;
+    }
+    backoff.pause();
+  }
+}
+
 PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& txn) {
   // --- global begin (Fig. 1 lines 16-19) ---
+  // Bounded wait: a glock convoy (repeated slow-path holders) would
+  // otherwise spin this transaction forever. Escalating *before* the
+  // active_tx increment leaves nothing to clean up.
+  BoundedSpin begin_guard(cfg_.policy.spin_escalation_bound);
   while (rt_.nontx_load(&glock_.value) != 0) {
     // mc-yield: glock held by a slow-path committer; only its release
     // store can unblock us — force a deschedule.
     PHTM_MC_SPIN(&glock_.value);
-    cpu_relax();
+    if (begin_guard.exhausted()) return POutcome::kStarved;
   }
   rt_.nontx_fetch_add(&active_tx_.value, 1);
   if (rt_.nontx_load(&glock_.value) != 0) {
@@ -325,6 +385,22 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   unsigned seg = 0;
   bool more = true;
   while (more) {
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+    // Chaos: between sub-transactions the framework runs plain software —
+    // the window where a preempted ("stalled") partitioned transaction
+    // holds locks while making no progress, and where a rogue committer
+    // can burn ring slots toward wraparound.
+    if (auto* eng = rt_.fault_engine()) {
+      const sim::FaultDecision fd =
+          eng->visit(sim::FaultSite::kSubBoundary, w.th.slot());
+      if (fd.kind == sim::FaultKind::kStall)
+        sim::burn_work(fd.arg != 0 ? fd.arg : 10'000);
+      if (fd.kind == sim::FaultKind::kRingPressure) {
+        static const Signature kNoSig{};
+        ring_.fill_slot(rt_, ring_.reserve(rt_), kNoSig);
+      }
+    }
+#endif
     // Compute-only segments run in the software framework, outside any
     // hardware transaction (paper Sec. 4, "Non-transactional Code").
     if (txn.seg_kind != nullptr &&
@@ -337,7 +413,12 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
 
     w.seg_snap.save(txn);
     bool more_out = false;
-    unsigned tries = 0;
+    // Cause-aware sub-HTM budgets: conflicts retry up to the paper's
+    // sub_htm_retries; resource-shaped aborts get short budgets (a
+    // segment that does not fit will not fit next attempt either).
+    CauseBudget sub_budget(cfg_.sub_htm_retries, cfg_.policy.sub_capacity_retries,
+                           cfg_.sub_htm_retries, cfg_.policy.sub_other_retries);
+    JitterBackoff sub_backoff(cfg_.policy, &w.jitter_state);
     unsigned ts_restarts = 0;
     for (;;) {
       PHTM_TRACE_SUB_BEGIN(seg);
@@ -405,11 +486,11 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
         continue;
       }
 
-      if (++tries >= cfg_.sub_htm_retries) {
+      if (!sub_budget.spend(to_cause(r.abort))) {
         global_abort(w);
         return POutcome::kAborted;
       }
-      cpu_relax();
+      sub_backoff.pause();
     }
 
     // --- sub post-commit, in software (Fig. 1 lines 31-33) ---
@@ -528,21 +609,49 @@ void PartHtmBackend::slow_path(W& w, const tm::Txn& txn) {
   // Fig. 1 lines 61-65: acquire the global lock (aborting every hardware
   // subscriber via strong atomicity), wait out the partitioned population,
   // then run uninstrumented.
+  //
+  // Admission is a FIFO ticket queue: transactions reach here because every
+  // other path failed them — a bare CAS race would let a fresh arrival
+  // overtake a starvation victim indefinitely. glock_ stays the single word
+  // the hardware paths subscribe to; only the serving ticket asserts it.
   PHTM_TRACE_PATH(CommitPath::kGlobalLock);
-  while (!rt_.nontx_cas(&glock_.value, 0, 1)) {
-    // mc-yield: lost the glock race; only the holder's release unblocks us.
-    PHTM_MC_SPIN(&glock_.value);
+  const std::uint64_t ticket = rt_.nontx_fetch_add(&gl_ticket_.value, 1);
+  while (rt_.nontx_load(&gl_serving_.value) != ticket) {
+    // mc-yield: FIFO admission — only the predecessor's hand-off
+    // (gl_serving_ increment) can admit us.
+    PHTM_MC_SPIN(&gl_serving_.value);
+    // spin-waiver: starvation-free by construction — each predecessor
+    // holds the lock for one finite transaction and then increments the
+    // serving counter, which reaches every ticket in bounded hand-offs.
     cpu_relax();
   }
+  rt_.nontx_store(&glock_.value, 1);
   while (rt_.nontx_load(&active_tx_.value) != 0) {
     // mc-yield: quiescence wait — only partitioned transactions draining
     // (commit or global_abort) can decrement active_tx.
     PHTM_MC_SPIN(&active_tx_.value);
+    // spin-waiver: monotone drain — glock_ is already up, so no new
+    // partitioned transaction can enter; active_tx_ only counts down and
+    // the wait is bounded by the in-flight population.
     cpu_relax();
   }
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+  // Chaos: a stall injected here models a slow-path holder preempted while
+  // every other thread convoys behind the asserted glock.
+  if (auto* eng = rt_.fault_engine()) {
+    const sim::FaultDecision fd =
+        eng->visit(sim::FaultSite::kGlockHeld, w.th.slot());
+    if (fd.kind == sim::FaultKind::kStall)
+      sim::burn_work(fd.arg != 0 ? fd.arg : 10'000);
+  }
+#endif
   tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
   tm::run_all_segments(ctx, txn);
   rt_.nontx_store(&glock_.value, 0);
+  // Hand off after the release store: the successor re-asserts glock_
+  // itself, and the short free window lets hardware transactions slip
+  // through between back-to-back slow-path commits.
+  rt_.nontx_fetch_add(&gl_serving_.value, 1);
   w.stats().record_commit(CommitPath::kGlobalLock);
   PHTM_TRACE_TX_COMMIT(CommitPath::kGlobalLock);
 }
@@ -551,55 +660,71 @@ void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
   W& w = static_cast<W&>(wb);
   PHTM_TRACE_TX_BEGIN();
   if (txn.irrevocable) {
+    w.stats().record_fallback(FallbackReason::kIrrevocable);
+    PHTM_TRACE_FALLBACK(FallbackReason::kIrrevocable);
     slow_path(w, txn);
     return;
   }
   w.txn_snap.save(txn);
 
+  // The transaction's step function identifies its site for the
+  // degradation heuristics (one logical transaction type per call site).
+  SiteState& site = sites_.of(reinterpret_cast<const void*>(txn.step));
   if (!no_fast_) {
-    bool resource_failure = false;
-    Backoff backoff;
-    PHTM_TRACE_PATH(CommitPath::kHtm);
-    for (unsigned a = 0; a < cfg_.htm_retries; ++a) {
-      while (rt_.nontx_load(&glock_.value) != 0) {
-        // mc-yield: lemming guard — waiting for a slow-path release.
-        PHTM_MC_SPIN(&glock_.value);
-        cpu_relax();
+    if (site.should_skip_fast(cfg_.policy)) {
+      // Quarantined site (persistent hardware failure): go straight to
+      // the software paths until a probe re-admits it.
+      w.stats().record_fallback(FallbackReason::kQuarantine);
+      PHTM_TRACE_FALLBACK(FallbackReason::kQuarantine);
+    } else {
+      switch (run_fast(w, txn, site)) {
+        case FastOutcome::kCommitted:
+          return;
+        case FastOutcome::kStarved:
+          // A slow-path convoy starved the lemming guard; the ticketed
+          // queue is exactly the fair admission that convoy drains through.
+          w.stats().record_fallback(FallbackReason::kStarvation);
+          PHTM_TRACE_FALLBACK(FallbackReason::kStarvation);
+          slow_path(w, txn);
+          return;
+        case FastOutcome::kExhausted:
+          // Repeated failures for reasons other than resource limitation
+          // (extreme conflicts): the paper reserves the global lock for
+          // exactly this class (Sec. 4, "Slow Path") — partitioning would
+          // not help.
+          site.on_hw_exhausted(cfg_.policy);
+          w.stats().record_fallback(FallbackReason::kConflictExhaustion);
+          PHTM_TRACE_FALLBACK(FallbackReason::kConflictExhaustion);
+          slow_path(w, txn);
+          return;
+        case FastOutcome::kResource:
+          // Resource failure: partitioning is the remedy — stop burning
+          // fast attempts (Sec. 4, "Partitioned Path").
+          site.on_hw_exhausted(cfg_.policy);
+          break;
       }
-      sim::AbortStatus st;
-      if (fast_once(w, txn, st)) {
-        w.stats().record_commit(CommitPath::kHtm);
-        PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);
-        return;
-      }
-      w.stats().record_abort(to_cause(st));
-      PHTM_TRACE_TX_ABORT(to_cause(st), st.xabort_code, st.conflict_line);
-      w.txn_snap.restore(txn);
-      // Resource failure: partitioning is the remedy — stop burning fast
-      // attempts (Sec. 4, "Partitioned Path").
-      if (st.code == sim::AbortCode::kCapacity || st.code == sim::AbortCode::kOther) {
-        resource_failure = true;
-        break;
-      }
-      backoff.pause();
-    }
-    if (!resource_failure) {
-      // Repeated failures for reasons other than resource limitation
-      // (extreme conflicts): the paper reserves the global lock for exactly
-      // this class (Sec. 4, "Slow Path") — partitioning would not help.
-      slow_path(w, txn);
-      return;
     }
   }
 
-  Backoff backoff;
+  JitterBackoff backoff(cfg_.policy, &w.jitter_state);
   PHTM_TRACE_PATH(CommitPath::kSoftware);
   for (unsigned g = 0; g < cfg_.partitioned_retries; ++g) {
-    if (partitioned_once(w, txn) == POutcome::kCommitted) return;
+    const POutcome o = partitioned_once(w, txn);
+    if (o == POutcome::kCommitted) return;
+    if (o == POutcome::kStarved) {
+      // The global-begin glock wait hit its bound (convoy): escalate to
+      // the fair queue rather than re-spinning the same wait.
+      w.stats().record_fallback(FallbackReason::kStarvation);
+      PHTM_TRACE_FALLBACK(FallbackReason::kStarvation);
+      slow_path(w, txn);
+      return;
+    }
     w.txn_snap.restore(txn);
     backoff.pause();  // Fig. 1 line 59
   }
   // Extreme contention (or a pathological ring): mutual exclusion wins.
+  w.stats().record_fallback(FallbackReason::kPartitionedExhaustion);
+  PHTM_TRACE_FALLBACK(FallbackReason::kPartitionedExhaustion);
   slow_path(w, txn);
 }
 

@@ -18,6 +18,7 @@
 // subscription at every sub-HTM begin.
 #pragma once
 
+#include "core/policy.hpp"
 #include "core/ring.hpp"
 #include "core/undo.hpp"
 #include "sig/signature.hpp"
@@ -47,10 +48,23 @@ class PartHtmBackend final : public tm::Backend {
   class FastCtx;
   class SubCtx;
 
-  enum class POutcome { kCommitted, kAborted };
+  enum class POutcome { kCommitted, kAborted, kStarved };
+
+  /// Terminal verdict of the fast-path retry loop (the contention
+  /// manager's first decision; DESIGN.md "Robustness & contention
+  /// management").
+  enum class FastOutcome {
+    kCommitted,  ///< hardware commit
+    kResource,   ///< resource-shaped budget spent -> partitioned path
+    kExhausted,  ///< conflict/explicit budget spent -> slow path
+    kStarved,    ///< lemming guard escalated -> ticketed slow path
+  };
 
   /// One fast-path hardware attempt; true = committed.
   bool fast_once(W& w, const tm::Txn& txn, sim::AbortStatus& status);
+
+  /// Fast-path retry loop under per-cause budgets and jittered backoff.
+  FastOutcome run_fast(W& w, const tm::Txn& txn, SiteState& site);
 
   /// One partitioned-path execution (global begin .. commit/abort).
   POutcome partitioned_once(W& w, const tm::Txn& txn);
@@ -69,8 +83,15 @@ class PartHtmBackend final : public tm::Backend {
 
   GlobalRing ring_;
   Signature write_locks_;              ///< shared Bloom lock table (Fig. 1)
-  Padded<std::uint64_t> glock_{0};     ///< slow-path global lock
+  Padded<std::uint64_t> glock_{0};     ///< slow-path global lock (held flag)
   Padded<std::uint64_t> active_tx_{0}; ///< partitioned-path population count
+  // FIFO ticket pair in front of the glock: escalating transactions are
+  // starvation victims by definition, so slow-path entry is served in
+  // arrival order. glock_ stays the single word hardware transactions
+  // subscribe to; only the serving ticket holder asserts it.
+  Padded<std::uint64_t> gl_ticket_{0};   ///< next ticket to hand out
+  Padded<std::uint64_t> gl_serving_{0};  ///< ticket currently admitted
+  SiteTable sites_;                      ///< per-site degradation state
 };
 
 }  // namespace phtm::core

@@ -1,0 +1,181 @@
+// Cause-aware contention management for PART-HTM (the policy engine the
+// DESIGN.md "Robustness & contention management" section describes).
+//
+// Four small mechanisms, composed by part_htm.cpp:
+//
+//   - CauseBudget: per-cause attempt budgets. Resource-shaped aborts
+//     (capacity, duration) fail over immediately by default — re-burning
+//     a footprint that cannot fit is the pathology the paper's
+//     partitioned path exists to avoid — while conflict-shaped aborts
+//     retry under backoff.
+//   - JitterBackoff: capped exponential backoff with deterministic
+//     per-thread jitter. The jitter stream lives in the worker (not a
+//     global RNG), so runs replay exactly and convoying threads desync.
+//   - BoundedSpin: the starvation detector. Every wait loop in the
+//     backend polls it; when the bound is spent the caller escalates to
+//     the ticketed slow path instead of spinning forever (lint rule R8:
+//     unbounded spins must escalate or carry an explicit waiver).
+//   - SiteTable/SiteState: graceful degradation. A transaction site
+//     (hashed step function) with a persistent hardware-failure streak is
+//     quarantined to the software paths; periodic probe transactions
+//     re-try the hardware and one clean commit re-admits the site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "tm/backend.hpp"
+#include "util/cacheline.hpp"
+#include "util/hash.hpp"
+#include "util/stats.hpp"
+
+namespace phtm::core {
+
+/// Capped exponential backoff with deterministic per-thread jitter.
+/// `jitter_state` is the owning worker's xorshift64 word: same seed, same
+/// pause sequence, regardless of cross-thread timing.
+class JitterBackoff {
+ public:
+  JitterBackoff(const tm::PolicyConfig& pc,
+                std::uint64_t* jitter_state) noexcept
+      : cur_(pc.backoff_min_spins),
+        max_(pc.backoff_max_spins),
+        state_(jitter_state) {}
+
+  void pause() noexcept {
+    std::uint64_t x = *state_;  // xorshift64; never zero (seeded | 1)
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state_ = x;
+    const std::uint64_t n = cur_ + (x % cur_) / 2;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // spin-waiver: a bounded pause (<= 1.5 * backoff_max_spins polls),
+      // not a wait loop — it observes no other thread's state and cannot
+      // be starved.
+      cpu_relax();
+    }
+    if (cur_ < max_) cur_ *= 2;
+  }
+
+ private:
+  std::uint64_t cur_;
+  std::uint64_t max_;
+  std::uint64_t* state_;
+};
+
+/// Bounded-wait starvation detector: wraps the polls of a spin loop and
+/// reports when the caller must stop waiting and escalate.
+class BoundedSpin {
+ public:
+  explicit BoundedSpin(std::uint64_t bound) noexcept : left_(bound) {}
+
+  /// One poll. True when the wait bound is spent: the caller escalates
+  /// (fair slow path) instead of spinning on.
+  bool exhausted() noexcept {
+    if (left_ == 0) return true;
+    --left_;
+    // spin-escalates: every loop polling this detector gives up after
+    // `bound` iterations and takes the ticketed slow path.
+    cpu_relax();
+    return false;
+  }
+
+ private:
+  std::uint64_t left_;
+};
+
+/// Per-cause attempt budgets for one transaction's retry loop. A budget
+/// of N means N total attempts charged to that cause; 1 reproduces the
+/// historical "resource aborts fail over immediately" behavior.
+class CauseBudget {
+ public:
+  CauseBudget(unsigned conflict, unsigned capacity, unsigned xplicit,
+              unsigned other) noexcept {
+    n_[static_cast<unsigned>(AbortCause::kConflict)] = conflict;
+    n_[static_cast<unsigned>(AbortCause::kCapacity)] = capacity;
+    n_[static_cast<unsigned>(AbortCause::kExplicit)] = xplicit;
+    n_[static_cast<unsigned>(AbortCause::kOther)] = other;
+  }
+
+  /// Charge one failed attempt to `c`; false when the cause's budget is
+  /// now spent and the caller must leave this path.
+  bool spend(AbortCause c) noexcept {
+    unsigned& n = n_[static_cast<unsigned>(c)];
+    if (n == 0) return false;
+    return --n != 0;
+  }
+
+ private:
+  unsigned n_[static_cast<unsigned>(AbortCause::kCauseCount)] = {};
+};
+
+/// Degradation state of one transaction site. Sites are hashed, so two
+/// step functions may share a state; that only blends their failure
+/// heuristics, never correctness.
+struct alignas(kCacheLineBytes) SiteState {
+  // shared-atomic: contention-manager heuristic inputs (failure streak,
+  // quarantine flag, probe clock) shared by every worker hashing to this
+  // site. They tune path selection only — a stale read mis-tunes one
+  // decision; no protocol ordering runs through them.
+  std::atomic<std::uint32_t> hw_fail_streak{0};
+  std::atomic<std::uint32_t> quarantined{0};
+  std::atomic<std::uint32_t> probe_clock{0};
+
+  /// A hardware fast-path commit: the site is healthy; lift quarantine.
+  void on_hw_commit() noexcept {
+    // relaxed: heuristic state (see shared-atomic note above).
+    hw_fail_streak.store(0, std::memory_order_relaxed);
+    if (quarantined.load(std::memory_order_relaxed) != 0)
+      quarantined.store(0, std::memory_order_relaxed);
+  }
+
+  /// The fast path gave up on hardware grounds (budget exhausted on a
+  /// resource- or conflict-shaped cause — not a starvation escalation,
+  /// which says nothing about the hardware).
+  void on_hw_exhausted(const tm::PolicyConfig& pc) noexcept {
+    // relaxed: heuristic state (see shared-atomic note above).
+    const std::uint32_t s =
+        hw_fail_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (s >= pc.quarantine_after) quarantined.store(1, std::memory_order_relaxed);
+  }
+
+  /// Shift applied to the fast-path budgets: a failing site gets fewer
+  /// hardware attempts before failover (halved per streak step, floor 1).
+  unsigned budget_shift() const noexcept {
+    // relaxed: heuristic state (see shared-atomic note above).
+    const std::uint32_t s = hw_fail_streak.load(std::memory_order_relaxed);
+    return s < 3 ? s : 3;
+  }
+
+  /// True when this transaction should skip the hardware fast path:
+  /// the site is quarantined and this is not a probe (every
+  /// `quarantine_probe_period`-th arrival retries the hardware).
+  bool should_skip_fast(const tm::PolicyConfig& pc) noexcept {
+    // relaxed: heuristic state (see shared-atomic note above).
+    if (quarantined.load(std::memory_order_relaxed) == 0) return false;
+    const std::uint32_t t =
+        probe_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+    return pc.quarantine_probe_period == 0 ||
+           t % pc.quarantine_probe_period != 0;
+  }
+};
+
+/// Fixed-size hashed table of site states (one per backend instance).
+class SiteTable {
+ public:
+  static constexpr unsigned kSites = 64;
+
+  /// State for the site identified by `key` (the transaction's step
+  /// function pointer: one logical transaction type per call site).
+  SiteState& of(const void* key) noexcept {
+    const std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(key)));
+    return sites_[h & (kSites - 1)];
+  }
+
+ private:
+  SiteState sites_[kSites];
+};
+
+}  // namespace phtm::core

@@ -95,6 +95,9 @@ class GlobalRing {
       // mc-yield: waiting for the retired occupant's final seq store; only
       // that publisher can change seq, so this must deschedule under mc.
       PHTM_MC_SPIN(&s.seq);
+      // spin-waiver: the occupant is a committer running a finite,
+      // lock-free fill that ends in its seq store unconditionally — the
+      // wait is bounded by one publication, with no starvation mode.
       cpu_relax();
     }
     rt.nontx_store(&s.seq, ts | kBusy);
@@ -149,7 +152,10 @@ class GlobalRing {
         // mc-yield: waiting out an in-flight publication; only the
         // publisher can complete the entry, so force a deschedule.
         PHTM_MC_SPIN(&s.seq);
-        cpu_relax();  // publication in flight
+        // spin-waiver: publication in flight — the publisher's fill is a
+        // finite lock-free sequence ending in the final seq store, so the
+        // wait is bounded by one publication.
+        cpu_relax();
       }
       bool hit = false;
       // mc-yield: the mask/signature scan races a reusing publisher; the

@@ -17,11 +17,16 @@
 //
 // Events are stamped with a global step counter. Under the cooperative
 // scheduler exactly one thread runs at a time and a recorded access plus
-// its note() call happen within one atomic step, so the counter is a plain
-// integer and stamps are totally ordered in execution order; they stand in
-// for real-time order in the checker.
+// its note() call happen within one atomic step, so stamps are totally
+// ordered in execution order; they stand in for real-time order in the
+// checker. The counter itself is a relaxed atomic so preemptively
+// scheduled harnesses (the chaos tests, tests/chaos_*) can reuse the
+// recorder from real threads with tid-partitioned records: there the
+// stamps carry no cross-thread ordering claim and the checkers must be
+// run with real-time constraints disabled (zeroed begin/end stamps).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -67,7 +72,8 @@ class Recorder {
  public:
   void reset(unsigned nthreads) {
     recs_.assign(nthreads, TxRecord{});
-    step_ = 0;
+    // relaxed: stamp counter (see below).
+    step_.store(0, std::memory_order_relaxed);
   }
 
   /// Record one performed access for thread `tid`. Detects rollbacks by
@@ -76,7 +82,8 @@ class Recorder {
     TxRecord& r = recs_[tid];
     harvest_rollback(r, log);
     assert(log.nops < kMaxTxOps && "raise kMaxTxOps for this scenario");
-    op.step = ++step_;
+    // relaxed: stamp counter (see member note).
+    op.step = step_.fetch_add(1, std::memory_order_relaxed) + 1;
     log.ops[log.nops++] = op;
     r.mirror.push_back(op);
   }
@@ -85,7 +92,8 @@ class Recorder {
   void finish(unsigned tid, TxLog& log) {
     TxRecord& r = recs_[tid];
     harvest_rollback(r, log);
-    r.end_step = ++step_;
+    // relaxed: stamp counter (see member note).
+    r.end_step = step_.fetch_add(1, std::memory_order_relaxed) + 1;
     r.committed = true;
   }
 
@@ -104,7 +112,12 @@ class Recorder {
   }
 
   std::vector<TxRecord> recs_;
-  std::uint64_t step_ = 0;
+  // shared-atomic: global stamp counter. Under the cooperative scheduler
+  // only one thread runs at a time; under the preemptive chaos harness
+  // concurrent note() calls race on it, and a unique (not ordered) stamp
+  // per event is all the checkers need there — relaxed fetch_add provides
+  // exactly that.
+  std::atomic<std::uint64_t> step_{0};
 };
 
 /// Tracked accessors for scenario step functions.

@@ -111,6 +111,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kRingValidate: return "ring_validate";
     case EventKind::kDoom: return "doom";
     case EventKind::kGlobalAbort: return "global_abort";
+    case EventKind::kFallback: return "fallback";
     default: return "?";
   }
 }
@@ -272,6 +273,9 @@ TraceSummary summarize(const std::vector<ThreadTrace>& traces) {
           break;
         case EventKind::kDoom: ++s.dooms; break;
         case EventKind::kGlobalAbort: ++s.global_aborts; break;
+        case EventKind::kFallback:
+          if (e.aux < 5) ++s.fallbacks[e.aux];
+          break;
         default: break;
       }
     }
@@ -300,6 +304,10 @@ const char* abort_code_name(std::uint8_t aux) noexcept {
     case 4: return "other";
     default: return "?";
   }
+}
+
+const char* reason_name(std::uint8_t aux) noexcept {
+  return aux < 5 ? to_string(static_cast<FallbackReason>(aux)) : "?";
 }
 
 const char* val_name(std::uint8_t aux) noexcept {
@@ -448,6 +456,12 @@ bool write_chrome_trace(const std::string& path,
                        "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"args\":{\"txn\":%u}}",
                        t.tid, us_of(e.ns, base), e.txn);
           break;
+        case EventKind::kFallback:
+          std::fprintf(f,
+                       ",\n{\"name\":\"fallback/%s\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"args\":{\"txn\":%u}}",
+                       reason_name(e.aux), t.tid, us_of(e.ns, base), e.txn);
+          break;
         default:
           break;
       }
@@ -519,7 +533,12 @@ bool write_telemetry_json(const std::string& path, const TraceSummary& s,
                static_cast<unsigned long long>(s.ring_validates[2]),
                static_cast<unsigned long long>(s.dooms),
                static_cast<unsigned long long>(s.global_aborts));
-  std::fputs("  \"commit_latency_ns\": {", f);
+  std::fputs("  \"fallbacks\": {", f);
+  for (unsigned i = 0; i < 5; ++i)
+    std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
+                 to_string(static_cast<FallbackReason>(i)),
+                 static_cast<unsigned long long>(s.fallbacks[i]));
+  std::fputs("},\n  \"commit_latency_ns\": {", f);
   for (unsigned i = 0; i < 3; ++i) {
     std::fprintf(f, "%s\"%s\": ", i ? ", " : "",
                  to_string(static_cast<CommitPath>(i)));

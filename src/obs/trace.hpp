@@ -63,6 +63,7 @@ enum class EventKind : std::uint8_t {
   kRingValidate,   ///< aux = ValResult (ok/conflict/rollover), a0 = watermark
   kDoom,           ///< a0 = victim slot, aux = AbortCode, a1 = cache line
   kGlobalAbort,    ///< partitioned-path global abort (rollback + unlock)
+  kFallback,       ///< aux = FallbackReason; 1:1 with record_fallback
   kKindCount,
 };
 
@@ -185,6 +186,7 @@ struct TraceSummary {
   std::uint64_t ring_validates[3]{};  ///< by ValResult (ok/conflict/rollover)
   std::uint64_t dooms = 0;
   std::uint64_t global_aborts = 0;
+  std::uint64_t fallbacks[5]{};       ///< kFallback count by FallbackReason
   Histogram commit_latency_ns[3];     ///< by CommitPath
   Histogram abort_latency_ns[4];      ///< by AbortCause
 };
@@ -286,6 +288,9 @@ bool finalize_from_env();
                     static_cast<std::uint64_t>(line))
 #define PHTM_TRACE_GLOBAL_ABORT() \
   ::phtm::obs::emit(::phtm::obs::EventKind::kGlobalAbort, 0, 0, 0)
+#define PHTM_TRACE_FALLBACK(reason)                        \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kFallback,     \
+                    static_cast<std::uint8_t>(reason), 0, 0)
 #define PHTM_TRACE_TXN_ENTER() ::phtm::obs::txn_enter()
 #define PHTM_TRACE_TXN_EXIT() ::phtm::obs::txn_exit()
 #define PHTM_TRACE_META(key, value) ::phtm::obs::set_meta((key), (value))
@@ -305,6 +310,7 @@ bool finalize_from_env();
 #define PHTM_TRACE_RING_VALIDATE(result, watermark) ((void)0)
 #define PHTM_TRACE_DOOM(victim, code, line) ((void)0)
 #define PHTM_TRACE_GLOBAL_ABORT() ((void)0)
+#define PHTM_TRACE_FALLBACK(reason) ((void)0)
 #define PHTM_TRACE_TXN_ENTER() ((void)0)
 #define PHTM_TRACE_TXN_EXIT() ((void)0)
 #define PHTM_TRACE_META(key, value) ((void)0)

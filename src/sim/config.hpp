@@ -15,7 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+
+#include "sim/fault.hpp"
 
 namespace phtm::sim {
 
@@ -48,6 +51,11 @@ struct HtmConfig {
 
   std::uint64_t seed = 1;
 
+  // --- fault injection (chaos harness) ---
+  // Plain data in every build; consulted only by the chaos library flavor
+  // (PHTM_FAULTS=1).  See sim/fault.hpp for the determinism contract.
+  FaultPlan faults;
+
   /// Intel i7-4770 profile used for most of the paper's plots:
   /// 4 cores, 8 hardware threads, HT pairs share the 32 KB L1.
   static HtmConfig haswell4c8t() {
@@ -74,9 +82,12 @@ struct HtmConfig {
   }
 
   static HtmConfig by_name(const std::string& name) {
+    if (name == "haswell4c8t") return haswell4c8t();
     if (name == "xeon18c") return xeon18c();
     if (name == "testing") return testing();
-    return haswell4c8t();
+    throw std::invalid_argument(
+        "unknown HTM profile \"" + name +
+        "\" (valid: haswell4c8t, xeon18c, testing)");
   }
 };
 

@@ -1,0 +1,84 @@
+// FaultEngine implementation.  Compiled ONLY into the chaos library
+// flavor (phtm_sim_chaos); an ordinary build that accidentally grows a
+// reference to phtm::chaos fails at link, and the
+// fault_compiled_out_symbols test pins the absence of these symbols.
+#include "sim/fault.hpp"
+
+#include <cassert>
+
+namespace phtm::sim {
+
+const char* to_string(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::kHwBegin: return "hw_begin";
+    case FaultSite::kHwAccess: return "hw_access";
+    case FaultSite::kHwCommit: return "hw_commit";
+    case FaultSite::kSubBoundary: return "sub_boundary";
+    case FaultSite::kGlockHeld: return "glock_held";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kAbortConflict: return "abort_conflict";
+    case FaultKind::kAbortCapacity: return "abort_capacity";
+    case FaultKind::kAbortOther: return "abort_other";
+    case FaultKind::kDoomStorm: return "doom_storm";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCapacityFlap: return "capacity_flap";
+    case FaultKind::kRingPressure: return "ring_pressure";
+  }
+  return "?";
+}
+
+}  // namespace phtm::sim
+
+namespace phtm::chaos {
+
+FaultEngine::FaultEngine(const sim::FaultPlan& plan) : plan_(plan) {
+  // Per-slot streams: same plan seed → same decisions per slot, whatever
+  // the cross-thread interleaving does.
+  for (unsigned s = 0; s < kMaxSlots; ++s)
+    slots_[s].rng.reseed(plan_.seed * 0x9e3779b97f4a7c15ull + s);
+}
+
+sim::FaultDecision FaultEngine::visit(sim::FaultSite site,
+                                      unsigned slot) noexcept {
+  assert(slot < kMaxSlots);
+  if (!plan_.enabled) return {};
+  SlotState& st = slots_[slot];
+  const std::uint64_t visit_no = ++st.visits[static_cast<unsigned>(site)];
+  for (const sim::FaultInjector& inj : plan_.injectors) {
+    if (inj.site != site || inj.kind == sim::FaultKind::kNone) continue;
+    if ((inj.thread_mask & (std::uint64_t{1} << (slot % 64))) == 0) continue;
+    bool fire = inj.period != 0 && visit_no % inj.period == 0;
+    if (!fire && inj.prob > 0.0) fire = st.rng.uniform() < inj.prob;
+    if (!fire) continue;
+    ++st.injected[static_cast<unsigned>(inj.kind)];
+    if (inj.kind == sim::FaultKind::kCapacityFlap) {
+      // Flap is stateful, not an event: firing toggles the divisor the
+      // capacity model reads until the next firing (odd epochs starved).
+      const std::uint64_t div = inj.arg != 0 ? inj.arg : 4;
+      st.flap_divisor = st.flap_divisor == 1 ? div : 1;
+      continue;  // later injectors at this site may still fire an event
+    }
+    return {inj.kind, inj.arg};
+  }
+  return {};
+}
+
+std::uint64_t FaultEngine::capacity_divisor(unsigned slot) const noexcept {
+  assert(slot < kMaxSlots);
+  return slots_[slot].flap_divisor;
+}
+
+std::uint64_t FaultEngine::injected(sim::FaultKind kind) const noexcept {
+  std::uint64_t n = 0;
+  for (const SlotState& st : slots_)
+    n += st.injected[static_cast<unsigned>(kind)];
+  return n;
+}
+
+}  // namespace phtm::chaos

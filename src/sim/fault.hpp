@@ -1,0 +1,130 @@
+// Deterministic fault injection for the simulated HTM (chaos harness).
+//
+// A FaultPlan is plain data carried by HtmConfig: a seed plus a list of
+// injectors, each naming a protocol site, the threads it applies to, a
+// firing rule (every Nth visit to the site, or a probability draw, or
+// both) and the fault to inject.  The plan travels through every build,
+// but it is *acted on* only by the chaos library flavor
+// (src/core/CMakeLists.txt builds phtm_{sim,tm,core}_chaos with
+// PHTM_FAULTS=1): in ordinary builds no hook is compiled, fault.cpp is
+// not in the link, and the fault_compiled_out_symbols test pins that a
+// plain test binary contains no phtm::chaos symbols at all.
+//
+// Determinism contract: a decision depends only on (plan.seed, slot id,
+// per-slot visit ordinal).  Each slot draws from its own RNG stream —
+// separate from the Slot's abort RNG, so enabling a plan never perturbs
+// the baseline simulation's random sequence — which makes per-thread
+// fault streams independent of the cross-thread interleaving and lets a
+// chaos failure replay from its printed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+
+namespace phtm::sim {
+
+/// Protocol sites a fault can attach to.  Hardware-level sites live in
+/// the simulator (sim/runtime.cpp); protocol-level sites live in the
+/// PART-HTM backend (core/part_htm.cpp).
+enum class FaultSite : std::uint8_t {
+  kHwBegin,      ///< hardware txn entry, after the doom latch opens
+  kHwAccess,     ///< every transactional read/subscribe/write
+  kHwCommit,     ///< hardware commit point, before the doom latch closes
+  kSubBoundary,  ///< partitioned path, between sub-transactions
+  kGlockHeld,    ///< slow path, while the global lock is held
+};
+inline constexpr unsigned kFaultSiteCount = 5;
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kAbortConflict,  ///< spurious abort, reported as a conflict
+  kAbortCapacity,  ///< spurious abort, reported as capacity
+  kAbortOther,     ///< spurious abort, reported as other (interrupt-like)
+  kDoomStorm,      ///< doom every other in-flight hardware txn
+  kStall,          ///< burn `arg` simulator ticks in place (preemption)
+  kCapacityFlap,   ///< halve capacity on odd firing epochs (see below)
+  kRingPressure,   ///< burn a global-ring slot with an empty entry
+};
+inline constexpr unsigned kFaultKindCount = 8;
+
+const char* to_string(FaultSite s) noexcept;
+const char* to_string(FaultKind k) noexcept;
+
+/// One injector: at `site`, on threads in `thread_mask`, fire every
+/// `period`-th visit (0 = disabled) and/or with probability `prob` per
+/// visit, injecting `kind` with parameter `arg`.
+struct FaultInjector {
+  FaultSite site = FaultSite::kHwBegin;
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t thread_mask = ~std::uint64_t{0};  ///< bit s = slot s
+  std::uint64_t period = 0;  ///< fire when visit % period == 0 (0 = off)
+  double prob = 0.0;         ///< independent per-visit firing probability
+  std::uint64_t arg = 0;     ///< kind-specific (stall ticks, flap divisor)
+};
+
+/// Carried by HtmConfig.  Inert unless `enabled` and the build is a
+/// chaos flavor (PHTM_FAULTS=1).
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  std::vector<FaultInjector> injectors;
+
+  FaultPlan& add(const FaultInjector& inj) {
+    injectors.push_back(inj);
+    enabled = true;
+    return *this;
+  }
+};
+
+/// Outcome of consulting the engine at a site: the first matching
+/// injector that fires this visit (kind == kNone when none fired).
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t arg = 0;
+};
+
+}  // namespace phtm::sim
+
+namespace phtm::chaos {
+
+/// Decision engine for a FaultPlan.  Lives in its own namespace so the
+/// fault_compiled_out_symbols check can pin "no 4phtm5chaos symbols" in
+/// plain builds without tripping over the plan data types above (which
+/// HtmConfig carries everywhere).  Defined in fault.cpp, which only the
+/// chaos library flavor compiles.
+class FaultEngine {
+ public:
+  explicit FaultEngine(const sim::FaultPlan& plan);
+
+  /// Consult the plan at `site` on behalf of `slot`.  Owner-only per-slot
+  /// state (visit counters, RNG): each slot is driven by exactly one
+  /// thread, so no atomics are needed.
+  sim::FaultDecision visit(sim::FaultSite site, unsigned slot) noexcept;
+
+  /// Capacity divisor currently in force for `slot` (kCapacityFlap):
+  /// 1 when no flap is active, the injector's arg (default 4) on odd
+  /// firing epochs.  Epochs advance with kHwBegin visits.
+  std::uint64_t capacity_divisor(unsigned slot) const noexcept;
+
+  /// Total number of injections of `kind` across all slots (test
+  /// observability; call only after the worker threads have joined).
+  std::uint64_t injected(sim::FaultKind kind) const noexcept;
+
+  static constexpr unsigned kMaxSlots = 64;
+
+ private:
+  struct alignas(kCacheLineBytes) SlotState {
+    Rng rng;
+    std::uint64_t visits[sim::kFaultSiteCount] = {};
+    std::uint64_t injected[sim::kFaultKindCount] = {};
+    std::uint64_t flap_divisor = 1;  ///< current kCapacityFlap divisor
+  };
+
+  sim::FaultPlan plan_;
+  SlotState slots_[kMaxSlots];
+};
+
+}  // namespace phtm::chaos

@@ -14,6 +14,17 @@ constexpr std::uint64_t bit_of_slot(unsigned slot) {
 }
 }  // namespace
 
+// Hardware-level fault-injection sites (chaos flavor only; expands to
+// nothing elsewhere, pinned by the fault_compiled_out_symbols test).
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+#define PHTM_FAULT_HW(rt, site, slot) (rt).fault_hw_point((site), (slot))
+#define PHTM_FAULT_CAP_DIV(rt, slot) \
+  ((rt).fault_ != nullptr ? (rt).fault_->capacity_divisor(slot) : 1u)
+#else
+#define PHTM_FAULT_HW(rt, site, slot) ((void)0)
+#define PHTM_FAULT_CAP_DIV(rt, slot) (std::uint64_t{1})
+#endif
+
 HtmRuntime::HtmRuntime(HtmConfig cfg)
     : cfg_(cfg),
       slots_(std::make_unique<Slot[]>(kMaxSlots)),
@@ -22,7 +33,41 @@ HtmRuntime::HtmRuntime(HtmConfig cfg)
     slots_[s].assoc.configure(cfg_.assoc_sets, cfg_.assoc_ways);
     slots_[s].rng.reseed(cfg_.seed * 0x9e3779b97f4a7c15ull + s + 1);
   }
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+  if (cfg_.faults.enabled)
+    fault_ = std::make_unique<chaos::FaultEngine>(cfg_.faults);
+#endif
 }
+
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+void HtmRuntime::fault_hw_point(FaultSite site, unsigned slot) {
+  if (fault_ == nullptr) return;
+  const FaultDecision d = fault_->visit(site, slot);
+  switch (d.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kCapacityFlap:   // stateful: read via capacity_divisor
+    case FaultKind::kRingPressure:   // protocol-level, core hooks only
+      return;
+    case FaultKind::kAbortConflict:
+      throw TxAbort{AbortStatus{AbortCode::kConflict, 0, 0}};
+    case FaultKind::kAbortCapacity:
+      throw TxAbort{AbortStatus{AbortCode::kCapacity, 0, 0}};
+    case FaultKind::kAbortOther:
+      throw TxAbort{AbortStatus{AbortCode::kOther, 0, 0}};
+    case FaultKind::kStall:
+      // Preemption mid-transaction: the stalled core keeps accruing ticks,
+      // so a long enough stall fires the modelled timer interrupt.
+      tick(slot, d.arg != 0 ? d.arg : 1000);
+      return;
+    case FaultKind::kDoomStorm:
+      // Coherence storm: doom every other in-flight hardware transaction
+      // (cross-slot CAS; latched committers survive, as on real hardware).
+      for (unsigned v = 0; v < kMaxSlots; ++v)
+        if (v != slot) try_doom(v, AbortCode::kConflict, 0);
+      return;
+  }
+}
+#endif
 
 HtmRuntime::~HtmRuntime() {
   // Overflow chunks are only ever appended (entry addresses must stay
@@ -105,7 +150,8 @@ void HtmRuntime::tick(unsigned slot, std::uint64_t n) {
 }
 
 unsigned HtmRuntime::effective_write_cap(unsigned slot) const {
-  unsigned cap = cfg_.write_lines_cap;
+  unsigned cap = static_cast<unsigned>(cfg_.write_lines_cap /
+                                       PHTM_FAULT_CAP_DIV(*this, slot));
   if (cfg_.hyperthread_pairs) {
     const unsigned sibling = slot ^ cfg_.ht_sibling_stride;
     // relaxed: capacity heuristic; a stale sibling flag only mis-sizes the
@@ -117,7 +163,7 @@ unsigned HtmRuntime::effective_write_cap(unsigned slot) const {
 }
 
 unsigned HtmRuntime::effective_read_cap(unsigned slot) const {
-  std::uint64_t cap = cfg_.read_lines_cap;
+  std::uint64_t cap = cfg_.read_lines_cap / PHTM_FAULT_CAP_DIV(*this, slot);
   if (cfg_.scale_read_cap_with_conc) {
     // relaxed: capacity heuristic (shared-L2 pressure model); staleness is
     // harmless for the same reason as the sibling flag above.
@@ -344,6 +390,9 @@ void HtmRuntime::begin(unsigned slot) {
 
 void HtmRuntime::commit(unsigned slot) {
   Slot& s = slots_[slot];
+  // Commit-point faults fire before the doom latch: the transaction is
+  // still doomable, so an injected abort unwinds like any hardware abort.
+  PHTM_FAULT_HW(*this, FaultSite::kHwCommit, slot);
   // mc-yield: the doom-latch CAS decides the doom-vs-commit race, and the
   // subsequent write-buffer publication makes every speculative store
   // visible — a composite footprint, hence the null address (dependent with
@@ -397,6 +446,7 @@ HtmResult HtmRuntime::attempt_impl(unsigned slot, BodyFn fn, void* ctx) {
   PHTM_TRACE_TXN_ENTER();
   HtmOps ops(*this, slot);
   try {
+    PHTM_FAULT_HW(*this, FaultSite::kHwBegin, slot);
     fn(ctx, ops);
     commit(slot);
     PHTM_TRACE_TXN_EXIT();
@@ -451,6 +501,9 @@ void HtmRuntime::invalidate_line(std::uint64_t line, bool is_write) {
     // mc-yield: waiting out a latched committer's publication; progress
     // requires the committer to run, so this must deschedule under mc.
     PHTM_MC_SPIN(nullptr);
+    // spin-waiver: bounded by the latched committer's publication, a
+    // finite straight-line sequence with no locks — there is no
+    // starvation mode to escalate out of at this layer.
     cpu_relax();  // wait for the committer to publish and unregister
   }
 }
@@ -535,6 +588,7 @@ std::uint64_t HtmOps::read(const std::uint64_t* addr) {
   // atomic step, exactly as a coherence transaction serializes on hardware.
   PHTM_MC_YIELD(kHwRead, addr);
   rt_.check_doomed(slot_);
+  PHTM_FAULT_HW(rt_, FaultSite::kHwAccess, slot_);
   Slot& s = rt_.slots_[slot_];
   std::uint64_t v;
   if (s.wbuf.get(addr, v)) {
@@ -561,6 +615,7 @@ void HtmOps::subscribe(const std::uint64_t* addr) {
   // mc-yield: read-set registration; dooms a conflicting writer.
   PHTM_MC_YIELD(kHwSubscribe, addr);
   rt_.check_doomed(slot_);
+  PHTM_FAULT_HW(rt_, FaultSite::kHwAccess, slot_);
   Slot& s = rt_.slots_[slot_];
   const std::uint64_t line = line_of(addr);
   const std::uint8_t prev = s.lines.add(line, LineSet::kRead);
@@ -577,6 +632,7 @@ void HtmOps::write(std::uint64_t* addr, std::uint64_t val) {
   // and writers of the line even though the value stays buffered.
   PHTM_MC_YIELD(kHwWrite, addr);
   rt_.check_doomed(slot_);
+  PHTM_FAULT_HW(rt_, FaultSite::kHwAccess, slot_);
   Slot& s = rt_.slots_[slot_];
   const std::uint64_t line = line_of(addr);
   const std::uint8_t prev = s.lines.add(line, LineSet::kWrite);

@@ -35,6 +35,7 @@
 
 #include "sim/abort.hpp"
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/lineset.hpp"
 #include "sim/writebuf.hpp"
 #include "util/cacheline.hpp"
@@ -125,6 +126,13 @@ class HtmRuntime {
   std::uint64_t total_begins() const noexcept { return begins_.load(std::memory_order_relaxed); }
   std::uint64_t total_commits() const noexcept { return commits_.load(std::memory_order_relaxed); }
 
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+  /// Fault-injection engine, chaos builds only (nullptr when the config's
+  /// plan is disabled).  Protocol-level hooks in core consult it directly;
+  /// hardware-level sites are injected inside this runtime.
+  chaos::FaultEngine* fault_engine() noexcept { return fault_.get(); }
+#endif
+
  private:
   friend class HtmOps;
 
@@ -200,6 +208,12 @@ class HtmRuntime {
   unsigned effective_write_cap(unsigned slot) const;
   unsigned effective_read_cap(unsigned slot) const;
 
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+  /// Consult the engine at a hardware-level site; may throw TxAbort
+  /// (spurious aborts, stall-exhausted duration) or doom other slots.
+  void fault_hw_point(FaultSite site, unsigned slot);
+#endif
+
   Bucket& bucket_of(std::uint64_t line) noexcept;
   /// Doom every conflicting transaction for a software access.
   void invalidate_line(std::uint64_t line, bool is_write);
@@ -218,6 +232,14 @@ class HtmRuntime {
   alignas(kCacheLineBytes) std::atomic<unsigned> active_{0};
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> begins_{0};
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> commits_{0};
+
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+  // Chaos flavor only: the member itself is compiled out elsewhere so the
+  // unique_ptr's destructor cannot pull phtm::chaos symbols into plain
+  // builds (library flavors never mix in one binary — see
+  // src/core/CMakeLists.txt and the fault_compiled_out_symbols test).
+  std::unique_ptr<chaos::FaultEngine> fault_;
+#endif
 };
 
 /// Per-access operations available inside a hardware attempt.

@@ -30,6 +30,9 @@ class HleMutex {
   template <typename F>
   bool critical(sim::HtmRuntime::Thread& th, F&& body) {
     // Lemming guard: never speculate while the lock is held.
+    // spin-waiver: competitor backend modeling plain HLE, which has no
+    // fairness layer; the holder runs one finite uninstrumented section
+    // and releases unconditionally.
     while (rt_.nontx_load(&lock_.value) != 0) cpu_relax();
     const sim::HtmResult r = rt_.attempt(th, [&](sim::HtmOps& ops) {
       if (ops.read(&lock_.value) != 0) ops.xabort(kXGlockHeld);
@@ -39,6 +42,8 @@ class HleMutex {
     if (r.committed) return true;
     // Single trial failed: take the lock for real. Acquisition aborts every
     // still-speculating subscriber (strong atomicity), as HLE requires.
+    // spin-waiver: unfair CAS acquire is HLE's actual fallback semantics —
+    // this backend exists to measure it, not to fix it.
     while (!rt_.nontx_cas(&lock_.value, 0, 1)) cpu_relax();
     tm::DirectCtx ctx;
     body(static_cast<tm::Ctx&>(ctx));

@@ -36,6 +36,9 @@ class HtmGlBackend final : public tm::Backend {
       PHTM_TRACE_PATH(CommitPath::kHtm);
       for (unsigned attempt = 0; attempt < retries_; ++attempt) {
         // Lemming-effect avoidance: do not even begin while the lock is held.
+        // spin-waiver: HTM-GL is the paper's baseline with a deliberately
+        // unfair global-lock fallback; each holder runs one finite
+        // uninstrumented transaction and releases unconditionally.
         while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();
         const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
           if (ops.read(&glock_.value) != 0) ops.xabort(kXGlockHeld);
@@ -58,6 +61,8 @@ class HtmGlBackend final : public tm::Backend {
     }
     // Fallback: single global lock, uninstrumented execution.
     PHTM_TRACE_PATH(CommitPath::kGlobalLock);
+    // spin-waiver: unfair CAS acquire is the baseline's published design
+    // (Sec. 7); PART-HTM's ticketed slow path is the fix under measurement.
     while (!rt_.nontx_cas(&glock_.value, 0, 1)) cpu_relax();
     tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
     tm::run_all_segments(ctx, txn);

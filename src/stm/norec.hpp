@@ -104,6 +104,8 @@ class NorecBackend : public tm::Backend {
     for (;;) {
       const std::uint64_t s = rt_.nontx_load(&seq_.value);
       if ((s & 1) == 0) return s;
+      // spin-waiver: seqlock wait — the committer holding the odd clock
+      // runs a finite write-back and bumps it back to even unconditionally.
       cpu_relax();
     }
   }

@@ -33,7 +33,10 @@ class NorecRhBackend final : public NorecBackend {
       Backoff backoff;
       PHTM_TRACE_PATH(CommitPath::kHtm);
       for (unsigned attempt = 0; attempt < retries_; ++attempt) {
-        while (rt_.nontx_load(&seq_.value) & 1) cpu_relax();  // lemming guard
+        // Lemming guard.
+        // spin-waiver: the odd clock is held only across a committer's
+        // finite write-back, which restores it to even unconditionally.
+        while (rt_.nontx_load(&seq_.value) & 1) cpu_relax();
         const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
           const std::uint64_t s = ops.read(&seq_.value);
           if (s & 1) ops.xabort(kXSeqlockHeld);

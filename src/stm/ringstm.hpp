@@ -161,7 +161,9 @@ class RingStmBackend final : public tm::Backend {
         // mc-yield: waiting out an in-flight publication; only the
         // publisher can complete the entry, so force a deschedule.
         PHTM_MC_SPIN(&e.seq);
-        cpu_relax();  // publication in flight
+        // spin-waiver: publication in flight — the publisher's fill is a
+        // finite store sequence ending in the closing seq store.
+        cpu_relax();
       }
       // Word-atomic scan: a writer reusing this slot republishes the
       // signature while we may still be reading it; the seq recheck below
@@ -184,6 +186,8 @@ class RingStmBackend final : public tm::Backend {
           // mc-yield: only the blocking committer's retirement store can
           // change the recheck; it retires unconditionally — deadlock-free.
           PHTM_MC_SPIN(&last_complete_.value);
+          // spin-waiver: mc-only wait, bounded by the blocking committer's
+          // unconditional retirement (see the deadlock-free note above).
           cpu_relax();
         }
 #endif
@@ -242,6 +246,8 @@ class RingStmBackend final : public tm::Backend {
         // mc-yield: no-progress retry cycle; only a retirement store can
         // change the outcome — force a deschedule.
         PHTM_MC_SPIN(&last_complete_.value);
+        // spin-waiver: bounded by the CAS winner's write-back, which
+        // retires unconditionally and advances last_complete past ts.
         cpu_relax();
       }
     }
@@ -254,6 +260,8 @@ class RingStmBackend final : public tm::Backend {
         // mc-yield: waiting for the retired occupant's write-back; only
         // that committer can advance last_complete — force a deschedule.
         PHTM_MC_SPIN(&last_complete_.value);
+        // spin-waiver: retirement is monotone and unconditional — every
+        // committer ahead of `retired` finishes its finite write-back.
         cpu_relax();
       }
     }
@@ -282,6 +290,8 @@ class RingStmBackend final : public tm::Backend {
         // mc-yield: single-writer write-back gate; only the predecessor's
         // retirement store can release it — force a deschedule.
         PHTM_MC_SPIN(&last_complete_.value);
+        // spin-waiver: FIFO hand-off by timestamp order — the predecessor's
+        // finite write-back ends in its retirement store, releasing us.
         cpu_relax();
       }
     }

@@ -62,6 +62,9 @@ class SphtBackend final : public tm::Backend {
       Backoff backoff;
       PHTM_TRACE_PATH(CommitPath::kHtm);
       for (unsigned a = 0; a < cfg_.htm_retries; ++a) {
+        // Lemming guard.
+        // spin-waiver: competitor backend with SpHT's published unfair
+        // fallback; the holder runs one finite uninstrumented transaction.
         while (rt_.nontx_load(&glock_.value) != 0) cpu_relax();
         const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
           if (ops.read(&glock_.value) != 0) ops.xabort(kXGlockHeld);
@@ -97,6 +100,8 @@ class SphtBackend final : public tm::Backend {
     }
     // Phase 3: global lock.
     PHTM_TRACE_PATH(CommitPath::kGlobalLock);
+    // spin-waiver: unfair CAS acquire matches the competitor design under
+    // measurement; PART-HTM's ticketed slow path is the contrast case.
     while (!rt_.nontx_cas(&glock_.value, 0, 1)) cpu_relax();
     tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
     tm::run_all_segments(ctx, txn);
@@ -218,6 +223,8 @@ class SphtBackend final : public tm::Backend {
             r.abort.xabort_code == kXInvalid)
           return false;  // snapshot broken: restart the whole transaction
         if (++tries >= cfg_.sub_htm_retries) return false;
+        // spin-waiver: single pause between budget-bounded retries (the
+        // `tries` cap above), not a wait on shared state.
         cpu_relax();
       }
       // Merge staged logs (sub-transaction committed).

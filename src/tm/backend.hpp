@@ -66,6 +66,42 @@ class Backend {
   virtual void execute(Worker& w, const Txn& txn) = 0;
 };
 
+/// Cause-aware contention-management knobs (PART-HTM's policy engine,
+/// src/core/policy.hpp; DESIGN.md "Robustness & contention management").
+/// Defaults reproduce the historical fixed policy: 5 attempts on
+/// conflict-shaped aborts, immediate failover on resource-shaped ones.
+struct PolicyConfig {
+  // Fast-path per-cause attempt budgets (total attempts, not extra
+  // retries). A mixed abort history draws from each cause's own budget.
+  // Conflict- and explicit-shaped aborts use BackendConfig::htm_retries
+  // (the knob the ablation benches sweep); only resource-shaped causes
+  // have their own budgets here.
+  unsigned htm_capacity_retries = 1;  ///< footprint aborts: don't re-burn
+  unsigned htm_other_retries = 1;     ///< timer/async events
+
+  // Sub-HTM per-cause budgets for the partitioned path. Conflict-shaped
+  // sub-aborts use BackendConfig::sub_htm_retries (the paper's knob).
+  unsigned sub_capacity_retries = 2;  ///< segments are small; 1 resize try
+  unsigned sub_other_retries = 4;
+
+  // Capped exponential backoff between conflict-shaped retries, with
+  // deterministic per-thread jitter (same shape as util::Backoff, but the
+  // jitter stream is owned by the worker, so runs replay exactly).
+  unsigned backoff_min_spins = 32;
+  unsigned backoff_max_spins = 1u << 14;
+
+  // Bounded-wait starvation detector: a guarded spin loop that exceeds
+  // this many polls escalates to the ticketed slow path.
+  std::uint64_t spin_escalation_bound = 1u << 20;
+
+  // Graceful degradation: after this many consecutive fast-path resource
+  // failures a site is quarantined to the software paths; every
+  // `quarantine_probe_period`-th transaction probes the hardware again
+  // and a single clean commit re-admits the site.
+  unsigned quarantine_after = 16;
+  unsigned quarantine_probe_period = 64;
+};
+
 /// Knobs shared by backend constructors (ablation benches sweep these).
 struct BackendConfig {
   unsigned htm_retries = 5;         ///< hardware attempts before fallback
@@ -73,6 +109,7 @@ struct BackendConfig {
   unsigned sub_htm_retries = 10;    ///< sub-HTM attempts before global abort
   unsigned ring_entries = 1024;     ///< global ring size (power of two)
   bool validate_after_each_sub = true;  ///< paper default (Sec. 5.3.6)
+  PolicyConfig policy;              ///< contention-manager knobs
 };
 
 /// Build a backend over `rt`. The returned object owns all global metadata.

@@ -20,6 +20,8 @@ class alignas(kCacheLineBytes) Spinlock {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       // relaxed: TTAS inner spin; the acquiring exchange above provides the
       // ordering once the lock is observed free.
+      // spin-waiver: simulator-internal lock with critical sections of a
+      // few dozen instructions and no nesting; holders always release.
       while (locked_.load(std::memory_order_relaxed)) cpu_relax();
     }
   }
@@ -58,6 +60,8 @@ class Backoff {
       : cur_(min_spins), max_(max_spins) {}
 
   void pause() noexcept {
+    // spin-waiver: bounded pause (cur_ iterations), not a wait on shared
+    // state — it terminates unconditionally.
     for (std::uint32_t i = 0; i < cur_; ++i) cpu_relax();
     if (cur_ < max_) cur_ *= 2;
   }

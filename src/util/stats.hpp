@@ -52,6 +52,30 @@ inline const char* to_string(CommitPath p) {
   }
 }
 
+/// Why the contention manager left the hardware fast path (the decision
+/// taxonomy of the policy state machine, DESIGN.md "Robustness &
+/// contention management"). Recorded once per downgrade decision, not per
+/// attempt.
+enum class FallbackReason : unsigned {
+  kConflictExhaustion = 0,  ///< conflict/explicit retry budget spent
+  kPartitionedExhaustion,   ///< partitioned retry budget spent -> slow path
+  kStarvation,              ///< bounded-wait detector escalated a spin loop
+  kIrrevocable,             ///< transaction demanded the slow path up front
+  kQuarantine,              ///< site degraded to software-only (probation)
+  kReasonCount,
+};
+
+inline const char* to_string(FallbackReason r) {
+  switch (r) {
+    case FallbackReason::kConflictExhaustion: return "conflict_exhaustion";
+    case FallbackReason::kPartitionedExhaustion: return "partitioned_exhaustion";
+    case FallbackReason::kStarvation: return "starvation";
+    case FallbackReason::kIrrevocable: return "irrevocable";
+    case FallbackReason::kQuarantine: return "quarantine";
+    default: return "?";
+  }
+}
+
 /// One thread's counters; padded so threads never share lines.
 ///
 /// Recording discipline: the sheet is single-writer (its owning thread),
@@ -70,12 +94,16 @@ struct alignas(kCacheLineBytes) StatSheet {
   std::uint64_t global_aborts{};     ///< partitioned-path global aborts
   std::uint64_t validations{};       ///< in-flight validations executed
   std::uint64_t ring_rollovers{};    ///< aborts due to ring overflow
+  std::uint64_t fallbacks[static_cast<unsigned>(FallbackReason::kReasonCount)]{};
 
   void record_abort(AbortCause c) noexcept {
     bump(&aborts[static_cast<unsigned>(c)]);
   }
   void record_commit(CommitPath p) noexcept {
     bump(&commits[static_cast<unsigned>(p)]);
+  }
+  void record_fallback(FallbackReason r) noexcept {
+    bump(&fallbacks[static_cast<unsigned>(r)]);
   }
   void add_sub_htm_commit() noexcept { bump(&sub_htm_commits); }
   void add_sub_htm_abort() noexcept { bump(&sub_htm_aborts); }
@@ -98,6 +126,8 @@ struct alignas(kCacheLineBytes) StatSheet {
     s.global_aborts = read(&global_aborts);
     s.validations = read(&validations);
     s.ring_rollovers = read(&ring_rollovers);
+    for (unsigned i = 0; i < static_cast<unsigned>(FallbackReason::kReasonCount); ++i)
+      s.fallbacks[i] = read(&fallbacks[i]);
     return s;
   }
 
@@ -122,6 +152,8 @@ struct alignas(kCacheLineBytes) StatSheet {
     global_aborts += o.global_aborts;
     validations += o.validations;
     ring_rollovers += o.ring_rollovers;
+    for (unsigned i = 0; i < static_cast<unsigned>(FallbackReason::kReasonCount); ++i)
+      fallbacks[i] += o.fallbacks[i];
     return *this;
   }
 

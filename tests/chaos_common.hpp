@@ -1,0 +1,192 @@
+// Shared scaffolding for the chaos suites (tests/chaos_*).
+//
+// The chaos tests drive the PART-HTM backend on *real* threads while the
+// fault-injection layer (sim/fault.hpp, chaos library flavor only)
+// perturbs the protocol, and assert two properties per scenario:
+//
+//  - liveness: every transaction commits, and the total retry work stays
+//    under an explicit bound (no livelock under any injector);
+//  - correctness: per-round transaction histories, captured with the model
+//    checker's Recorder (src/mc/history.hpp, header-only here), admit a
+//    sequential witness — the same serializability/opacity verdict the
+//    cooperative explorer computes, replayed on chaos traces.
+//
+// Under preemptive scheduling the Recorder's stamps carry no cross-thread
+// ordering claim, so every begin/end stamp is zeroed before checking: the
+// real-time constraints in mc/opacity.hpp become vacuous (0 < 0 is false)
+// and the verdict is pure serializability/opacity, which is sound — it
+// only admits more witnesses.
+//
+// Every suite seeds its fault plans from chaos_seed(): PHTM_CHAOS_SEED in
+// the environment, or a fixed default. The seed is printed once so any
+// failure replays exactly (see EXPERIMENTS.md, "Chaos harness").
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/part_htm.hpp"
+#include "mc/history.hpp"
+#include "mc/opacity.hpp"
+#include "sim/config.hpp"
+#include "sim/runtime.hpp"
+#include "tm/heap.hpp"
+#include "util/threads.hpp"
+
+#if !defined(PHTM_FAULTS) || !PHTM_FAULTS
+#error "chaos tests must link the chaos library flavor (PHTM_FAULTS=1)"
+#endif
+
+namespace phtm::test {
+
+/// Replayable seed for every chaos fault plan: PHTM_CHAOS_SEED wins,
+/// otherwise a fixed default. Printed once per process for replay.
+inline std::uint64_t chaos_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("PHTM_CHAOS_SEED");
+    const std::uint64_t v =
+        env != nullptr ? std::strtoull(env, nullptr, 10) : 20260806ull;
+    std::printf("[chaos] fault-plan seed = %llu "
+                "(replay with PHTM_CHAOS_SEED=%llu)\n",
+                static_cast<unsigned long long>(v),
+                static_cast<unsigned long long>(v));
+    std::fflush(stdout);
+    return v;
+  }();
+  return seed;
+}
+
+/// Round-based history harness: each round runs one transaction per thread
+/// against a PART-HTM backend, records every tracked access through the
+/// model checker's Recorder, and checks the round's history for a
+/// sequential witness. Rounds are independent (the recorder resets), so
+/// the n! witness search stays exact and instant.
+class ChaosHistoryHarness {
+ public:
+  static constexpr unsigned kCells = 8;
+
+  ChaosHistoryHarness(const sim::HtmConfig& cfg, unsigned threads,
+                      core::PartHtmBackend::Mode mode =
+                          core::PartHtmBackend::Mode::kSerializable,
+                      tm::BackendConfig bcfg = {})
+      : rt_(cfg),
+        backend_(rt_, bcfg, mode, /*no_fast=*/false),
+        threads_(threads),
+        opaque_(mode == core::PartHtmBackend::Mode::kOpaque) {
+    cells_ = tm::TmHeap::instance().alloc_array<std::uint64_t>(kCells * 8);
+    for (unsigned i = 0; i < kCells; ++i) cells_[i * 8] = 0;
+    for (unsigned t = 0; t < threads; ++t)
+      workers_.push_back(backend_.make_worker(t));
+  }
+
+  sim::HtmRuntime& runtime() noexcept { return rt_; }
+  core::PartHtmBackend& backend() noexcept { return backend_; }
+
+  /// Mark one thread's transactions irrevocable (forced slow path) — the
+  /// glock-convoy scenarios pin every other thread behind that holder.
+  void set_irrevocable(unsigned tid) { irrevocable_tid_ = static_cast<int>(tid); }
+
+  /// Aggregate abort count across all workers so far (liveness bound).
+  std::uint64_t total_aborts() const {
+    std::uint64_t n = 0;
+    for (const auto& w : workers_) n += w->stats().total_aborts();
+    return n;
+  }
+
+  std::uint64_t total_commits(CommitPath p) const {
+    std::uint64_t n = 0;
+    for (const auto& w : workers_)
+      n += w->stats().commits[static_cast<unsigned>(p)];
+    return n;
+  }
+
+  /// One round: every thread executes one two-segment read-modify-write
+  /// transaction over the shared cells; returns the history verdict.
+  mc::HistoryVerdict run_round(unsigned round) {
+    mc::Recorder rec;
+    rec.reset(threads_);
+
+    struct Env {
+      std::uint64_t* cells;
+      mc::Recorder* rec;
+    } env{cells_, &rec};
+    struct L {
+      mc::TxLog log;  ///< must head the blob: abort paths roll nops back
+      std::uint64_t tid;
+      std::uint64_t a, b;
+    };
+    static_assert(std::is_trivially_copyable_v<L>);
+
+    std::vector<std::pair<const std::uint64_t*, std::uint64_t>> initial;
+    for (unsigned i = 0; i < kCells; ++i)
+      initial.emplace_back(&cells_[i * 8], cells_[i * 8]);
+
+    run_threads(threads_, [&](unsigned tid) {
+      L l{};
+      l.tid = tid;
+      l.a = tid % kCells;
+      l.b = (tid + 1 + round) % kCells;
+      tm::Txn t;
+      t.step = +[](tm::Ctx& c, const void* e, void* lp, unsigned seg) {
+        const Env& en = *static_cast<const Env*>(e);
+        L& loc = *static_cast<L*>(lp);
+        const unsigned tid = static_cast<unsigned>(loc.tid);
+        std::uint64_t* cell =
+            &en.cells[(seg == 0 ? loc.a : loc.b) * 8];
+        const std::uint64_t v =
+            mc::rec_read(c, *en.rec, tid, loc.log, cell);
+        mc::rec_write(c, *en.rec, tid, loc.log, cell, v + 1);
+        return seg == 0;
+      };
+      t.env = &env;
+      t.locals = &l;
+      t.locals_bytes = sizeof(L);
+      t.irrevocable = static_cast<int>(tid) == irrevocable_tid_;
+      backend_.execute(*workers_[tid], t);
+      rec.finish(tid, l.log);
+    });
+
+    mc::HistoryInput in;
+    in.initial = std::move(initial);
+    for (unsigned i = 0; i < kCells; ++i)
+      in.final_mem.emplace_back(&cells_[i * 8], cells_[i * 8]);
+    in.check_opacity = opaque_;
+    for (unsigned tid = 0; tid < threads_; ++tid) {
+      const mc::TxRecord& r = rec.record(tid);
+      EXPECT_TRUE(r.committed) << "tid " << tid << " never committed";
+      // Zeroed stamps: disable real-time constraints (see header comment).
+      in.txns.push_back(mc::CommittedTx{tid, r.mirror, 0, 0});
+      for (mc::Fragment f : r.fragments) {
+        f.begin_step = 0;
+        f.end_step = 0;
+        in.fragments.push_back(std::move(f));
+      }
+    }
+    return mc::check_history(in);
+  }
+
+  /// Run `rounds` rounds, asserting every round's history verdict.
+  void run_checked(unsigned rounds) {
+    for (unsigned r = 0; r < rounds; ++r) {
+      const mc::HistoryVerdict v = run_round(r);
+      ASSERT_TRUE(v.ok) << "round " << r << ": " << v.diagnosis
+                        << "\nreplay with PHTM_CHAOS_SEED="
+                        << chaos_seed();
+    }
+  }
+
+ private:
+  sim::HtmRuntime rt_;
+  core::PartHtmBackend backend_;
+  unsigned threads_;
+  bool opaque_;
+  int irrevocable_tid_ = -1;
+  std::uint64_t* cells_ = nullptr;
+  std::vector<std::unique_ptr<tm::Worker>> workers_;
+};
+
+}  // namespace phtm::test

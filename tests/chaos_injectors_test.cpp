@@ -1,0 +1,226 @@
+// Chaos suite: every fault injector (sim/fault.hpp) driven against the
+// full PART-HTM three-path stack, asserting liveness (every transaction
+// commits; total retry work stays under an explicit bound) and
+// correctness (per-round histories admit a sequential witness — the model
+// checker's serializability/opacity verdict replayed on chaos traces).
+// All plans seed from chaos_seed(); a failure replays by exporting
+// PHTM_CHAOS_SEED with the printed value.
+#include "chaos_common.hpp"
+
+#include <atomic>
+
+namespace phtm::test {
+namespace {
+
+using sim::FaultInjector;
+using sim::FaultKind;
+using sim::FaultSite;
+
+// Liveness ceiling per executed transaction: the contention manager caps
+// fast attempts (htm_retries + resource budgets), partitioned retries
+// (partitioned_retries globals x per-segment sub budgets) and always
+// terminates in the ticketed slow path, so per-transaction aborts are
+// bounded by a small constant. 256 is ~1.5x the worst stacked budget
+// under default knobs — exceeding it means a retry loop lost its bound.
+constexpr std::uint64_t kAbortsPerTxnBound = 256;
+
+TEST(ChaosInjectors, SpuriousPeriodicAbortsStayLiveAndSerializable) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.faults.seed = chaos_seed();
+  cfg.faults.add({FaultSite::kHwAccess, FaultKind::kAbortConflict,
+                  /*thread_mask=*/~std::uint64_t{0}, /*period=*/7});
+  constexpr unsigned kThreads = 4, kRounds = 25;
+  ChaosHistoryHarness h(cfg, kThreads);
+  h.run_checked(kRounds);
+  auto* eng = h.runtime().fault_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_GT(eng->injected(FaultKind::kAbortConflict), 0u);
+  EXPECT_LE(h.total_aborts(), kAbortsPerTxnBound * kThreads * kRounds);
+}
+
+TEST(ChaosInjectors, DoomStormFromOneThreadCannotBreakHistories) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.faults.seed = chaos_seed();
+  // Thread slot 0 dooms every other in-flight hardware transaction at
+  // every 4th of its own commit points.
+  cfg.faults.add({FaultSite::kHwCommit, FaultKind::kDoomStorm,
+                  /*thread_mask=*/1, /*period=*/4});
+  constexpr unsigned kThreads = 4, kRounds = 25;
+  ChaosHistoryHarness h(cfg, kThreads);
+  h.run_checked(kRounds);
+  auto* eng = h.runtime().fault_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_GT(eng->injected(FaultKind::kDoomStorm), 0u);
+  EXPECT_LE(h.total_aborts(), kAbortsPerTxnBound * kThreads * kRounds);
+}
+
+TEST(ChaosInjectors, RingWraparoundPressureDegradesGracefully) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.faults.seed = chaos_seed();
+  // Half of all hardware commits fail as capacity, pushing work onto the
+  // partitioned path; every sub-transaction boundary burns a slot of an
+  // 8-entry ring, so validators keep hitting rollover.
+  cfg.faults.add({FaultSite::kHwCommit, FaultKind::kAbortCapacity,
+                  /*thread_mask=*/~std::uint64_t{0}, /*period=*/0,
+                  /*prob=*/0.5});
+  cfg.faults.add({FaultSite::kSubBoundary, FaultKind::kRingPressure,
+                  /*thread_mask=*/~std::uint64_t{0}, /*period=*/1});
+  tm::BackendConfig bcfg;
+  bcfg.ring_entries = 8;
+  constexpr unsigned kThreads = 4, kRounds = 20;
+  ChaosHistoryHarness h(cfg, kThreads,
+                        core::PartHtmBackend::Mode::kSerializable, bcfg);
+  h.run_checked(kRounds);
+  auto* eng = h.runtime().fault_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_GT(eng->injected(FaultKind::kRingPressure), 0u);
+  EXPECT_GT(eng->injected(FaultKind::kAbortCapacity), 0u);
+  EXPECT_LE(h.total_aborts(), kAbortsPerTxnBound * kThreads * kRounds);
+}
+
+TEST(ChaosInjectors, GlockConvoyWithStalledHolderDrains) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.faults.seed = chaos_seed();
+  // The slow-path holder is preempted while the lock is asserted: every
+  // other thread convoys behind the glock until the stall ends.
+  cfg.faults.add({FaultSite::kGlockHeld, FaultKind::kStall,
+                  /*thread_mask=*/~std::uint64_t{0}, /*period=*/1,
+                  /*prob=*/0.0, /*arg=*/20'000});
+  constexpr unsigned kThreads = 4, kRounds = 20;
+  ChaosHistoryHarness h(cfg, kThreads);
+  h.set_irrevocable(0);  // thread 0 takes the slow path every round
+  h.run_checked(kRounds);
+  auto* eng = h.runtime().fault_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_GT(eng->injected(FaultKind::kStall), 0u);
+  EXPECT_GE(h.total_commits(CommitPath::kGlobalLock), kRounds);
+  EXPECT_LE(h.total_aborts(), kAbortsPerTxnBound * kThreads * kRounds);
+}
+
+TEST(ChaosInjectors, StalledThreadDegradesWithoutBlockingOthers) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.faults.seed = chaos_seed();
+  cfg.tick_budget = 20'000;  // stalls must be able to exhaust the quantum
+  // Thread slot 0 is preempted inside every 3rd hardware access, burning
+  // more than the whole duration quantum.
+  cfg.faults.add({FaultSite::kHwAccess, FaultKind::kStall,
+                  /*thread_mask=*/1, /*period=*/3, /*prob=*/0.0,
+                  /*arg=*/50'000});
+  constexpr unsigned kThreads = 4, kRounds = 20;
+  // Opaque mode: the history check also places every aborted attempt's
+  // fragment on a consistent witness prefix.
+  ChaosHistoryHarness h(cfg, kThreads, core::PartHtmBackend::Mode::kOpaque);
+  h.run_checked(kRounds);
+  auto* eng = h.runtime().fault_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_GT(eng->injected(FaultKind::kStall), 0u);
+  EXPECT_LE(h.total_aborts(), kAbortsPerTxnBound * kThreads * kRounds);
+}
+
+// Capacity flapping: on odd firing epochs the effective footprint budget
+// shrinks by the injector's divisor, so a transaction that fits fine in
+// even epochs keeps bouncing to the software paths in odd ones. Single
+// thread, so the whole run is deterministic in the plan seed.
+TEST(ChaosInjectors, CapacityFlapForcesSoftwarePathsButCommits) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.faults.seed = chaos_seed();
+  cfg.faults.add({FaultSite::kHwBegin, FaultKind::kCapacityFlap,
+                  /*thread_mask=*/~std::uint64_t{0}, /*period=*/2,
+                  /*prob=*/0.0, /*arg=*/64});
+  sim::HtmRuntime rt(cfg);
+  tm::BackendConfig bcfg;
+  core::PartHtmBackend backend(rt, bcfg,
+                               core::PartHtmBackend::Mode::kSerializable,
+                               /*no_fast=*/false);
+  auto w = backend.make_worker(0);
+
+  constexpr unsigned kLines = 40;  // > 512/64 flapped lines, < 512 plain
+  auto* cells = tm::TmHeap::instance().alloc_array<std::uint64_t>(kLines * 8);
+  struct Env {
+    std::uint64_t* cells;
+  } env{cells};
+
+  constexpr unsigned kTxns = 60;
+  for (unsigned i = 0; i < kTxns; ++i) {
+    tm::Txn t;
+    t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+      auto* cl = static_cast<const Env*>(e)->cells;
+      for (unsigned k = 0; k < kLines; ++k)
+        c.write(cl + k * 8, c.read(cl + k * 8) + 1);
+      return false;
+    };
+    t.env = &env;
+    backend.execute(*w, t);
+  }
+
+  auto* eng = rt.fault_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_GT(eng->injected(FaultKind::kCapacityFlap), 0u);
+  EXPECT_GT(w->stats().aborts[static_cast<unsigned>(AbortCause::kCapacity)], 0u);
+  EXPECT_EQ(w->stats().total_commits(), kTxns);
+  // Flapped epochs must have pushed commits off the fast path...
+  EXPECT_GT(kTxns - w->stats().commits[static_cast<unsigned>(CommitPath::kHtm)],
+            0u);
+  // ...without quarantining the site forever: even epochs still commit in
+  // hardware.
+  EXPECT_GT(w->stats().commits[static_cast<unsigned>(CommitPath::kHtm)], 0u);
+  for (unsigned k = 0; k < kLines; ++k) EXPECT_EQ(cells[k * 8], kTxns);
+  EXPECT_LE(w->stats().total_aborts(), kAbortsPerTxnBound * kTxns);
+}
+
+// Determinism contract (sim/fault.hpp): a decision depends only on
+// (plan seed, slot, per-slot visit ordinal), so two identical
+// single-threaded runs inject identical fault streams.
+TEST(ChaosInjectors, SameSeedReplaysTheExactFaultStream) {
+  const auto run = [](std::uint64_t seed) {
+    sim::HtmConfig cfg = sim::HtmConfig::testing();
+    cfg.faults.seed = seed;
+    cfg.faults.add({FaultSite::kHwAccess, FaultKind::kAbortConflict,
+                    /*thread_mask=*/~std::uint64_t{0}, /*period=*/0,
+                    /*prob=*/0.3});
+    cfg.faults.add({FaultSite::kHwBegin, FaultKind::kCapacityFlap,
+                    /*thread_mask=*/~std::uint64_t{0}, /*period=*/2,
+                    /*prob=*/0.0, /*arg=*/64});
+    sim::HtmRuntime rt(cfg);
+    core::PartHtmBackend backend(rt, {},
+                                 core::PartHtmBackend::Mode::kSerializable,
+                                 /*no_fast=*/false);
+    auto w = backend.make_worker(0);
+    auto* cells = tm::TmHeap::instance().alloc_array<std::uint64_t>(8 * 8);
+    struct Env {
+      std::uint64_t* cells;
+    } env{cells};
+    for (unsigned i = 0; i < 50; ++i) {
+      tm::Txn t;
+      t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+        auto* cl = static_cast<const Env*>(e)->cells;
+        for (unsigned k = 0; k < 8; ++k)
+          c.write(cl + k * 8, c.read(cl + k * 8) + 1);
+        return false;
+      };
+      t.env = &env;
+      backend.execute(*w, t);
+    }
+    struct Tally {
+      std::uint64_t injected_conflict, injected_flap, aborts;
+    };
+    return Tally{rt.fault_engine()->injected(FaultKind::kAbortConflict),
+                 rt.fault_engine()->injected(FaultKind::kCapacityFlap),
+                 w->stats().total_aborts()};
+  };
+
+  const auto a = run(chaos_seed());
+  const auto b = run(chaos_seed());
+  EXPECT_GT(a.injected_conflict, 0u);
+  EXPECT_EQ(a.injected_conflict, b.injected_conflict);
+  EXPECT_EQ(a.injected_flap, b.injected_flap);
+  EXPECT_EQ(a.aborts, b.aborts);
+}
+
+TEST(ChaosInjectors, DisabledPlanBuildsNoEngine) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  EXPECT_EQ(rt.fault_engine(), nullptr);
+}
+
+}  // namespace
+}  // namespace phtm::test

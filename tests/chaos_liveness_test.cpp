@@ -1,0 +1,143 @@
+// Anti-starvation regression suite (chaos flavor; runs under the default
+// AND sanitizer lanes — the chaos libraries build everywhere).
+//
+// The scenario the cause-aware contention manager exists for: one large
+// transaction that can only commit through the partitioned path keeps
+// getting invalidated by a stream of small fast-path transactions. The
+// old fixed policy could retry that loser unboundedly; the policy engine
+// (src/core/policy.hpp) caps every budget and escalates through the
+// ticketed slow path, so the large transaction must commit within a small
+// explicit attempt bound no matter how hot the stream runs.
+#include "chaos_common.hpp"
+
+#include <atomic>
+
+namespace phtm::test {
+namespace {
+
+TEST(ChaosLiveness, LargePartitionedTxnCommitsBoundedlyUnderFastStream) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  core::PartHtmBackend backend(rt, {},
+                               core::PartHtmBackend::Mode::kSerializable,
+                               /*no_fast=*/false);
+
+  // Shared array: the large transaction walks all of it; the streamers
+  // hammer single cells of it, invalidating the walker's validation window.
+  constexpr unsigned kLines = 600;  // > write_lines_cap -> never fits fast
+  constexpr unsigned kSegs = 6;     // 100 lines per sub-HTM segment: fits
+  auto* cells = tm::TmHeap::instance().alloc_array<std::uint64_t>(kLines * 8);
+
+  struct Env {
+    std::uint64_t* cells;
+  };
+  Env env{cells};
+
+  constexpr unsigned kBigTxns = 8;
+  constexpr unsigned kStreamers = 3;
+  // Budget arithmetic, default knobs: <= htm_retries fast attempts, then
+  // <= partitioned_retries globals x kSegs segments x (sub_htm_retries +
+  // resource budgets) sub attempts, then the slow path commits
+  // unconditionally. ~1000 stacked worst case; 2000 leaves slack without
+  // masking an unbounded loop.
+  constexpr std::uint64_t kBigAbortBound = kBigTxns * 2000;
+
+  std::atomic<bool> big_done{false};
+  std::atomic<std::uint64_t> big_aborts{0};
+  std::atomic<std::uint64_t> stream_commits{0};
+
+  run_threads(1 + kStreamers, [&](unsigned tid) {
+    auto w = backend.make_worker(tid);
+    if (tid == 0) {
+      // The large transaction: read-modify-write every line, kSegs
+      // segments of kLines/kSegs lines each.
+      for (unsigned i = 0; i < kBigTxns; ++i) {
+        tm::Txn t;
+        t.step = +[](tm::Ctx& c, const void* e, void*, unsigned seg) {
+          auto* cl = static_cast<const Env*>(e)->cells;
+          const unsigned per = kLines / kSegs;
+          for (unsigned k = seg * per; k < (seg + 1) * per; ++k)
+            c.write(cl + k * 8, c.read(cl + k * 8) + 1);
+          return seg + 1 < kSegs;
+        };
+        t.env = &env;
+        backend.execute(*w, t);
+      }
+      big_aborts.store(w->stats().total_aborts());
+      big_done.store(true, std::memory_order_release);
+    } else {
+      // Streamers: tiny fast-path transactions on scattered cells, running
+      // until the large transaction has finished all its commits.
+      struct L {
+        std::uint64_t cell;
+      } l{};
+      std::uint64_t n = 0;
+      while (!big_done.load(std::memory_order_acquire)) {
+        l.cell = (tid * 97 + n * 13) % kLines;
+        tm::Txn t;
+        t.step = +[](tm::Ctx& c, const void* e, void* lp, unsigned) {
+          auto* cl = static_cast<const Env*>(e)->cells;
+          std::uint64_t* p = cl + static_cast<L*>(lp)->cell * 8;
+          c.write(p, c.read(p) + 1);
+          return false;
+        };
+        t.env = &env;
+        t.locals = &l;
+        t.locals_bytes = sizeof(l);
+        backend.execute(*w, t);
+        ++n;
+      }
+      stream_commits.fetch_add(w->stats().total_commits());
+    }
+  });
+
+  // Liveness: the large transaction finished (run_threads joined), within
+  // the policy's stacked budgets.
+  EXPECT_LE(big_aborts.load(), kBigAbortBound)
+      << "large partitioned transaction retried past every policy budget";
+  // The stream was genuinely hot while it ran.
+  EXPECT_GT(stream_commits.load(), 0u);
+
+  // Correctness: each line carries the kBigTxns walker increments plus
+  // however many streamer commits hit it; sum over all lines must equal
+  // total committed increments (no lost updates on either side).
+  std::uint64_t sum = 0;
+  for (unsigned k = 0; k < kLines; ++k) sum += cells[k * 8];
+  EXPECT_EQ(sum, std::uint64_t{kBigTxns} * kLines + stream_commits.load());
+}
+
+// The ticketed slow path serves escalating transactions in arrival order:
+// with every thread forced irrevocable there is nothing but the slow path,
+// and all of them must drain with zero aborts (FIFO hand-offs, no CAS
+// lottery).
+TEST(ChaosLiveness, TicketedSlowPathDrainsAllComersWithoutRetries) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  core::PartHtmBackend backend(rt, {},
+                               core::PartHtmBackend::Mode::kSerializable,
+                               /*no_fast=*/false);
+  auto* counter = tm::TmHeap::instance().alloc_array<std::uint64_t>(1);
+
+  constexpr unsigned kThreads = 4, kPer = 200;
+  std::atomic<std::uint64_t> aborts{0};
+  run_threads(kThreads, [&](unsigned tid) {
+    auto w = backend.make_worker(tid);
+    for (unsigned i = 0; i < kPer; ++i) {
+      tm::Txn t;
+      t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+        auto* p = static_cast<std::uint64_t*>(const_cast<void*>(e));
+        c.write(p, c.read(p) + 1);
+        return false;
+      };
+      t.env = counter;
+      t.irrevocable = true;
+      backend.execute(*w, t);
+    }
+    aborts.fetch_add(w->stats().total_aborts());
+    EXPECT_EQ(w->stats().commits[static_cast<unsigned>(CommitPath::kGlobalLock)],
+              kPer);
+  });
+  EXPECT_EQ(aborts.load(), 0u);
+  EXPECT_EQ(*counter, std::uint64_t{kThreads} * kPer);
+}
+
+}  // namespace
+}  // namespace phtm::test

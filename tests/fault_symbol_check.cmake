@@ -1,0 +1,30 @@
+# Asserts that a plain (non-chaos) binary carries no fault-engine symbols:
+# without PHTM_FAULTS the injection hooks are no-ops, sim/fault.cpp is not
+# in the link, and nothing may reference phtm::chaos. A match means an
+# injection site leaked past the macro gate (or a plain library started
+# consulting the engine unconditionally) — the fault layer is no longer
+# zero-cost when unset.
+#
+# Usage: cmake -DNM=<nm> -DBINARY=<file> -P fault_symbol_check.cmake
+if(NOT EXISTS "${BINARY}")
+  message(FATAL_ERROR "binary not found: ${BINARY}")
+endif()
+
+execute_process(COMMAND "${NM}" "${BINARY}"
+                OUTPUT_VARIABLE symbols
+                RESULT_VARIABLE rv
+                ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY}: ${err}")
+endif()
+
+# The phtm::chaos namespace mangles as ...N4phtm5chaos...; any hit means
+# fault-engine code was linked in.
+string(REGEX MATCHALL "[^\n]*4phtm5chaos[^\n]*" hits "${symbols}")
+if(hits)
+  list(LENGTH hits n)
+  list(GET hits 0 first)
+  message(FATAL_ERROR
+          "plain binary contains ${n} fault-engine symbol(s), e.g.: ${first}")
+endif()
+message(STATUS "no fault-engine symbols in ${BINARY}")

@@ -2,6 +2,7 @@
 // WriteBuf, AssocModel) — in particular the O(1) epoch-based clear.
 #include <gtest/gtest.h>
 
+#include "sim/config.hpp"
 #include "sim/lineset.hpp"
 #include "sim/writebuf.hpp"
 #include "util/rng.hpp"
@@ -171,6 +172,24 @@ TEST(AssocModel, HashedIndexingDecouplesStrideFromSets) {
   for (std::uint64_t i = 0; i < 16; ++i)
     ok += m.add_written_line(i * kSets) ? 1u : 0u;
   EXPECT_GT(ok, kWays);  // strided writes spread across sets
+}
+
+TEST(HtmConfigByName, ResolvesEveryKnownProfile) {
+  EXPECT_TRUE(HtmConfig::by_name("haswell4c8t").hyperthread_pairs);
+  EXPECT_FALSE(HtmConfig::by_name("xeon18c").hyperthread_pairs);
+  EXPECT_EQ(HtmConfig::by_name("testing").random_other_per_access, 0.0);
+}
+
+TEST(HtmConfigByName, UnknownNameThrowsWithValidNames) {
+  try {
+    HtmConfig::by_name("haswe11");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("haswe11"), std::string::npos) << msg;
+    for (const char* valid : {"haswell4c8t", "xeon18c", "testing"})
+      EXPECT_NE(msg.find(valid), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

@@ -86,6 +86,15 @@ R6  annotation/instrumentation discipline (all of src/, excluding the
        watermark (validated_ts) is owner-private, so an annotation would
        invent a cross-thread edge where none exists.
 
+R8  spin discipline (all of src/, except the cpu_relax definition header):
+    Every `cpu_relax()` poll site is a wait loop until proven otherwise,
+    and an unbounded wait loop is a starvation bug waiting for the right
+    convoy.  Each site must carry, within RULE_WINDOW lines, either a
+    `spin-escalates:` marker (the loop polls a bounded-wait detector —
+    core::BoundedSpin — and escalates to the ticketed slow path when the
+    bound is spent) or a `spin-waiver:` comment arguing why the wait is
+    finite without one (bounded pause, monotone drain, FIFO hand-off).
+
 Exit status: 0 clean, 1 violations (one line each on stdout), 2 usage error.
 """
 
@@ -108,6 +117,9 @@ TRACE_EMISSION_DIRS = ("src/core", "src/stm", "src/sim", "src/tm", "src/sig")
 # Macro definition headers: R6 skips them (they define, not use, the markers).
 R6_EXEMPT_FILES = ("src/util/annotations.hpp", "src/util/mc_hooks.hpp")
 R6_EXEMPT_DIRS = ("src/mc",)
+
+# R8 skips the header that *defines* cpu_relax (a definition is not a spin).
+R8_EXEMPT_FILES = ("src/util/cacheline.hpp",)
 
 # R6c: the reviewed happens-before edge inventory. Keys are the pairing
 # tails (trailing member of the annotated address); values say which
@@ -149,6 +161,8 @@ HTMOPS_MEMBER_RE = re.compile(r"\bHtmOps&\s+\w+\s*[;=]")
 # Function definition taking an HtmOps& parameter (lambdas are already
 # covered by the .attempt() span; '[' excludes them here).
 HTMOPS_PARAM_RE = re.compile(r"\w+\s*\([^)]*\bHtmOps&\s+\w+\s*[,)]")
+# R8: spin-loop poll sites.
+CPU_RELAX_RE = re.compile(r"\bcpu_relax\s*\(")
 
 
 def strip_line_comment(line: str) -> str:
@@ -333,6 +347,20 @@ class Linter:
                              "deferral with '// trace-deferred:'")
                     break
 
+    # -- R8 ----------------------------------------------------------------
+    def check_spin_discipline(self, path: Path, lines: list[str]) -> None:
+        for i, line in enumerate(lines):
+            if not CPU_RELAX_RE.search(strip_line_comment(line)):
+                continue
+            if has_marker(lines, i, "spin-escalates:"):
+                continue
+            if has_marker(lines, i, "spin-waiver:"):
+                continue
+            self.err(path, i + 1, "R8",
+                     "cpu_relax() poll without a starvation story: escalate "
+                     "through a bounded-wait detector ('// spin-escalates:') "
+                     "or argue the wait is finite ('// spin-waiver:')")
+
     # -- R6 ----------------------------------------------------------------
     def check_annotation_discipline(self, path: Path, lines: list[str]) -> None:
         for i, line in enumerate(lines):
@@ -404,6 +432,8 @@ class Linter:
                 self.check_trace_emission(path, lines)
             if rel not in R6_EXEMPT_FILES and not rel.startswith(R6_EXEMPT_DIRS):
                 self.check_annotation_discipline(path, lines)
+            if rel not in R8_EXEMPT_FILES:
+                self.check_spin_discipline(path, lines)
         self.check_annotation_pairing()
         self.check_suppressions()
 

@@ -63,6 +63,46 @@ class R3Relaxed(unittest.TestCase):
         self.assertNotIn("R3", rules_of(errs))
 
 
+class R8SpinDiscipline(unittest.TestCase):
+    def test_bare_spin_flagged(self):
+        errs = run_lint({
+            "src/stm/x.hpp": "while (locked(p)) cpu_relax();\n"})
+        self.assertIn("R8", rules_of(errs))
+
+    def test_escalation_marker_clean(self):
+        errs = run_lint({
+            "src/core/x.hpp":
+                "// spin-escalates: guard.exhausted() routes to slow path\n"
+                "while (locked(p)) cpu_relax();\n"})
+        self.assertNotIn("R8", rules_of(errs))
+
+    def test_waiver_marker_clean(self):
+        errs = run_lint({
+            "src/stm/x.hpp":
+                "// spin-waiver: holder runs one finite critical section\n"
+                "while (locked(p)) cpu_relax();\n"})
+        self.assertNotIn("R8", rules_of(errs))
+
+    def test_marker_window_is_bounded(self):
+        filler = "int a;\n" * 7  # marker > RULE_WINDOW lines above the spin
+        errs = run_lint({
+            "src/stm/x.hpp":
+                "// spin-waiver: too far away\n" + filler +
+                "while (locked(p)) cpu_relax();\n"})
+        self.assertIn("R8", rules_of(errs))
+
+    def test_definition_header_exempt(self):
+        errs = run_lint({
+            "src/util/cacheline.hpp":
+                "inline void cpu_relax() noexcept { __builtin_ia32_pause(); }\n"})
+        self.assertNotIn("R8", rules_of(errs))
+
+    def test_mention_in_comment_not_flagged(self):
+        errs = run_lint({
+            "src/stm/x.hpp": "int x;  // then cpu_relax() until free\n"})
+        self.assertNotIn("R8", rules_of(errs))
+
+
 class R6McMarkers(unittest.TestCase):
     def test_unjustified_marker_flagged(self):
         errs = run_lint({

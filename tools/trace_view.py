@@ -28,6 +28,8 @@ from pathlib import Path
 
 CAUSES = ("conflict", "capacity", "explicit", "other")
 PATHS = ("HTM", "SW", "GL")
+REASONS = ("conflict_exhaustion", "partitioned_exhaustion", "starvation",
+           "irrevocable", "quarantine")
 
 # Event-name vocabulary the C++ writer emits (src/obs/trace.cpp).
 NAME_RE = re.compile(
@@ -38,6 +40,8 @@ NAME_RE = re.compile(
     r"|sub_begin|sub_commit|sub_abort"
     r"|ring/publish|ring/validate/(ok|conflict|rollover)"
     r"|doom/(none|conflict|capacity|explicit|other)"
+    r"|fallback/(conflict_exhaustion|partitioned_exhaustion|starvation"
+    r"|irrevocable|quarantine)"
     r"|global_abort)$")
 
 
@@ -123,6 +127,12 @@ def check_counters(meta: dict, names: Counter) -> list[str]:
         if key in meta:
             found_any = True
             compare(f"commits/{p}", names.get(f"tx/{p}", 0), meta[key])
+    for reason in REASONS:
+        key = f"stats_fallbacks_{reason}"
+        if key in meta:
+            found_any = True
+            compare(f"fallbacks/{reason}",
+                    names.get(f"fallback/{reason}", 0), meta[key])
     if not found_any:
         lines.append("  (run registered no stats_* counters; "
                      "schema-only check)")
@@ -154,6 +164,14 @@ def print_summary(events: list[dict], meta: dict, names: Counter) -> None:
     for p in PATHS:
         pct = 100.0 * commits[p] / total_commits if total_commits else 0.0
         print(f"  {p:<9} {commits[p]:>10}  {pct:5.1f}%")
+
+    falls = {r: names.get(f"fallback/{r}", 0) for r in REASONS}
+    total_falls = sum(falls.values())
+    if total_falls:
+        print(f"\nfallback decisions ({total_falls}):")
+        for r in REASONS:
+            pct = 100.0 * falls[r] / total_falls
+            print(f"  {r:<24} {falls[r]:>10}  {pct:5.1f}%")
 
     print("\nevent vocabulary:")
     for name, n in sorted(names.items(), key=lambda kv: -kv[1]):
