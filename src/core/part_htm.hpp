@@ -83,6 +83,12 @@ class PartHtmBackend final : public tm::Backend {
 
   GlobalRing ring_;
   Signature write_locks_;              ///< shared Bloom lock table (Fig. 1)
+  // glock_ deliberately carries no PHTM_CAPABILITY annotation: it is a
+  // plain word acquired by CAS through the simulator's strong-atomicity
+  // helpers and *subscribed to* by hardware transactions (ops.read at
+  // begin), a protocol Clang's -Wthread-safety cannot model. Its
+  // discipline is checked dynamically (TSan + the doom/subscription
+  // machinery) and structurally by tools/tmcheck instead.
   Padded<std::uint64_t> glock_{0};     ///< slow-path global lock (held flag)
   Padded<std::uint64_t> active_tx_{0}; ///< partitioned-path population count
   // FIFO ticket pair in front of the glock: escalating transactions are

@@ -30,6 +30,9 @@ class UndoLog {
   }
 
   void stage(std::uint64_t* addr, std::uint64_t old_val) {
+    // span-waiver: the undo log is PART-HTM's own global-path metadata;
+    // staged_ keeps its capacity across clear(), so steady-state staging
+    // is allocation-free.
     staged_.push_back({addr, old_val});
   }
 

@@ -51,11 +51,11 @@ std::size_t capacity_from_env() {
 /// locked operation on the emission side and happens once per thread.
 struct Registry {
   Spinlock lock;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers;
-  std::map<std::string, std::uint64_t> meta_counters;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers PHTM_GUARDED_BY(lock);
+  std::map<std::string, std::uint64_t> meta_counters PHTM_GUARDED_BY(lock);
   std::size_t capacity = capacity_from_env();
-  unsigned next_tid = 0;
-  bool atexit_registered = false;
+  unsigned next_tid PHTM_GUARDED_BY(lock) = 0;
+  bool atexit_registered PHTM_GUARDED_BY(lock) = false;
 };
 
 Registry& registry() {
@@ -348,10 +348,13 @@ bool write_chrome_trace(const std::string& path,
   // Run-level metadata record: exact loss accounting plus whatever
   // aggregate counters the run registered via PHTM_TRACE_META. Offline
   // checkers (tools/trace_view.py --check) compare event counts against
-  // these; dropped==0 upgrades the comparison to exact equality.
+  // these; dropped==0 upgrades the comparison to exact equality. `schema`
+  // versions the record's shape — bump it on any incompatible change and
+  // teach tools/trace_view.py the new version (it rejects unknown ones).
   std::fprintf(f,
                ",\n{\"name\":\"phtm_meta\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
-               "\"tid\":0,\"ts\":0,\"args\":{\"events\":%llu,\"dropped\":%llu,"
+               "\"tid\":0,\"ts\":0,\"args\":{\"schema\":1,"
+               "\"events\":%llu,\"dropped\":%llu,"
                "\"threads\":%u",
                static_cast<unsigned long long>(events),
                static_cast<unsigned long long>(dropped),

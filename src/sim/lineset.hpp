@@ -44,6 +44,9 @@ class LineSet {
         flags_[i] = flag;
         epochs_[i] = epoch_;
         ++count_;
+        // span-waiver: LineSet is the simulator's own footprint model, not
+        // guest transactional state; order_ keeps its capacity across
+        // reset(), so steady-state push is allocation-free.
         order_.push_back(line);
         if (flag & kRead) ++n_read_;
         if (flag & kWrite) ++n_write_;
@@ -96,6 +99,8 @@ class LineSet {
     std::vector<std::uint8_t> old_flags = std::move(flags_);
     std::vector<std::uint32_t> old_epochs = std::move(epochs_);
     const std::size_t n = old_lines.size() * 2;
+    // span-waiver: simulator-table growth (cold, amortized); this is the
+    // bookkeeping that *measures* footprints, never rolled-back guest state.
     lines_.assign(n, 0);
     flags_.assign(n, 0);
     epochs_.assign(n, 0);

@@ -108,10 +108,10 @@ bool HtmRuntime::try_doom(unsigned victim, AbortCode code, std::uint64_t line) {
   std::uint64_t expect = 0;
   if (slots_[victim].doom.compare_exchange_strong(expect, pack_doom(code, line),
                                                   std::memory_order_acq_rel)) {
-    // The doomer may itself be inside a hardware transaction (a monitored
-    // access invalidating a conflicting victim); the tracer defers the
-    // record until the outcome in that case — a doom is a real side effect
-    // either way (the CAS above is not rolled back).
+    // trace-deferred: the doomer may itself be inside a hardware
+    // transaction (a monitored access invalidating a conflicting victim);
+    // the tracer defers the record until the outcome in that case — a doom
+    // is a real side effect either way (the CAS above is not rolled back).
     PHTM_TRACE_DOOM(victim, code, line);
     return true;
   }
@@ -224,6 +224,9 @@ HtmRuntime::MonEntry& HtmRuntime::locked_find_or_claim(Bucket& b,
     // new chunk only when the bucket is completely full.
     MonEntry* target = dead != nullptr ? dead : unclaimed;
     if (target == nullptr) {
+      // span-waiver: monitor-table growth is the simulator's conflict-
+      // detection infrastructure, not guest transactional state; chunks
+      // are never freed, so there is nothing to roll back.
       auto* c = new MonChunk;
       target = &c->entries[0];
       target->tag.store(1, std::memory_order_release);

@@ -193,7 +193,8 @@ class HtmRuntime {
                         std::uint32_t& tag_out) noexcept;
   /// Find the entry for `line`, claiming or retagging a slot (possibly in a
   /// freshly chained chunk) if the line is not monitored. Bucket lock held.
-  MonEntry& locked_find_or_claim(Bucket& b, std::uint64_t line);
+  MonEntry& locked_find_or_claim(Bucket& b, std::uint64_t line)
+      PHTM_REQUIRES(b.lock);
   /// Lock-free read registration; true on success, false = take the locked
   /// path (first touch, identity churn, or a conflicting writer to doom).
   bool fast_register_read(unsigned slot, std::uint64_t line) noexcept;
@@ -223,7 +224,7 @@ class HtmRuntime {
   std::unique_ptr<Bucket[]> buckets_;
 
   Spinlock slot_alloc_lock_;
-  std::uint64_t slot_used_ = 0;  // bitmap
+  std::uint64_t slot_used_ PHTM_GUARDED_BY(slot_alloc_lock_) = 0;  // bitmap
 
   // Each counter owns a cache line: active_ is read on every nontx_*
   // access while begins_/commits_ are bumped once per transaction —

@@ -35,6 +35,9 @@ class WriteBuf {
       if (epochs_[i] != epoch_) {
         slots_[i] = static_cast<std::uint32_t>(cells_.size());
         epochs_[i] = epoch_;
+        // span-waiver: the write buffer *is* the simulated transactional
+        // store; cells_ retains capacity across reset(), so steady-state
+        // put is allocation-free host bookkeeping.
         cells_.push_back({addr, val});
         return;
       }
@@ -87,6 +90,7 @@ class WriteBuf {
 
   void grow() {
     const std::size_t n = slots_.size() * 2;
+    // span-waiver: simulator-table growth (cold, amortized), host-side only.
     slots_.assign(n, 0);
     epochs_.assign(n, 0);
     mask_ = n - 1;

@@ -26,6 +26,9 @@ class ReadLog {
 
   void clear() noexcept { entries_.clear(); }
   void push(const std::uint64_t* addr, std::uint64_t val) {
+    // span-waiver: the software read log is the partitioned path's own
+    // metadata (paper Sec. 5.1); entries_ keeps its capacity across
+    // clear(), so steady-state push does not allocate.
     entries_.push_back({addr, val});
   }
   const std::vector<Entry>& entries() const noexcept { return entries_; }

@@ -146,6 +146,9 @@ class SphtBackend final : public tm::Backend {
     }
 
     void write(std::uint64_t* addr, std::uint64_t val) override {
+      // span-waiver: hide_undo/redo_staged are the split path's own
+      // software logs; both vectors keep their capacity across clear(),
+      // so steady-state staging is allocation-free.
       w_.hide_undo.push_back({addr, ops_.read(addr)});
       ops_.write(addr, val);  // in place: consumes sub-HTM write capacity
       w_.redo_staged.push_back({addr, val});
@@ -196,6 +199,7 @@ class SphtBackend final : public tm::Backend {
           // (b) replay the accumulated redo log in place — this is the
           //     footprint that grows with the transaction;
           for (const auto& c : w.redo.cells()) {
+            // span-waiver: hide_undo retains capacity across transactions.
             w.hide_undo.push_back({c.addr, ops.read(c.addr)});
             ops.write(c.addr, c.val);
           }

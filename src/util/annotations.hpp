@@ -90,3 +90,44 @@ void __tsan_release(void* addr);
 #define PHTM_TSAN_RELEASE(addr) ((void)0)
 
 #endif  // PHTM_TSAN_ENABLED
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety analysis (-Wthread-safety).
+//
+// Static lock-discipline checking, orthogonal to the dynamic TSan layer
+// above: the compiler proves at build time that every access to a
+// GUARDED_BY field happens while the named capability is held, and that
+// ACQUIRE/RELEASE functions pair up on every path. GCC (and pre-attribute
+// Clang) sees empty expansions, so the annotations are zero-cost outside
+// a Clang build; CMake adds -Wthread-safety only for Clang.
+//
+// Only the simulator's true blocking primitives are annotated — the
+// monitor-table bucket spinlock and the slot-allocation spinlock
+// (sim/runtime.hpp). The protocol layer's ownership story is words +
+// atomics, which this analysis cannot model; that side is covered by
+// tools/tmcheck instead.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PHTM_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef PHTM_TS_ATTR
+#define PHTM_TS_ATTR(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. Spinlock).
+#define PHTM_CAPABILITY(name) PHTM_TS_ATTR(capability(name))
+/// Marks an RAII type that acquires in its ctor and releases in its dtor.
+#define PHTM_SCOPED_CAPABILITY PHTM_TS_ATTR(scoped_lockable)
+/// Field/function access requires the capability to be held.
+#define PHTM_GUARDED_BY(x) PHTM_TS_ATTR(guarded_by(x))
+#define PHTM_PT_GUARDED_BY(x) PHTM_TS_ATTR(pt_guarded_by(x))
+/// Function acquires/releases the capability (itself when no arg).
+#define PHTM_ACQUIRE(...) PHTM_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define PHTM_RELEASE(...) PHTM_TS_ATTR(release_capability(__VA_ARGS__))
+#define PHTM_TRY_ACQUIRE(...) PHTM_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+/// Caller must already hold / must NOT hold the capability.
+#define PHTM_REQUIRES(...) PHTM_TS_ATTR(requires_capability(__VA_ARGS__))
+#define PHTM_EXCLUDES(...) PHTM_TS_ATTR(locks_excluded(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot follow (must be justified).
+#define PHTM_NO_THREAD_SAFETY_ANALYSIS PHTM_TS_ATTR(no_thread_safety_analysis)

@@ -8,14 +8,17 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/annotations.hpp"
 #include "util/cacheline.hpp"
 
 namespace phtm {
 
-/// Test-and-test-and-set spinlock, one cache line wide.
-class alignas(kCacheLineBytes) Spinlock {
+/// Test-and-test-and-set spinlock, one cache line wide. A Clang
+/// thread-safety capability: fields guarded by an instance are declared
+/// PHTM_GUARDED_BY(that_lock) and checked by -Wthread-safety.
+class PHTM_CAPABILITY("spinlock") alignas(kCacheLineBytes) Spinlock {
  public:
-  void lock() noexcept {
+  void lock() noexcept PHTM_ACQUIRE() {
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       // relaxed: TTAS inner spin; the acquiring exchange above provides the
@@ -26,14 +29,16 @@ class alignas(kCacheLineBytes) Spinlock {
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept PHTM_TRY_ACQUIRE(true) {
     // relaxed: contention probe only; acquisition ordering comes from the
     // exchange that follows.
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept PHTM_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
@@ -41,10 +46,10 @@ class alignas(kCacheLineBytes) Spinlock {
 
 /// RAII guard for Spinlock (and anything with lock/unlock).
 template <typename L>
-class LockGuard {
+class PHTM_SCOPED_CAPABILITY LockGuard {
  public:
-  explicit LockGuard(L& l) noexcept : l_(l) { l_.lock(); }
-  ~LockGuard() { l_.unlock(); }
+  explicit LockGuard(L& l) noexcept PHTM_ACQUIRE(l) : l_(l) { l_.lock(); }
+  ~LockGuard() PHTM_RELEASE() { l_.unlock(); }
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
 

@@ -161,11 +161,13 @@ struct alignas(kCacheLineBytes) StatSheet {
   // raw-atomic: single-writer counter bump — relaxed load+store of the
   // owner's own field (never a contended RMW), paired with the relaxed
   // loads in snapshot() so a concurrent drainer cannot tear the read.
+  // relaxed: counters are monotone and advisory; a drainer that misses the
+  // latest bump reads a slightly stale total, never a torn or invented one.
   static void bump(std::uint64_t* c) noexcept {
     __atomic_store_n(c, __atomic_load_n(c, __ATOMIC_RELAXED) + 1,
                      __ATOMIC_RELAXED);
   }
-  // raw-atomic: snapshot read side of bump() (see above).
+  // raw-atomic: relaxed: snapshot read side of bump() (see above).
   static std::uint64_t read(const std::uint64_t* c) noexcept {
     return __atomic_load_n(c, __ATOMIC_RELAXED);
   }

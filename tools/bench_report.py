@@ -45,6 +45,12 @@ import subprocess
 import sys
 import tempfile
 
+# Telemetry-block schema versions this tool understands (stamped by
+# src/obs/trace.cpp write_telemetry_json). An unknown version means the
+# block's shape changed — refuse rather than fold misread numbers into
+# the report.
+VALID_TELEMETRY_SCHEMAS = (1,)
+
 HOTPATH_BIN = "bench_hotpath"
 # Figure binaries folded into the report. Keep in sync with bench/CMakeLists.
 FIGURE_BINS = [
@@ -81,9 +87,16 @@ def run_with_telemetry(cmd, env, what, telemetry):
             print(f"bench_report: no telemetry from {what}", flush=True)
             return
         try:
-            telemetry[what] = json.loads(text)
+            block = json.loads(text)
         except json.JSONDecodeError as e:
             sys.exit(f"bench_report: bad telemetry from {what}: {e}")
+        schema = block.get("schema")
+        if schema not in VALID_TELEMETRY_SCHEMAS:
+            sys.exit(f"bench_report: telemetry from {what} has unknown "
+                     f"schema version {schema!r}; this tool understands "
+                     f"{list(VALID_TELEMETRY_SCHEMAS)} — update "
+                     "tools/bench_report.py for the new block shape")
+        telemetry[what] = block
     finally:
         os.unlink(tel_path)
 

@@ -6,57 +6,32 @@ mechanical rules (DESIGN.md, "Memory model & analysis tooling").  This
 checker enforces them over the source tree so a refactor cannot silently
 drop one.  It runs as the `lint_tm` CTest target in every CI lane.
 
-Rules
------
-R1  nontx discipline (src/core, src/stm, src/tm):
-    The TM-protocol layer must route shared-word accesses through the
-    simulator's strong-atomicity helpers (rt.nontx_*), a hardware
-    transaction (ops.read/ops.write/ops.subscribe), or the designated
-    signature/ring helpers.  A raw `__atomic_*` builtin is allowed only
-    with a `// raw-atomic:` justification comment on the same line or
-    within the preceding comment block (<= RULE_WINDOW lines above).
+DEPRECATION NOTE — rule migration to tools/tmcheck/
+---------------------------------------------------
+The deep rules R1, R1b, R3, R4 and R7 have MOVED to the structural
+analyzer `tools/tmcheck/` (ctest target `tmcheck`, label `lint`), which
+resolves typedef aliases, default arguments and named memory-order
+constants, and walks the cross-TU call graph — all things a line-based
+regex provably cannot do (e.g. a trace emission two calls below an
+rt.attempt() lambda, or `using W = std::atomic<uint64_t>;`).  Each rule
+is enforced in exactly ONE tool; do not re-add the migrated checks here.
+This file remains the single source of truth for the shared vocabulary
+(RULE_WINDOW, the protocol directory lists, the R6c happens-before edge
+inventory, the forbidden-tail list, `has_marker`) — tmcheck imports them
+from here so the two tools can never disagree on a constant.
 
-R1b shared-atomic declarations (src/core, src/stm, src/tm):
-    Declaring a `std::atomic` member in the protocol layer needs a
-    `// shared-atomic:` justification — protocol-shared words are plain
-    uint64_t accessed via nontx_*; a std::atomic member is reserved for
-    self-contained mechanisms (tuning knobs, software-TM metadata) and the
-    justification must say which.
-
+Rules enforced HERE (cheap, line-local, text-level)
+---------------------------------------------------
 R2  cache-line alignment (src/core, src/stm, src/sim, src/sig, src/util):
     Every struct/class that declares a std::atomic member is shared
     mutable state and must be alignas(kCacheLineBytes), or pad the member
     itself (alignas on the member / Padded<...>), so unrelated shared words
     never share a conflict-granularity line.
 
-R3  relaxed justification (all of src/):
-    Every `memory_order_relaxed` needs a `// relaxed:` comment (same line
-    or <= RULE_WINDOW lines above) explaining why dropping the ordering is
-    sound.  Un-justified relaxed atomics are where fences go missing.
-
-R4  no blocking mutexes in protocol headers (src/core, src/stm, src/sim,
-    src/sig): `<mutex>` / `<shared_mutex>` must not be included.  The
-    protocol is lock-free except for the simulator-internal spinlocks;
-    an OS mutex in a protocol header is a design regression.
-
 R5  suppression hygiene (tsan.supp): no `race:phtm` entries.  Races in our
     own code are fixed or annotated at the site (util/annotations.hpp),
     never suppressed wholesale — a symbol-level suppression would hide
     every future bug on the same code path.
-
-R7  no trace emission inside HTM-simulated critical sections (src/core,
-    src/stm, src/sim, src/tm, src/sig):
-    A PHTM_TRACE_* emission macro must not appear inside an rt.attempt()
-    lambda, an HtmOps:: method body, or a class holding an HtmOps&
-    (the transactional execution contexts).  On real hardware the
-    tracer's ring store would become transactional state — rolled back
-    on abort, inflating the footprint the paper's capacity argument is
-    about — so events from speculative regions are buffered pre-commit
-    and flushed post-outcome (obs::txn_enter/txn_exit; the runtime's
-    pending array).  PHTM_TRACE_TXN_ENTER/EXIT and PHTM_TRACE_META are
-    exempt (they are the buffering mechanism / run-level metadata); a
-    site that deliberately relies on the runtime's dynamic deferral
-    carries a `// trace-deferred:` justification.
 
 R6  annotation/instrumentation discipline (all of src/, excluding the
     macro definition headers and the model checker itself):
@@ -95,6 +70,16 @@ R8  spin discipline (all of src/, except the cpu_relax definition header):
     bound is spent) or a `spin-waiver:` comment arguing why the wait is
     finite without one (bounded pause, monotone drain, FIFO hand-off).
 
+R10 clang-tidy suppression hygiene (src/, tests/):
+    Every NOLINT / NOLINTNEXTLINE / NOLINTBEGIN must (a) name the
+    suppressed check(s) in parentheses — a bare NOLINT silences every
+    check on the line, including future ones — and (b) carry a
+    justification: explanatory text after the check list on the same
+    comment line (`// NOLINTNEXTLINE(bugprone-x): why`).  Wholesale
+    unexplained suppressions are how tidy findings rot.
+
+Rules migrated to tools/tmcheck/ (do NOT re-add here): R1, R1b, R3, R4, R7.
+
 Exit status: 0 clean, 1 violations (one line each on stdout), 2 usage error.
 """
 
@@ -105,6 +90,9 @@ import re
 import sys
 from pathlib import Path
 
+# Shared vocabulary — tools/tmcheck/rules.py imports these so both tools
+# agree exactly; change them here, never fork them there.
+#
 # How far above an occurrence a justification comment may sit (a small
 # comment block covering a short cluster of related operations).
 RULE_WINDOW = 6
@@ -112,7 +100,6 @@ RULE_WINDOW = 6
 PROTOCOL_ACCESS_DIRS = ("src/core", "src/stm", "src/tm")
 ALIGNMENT_DIRS = ("src/core", "src/stm", "src/sim", "src/sig", "src/util")
 PROTOCOL_HEADER_DIRS = ("src/core", "src/stm", "src/sim", "src/sig")
-TRACE_EMISSION_DIRS = ("src/core", "src/stm", "src/sim", "src/tm", "src/sig")
 
 # Macro definition headers: R6 skips them (they define, not use, the markers).
 R6_EXEMPT_FILES = ("src/util/annotations.hpp", "src/util/mc_hooks.hpp")
@@ -142,50 +129,28 @@ ANNOTATION_FORBIDDEN_TAILS = {
                     "cross-thread edge exists to annotate",
 }
 
-RAW_ATOMIC_RE = re.compile(r"\b__atomic_\w+")
 ATOMIC_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:alignas\([^)]*\)\s+)?(?:Padded<\s*)?std::atomic<")
-RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
-MUTEX_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|shared_mutex)>')
 HB_ANNOT_RE = re.compile(r"\bPHTM_ANNOTATE_HAPPENS_(BEFORE|AFTER)\s*\(([^()]*)\)")
 MC_MARKER_RE = re.compile(r"\bPHTM_MC_(?:YIELD|SPIN)\s*\(([^()]*)\)")
 # Trailing identifier of an address expression: the pairing key for R6a.
 ADDR_TAIL_RE = re.compile(r"(\w+)\W*$")
 STRUCT_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?(struct|class)\s+"
                        r"(?:alignas\([^)]*\)\s+)?(\w+)")
-# R7: emission macros (the buffering/metadata macros are exempt).
-TRACE_EMIT_RE = re.compile(r"\bPHTM_TRACE_(?!TXN_ENTER\b|TXN_EXIT\b|META\b)\w+\s*\(")
-ATTEMPT_CALL_RE = re.compile(r"\.attempt\s*\(")
-HTMOPS_METHOD_RE = re.compile(r"\bHtmOps::\w+\s*\(")
-HTMOPS_MEMBER_RE = re.compile(r"\bHtmOps&\s+\w+\s*[;=]")
-# Function definition taking an HtmOps& parameter (lambdas are already
-# covered by the .attempt() span; '[' excludes them here).
-HTMOPS_PARAM_RE = re.compile(r"\w+\s*\([^)]*\bHtmOps&\s+\w+\s*[,)]")
 # R8: spin-loop poll sites.
 CPU_RELAX_RE = re.compile(r"\bcpu_relax\s*\(")
+# R10: clang-tidy suppression comments.  Group 1 is the marker kind,
+# group 2 the parenthesized check list (None when the parens are missing),
+# group 3 whatever follows on the line (the justification candidate).
+NOLINT_RE = re.compile(
+    r"//\s*(NOLINTNEXTLINE|NOLINTBEGIN|NOLINT)(?!END)"
+    r"(?:\(([^)]*)\))?(.*)$")
 
 
 def strip_line_comment(line: str) -> str:
     """Drop a trailing // comment (good enough: no multiline strings here)."""
     idx = line.find("//")
     return line if idx < 0 else line[:idx]
-
-
-def brace_span_end(lines: list[str], start: int) -> int:
-    """Last line (0-based, inclusive) of the brace block opening at or after
-    lines[start]; the end of the file if the block never closes."""
-    depth = 0
-    opened = False
-    for i in range(start, len(lines)):
-        for ch in strip_line_comment(lines[i]):
-            if ch == "{":
-                depth += 1
-                opened = True
-            elif ch == "}":
-                depth -= 1
-                if opened and depth <= 0:
-                    return i
-    return len(lines) - 1
 
 
 def has_marker(lines: list[str], i: int, marker: str) -> bool:
@@ -205,20 +170,8 @@ class Linter:
         rel = path.relative_to(self.root)
         self.errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
 
-    # -- R1 / R1b ----------------------------------------------------------
-    def check_protocol_access(self, path: Path, lines: list[str]) -> None:
-        for i, line in enumerate(lines):
-            code = strip_line_comment(line)
-            if RAW_ATOMIC_RE.search(code) and not has_marker(lines, i, "raw-atomic:"):
-                self.err(path, i + 1, "R1",
-                         "raw __atomic_* builtin in the protocol layer; route "
-                         "through nontx_*/HtmOps or justify with '// raw-atomic:'")
-            if ATOMIC_MEMBER_RE.search(code) and not has_marker(
-                    lines, i, "shared-atomic:"):
-                self.err(path, i + 1, "R1b",
-                         "std::atomic member in the protocol layer; protocol-"
-                         "shared words are plain uint64_t behind nontx_* — "
-                         "justify with '// shared-atomic:'")
+    # R1/R1b migrated to tools/tmcheck (alias-resolved member typing; see
+    # the deprecation note in the module docstring).
 
     # -- R2 ----------------------------------------------------------------
     def check_alignment(self, path: Path, lines: list[str]) -> None:
@@ -253,23 +206,11 @@ class Linter:
                              f"{owner[2]}) without alignas(kCacheLineBytes) on "
                              "the type or padding on the member")
 
-    # -- R3 ----------------------------------------------------------------
-    def check_relaxed(self, path: Path, lines: list[str]) -> None:
-        for i, line in enumerate(lines):
-            if RELAXED_RE.search(strip_line_comment(line)) and not has_marker(
-                    lines, i, "relaxed:"):
-                self.err(path, i + 1, "R3",
-                         "memory_order_relaxed without a '// relaxed:' "
-                         "justification comment")
-
-    # -- R4 ----------------------------------------------------------------
-    def check_mutex_includes(self, path: Path, lines: list[str]) -> None:
-        for i, line in enumerate(lines):
-            m = MUTEX_INCLUDE_RE.search(line)
-            if m:
-                self.err(path, i + 1, "R4",
-                         f"protocol header includes <{m.group(1)}>; the "
-                         "protocol layer is spinlock/atomic only")
+    # R3 migrated to tools/tmcheck (order resolution through typedefs,
+    # named constants and default arguments — the regex only ever saw the
+    # literal `memory_order_relaxed` token).
+    # R4 migrated to tools/tmcheck (adds alias-resolved blocking-type
+    # members and use sites on top of the include check).
 
     # -- R5 ----------------------------------------------------------------
     def check_suppressions(self) -> None:
@@ -283,69 +224,10 @@ class Linter:
                          "tsan.supp suppresses a phtm:: symbol; fix the race "
                          "or annotate the site (util/annotations.hpp) instead")
 
-    # -- R7 ----------------------------------------------------------------
-    def check_trace_emission(self, path: Path, lines: list[str]) -> None:
-        # Forbidden spans: rt.attempt() lambdas, HtmOps method bodies, and
-        # classes holding an HtmOps& — the transactional execution contexts.
-        spans: list[tuple[int, int, str]] = []
-        for i, line in enumerate(lines):
-            code = strip_line_comment(line)
-            if ATTEMPT_CALL_RE.search(code):
-                spans.append((i, brace_span_end(lines, i),
-                              "inside an rt.attempt() critical section"))
-            if HTMOPS_METHOD_RE.search(code) and not code.rstrip().endswith(";"):
-                spans.append((i, brace_span_end(lines, i),
-                              "inside an HtmOps transactional-access method"))
-            if (HTMOPS_PARAM_RE.search(code) and "[" not in code
-                    and not code.rstrip().endswith(";")):
-                spans.append((i, brace_span_end(lines, i),
-                              "inside a function taking HtmOps& (runs under "
-                              "the hardware transaction)"))
-        # Classes holding an HtmOps& member are transactional execution
-        # contexts (HtmCtx and friends); attribute the member to the
-        # *innermost* enclosing class — a backend merely nesting such a
-        # context class is not itself speculative.
-        stack: list[list] = []  # [name, start_line, holds_ops]
-        pending: tuple[str, int] | None = None
-        for i, line in enumerate(lines):
-            code = strip_line_comment(line)
-            m = STRUCT_RE.match(code)
-            if m and not code.rstrip().endswith(";"):
-                pending = (m.group(2), i)
-            if HTMOPS_MEMBER_RE.search(code):
-                for s in reversed(stack):
-                    if s[0]:
-                        s[2] = True
-                        break
-            for ch in code:
-                if ch == "{":
-                    if pending is not None:
-                        stack.append([pending[0], pending[1], False])
-                        pending = None
-                    else:
-                        stack.append(["", i, False])
-                elif ch == "}" and stack:
-                    name, start, holds = stack.pop()
-                    if name and holds:
-                        spans.append((start, i,
-                                      f"inside '{name}', which executes "
-                                      "transactionally (holds an HtmOps&)"))
-        if not spans:
-            return
-        for i, line in enumerate(lines):
-            if not TRACE_EMIT_RE.search(strip_line_comment(line)):
-                continue
-            if has_marker(lines, i, "trace-deferred:"):
-                continue
-            for s, e, why in spans:
-                if s <= i <= e:
-                    self.err(path, i + 1, "R7",
-                             f"PHTM_TRACE_* emission {why}; trace events from "
-                             "speculative regions must be buffered pre-commit "
-                             "and flushed post-outcome — emit after the "
-                             "attempt returns, or justify a deliberate "
-                             "deferral with '// trace-deferred:'")
-                    break
+    # R7 migrated to tools/tmcheck (interprocedural: the analyzer follows
+    # the cross-TU call graph from every speculative root, so an emission
+    # N calls below an rt.attempt() lambda is caught; the old single-file
+    # span scan could only see emissions textually inside the span).
 
     # -- R8 ----------------------------------------------------------------
     def check_spin_discipline(self, path: Path, lines: list[str]) -> None:
@@ -360,6 +242,27 @@ class Linter:
                      "cpu_relax() poll without a starvation story: escalate "
                      "through a bounded-wait detector ('// spin-escalates:') "
                      "or argue the wait is finite ('// spin-waiver:')")
+
+    # -- R10 ---------------------------------------------------------------
+    def check_tidy_suppressions(self, path: Path, lines: list[str]) -> None:
+        for i, line in enumerate(lines):
+            m = NOLINT_RE.search(line)
+            if not m:
+                continue
+            kind, checks, rest = m.group(1), m.group(2), m.group(3)
+            if checks is None or not checks.strip():
+                self.err(path, i + 1, "R10",
+                         f"bare {kind} silences every clang-tidy check on the "
+                         "line, including ones added later; name the "
+                         f"suppressed check(s): // {kind}(check-name): why")
+                continue
+            justification = rest.lstrip(":- ").strip()
+            if not justification:
+                self.err(path, i + 1, "R10",
+                         f"{kind}({checks.strip()}) without a justification; "
+                         "append the reason on the same comment line: "
+                         f"// {kind}({checks.strip()}): why this is a false "
+                         "positive / acceptable here")
 
     # -- R6 ----------------------------------------------------------------
     def check_annotation_discipline(self, path: Path, lines: list[str]) -> None:
@@ -416,24 +319,25 @@ class Linter:
         if not src.is_dir():
             print(f"lint_tm: no src/ under {self.root}", file=sys.stderr)
             return 2
-        for path in sorted(src.rglob("*")):
-            if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
-                continue
-            rel = path.relative_to(self.root).as_posix()
-            lines = path.read_text().splitlines()
-            if rel.startswith(PROTOCOL_ACCESS_DIRS):
-                self.check_protocol_access(path, lines)
-            if rel.startswith(ALIGNMENT_DIRS):
-                self.check_alignment(path, lines)
-            self.check_relaxed(path, lines)
-            if rel.startswith(PROTOCOL_HEADER_DIRS) and path.suffix == ".hpp":
-                self.check_mutex_includes(path, lines)
-            if rel.startswith(TRACE_EMISSION_DIRS):
-                self.check_trace_emission(path, lines)
-            if rel not in R6_EXEMPT_FILES and not rel.startswith(R6_EXEMPT_DIRS):
-                self.check_annotation_discipline(path, lines)
-            if rel not in R8_EXEMPT_FILES:
-                self.check_spin_discipline(path, lines)
+        scan_roots = [src]
+        tests = self.root / "tests"
+        if tests.is_dir():
+            scan_roots.append(tests)  # R10 only below; see the rel gate
+        for scan_root in scan_roots:
+            for path in sorted(scan_root.rglob("*")):
+                if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
+                    continue
+                rel = path.relative_to(self.root).as_posix()
+                lines = path.read_text().splitlines()
+                self.check_tidy_suppressions(path, lines)
+                if not rel.startswith("src/"):
+                    continue
+                if rel.startswith(ALIGNMENT_DIRS):
+                    self.check_alignment(path, lines)
+                if rel not in R6_EXEMPT_FILES and not rel.startswith(R6_EXEMPT_DIRS):
+                    self.check_annotation_discipline(path, lines)
+                if rel not in R8_EXEMPT_FILES:
+                    self.check_spin_discipline(path, lines)
         self.check_annotation_pairing()
         self.check_suppressions()
 

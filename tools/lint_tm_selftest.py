@@ -5,6 +5,11 @@ The linter guards the protocol's concurrency discipline, so the linter
 itself needs a regression net: each rule gets a minimal fixture tree that
 must trigger it and a sibling fixture that must stay clean.  Runs as the
 `lint_tm_selftest` CTest target.
+
+R1/R1b/R3/R4/R7 moved to tools/tmcheck/ — their fixtures now live in the
+tmcheck selftest corpus (tools/tmcheck/selftest/, exact-findings asserted
+by tools/tmcheck/tmcheck_selftest.py) so no rule is tested, or enforced,
+in two places.
 """
 
 from __future__ import annotations
@@ -36,31 +41,30 @@ def rules_of(errors: list[str]) -> set[str]:
     return {e.split("[", 1)[1].split("]", 1)[0] for e in errors}
 
 
-class R1RawAtomic(unittest.TestCase):
-    def test_unjustified_raw_atomic_flagged(self):
-        errs = run_lint({"src/core/x.hpp": "auto v = __atomic_load_n(p, 0);\n"})
-        self.assertIn("R1", rules_of(errs))
+class MigratedRulesStayMigrated(unittest.TestCase):
+    """R1/R1b/R3/R4/R7 must NOT fire from this linter any more — each rule
+    is enforced in exactly one tool (they live in tools/tmcheck now)."""
 
-    def test_justified_raw_atomic_clean(self):
-        errs = run_lint({
-            "src/core/x.hpp":
-                "// raw-atomic: scratch word private to this worker\n"
-                "auto v = __atomic_load_n(p, 0);\n"})
+    def test_raw_atomic_not_flagged_here(self):
+        errs = run_lint({"src/core/x.hpp": "auto v = __atomic_load_n(p, 0);\n"})
         self.assertNotIn("R1", rules_of(errs))
 
-
-class R3Relaxed(unittest.TestCase):
-    def test_unjustified_relaxed_flagged(self):
+    def test_relaxed_not_flagged_here(self):
         errs = run_lint({
             "src/sim/x.hpp": "x.load(std::memory_order_relaxed);\n"})
-        self.assertIn("R3", rules_of(errs))
-
-    def test_justified_relaxed_clean(self):
-        errs = run_lint({
-            "src/sim/x.hpp":
-                "// relaxed: counter read outside any protocol decision\n"
-                "x.load(std::memory_order_relaxed);\n"})
         self.assertNotIn("R3", rules_of(errs))
+
+    def test_mutex_include_not_flagged_here(self):
+        errs = run_lint({"src/sim/x.hpp": "#include <mutex>\n"})
+        self.assertNotIn("R4", rules_of(errs))
+
+    def test_trace_in_attempt_not_flagged_here(self):
+        errs = run_lint({
+            "src/stm/x.hpp":
+                "const auto r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {\n"
+                "  PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);\n"
+                "});\n"})
+        self.assertNotIn("R7", rules_of(errs))
 
 
 class R8SpinDiscipline(unittest.TestCase):
@@ -212,85 +216,46 @@ class R6ForbiddenFields(unittest.TestCase):
         self.assertEqual(errs, [])
 
 
-class R7TraceEmission(unittest.TestCase):
-    def test_emission_inside_attempt_lambda_flagged(self):
+class R10TidySuppressions(unittest.TestCase):
+    def test_bare_nolint_flagged(self):
         errs = run_lint({
-            "src/stm/x.hpp":
-                "const auto r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {\n"
-                "  ops.write(addr, v);\n"
-                "  PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);\n"
-                "});\n"})
-        self.assertIn("R7", rules_of(errs))
+            "src/sim/x.hpp": "int* p = (int*)q;  // NOLINT\n"})
+        self.assertIn("R10", rules_of(errs))
 
-    def test_emission_after_attempt_returns_clean(self):
+    def test_nolintnextline_without_checks_flagged(self):
         errs = run_lint({
-            "src/stm/x.hpp":
-                "const auto r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {\n"
-                "  ops.write(addr, v);\n"
-                "});\n"
-                "PHTM_TRACE_TX_COMMIT(CommitPath::kHtm);\n"})
-        self.assertNotIn("R7", rules_of(errs))
+            "src/sim/x.hpp": "// NOLINTNEXTLINE\nint* p = (int*)q;\n"})
+        self.assertIn("R10", rules_of(errs))
 
-    def test_emission_inside_htmops_method_flagged(self):
+    def test_named_check_without_justification_flagged(self):
         errs = run_lint({
-            "src/sim/x.cpp":
-                "void HtmOps::write(std::uint64_t* a, std::uint64_t v) {\n"
-                "  PHTM_TRACE_RING_PUBLISH(0, 0);\n"
-                "}\n"})
-        self.assertIn("R7", rules_of(errs))
+            "src/sim/x.hpp":
+                "// NOLINTNEXTLINE(bugprone-casting-through-void)\n"
+                "int* p = (int*)q;\n"})
+        self.assertIn("R10", rules_of(errs))
 
-    def test_emission_inside_htmops_param_function_flagged(self):
+    def test_named_check_with_justification_clean(self):
         errs = run_lint({
-            "src/core/x.cpp":
-                "void publish(sim::HtmOps& ops, std::uint64_t ts) {\n"
-                "  PHTM_TRACE_RING_PUBLISH(ts, 0);\n"
-                "}\n"})
-        self.assertIn("R7", rules_of(errs))
+            "src/sim/x.hpp":
+                "// NOLINTNEXTLINE(bugprone-casting-through-void): the\n"
+                "int* p = (int*)q;\n"})
+        self.assertNotIn("R10", rules_of(errs))
 
-    def test_emission_inside_ctx_holding_htmops_flagged(self):
+    def test_applies_to_tests_tree_too(self):
         errs = run_lint({
-            "src/stm/x.hpp":
-                "class HtmCtx {\n"
-                "  void write(std::uint64_t* a, std::uint64_t v) {\n"
-                "    PHTM_TRACE_SUB_BEGIN(0);\n"
-                "  }\n"
-                "  sim::HtmOps& ops_;\n"
-                "};\n"})
-        self.assertIn("R7", rules_of(errs))
+            "src/core/keep.hpp": "int x;\n",
+            "tests/foo_test.cpp": "f();  // NOLINT\n"})
+        self.assertIn("R10", rules_of(errs))
 
-    def test_backend_merely_nesting_a_ctx_class_clean(self):
-        # The innermost-class attribution: an outer backend that *contains*
-        # an HtmOps-holding context class is not itself speculative.
+    def test_nolintend_not_flagged(self):
+        # NOLINTEND closes a justified NOLINTBEGIN block; only the BEGIN
+        # carries the check list and reason.
         errs = run_lint({
-            "src/stm/x.hpp":
-                "class Backend {\n"
-                "  class HtmCtx {\n"
-                "    sim::HtmOps& ops_;\n"
-                "  };\n"
-                "  void execute() {\n"
-                "    PHTM_TRACE_TX_BEGIN();\n"
-                "  }\n"
-                "};\n"})
-        self.assertNotIn("R7", rules_of(errs))
-
-    def test_buffering_macros_exempt(self):
-        errs = run_lint({
-            "src/sim/x.cpp":
-                "void HtmOps::write(std::uint64_t* a, std::uint64_t v) {\n"
-                "  PHTM_TRACE_TXN_ENTER();\n"
-                "  PHTM_TRACE_TXN_EXIT();\n"
-                "}\n"})
-        self.assertNotIn("R7", rules_of(errs))
-
-    def test_justified_deferral_clean(self):
-        errs = run_lint({
-            "src/sim/x.cpp":
-                "void f(sim::HtmOps& ops) {\n"
-                "  // trace-deferred: doom is a real side effect; the\n"
-                "  // runtime's pending array flushes it post-outcome\n"
-                "  PHTM_TRACE_DOOM(0, 0, 0);\n"
-                "}\n"})
-        self.assertNotIn("R7", rules_of(errs))
+            "src/sim/x.hpp":
+                "// NOLINTBEGIN(concurrency-mt-unsafe): bench-only helper\n"
+                "f();\n"
+                "// NOLINTEND(concurrency-mt-unsafe)\n"})
+        self.assertNotIn("R10", rules_of(errs))
 
 
 class RealTreeIsClean(unittest.TestCase):

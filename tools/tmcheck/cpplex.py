@@ -1,0 +1,190 @@
+"""C++ token stream for tmcheck's structural frontend.
+
+Not a conforming lexer — a faithful-enough tokenizer for whole-program
+*protocol* analysis: it gets comments, string/char literals (including raw
+strings), preprocessor logical lines, and multi-character operators right,
+so the structural parser (model.py) can do brace matching and statement
+recognition on clean token text instead of regexes over raw lines.
+
+Comments are not discarded: they are routed to a per-line side channel so
+the rule engine can check justification markers (`relaxed:`, `span-waiver:`,
+...) with exactly the same window semantics the regex lint uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+PREPROC = "preproc"  # one token per logical (continuation-joined) directive
+
+KEYWORDS = frozenset("""
+    alignas alignof asm auto bool break case catch char char8_t char16_t
+    char32_t class concept const consteval constexpr constinit const_cast
+    continue co_await co_return co_yield decltype default delete do double
+    dynamic_cast else enum explicit export extern false float for friend goto
+    if inline int long mutable namespace new noexcept nullptr operator private
+    protected public register reinterpret_cast requires return short signed
+    sizeof static static_assert static_cast struct switch template this
+    thread_local throw true try typedef typeid typename union unsigned using
+    virtual void volatile wchar_t while final override
+""".split())
+
+# Multi-char punctuators, longest first.
+_PUNCTS = sorted(
+    ["<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+     ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+     "^=", "##", "<=>"],
+    key=len, reverse=True)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+
+    def __repr__(self) -> str:  # compact for debugging
+        return f"{self.text!r}@{self.line}"
+
+
+def lex(text: str):
+    """Returns (tokens, comment_lines) where comment_lines maps a 1-based
+    line number to the concatenated comment text appearing on that line
+    (block comments contribute to every line they span)."""
+    toks: list[Token] = []
+    comments: dict[int, str] = {}
+    i, n, line = 0, len(text), 1
+
+    def add_comment(ln: int, s: str) -> None:
+        comments[ln] = comments.get(ln, "") + s
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            add_comment(line, text[i:j])
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            body = text[i:j + 2]
+            for off, part in enumerate(body.split("\n")):
+                add_comment(line + off, part)
+            line += body.count("\n")
+            i = j + 2
+            continue
+        # Preprocessor directive: one token per logical line.
+        if c == "#" and (not toks or toks[-1].line != line):
+            start, start_line = i, line
+            while i < n:
+                j = text.find("\n", i)
+                j = n if j < 0 else j
+                seg = text[i:j]
+                if seg.rstrip().endswith("\\"):
+                    line += 1
+                    i = j + 1
+                else:
+                    i = j
+                    break
+            toks.append(Token(PREPROC, text[start:i], start_line))
+            continue
+        # Raw strings: R"delim( ... )delim"
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            m = text.find("(", i + 2)
+            if m > 0:
+                delim = text[i + 2:m]
+                endmark = ")" + delim + '"'
+                e = text.find(endmark, m + 1)
+                e = n if e < 0 else e + len(endmark)
+                tok = text[i:e]
+                toks.append(Token(STRING, tok, line))
+                line += tok.count("\n")
+                i = e
+                continue
+        # Strings / chars (with optional prefixes shorter than raw-string R).
+        if c in "\"'":
+            quote, j = c, i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                if text[j] == "\n":  # unterminated; bail at EOL
+                    break
+                j += 1
+            toks.append(Token(STRING if quote == '"' else CHAR,
+                              text[i:j + 1], line))
+            i = j + 1
+            continue
+        # Identifiers / keywords.
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            # Literal prefixes glued to a string (u8"...", L"...").
+            if j < n and text[j] == '"' and word in ("u8", "u", "U", "L"):
+                i = j
+                continue
+            toks.append(Token(IDENT, word, line))
+            i = j
+            continue
+        # Numbers (incl. hex, separators, suffixes; pp-number-ish).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            toks.append(Token(NUMBER, text[i:j], line))
+            i = j
+            continue
+        # Punctuators.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                toks.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            toks.append(Token(PUNCT, c, line))
+            i += 1
+    return toks, comments
+
+
+def match_braces(toks: list[Token]) -> dict[int, int]:
+    """Index of every '{' / '(' / '[' token -> index of its matching closer
+    (and vice versa). Unbalanced tokens are left unmapped."""
+    pairs: dict[int, int] = {}
+    stack: list[tuple[str, int]] = []
+    closer = {"{": "}", "(": ")", "[": "]"}
+    opener = {v: k for k, v in closer.items()}
+    for i, t in enumerate(toks):
+        if t.kind != PUNCT:
+            continue
+        if t.text in closer:
+            stack.append((t.text, i))
+        elif t.text in opener:
+            # Pop until the matching opener kind (tolerates stray closers).
+            while stack:
+                kind, j = stack.pop()
+                if kind == opener[t.text]:
+                    pairs[j] = i
+                    pairs[i] = j
+                    break
+    return pairs

@@ -1,0 +1,174 @@
+"""Optional clang.cindex frontend for tmcheck.
+
+When the python libclang bindings are importable (and a libclang shared
+library can be loaded), this frontend parses the translation units listed
+in compile_commands.json and produces the same Program model the token
+frontend builds — with the compiler's own name resolution instead of the
+structural heuristics.
+
+The container images this repo targets ship only the LLVM *tools* (no
+clang driver, no libclang C API, no python bindings), so this module is
+strictly opt-in: `tmcheck --frontend clang` fails with a clear message when
+the bindings are missing, and `--frontend auto` silently uses the token
+frontend. The rule engine (rules.py) is identical either way; the selftest
+corpus pins the expected findings so the two frontends can be diffed when
+a clang toolchain is available.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from model import (
+    AtomicOp,
+    ATOMIC_METHODS,
+    CallSite,
+    FileModel,
+    FunctionInfo,
+    Impurity,
+    MemberDecl,
+    Program,
+)
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        return False
+    try:
+        clang.cindex.Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def why_unavailable() -> str:
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        return ("python clang bindings not importable (no libclang in this "
+                "environment); use --frontend tokens")
+    return "libclang shared library failed to load; use --frontend tokens"
+
+
+def load_program_clang(root: Path, compile_commands: Path,
+                       subdir: str = "src") -> Program:
+    import clang.cindex as ci
+
+    index = ci.Index.create()
+    entries = json.loads(compile_commands.read_text())
+    prog = Program(root=root)
+    models: dict[str, FileModel] = {}
+
+    def model_for(path: Path) -> FileModel | None:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return None
+        if not rel.startswith(subdir + "/"):
+            return None
+        fm = models.get(rel)
+        if fm is None:
+            text = path.read_text(errors="replace")
+            # Reuse the lexer's comment channel so marker windows behave
+            # identically across frontends.
+            from cpplex import lex
+            _, comments = lex(text)
+            fm = FileModel(path=path, rel=rel, lines=text.splitlines(),
+                           comments=comments)
+            models[rel] = fm
+            prog.files.append(fm)
+        return fm
+
+    for entry in entries:
+        src = Path(entry.get("directory", ".")) / entry["file"]
+        args = [a for a in entry.get("command", "").split()[1:]
+                if not a.endswith(entry["file"]) and a not in ("-c", "-o")]
+        try:
+            tu = index.parse(str(src), args=args)
+        except Exception:
+            continue
+        _walk_tu(tu.cursor, root, model_for)
+
+    return prog
+
+
+def _loc(cursor):
+    f = cursor.location.file
+    return (Path(f.name) if f else None), cursor.location.line
+
+
+def _walk_tu(cursor, root: Path, model_for) -> None:
+    import clang.cindex as ci
+    K = ci.CursorKind
+
+    def visit(c, current_fn):
+        path, line = _loc(c)
+        fm = model_for(path) if path else None
+        if c.kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                      K.DESTRUCTOR, K.LAMBDA_EXPR) and c.is_definition():
+            if fm is not None:
+                owner = c.semantic_parent
+                quals = []
+                p = owner
+                while p is not None and p.kind in (
+                        K.CLASS_DECL, K.STRUCT_DECL, K.NAMESPACE):
+                    if p.spelling:
+                        quals.insert(0, p.spelling)
+                    p = p.semantic_parent
+                base = c.spelling or f"<lambda@{line}>"
+                fn = FunctionInfo(
+                    qname="::".join(quals + [base]), base=base, rel=fm.rel,
+                    line=line, end_line=c.extent.end.line,
+                    takes_htmops=any(
+                        "HtmOps &" in a.type.spelling
+                        for a in c.get_arguments()),
+                    is_htmops_method=(owner is not None
+                                      and owner.spelling == "HtmOps"))
+                fm.functions.append(fn)
+                current_fn = fn
+        elif c.kind == K.FIELD_DECL and fm is not None:
+            t = c.type.get_canonical().spelling
+            fm.members.append(MemberDecl(
+                text=f"{c.type.spelling} {c.spelling}", line=line,
+                is_atomic="atomic<" in t,
+                is_blocking=any(b in t for b in (
+                    "std::mutex", "std::shared_mutex",
+                    "std::condition_variable")),
+                holds_htmops="HtmOps &" in t))
+        elif c.kind == K.CALL_EXPR and current_fn is not None:
+            name = c.spelling
+            if name in ATOMIC_METHODS:
+                current_fn.atomics.append(_atomic_from_call(c, name, line))
+            elif name:
+                current_fn.calls.append(CallSite(name, line, "", ""))
+        elif c.kind == K.CXX_NEW_EXPR and current_fn is not None:
+            current_fn.impurities.append(
+                Impurity("alloc", "new expression", line))
+        for child in c.get_children():
+            visit(child, current_fn)
+
+    visit(cursor, None)
+
+
+def _atomic_from_call(c, name: str, line: int) -> AtomicOp:
+    kind, order_pos = ATOMIC_METHODS[name]
+    order = "seq_cst"
+    source = "default"
+    args = list(c.get_arguments())
+    if len(args) > order_pos:
+        spelled = " ".join(t.spelling for t in args[order_pos].get_tokens())
+        for o in ("relaxed", "consume", "acquire", "release",
+                  "acq_rel", "seq_cst"):
+            if o in spelled:
+                order, source = o, "explicit"
+                break
+    toks = list(c.get_tokens())
+    addr = "".join(t.spelling for t in toks[:6])
+    tail = ""
+    for t in reversed(addr.split(".")[0:1] or [""]):
+        tail = t
+    return AtomicOp(kind=kind, op=name, order=order, fail_order="",
+                    order_source=source, addr=addr, tail=tail, line=line)

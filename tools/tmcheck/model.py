@@ -1,0 +1,1032 @@
+"""Program model for tmcheck: files -> functions/classes/calls/atomic ops.
+
+This is the structural ("token") frontend. It parses each file's token
+stream (cpplex.py) into a scope tree — namespaces, classes, enums, function
+definitions — and extracts, per function:
+
+  * call sites (callee base name + receiver/qualifier hints),
+  * atomic operations with their *resolved* memory order (through
+    `constexpr` order constants, type aliases, and default arguments),
+  * raw `__atomic_*` / `__sync_*` builtin uses,
+  * impurities for the speculative-span rules (allocation, I/O, OS
+    blocking, trace emission),
+  * speculative roots: `.attempt(...)` lambda bodies, `HtmOps::` methods,
+    functions taking `HtmOps&`, and methods of classes holding an
+    `HtmOps&` member.
+
+plus per file: includes, class member declarations (atomic / blocking /
+HtmOps& members, alias-resolved), type aliases and memory-order constants.
+
+The clang.cindex frontend (frontend_clang.py) produces the same model from
+a real AST when libclang is available; the rule engine (rules.py) is
+frontend-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from cpplex import IDENT, PREPROC, PUNCT, Token, lex, match_braces
+
+# --- memory orders --------------------------------------------------------
+
+ORDERS = ("relaxed", "consume", "acquire", "release", "acq_rel", "seq_cst")
+
+_ORDER_LITERALS = {}
+for _o in ORDERS:
+    _ORDER_LITERALS[f"memory_order_{_o}"] = _o
+    _ORDER_LITERALS[_o.upper()] = None  # placeholder; real key added below
+    _ORDER_LITERALS[f"__ATOMIC_{_o.upper()}"] = _o
+_ORDER_LITERALS = {k: v for k, v in _ORDER_LITERALS.items() if v}
+
+# Atomic member functions -> (kind, index of the memory-order argument).
+# For compare_exchange_* the index is the *success* order; a failure order,
+# if present, is the next argument.
+ATOMIC_METHODS = {
+    "load": ("load", 0),
+    "store": ("store", 1),
+    "exchange": ("rmw", 1),
+    "fetch_add": ("rmw", 1),
+    "fetch_sub": ("rmw", 1),
+    "fetch_and": ("rmw", 1),
+    "fetch_or": ("rmw", 1),
+    "fetch_xor": ("rmw", 1),
+    "compare_exchange_weak": ("cas", 2),
+    "compare_exchange_strong": ("cas", 2),
+}
+
+# GCC builtin family -> (kind, which argument carries the order).
+ATOMIC_BUILTINS = {
+    "__atomic_load_n": ("load", -1),
+    "__atomic_load": ("load", -1),
+    "__atomic_store_n": ("store", -1),
+    "__atomic_store": ("store", -1),
+    "__atomic_exchange_n": ("rmw", -1),
+    "__atomic_fetch_add": ("rmw", -1),
+    "__atomic_fetch_sub": ("rmw", -1),
+    "__atomic_fetch_and": ("rmw", -1),
+    "__atomic_fetch_or": ("rmw", -1),
+    "__atomic_fetch_xor": ("rmw", -1),
+    "__atomic_add_fetch": ("rmw", -1),
+    "__atomic_sub_fetch": ("rmw", -1),
+    "__atomic_compare_exchange_n": ("cas", 4),
+    "__atomic_compare_exchange": ("cas", 4),
+    "__atomic_thread_fence": ("fence", 0),
+}
+
+BLOCKING_TYPES = ("mutex", "shared_mutex", "timed_mutex",
+                  "recursive_mutex", "condition_variable",
+                  "condition_variable_any")
+
+TRACE_EXEMPT = frozenset(
+    ["PHTM_TRACE_TXN_ENTER", "PHTM_TRACE_TXN_EXIT", "PHTM_TRACE_META"])
+
+ALLOC_CALLS = frozenset("""
+    malloc calloc realloc aligned_alloc posix_memalign strdup
+    make_unique make_shared push_back emplace_back emplace resize reserve
+    insert assign append
+""".split())
+
+IO_CALLS = frozenset("""
+    printf fprintf vfprintf puts fputs fputc fwrite fread fopen fclose
+    fflush perror getline system
+""".split())
+
+IO_STREAMS = frozenset(["cout", "cerr", "clog"])
+
+BLOCK_CALLS = frozenset(["sleep_for", "sleep_until", "usleep", "nanosleep"])
+BLOCK_TYPES_USE = frozenset(["unique_lock", "lock_guard", "scoped_lock"])
+
+CONTROL_KEYWORDS = frozenset(
+    ["if", "else", "for", "while", "do", "switch", "try", "catch"])
+
+# Call names that never become call-graph edges (assertion/annotation
+# machinery, casts, builtins handled elsewhere).
+CALL_IGNORE = frozenset("""
+    assert static_assert sizeof alignof decltype typeid noexcept
+    static_cast dynamic_cast reinterpret_cast const_cast
+""".split())
+
+
+@dataclass
+class CallSite:
+    name: str          # callee base name
+    line: int
+    receiver: str      # "" for free calls; canonical receiver text otherwise
+    qualifier: str     # explicit "a::b" qualifier text ("" if none)
+
+
+@dataclass
+class AtomicOp:
+    kind: str          # load | store | rmw | cas | fence | unknown
+    op: str            # source-level operation name
+    order: str         # resolved order, or "param:<name>" / "unknown"
+    fail_order: str    # cas only; "" otherwise
+    order_source: str  # explicit | default | constant:<n> | param-default:<n>
+    addr: str          # canonicalized address/receiver expression
+    tail: str          # trailing identifier of `addr` (pairing key)
+    line: int
+
+
+@dataclass
+class Impurity:
+    kind: str          # trace | alloc | io | os-block
+    what: str
+    line: int
+
+
+@dataclass
+class MemberDecl:
+    text: str
+    line: int
+    is_atomic: bool
+    is_blocking: bool
+    holds_htmops: bool
+
+
+@dataclass
+class FunctionInfo:
+    qname: str                 # namespace/class-qualified name
+    base: str                  # unqualified name (call-graph key)
+    rel: str                   # file path relative to the scan root
+    line: int
+    end_line: int
+    takes_htmops: bool = False
+    is_htmops_method: bool = False
+    owner_holds_htmops: bool = False
+    is_attempt_lambda: bool = False
+    calls: list[CallSite] = field(default_factory=list)
+    atomics: list[AtomicOp] = field(default_factory=list)
+    raw_atomics: list[tuple[str, int]] = field(default_factory=list)
+    impurities: list[Impurity] = field(default_factory=list)
+    # memory_order parameters with defaults: name -> default order
+    order_params: dict = field(default_factory=dict)
+
+    def root_reason(self) -> str:
+        if self.is_attempt_lambda:
+            return "body of an rt.attempt() hardware transaction"
+        if self.is_htmops_method:
+            return "HtmOps transactional-access method"
+        if self.takes_htmops:
+            return "takes HtmOps& (runs under the hardware transaction)"
+        if self.owner_holds_htmops:
+            return "method of a class holding HtmOps& (transactional context)"
+        return ""
+
+
+@dataclass
+class FileModel:
+    path: Path
+    rel: str
+    lines: list[str]                  # raw source lines (marker windows)
+    comments: dict                    # line -> comment text
+    includes: list = field(default_factory=list)   # (header, line)
+    functions: list = field(default_factory=list)  # FunctionInfo
+    members: list = field(default_factory=list)    # MemberDecl
+    aliases: dict = field(default_factory=dict)    # name -> target text
+    mo_constants: dict = field(default_factory=dict)  # name -> order
+    blocking_uses: list = field(default_factory=list)  # (text, line)
+
+
+@dataclass
+class Program:
+    root: Path
+    files: list = field(default_factory=list)
+
+    def merged_aliases(self) -> dict:
+        out = {}
+        for f in self.files:
+            out.update(f.aliases)
+        return out
+
+    def merged_mo_constants(self) -> dict:
+        out = {}
+        for f in self.files:
+            out.update(f.mo_constants)
+        return out
+
+    def functions(self):
+        for f in self.files:
+            yield from f.functions
+
+    def defs_by_base(self) -> dict:
+        idx: dict[str, list] = {}
+        for fn in self.functions():
+            idx.setdefault(fn.base, []).append(fn)
+        return idx
+
+
+# --- token helpers --------------------------------------------------------
+
+def _split_args(toks: list[Token], pairs: dict, lo: int, hi: int):
+    """Split tokens in (lo, hi) exclusive — the inside of a paren group —
+    into top-level comma-separated argument slices."""
+    args, start, i = [], lo + 1, lo + 1
+    while i < hi:
+        t = toks[i]
+        if t.kind == PUNCT and t.text in ("(", "[", "{") and i in pairs:
+            i = pairs[i] + 1
+            continue
+        if t.kind == PUNCT and t.text == ",":
+            args.append((start, i))
+            start = i + 1
+        i += 1
+    if hi > start:
+        args.append((start, hi))
+    return [a for a in args if a[1] > a[0]]
+
+
+def _tok_text(toks: list[Token], lo: int, hi: int) -> str:
+    return " ".join(t.text for t in toks[lo:hi])
+
+
+def _canonical_addr(toks: list[Token], pairs: dict, lo: int, hi: int) -> str:
+    """Canonicalize an address expression: drop leading '&', drop 'this->',
+    collapse subscripts to '[]'."""
+    out, i = [], lo
+    while i < hi:
+        t = toks[i]
+        if t.kind == PUNCT and t.text == "[" and i in pairs:
+            out.append("[]")
+            i = pairs[i] + 1
+            continue
+        out.append(t.text)
+        i += 1
+    s = "".join(out)
+    while s.startswith("&") or s.startswith("*"):
+        s = s[1:]
+    s = s.replace("this->", "").replace("(", "").replace(")", "")
+    return s
+
+
+def _addr_tail(addr: str) -> str:
+    ident = ""
+    for piece in reversed(addr.replace("->", ".").split(".")):
+        piece = piece.strip("[]&*:")
+        if piece and (piece[0].isalpha() or piece[0] == "_"):
+            ident = piece
+            break
+    return ident
+
+
+# --- the parser -----------------------------------------------------------
+
+class _Scope:
+    __slots__ = ("kind", "name", "close", "holds_htmops", "fn", "owner",
+                 "span")
+
+    def __init__(self, kind, name, close, fn=None):
+        self.kind = kind          # namespace | class | enum | function | block
+        self.name = name
+        self.close = close
+        self.holds_htmops = False
+        self.fn = fn
+        self.owner = None
+        self.span = None
+
+
+def parse_file(path: Path, rel: str) -> FileModel:
+    text = path.read_text(errors="replace")
+    toks, comments = lex(text)
+    pairs = match_braces(toks)
+    fm = FileModel(path=path, rel=rel, lines=text.splitlines(),
+                   comments=comments)
+
+    _scan_preproc(toks, fm)
+    _scan_aliases_and_constants(toks, pairs, fm)
+    scopes = _walk_scopes(toks, pairs, fm, rel)
+    _scan_class_members(toks, pairs, scopes, fm)
+    aliases = fm.aliases  # file-local view; program-wide merge happens later
+    for sc in scopes:
+        if sc.kind == "function":
+            _scan_function_body(toks, pairs, sc, fm, aliases)
+    _scan_blocking_uses(toks, fm)
+    return fm
+
+
+def _scan_preproc(toks, fm: FileModel) -> None:
+    for t in toks:
+        if t.kind != PREPROC:
+            continue
+        d = t.text.lstrip("# \t")
+        if d.startswith("include"):
+            rest = d[len("include"):].strip()
+            if rest[:1] in ("<", '"'):
+                end = ">" if rest[0] == "<" else '"'
+                name = rest[1:rest.find(end, 1)] if rest.find(end, 1) > 0 else rest[1:]
+                fm.includes.append((name, t.line))
+
+
+def _scan_aliases_and_constants(toks, pairs, fm: FileModel) -> None:
+    """using NAME = ...;  /  typedef ... NAME;  /  constexpr ... NAME = <mo>;"""
+    i, n = 0, len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == IDENT and t.text == "using" and i + 2 < n \
+                and toks[i + 1].kind == IDENT and toks[i + 2].text == "=":
+            j = i + 3
+            while j < n and toks[j].text != ";":
+                j += 1
+            fm.aliases[toks[i + 1].text] = _tok_text(toks, i + 3, j)
+            i = j
+            continue
+        if t.kind == IDENT and t.text == "typedef":
+            j = i + 1
+            while j < n and toks[j].text != ";":
+                j += 1
+            if j - 1 > i + 1 and toks[j - 1].kind == IDENT:
+                fm.aliases[toks[j - 1].text] = _tok_text(toks, i + 1, j - 1)
+            i = j
+            continue
+        if t.kind == IDENT and t.text == "constexpr":
+            # constexpr [type...] NAME = <expr containing an order literal> ;
+            j = i + 1
+            while j < n and toks[j].text not in ("=", ";", "{", "}"):
+                j += 1
+            if j < n and toks[j].text == "=" and toks[j - 1].kind == IDENT:
+                name = toks[j - 1].text
+                k = j + 1
+                order = None
+                while k < n and toks[k].text != ";":
+                    if toks[k].text in _ORDER_LITERALS:
+                        order = _ORDER_LITERALS[toks[k].text]
+                    elif toks[k].kind == IDENT and toks[k].text in ORDERS \
+                            and k > 0 and toks[k - 1].text == "::":
+                        order = toks[k].text  # std::memory_order::relaxed
+                    k += 1
+                if order:
+                    fm.mo_constants[name] = order
+                i = k
+                continue
+        i += 1
+
+
+def _classify_head(toks, pairs, open_idx):
+    """Look back from a '{' to the start of its statement and classify what
+    the brace opens. Returns (kind, info)."""
+    j = open_idx - 1
+    head: list[int] = []  # token indices, reversed
+    hops = 0
+    while j >= 0 and hops < 400:
+        t = toks[j]
+        hops += 1
+        if t.kind == PUNCT and t.text in (")", "]") and j in pairs:
+            head.append(j)           # group end marker
+            j = pairs[j]
+            head.append(j)           # group start marker
+            j -= 1
+            continue
+        if t.kind == PUNCT and t.text in (";", "{"):
+            break
+        if t.kind == PUNCT and t.text == "}":
+            break
+        if t.kind == PREPROC:
+            j -= 1
+            continue
+        head.append(j)
+        j -= 1
+    head.reverse()
+    if not head:
+        return "block", None
+    first = toks[head[0]]
+
+    # Skip a leading `template < ... >` intro.
+    pos = 0
+    if first.kind == IDENT and first.text == "template":
+        depth = 0
+        pos += 1
+        while pos < len(head):
+            tt = toks[head[pos]].text
+            if tt == "<":
+                depth += 1
+            elif tt == ">":
+                depth -= 1
+                if depth == 0:
+                    pos += 1
+                    break
+            pos += 1
+        if pos >= len(head):
+            return "block", None
+        first = toks[head[pos]]
+
+    if first.kind == IDENT and first.text in CONTROL_KEYWORDS:
+        return "block", None
+    if first.kind == IDENT and first.text == "namespace":
+        name = ""
+        for h in head[pos + 1:]:
+            if toks[h].kind == IDENT:
+                name = toks[h].text
+                break
+        return "namespace", name
+    if first.kind == IDENT and first.text == "extern":
+        return "block", None
+    if first.kind == IDENT and first.text == "enum":
+        return "enum", None
+    if first.kind == IDENT and first.text in ("class", "struct", "union"):
+        # name = first identifier after the key, skipping alignas(...) and
+        # attribute groups.
+        k = pos + 1
+        name = ""
+        while k < len(head):
+            h = head[k]
+            t = toks[h]
+            if t.kind == IDENT and t.text == "alignas":
+                k += 3  # alignas ( ... ) appears as ident + 2 group markers
+                continue
+            if t.kind == PUNCT and t.text in ("(", ")", "[", "]"):
+                k += 1
+                continue
+            if t.kind == IDENT and t.text not in ("final",):
+                # Qualified out-of-class-line definitions:
+                # `class Outer::Inner final : ... {`
+                name = t.text
+                while k + 2 < len(head) \
+                        and toks[head[k + 1]].text == "::" \
+                        and toks[head[k + 2]].kind == IDENT:
+                    name += "::" + toks[head[k + 2]].text
+                    k += 2
+                break
+            if t.kind == PUNCT and t.text == ":":
+                break
+            k += 1
+        return "class", name
+    prev = toks[head[-1]]
+    if prev.kind == PUNCT and prev.text in ("=", ",", "(", "["):
+        return "block", None
+    if prev.kind == IDENT and prev.text == "return":
+        return "block", None
+
+    # Function definition: find the parameter-list group.
+    k = pos
+    group_at = None
+    while k < len(head) - 1:
+        h = head[k]
+        if toks[h].kind == PUNCT and toks[h].text == "(" and h in pairs:
+            before = toks[head[k - 1]] if k > 0 else None
+            if before is not None and before.kind == IDENT and before.text in (
+                    "decltype", "alignas", "noexcept", "__attribute__",
+                    "sizeof", "requires"):
+                # qualifier group; skip past its end marker
+                k += 2
+                continue
+            group_at = k
+            break
+        k += 1
+    if group_at is None or group_at == 0:
+        return "block", None
+    name_tok = toks[head[group_at - 1]]
+    if name_tok.kind == PUNCT and name_tok.text == "]":
+        return "block", None  # lambda body: attributed to enclosing function
+    if name_tok.kind != IDENT and not (
+            name_tok.kind == PUNCT and group_at >= 2
+            and toks[head[group_at - 2]].text == "operator"):
+        return "block", None
+    if name_tok.kind == IDENT and name_tok.text in CONTROL_KEYWORDS:
+        return "block", None
+    name = name_tok.text
+    qual = []
+    q = group_at - 2
+    while q >= 1 and toks[head[q]].kind == PUNCT and toks[head[q]].text == "::" \
+            and toks[head[q - 1]].kind == IDENT:
+        qual.insert(0, toks[head[q - 1]].text)
+        q -= 2
+    if q >= 0 and toks[head[q]].kind == PUNCT and toks[head[q]].text == "~":
+        name = "~" + name
+    # Parameter tokens: between the group markers.
+    gopen = head[group_at]
+    gclose = pairs[gopen]
+    return "function", (name, qual, gopen, gclose)
+
+
+def _params_take_htmops(toks, lo, hi) -> bool:
+    for i in range(lo, hi):
+        if toks[i].kind == IDENT and toks[i].text == "HtmOps" \
+                and i + 1 <= hi and toks[i + 1].text == "&":
+            return True
+    return False
+
+
+def _order_params(toks, pairs, lo, hi) -> dict:
+    """memory_order-typed parameters with default values: name -> order."""
+    out = {}
+    for alo, ahi in _split_args(toks, pairs, lo, hi):
+        text = _tok_text(toks, alo, ahi)
+        if "memory_order" not in text:
+            continue
+        name, default = "", None
+        for i in range(alo, ahi):
+            if toks[i].text == "=":
+                if i > alo and toks[i - 1].kind == IDENT:
+                    name = toks[i - 1].text
+                for j in range(i + 1, ahi):
+                    if toks[j].text in _ORDER_LITERALS:
+                        default = _ORDER_LITERALS[toks[j].text]
+                    elif toks[j].kind == IDENT and toks[j].text in ORDERS \
+                            and toks[j - 1].text == "::":
+                        default = toks[j].text
+                break
+        if name and default:
+            out[name] = default
+    return out
+
+
+def _walk_scopes(toks, pairs, fm: FileModel, rel: str):
+    """Linear walk building the scope tree; returns all scopes (classes keep
+    holds_htmops flags, functions carry FunctionInfo)."""
+    scopes: list[_Scope] = []
+    stack: list[_Scope] = []
+    paren_depth = 0
+    i, n = 0, len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT and t.text == "(":
+            paren_depth += 1
+        elif t.kind == PUNCT and t.text == ")":
+            paren_depth = max(0, paren_depth - 1)
+        elif t.kind == PUNCT and t.text == "{":
+            if i not in pairs:
+                i += 1
+                continue
+            if paren_depth > 0:
+                i = pairs[i]  # brace expression inside parens (default args,
+                continue      # in-call lambdas — handled per function body)
+            kind, info = _classify_head(toks, pairs, i)
+            close = pairs[i]
+            if kind == "function":
+                name, qual, gopen, gclose = info
+                outer = [s.name for s in stack
+                         if s.kind in ("namespace", "class") and s.name]
+                qname = "::".join(outer + qual + [name])
+                fn = FunctionInfo(
+                    qname=qname, base=name, rel=rel,
+                    line=t.line, end_line=toks[close].line,
+                    takes_htmops=_params_take_htmops(toks, gopen, gclose),
+                    is_htmops_method=("HtmOps" in qual or any(
+                        s.kind == "class" and s.name == "HtmOps"
+                        for s in stack)),
+                    order_params=_order_params(toks, pairs, gopen, gclose))
+                fn.body = (i, close)  # token span, open/close braces
+                sc = _Scope("function", qname, close, fn)
+                # Innermost enclosing class decides HtmOps&-holder status
+                # after member scan; remember it.
+                sc.owner = next((s for s in reversed(stack)
+                                 if s.kind == "class"), None)
+                fm.functions.append(fn)
+            else:
+                sc = _Scope(kind, info if isinstance(info, str) else "", close)
+                sc.owner = None
+                sc.span = (i, close)
+            stack.append(sc)
+            scopes.append(sc)
+        elif t.kind == PUNCT and t.text == "}":
+            if stack and stack[-1].close == i:
+                stack.pop()
+        i += 1
+    return scopes
+
+
+def _scan_class_members(toks, pairs, scopes, fm: FileModel) -> None:
+    """Member-declaration statements at class-body depth (nested scopes are
+    skipped via the brace map)."""
+    aliases = fm.aliases
+    for sc in scopes:
+        if sc.kind != "class":
+            continue
+        lo, hi = sc.span
+        i = lo + 1
+        stmt: list[int] = []
+        while i < hi:
+            t = toks[i]
+            if t.kind == PUNCT and t.text == "{" and i in pairs:
+                # Nested scope (method body, nested class, initializer):
+                # its interior is NOT part of this statement — a nested
+                # context struct's `HtmOps& ops;` must not leak into the
+                # outer class (innermost attribution).
+                i = pairs[i] + 1
+                continue
+            if t.kind == PUNCT and t.text == ";":
+                member = _classify_member(toks, pairs, stmt, aliases)
+                if member is not None:
+                    fm.members.append(member)
+                    if member.holds_htmops:
+                        sc.holds_htmops = True
+                stmt = []
+                i += 1
+                continue
+            stmt.append(i)
+            i += 1
+    # Propagate holder status to the class's methods.
+    for sc in scopes:
+        if sc.kind == "function" and getattr(sc, "owner", None) is not None \
+                and sc.owner.holds_htmops:
+            sc.fn.owner_holds_htmops = True
+
+
+def _resolve_alias_text(text: str, aliases: dict, depth: int = 0) -> str:
+    if depth > 4:
+        return text
+    first = text.split(" ", 1)[0].split("<", 1)[0]
+    if first in aliases:
+        return _resolve_alias_text(aliases[first], aliases, depth + 1) + \
+            " " + text
+    return text
+
+
+def _classify_member(toks, pairs, stmt, aliases):
+    """Classify one class-body statement, given as the list of token
+    indices at class depth (nested brace interiors already excluded).
+    Returns a MemberDecl or None."""
+    if len(stmt) < 2:
+        return None
+    first = toks[stmt[0]].text
+    if first in ("public", "private", "protected", "using", "typedef",
+                 "friend", "static_assert", "template", "enum",
+                 "class", "struct", "union"):
+        return None
+    text = " ".join(toks[i].text for i in stmt)
+    line = toks[stmt[0]].line
+    resolved = _resolve_alias_text(text, aliases)
+    proto = _looks_like_prototype(toks, pairs, stmt)
+    is_atomic = ("atomic <" in resolved or "atomic<" in resolved) \
+        and not proto
+    is_blocking = False
+    for bt in BLOCKING_TYPES:
+        if f"std :: {bt}" in resolved or resolved.startswith(bt + " "):
+            is_blocking = not proto
+            break
+    holds_htmops = False
+    for k, i in enumerate(stmt[:-1]):
+        if toks[i].kind == IDENT and toks[i].text == "HtmOps" \
+                and toks[stmt[k + 1]].text == "&":
+            if k + 2 < len(stmt) and toks[stmt[k + 2]].kind == IDENT:
+                holds_htmops = not proto
+            break
+    if not (is_atomic or is_blocking or holds_htmops):
+        return None
+    return MemberDecl(text=text[:120], line=line, is_atomic=is_atomic,
+                      is_blocking=is_blocking, holds_htmops=holds_htmops)
+
+
+def _looks_like_prototype(toks, pairs, stmt) -> bool:
+    """True if the statement is a function declaration: it has a '(…)'
+    group whose *preceding* token is an identifier and which is the last
+    structural element (modulo trailing qualifiers)."""
+    last_group_close = -1
+    k = 0
+    while k < len(stmt):
+        i = stmt[k]
+        t = toks[i]
+        if t.kind == PUNCT and t.text == "(" and i in pairs:
+            if k > 0 and toks[stmt[k - 1]].kind == IDENT:
+                last_group_close = pairs[i]
+            # Skip to past the group's closer within the statement list.
+            while k < len(stmt) and stmt[k] <= pairs[i]:
+                k += 1
+            continue
+        if t.kind == PUNCT and t.text == "[" and i in pairs:
+            while k < len(stmt) and stmt[k] <= pairs[i]:
+                k += 1
+            continue
+        k += 1
+    if last_group_close < 0:
+        return False
+    for i in stmt:
+        if i <= last_group_close:
+            continue
+        t = toks[i]
+        if t.kind == IDENT and t.text in (
+                "const", "noexcept", "override", "final", "volatile"):
+            continue
+        if t.text in ("=", "0", "->"):
+            continue
+        return False
+    return True
+
+
+def _scan_blocking_uses(toks, fm: FileModel) -> None:
+    """Any appearance of a std:: blocking type outside comments/strings.
+    Alias definitions (`using X = std::mutex;`) are skipped — the alias
+    surfaces through the member declarations that use it."""
+    for i, t in enumerate(toks):
+        if t.kind == IDENT and t.text in BLOCKING_TYPES:
+            if i >= 2 and toks[i - 1].text == "::" \
+                    and toks[i - 2].text == "std":
+                j = i - 3
+                in_alias = False
+                while j >= 0 and i - j < 12:
+                    tt = toks[j]
+                    if tt.kind == PUNCT and tt.text in (";", "{", "}"):
+                        break
+                    if tt.kind == IDENT and tt.text in ("using", "typedef"):
+                        in_alias = True
+                        break
+                    j -= 1
+                if not in_alias:
+                    fm.blocking_uses.append((f"std::{t.text}", t.line))
+
+
+# --- function-body extraction ---------------------------------------------
+
+def _scan_function_body(toks, pairs, sc, fm: FileModel, aliases) -> None:
+    fn: FunctionInfo = sc.fn
+    lo, hi = fn.body
+    _extract_from_span(toks, pairs, fn, lo + 1, hi, fm, aliases)
+    _find_attempt_lambdas(toks, pairs, fn, lo + 1, hi, fm, aliases)
+
+
+def _extract_from_span(toks, pairs, fn: FunctionInfo, lo, hi,
+                       fm: FileModel, aliases) -> None:
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind == IDENT and t.text == "new":
+            fn.impurities.append(Impurity("alloc", "new expression", t.line))
+            i += 1
+            continue
+        if t.kind != IDENT:
+            i += 1
+            continue
+        nxt = toks[i + 1] if i + 1 < hi else None
+        prev = toks[i - 1] if i > 0 else None
+        is_call = nxt is not None and nxt.kind == PUNCT and nxt.text == "("
+
+        # Atomic member functions: x.load(...), p->store(...)
+        if is_call and t.text in ATOMIC_METHODS and prev is not None \
+                and prev.kind == PUNCT and prev.text in (".", "->"):
+            op = _atomic_method_op(toks, pairs, fn, i, fm, aliases)
+            if op is not None:
+                fn.atomics.append(op)
+            i = pairs.get(i + 1, i + 1) + 1
+            continue
+
+        # Raw builtins.
+        if is_call and (t.text.startswith("__atomic_")
+                        or t.text.startswith("__sync_")):
+            fn.raw_atomics.append((t.text, t.line))
+            op = _atomic_builtin_op(toks, pairs, fn, i, fm)
+            if op is not None:
+                fn.atomics.append(op)
+            i = pairs.get(i + 1, i + 1) + 1
+            continue
+
+        # Trace emission macros.
+        if is_call and t.text.startswith("PHTM_TRACE_"):
+            if t.text not in TRACE_EXEMPT:
+                fn.impurities.append(Impurity("trace", t.text, t.line))
+            i = pairs.get(i + 1, i + 1) + 1
+            continue
+
+        # Impure library calls.
+        if is_call and t.text in ALLOC_CALLS:
+            fn.impurities.append(Impurity("alloc", t.text + "()", t.line))
+        elif is_call and t.text in IO_CALLS:
+            fn.impurities.append(Impurity("io", t.text + "()", t.line))
+        elif is_call and t.text in BLOCK_CALLS:
+            fn.impurities.append(Impurity("os-block", t.text + "()", t.line))
+        elif is_call and t.text == "wait" and prev is not None \
+                and prev.text in (".", "->"):
+            fn.impurities.append(Impurity("os-block", ".wait()", t.line))
+        elif t.text in IO_STREAMS and prev is not None and prev.text == "::":
+            fn.impurities.append(Impurity("io", "std::" + t.text, t.line))
+        elif t.text in BLOCK_TYPES_USE and prev is not None \
+                and prev.text == "::":
+            fn.impurities.append(
+                Impurity("os-block", "std::" + t.text, t.line))
+
+        # Plain calls -> call-graph edges.
+        if is_call and t.text not in CALL_IGNORE \
+                and not t.text.startswith("PHTM_") \
+                and t.text not in ATOMIC_METHODS:
+            receiver, qualifier = "", ""
+            skip = False
+            if prev is not None:
+                if prev.kind == PUNCT and prev.text in (".", "->"):
+                    receiver = _receiver_text(toks, pairs, i - 1)
+                elif prev.kind == PUNCT and prev.text == "::":
+                    quals = []
+                    q = i - 1
+                    while q >= 1 and toks[q].text == "::" \
+                            and toks[q - 1].kind == IDENT:
+                        quals.insert(0, toks[q - 1].text)
+                        q -= 2
+                    qualifier = "::".join(quals)
+                    if quals and quals[0] == "std":
+                        skip = True
+                elif prev.kind == IDENT and prev.text not in KEYWORD_PREV_OK:
+                    # `Type name(args)` declaration: the constructor call is
+                    # to the *type*.
+                    fn.calls.append(CallSite(prev.text, prev.line, "", ""))
+                    skip = True
+                elif prev.kind == PUNCT and prev.text == ">":
+                    skip = True  # template-id or comparison; not resolvable
+            if not skip:
+                fn.calls.append(CallSite(t.text, t.line, receiver, qualifier))
+        i += 1
+
+
+# Identifiers before a call that still mean "this is a plain call site".
+KEYWORD_PREV_OK = frozenset(["return", "co_return", "co_await", "case",
+                             "else", "do"])
+
+
+def _receiver_text(toks, pairs, dot_idx) -> str:
+    """Walk a postfix expression backwards from a '.'/'->' connector."""
+    j = dot_idx - 1
+    parts = []
+    hops = 0
+    while j >= 0 and hops < 40:
+        t = toks[j]
+        hops += 1
+        if t.kind == PUNCT and t.text in ("]", ")") and j in pairs:
+            parts.append("[]" if t.text == "]" else "()")
+            j = pairs[j] - 1
+            continue
+        if t.kind == IDENT or (t.kind == PUNCT and t.text in (".", "->", "::")):
+            parts.append(t.text)
+            j -= 1
+            prev = toks[j] if j >= 0 else None
+            if t.kind == IDENT and not (
+                    prev is not None and prev.kind == PUNCT
+                    and prev.text in (".", "->", "::", "]", ")")):
+                break
+            continue
+        break
+    return "".join(reversed(parts)).replace("this->", "")
+
+
+def _resolve_order_expr(toks, pairs, fn, span, fm: FileModel):
+    """Resolve one memory-order argument slice -> (order, source)."""
+    lo, hi = span
+    for i in range(lo, hi):
+        t = toks[i]
+        if t.text in _ORDER_LITERALS:
+            return _ORDER_LITERALS[t.text], "explicit"
+        if t.kind == IDENT and t.text in ORDERS and i > lo \
+                and toks[i - 1].text == "::":
+            return t.text, "explicit"
+    # Single identifier: constant or parameter.
+    idents = [toks[i].text for i in range(lo, hi) if toks[i].kind == IDENT]
+    if len(idents) == 1:
+        name = idents[0]
+        if name in fn.order_params:
+            return fn.order_params[name], f"param-default:{name}"
+        if name in fm.mo_constants:
+            return fm.mo_constants[name], f"constant:{name}"
+        return f"param:{name}", "unresolved"
+    return "unknown", "unresolved"
+
+
+def _atomic_method_op(toks, pairs, fn, i, fm: FileModel, aliases):
+    name = toks[i].text
+    kind, order_pos = ATOMIC_METHODS[name]
+    gopen = i + 1
+    if gopen not in pairs:
+        return None
+    gclose = pairs[gopen]
+    args = _split_args(toks, pairs, gopen, gclose)
+    addr = _canonical_addr(toks, pairs, *_receiver_span(toks, pairs, i - 1))
+    order, source = "seq_cst", "default"
+    fail_order = ""
+    if len(args) > order_pos:
+        order, source = _resolve_order_expr(toks, pairs, fn, args[order_pos], fm)
+    if kind == "cas":
+        fail_order = order if order in ORDERS else order
+        if len(args) > order_pos + 1:
+            fail_order, _ = _resolve_order_expr(toks, pairs, fn,
+                                                args[order_pos + 1], fm)
+        elif order in ("release", "acq_rel"):
+            fail_order = "acquire" if order == "acq_rel" else "relaxed"
+    return AtomicOp(kind=kind, op=name, order=order, fail_order=fail_order,
+                    order_source=source, addr=addr, tail=_addr_tail(addr),
+                    line=toks[i].line)
+
+
+def _receiver_span(toks, pairs, dot_idx):
+    j = dot_idx - 1
+    hops = 0
+    end = dot_idx
+    while j >= 0 and hops < 40:
+        t = toks[j]
+        hops += 1
+        if t.kind == PUNCT and t.text in ("]", ")") and j in pairs:
+            j = pairs[j] - 1
+            continue
+        if t.kind == IDENT or (t.kind == PUNCT and t.text in (".", "->", "::")):
+            j -= 1
+            if t.kind == IDENT:
+                prev = toks[j] if j >= 0 else None
+                if not (prev is not None and prev.kind == PUNCT
+                        and prev.text in (".", "->", "::", "]", ")")):
+                    break
+            continue
+        break
+    return (j + 1, end)
+
+
+def _atomic_builtin_op(toks, pairs, fn, i, fm: FileModel):
+    name = toks[i].text
+    if name not in ATOMIC_BUILTINS:
+        return None
+    kind, order_pos = ATOMIC_BUILTINS[name]
+    gopen = i + 1
+    if gopen not in pairs:
+        return None
+    args = _split_args(toks, pairs, gopen, pairs[gopen])
+    if not args:
+        return None
+    addr = _canonical_addr(toks, pairs, *args[0]) if kind != "fence" else ""
+    span = args[order_pos] if -len(args) <= order_pos < len(args) else None
+    order, source = "seq_cst", "default"
+    if span is not None:
+        order, source = _resolve_order_expr(toks, pairs, fn, span, fm)
+    fail_order = ""
+    if kind == "cas" and len(args) > order_pos + 1:
+        fail_order, _ = _resolve_order_expr(toks, pairs, fn,
+                                            args[order_pos + 1], fm)
+    return AtomicOp(kind=kind, op=name, order=order, fail_order=fail_order,
+                    order_source=source, addr=addr, tail=_addr_tail(addr),
+                    line=toks[i].line)
+
+
+def _find_attempt_lambdas(toks, pairs, fn: FunctionInfo, lo, hi,
+                          fm: FileModel, aliases) -> None:
+    """`rt.attempt(th, [&](HtmOps& ops) { ... })`: the lambda body is a
+    speculative root."""
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind == IDENT and t.text == "attempt" and i + 1 < hi \
+                and toks[i + 1].text == "(" and i + 1 in pairs \
+                and i > 0 and toks[i - 1].text in (".", "->"):
+            gclose = pairs[i + 1]
+            j = i + 2
+            while j < gclose:
+                if toks[j].kind == PUNCT and toks[j].text == "[" \
+                        and j in pairs:
+                    body_open = _lambda_body_open(toks, pairs, j, gclose)
+                    if body_open is not None:
+                        body_close = pairs[body_open]
+                        lam = FunctionInfo(
+                            qname=f"{fn.qname}::<attempt-lambda@"
+                                  f"{toks[body_open].line}>",
+                            base=f"<attempt-lambda@{toks[body_open].line}>",
+                            rel=fn.rel, line=toks[body_open].line,
+                            end_line=toks[body_close].line,
+                            is_attempt_lambda=True)
+                        lam.body = (body_open, body_close)
+                        _extract_from_span(toks, pairs, lam, body_open + 1,
+                                           body_close, fm, aliases)
+                        fm.functions.append(lam)
+                        j = body_close
+                    break
+                j += 1
+            i = gclose
+        i += 1
+
+
+def _lambda_body_open(toks, pairs, bracket_idx, limit):
+    j = pairs.get(bracket_idx)
+    if j is None:
+        return None
+    j += 1
+    if j < limit and toks[j].kind == PUNCT and toks[j].text == "(" \
+            and j in pairs:
+        j = pairs[j] + 1
+    while j < limit and toks[j].kind == IDENT and toks[j].text in (
+            "mutable", "noexcept", "constexpr"):
+        j += 1
+        if j < limit and toks[j].kind == PUNCT and toks[j].text == "(" \
+                and j in pairs:
+            j = pairs[j] + 1
+    if j < limit and toks[j].kind == PUNCT and toks[j].text == "->":
+        while j < limit and toks[j].text != "{":
+            j += 1
+    if j < limit and toks[j].kind == PUNCT and toks[j].text == "{":
+        return j
+    return None
+
+
+# --- program loading ------------------------------------------------------
+
+SOURCE_SUFFIXES = (".hpp", ".cpp", ".h", ".cc")
+
+
+def load_program(root: Path, subdir: str = "src") -> Program:
+    prog = Program(root=root)
+    base = root / subdir
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        prog.files.append(parse_file(path, rel))
+    # Second pass: re-resolve alias-dependent classifications with the
+    # program-wide alias map (a typedef in a header must cover uses in
+    # every includer).
+    merged = prog.merged_aliases()
+    for f in prog.files:
+        f.aliases = dict(merged)
+    merged_mo = prog.merged_mo_constants()
+    for f in prog.files:
+        f.mo_constants = dict(merged_mo)
+    return prog

@@ -1,0 +1,325 @@
+"""tmcheck rule engine: frontend-agnostic checks over the Program model.
+
+Owns the deep rules migrated out of the regex lint (tools/lint_tm.py):
+
+  R1  raw __atomic_* / __sync_* builtins in the protocol layer
+      (waiver: `raw-atomic:`)
+  R1b std::atomic member declarations in the protocol layer, resolved
+      through type aliases (waiver: `shared-atomic:`)
+  R3  relaxed atomics need a justification — the memory order is resolved
+      through constexpr order constants, typedefs and default arguments,
+      not just the literal `memory_order_relaxed` token
+      (waiver: `relaxed:`)
+  R4  blocking primitives in protocol code: <mutex>-family includes in
+      protocol headers, plus any std::mutex/condition_variable/... type
+      use or alias-resolved member declaration in the protocol layer
+  R7  interprocedural speculative-span purity: everything reachable from
+      a speculative root (rt.attempt() lambda, HtmOps:: method, function
+      taking HtmOps&, method of a class holding HtmOps&) must not
+      allocate, take a blocking lock, do I/O, or emit trace records —
+      at ANY call depth through the cross-TU call graph
+      (waivers: `trace-deferred:` for trace sites, `span-waiver:` for
+      everything else — at the impure site, at a call edge, or at the
+      root)
+  R9  happens-before edge discipline: acquire/release atomics grouped by
+      canonicalized address tail, cross-checked against the reviewed
+      R6c inventory imported from lint_tm.py (one source of truth);
+      detects unpaired (never-released / never-acquired) edges and
+      inventory edges with no atomics at all.
+
+The justification-marker window semantics (same line or <= RULE_WINDOW
+lines above) are imported from lint_tm so both tools agree exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from lint_tm import (  # noqa: E402  (one source of truth for these)
+    ANNOTATION_FORBIDDEN_TAILS,
+    KNOWN_HB_EDGE_TAILS,
+    PROTOCOL_ACCESS_DIRS,
+    PROTOCOL_HEADER_DIRS,
+    RULE_WINDOW,
+    has_marker,
+)
+
+from model import (  # noqa: E402
+    AtomicOp,
+    FileModel,
+    FunctionInfo,
+    Program,
+)
+
+TRACE_EMISSION_DIRS = ("src/core", "src/stm", "src/sim", "src/tm", "src/sig")
+
+MUTEX_HEADERS = ("mutex", "shared_mutex", "condition_variable")
+
+# Call-graph edges are resolved by base name. Names this common would wire
+# unrelated code together; a real analyzer resolves overloads — the token
+# frontend declines to guess for these.
+AMBIGUOUS_CALL_NAMES = frozenset(
+    ["get", "set", "size", "empty", "begin", "end", "clear", "reset",
+     "value", "count", "data", "find", "next", "at"])
+
+IMPURITY_VERB = {
+    "trace": "emits trace records",
+    "alloc": "can allocate",
+    "io": "performs I/O",
+    "os-block": "can block on the OS",
+}
+
+
+@dataclass
+class Finding:
+    rule: str
+    rel: str
+    line: int
+    message: str
+    chain: list = field(default_factory=list)  # R7 call chain, root first
+
+    def key(self):
+        return (self.rule, self.rel, self.line)
+
+    def to_json(self):
+        d = {"rule": self.rule, "file": self.rel, "line": self.line,
+             "message": self.message}
+        if self.chain:
+            d["chain"] = self.chain
+        return d
+
+    def render(self) -> str:
+        s = f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+        if self.chain:
+            s += "\n    call chain: " + " -> ".join(self.chain)
+        return s
+
+
+def _marked(fm: FileModel, line: int, marker: str) -> bool:
+    return has_marker(fm.lines, line - 1, marker)
+
+
+class RuleEngine:
+    def __init__(self, prog: Program):
+        self.prog = prog
+        self.findings: list[Finding] = []
+        self.hb_graph: dict = {}
+
+    def err(self, rule, fm_or_rel, line, msg, chain=None):
+        rel = fm_or_rel.rel if isinstance(fm_or_rel, FileModel) else fm_or_rel
+        self.findings.append(Finding(rule, rel, line, msg, chain or []))
+
+    def run(self) -> list[Finding]:
+        for fm in self.prog.files:
+            if fm.rel.startswith(PROTOCOL_ACCESS_DIRS):
+                self.check_r1(fm)
+                self.check_r1b(fm)
+            self.check_r3(fm)
+            self.check_r4(fm)
+        self.check_r7()
+        self.check_r9()
+        self.findings.sort(key=lambda f: (f.rel, f.line, f.rule))
+        return self.findings
+
+    # -- R1 / R1b ----------------------------------------------------------
+    def check_r1(self, fm: FileModel) -> None:
+        for fn in fm.functions:
+            for name, line in fn.raw_atomics:
+                if _marked(fm, line, "raw-atomic:"):
+                    continue
+                self.err("R1", fm, line,
+                         f"raw {name} builtin in the protocol layer; route "
+                         "through nontx_*/HtmOps or justify with "
+                         "'// raw-atomic:'")
+
+    def check_r1b(self, fm: FileModel) -> None:
+        for m in fm.members:
+            if not m.is_atomic or _marked(fm, m.line, "shared-atomic:"):
+                continue
+            self.err("R1b", fm, m.line,
+                     "std::atomic member (alias-resolved) in the protocol "
+                     "layer; protocol-shared words are plain uint64_t behind "
+                     "nontx_* — justify with '// shared-atomic:'")
+
+    # -- R3 ----------------------------------------------------------------
+    def check_r3(self, fm: FileModel) -> None:
+        for fn in fm.functions:
+            for op in fn.atomics:
+                relaxed_via = None
+                if op.order == "relaxed":
+                    relaxed_via = op.order_source
+                elif op.kind == "cas" and op.fail_order == "relaxed":
+                    relaxed_via = "cas-failure-order"
+                if relaxed_via is None:
+                    continue
+                if _marked(fm, op.line, "relaxed:"):
+                    continue
+                how = {"explicit": "written explicitly",
+                       "cas-failure-order": "the CAS failure order"}.get(
+                    relaxed_via, f"resolved through {relaxed_via}")
+                self.err("R3", fm, op.line,
+                         f"{op.op} on '{op.addr}' is memory_order_relaxed "
+                         f"({how}) without a '// relaxed:' justification")
+
+    # -- R4 ----------------------------------------------------------------
+    def check_r4(self, fm: FileModel) -> None:
+        # Same scope the regex rule had: core/stm/sim/sig. src/tm stays out
+        # deliberately (the TM-heap allocator owns a real mutex; R7 still
+        # proves nothing speculative can reach it).
+        protocol_header = (fm.rel.startswith(PROTOCOL_HEADER_DIRS)
+                           and fm.rel.endswith(".hpp"))
+        protocol = fm.rel.startswith(PROTOCOL_HEADER_DIRS)
+        if protocol_header:
+            for header, line in fm.includes:
+                if header in MUTEX_HEADERS:
+                    self.err("R4", fm, line,
+                             f"protocol header includes <{header}>; the "
+                             "protocol layer is spinlock/atomic only")
+        if protocol:
+            member_lines = set()
+            for m in fm.members:
+                if m.is_blocking:
+                    member_lines.add(m.line)
+                    self.err("R4", fm, m.line,
+                             "blocking-type member (alias-resolved) in the "
+                             "protocol layer")
+            for text, line in fm.blocking_uses:
+                if line in member_lines:
+                    continue  # already reported as a member declaration
+                self.err("R4", fm, line,
+                         f"{text} used in the protocol layer; the protocol "
+                         "is lock-free except simulator-internal spinlocks")
+
+    # -- R7 ----------------------------------------------------------------
+    def check_r7(self) -> None:
+        files = {fm.rel: fm for fm in self.prog.files}
+        defs = self.prog.defs_by_base()
+
+        def fn_impurities(fn: FunctionInfo):
+            out = []
+            fm = files[fn.rel]
+            for imp in fn.impurities:
+                marker = ("trace-deferred:" if imp.kind == "trace"
+                          else "span-waiver:")
+                if not _marked(fm, imp.line, marker):
+                    out.append(imp)
+            return out
+
+        def edges(fn: FunctionInfo):
+            fm = files[fn.rel]
+            for call in fn.calls:
+                if call.name in AMBIGUOUS_CALL_NAMES:
+                    continue
+                if call.name not in defs:
+                    continue
+                if _marked(fm, call.line, "span-waiver:"):
+                    continue
+                yield call, defs[call.name]
+
+        roots = [fn for fn in self.prog.functions()
+                 if fn.rel.startswith(TRACE_EMISSION_DIRS)
+                 and fn.root_reason()]
+        for root in roots:
+            root_fm = files[root.rel]
+            if _marked(root_fm, root.line, "span-waiver:"):
+                continue
+            # BFS over the name-resolved call graph; remember one shortest
+            # path per function for the report.
+            paths = {id(root): [root]}
+            queue = [root]
+            seen = {id(root)}
+            reported = set()
+            while queue:
+                fn = queue.pop(0)
+                path = paths[id(fn)]
+                for imp in fn_impurities(fn):
+                    key = (imp.kind, fn.rel, imp.line)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    chain = [f"{p.qname} ({p.rel}:{p.line})" for p in path]
+                    chain.append(f"{imp.what} ({fn.rel}:{imp.line})")
+                    depth = len(path) - 1
+                    via = ("directly" if depth == 0 else
+                           f"{depth} call{'s' if depth > 1 else ''} deep")
+                    self.err(
+                        "R7", root.rel, root.line,
+                        f"speculative span '{root.qname}' "
+                        f"({root.root_reason()}) {IMPURITY_VERB[imp.kind]} "
+                        f"{via} via {imp.what} at {fn.rel}:{imp.line}; on "
+                        "real hardware this becomes transactional state "
+                        "rolled back on abort — defer it past the commit "
+                        "seam, or waive the site with "
+                        f"""'// {'trace-deferred:' if imp.kind == 'trace'
+                                 else 'span-waiver:'}'""",
+                        chain=chain)
+                for call, callees in edges(fn):
+                    for callee in callees:
+                        if id(callee) in seen:
+                            continue
+                        seen.add(id(callee))
+                        paths[id(callee)] = path + [callee]
+                        queue.append(callee)
+
+    # -- R9 ----------------------------------------------------------------
+    def check_r9(self) -> None:
+        by_tail: dict[str, dict] = {}
+        for fn in self.prog.functions():
+            for op in fn.atomics:
+                if op.kind == "fence" or not op.tail:
+                    continue
+                node = by_tail.setdefault(
+                    op.tail, {"acquire": [], "release": [], "other": []})
+                rec = {"op": op.op, "kind": op.kind, "order": op.order,
+                       "addr": op.addr, "file": fn.rel, "line": op.line,
+                       "function": fn.qname}
+                side = _hb_side(op)
+                for s in side:
+                    node[s].append(rec)
+                if not side:
+                    node["other"].append(rec)
+        self.hb_graph = {
+            "schema": 1,
+            "inventory": {t: KNOWN_HB_EDGE_TAILS[t]
+                          for t in sorted(KNOWN_HB_EDGE_TAILS)},
+            "forbidden": sorted(ANNOTATION_FORBIDDEN_TAILS),
+            "edges": {t: by_tail[t] for t in sorted(by_tail)},
+        }
+        # Findings are restricted to the reviewed inventory: those tails
+        # carry the protocol's correctness argument, so a missing side is a
+        # broken happens-before edge, not style.
+        for tail, why in KNOWN_HB_EDGE_TAILS.items():
+            node = by_tail.get(tail)
+            if node is None:
+                self.err("R9", "src", 0,
+                         f"HB edge '...{tail}' ({why}) is in the reviewed "
+                         "inventory but no atomic operation on it was found "
+                         "anywhere in the tree — stale inventory entry or a "
+                         "renamed field")
+                continue
+            if not node["release"]:
+                rec = (node["acquire"] + node["other"])[0]
+                self.err("R9", rec["file"], rec["line"],
+                         f"HB edge '...{tail}' ({why}) is acquired but never "
+                         "released: no store/rmw with release-or-stronger "
+                         "order found on this address anywhere in the tree")
+            if not node["acquire"]:
+                rec = (node["release"] + node["other"])[0]
+                self.err("R9", rec["file"], rec["line"],
+                         f"HB edge '...{tail}' ({why}) is released but never "
+                         "acquired: no load/rmw with acquire-or-stronger "
+                         "order found on this address anywhere in the tree")
+
+
+def _hb_side(op: AtomicOp) -> list:
+    sides = []
+    acq_orders = ("acquire", "acq_rel", "seq_cst")
+    rel_orders = ("release", "acq_rel", "seq_cst")
+    if op.kind in ("load", "rmw", "cas") and op.order in acq_orders:
+        sides.append("acquire")
+    if op.kind in ("store", "rmw", "cas") and op.order in rel_orders:
+        sides.append("release")
+    return sides

@@ -1,0 +1,25 @@
+// R1 corpus: raw atomic builtins in the protocol layer (src/core).
+// Orders are seq_cst so these trip R1 only, not R3.
+#include <cstdint>
+
+namespace tmcheck_selftest {
+
+std::uint64_t g_word = 0;
+
+// positive: __atomic_* builtin, no justification.
+void r1_store_bad() {
+  __atomic_store_n(&g_word, 1, __ATOMIC_SEQ_CST);
+}
+
+// positive: __sync_* legacy builtin, no justification.
+std::uint64_t r1_sync_bad() {
+  return __sync_fetch_and_add(&g_word, 1);
+}
+
+// negative: justified.
+std::uint64_t r1_load_ok() {
+  // raw-atomic: selftest negative — justified builtin is accepted.
+  return __atomic_load_n(&g_word, __ATOMIC_SEQ_CST);
+}
+
+}  // namespace tmcheck_selftest

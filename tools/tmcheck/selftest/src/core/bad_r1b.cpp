@@ -1,0 +1,28 @@
+// R1b corpus: std::atomic members in the protocol layer (src/core).
+#include <atomic>
+#include <cstdint>
+
+namespace tmcheck_selftest {
+
+using HiddenWord = std::atomic<std::uint64_t>;
+
+struct R1bHolder {
+  // positive: bare std::atomic member, no justification.
+  std::atomic<unsigned> plain_member{0};
+
+  // positive: alias-resolved atomic member — a line-regex looking for
+  // `std::atomic<` at the start of the declaration provably cannot see
+  // through the typedef.
+  HiddenWord aliased_member{0};
+
+  // negative: justified.
+  // shared-atomic: selftest negative — justified member is accepted.
+  std::atomic<int> justified_member{0};
+};
+
+unsigned r1b_touch(R1bHolder& h) {
+  return h.plain_member.load() + static_cast<unsigned>(
+      h.aliased_member.load() + h.justified_member.load());
+}
+
+}  // namespace tmcheck_selftest

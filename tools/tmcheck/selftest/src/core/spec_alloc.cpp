@@ -1,0 +1,32 @@
+// R7 corpus: allocation reached from an rt.attempt() lambda root, plus a
+// waived allocation as the negative.
+#include <vector>
+
+#include "util/stubs.hpp"
+
+namespace tmcheck_selftest {
+
+// positive site: allocation one call below the attempt lambda.
+void log_append(std::vector<int>& log, int v) {
+  log.push_back(v);
+}
+
+void scratch_reserve(std::vector<int>& scratch);
+
+// Keep the waived helper *below* the attempt site: its span-waiver comment
+// must not fall inside the RULE_WINDOW above the lambda root line.
+void run_speculative(Rt& rt, std::vector<int>& log,
+                     std::vector<int>& scratch) {
+  rt.attempt([&] {
+    log_append(log, 1);
+    scratch_reserve(scratch);
+  });
+}
+
+// negative: a waived allocation helper (justified growth).
+void scratch_reserve(std::vector<int>& scratch) {
+  // span-waiver: selftest negative — justified host-side allocation.
+  scratch.reserve(64);
+}
+
+}  // namespace tmcheck_selftest

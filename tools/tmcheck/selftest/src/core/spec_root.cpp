@@ -1,0 +1,28 @@
+// R7 corpus, interprocedural positive: the speculative root lives here,
+// the impurity lives two calls away in src/sim/spec_chain.cpp. This file
+// contains no emission and that file contains no span pattern, so a
+// line- or file-local regex provably cannot connect the two.
+#include <cstdint>
+
+#include "util/stubs.hpp"
+
+namespace tmcheck_selftest {
+
+void chain_level_one();
+void deferred_emit();
+
+// positive root: takes HtmOps&, so its whole call tree is speculative.
+// The trace emission is reached two calls deep (chain_level_one ->
+// chain_level_two).
+std::uint64_t spec_read_path(HtmOps& ops, const std::uint64_t* addr) {
+  chain_level_one();
+  deferred_emit();
+  return ops.read(addr);
+}
+
+// negative: an emission in a root's file but reachable from no root.
+void report_outside_span() {
+  PHTM_TRACE_TX_ABORT(0);
+}
+
+}  // namespace tmcheck_selftest

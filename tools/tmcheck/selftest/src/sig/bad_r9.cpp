@@ -1,0 +1,33 @@
+// R9 corpus: happens-before edge discipline against the reviewed
+// inventory (KNOWN_HB_EDGE_TAILS, imported from lint_tm.py).
+#include <atomic>
+#include <cstdint>
+
+namespace tmcheck_selftest {
+
+struct R9State {
+  std::atomic<std::uint64_t> doom{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> ready{0};
+};
+
+// positive: 'doom' is an inventory edge and is acquired here, but no
+// release-or-stronger store on it exists anywhere in this tree.
+std::uint64_t r9_doom_probe(R9State& s) {
+  return s.doom.load(std::memory_order_acquire);
+}
+
+// positive: 'seq' is an inventory edge and is released here, but no
+// acquire-or-stronger load on it exists anywhere in this tree.
+void r9_seq_publish(R9State& s, std::uint64_t v) {
+  s.seq.store(v, std::memory_order_release);
+}
+
+// negative: 'ready' is just as unpaired, but it is not in the reviewed
+// inventory — R9 reports only the edges the protocol's correctness
+// argument depends on.
+void r9_ready_set(R9State& s) {
+  s.ready.store(1, std::memory_order_release);
+}
+
+}  // namespace tmcheck_selftest

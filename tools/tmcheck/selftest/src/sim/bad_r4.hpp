@@ -1,0 +1,21 @@
+// R4 corpus: blocking primitives in a protocol header (src/sim).
+// The negative case lives in src/util/ok_r4.cpp: the same primitives in a
+// non-protocol directory are silent.
+#pragma once
+
+#include <mutex>  // positive: <mutex> include in a protocol header
+
+namespace tmcheck_selftest {
+
+using SlowLock = std::mutex;
+
+struct R4Holder {
+  // positive: blocking member declared directly.
+  std::mutex direct_mu;
+
+  // positive: blocking member behind a typedef — invisible to an
+  // include/line regex, resolved by the alias table.
+  SlowLock aliased_mu;
+};
+
+}  // namespace tmcheck_selftest

@@ -1,0 +1,27 @@
+// R7 corpus, the deep half of the interprocedural case: two plain
+// functions between the root (src/core/spec_root.cpp) and the emission.
+// Nothing in this file looks like a speculative span.
+#include "util/stubs.hpp"
+
+namespace tmcheck_selftest {
+
+void chain_level_two();
+
+void chain_level_one() {
+  chain_level_two();
+}
+
+// positive site (reported against the root): emission two calls below a
+// speculative span.
+void chain_level_two() {
+  PHTM_TRACE_RING_PUBLISH(7);
+}
+
+// negative: a justified deferral is accepted even though it is reachable
+// from the root in spec_root.cpp.
+void deferred_emit() {
+  // trace-deferred: selftest negative — deliberate deferral, justified.
+  PHTM_TRACE_TX_ABORT(1);
+}
+
+}  // namespace tmcheck_selftest

@@ -1,0 +1,14 @@
+// Translation unit pulling the R4 corpus header into the compile set.
+// (R4's negative case is src/util/ok_r4.cpp, outside the protocol dirs.)
+#include "sim/bad_r4.hpp"
+
+namespace tmcheck_selftest {
+
+void r4_touch(R4Holder& h) {
+  h.direct_mu.lock();
+  h.direct_mu.unlock();
+  h.aliased_mu.lock();
+  h.aliased_mu.unlock();
+}
+
+}  // namespace tmcheck_selftest

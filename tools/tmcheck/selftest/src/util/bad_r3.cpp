@@ -1,0 +1,42 @@
+// R3 corpus: relaxed atomics without justification, including orders the
+// line regex provably cannot resolve (named constants, default arguments).
+#include <atomic>
+#include <cstdint>
+
+namespace tmcheck_selftest {
+
+// The constant definition itself is justified; R3 bites at *uses*.
+// relaxed: selftest — the definition line is not an atomic operation.
+constexpr auto kFastOrder = std::memory_order_relaxed;
+
+std::atomic<std::uint64_t> r3_word{0};
+
+// positive: literal relaxed, no justification.
+std::uint64_t r3_literal_bad() {
+  return r3_word.load(std::memory_order_relaxed);
+}
+
+// positive: the order arrives through a named constant — invisible to a
+// regex scanning for `memory_order_relaxed` on the operation's line.
+std::uint64_t r3_constant_bad() {
+  return r3_word.load(kFastOrder);
+}
+
+// positive: the order arrives through the function's own default
+// argument; the call site below names no order at all.
+void r3_store_with(std::atomic<std::uint64_t>& w, std::uint64_t v,
+                   std::memory_order mo = std::memory_order_relaxed) {
+  w.store(v, mo);
+}
+
+void r3_default_arg_bad() {
+  r3_store_with(r3_word, 1);
+}
+
+// negative: justified relaxed.
+std::uint64_t r3_ok() {
+  // relaxed: selftest negative — justified relaxed load is accepted.
+  return r3_word.load(std::memory_order_relaxed);
+}
+
+}  // namespace tmcheck_selftest

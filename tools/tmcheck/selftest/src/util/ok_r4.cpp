@@ -1,0 +1,13 @@
+// R4 negative: the same blocking primitive outside the protocol layer
+// (src/util is not a protocol dir) produces no finding.
+#include <mutex>
+
+namespace tmcheck_selftest {
+
+std::mutex g_harness_mu;
+
+void r4_outside_protocol() {
+  std::lock_guard<std::mutex> g(g_harness_mu);
+}
+
+}  // namespace tmcheck_selftest

@@ -1,0 +1,31 @@
+// Local stubs so the tmcheck selftest corpus compiles as a normal object
+// library with the repo's flags while staying independent of the real
+// runtime. The macro bodies are no-ops: tmcheck sees the *call sites*
+// (macro definitions are preprocessor tokens, invisible to the scanner),
+// which is exactly what the rules key on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+// Trace-emission stand-ins (same PHTM_TRACE_ prefix the rules match).
+#define PHTM_TRACE_RING_PUBLISH(slot) do { (void)(slot); } while (0)
+#define PHTM_TRACE_TX_ABORT(cause) do { (void)(cause); } while (0)
+
+namespace tmcheck_selftest {
+
+// Name-compatible stand-in for the simulator's transactional-access
+// handle: a function taking `HtmOps&` (or an `HtmOps&` member, or an
+// `rt.attempt(...)` lambda) marks a speculative root.
+struct HtmOps {
+  std::uint64_t read(const std::uint64_t* addr) { return *addr; }
+  void write(std::uint64_t* addr, std::uint64_t v) { *addr = v; }
+};
+
+// Stand-in for HtmRuntime: anything with an attempt(lambda) seam.
+struct Rt {
+  template <class F>
+  void attempt(F&& body) { body(); }
+};
+
+}  // namespace tmcheck_selftest

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""tmcheck: whole-program TM-protocol analyzer for PART-HTM.
+
+Runs the deep protocol rules (R1/R1b/R3/R4/R7/R9 — see rules.py) over the
+source tree and compares the findings against a committed baseline.
+
+Frontends
+---------
+  tokens  structural token-stream frontend (cpplex.py + model.py);
+          self-contained, deterministic, the default everywhere.
+  clang   clang.cindex over compile_commands.json when the python libclang
+          bindings are present (frontend_clang.py); opt-in.
+  auto    clang if available, tokens otherwise.
+
+The compile database (CMAKE_EXPORT_COMPILE_COMMANDS) is required for the
+clang frontend and, when present, is cross-checked against the scanned
+file set in token mode so a TU cannot silently drop out of analysis.
+
+Outputs
+-------
+  --json-out      machine-readable findings (for the CI artifact)
+  --hb-graph-out  the acquire/release happens-before edge graph as JSON
+  --write-baseline  regenerate the committed baseline from current findings
+
+Exit status: 0 clean (findings match baseline exactly), 1 new or stale
+findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import frontend_clang  # noqa: E402
+from model import load_program  # noqa: E402
+from rules import RuleEngine  # noqa: E402
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_ROOT = HERE.parent.parent
+DEFAULT_BASELINE = HERE / "baseline.json"
+
+
+def load_baseline(path: Path) -> list[dict]:
+    if not path.is_file():
+        return []
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise SystemExit(f"tmcheck: malformed baseline {path}")
+    return doc["findings"]
+
+
+def finding_key(d: dict):
+    return (d["rule"], d["file"], d["line"])
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=DEFAULT_ROOT,
+                    help="tree to analyze: must contain src/ "
+                         "(default: this checkout)")
+    ap.add_argument("--compile-commands", type=Path, default=None,
+                    help="compile_commands.json (default: "
+                         "<root>/build/compile_commands.json if present)")
+    ap.add_argument("--frontend", choices=("auto", "tokens", "clang"),
+                    default="auto")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                    help="committed findings baseline (default: "
+                         "tools/tmcheck/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report raw findings; nonzero exit if any")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite --baseline from current findings")
+    ap.add_argument("--json-out", type=Path, default=None,
+                    help="write findings as JSON")
+    ap.add_argument("--hb-graph-out", type=Path, default=None,
+                    help="write the happens-before edge graph as JSON")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"tmcheck: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    cc = args.compile_commands
+    if cc is None:
+        cand = root / "build" / "compile_commands.json"
+        cc = cand if cand.is_file() else None
+    elif not cc.is_file():
+        print(f"tmcheck: compile database {cc} not found", file=sys.stderr)
+        return 2
+
+    frontend = args.frontend
+    if frontend == "auto":
+        frontend = "clang" if frontend_clang.available() else "tokens"
+    if frontend == "clang":
+        if not frontend_clang.available():
+            print(f"tmcheck: clang frontend unavailable: "
+                  f"{frontend_clang.why_unavailable()}", file=sys.stderr)
+            return 2
+        if cc is None:
+            print("tmcheck: clang frontend needs compile_commands.json "
+                  "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+                  file=sys.stderr)
+            return 2
+        prog = frontend_clang.load_program_clang(root, cc)
+    else:
+        prog = load_program(root)
+
+    # Cross-check: every TU in the compile database that lives under
+    # <root>/src must be in the analyzed set (token mode scans the tree
+    # directly, so a mismatch means the scan missed something real).
+    if cc is not None:
+        analyzed = {fm.rel for fm in prog.files}
+        missing = []
+        for entry in json.loads(cc.read_text()):
+            p = (Path(entry.get("directory", ".")) / entry["file"]).resolve()
+            try:
+                rel = p.relative_to(root).as_posix()
+            except ValueError:
+                continue
+            if rel.startswith("src/") and rel not in analyzed:
+                missing.append(rel)
+        if missing:
+            print(f"tmcheck: {len(missing)} TU(s) in the compile database "
+                  f"were not analyzed: {', '.join(sorted(missing)[:5])}",
+                  file=sys.stderr)
+            return 2
+
+    engine = RuleEngine(prog)
+    findings = engine.run()
+    found_json = [f.to_json() for f in findings]
+
+    if args.hb_graph_out:
+        args.hb_graph_out.parent.mkdir(parents=True, exist_ok=True)
+        args.hb_graph_out.write_text(
+            json.dumps(engine.hb_graph, indent=1) + "\n")
+    if args.json_out:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(json.dumps(
+            {"schema": 1, "frontend": frontend, "root": str(root),
+             "findings": found_json}, indent=1) + "\n")
+
+    if args.write_baseline:
+        args.baseline.write_text(json.dumps(
+            {"schema": 1,
+             "comment": "tmcheck zero-findings baseline; regenerate with "
+                        "tools/tmcheck/tmcheck.py --write-baseline "
+                        "(see EXPERIMENTS.md)",
+             "findings": found_json}, indent=1) + "\n")
+        print(f"tmcheck: wrote {len(found_json)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+
+    if args.no_baseline:
+        for f in findings:
+            print(f.render())
+        status = 1 if findings else 0
+        print(f"tmcheck[{frontend}]: {len(findings)} finding(s) over "
+              f"{len(prog.files)} file(s)"
+              + ("" if findings else " — clean"),
+              file=sys.stderr if findings else sys.stdout)
+        return status
+
+    baseline = {finding_key(d) for d in load_baseline(args.baseline)}
+    new = [f for f in findings if f.key() not in baseline]
+    current = {f.key() for f in findings}
+    stale = [d for d in load_baseline(args.baseline)
+             if finding_key(d) not in current]
+
+    for f in new:
+        print(f.render())
+    for d in stale:
+        print(f"{d['file']}:{d['line']}: [{d['rule']}] baseline entry no "
+              "longer reproduces — regenerate the baseline "
+              "(--write-baseline)")
+    if new or stale:
+        print(f"tmcheck[{frontend}]: {len(new)} new, {len(stale)} stale "
+              f"finding(s) vs {args.baseline.name}", file=sys.stderr)
+        return 1
+    print(f"tmcheck[{frontend}]: clean "
+          f"({len(prog.files)} file(s), baseline {len(baseline)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Selftest for tools/tmcheck: exact-findings corpus + clean real tree.
+
+Two halves, mirroring tools/lint_tm_selftest.py:
+
+  1. Corpus: run the analyzer over tools/tmcheck/selftest/ (a miniature
+     source tree with deliberately-bad TUs, >=2 positives and >=1 silent
+     negative per rule) and assert the findings match
+     tools/tmcheck/selftest/expected.json EXACTLY — rule id, file, line,
+     and (for R7) the reported call chain. A missing finding means a rule
+     regressed; an extra finding means a rule grew a false positive.
+
+  2. Real tree: run the analyzer over src/ and assert it matches the
+     committed zero-findings baseline (tools/tmcheck/baseline.json).
+
+Run directly or via ctest (test name `tmcheck_selftest`, label `lint`).
+"""
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+TMCHECK = HERE / "tmcheck.py"
+CORPUS = HERE / "selftest"
+EXPECTED = CORPUS / "expected.json"
+
+failures: list[str] = []
+
+
+def fail(msg: str) -> None:
+    failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg: str) -> None:
+    print(f"  ok: {msg}")
+
+
+def run_tmcheck(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TMCHECK), *args],
+        capture_output=True, text=True, cwd=str(REPO))
+
+
+def check_corpus() -> None:
+    print("== corpus: exact expected findings ==")
+    json_out = HERE / "selftest_findings.tmp.json"
+    proc = run_tmcheck(["--root", str(CORPUS), "--no-baseline",
+                        "--json-out", str(json_out)])
+    if proc.returncode != 1:
+        fail(f"corpus run: expected exit 1 (findings present), got "
+             f"{proc.returncode}\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+        return
+    try:
+        got = json.loads(json_out.read_text())["findings"]
+    finally:
+        json_out.unlink(missing_ok=True)
+    want = json.loads(EXPECTED.read_text())["findings"]
+
+    def key(f: dict) -> tuple:
+        return (f["rule"], f["file"], f["line"])
+
+    got_by_key = {key(f): f for f in got}
+    want_by_key = {key(f): f for f in want}
+    if len(got_by_key) != len(got) or len(want_by_key) != len(want):
+        fail("duplicate (rule,file,line) keys in findings — corpus must be "
+             "deterministic")
+    for k in sorted(want_by_key.keys() - got_by_key.keys()):
+        fail(f"missing expected finding: {k[0]} at {k[1]}:{k[2]} "
+             "(rule regressed?)")
+    for k in sorted(got_by_key.keys() - want_by_key.keys()):
+        fail(f"unexpected finding: {k[0]} at {k[1]}:{k[2]} "
+             f"(new false positive?): {got_by_key[k].get('message', '')}")
+    for k in sorted(want_by_key.keys() & got_by_key.keys()):
+        w, g = want_by_key[k], got_by_key[k]
+        if "chain" in w and g.get("chain") != w["chain"]:
+            fail(f"call chain mismatch for {k[0]} at {k[1]}:{k[2]}:\n"
+                 f"  want: {w['chain']}\n  got:  {g.get('chain')}")
+    if not failures:
+        ok(f"{len(want)} expected findings, all matched exactly")
+
+    # The acceptance-criteria case: at least one interprocedural R7 finding
+    # whose emission site is in a *different file* from the root and >=2
+    # calls deep — provably out of reach for the line-based regex lint.
+    deep = [f for f in got
+            if f["rule"] == "R7" and len(f.get("chain", [])) >= 4
+            and f["chain"][0].split("(")[-1].split(":")[0]
+            != f["chain"][-1].split("(")[-1].split(":")[0]]
+    if deep:
+        ok(f"interprocedural R7 acceptance case present ({len(deep)} "
+           "cross-file chain(s) >=2 calls deep)")
+    else:
+        fail("no cross-file R7 finding with a >=2-deep call chain in corpus")
+
+
+def check_negatives_documented() -> None:
+    """Every corpus TU must declare its negative cases in comments so the
+    corpus stays honest about what it is testing."""
+    print("== corpus: every TU documents a negative case ==")
+    missing = []
+    for path in sorted((CORPUS / "src").rglob("*.[ch]pp")):
+        text = path.read_text()
+        if "stubs.hpp" in path.name:
+            continue
+        if "negative" not in text:
+            missing.append(path.relative_to(CORPUS))
+    if missing:
+        fail(f"corpus TU(s) without a documented negative case: {missing}")
+    else:
+        ok("all corpus TUs document their negative (silent) cases")
+
+
+def check_real_tree() -> None:
+    print("== real tree: matches zero-findings baseline ==")
+    proc = run_tmcheck([])
+    if proc.returncode != 0:
+        fail(f"real-tree run: expected exit 0 (clean vs baseline), got "
+             f"{proc.returncode}\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    else:
+        ok(proc.stdout.strip().splitlines()[-1])
+    baseline = json.loads((HERE / "baseline.json").read_text())
+    if baseline.get("findings"):
+        fail("baseline.json is not a zero-findings baseline; fix the tree "
+             "(or add a waiver comment) instead of baselining findings")
+    else:
+        ok("baseline has zero entries")
+
+
+def main() -> int:
+    check_corpus()
+    check_negatives_documented()
+    check_real_tree()
+    if failures:
+        print(f"\ntmcheck_selftest: {len(failures)} failure(s)")
+        return 1
+    print("\ntmcheck_selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

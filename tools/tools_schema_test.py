@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Schema-version strictness tests for the offline tools.
+
+Both consumers of versioned JSON produced by src/obs/trace.cpp must refuse
+shapes they do not understand, naming the versions they do:
+
+  * tools/trace_view.py      — the `phtm_meta` record (schema 1)
+  * tools/bench_report.py    — the telemetry block (schema 1)
+
+A tool that silently misreads a future schema would fold wrong numbers
+into CI checks and benchmark reports; rejection with the valid list makes
+the failure loud and the fix obvious. Runs as the `tools_schema_test`
+CTest target (label `lint`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_report  # noqa: E402
+import trace_view  # noqa: E402
+
+
+def meta_event(args: dict) -> dict:
+    return {"name": "phtm_meta", "ph": "i", "s": "g", "pid": 0, "tid": 0,
+            "ts": 0, "args": args}
+
+
+def valid_meta_args(**overrides) -> dict:
+    args = {"schema": 1, "events": 0, "dropped": 0, "threads": 0}
+    args.update(overrides)
+    return args
+
+
+class TraceViewSchema(unittest.TestCase):
+    def test_current_schema_accepted(self):
+        meta = trace_view.validate_schema([meta_event(valid_meta_args())])
+        self.assertEqual(meta["schema"], 1)
+
+    def test_unknown_schema_rejected_with_valid_list(self):
+        with self.assertRaises(trace_view.CheckFailure) as ctx:
+            trace_view.validate_schema(
+                [meta_event(valid_meta_args(schema=99))])
+        msg = str(ctx.exception)
+        self.assertIn("99", msg)
+        self.assertIn(str(list(trace_view.VALID_SCHEMAS)), msg)
+
+    def test_missing_schema_rejected(self):
+        args = valid_meta_args()
+        del args["schema"]
+        with self.assertRaises(trace_view.CheckFailure):
+            trace_view.validate_schema([meta_event(args)])
+
+    def test_end_to_end_check_rejects_unknown_schema(self):
+        doc = {"traceEvents": [meta_event(valid_meta_args(schema=2))]}
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as tmp:
+            json.dump(doc, tmp)
+            path = Path(tmp.name)
+        try:
+            events = trace_view.load(path)
+            with self.assertRaises(trace_view.CheckFailure):
+                trace_view.validate_schema(events)
+        finally:
+            path.unlink()
+
+
+class BenchReportTelemetrySchema(unittest.TestCase):
+    def fold(self, block: dict) -> dict:
+        """Drive the real ingestion path: a 'bench binary' that writes
+        `block` to PHTM_TRACE_TELEMETRY, folded by run_with_telemetry."""
+        telemetry: dict = {}
+        writer = ("import os, json, sys; "
+                  "open(os.environ['PHTM_TRACE_TELEMETRY'], 'w')"
+                  f".write({json.dumps(json.dumps(block))})")
+        bench_report.run_with_telemetry(
+            [sys.executable, "-c", writer], dict(), "fake_bench", telemetry)
+        return telemetry
+
+    def test_current_schema_accepted(self):
+        telemetry = self.fold({"schema": 1, "events": 0})
+        self.assertEqual(telemetry["fake_bench"]["schema"], 1)
+
+    def test_unknown_schema_rejected_with_valid_list(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.fold({"schema": 99, "events": 0})
+        msg = str(ctx.exception)
+        self.assertIn("99", msg)
+        self.assertIn(str(list(bench_report.VALID_TELEMETRY_SCHEMAS)), msg)
+
+    def test_missing_schema_rejected(self):
+        with self.assertRaises(SystemExit):
+            self.fold({"events": 0})
+
+
+if __name__ == "__main__":
+    unittest.main()

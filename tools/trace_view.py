@@ -60,6 +60,12 @@ def load(path: Path) -> list[dict]:
     return events
 
 
+# phtm_meta schema versions this tool understands (src/obs/trace.cpp
+# stamps the version it writes). An unknown version means the record's
+# shape changed — refuse rather than misread it.
+VALID_SCHEMAS = (1,)
+
+
 def validate_schema(events: list[dict]) -> dict:
     """Structural checks; returns the phtm_meta args."""
     metas = [e for e in events if e.get("name") == "phtm_meta"]
@@ -67,6 +73,12 @@ def validate_schema(events: list[dict]) -> dict:
         raise CheckFailure(f"expected exactly one phtm_meta record, "
                            f"found {len(metas)}")
     meta = metas[0].get("args", {})
+    schema = meta.get("schema")
+    if schema not in VALID_SCHEMAS:
+        raise CheckFailure(
+            f"unknown phtm_meta schema version {schema!r}; this tool "
+            f"understands {list(VALID_SCHEMAS)} — regenerate the trace or "
+            "update tools/trace_view.py")
     for key in ("events", "dropped", "threads"):
         if not isinstance(meta.get(key), int):
             raise CheckFailure(f"phtm_meta.args.{key} missing or non-integer")
