@@ -47,6 +47,8 @@ class TxSig {
   /// words is exact.
   void flush() {
     const std::uint64_t mocc = mirror_.occupancy();
+    // tmfoot: bound(32) — the occupancy mask has one bit per nonzero
+    // signature word, so at most Signature::kWords (32 for BloomSig<2048>).
     for (std::uint64_t rest = mocc; rest != 0; rest &= rest - 1) {
       const unsigned w = static_cast<unsigned>(std::countr_zero(rest));
       if (mirror_.words()[w] != storage_.words()[w])
@@ -158,6 +160,7 @@ class PartHtmBackend::FastCtx final : public tm::Ctx {
       // this transaction has bits in can intersect a lock, so the occupancy
       // masks bound both the subscription set and the scan.
       const std::uint64_t occ = rs_.view().occupancy() | ws_.view().occupancy();
+      // tmfoot: bound(4) — kWords/8 cache-line-sized word groups (kWords=32).
       for (unsigned w = 0; w < Signature::kWords; w += 8)
         if (((occ >> w) & 0xffu) != 0) ops_.subscribe(&b_.write_locks_.words()[w]);
       for (std::uint64_t rest = occ; rest != 0; rest &= rest - 1) {
@@ -240,8 +243,10 @@ class PartHtmBackend::SubCtx final : public tm::Ctx {
     // Lock checks and announcements only matter in words this transaction
     // has bits in (see the fast path's epilogue for the argument).
     const std::uint64_t occ = rs_.view().occupancy() | ws_.view().occupancy();
+    // tmfoot: bound(4) — kWords/8 cache-line-sized word groups (kWords=32).
     for (unsigned w = 0; w < Signature::kWords; w += 8)
       if (((occ >> w) & 0xffu) != 0) ops_.subscribe(&b_.write_locks_.words()[w]);
+    // tmfoot: bound(32) — one occupancy bit per nonzero signature word.
     for (std::uint64_t rest = occ; rest != 0; rest &= rest - 1) {
       const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
       const std::uint64_t wl = aload(&b_.write_locks_.words()[i]);

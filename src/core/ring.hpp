@@ -70,6 +70,8 @@ class GlobalRing {
     if (ops.read(&s.seq) != expected_prev(ts)) ops.xabort(busy_xabort_code);
     ops.write(&s.seq, ts | kBusy);
     std::uint64_t mask = 0;
+    // tmfoot: bound(32) — one occupancy bit per nonzero signature word
+    // (Signature::kWords = 32 for BloomSig<2048>).
     for (std::uint64_t rest = wsig.occupancy(); rest != 0; rest &= rest - 1) {
       const unsigned w = static_cast<unsigned>(std::countr_zero(rest));
       if (wsig.words()[w] == 0) continue;  // occupancy may be a superset

@@ -1,0 +1,41 @@
+// phtm_profiles: dump the machine profiles (sim/config.hpp) as JSON.
+//
+// Single source of truth for the static-analysis tooling: tools/tmfoot
+// reads the capacity parameters (write_lines_cap, assoc_sets, assoc_ways,
+// read_lines_cap) from this binary's output — generated into the build
+// tree as profiles.json — instead of re-parsing config.hpp. A committed
+// fallback copy lives at tools/tmfoot/profiles.json; tmfoot cross-checks
+// the two and fails on drift, so the fallback can never silently go stale.
+#include <cstdio>
+
+#include "sim/config.hpp"
+
+namespace {
+
+void dump(const char* name, const phtm::sim::HtmConfig& c, bool last) {
+  std::printf(
+      "  \"%s\": {\n"
+      "   \"write_lines_cap\": %u,\n"
+      "   \"assoc_sets\": %u,\n"
+      "   \"assoc_ways\": %u,\n"
+      "   \"read_lines_cap\": %u,\n"
+      "   \"scale_read_cap_with_conc\": %s,\n"
+      "   \"tick_budget\": %llu,\n"
+      "   \"hyperthread_pairs\": %s\n"
+      "  }%s\n",
+      name, c.write_lines_cap, c.assoc_sets, c.assoc_ways, c.read_lines_cap,
+      c.scale_read_cap_with_conc ? "true" : "false",
+      static_cast<unsigned long long>(c.tick_budget),
+      c.hyperthread_pairs ? "true" : "false", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("{\n \"schema\": 1,\n \"profiles\": {\n");
+  dump("haswell4c8t", phtm::sim::HtmConfig::haswell4c8t(), false);
+  dump("xeon18c", phtm::sim::HtmConfig::xeon18c(), false);
+  dump("testing", phtm::sim::HtmConfig::testing(), true);
+  std::printf(" }\n}\n");
+  return 0;
+}

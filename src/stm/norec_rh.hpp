@@ -101,6 +101,9 @@ class NorecRhBackend final : public NorecBackend {
       w.start = validate(w);
     // Clock held: publish the redo log as one small hardware transaction.
     const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
+      // tmfoot: bound(512) — write-capacity-enforced: a redo log past
+      // write_lines_cap cannot commit in HTM; the capacity abort lands in
+      // the nontx software write-back below, which is equally correct.
       for (const auto& c : w.redo.cells()) ops.write(c.addr, c.val);
     });
     if (!r.committed) {

@@ -194,10 +194,15 @@ class SphtBackend final : public tm::Backend {
         const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
           if (ops.read(&glock_.value) != 0) ops.xabort(kXGlockHeld);
           // (a) validate the accumulated read log by value;
+          // tmfoot: bound(100000) — read-capacity-enforced: a read log past
+          // the largest profile's read_lines_cap aborts rather than commits
+          // (retries exhaust into a full transaction restart).
           for (const auto& e : w.rlog.entries())
             if (ops.read(e.addr) != e.val) ops.xabort(kXInvalid);
           // (b) replay the accumulated redo log in place — this is the
           //     footprint that grows with the transaction;
+          // tmfoot: bound(512) — write-capacity-enforced: replaying more
+          // than write_lines_cap lines capacity-aborts instead of committing.
           for (const auto& c : w.redo.cells()) {
             // span-waiver: hide_undo retains capacity across transactions.
             w.hide_undo.push_back({c.addr, ops.read(c.addr)});
@@ -210,6 +215,9 @@ class SphtBackend final : public tm::Backend {
           //     (reverse order restores the oldest displaced value); the
           //     final one publishes by committing.
           if (more_out) {
+            // tmfoot: bound(512) — hide_undo holds one entry per in-place
+            // write this sub-HTM already performed, so a committable
+            // sub-transaction has at most write_lines_cap entries.
             for (auto it = w.hide_undo.rbegin(); it != w.hide_undo.rend(); ++it)
               ops.write(it->addr, it->old);
           }

@@ -47,7 +47,8 @@ from lint_tm import (  # noqa: E402  (one source of truth for these)
     has_marker,
 )
 
-from model import (  # noqa: E402
+from tmmodel.model import (  # noqa: E402
+    AMBIGUOUS_CALL_NAMES,
     AtomicOp,
     FileModel,
     FunctionInfo,
@@ -57,13 +58,6 @@ from model import (  # noqa: E402
 TRACE_EMISSION_DIRS = ("src/core", "src/stm", "src/sim", "src/tm", "src/sig")
 
 MUTEX_HEADERS = ("mutex", "shared_mutex", "condition_variable")
-
-# Call-graph edges are resolved by base name. Names this common would wire
-# unrelated code together; a real analyzer resolves overloads — the token
-# frontend declines to guess for these.
-AMBIGUOUS_CALL_NAMES = frozenset(
-    ["get", "set", "size", "empty", "begin", "end", "clear", "reset",
-     "value", "count", "data", "find", "next", "at"])
 
 IMPURITY_VERB = {
     "trace": "emits trace records",

@@ -6,10 +6,10 @@ source tree and compares the findings against a committed baseline.
 
 Frontends
 ---------
-  tokens  structural token-stream frontend (cpplex.py + model.py);
-          self-contained, deterministic, the default everywhere.
+  tokens  structural token-stream frontend (tools/tmmodel: cpplex.py +
+          model.py); self-contained, deterministic, the default everywhere.
   clang   clang.cindex over compile_commands.json when the python libclang
-          bindings are present (frontend_clang.py); opt-in.
+          bindings are present (tmmodel/frontend_clang.py); opt-in.
   auto    clang if available, tokens otherwise.
 
 The compile database (CMAKE_EXPORT_COMPILE_COMMANDS) is required for the
@@ -33,10 +33,13 @@ import json
 import sys
 from pathlib import Path
 
+# The rule engine lives next to this driver; the shared program-model
+# frontend is the sibling tools/tmmodel package (also used by tmfoot).
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-import frontend_clang  # noqa: E402
-from model import load_program  # noqa: E402
+from tmmodel import frontend_clang  # noqa: E402
+from tmmodel.model import load_program  # noqa: E402
 from rules import RuleEngine  # noqa: E402
 
 HERE = Path(__file__).resolve().parent

@@ -1,0 +1,278 @@
+"""tmfoot capacity-dataflow engine: per-span cache-line footprint intervals.
+
+Computes, for every speculative span (attempt-lambda) in the protocol
+layer, a conservative interval [lo, hi] of distinct cache lines the span's
+transactional accesses can touch — separately for reads and writes —
+by interprocedural accumulation over the name-resolved cross-TU call graph
+built by tools/tmmodel.
+
+Only `ops.read` / `ops.write` / `ops.subscribe` calls are counted: those
+are the only accesses that ever reach the simulator's capacity model
+(sim/lineset.hpp), so the static interval and the runtime capacity-abort
+telemetry measure the same quantity — which is what makes the
+static<->telemetry reconciliation in tools/trace_view.py meaningful.
+
+Interval discipline (conservative on both sides):
+  * lo is a *guaranteed* minimum: an access contributes to lo only when it
+    executes unconditionally; a counted loop over a distinct-line address
+    contributes its full trip count.
+  * hi is a *proved* maximum: any unresolved loop bound, or any call that
+    hands an ops/ctx handle to a callee the call graph cannot resolve,
+    pushes hi to infinity. A `// tmfoot: bound(N)` annotation caps an
+    unresolved loop at N trips.
+  * Straight-line accesses to the same canonical address are deduplicated
+    (same cache line); loop-scaled accesses are not.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from lint_tm import RULE_WINDOW  # noqa: E402  (same window as every marker)
+from tmmodel.model import (  # noqa: E402
+    AMBIGUOUS_CALL_NAMES,
+    FOOT_ACCESS_METHODS,
+    FileModel,
+    FunctionInfo,
+    Program,
+)
+
+INF = math.inf
+
+# Directories whose attempt-lambdas are speculative spans (the protocol
+# layer; mirrors tmcheck's R7 scope).
+SPAN_DIRS = ("src/core", "src/stm", "src/sim", "src/tm", "src/sig")
+
+# A span that constructs one of these context types runs as a
+# sub-transaction between kSubBoundary sites (partitioned path); everything
+# else is a fast-path (single hardware transaction) span.
+SUB_CTX_NAMES = frozenset(["SubCtx", "SegCtx"])
+
+# Names that never become footprint call edges: transactional-access
+# methods (counted as accesses, or capacity-free like work/xabort), the
+# attempt seam itself, and base names too common to resolve soundly.
+EDGE_SKIP_NAMES = frozenset(
+    list(FOOT_ACCESS_METHODS) + ["work", "xabort", "attempt"]
+) | AMBIGUOUS_CALL_NAMES
+
+# std:: container/value methods that only *receive a value computed from*
+# ops (e.g. `log.push_back({addr, ops.read(addr)})`) — the handle itself
+# never escapes through them, so they are not unresolved footprint edges.
+# Checked only after definition lookup fails, so an in-tree method of the
+# same name still resolves normally.
+STD_VALUE_SINKS = frozenset([
+    "push_back", "emplace_back", "pop_back", "reserve", "resize",
+    "countr_zero", "popcount", "min", "max",
+])
+
+BOUND_RE = re.compile(r"tmfoot:\s*bound\((\d+)\)")
+
+
+def loop_bound_annotation(fm: FileModel, line: int):
+    """`// tmfoot: bound(N)` on the loop line or <= RULE_WINDOW lines above
+    (identical window semantics to every other justification marker)."""
+    i = line - 1
+    window = fm.lines[max(0, i - RULE_WINDOW):i + 1]
+    best = None
+    for text in window:
+        m = BOUND_RE.search(text)
+        if m:
+            best = int(m.group(1))
+    return best
+
+
+@dataclass
+class Interval:
+    lo: int = 0
+    hi: float = 0  # int or math.inf
+
+    def add(self, other: "Interval") -> None:
+        self.lo += other.lo
+        self.hi += other.hi
+
+    def json(self) -> dict:
+        return {"lo": self.lo,
+                "hi": None if self.hi == INF else int(self.hi)}
+
+
+@dataclass
+class Footprint:
+    reads: Interval = field(default_factory=Interval)
+    writes: Interval = field(default_factory=Interval)
+    unresolved: list = field(default_factory=list)  # "name (file:line)"
+
+    def add_scaled(self, other: "Footprint", lo_times: int,
+                   hi_times: float) -> None:
+        """Accumulate a callee's footprint across `[lo_times, hi_times]`
+        invocations. The callee's lo is counted at most once — repeated
+        calls may touch the same lines — while hi scales with the
+        invocation bound."""
+        for mine, theirs in ((self.reads, other.reads),
+                             (self.writes, other.writes)):
+            mine.lo += theirs.lo if lo_times >= 1 else 0
+            mine.hi += theirs.hi * hi_times if theirs.hi else 0
+        if hi_times != 0:
+            self.unresolved.extend(other.unresolved)
+
+
+@dataclass
+class Span:
+    fn: FunctionInfo
+    kind: str          # fast | sub
+    foot: Footprint
+
+
+class FootprintEngine:
+    def __init__(self, prog: Program):
+        self.prog = prog
+        self.files = {fm.rel: fm for fm in prog.files}
+        self.defs = prog.defs_by_base()
+        self._memo: dict[int, Footprint] = {}
+        self._busy: set[int] = set()
+
+    # -- loop scaling ------------------------------------------------------
+
+    def _loop_factor(self, fn: FunctionInfo, loops: tuple, varying: bool):
+        """[lo, hi, inf_line] execution-count factor for a statement nested
+        under the given loop stack; `inf_line` is the first loop whose trip
+        count is neither resolvable nor annotated (the provenance of an
+        infinite hi). `varying` says the accessed address changes per
+        iteration (distinct lines); an invariant address in a counted loop
+        is still one line."""
+        lo, hi, inf_line = 1, 1.0, None
+        fm = self.files[fn.rel]
+        for idx in loops:
+            loop = fn.loops[idx]
+            if loop.trips is not None:
+                t = loop.trips if varying else min(loop.trips, 1)
+                lo *= t
+                hi *= t
+            else:
+                bound = loop_bound_annotation(fm, loop.line)
+                lo = 0
+                if bound is not None:
+                    hi *= bound
+                else:
+                    hi *= INF
+                    if inf_line is None:
+                        inf_line = loop.line
+        return lo, hi, inf_line
+
+    @staticmethod
+    def _addr_varying(addr: str, fn: FunctionInfo, loops: tuple) -> bool:
+        if "[]" in addr or "->" in addr:
+            return True
+        idents = set(re.findall(r"[A-Za-z_]\w*", addr))
+        return any(fn.loops[i].var and fn.loops[i].var in idents
+                   for i in loops)
+
+    # -- per-function footprint -------------------------------------------
+
+    def footprint_of(self, fn: FunctionInfo) -> Footprint:
+        if id(fn) in self._memo:
+            return self._memo[id(fn)]
+        if id(fn) in self._busy:
+            # Recursion: no sound finite bound for the cycle's accesses.
+            f = Footprint()
+            f.unresolved.append(f"recursive call via {fn.qname}")
+            f.reads.hi = f.writes.hi = INF
+            return f
+        self._busy.add(id(fn))
+        foot = Footprint()
+
+        seen_scalar = set()
+        for acc in fn.foot_accesses:
+            varying = self._addr_varying(acc.addr, fn, acc.loops)
+            lo_f, hi_f, inf_line = self._loop_factor(fn, acc.loops, varying)
+            if inf_line is not None:
+                foot.unresolved.append(
+                    f"unbounded loop ({fn.rel}:{inf_line})")
+            if not acc.loops:
+                key = (acc.kind, acc.addr)
+                if key in seen_scalar:
+                    continue  # same canonical line, already counted
+                seen_scalar.add(key)
+            iv = foot.reads if acc.kind == "read" else foot.writes
+            iv.lo += 0 if acc.conditional else lo_f
+            iv.hi += hi_f
+
+        for call in fn.foot_calls:
+            if call.name in EDGE_SKIP_NAMES:
+                continue
+            callees = self.defs.get(call.name)
+            lo_f, hi_f, inf_line = self._loop_factor(fn, call.loops,
+                                                     varying=True)
+            if call.conditional:
+                lo_f = 0
+            if callees:
+                merged = Footprint()
+                for i, callee in enumerate(callees):
+                    sub = self.footprint_of(callee)
+                    if i == 0:
+                        merged.reads = Interval(sub.reads.lo, sub.reads.hi)
+                        merged.writes = Interval(sub.writes.lo, sub.writes.hi)
+                    else:
+                        merged.reads.lo = min(merged.reads.lo, sub.reads.lo)
+                        merged.reads.hi = max(merged.reads.hi, sub.reads.hi)
+                        merged.writes.lo = min(merged.writes.lo, sub.writes.lo)
+                        merged.writes.hi = max(merged.writes.hi, sub.writes.hi)
+                    merged.unresolved.extend(sub.unresolved)
+                if inf_line is not None and (merged.reads.hi
+                                             or merged.writes.hi):
+                    foot.unresolved.append(
+                        f"unbounded loop ({fn.rel}:{inf_line})")
+                foot.add_scaled(merged, lo_f, hi_f)
+            elif call.passes_ctx and call.name not in STD_VALUE_SINKS:
+                # The callee receives a transactional handle but is not in
+                # the call graph (function pointer, template, out-of-tree):
+                # its footprint is unbounded from here.
+                foot.reads.hi = foot.writes.hi = INF
+                foot.unresolved.append(
+                    f"{call.name} ({fn.rel}:{call.line})")
+
+        self._busy.discard(id(fn))
+        self._memo[id(fn)] = foot
+        return foot
+
+    # -- spans -------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        out = []
+        for fn in self.prog.functions():
+            if not fn.is_attempt_lambda:
+                continue
+            if not fn.rel.startswith(SPAN_DIRS):
+                continue
+            kind = "sub" if any(c.name in SUB_CTX_NAMES for c in fn.calls) \
+                else "fast"
+            out.append(Span(fn=fn, kind=kind, foot=self.footprint_of(fn)))
+        out.sort(key=lambda s: (s.fn.rel, s.fn.line))
+        return out
+
+    # -- R13 reachability --------------------------------------------------
+
+    def reachable_from_roots(self) -> list[FunctionInfo]:
+        """Every function reachable (through resolvable footprint call
+        edges) from a speculative root in the protocol layer — the scope
+        inside which an unbounded accessing loop needs a bound annotation."""
+        roots = [fn for fn in self.prog.functions()
+                 if fn.rel.startswith(SPAN_DIRS) and fn.root_reason()]
+        seen: dict[int, FunctionInfo] = {}
+        queue = list(roots)
+        for fn in roots:
+            seen[id(fn)] = fn
+        while queue:
+            fn = queue.pop(0)
+            for call in fn.foot_calls:
+                if call.name in EDGE_SKIP_NAMES:
+                    continue
+                for callee in self.defs.get(call.name, ()):
+                    if id(callee) not in seen:
+                        seen[id(callee)] = callee
+                        queue.append(callee)
+        return list(seen.values())

@@ -1,0 +1,35 @@
+// tmfoot corpus: R11 — fast-path spans whose guaranteed (lower-bound)
+// write footprint exceeds the hardware write budget.
+#include "util/stubs.hpp"
+
+namespace tmfoot_selftest {
+
+namespace {
+std::uint64_t grid[1024];
+}
+
+// Positive: 600 guaranteed distinct written lines > write_lines_cap (512)
+// on every profile — this span can never commit in HTM.
+void oversized_fast(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    for (unsigned i = 0; i < 600; ++i) ops.write(&grid[i], i);
+  });
+}
+
+// Negative (silent): 100 guaranteed lines fit every profile.
+void small_fast(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    for (unsigned i = 0; i < 100; ++i) ops.write(&grid[i], i);
+  });
+}
+
+// Negative (silent): same oversized shape, deliberately waived.
+void waived_fast(Rt& rt) {
+  // tmfoot: partitioned — corpus stand-in for a span the partitioned
+  // path already covers.
+  rt.attempt([&](HtmOps& ops) {
+    for (unsigned i = 0; i < 600; ++i) ops.write(&grid[i], i);
+  });
+}
+
+}  // namespace tmfoot_selftest

@@ -1,0 +1,51 @@
+// tmfoot corpus: R12 — sub-transaction spans (they construct SubCtx)
+// whose guaranteed footprint exceeds the per-site hardware capacity.
+#include "util/stubs.hpp"
+
+namespace tmfoot_selftest {
+
+namespace {
+std::uint64_t grid[1024];
+std::uint64_t grid2[1024];
+}
+
+// Positive: one 600-line loop per sub-HTM site.
+void oversized_sub(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    SubCtx ctx(ops);
+    (void)ctx;
+    for (unsigned i = 0; i < 600; ++i) ops.write(&grid[i], i);
+  });
+}
+
+// Positive: two sequential loops summing past the budget (300 + 300).
+void oversized_sub_pair(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    SubCtx ctx(ops);
+    (void)ctx;
+    for (unsigned i = 0; i < 300; ++i) ops.write(&grid[i], i);
+    for (unsigned j = 0; j < 300; ++j) ops.write(&grid2[j], j);
+  });
+}
+
+// Negative (silent): 64 lines fit comfortably.
+void small_sub(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    SubCtx ctx(ops);
+    (void)ctx;
+    for (unsigned i = 0; i < 64; ++i) ops.write(&grid[i], i);
+  });
+}
+
+// Negative (silent): oversized but deliberately waived.
+void waived_sub(Rt& rt) {
+  // tmfoot: split — corpus stand-in for a site the next boundary
+  // placement pass will divide.
+  rt.attempt([&](HtmOps& ops) {
+    SubCtx ctx(ops);
+    (void)ctx;
+    for (unsigned i = 0; i < 600; ++i) ops.write(&grid[i], i);
+  });
+}
+
+}  // namespace tmfoot_selftest

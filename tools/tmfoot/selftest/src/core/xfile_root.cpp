@@ -1,0 +1,24 @@
+// tmfoot corpus: cross-file interprocedural R11 — the span itself has no
+// loops; its guaranteed 700-line write footprint comes entirely from
+// fill_block() in src/sim/fill_block.hpp, whose trip count is a named
+// constant from src/util/consts.hpp.
+#include "sim/fill_block.hpp"
+
+namespace tmfoot_selftest {
+
+// Positive: interprocedural lower bound 700 > write_lines_cap 512.
+void xfile_root(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    fill_block(ops);
+  });
+}
+
+// Negative (silent): the same helper behind a condition contributes
+// nothing to the guaranteed lower bound.
+void xfile_maybe(Rt& rt, bool go) {
+  rt.attempt([&](HtmOps& ops) {
+    if (go) fill_block(ops);
+  });
+}
+
+}  // namespace tmfoot_selftest

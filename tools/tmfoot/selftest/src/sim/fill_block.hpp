@@ -1,0 +1,19 @@
+// Helper for the cross-file interprocedural R11 case: takes the HtmOps
+// handle and writes kBigLines (src/util/consts.hpp) distinct lines. Not a
+// span itself, and its loop is constant-bounded, so this file is silent
+// (negative) — the finding surfaces at the calling span in
+// src/core/xfile_root.cpp.
+#pragma once
+
+#include "util/consts.hpp"
+#include "util/stubs.hpp"
+
+namespace tmfoot_selftest {
+
+inline std::uint64_t block[1024];
+
+inline void fill_block(HtmOps& ops) {
+  for (unsigned i = 0; i < kBigLines; ++i) ops.write(&block[i], i);
+}
+
+}  // namespace tmfoot_selftest

@@ -1,0 +1,20 @@
+// tmfoot corpus: exact interval case — a constant-bounded loop over
+// distinct lines must produce writes lo == hi == kTrips in the footprint
+// JSON (asserted by tmfoot_selftest.py), proving symbolic loop-bound
+// resolution end to end. Silent for every rule (negative).
+#include "util/stubs.hpp"
+
+namespace tmfoot_selftest {
+
+namespace {
+std::uint64_t buf[64];
+constexpr unsigned kTrips = 37;
+}
+
+void fixed(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    for (unsigned i = 0; i < kTrips; ++i) ops.write(&buf[i], i);
+  });
+}
+
+}  // namespace tmfoot_selftest

@@ -1,0 +1,44 @@
+// tmfoot corpus: R13 — loops with unresolvable trip counts performing
+// transactional accesses inside the speculative call graph.
+#include "util/stubs.hpp"
+
+namespace tmfoot_selftest {
+
+namespace {
+std::uint64_t slots[64];
+constexpr unsigned kSmall = 16;
+}
+
+// Positive: pointer-chase while-loop inside a span — no static trip count.
+void drain(Rt& rt, std::uint64_t* head) {
+  rt.attempt([&](HtmOps& ops) {
+    std::uint64_t h = ops.read(head);
+    while (h != 0) {
+      ops.write(&slots[h & 63], h);
+      h = ops.read(&slots[(h >> 6) & 63]);
+    }
+  });
+}
+
+// Positive: range-for over a runtime-sized log in an HtmOps&-taking
+// helper (a speculative root by signature, reached without any span).
+void replay_log(HtmOps& ops, const std::vector<Cell>& log) {
+  for (const auto& c : log)
+    ops.write(c.addr, c.val);
+}
+
+// Negative (silent): the trip count resolves through a named constant.
+void bounded(Rt& rt) {
+  rt.attempt([&](HtmOps& ops) {
+    for (unsigned i = 0; i < kSmall; ++i) ops.write(&slots[i], i);
+  });
+}
+
+// Negative (silent): unresolvable trip count, but carries a justified cap.
+void annotated(HtmOps& ops, const std::vector<Cell>& log) {
+  // tmfoot: bound(8) — corpus log never exceeds 8 cells.
+  for (const auto& c : log)
+    ops.write(c.addr, c.val);
+}
+
+}  // namespace tmfoot_selftest

@@ -1,0 +1,12 @@
+// Shared constant for the cross-file interprocedural R11 case: the trip
+// count lives in this header, the accessing loop in src/sim/fill_block.hpp,
+// and the speculative span in src/core/xfile_root.cpp — resolving the
+// footprint takes the program-wide constant table plus the cross-TU call
+// graph. (Negative space: nothing in this header is a finding.)
+#pragma once
+
+namespace tmfoot_selftest {
+
+constexpr unsigned kBigLines = 700;
+
+}  // namespace tmfoot_selftest

@@ -1,0 +1,43 @@
+// Local stubs so the tmfoot selftest corpus compiles as a normal object
+// library with the repo's flags while staying independent of the real
+// runtime. The shapes are what the footprint engine keys on: an
+// `rt.attempt(...)` lambda taking `HtmOps&` is a speculative span, a span
+// that constructs a `SubCtx` is a sub-transaction site, and only
+// `ops.read/write/subscribe` count as transactional accesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmfoot_selftest {
+
+struct HtmOps {
+  std::uint64_t read(const std::uint64_t* addr) { return *addr; }
+  void write(std::uint64_t* addr, std::uint64_t v) { *addr = v; }
+  void subscribe(const std::uint64_t* addr) { (void)addr; }
+  void work(std::uint64_t n) { (void)n; }
+};
+
+// Stand-in for HtmRuntime: anything with an attempt(lambda) seam.
+struct Rt {
+  template <class F>
+  void attempt(F&& body) {
+    HtmOps ops;
+    body(ops);
+  }
+};
+
+// Constructing one of these inside a span marks it as a sub-transaction
+// site (same detection as the real SubCtx/SegCtx).
+struct SubCtx {
+  explicit SubCtx(HtmOps& ops) : ops_(ops) {}
+  HtmOps& ops_;
+};
+
+// A redo-log cell for the unbounded-replay cases.
+struct Cell {
+  std::uint64_t* addr;
+  std::uint64_t val;
+};
+
+}  // namespace tmfoot_selftest

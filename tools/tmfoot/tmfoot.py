@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""tmfoot: static transaction-footprint analyzer for PART-HTM.
+
+Layers a capacity-dataflow pass (footprint.py) on the shared tools/tmmodel
+program model and checks every speculative span's conservative cache-line
+footprint interval against the machine profiles the simulator is built
+with (sim/config.hpp, exported as profiles.json by the phtm_profiles
+target — parameters come from the build, not from regex over headers).
+
+Rules
+-----
+  R11  fast-path span whose *lower-bound* write footprint already exceeds
+       a profile's write budget (assoc_sets x assoc_ways) or whose
+       guaranteed per-set way pressure exceeds assoc_ways: the hardware
+       transaction can never commit on that machine — the span must be
+       partitioned. Waiver: `// tmfoot: partitioned`.
+  R12  sub-transaction span (constructs SubCtx/SegCtx) whose lower-bound
+       footprint exceeds the per-site capacity the partitioned path
+       assumes: sub-HTM sites will capacity-abort deterministically and
+       burn their retry budget. Waiver: `// tmfoot: split`.
+  R13  a loop with an unresolvable trip count that performs transactional
+       accesses, reachable from a speculative root: it makes every
+       enclosing span's footprint bound infinite. Annotate with
+       `// tmfoot: bound(N)` (a justified trip-count cap) to resolve.
+
+Exit status mirrors tmcheck: 0 clean (findings match the committed
+baseline exactly), 1 new or stale findings, 2 usage/environment error —
+including a committed profiles.json that has drifted from the
+build-generated one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from lint_tm import has_marker  # noqa: E402
+from tmmodel.model import load_program  # noqa: E402
+from footprint import (  # noqa: E402
+    FootprintEngine, Span, loop_bound_annotation)
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_ROOT = HERE.parent.parent
+DEFAULT_BASELINE = HERE / "baseline.json"
+COMMITTED_PROFILES = HERE / "profiles.json"
+
+PROFILE_KEYS = ("write_lines_cap", "assoc_sets", "assoc_ways",
+                "read_lines_cap")
+
+R11_WAIVER = "tmfoot: partitioned"
+R12_WAIVER = "tmfoot: split"
+
+
+@dataclass
+class Finding:
+    rule: str
+    rel: str
+    line: int
+    message: str
+    chain: list = field(default_factory=list)
+
+    def key(self):
+        return (self.rule, self.rel, self.line)
+
+    def to_json(self):
+        d = {"rule": self.rule, "file": self.rel, "line": self.line,
+             "message": self.message}
+        if self.chain:
+            d["chain"] = self.chain
+        return d
+
+    def render(self) -> str:
+        s = f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+        if self.chain:
+            s += "\n    call chain: " + " -> ".join(self.chain)
+        return s
+
+
+def load_profiles(path: Path) -> dict:
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or doc.get("schema") != 1 \
+            or not isinstance(doc.get("profiles"), dict):
+        raise SystemExit(f"tmfoot: malformed profiles file {path}")
+    for name, p in doc["profiles"].items():
+        for k in PROFILE_KEYS:
+            if not isinstance(p.get(k), int):
+                raise SystemExit(
+                    f"tmfoot: profile {name!r} in {path} missing "
+                    f"integer field {k!r}")
+    return doc["profiles"]
+
+
+def over_capacity(profiles: dict, reads_lo: int, writes_lo: int) -> list:
+    """Profiles on which a span with these guaranteed-minimum footprints
+    can never commit in hardware, with the exceeded limit spelled out."""
+    out = []
+    for name, p in sorted(profiles.items()):
+        if writes_lo > p["write_lines_cap"]:
+            out.append(f"{name}: >= {writes_lo} written lines > "
+                       f"write_lines_cap {p['write_lines_cap']}")
+        elif math.ceil(writes_lo / p["assoc_sets"]) > p["assoc_ways"]:
+            out.append(f"{name}: write-set way pressure "
+                       f"ceil({writes_lo}/{p['assoc_sets']}) > "
+                       f"assoc_ways {p['assoc_ways']}")
+        elif reads_lo > p["read_lines_cap"]:
+            out.append(f"{name}: >= {reads_lo} read lines > "
+                       f"read_lines_cap {p['read_lines_cap']}")
+    return out
+
+
+def fits(profiles: dict, span: Span) -> dict:
+    """Per-profile 'statically proved to fit' verdicts from the *upper*
+    bounds — the side the telemetry reconciliation consumes. An infinite
+    hi can prove nothing, so it reports false."""
+    out = {}
+    r_hi, w_hi = span.foot.reads.hi, span.foot.writes.hi
+    for name, p in sorted(profiles.items()):
+        w_ok = (w_hi != math.inf and w_hi <= p["write_lines_cap"]
+                and math.ceil(w_hi / p["assoc_sets"]) <= p["assoc_ways"])
+        r_ok = r_hi != math.inf and r_hi <= p["read_lines_cap"]
+        out[name] = {"writes": bool(w_ok), "reads": bool(r_ok)}
+    return out
+
+
+def run_rules(engine: FootprintEngine, profiles: dict,
+              spans: list) -> list:
+    findings: list[Finding] = []
+
+    for span in spans:
+        fm = engine.files[span.fn.rel]
+        foot = span.foot
+        exceeded = over_capacity(profiles, foot.reads.lo, foot.writes.lo)
+        if not exceeded:
+            continue
+        if span.kind == "fast":
+            if has_marker(fm.lines, span.fn.line - 1, R11_WAIVER):
+                continue
+            findings.append(Finding(
+                "R11", span.fn.rel, span.fn.line,
+                f"fast-path span {span.fn.qname} has guaranteed footprint "
+                f">= {foot.writes.lo}w/{foot.reads.lo}r lines and cannot "
+                f"commit in HTM ({'; '.join(exceeded)}) — partition it or "
+                f"waive with `// {R11_WAIVER}`"))
+        else:
+            if has_marker(fm.lines, span.fn.line - 1, R12_WAIVER):
+                continue
+            findings.append(Finding(
+                "R12", span.fn.rel, span.fn.line,
+                f"sub-transaction span {span.fn.qname} has guaranteed "
+                f"footprint >= {foot.writes.lo}w/{foot.reads.lo}r lines "
+                f"per sub-HTM site ({'; '.join(exceeded)}) — split the "
+                f"work across boundaries or waive with `// {R12_WAIVER}`"))
+
+    seen_r13 = set()
+    for fn in engine.reachable_from_roots():
+        fm = engine.files[fn.rel]
+        for idx, loop in enumerate(fn.loops):
+            if loop.trips is not None:
+                continue
+            if loop_bound_annotation(fm, loop.line) is not None:
+                continue
+            if not any(idx in acc.loops for acc in fn.foot_accesses):
+                continue
+            key = (fn.rel, loop.line)
+            if key in seen_r13:
+                continue
+            seen_r13.add(key)
+            n_acc = sum(1 for acc in fn.foot_accesses if idx in acc.loops)
+            findings.append(Finding(
+                "R13", fn.rel, loop.line,
+                f"{loop.kind}-loop in {fn.qname} has an unresolvable trip "
+                f"count but performs {n_acc} transactional access(es) — "
+                f"the enclosing span's footprint bound is infinite; "
+                f"annotate a justified cap with `// tmfoot: bound(N)`"))
+
+    findings.sort(key=Finding.key)
+    return findings
+
+
+def footprint_doc(profiles: dict, spans: list, root: Path) -> dict:
+    return {
+        "schema": 1,
+        "root": str(root),
+        "profiles": profiles,
+        "spans": [
+            {"qname": s.fn.qname, "file": s.fn.rel, "line": s.fn.line,
+             "kind": s.kind,
+             "reads": s.foot.reads.json(),
+             "writes": s.foot.writes.json(),
+             "unresolved_calls": sorted(set(s.foot.unresolved)),
+             "fits": fits(profiles, s)}
+            for s in spans],
+    }
+
+
+def load_baseline(path: Path) -> list[dict]:
+    if not path.is_file():
+        return []
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise SystemExit(f"tmfoot: malformed baseline {path}")
+    return doc["findings"]
+
+
+def finding_key(d: dict):
+    return (d["rule"], d["file"], d["line"])
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=DEFAULT_ROOT,
+                    help="tree to analyze: must contain src/ "
+                         "(default: this checkout)")
+    ap.add_argument("--profiles", type=Path, default=None,
+                    help="build-generated profiles.json (from the "
+                         "phtm_profiles_json target); cross-checked "
+                         "against the committed copy "
+                         "tools/tmfoot/profiles.json, which is the "
+                         "fallback when omitted")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                    help="committed findings baseline (default: "
+                         "tools/tmfoot/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report raw findings; nonzero exit if any")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite --baseline from current findings")
+    ap.add_argument("--json-out", type=Path, default=None,
+                    help="write findings as JSON")
+    ap.add_argument("--footprint-out", type=Path, default=None,
+                    help="write the per-span footprint intervals and "
+                         "per-profile fit verdicts as JSON (input to "
+                         "trace_view.py --footprint reconciliation)")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"tmfoot: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    committed = load_profiles(COMMITTED_PROFILES)
+    profiles = committed
+    if args.profiles is not None:
+        if not args.profiles.is_file():
+            print(f"tmfoot: profiles file {args.profiles} not found "
+                  "(build the phtm_profiles_json target first)",
+                  file=sys.stderr)
+            return 2
+        profiles = load_profiles(args.profiles)
+        if profiles != committed:
+            print(f"tmfoot: build-generated profiles {args.profiles} "
+                  f"disagree with committed {COMMITTED_PROFILES} — "
+                  "sim/config.hpp changed; refresh the committed copy "
+                  "(see EXPERIMENTS.md)", file=sys.stderr)
+            return 2
+
+    prog = load_program(root)
+    engine = FootprintEngine(prog)
+    spans = engine.spans()
+    findings = run_rules(engine, profiles, spans)
+    found_json = [f.to_json() for f in findings]
+
+    if args.footprint_out:
+        args.footprint_out.parent.mkdir(parents=True, exist_ok=True)
+        args.footprint_out.write_text(json.dumps(
+            footprint_doc(profiles, spans, root), indent=1) + "\n")
+    if args.json_out:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(json.dumps(
+            {"schema": 1, "root": str(root), "findings": found_json},
+            indent=1) + "\n")
+
+    if args.write_baseline:
+        args.baseline.write_text(json.dumps(
+            {"schema": 1,
+             "comment": "tmfoot zero-findings baseline; regenerate with "
+                        "tools/tmfoot/tmfoot.py --write-baseline "
+                        "(see EXPERIMENTS.md)",
+             "findings": found_json}, indent=1) + "\n")
+        print(f"tmfoot: wrote {len(found_json)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+
+    if args.no_baseline:
+        for f in findings:
+            print(f.render())
+        status = 1 if findings else 0
+        print(f"tmfoot: {len(findings)} finding(s) over "
+              f"{len(spans)} span(s)"
+              + ("" if findings else " — clean"),
+              file=sys.stderr if findings else sys.stdout)
+        return status
+
+    baseline = {finding_key(d) for d in load_baseline(args.baseline)}
+    new = [f for f in findings if f.key() not in baseline]
+    current = {f.key() for f in findings}
+    stale = [d for d in load_baseline(args.baseline)
+             if finding_key(d) not in current]
+
+    for f in new:
+        print(f.render())
+    for d in stale:
+        print(f"{d['file']}:{d['line']}: [{d['rule']}] baseline entry no "
+              "longer reproduces — regenerate the baseline "
+              "(--write-baseline)")
+    if new or stale:
+        print(f"tmfoot: {len(new)} new, {len(stale)} stale finding(s) vs "
+              f"{args.baseline.name}", file=sys.stderr)
+        return 1
+    print(f"tmfoot: clean ({len(spans)} span(s), "
+          f"{len(profiles)} profile(s), baseline {len(baseline)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

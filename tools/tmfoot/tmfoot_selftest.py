@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Selftest for tools/tmfoot: exact-findings corpus + clean real tree.
+
+Mirrors tools/tmcheck/tmcheck_selftest.py:
+
+  1. Corpus: run the analyzer over tools/tmfoot/selftest/ (a miniature
+     source tree with deliberately-oversized and unbounded spans, >=2
+     positives and >=1 silent negative per rule) and assert the findings
+     match tools/tmfoot/selftest/expected.json EXACTLY. A missing finding
+     means a rule regressed; an extra finding means a false positive.
+
+  2. Interval unit cases from the corpus footprint JSON:
+       - fixed-trip: a kTrips=37 constant-bounded loop over distinct lines
+         must yield writes lo == hi == 37 (symbolic loop-bound resolution);
+       - cross-file: the xfile_root span's guaranteed 700-line footprint is
+         assembled from a helper in another file whose trip count is a
+         named constant from a third file (interprocedural accumulation).
+
+  3. Real tree: tmfoot over src/ must match the committed zero-findings
+     baseline (tools/tmfoot/baseline.json).
+
+Run directly or via ctest (test name `tmfoot_selftest`, label `lint`).
+"""
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+TMFOOT = HERE / "tmfoot.py"
+CORPUS = HERE / "selftest"
+EXPECTED = CORPUS / "expected.json"
+
+failures: list[str] = []
+
+
+def fail(msg: str) -> None:
+    failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg: str) -> None:
+    print(f"  ok: {msg}")
+
+
+def run_tmfoot(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TMFOOT), *args],
+        capture_output=True, text=True, cwd=str(REPO))
+
+
+def check_corpus() -> dict:
+    print("== corpus: exact expected findings ==")
+    json_out = HERE / "selftest_findings.tmp.json"
+    foot_out = HERE / "selftest_footprint.tmp.json"
+    proc = run_tmfoot(["--root", str(CORPUS), "--no-baseline",
+                       "--json-out", str(json_out),
+                       "--footprint-out", str(foot_out)])
+    if proc.returncode != 1:
+        fail(f"corpus run: expected exit 1 (findings present), got "
+             f"{proc.returncode}\nstdout:\n{proc.stdout}\n"
+             f"stderr:\n{proc.stderr}")
+        return {}
+    try:
+        got = json.loads(json_out.read_text())["findings"]
+        foot = json.loads(foot_out.read_text())
+    finally:
+        json_out.unlink(missing_ok=True)
+        foot_out.unlink(missing_ok=True)
+    want = json.loads(EXPECTED.read_text())["findings"]
+
+    def key(f: dict) -> tuple:
+        return (f["rule"], f["file"], f["line"])
+
+    got_by_key = {key(f): f for f in got}
+    want_by_key = {key(f): f for f in want}
+    if len(got_by_key) != len(got) or len(want_by_key) != len(want):
+        fail("duplicate (rule,file,line) keys in findings — corpus must be "
+             "deterministic")
+    for k in sorted(want_by_key.keys() - got_by_key.keys()):
+        fail(f"missing expected finding: {k[0]} at {k[1]}:{k[2]} "
+             "(rule regressed?)")
+    for k in sorted(got_by_key.keys() - want_by_key.keys()):
+        fail(f"unexpected finding: {k[0]} at {k[1]}:{k[2]} "
+             f"(new false positive?): {got_by_key[k].get('message', '')}")
+    if not failures:
+        ok(f"{len(want)} expected findings, all matched exactly")
+    for rule in ("R11", "R12", "R13"):
+        n = sum(1 for f in want if f["rule"] == rule)
+        if n < 2:
+            fail(f"corpus must keep >=2 positives for {rule}, has {n}")
+    return foot
+
+
+def span_of(foot: dict, rel: str) -> dict | None:
+    spans = [s for s in foot.get("spans", []) if s["file"] == rel]
+    return spans[0] if len(spans) == 1 else None
+
+
+def check_intervals(foot: dict) -> None:
+    print("== corpus: footprint interval unit cases ==")
+    if not foot:
+        fail("no corpus footprint JSON to check intervals against")
+        return
+    fixed = span_of(foot, "src/sim/fixed_trip.cpp")
+    if fixed is None:
+        fail("expected exactly one span in src/sim/fixed_trip.cpp")
+    elif fixed["writes"] != {"lo": 37, "hi": 37}:
+        fail(f"fixed-trip span: want writes lo==hi==37, got "
+             f"{fixed['writes']} (symbolic loop-bound resolution broken?)")
+    else:
+        ok("fixed-trip loop resolves to writes lo == hi == 37")
+    xfile_spans = [s for s in foot["spans"]
+                   if s["file"] == "src/core/xfile_root.cpp"]
+    root = next((s for s in xfile_spans if s["writes"]["lo"] == 700), None)
+    if root is None:
+        fail(f"cross-file span: want a src/core/xfile_root.cpp span with "
+             f"writes lo == 700 via sim/fill_block.hpp + util/consts.hpp, "
+             f"got {[s['writes'] for s in xfile_spans]}")
+    else:
+        ok("cross-file interprocedural footprint (700 lines through a "
+           "helper in another TU, constant from a third file)")
+
+
+def check_negatives_documented() -> None:
+    """Every corpus TU must declare its negative cases in comments so the
+    corpus stays honest about what it is testing."""
+    print("== corpus: every TU documents a negative case ==")
+    missing = []
+    for path in sorted((CORPUS / "src").rglob("*.[ch]pp")):
+        text = path.read_text()
+        if "stubs.hpp" in path.name:
+            continue
+        if "negative" not in text.lower():
+            missing.append(path.relative_to(CORPUS))
+    if missing:
+        fail(f"corpus TU(s) without a documented negative case: {missing}")
+    else:
+        ok("all corpus TUs document their negative (silent) cases")
+
+
+def check_real_tree() -> None:
+    print("== real tree: matches zero-findings baseline ==")
+    proc = run_tmfoot([])
+    if proc.returncode != 0:
+        fail(f"real-tree run: expected exit 0 (clean vs baseline), got "
+             f"{proc.returncode}\nstdout:\n{proc.stdout}\n"
+             f"stderr:\n{proc.stderr}")
+    else:
+        ok(proc.stdout.strip().splitlines()[-1])
+    baseline = json.loads((HERE / "baseline.json").read_text())
+    if baseline.get("findings"):
+        fail("baseline.json is not a zero-findings baseline; annotate the "
+             "tree (tmfoot: bound/partitioned/split) instead of baselining")
+    else:
+        ok("baseline has zero entries")
+
+
+def main() -> int:
+    foot = check_corpus()
+    check_intervals(foot)
+    check_negatives_documented()
+    check_real_tree()
+    if failures:
+        print(f"\ntmfoot_selftest: {len(failures)} failure(s)")
+        return 1
+    print("\ntmfoot_selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Shared C++ program-model frontend for the static-analysis tools.
+
+One frontend, two consumers: tools/tmcheck (protocol rules R1-R9) and
+tools/tmfoot (capacity-dataflow rules R11-R13) both build their analyses on
+this package, so neither forks the lexer, the structural parser, or the
+constant-merging machinery.
+
+Modules:
+  cpplex         token stream + comment side channel + brace matching
+  model          scope walker -> Program/FileModel/FunctionInfo (the token
+                 frontend), including loop/footprint extraction
+  frontend_clang optional clang.cindex frontend (same model, real AST)
+"""

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from model import (
+from .model import (
     AtomicOp,
     ATOMIC_METHODS,
     CallSite,
@@ -74,7 +74,7 @@ def load_program_clang(root: Path, compile_commands: Path,
             text = path.read_text(errors="replace")
             # Reuse the lexer's comment channel so marker windows behave
             # identically across frontends.
-            from cpplex import lex
+            from .cpplex import lex
             _, comments = lex(text)
             fm = FileModel(path=path, rel=rel, lines=text.splitlines(),
                            comments=comments)

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from cpplex import IDENT, PREPROC, PUNCT, Token, lex, match_braces
+from .cpplex import IDENT, NUMBER, PREPROC, PUNCT, Token, lex, match_braces
 
 # --- memory orders --------------------------------------------------------
 
@@ -108,6 +108,15 @@ CALL_IGNORE = frozenset("""
     static_cast dynamic_cast reinterpret_cast const_cast
 """.split())
 
+# Call-graph edges are resolved by base name. Names this common would wire
+# unrelated code together; a real analyzer resolves overloads — the token
+# frontend declines to guess for these. Shared by every model consumer so
+# tmcheck's R7 and tmfoot's interprocedural accumulation agree on which
+# edges exist.
+AMBIGUOUS_CALL_NAMES = frozenset(
+    ["get", "set", "size", "empty", "begin", "end", "clear", "reset",
+     "value", "count", "data", "find", "next", "at"])
+
 
 @dataclass
 class CallSite:
@@ -115,6 +124,56 @@ class CallSite:
     line: int
     receiver: str      # "" for free calls; canonical receiver text otherwise
     qualifier: str     # explicit "a::b" qualifier text ("" if none)
+
+
+# --- footprint model (tmfoot) ---------------------------------------------
+#
+# A second, independent extraction pass records what the capacity-dataflow
+# tool needs: the loop structure of each function, the transactional
+# accesses (`ops.read/write/subscribe` — the only accesses the simulator's
+# capacity model ever sees), and the call sites with enough context to
+# decide whether an unresolved callee could touch transactional state.
+
+# HtmOps methods that consume capacity (lines), and what they consume.
+# `subscribe` adds a line to the read set (monitoring only); `work` and
+# `xabort` consume no lines and are not recorded.
+FOOT_ACCESS_METHODS = {"read": "read", "write": "write", "subscribe": "read"}
+
+# Receiver tails that name the simulator's transactional-access handle.
+FOOT_OPS_RECEIVERS = frozenset(["ops", "ops_"])
+
+
+@dataclass
+class LoopInfo:
+    kind: str            # for | range-for | while | do
+    line: int
+    var: str             # induction variable ("" if none recognized)
+    cmp: str             # loop comparison: < <= > >= != ("" if none)
+    init_toks: list      # token texts of the init expression (after '=')
+    limit_toks: list     # token texts of the bound expression
+    step_toks: list      # token texts of the step ([] means +1 / -1)
+    step_sign: int       # +1 up-counting, -1 down-counting
+    trips: int | None = None   # resolved trip count (program-wide pass)
+
+
+@dataclass
+class FootAccess:
+    kind: str            # read | write (subscribe counts as read)
+    op: str              # source-level method name
+    addr: str            # canonicalized address expression
+    line: int
+    loops: tuple         # indices into FunctionInfo.loops, outermost first
+    conditional: bool    # under if/else/switch (lower bound may be 0)
+
+
+@dataclass
+class FootCall:
+    name: str            # callee base name
+    line: int
+    receiver: str
+    passes_ctx: bool     # an argument/receiver names an ops/ctx handle
+    loops: tuple
+    conditional: bool
 
 
 @dataclass
@@ -162,6 +221,10 @@ class FunctionInfo:
     impurities: list[Impurity] = field(default_factory=list)
     # memory_order parameters with defaults: name -> default order
     order_params: dict = field(default_factory=dict)
+    # footprint model (tmfoot): loop structure + transactional accesses
+    loops: list = field(default_factory=list)          # LoopInfo
+    foot_accesses: list = field(default_factory=list)  # FootAccess
+    foot_calls: list = field(default_factory=list)     # FootCall
 
     def root_reason(self) -> str:
         if self.is_attempt_lambda:
@@ -186,6 +249,7 @@ class FileModel:
     members: list = field(default_factory=list)    # MemberDecl
     aliases: dict = field(default_factory=dict)    # name -> target text
     mo_constants: dict = field(default_factory=dict)  # name -> order
+    int_constants: dict = field(default_factory=dict)  # name -> init tokens
     blocking_uses: list = field(default_factory=list)  # (text, line)
 
 
@@ -204,6 +268,12 @@ class Program:
         out = {}
         for f in self.files:
             out.update(f.mo_constants)
+        return out
+
+    def merged_int_constants(self) -> dict:
+        out = {}
+        for f in self.files:
+            out.update(f.int_constants)
         return out
 
     def functions(self):
@@ -357,6 +427,13 @@ def _scan_aliases_and_constants(toks, pairs, fm: FileModel) -> None:
                     k += 1
                 if order:
                     fm.mo_constants[name] = order
+                else:
+                    # Named integer constant: keep the initializer token
+                    # texts; resolution (through other constants, program
+                    # wide) happens after the merge pass so a constant in
+                    # one header can bound a loop in another TU.
+                    fm.int_constants[name] = \
+                        [toks[x].text for x in range(j + 1, k)]
                 i = k
                 continue
         i += 1
@@ -732,6 +809,7 @@ def _scan_function_body(toks, pairs, sc, fm: FileModel, aliases) -> None:
     fn: FunctionInfo = sc.fn
     lo, hi = fn.body
     _extract_from_span(toks, pairs, fn, lo + 1, hi, fm, aliases)
+    _scan_footprint(toks, pairs, fn, lo + 1, hi)
     _find_attempt_lambdas(toks, pairs, fn, lo + 1, hi, fm, aliases)
 
 
@@ -977,6 +1055,8 @@ def _find_attempt_lambdas(toks, pairs, fn: FunctionInfo, lo, hi,
                         lam.body = (body_open, body_close)
                         _extract_from_span(toks, pairs, lam, body_open + 1,
                                            body_close, fm, aliases)
+                        _scan_footprint(toks, pairs, lam, body_open + 1,
+                                        body_close)
                         fm.functions.append(lam)
                         j = body_close
                     break
@@ -1007,6 +1087,306 @@ def _lambda_body_open(toks, pairs, bracket_idx, limit):
     return None
 
 
+# --- footprint extraction (tmfoot) ----------------------------------------
+
+_INT_OPS = {"+": "+", "-": "-", "*": "*", "/": "//", "%": "%",
+            "<<": "<<", ">>": ">>", "(": "(", ")": ")"}
+
+
+def _int_literal(text: str):
+    t = text.replace("'", "")
+    while t and t[-1] in "uUlLzZ":
+        t = t[:-1]
+    try:
+        return int(t, 0)
+    except ValueError:
+        return None
+
+
+def resolve_int_expr(tokens, table, _busy=None):
+    """Resolve a token-text list to an integer through named constants.
+
+    `table` maps constant name -> initializer token list (merged program
+    wide). Qualified names try the full `A::B` spelling first, then the
+    last component. Anything unresolvable makes the whole expression
+    unresolvable (None) — the dataflow must stay conservative."""
+    if not tokens:
+        return None
+    busy = _busy if _busy is not None else set()
+    expr, i, n = [], 0, len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t in _INT_OPS:
+            expr.append(_INT_OPS[t])
+            i += 1
+            continue
+        lit = _int_literal(t)
+        if lit is not None:
+            expr.append(str(lit))
+            i += 1
+            continue
+        if t and (t[0].isalpha() or t[0] == "_"):
+            # Collapse a qualified-id chain A :: B :: C.
+            parts = [t]
+            while i + 2 < n and tokens[i + 1] == "::":
+                parts.append(tokens[i + 2])
+                i += 2
+            i += 1
+            for name in ("::".join(parts), parts[-1]):
+                if name in table and name not in busy:
+                    busy.add(name)
+                    val = resolve_int_expr(table[name], table, busy)
+                    busy.discard(name)
+                    break
+            else:
+                return None
+            if val is None:
+                return None
+            expr.append(f"({val})")
+            continue
+        return None
+    try:
+        val = eval("".join(expr), {"__builtins__": {}})  # arithmetic only
+    except Exception:
+        return None
+    return val if isinstance(val, int) else None
+
+
+def _loop_trips(loop: LoopInfo, table) -> int | None:
+    """Trip count of a recognized counted `for` loop, or None."""
+    if loop.kind != "for" or not loop.cmp:
+        return None
+    lo = resolve_int_expr(loop.init_toks, table)
+    hi = resolve_int_expr(loop.limit_toks, table)
+    step = resolve_int_expr(loop.step_toks, table) if loop.step_toks else 1
+    if lo is None or hi is None or step is None or step == 0:
+        return None
+    if loop.cmp in (">", ">="):      # down-counting: mirror into up-counting
+        lo, hi = hi, lo
+        step = abs(step)
+    elif loop.step_sign < 0:
+        return None                  # `i < B; --i` — not a counted loop
+    span = hi - lo
+    if loop.cmp in ("<=", ">="):
+        span += 1
+    elif loop.cmp == "!=" and step != 1:
+        return None
+    if span <= 0:
+        return 0
+    return (span + step - 1) // step
+
+
+def _top_level_positions(toks, pairs, lo, hi, texts):
+    """Positions of top-level occurrences of the given punctuator texts
+    inside (lo, hi) exclusive, skipping nested groups."""
+    out, i = [], lo + 1
+    while i < hi:
+        t = toks[i]
+        if t.kind == PUNCT and t.text in ("(", "[", "{") and i in pairs:
+            i = pairs[i] + 1
+            continue
+        if t.kind == PUNCT and t.text in texts:
+            out.append(i)
+        i += 1
+    return out
+
+
+def _parse_for_header(toks, pairs, gopen, gclose, line) -> LoopInfo:
+    if _top_level_positions(toks, pairs, gopen, gclose, (":",)) \
+            and not _top_level_positions(toks, pairs, gopen, gclose, (";",)):
+        return LoopInfo("range-for", line, "", "", [], [], [], 1)
+    semis = _top_level_positions(toks, pairs, gopen, gclose, (";",))
+    if len(semis) != 2:
+        return LoopInfo("for", line, "", "", [], [], [], 1)
+    init_lo, init_hi = gopen + 1, semis[0]
+    cond_lo, cond_hi = semis[0] + 1, semis[1]
+    incr_lo, incr_hi = semis[1] + 1, gclose
+
+    var, init_toks = "", []
+    eqs = [i for i in range(init_lo, init_hi)
+           if toks[i].kind == PUNCT and toks[i].text == "="]
+    if eqs and toks[eqs[0] - 1].kind == IDENT:
+        var = toks[eqs[0] - 1].text
+        init_toks = [toks[i].text for i in range(eqs[0] + 1, init_hi)]
+
+    cmp_op, limit_toks = "", []
+    for i in range(cond_lo, cond_hi):
+        if toks[i].kind == PUNCT and toks[i].text in ("<", "<=", ">", ">=",
+                                                      "!="):
+            left = [toks[x].text for x in range(cond_lo, i)]
+            if left == [var] or (not var and len(left) == 1):
+                var = var or left[0]
+                cmp_op = toks[i].text
+                limit_toks = [toks[x].text for x in range(i + 1, cond_hi)]
+            break
+
+    step_toks, step_sign = [], 1
+    incr = [toks[i].text for i in range(incr_lo, incr_hi)]
+    if incr in (["++", var], [var, "++"]):
+        step_toks, step_sign = [], 1
+    elif incr in (["--", var], [var, "--"]):
+        step_toks, step_sign = [], -1
+    elif len(incr) >= 3 and incr[0] == var and incr[1] in ("+=", "-="):
+        step_toks = incr[2:]
+        step_sign = 1 if incr[1] == "+=" else -1
+    else:
+        cmp_op = ""  # unrecognized step: treat as uncounted
+    return LoopInfo("for", line, var, cmp_op, init_toks, limit_toks,
+                    step_toks, step_sign)
+
+
+def _stmt_end(toks, pairs, i, hi):
+    """End (exclusive) of the unbraced statement starting at token i."""
+    while i < hi:
+        t = toks[i]
+        if t.kind == PUNCT and t.text in ("(", "[", "{") and i in pairs:
+            i = pairs[i] + 1
+            continue
+        if t.kind == PUNCT and t.text == ";":
+            return i + 1
+        i += 1
+    return hi
+
+
+def _scan_footprint(toks, pairs, fn: FunctionInfo, lo, hi) -> None:
+    """Populate fn.loops / fn.foot_accesses / fn.foot_calls over (lo, hi)."""
+    _foot_walk(toks, pairs, fn, lo, hi, (), False)
+
+
+def _foot_walk(toks, pairs, fn, lo, hi, loop_stack, conditional) -> None:
+    i = lo
+    while i < hi:
+        t = toks[i]
+        nxt = toks[i + 1] if i + 1 < hi else None
+        has_group = nxt is not None and nxt.kind == PUNCT \
+            and nxt.text == "(" and (i + 1) in pairs
+
+        if t.kind == IDENT and t.text in ("for", "while") and has_group:
+            gopen, gclose = i + 1, pairs[i + 1]
+            if t.text == "for":
+                loop = _parse_for_header(toks, pairs, gopen, gclose, t.line)
+            else:
+                loop = LoopInfo("while", t.line, "", "", [], [], [], 1)
+            fn.loops.append(loop)
+            inner = loop_stack + (len(fn.loops) - 1,)
+            # The header itself executes per trip (a `while (t.step(...))`
+            # driver loop is exactly this shape) — walk it in loop context.
+            _foot_walk(toks, pairs, fn, gopen + 1, gclose, inner, conditional)
+            body_lo = gclose + 1
+            if body_lo < hi and toks[body_lo].text == "{" \
+                    and body_lo in pairs:
+                body_hi = pairs[body_lo]
+                _foot_walk(toks, pairs, fn, body_lo + 1, body_hi, inner,
+                           conditional)
+                i = body_hi + 1
+            elif body_lo < hi and toks[body_lo].text == ";":
+                i = body_lo + 1  # do-while tail: `while (cond);`
+            else:
+                body_hi = _stmt_end(toks, pairs, body_lo, hi)
+                _foot_walk(toks, pairs, fn, body_lo, body_hi, inner,
+                           conditional)
+                i = body_hi
+            continue
+
+        if t.kind == IDENT and t.text == "do" and nxt is not None \
+                and nxt.text == "{" and (i + 1) in pairs:
+            loop = LoopInfo("do", t.line, "", "", [], [], [], 1)
+            fn.loops.append(loop)
+            inner = loop_stack + (len(fn.loops) - 1,)
+            body_hi = pairs[i + 1]
+            _foot_walk(toks, pairs, fn, i + 2, body_hi, inner, conditional)
+            i = body_hi + 1
+            continue
+
+        if t.kind == IDENT and t.text in ("if", "switch") and has_group:
+            gopen, gclose = i + 1, pairs[i + 1]
+            # The condition executes unconditionally (in this branch's
+            # context); the controlled statement is conditional.
+            _foot_walk(toks, pairs, fn, gopen + 1, gclose, loop_stack,
+                       conditional)
+            body_lo = gclose + 1
+            if body_lo < hi and toks[body_lo].text == "{" \
+                    and body_lo in pairs:
+                body_hi = pairs[body_lo]
+                _foot_walk(toks, pairs, fn, body_lo + 1, body_hi, loop_stack,
+                           True)
+                i = body_hi + 1
+            else:
+                body_hi = _stmt_end(toks, pairs, body_lo, hi)
+                _foot_walk(toks, pairs, fn, body_lo, body_hi, loop_stack,
+                           True)
+                i = body_hi
+            continue
+
+        if t.kind == IDENT and t.text == "else":
+            body_lo = i + 1
+            if body_lo < hi and toks[body_lo].text == "{" \
+                    and body_lo in pairs:
+                body_hi = pairs[body_lo]
+                _foot_walk(toks, pairs, fn, body_lo + 1, body_hi, loop_stack,
+                           True)
+                i = body_hi + 1
+            else:
+                i = body_lo  # `else if` re-enters the if-handler above
+            continue
+
+        if t.kind == IDENT and has_group and t.text not in CONTROL_KEYWORDS:
+            prev = toks[i - 1] if i > 0 else None
+            # Transactional accesses are always a direct `ops.`/`ops_.`
+            # method call — match that exact shape rather than walking a
+            # general postfix expression backwards.
+            on_ops = prev is not None and prev.kind == PUNCT \
+                and prev.text in (".", "->") and i >= 2 \
+                and toks[i - 2].kind == IDENT \
+                and toks[i - 2].text in FOOT_OPS_RECEIVERS
+            if on_ops and t.text in FOOT_ACCESS_METHODS:
+                gclose = pairs[i + 1]
+                args = _split_args(toks, pairs, i + 1, gclose)
+                addr = _canonical_addr(toks, pairs, *args[0]) if args else ""
+                fn.foot_accesses.append(FootAccess(
+                    kind=FOOT_ACCESS_METHODS[t.text], op=t.text, addr=addr,
+                    line=t.line, loops=loop_stack, conditional=conditional))
+            elif on_ops:
+                pass  # ops.work()/ops.xabort(): no cache-line footprint
+            elif t.text not in CALL_IGNORE \
+                    and not t.text.startswith("PHTM_"):
+                receiver, skip = "", False
+                if prev is not None:
+                    if prev.kind == PUNCT and prev.text in (".", "->"):
+                        receiver = _receiver_text(toks, pairs, i - 1)
+                    elif prev.kind == PUNCT and prev.text == "::":
+                        if i >= 2 and toks[i - 2].text == "std":
+                            skip = True
+                    elif prev.kind == IDENT \
+                            and prev.text not in KEYWORD_PREV_OK:
+                        skip = True  # `Type name(args)` declaration
+                    elif prev.kind == PUNCT and prev.text == ">":
+                        skip = True
+                if not skip:
+                    gclose = pairs[i + 1]
+                    arg_idents = [toks[x].text.lower()
+                                  for x in range(i + 2, gclose)
+                                  if toks[x].kind == IDENT]
+                    passes = any("ops" in a or "ctx" in a
+                                 for a in arg_idents + [receiver.lower()])
+                    fn.foot_calls.append(FootCall(
+                        name=t.text, line=t.line, receiver=receiver,
+                        passes_ctx=passes, loops=loop_stack,
+                        conditional=conditional))
+            # Fall through at i+1: arguments may contain nested accesses
+            # (`undo.stage(addr, ops_.read(addr))`).
+        i += 1
+
+
+def resolve_loop_trips(prog: "Program") -> None:
+    """Program-wide pass: resolve counted-for trip counts through the
+    merged named-constant table (run after the constant merge)."""
+    table = prog.merged_int_constants()
+    for fn in prog.functions():
+        for loop in fn.loops:
+            loop.trips = _loop_trips(loop, table)
+
+
 # --- program loading ------------------------------------------------------
 
 SOURCE_SUFFIXES = (".hpp", ".cpp", ".h", ".cc")
@@ -1029,4 +1409,8 @@ def load_program(root: Path, subdir: str = "src") -> Program:
     merged_mo = prog.merged_mo_constants()
     for f in prog.files:
         f.mo_constants = dict(merged_mo)
+    merged_int = prog.merged_int_constants()
+    for f in prog.files:
+        f.int_constants = dict(merged_int)
+    resolve_loop_trips(prog)
     return prog

@@ -4,7 +4,8 @@
 Both consumers of versioned JSON produced by src/obs/trace.cpp must refuse
 shapes they do not understand, naming the versions they do:
 
-  * tools/trace_view.py      — the `phtm_meta` record (schema 1)
+  * tools/trace_view.py      — the `phtm_meta` record (schema 1) and the
+                               tmfoot footprint document (schema 1)
   * tools/bench_report.py    — the telemetry block (schema 1)
 
 A tool that silently misreads a future schema would fold wrong numbers
@@ -68,6 +69,57 @@ class TraceViewSchema(unittest.TestCase):
                 trace_view.validate_schema(events)
         finally:
             path.unlink()
+
+
+def footprint_doc(**overrides) -> dict:
+    span = {"qname": "f", "file": "src/core/a.cpp", "line": 1,
+            "kind": "fast", "reads": {"lo": 0, "hi": 0},
+            "writes": {"lo": 0, "hi": 0}, "unresolved_calls": [],
+            "fits": {"testing": {"writes": True, "reads": True}}}
+    doc = {"schema": 1, "profiles": {"testing": {}}, "spans": [span]}
+    doc.update(overrides)
+    return doc
+
+
+class TraceViewFootprintSchema(unittest.TestCase):
+    def load(self, doc: dict) -> dict:
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as tmp:
+            json.dump(doc, tmp)
+            path = Path(tmp.name)
+        try:
+            return trace_view.load_footprint(path)
+        finally:
+            path.unlink()
+
+    def test_current_schema_accepted(self):
+        doc = self.load(footprint_doc())
+        self.assertEqual(doc["schema"], 1)
+
+    def test_unknown_schema_rejected_with_valid_list(self):
+        with self.assertRaises(trace_view.CheckFailure) as ctx:
+            self.load(footprint_doc(schema=99))
+        msg = str(ctx.exception)
+        self.assertIn("99", msg)
+        self.assertIn(str(list(trace_view.FOOTPRINT_SCHEMAS)), msg)
+
+    def test_missing_schema_rejected(self):
+        doc = footprint_doc()
+        del doc["schema"]
+        with self.assertRaises(trace_view.CheckFailure):
+            self.load(doc)
+
+    def test_missing_profiles_rejected(self):
+        doc = footprint_doc()
+        del doc["profiles"]
+        with self.assertRaises(trace_view.CheckFailure):
+            self.load(doc)
+
+    def test_malformed_span_rejected(self):
+        doc = footprint_doc()
+        del doc["spans"][0]["fits"]
+        with self.assertRaises(trace_view.CheckFailure):
+            self.load(doc)
 
 
 class BenchReportTelemetrySchema(unittest.TestCase):

@@ -14,6 +14,14 @@ per-path commit totals counted from raw events must agree with the run's
 own `stats_*` counters: exact equality when `dropped == 0`, `<=` otherwise
 (a dropped event can only lose a count, never invent one).
 
+`--footprint FOOT.json [--profile NAME]` reconciles the trace against
+tools/tmfoot's static capacity analysis (`tmfoot.py --footprint-out`): if
+the run recorded capacity aborts while the static pass proved every
+speculative span fits the chosen machine profile, the static model and the
+telemetry disagree and the check fails. Otherwise it reports which spans
+(no finite static bound, or a bound above capacity) account for the
+observed capacity aborts.
+
 Exit status: 0 clean, 1 check failure, 2 usage/IO error.
 """
 
@@ -97,6 +105,84 @@ def validate_schema(events: list[dict]) -> dict:
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise CheckFailure(f"bad dur on {name}: {dur!r}")
     return meta
+
+
+# Footprint-document schema versions (tools/tmfoot/tmfoot.py stamps the
+# version it writes). Same refuse-on-unknown discipline as phtm_meta.
+FOOTPRINT_SCHEMAS = (1,)
+
+
+def load_footprint(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise CheckFailure(f"cannot load footprint {path}: {e}") from None
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema not in FOOTPRINT_SCHEMAS:
+        raise CheckFailure(
+            f"unknown footprint schema version {schema!r}; this tool "
+            f"understands {list(FOOTPRINT_SCHEMAS)} — regenerate with "
+            "tools/tmfoot/tmfoot.py or update tools/trace_view.py")
+    if not isinstance(doc.get("profiles"), dict) \
+            or not isinstance(doc.get("spans"), list):
+        raise CheckFailure(f"footprint {path} missing profiles/spans")
+    for s in doc["spans"]:
+        for key in ("qname", "file", "line", "kind", "reads", "writes",
+                    "fits"):
+            if key not in s:
+                raise CheckFailure(
+                    f"footprint span missing field {key!r}: {s}")
+    return doc
+
+
+def check_footprint(foot: dict, profile: str, meta: dict,
+                    names: Counter) -> list[str]:
+    """Reconcile static capacity bounds against observed capacity aborts.
+
+    The static pass and the runtime measure the same quantity (distinct
+    cache lines touched through HtmOps), so the two can disagree in only
+    one direction without a bug: observed capacity aborts are fine as long
+    as at least one span lacks a proved fit. Capacity aborts under a
+    proved-everything-fits verdict mean the static model is wrong (or the
+    trace is from a different build) — that is the gap this check hunts.
+    """
+    if profile not in foot["profiles"]:
+        raise CheckFailure(
+            f"profile {profile!r} not in footprint document "
+            f"(has {sorted(foot['profiles'])})")
+    # Prefer the run's own aggregate counter (exact even under event
+    # drops); fall back to counting abort/capacity events.
+    cap_aborts = meta.get("stats_aborts_capacity",
+                          names.get("abort/capacity", 0))
+    unfit = [s for s in foot["spans"]
+             if not (s["fits"][profile]["writes"]
+                     and s["fits"][profile]["reads"])]
+    lines = [f"  profile {profile}: {len(foot['spans'])} span(s), "
+             f"{len(unfit)} without a proved fit; "
+             f"{cap_aborts} capacity abort(s) observed"]
+    if cap_aborts > 0 and not unfit:
+        raise CheckFailure(
+            f"static/telemetry gap: tmfoot proves every span fits profile "
+            f"{profile!r}, yet the run recorded {cap_aborts} capacity "
+            "abort(s) — the static model and the simulator disagree")
+    if cap_aborts > 0:
+        lines.append(f"  capacity aborts are explainable: {len(unfit)} "
+                     "span(s) have no finite static fit:")
+    elif unfit:
+        lines.append("  no capacity aborts; conservative (unproved) "
+                     "spans:")
+    for s in unfit:
+        def fmt(iv: dict) -> str:
+            hi = "inf" if iv["hi"] is None else iv["hi"]
+            return f"[{iv['lo']},{hi}]"
+        why = "; ".join(s.get("unresolved_calls", [])[:3])
+        lines.append(f"    {s['file']}:{s['line']} ({s['kind']}) "
+                     f"reads={fmt(s['reads'])} writes={fmt(s['writes'])}"
+                     + (f" — {why}" if why else ""))
+    if not unfit and cap_aborts == 0:
+        lines.append("  consistent: every span statically fits and no "
+                     "capacity abort was recorded")
+    return lines
 
 
 def count_names(events: list[dict]) -> Counter:
@@ -205,6 +291,12 @@ def main() -> int:
                     help="validate schema and cross-check event counts "
                     "against the run's aggregate counters; nonzero exit on "
                     "any mismatch")
+    ap.add_argument("--footprint", type=Path, default=None,
+                    help="tmfoot footprint JSON (tmfoot.py --footprint-out) "
+                    "to reconcile against observed capacity aborts")
+    ap.add_argument("--profile", default="haswell4c8t",
+                    help="machine profile for the footprint reconciliation "
+                    "(default: haswell4c8t)")
     args = ap.parse_args()
 
     try:
@@ -220,6 +312,13 @@ def main() -> int:
             print("check: ok")
         else:
             print_summary(events, meta, names)
+        if args.footprint is not None:
+            print(f"\nstatic<->telemetry reconciliation "
+                  f"({args.footprint}):")
+            foot = load_footprint(args.footprint)
+            for line in check_footprint(foot, args.profile, meta, names):
+                print(line)
+            print("reconcile: ok")
     except CheckFailure as e:
         print(f"check FAILED: {e}", file=sys.stderr)
         return 1
