@@ -11,6 +11,8 @@
 // Environment knobs:
 //   PHTM_BENCH_MS      duration of each throughput measurement (default 700)
 //   PHTM_MAX_THREADS   cap on the thread sweep (default: figure's maximum)
+//   PHTM_BENCH_THREADS explicit sweep axis, comma-separated (e.g. "1,4,16,64");
+//                      replaces a figure's default thread list
 //   PHTM_QUICK=1       shorthand for fast smoke runs
 //   PHTM_BENCH_JSON    path: append every printed series as a JSON line
 //                      (tools/bench_report.py folds these into BENCH_*.json)
@@ -18,6 +20,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -66,6 +69,37 @@ inline unsigned max_threads(unsigned figure_max) {
   return cap < 1 ? 1u : (static_cast<unsigned>(cap) < figure_max
                              ? static_cast<unsigned>(cap)
                              : figure_max);
+}
+
+/// Thread-sweep axis. PHTM_BENCH_THREADS, a comma-separated list of counts
+/// in [1, 64] (the runtime's slot ceiling), replaces `dflt` — sorted and
+/// deduplicated, so "16,1,4,4" sweeps {1,4,16}. Unset/empty keeps the
+/// figure's default; PHTM_MAX_THREADS still caps whichever axis wins.
+/// Malformed values abort loudly, like every other knob (see env_int).
+inline std::vector<unsigned> sweep_threads(std::vector<unsigned> dflt) {
+  const char* v = std::getenv("PHTM_BENCH_THREADS");
+  if (v == nullptr || *v == '\0') return dflt;
+  std::vector<unsigned> out;
+  const char* p = v;
+  while (*p != '\0') {
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(p, &end, 10);
+    if (errno != 0 || end == p || n < 1 || n > 64 ||
+        (*end != '\0' && *end != ',')) {
+      std::fprintf(stderr,
+                   "bench: PHTM_BENCH_THREADS=\"%s\" is not a comma-separated "
+                   "list of thread counts in [1, 64]\n",
+                   v);
+      std::exit(2);
+    }
+    out.push_back(static_cast<unsigned>(n));
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (out.empty()) return dflt;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 struct ThroughputResult {

@@ -22,10 +22,23 @@ using namespace phtm::bench;
 SeriesTable g_a("Fig3a: NRW N=M=10 (xeon18c)", "M tx/sec");
 SeriesTable g_b("Fig3b: NRW N=100K M=100 (xeon18c)", "tx/sec");
 SeriesTable g_c("Fig3c: NRW 100x(read,work,write) (haswell4c8t)", "K tx/sec");
+SeriesTable g_s("Fig3s: NRW N=64 M=2 read-dominated (sim64c)", "M tx/sec");
+
+/// Fig3s workload: read-dominated disjoint-access NRW for the sharded
+/// commit pipeline's 16+-thread sweep — commits stay on the fast path, so
+/// the series isolates ring/lock-table metadata contention.
+apps::NrwApp::Config read_dominated() {
+  apps::NrwApp::Config c;
+  c.n_reads = 64;
+  c.m_writes = 2;
+  return c;
+}
 
 void register_config(const char* fig, const apps::NrwApp::Config& cfg,
-                     const std::vector<unsigned>& threads, bool include_no_fast,
-                     const sim::HtmConfig& scfg, SeriesTable* table, double scale) {
+                     const std::vector<unsigned>& dflt_threads,
+                     bool include_no_fast, const sim::HtmConfig& scfg,
+                     SeriesTable* table, double scale) {
+  const std::vector<unsigned> threads = sweep_threads(dflt_threads);
   for (const auto algo : figure_algos(include_no_fast)) {
     for (const unsigned t : threads) {
       if (t > max_threads(threads.back())) continue;
@@ -57,6 +70,7 @@ void register_config(const char* fig, const apps::NrwApp::Config& cfg,
 int main(int argc, char** argv) {
   const std::vector<unsigned> xeon_threads{1, 2, 4, 8, 12, 18};
   const std::vector<unsigned> haswell_threads{1, 2, 4, 8};
+  const std::vector<unsigned> sim64_threads{1, 2, 4, 8, 16, 32, 64};
 
   register_config("Fig3a", apps::NrwApp::Config::a(), xeon_threads,
                   /*no_fast=*/false, sim::HtmConfig::xeon18c(), &g_a, 1e-6);
@@ -64,6 +78,8 @@ int main(int argc, char** argv) {
                   /*no_fast=*/true, sim::HtmConfig::xeon18c(), &g_b, 1.0);
   register_config("Fig3c", apps::NrwApp::Config::c(), haswell_threads,
                   /*no_fast=*/false, sim::HtmConfig::haswell4c8t(), &g_c, 1e-3);
+  register_config("Fig3s", read_dominated(), sim64_threads,
+                  /*no_fast=*/true, sim::HtmConfig::sim64c(), &g_s, 1e-6);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -71,5 +87,6 @@ int main(int argc, char** argv) {
   g_a.print();
   g_b.print();
   g_c.print();
+  g_s.print();
   return 0;
 }

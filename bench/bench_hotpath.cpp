@@ -277,6 +277,101 @@ void BM_RingValidateEmptyRsig(benchmark::State& state) {
 BENCHMARK(BM_RingValidateEmptyRsig)->Arg(64);
 
 // ---------------------------------------------------------------------------
+// Sharded commit pipeline (core::ShardedRing)
+// ---------------------------------------------------------------------------
+// The sharded ring splits commit traffic by signature word group; the cost
+// model the design leans on: a shard validation window scans exactly like
+// the unsharded ring (BM_RingValidateDisjoint is the control), shards the
+// reader does not occupy are an O(1) watermark bump, and the fast-path
+// publish fan-out is one ring entry per intersected shard.
+
+using phtm::core::ShardedRing;
+constexpr unsigned kShardWords = Signature::kWordsPerShard;
+
+/// One shard's validation window, read signature disjoint from the entries
+/// but inside the same shard — per-entry cost must match the unsharded
+/// BM_RingValidateDisjoint (same scan, same two-load disjoint fast path).
+void BM_ShardedRingValidateOwnShard(benchmark::State& state) {
+  const unsigned window = static_cast<unsigned>(state.range(0));
+  static HtmRuntime rt{HtmConfig::testing()};
+  ShardedRing ring(1024);
+  const std::uint64_t wmask = Signature::shard_word_mask(0);
+  const Signature wsig = sig_in_words(32, 0, kShardWords / 2, 13);
+  GlobalRing& sh = ring.shard(0);
+  for (unsigned i = 0; i < window; ++i) {
+    const std::uint64_t ts = sh.reserve(rt);
+    sh.fill_slot(rt, ts, wsig, wmask);
+  }
+  const std::uint64_t top = rt.nontx_load(ring.timestamp_addr(0));
+  const Signature rsig = sig_in_words(2, kShardWords / 2, kShardWords, 14);
+  for (auto _ : state) {
+    std::uint64_t start = top - window;
+    const auto v = sh.validate(rt, start, rsig, ~std::uint64_t{0}, wmask);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_ShardedRingValidateOwnShard)->Arg(16)->Arg(64);
+
+/// Full cross-shard validation sweep for a reader occupying one shard:
+/// every shard carries a `window`-deep committed load, but only the
+/// occupied shard is scanned — the other three advance in O(1) because the
+/// masked read occupancy is empty. Items = entries actually scanned.
+void BM_ShardedRingValidateSweep(benchmark::State& state) {
+  const unsigned window = static_cast<unsigned>(state.range(0));
+  static HtmRuntime rt{HtmConfig::testing()};
+  ShardedRing ring(1024);
+  for (unsigned s = 0; s < ShardedRing::kShards; ++s) {
+    const Signature wsig = sig_in_words(
+        32, s * kShardWords, s * kShardWords + kShardWords / 2, 15 + s);
+    GlobalRing& sh = ring.shard(s);
+    for (unsigned i = 0; i < window; ++i) {
+      const std::uint64_t ts = sh.reserve(rt);
+      sh.fill_slot(rt, ts, wsig, Signature::shard_word_mask(s));
+    }
+  }
+  std::uint64_t tops[ShardedRing::kShards];
+  for (unsigned s = 0; s < ShardedRing::kShards; ++s)
+    tops[s] = rt.nontx_load(ring.timestamp_addr(s));
+  const Signature rsig = sig_in_words(2, kShardWords / 2, kShardWords, 19);
+  for (auto _ : state) {
+    for (unsigned s = 0; s < ShardedRing::kShards; ++s) {
+      std::uint64_t start = tops[s] - window;
+      const auto v = ring.shard(s).validate(rt, start, rsig,
+                                            ~std::uint64_t{0},
+                                            Signature::shard_word_mask(s));
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_ShardedRingValidateSweep)->Arg(64);
+
+/// Fast-path publication fan-out: one (simulated) hardware transaction
+/// publishing a write signature that intersects range(0) shards. The
+/// attempt scaffolding is constant across args, so the slope is the
+/// per-shard publication cost (one ring entry + timestamp per shard).
+void BM_ShardedRingPublishHtm(benchmark::State& state) {
+  const unsigned nshards = static_cast<unsigned>(state.range(0));
+  static HtmRuntime rt{HtmConfig::testing()};
+  HtmRuntime::Thread th(rt);
+  ShardedRing ring(1024);
+  Signature wsig;
+  wsig.clear();
+  for (unsigned s = 0; s < nshards; ++s)
+    wsig.union_with(sig_in_words(8, s * kShardWords, (s + 1) * kShardWords,
+                                 23 + s));
+  for (auto _ : state) {
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      ring.publish_in_htm(ops, wsig, /*busy_xabort_code=*/0x7f);
+    });
+    benchmark::DoNotOptimize(r.committed);
+  }
+  state.SetItemsProcessed(state.iterations() * nshards);
+}
+BENCHMARK(BM_ShardedRingPublishHtm)->Arg(1)->Arg(4);
+
+// ---------------------------------------------------------------------------
 // Contention-manager overhead (src/core/policy.hpp)
 // ---------------------------------------------------------------------------
 // The policy engine's footprint on an *uncontended* fast-path commit is one

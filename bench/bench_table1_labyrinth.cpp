@@ -72,6 +72,16 @@ void register_trace_counters() {
         std::string("stats_fallbacks_") + to_string(static_cast<FallbackReason>(r));
     PHTM_TRACE_META(key.c_str(), total.fallbacks[r]);
   }
+  // Per-shard ring activity for the sharded commit pipeline: publishes
+  // match that shard's ring/publish/s<k> instants, validates match the sum
+  // of its ok/conflict/rollover outcomes.
+  for (unsigned s = 0; s < StatSheet::kRingShards; ++s) {
+    const std::string suffix = std::string("_s") + std::to_string(s);
+    PHTM_TRACE_META((std::string("stats_ring_publishes") + suffix).c_str(),
+                    total.ring_publishes_by_shard[s]);
+    PHTM_TRACE_META((std::string("stats_ring_validates") + suffix).c_str(),
+                    total.ring_validates_by_shard[s]);
+  }
 }
 
 }  // namespace

@@ -13,6 +13,15 @@ namespace phtm::core {
 
 using stm::to_cause;
 
+// The per-shard stats and trace-summary counters mirror the commit-pipeline
+// shard count without util/ or obs/ depending on sig/ (see
+// StatSheet::kRingShards, obs::TraceSummary::kRingShards).
+static_assert(StatSheet::kRingShards == Signature::kShards,
+              "per-shard stats arrays must match the signature shard count");
+static_assert(obs::TraceSummary::kRingShards == Signature::kShards,
+              "per-shard trace-summary arrays must match the signature shard "
+              "count");
+
 /// Explicit-abort codes private to PART-HTM's hardware transactions.
 enum PartXCode : std::uint32_t {
   kXGlock = 101,      ///< global-lock subscription fired at begin
@@ -83,14 +92,16 @@ struct PartHtmBackend::W final : tm::Worker {
   Signature agg_sig;
   UndoLog undo;
 
-  std::uint64_t start_time = 0;
-  /// Incremental-validation watermark: the highest ring timestamp this
-  /// global transaction's read signature is known to be consistent with.
-  /// Starts at `start_time` and advances on every successful validation, so
-  /// repeated in-flight validations only scan ring entries published since
-  /// the previous one instead of re-walking the window from the begin
-  /// snapshot. Owner-private: never read or written by other threads.
-  std::uint64_t validated_ts = 0;
+  /// Incremental-validation watermarks, one per commit-pipeline shard: the
+  /// highest timestamp of each shard ring this global transaction's read
+  /// signature is known to be consistent with. Seeded from the shard
+  /// timestamps at global begin (an eager snapshot — four uncontended
+  /// loads) and advanced on every successful validation, so repeated
+  /// in-flight validations only scan ring entries published since the
+  /// previous one; shards the read signature never touches advance in O(1)
+  /// without any ring traffic. Owner-private: never read or written by
+  /// other threads.
+  std::uint64_t validated_ts[ShardedRing::kShards] = {};
   bool wrote = false;
 
   tm::LocalsSnapshot txn_snap;  // whole-transaction rollback state
@@ -154,20 +165,32 @@ class PartHtmBackend::FastCtx final : public tm::Ctx {
     if (b_.mode_ == Mode::kSerializable) {
       // The transaction must neither have read nor be about to overwrite a
       // non-visible (locked) location (Fig. 1 lines 7-8). Subscribe to the
-      // lock table's cache lines once, then read its words plainly: the
-      // monitor guarantees a latched committer's lock publication is either
-      // fully visible or blocks/dooms this transaction first. Only words
-      // this transaction has bits in can intersect a lock, so the occupancy
-      // masks bound both the subscription set and the scan.
+      // intersected shards' lock-table cache lines once, then read their
+      // words plainly: the monitor guarantees a latched committer's lock
+      // publication is either fully visible or blocks/dooms this
+      // transaction first. Only words this transaction has bits in can
+      // intersect a lock, so the occupancy masks bound the subscription set
+      // and the scan — and the shard mask bounds which per-shard tables are
+      // touched at all.
       const std::uint64_t occ = rs_.view().occupancy() | ws_.view().occupancy();
-      // tmfoot: bound(4) — kWords/8 cache-line-sized word groups (kWords=32).
-      for (unsigned w = 0; w < Signature::kWords; w += 8)
-        if (((occ >> w) & 0xffu) != 0) ops_.subscribe(&b_.write_locks_.words()[w]);
-      for (std::uint64_t rest = occ; rest != 0; rest &= rest - 1) {
-        const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
-        const std::uint64_t wl = aload(&b_.write_locks_.words()[i]);
-        if (wl & (rs_.view().words()[i] | ws_.view().words()[i]))
-          ops_.xabort(kXLocked);
+      // tmfoot: bound(4) — one commit-pipeline shard per word group
+      // (Signature::kShards = 4 for BloomSig<2048>).
+      for (std::uint64_t sm = Signature::shard_mask_of(occ); sm != 0;
+           sm &= sm - 1) {
+        const unsigned s = static_cast<unsigned>(std::countr_zero(sm));
+        Signature& locks = b_.write_locks_[s];
+        const std::uint64_t socc = occ & Signature::shard_word_mask(s);
+        // tmfoot: bound(1) — a shard's word group is one cache line
+        // (kWordsPerShard = 8 words).
+        for (unsigned w = s * Signature::kWordsPerShard;
+             w < (s + 1) * Signature::kWordsPerShard; w += 8)
+          if (((socc >> w) & 0xffu) != 0) ops_.subscribe(&locks.words()[w]);
+        for (std::uint64_t rest = socc; rest != 0; rest &= rest - 1) {
+          const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
+          const std::uint64_t wl = aload(&locks.words()[i]);
+          if (wl & (rs_.view().words()[i] | ws_.view().words()[i]))
+            ops_.xabort(kXLocked);
+        }
       }
     }
     if (wrote_) b_.ring_.publish_in_htm(ops_, ws_.view(), kXRingBusy);
@@ -241,31 +264,47 @@ class PartHtmBackend::SubCtx final : public tm::Ctx {
     ws_.flush();
     if (b_.mode_ != Mode::kSerializable) return;
     // Lock checks and announcements only matter in words this transaction
-    // has bits in (see the fast path's epilogue for the argument).
+    // has bits in (see the fast path's epilogue for the argument), and each
+    // word lives in exactly one per-shard lock table — untouched shards see
+    // no subscription, no scan, and no occupancy traffic from this commit.
     const std::uint64_t occ = rs_.view().occupancy() | ws_.view().occupancy();
-    // tmfoot: bound(4) — kWords/8 cache-line-sized word groups (kWords=32).
-    for (unsigned w = 0; w < Signature::kWords; w += 8)
-      if (((occ >> w) & 0xffu) != 0) ops_.subscribe(&b_.write_locks_.words()[w]);
-    // tmfoot: bound(32) — one occupancy bit per nonzero signature word.
-    for (std::uint64_t rest = occ; rest != 0; rest &= rest - 1) {
-      const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
-      const std::uint64_t wl = aload(&b_.write_locks_.words()[i]);
-      // Mask this global transaction's own locks out first (Fig. 1 line 26).
-      const std::uint64_t others = wl & ~w_.agg_sig.words()[i];
-      if (others & (rs_.view().words()[i] | ws_.view().words()[i]))
-        ops_.xabort(kXLocked);
-      // Announce newly written locations (Fig. 1 line 29). A concurrent
-      // sub-HTM committer OR-ing the same word is a hardware write-write
-      // conflict: one of the two aborts, so the read-modify-write is safe.
-      const std::uint64_t mine = ws_.view().words()[i];
-      if (mine & ~wl) ops_.write(&b_.write_locks_.words()[i], wl | mine);
+    // tmfoot: bound(4) — one commit-pipeline shard per word group
+    // (Signature::kShards = 4 for BloomSig<2048>).
+    for (std::uint64_t sm = Signature::shard_mask_of(occ); sm != 0;
+         sm &= sm - 1) {
+      const unsigned s = static_cast<unsigned>(std::countr_zero(sm));
+      Signature& locks = b_.write_locks_[s];
+      const std::uint64_t socc = occ & Signature::shard_word_mask(s);
+      // tmfoot: bound(1) — a shard's word group is one cache line
+      // (kWordsPerShard = 8 words).
+      for (unsigned w = s * Signature::kWordsPerShard;
+           w < (s + 1) * Signature::kWordsPerShard; w += 8)
+        if (((socc >> w) & 0xffu) != 0) ops_.subscribe(&locks.words()[w]);
+      // tmfoot: bound(8) — one occupancy bit per nonzero word in the shard's
+      // word group.
+      for (std::uint64_t rest = socc; rest != 0; rest &= rest - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
+        const std::uint64_t wl = aload(&locks.words()[i]);
+        // Mask this global transaction's own locks out first (Fig. 1 line 26).
+        const std::uint64_t others = wl & ~w_.agg_sig.words()[i];
+        if (others & (rs_.view().words()[i] | ws_.view().words()[i]))
+          ops_.xabort(kXLocked);
+        // Announce newly written locations (Fig. 1 line 29). A concurrent
+        // sub-HTM committer OR-ing the same word is a hardware write-write
+        // conflict: one of the two aborts, so the read-modify-write is safe.
+        const std::uint64_t mine = ws_.view().words()[i];
+        if (mine & ~wl) ops_.write(&locks.words()[i], wl | mine);
+      }
+      // Keep the shard lock table's occupancy a superset of its set words.
+      // The read is monitored, so a concurrent committer updating the mask
+      // dooms this transaction instead of having its bits overwritten.
+      const std::uint64_t wocc =
+          ws_.view().occupancy() & Signature::shard_word_mask(s);
+      if (wocc != 0) {
+        const std::uint64_t cur = ops_.read(locks.occ_addr());
+        if ((wocc & ~cur) != 0) ops_.write(locks.occ_addr(), cur | wocc);
+      }
     }
-    // Keep the shared lock table's occupancy a superset of its set words.
-    // The read is monitored, so a concurrent committer updating the mask
-    // dooms this transaction instead of having its bits overwritten.
-    const std::uint64_t wocc = ws_.view().occupancy();
-    const std::uint64_t cur = ops_.read(b_.write_locks_.occ_addr());
-    if ((wocc & ~cur) != 0) ops_.write(b_.write_locks_.occ_addr(), cur | wocc);
   }
 
  private:
@@ -362,6 +401,45 @@ PartHtmBackend::FastOutcome PartHtmBackend::run_fast(W& w, const tm::Txn& txn,
   }
 }
 
+ValResult PartHtmBackend::validate_shards(W& w, const std::uint64_t* limits) {
+  // One logical in-flight validation (Fig. 1 lines 34-41) spanning every
+  // shard: `validations` counts the pass, the per-shard counters count the
+  // shards whose ring was actually scanned. Shards the read signature does
+  // not intersect advance their watermark in O(1) (one timestamp load, the
+  // empty-rocc early-out in GlobalRing::validate) — advancing them is not
+  // optional: PART-HTM-O's begin subscription compares every shard
+  // timestamp against its watermark, so a stale untouched-shard watermark
+  // would re-fire kXTsChanged forever.
+  w.stats().add_validation();
+  const std::uint64_t rocc = w.read_sig.occupancy();
+  // tmfoot: bound(4) — one iteration per commit-pipeline shard.
+  for (unsigned s = 0; s < ShardedRing::kShards; ++s) {
+    const std::uint64_t limit = limits ? limits[s] : ~std::uint64_t{0};
+    const std::uint64_t mask = Signature::shard_word_mask(s);
+    if ((rocc & mask) == 0) {
+      // Untouched shard: vacuous watermark advance, no ring traffic — not
+      // counted or traced as a shard validation (the 1:1 event/counter
+      // invariant tracks real scans).
+      (void)ring_.shard(s).validate(rt_, w.validated_ts[s], w.read_sig, limit,
+                                    mask);
+      continue;
+    }
+    w.stats().add_ring_validate(s);
+    const ValResult v =
+        ring_.shard(s).validate(rt_, w.validated_ts[s], w.read_sig, limit, mask);
+    PHTM_TRACE_RING_VALIDATE(v, w.validated_ts[s], s);
+    if (v != ValResult::kOk) return v;
+  }
+  return ValResult::kOk;
+}
+
+bool PartHtmBackend::is_shard_ts_line(std::uint64_t line) noexcept {
+  // tmfoot: bound(4) — one comparison per commit-pipeline shard.
+  for (unsigned s = 0; s < ShardedRing::kShards; ++s)
+    if (line == line_of(ring_.timestamp_addr(s))) return true;
+  return false;
+}
+
 PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& txn) {
   // --- global begin (Fig. 1 lines 16-19) ---
   // Bounded wait: a glock convoy (repeated slow-path holders) would
@@ -379,8 +457,11 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     dec_active();
     return POutcome::kAborted;
   }
-  w.start_time = rt_.nontx_load(ring_.timestamp_addr());
-  w.validated_ts = w.start_time;
+  // Begin snapshot: seed every shard watermark eagerly (four uncontended
+  // loads); validation then touches only the shards the read signature
+  // intersects.
+  for (unsigned s = 0; s < ShardedRing::kShards; ++s)
+    w.validated_ts[s] = rt_.nontx_load(ring_.timestamp_addr(s));
   w.read_sig.clear();
   w.write_sig.clear();
   w.agg_sig.clear();
@@ -401,8 +482,13 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
       if (fd.kind == sim::FaultKind::kStall)
         sim::burn_work(fd.arg != 0 ? fd.arg : 10'000);
       if (fd.kind == sim::FaultKind::kRingPressure) {
+        // Burn one slot in every shard ring: wraparound pressure is
+        // per-shard now, so uniform pressure keeps the injector's reach.
         static const Signature kNoSig{};
-        ring_.fill_slot(rt_, ring_.reserve(rt_), kNoSig);
+        for (unsigned s = 0; s < ShardedRing::kShards; ++s) {
+          GlobalRing& shard = ring_.shard(s);
+          shard.fill_slot(rt_, shard.reserve(rt_), kNoSig);
+        }
       }
     }
 #endif
@@ -430,12 +516,14 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
       const sim::HtmResult r = rt_.attempt(w.th, [&](sim::HtmOps& ops) {
         if (mode_ == Mode::kOpaque) {
           // Timestamp subscription (Fig. 2 lines 23-24): any global commit
-          // from now on aborts this sub-HTM transaction in hardware. The
-          // comparison is against the validation watermark, not the begin
-          // snapshot: commits the last validation already covered need not
-          // abort this sub-transaction.
-          if (ops.read(ring_.timestamp_addr()) != w.validated_ts)
-            ops.xabort(kXTsChanged);
+          // from now on — in any shard — aborts this sub-HTM transaction in
+          // hardware. The comparison is against the validation watermarks,
+          // not the begin snapshot: commits the last validation already
+          // covered need not abort this sub-transaction.
+          // tmfoot: bound(4) — one subscription per commit-pipeline shard.
+          for (unsigned s = 0; s < ShardedRing::kShards; ++s)
+            if (ops.read(ring_.timestamp_addr(s)) != w.validated_ts[s])
+              ops.xabort(kXTsChanged);
         }
         SubCtx ctx(*this, w, ops);
         more_out = txn.step(ctx, txn.env, txn.locals, seg);
@@ -470,13 +558,14 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
           (r.abort.code == sim::AbortCode::kExplicit &&
            r.abort.xabort_code == kXTsChanged) ||
           (mode_ == Mode::kOpaque && r.abort.code == sim::AbortCode::kConflict &&
-           r.abort.conflict_line == line_of(ring_.timestamp_addr()));
+           is_shard_ts_line(r.abort.conflict_line));
       if (ts_changed) {
-        // PART-HTM-O: a global transaction committed; re-validate and, if
-        // the snapshot still holds, restart only the sub-HTM transaction.
-        w.stats().add_validation();
-        const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
-        PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
+        // PART-HTM-O: a global transaction committed in some shard;
+        // re-validate and, if the snapshot still holds, restart only the
+        // sub-HTM transaction. validate_shards advances *every* shard's
+        // watermark (untouched shards in O(1)), so the subscription above
+        // does not re-fire on the same commit.
+        const ValResult v = validate_shards(w, nullptr);
         if (v != ValResult::kOk) {
           if (v == ValResult::kRollover) w.stats().add_ring_rollover();
           global_abort(w);
@@ -506,9 +595,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     w.agg_sig.union_with(w.write_sig);
     w.write_sig.clear();
     if (cfg_.validate_after_each_sub || mode_ == Mode::kOpaque) {
-      w.stats().add_validation();
-      const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
-      PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
+      const ValResult v = validate_shards(w, nullptr);
       if (v != ValResult::kOk) {
         if (v == ValResult::kRollover) w.stats().add_ring_rollover();
         global_abort(w);
@@ -533,9 +620,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   // already published), so reserving a slot would be dead weight.
   const bool solo = rt_.nontx_load(&active_tx_.value) == 1;
   if (solo) {
-    w.stats().add_validation();
-    const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig);
-    PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
+    const ValResult v = validate_shards(w, nullptr);
     if (v != ValResult::kOk) {
       if (v == ValResult::kRollover) w.stats().add_ring_rollover();
       global_abort(w);
@@ -549,20 +634,57 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     PHTM_TRACE_TX_COMMIT(CommitPath::kSoftware);
     return POutcome::kCommitted;
   }
-  const std::uint64_t ts = ring_.reserve(rt_);
+  // Cross-shard commit protocol: reserve a timestamp in *every* written
+  // shard first, then fill every reserved slot with the real signature,
+  // then validate *all* shards. The reserve-all-before-validate-any order
+  // is what makes the independent per-shard timestamps jointly
+  // serializable (see ShardedRing's class comment for the pairwise
+  // argument); validation of a written shard is bounded by its reserved
+  // timestamp (everything ordered before us), while read-only shards
+  // validate to their current timestamp.
+  const std::uint64_t wmask = Signature::shard_mask_of(w.agg_sig.occupancy());
+  std::uint64_t ts[ShardedRing::kShards];
+  std::uint64_t limits[ShardedRing::kShards];
+  for (unsigned s = 0; s < ShardedRing::kShards; ++s)
+    limits[s] = ~std::uint64_t{0};
+  // tmfoot: bound(4) — one reservation per written commit-pipeline shard.
+  for (std::uint64_t m = wmask; m != 0; m &= m - 1) {
+    const unsigned s = static_cast<unsigned>(std::countr_zero(m));
+    ts[s] = ring_.shard(s).reserve(rt_);
+    limits[s] = ts[s] - 1;
+  }
+  // Fill *before* validating — this is what keeps cross-shard commits
+  // deadlock-free. Validation spins on reserved-but-unfilled slots, so a
+  // committer that validated while holding unfilled slots could deadlock
+  // with a peer whose per-shard reservation orders cross (see ShardedRing's
+  // liveness comment). Publishing the signature of a not-yet-validated
+  // commit is safe: the eager writes it describes are already in memory
+  // (undo-logged), and a validator that intersects it either aborts
+  // conservatively or — if this commit fails validation and revokes the
+  // entry below — skips the retracted mask.
+  // tmfoot: bound(4) — one slot fill per written commit-pipeline shard.
+  for (std::uint64_t m = wmask; m != 0; m &= m - 1) {
+    const unsigned s = static_cast<unsigned>(std::countr_zero(m));
+    ring_.shard(s).fill_slot(rt_, ts[s], w.agg_sig,
+                             Signature::shard_word_mask(s));
+    w.stats().add_ring_publish(s);
+    PHTM_TRACE_RING_PUBLISH(
+        ts[s], w.agg_sig.popcount(Signature::shard_word_mask(s)), s);
+  }
   // Commit-time validation of everything serialized before our reserved
-  // timestamp. The paper argues the last in-flight validation suffices;
+  // timestamps. The paper argues the last in-flight validation suffices;
   // performing one more after the reservation closes the publication window
   // exactly (see DESIGN.md) at the cost the paper already accounts to the
-  // in-flight mechanism. A failed commit still fills its slot (with an
-  // empty signature) so validators never stall on it.
-  w.stats().add_validation();
-  const ValResult v = ring_.validate(rt_, w.validated_ts, w.read_sig, ts - 1);
-  PHTM_TRACE_RING_VALIDATE(v, w.validated_ts);
-  static const Signature kEmpty{};
-  ring_.fill_slot(rt_, ts, v == ValResult::kOk ? w.agg_sig : kEmpty);
-  PHTM_TRACE_RING_PUBLISH(ts, w.agg_sig.popcount());
+  // in-flight mechanism.
+  const ValResult v = validate_shards(w, limits);
   if (v != ValResult::kOk) {
+    // Retract the published entries: this commit aborts and rolls back, so
+    // its signature must stop producing (now-phantom) conflicts.
+    // tmfoot: bound(4) — one revocation per written commit-pipeline shard.
+    for (std::uint64_t m = wmask; m != 0; m &= m - 1) {
+      const unsigned s = static_cast<unsigned>(std::countr_zero(m));
+      ring_.shard(s).revoke_slot(rt_, ts[s]);
+    }
     if (v == ValResult::kRollover) w.stats().add_ring_rollover();
     global_abort(w);
     return POutcome::kAborted;
@@ -578,14 +700,17 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
 
 void PartHtmBackend::release_locks(W& w) {
   if (mode_ == Mode::kSerializable) {
-    // Fig. 1 lines 48-49: clear this transaction's bits from the shared
-    // lock table. Aliased bits may be cleared too — the paper's protocol
-    // has the same property. The table's occupancy mask is left alone (a
-    // stale superset is benign; clearing it could race a committer).
+    // Fig. 1 lines 48-49: clear this transaction's bits from the sharded
+    // lock table (each word lives in exactly one shard's table). Aliased
+    // bits may be cleared too — the paper's protocol has the same property.
+    // The tables' occupancy masks are left alone (a stale superset is
+    // benign; clearing one could race a committer).
     for (std::uint64_t rest = w.agg_sig.occupancy(); rest != 0; rest &= rest - 1) {
       const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
       const std::uint64_t bits = w.agg_sig.words()[i];
-      if (bits) rt_.nontx_fetch_and(&write_locks_.words()[i], ~bits);
+      if (bits)
+        rt_.nontx_fetch_and(
+            &write_locks_[Signature::shard_of_word(i)].words()[i], ~bits);
     }
   } else {
     // Fig. 2 lines 55-56 / 61-62: unlock every written address.

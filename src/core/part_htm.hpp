@@ -40,8 +40,17 @@ class PartHtmBackend final : public tm::Backend {
   void execute(tm::Worker& w, const tm::Txn& txn) override;
 
   // Introspection for tests/benches.
-  const Signature& write_locks() const noexcept { return write_locks_; }
-  GlobalRing& ring() noexcept { return ring_; }
+  const Signature& write_locks(unsigned shard) const noexcept {
+    return write_locks_[shard];
+  }
+  /// True when no shard's lock table holds any lock bit. Snapshot-based so
+  /// it is safe to call while other threads are still running (tests).
+  bool write_locks_empty() const noexcept {
+    for (unsigned s = 0; s < Signature::kShards; ++s)
+      if (!write_locks_[s].atomic_snapshot().empty()) return false;
+    return true;
+  }
+  ShardedRing& ring() noexcept { return ring_; }
 
  private:
   struct W;
@@ -69,6 +78,17 @@ class PartHtmBackend final : public tm::Backend {
   /// One partitioned-path execution (global begin .. commit/abort).
   POutcome partitioned_once(W& w, const tm::Txn& txn);
 
+  /// Validate the read signature against every shard ring, advancing the
+  /// per-shard watermarks. Shards the (occupancy-masked) read signature
+  /// does not intersect advance in O(1); `limits`, when non-null, bounds
+  /// each shard's validation range (commit-time validation of reserved
+  /// timestamps). Returns the first non-kOk shard verdict.
+  ValResult validate_shards(W& w, const std::uint64_t* limits);
+
+  /// Whether `line` is one of the shard timestamps' cache lines (PART-HTM-O
+  /// timestamp-subscription conflict detection).
+  bool is_shard_ts_line(std::uint64_t line) noexcept;
+
   void slow_path(W& w, const tm::Txn& txn);
 
   /// Undo committed sub-HTM writes, release locks, leave the path.
@@ -81,8 +101,15 @@ class PartHtmBackend final : public tm::Backend {
   Mode mode_;
   bool no_fast_;
 
-  GlobalRing ring_;
-  Signature write_locks_;              ///< shared Bloom lock table (Fig. 1)
+  ShardedRing ring_;                   ///< per-shard commit rings + timestamps
+  /// Shared Bloom lock table (Fig. 1), sharded by signature word group:
+  /// shard s owns the global word indices in Signature::shard_word_mask(s)
+  /// and only those words (plus its own occupancy mask) are ever populated
+  /// in write_locks_[s]. Committers in disjoint shards therefore touch
+  /// disjoint cache lines — including the occupancy word, which in the
+  /// unsharded table was a single line every writing sub-commit contended
+  /// on.
+  Signature write_locks_[Signature::kShards];
   // glock_ deliberately carries no PHTM_CAPABILITY annotation: it is a
   // plain word acquired by CAS through the simulator's strong-atomicity
   // helpers and *subscribed to* by hardware transactions (ops.read at

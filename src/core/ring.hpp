@@ -63,8 +63,14 @@ class GlobalRing {
   /// live, so stale slot contents need not be cleared — this keeps the
   /// commit-time footprint proportional to the write-set size, as on real
   /// hardware where the published signature is a handful of lines.
+  ///
+  /// `word_mask` restricts which signature words participate: a shard of a
+  /// ShardedRing only publishes (and only validates) the word group it
+  /// owns, so a cross-shard write set is split across shard rings without
+  /// materializing per-shard signature copies.
   void publish_in_htm(sim::HtmOps& ops, const Signature& wsig,
-                      std::uint32_t busy_xabort_code) {
+                      std::uint32_t busy_xabort_code,
+                      std::uint64_t word_mask = ~std::uint64_t{0}) {
     const std::uint64_t ts = ops.read(&timestamp_.value) + 1;
     Slot& s = slot_of(ts);
     if (ops.read(&s.seq) != expected_prev(ts)) ops.xabort(busy_xabort_code);
@@ -72,7 +78,8 @@ class GlobalRing {
     std::uint64_t mask = 0;
     // tmfoot: bound(32) — one occupancy bit per nonzero signature word
     // (Signature::kWords = 32 for BloomSig<2048>).
-    for (std::uint64_t rest = wsig.occupancy(); rest != 0; rest &= rest - 1) {
+    for (std::uint64_t rest = wsig.occupancy() & word_mask; rest != 0;
+         rest &= rest - 1) {
       const unsigned w = static_cast<unsigned>(std::countr_zero(rest));
       if (wsig.words()[w] == 0) continue;  // occupancy may be a superset
       mask |= std::uint64_t{1} << w;
@@ -91,20 +98,31 @@ class GlobalRing {
   }
 
   /// Fill the slot reserved for `ts`. Waits for the retired occupant.
-  void fill_slot(sim::HtmRuntime& rt, std::uint64_t ts, const Signature& sig) {
+  /// `word_mask` restricts the published words (see publish_in_htm).
+  ///
+  /// The slot is acquired with a CAS (not a wait-then-store) so that the
+  /// acquisition serializes against revoke_slot: the previous occupant's
+  /// revocation and the next occupant's claim both CAS on seq, and exactly
+  /// one of them wins each race.
+  void fill_slot(sim::HtmRuntime& rt, std::uint64_t ts, const Signature& sig,
+                 std::uint64_t word_mask = ~std::uint64_t{0}) {
     Slot& s = slot_of(ts);
-    while (aload(&s.seq) != expected_prev(ts)) {
-      // mc-yield: waiting for the retired occupant's final seq store; only
-      // that publisher can change seq, so this must deschedule under mc.
+    const std::uint64_t prev = expected_prev(ts);
+    while (aload(&s.seq) != prev ||
+           !rt.nontx_cas(&s.seq, prev, ts | kBusy)) {
+      // mc-yield: waiting for the retired occupant's final seq store (or
+      // the end of its revocation window); only that publisher can change
+      // seq, so this must deschedule under mc.
       PHTM_MC_SPIN(&s.seq);
       // spin-waiver: the occupant is a committer running a finite,
-      // lock-free fill that ends in its seq store unconditionally — the
-      // wait is bounded by one publication, with no starvation mode.
+      // lock-free fill (or revocation) that ends in its seq store
+      // unconditionally — the wait is bounded by one publication, with no
+      // starvation mode.
       cpu_relax();
     }
-    rt.nontx_store(&s.seq, ts | kBusy);
     std::uint64_t mask = 0;
-    for (std::uint64_t rest = sig.occupancy(); rest != 0; rest &= rest - 1) {
+    for (std::uint64_t rest = sig.occupancy() & word_mask; rest != 0;
+         rest &= rest - 1) {
       const unsigned w = static_cast<unsigned>(std::countr_zero(rest));
       if (sig.words()[w] == 0) continue;  // occupancy may be a superset
       mask |= std::uint64_t{1} << w;
@@ -118,19 +136,43 @@ class GlobalRing {
     rt.nontx_store(&s.seq, ts);
   }
 
+  /// Retract the entry filled for `ts` after a failed commit-time
+  /// validation: the publisher is aborting and rolling back, so its
+  /// signature should stop producing conflicts. Clearing the word mask
+  /// under the slot's seqlock suffices — a validator either already read
+  /// the old mask (a conservative abort, safe because aborting is always
+  /// safe) or reads the empty one and skips the stale signature words.
+  /// The CAS guards against the slot's next occupant (a committer at
+  /// `ts + size` whose fill CAS expects seq == ts): if the slot has
+  /// already been reclaimed the stale signature is gone anyway, and the
+  /// revocation is a no-op.
+  void revoke_slot(sim::HtmRuntime& rt, std::uint64_t ts) {
+    Slot& s = slot_of(ts);
+    if (!rt.nontx_cas(&s.seq, ts, ts | kBusy)) return;  // slot reclaimed
+    rt.nontx_store(&s.mask, 0);
+    // Same release edge as fill_slot: validators that observe seq == ts
+    // again are ordered after the mask clear.
+    PHTM_ANNOTATE_HAPPENS_BEFORE(&s.seq);
+    rt.nontx_store(&s.seq, ts);
+  }
+
   /// In-flight validation (Fig. 1 lines 34-41): intersect `rsig` with every
   /// entry committed in (start, min(now, limit)]; advance `start` on
   /// success. `limit` bounds the range for the commit-time validation of a
   /// reserved timestamp (validate everything ordered before us).
+  /// `word_mask` restricts the read-signature words considered — a shard
+  /// ring only ever holds entries in its own word group, so a reader whose
+  /// masked occupancy is empty advances in O(1).
   ValResult validate(sim::HtmRuntime& rt, std::uint64_t& start, const Signature& rsig,
-                     std::uint64_t limit = ~std::uint64_t{0}) {
+                     std::uint64_t limit = ~std::uint64_t{0},
+                     std::uint64_t word_mask = ~std::uint64_t{0}) {
     std::uint64_t ts = rt.nontx_load(&timestamp_.value);
     if (ts > limit) ts = limit;
     if (ts == start) return ValResult::kOk;
     // An empty read signature is vacuously consistent with every entry —
     // even a reused (rolled-over) slot — so the watermark advances without
     // touching the ring (write-only transactions validate in O(1)).
-    const std::uint64_t rocc = rsig.occupancy();
+    const std::uint64_t rocc = rsig.occupancy() & word_mask;
     if (rocc == 0) {
       start = ts;
       return ValResult::kOk;
@@ -195,6 +237,77 @@ class GlobalRing {
 
   Padded<std::uint64_t> timestamp_{0};
   std::vector<Slot> slots_;
+};
+
+/// Sharded commit pipeline (DESIGN.md, "Sharded commit pipeline"): one
+/// independent GlobalRing per signature word group. The shard of an address
+/// is a pure function of its signature bit (Signature::shard_of), so a
+/// transaction's occupancy mask tells it exactly which shard rings its
+/// write set must publish into and which its read set must validate
+/// against — commit traffic in disjoint address partitions serializes on
+/// different timestamps, touches different slot arrays, and rolls over
+/// independently.
+///
+/// Cross-shard writers reserve a timestamp in *every* written shard before
+/// validating *any* shard (see PartHtmBackend's commit): within each shard
+/// the ring totally orders the two writers, and whichever is later there
+/// validates against — and therefore observes — the earlier one's entry,
+/// so a conflicting pair is always caught by at least one side. The
+/// pairwise argument makes the per-shard timestamps jointly serializable
+/// without a global sequence.
+///
+/// Liveness requires that reserved slots are *filled before* commit-time
+/// validation (fill-then-validate, with revoke_slot retracting the entry
+/// if validation then fails). Validation spins on reserved-but-unfilled
+/// slots; if committers validated first, two of them with crossed
+/// per-shard reservation orders (A:x B:x B:y A:y) would each spin forever
+/// on the other's unfilled slot. With fill-then-validate the window in
+/// which a committer holds an unfilled slot contains only reservations and
+/// fills: fills proceed in ascending shard index and a fill only ever
+/// waits on the strictly older occupant of the same slot, so every
+/// wait chain descends a well-founded order and terminates — validators
+/// then wait at most one bounded publication per slot.
+class ShardedRing {
+ public:
+  static constexpr unsigned kShards = Signature::kShards;
+
+  /// `entries` is the per-shard ring size (a shard sees only its partition
+  /// of the commit traffic, so sizing per shard keeps rollover pressure
+  /// comparable to the unsharded ring at equal load).
+  // span-waiver: backend construction — runs once at setup, never inside a
+  // hardware transaction; only publish_in_htm executes speculatively.
+  explicit ShardedRing(unsigned entries) {
+    shards_.reserve(kShards);
+    for (unsigned s = 0; s < kShards; ++s) shards_.emplace_back(entries);
+  }
+
+  GlobalRing& shard(unsigned s) noexcept { return shards_[s]; }
+  const GlobalRing& shard(unsigned s) const noexcept { return shards_[s]; }
+
+  std::uint64_t* timestamp_addr(unsigned s) noexcept {
+    return shards_[s].timestamp_addr();
+  }
+
+  /// Per-shard entry count (uniform across shards).
+  unsigned size() const noexcept { return shards_[0].size(); }
+
+  /// Fast-path publication of a write signature into every shard it
+  /// intersects, inside one hardware transaction — the hardware commit
+  /// makes the multi-shard publication atomic, so no reservation protocol
+  /// is needed on this side.
+  void publish_in_htm(sim::HtmOps& ops, const Signature& wsig,
+                      std::uint32_t busy_xabort_code) {
+    // tmfoot: bound(4) — one iteration per commit-pipeline shard
+    // (Signature::kShards = 4 for BloomSig<2048>).
+    for (std::uint64_t m = wsig.shard_mask(); m != 0; m &= m - 1) {
+      const unsigned s = static_cast<unsigned>(std::countr_zero(m));
+      shards_[s].publish_in_htm(ops, wsig, busy_xabort_code,
+                                Signature::shard_word_mask(s));
+    }
+  }
+
+ private:
+  std::vector<GlobalRing> shards_;
 };
 
 }  // namespace phtm::core

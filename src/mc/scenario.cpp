@@ -15,6 +15,7 @@
 
 #include "core/part_htm.hpp"
 #include "mc/sched.hpp"
+#include "sig/signature.hpp"
 #include "sim/config.hpp"
 #include "sim/runtime.hpp"
 #include "stm/ringstm.hpp"
@@ -49,6 +50,56 @@ struct SEnv {
 };
 SEnv g_env[kMaxMcThreads];
 
+// ---- sharded-commit scenario world --------------------------------------
+// The sharded commit pipeline partitions addresses by signature word group
+// (Signature::shard_of), so the cross-shard scenario needs two words whose
+// shards differ. They are probed out of a static pool at world build:
+// addresses are stable within the process, so the selection — like every
+// other address in the scenario world — is identical on every DFS replay.
+constexpr unsigned kShardPoolWords = 32;
+PadWord g_shard_pool[kShardPoolWords];
+unsigned g_shard_sel[2] = {0, 1};
+
+std::uint64_t* shard_word(unsigned i) { return &g_shard_pool[g_shard_sel[i]].v; }
+
+void select_shard_words() {
+  g_shard_sel[0] = 0;
+  g_shard_sel[1] = 1;
+  const unsigned s0 = Signature::shard_of(shard_word(0));
+  for (unsigned i = 1; i < kShardPoolWords; ++i) {
+    if (Signature::shard_of(&g_shard_pool[i].v) != s0) {
+      g_shard_sel[1] = i;
+      return;
+    }
+  }
+  // 32 hashed lines all in one of 4 shards: practically impossible; the
+  // scenario invariant reports it loudly rather than testing nothing.
+}
+
+// Second word pair for the two-writer scenario: same two shards as
+// g_shard_sel, but distinct signature bits, so two committers can span the
+// same shard rings with disjoint footprints.
+unsigned g_shard_sel2[2] = {0, 1};
+
+std::uint64_t* shard_word2(unsigned i) { return &g_shard_pool[g_shard_sel2[i]].v; }
+
+void select_shard_words2() {
+  select_shard_words();
+  for (unsigned i = 0; i < 2; ++i) {
+    g_shard_sel2[i] = g_shard_sel[i];  // probe failure: invariant reports it
+    const unsigned shard = Signature::shard_of(shard_word(i));
+    for (unsigned j = 0; j < kShardPoolWords; ++j) {
+      if (j == g_shard_sel[0] || j == g_shard_sel[1]) continue;
+      if (Signature::shard_of(&g_shard_pool[j].v) != shard) continue;
+      if (Signature::bit_of(&g_shard_pool[j].v) ==
+          Signature::bit_of(shard_word(i)))
+        continue;
+      g_shard_sel2[i] = j;
+      break;
+    }
+  }
+}
+
 Recorder g_rec;
 std::optional<HtmRuntime> g_rt;
 std::optional<PartHtmBackend> g_part;
@@ -68,6 +119,7 @@ void destroy_world() {
 void reset_common(unsigned nthreads) {
   destroy_world();
   for (auto& w : g_data) w.v = 0;
+  for (auto& w : g_shard_pool) w.v = 0;
   for (auto& l : g_locals) l = SLocals{};
   for (unsigned t = 0; t < kMaxMcThreads; ++t) g_env[t] = SEnv{t};
   g_rec.reset(nthreads);
@@ -218,6 +270,46 @@ bool step_undo_rollback_xy(tm::Ctx& c, const void* e, void* lp, unsigned seg) {
   return false;
 }
 
+/// Two heavy segments eagerly writing one word in each commit-pipeline
+/// shard: the partitioned commit must reserve a timestamp in *both* shard
+/// rings before validating either (ShardedRing's cross-shard protocol).
+bool step_part_write_two_shards(tm::Ctx& c, const void* e, void* lp,
+                                unsigned seg) {
+  TxLog& log = log_of(lp);
+  rec_write(c, g_rec, env_tid(e), log, shard_word(seg), 1);
+  c.work(kSegWork);
+  return seg == 0;
+}
+
+/// Cross-shard committer with a per-thread private footprint: each heavy
+/// segment reads and eagerly writes this thread's own word in one of the
+/// two probed shards. Two such committers' read signatures span both shard
+/// rings while their footprints stay disjoint, so both reach the
+/// cross-shard commit concurrently and each commit-time validation scans
+/// the other's reserved slots — the crossed-reservation-order liveness
+/// regression (ring.hpp's fill-then-validate; a validate-then-fill
+/// protocol deadlocks here when the per-shard reservation orders cross).
+bool step_part_rw_two_shards(tm::Ctx& c, const void* e, void* lp,
+                             unsigned seg) {
+  TxLog& log = log_of(lp);
+  const unsigned tid = env_tid(e);
+  std::uint64_t* w = tid == 0 ? shard_word(seg) : shard_word2(seg);
+  const std::uint64_t v = rec_read(c, g_rec, tid, log, w);
+  rec_write(c, g_rec, tid, log, w, v + 1);
+  c.work(kSegWork);
+  return seg == 0;
+}
+
+/// Fast-path read across both shard words: with opacity checking on, a
+/// snapshot that caught the cross-shard commit in one shard ring but not
+/// the other is a reported violation.
+bool step_read_two_shards(tm::Ctx& c, const void* e, void* lp, unsigned) {
+  TxLog& log = log_of(lp);
+  rec_read(c, g_rec, env_tid(e), log, shard_word(0));
+  rec_read(c, g_rec, env_tid(e), log, shard_word(1));
+  return false;
+}
+
 /// RingSTM write-only transaction stamping words 0 and 1 with a per-thread
 /// value: any serial order leaves them equal, a torn write-back does not.
 bool step_ringstm_stamp(tm::Ctx& c, const void* e, void* lp, unsigned) {
@@ -310,8 +402,8 @@ McScenario make_undo_rollback() {
       return std::string("writer never exercised the global-abort rollback");
     if (st.commits[static_cast<unsigned>(CommitPath::kGlobalLock)] != 1)
       return std::string("writer was expected to commit on the slow path");
-    if (!g_part->write_locks().empty())
-      return std::string("write-locks signature not retracted after commit");
+    if (!g_part->write_locks_empty())
+      return std::string("write-locks signatures not retracted after commit");
     return std::string{};
   };
   return s;
@@ -331,6 +423,99 @@ McScenario make_opaque_zombie() {
   };
   s.collect = [] { return collect_common(2, true); };
   s.teardown = [] { destroy_world(); };
+  return s;
+}
+
+/// Two-shard conflicting-commit opacity check: an eager cross-shard writer
+/// against a fast-path reader of the same two words, under the opaque mode
+/// and the history checker's opacity bar. Every interleaving of the two
+/// shard rings' reservations, fills and validations must leave the reader
+/// an all-or-nothing view of the commit.
+McScenario make_two_shard_opacity() {
+  McScenario s;
+  s.name = "two_shard_opacity";
+  s.nthreads = 2;
+  s.check_opacity = true;
+  s.setup = [] {
+    select_shard_words();
+    build_part(2, PartHtmBackend::Mode::kOpaque);
+  };
+  s.body = [](unsigned tid) {
+    if (tid == 0)
+      run_txn(*g_part, 0, &step_part_write_two_shards);
+    else
+      run_txn(*g_part, 1, &step_read_two_shards);
+  };
+  s.collect = [] {
+    HistoryInput in = collect_common(2, true);
+    for (unsigned i = 0; i < 2; ++i) {
+      in.initial.emplace_back(shard_word(i), 0);
+      // Plain load: all workers have joined, the world is quiescent.
+      in.final_mem.emplace_back(
+          shard_word(i), __atomic_load_n(shard_word(i), __ATOMIC_ACQUIRE));
+    }
+    return in;
+  };
+  s.teardown = [] { destroy_world(); };
+  s.invariant = [] {
+    if (Signature::shard_of(shard_word(0)) ==
+        Signature::shard_of(shard_word(1)))
+      return std::string("shard-word probe failed: both words in one shard");
+    if (g_workers[0]->stats().commits[static_cast<unsigned>(CommitPath::kHtm)] != 0)
+      return std::string("heavy txn committed on the fast path");
+    return std::string{};
+  };
+  return s;
+}
+
+/// Two concurrent cross-shard committers with disjoint footprints: every
+/// interleaving of their per-shard reservations, fills and validations
+/// must terminate with a serializable history. This is the liveness
+/// regression for the commit protocol — validate-before-fill deadlocked
+/// both committers on each other's unfilled slots whenever the per-shard
+/// reservation orders crossed (A:x B:x B:y A:y).
+McScenario make_two_shard_writers() {
+  McScenario s;
+  s.name = "two_shard_writers";
+  s.nthreads = 2;
+  s.setup = [] {
+    select_shard_words2();
+    build_part(2, PartHtmBackend::Mode::kSerializable);
+  };
+  s.body = [](unsigned tid) {
+    run_txn(*g_part, tid, &step_part_rw_two_shards);
+  };
+  s.collect = [] {
+    HistoryInput in = collect_common(2, false);
+    for (unsigned i = 0; i < 2; ++i) {
+      in.initial.emplace_back(shard_word(i), 0);
+      in.initial.emplace_back(shard_word2(i), 0);
+      // Plain loads: all workers have joined, the world is quiescent.
+      in.final_mem.emplace_back(
+          shard_word(i), __atomic_load_n(shard_word(i), __ATOMIC_ACQUIRE));
+      in.final_mem.emplace_back(
+          shard_word2(i), __atomic_load_n(shard_word2(i), __ATOMIC_ACQUIRE));
+    }
+    return in;
+  };
+  s.teardown = [] { destroy_world(); };
+  s.invariant = [] {
+    if (Signature::shard_of(shard_word(0)) ==
+        Signature::shard_of(shard_word(1)))
+      return std::string("shard-word probe failed: both words in one shard");
+    for (unsigned i = 0; i < 2; ++i) {
+      if (g_shard_sel2[i] == g_shard_sel[i])
+        return std::string("shard-word probe failed: no disjoint second word");
+      if (Signature::shard_of(shard_word2(i)) !=
+          Signature::shard_of(shard_word(i)))
+        return std::string(
+            "shard-word probe failed: second word in the wrong shard");
+    }
+    for (unsigned t = 0; t < 2; ++t)
+      if (g_workers[t]->stats().commits[static_cast<unsigned>(CommitPath::kHtm)] != 0)
+        return std::string("heavy txn committed on the fast path");
+    return std::string{};
+  };
   return s;
 }
 
@@ -362,6 +547,8 @@ const std::vector<McScenario>& scenarios() {
     v.push_back(make_slow_quiesce());
     v.push_back(make_undo_rollback());
     v.push_back(make_opaque_zombie());
+    v.push_back(make_two_shard_opacity());
+    v.push_back(make_two_shard_writers());
     v.push_back(make_ringstm_writeback(false));
     v.push_back(make_ringstm_writeback(true));
     return v;

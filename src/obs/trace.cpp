@@ -267,9 +267,15 @@ TraceSummary summarize(const std::vector<ThreadTrace>& traces) {
         case EventKind::kSubBegin: ++s.sub_begins; break;
         case EventKind::kSubCommit: ++s.sub_commits; break;
         case EventKind::kSubAbort: ++s.sub_aborts; break;
-        case EventKind::kRingPublish: ++s.ring_publishes; break;
+        case EventKind::kRingPublish:
+          ++s.ring_publishes;
+          if (e.aux < TraceSummary::kRingShards)
+            ++s.ring_publishes_by_shard[e.aux];
+          break;
         case EventKind::kRingValidate:
           if (e.aux < 3) ++s.ring_validates[e.aux];
+          if (e.a1 < TraceSummary::kRingShards)
+            ++s.ring_validates_by_shard[e.a1];
           break;
         case EventKind::kDoom: ++s.dooms; break;
         case EventKind::kGlobalAbort: ++s.global_aborts; break;
@@ -429,20 +435,24 @@ bool write_chrome_trace(const std::string& path,
           break;
         case EventKind::kRingPublish:
           std::fprintf(f,
-                       ",\n{\"name\":\"ring/publish\",\"ph\":\"i\",\"s\":\"t\","
+                       ",\n{\"name\":\"ring/publish/s%u\",\"ph\":\"i\",\"s\":\"t\","
                        "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
-                       "\"args\":{\"txn\":%u,\"ring_ts\":%llu,\"sig_bits\":%llu}}",
-                       t.tid, us_of(e.ns, base), e.txn,
-                       static_cast<unsigned long long>(e.a0),
-                       static_cast<unsigned long long>(e.a1));
+                       "\"args\":{\"txn\":%u,\"ring_ts\":%llu,\"sig_bits\":%llu,"
+                       "\"shard\":%u}}",
+                       static_cast<unsigned>(e.aux), t.tid, us_of(e.ns, base),
+                       e.txn, static_cast<unsigned long long>(e.a0),
+                       static_cast<unsigned long long>(e.a1),
+                       static_cast<unsigned>(e.aux));
           break;
         case EventKind::kRingValidate:
           std::fprintf(f,
-                       ",\n{\"name\":\"ring/validate/%s\",\"ph\":\"i\","
+                       ",\n{\"name\":\"ring/validate/%s/s%llu\",\"ph\":\"i\","
                        "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
-                       "\"args\":{\"txn\":%u,\"watermark\":%llu}}",
-                       val_name(e.aux), t.tid, us_of(e.ns, base), e.txn,
-                       static_cast<unsigned long long>(e.a0));
+                       "\"args\":{\"txn\":%u,\"watermark\":%llu,\"shard\":%llu}}",
+                       val_name(e.aux), static_cast<unsigned long long>(e.a1),
+                       t.tid, us_of(e.ns, base), e.txn,
+                       static_cast<unsigned long long>(e.a0),
+                       static_cast<unsigned long long>(e.a1));
           break;
         case EventKind::kDoom:
           std::fprintf(f,
@@ -524,16 +534,26 @@ bool write_telemetry_json(const std::string& path, const TraceSummary& s,
                "  \"sub_htm\": {\"begins\": %llu, \"commits\": %llu, "
                "\"aborts\": %llu},\n"
                "  \"ring\": {\"publishes\": %llu, \"validates_ok\": %llu, "
-               "\"validates_conflict\": %llu, \"validates_rollover\": %llu},\n"
-               "  \"dooms\": %llu,\n"
-               "  \"global_aborts\": %llu,\n",
+               "\"validates_conflict\": %llu, \"validates_rollover\": %llu,\n"
+               "           \"publishes_by_shard\": [",
                static_cast<unsigned long long>(s.sub_begins),
                static_cast<unsigned long long>(s.sub_commits),
                static_cast<unsigned long long>(s.sub_aborts),
                static_cast<unsigned long long>(s.ring_publishes),
                static_cast<unsigned long long>(s.ring_validates[0]),
                static_cast<unsigned long long>(s.ring_validates[1]),
-               static_cast<unsigned long long>(s.ring_validates[2]),
+               static_cast<unsigned long long>(s.ring_validates[2]));
+  for (unsigned i = 0; i < TraceSummary::kRingShards; ++i)
+    std::fprintf(f, "%s%llu", i ? ", " : "",
+                 static_cast<unsigned long long>(s.ring_publishes_by_shard[i]));
+  std::fputs("], \"validates_by_shard\": [", f);
+  for (unsigned i = 0; i < TraceSummary::kRingShards; ++i)
+    std::fprintf(f, "%s%llu", i ? ", " : "",
+                 static_cast<unsigned long long>(s.ring_validates_by_shard[i]));
+  std::fprintf(f,
+               "]},\n"
+               "  \"dooms\": %llu,\n"
+               "  \"global_aborts\": %llu,\n",
                static_cast<unsigned long long>(s.dooms),
                static_cast<unsigned long long>(s.global_aborts));
   std::fputs("  \"fallbacks\": {", f);

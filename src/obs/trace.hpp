@@ -59,8 +59,10 @@ enum class EventKind : std::uint8_t {
   kSubBegin,       ///< a0 = segment index (partitioned path sub-HTM attempt)
   kSubCommit,      ///< a0 = segment index
   kSubAbort,       ///< a0 = segment index, aux = AbortCause
-  kRingPublish,    ///< a0 = ring timestamp, a1 = published signature popcount
-  kRingValidate,   ///< aux = ValResult (ok/conflict/rollover), a0 = watermark
+  kRingPublish,    ///< a0 = shard ring timestamp, a1 = published signature
+                   ///< popcount (shard-restricted), aux = shard id
+  kRingValidate,   ///< aux = ValResult (ok/conflict/rollover), a0 = shard
+                   ///< watermark, a1 = shard id
   kDoom,           ///< a0 = victim slot, aux = AbortCode, a1 = cache line
   kGlobalAbort,    ///< partitioned-path global abort (rollback + unlock)
   kFallback,       ///< aux = FallbackReason; 1:1 with record_fallback
@@ -182,8 +184,14 @@ struct TraceSummary {
   std::uint64_t sub_begins = 0;
   std::uint64_t sub_commits = 0;
   std::uint64_t sub_aborts = 0;
+  /// Commit-pipeline shard count (mirrors StatSheet::kRingShards, pinned
+  /// to Signature::kShards by a static_assert in core/part_htm.cpp; events
+  /// carrying a larger shard id are counted in the totals only).
+  static constexpr unsigned kRingShards = 4;
   std::uint64_t ring_publishes = 0;
   std::uint64_t ring_validates[3]{};  ///< by ValResult (ok/conflict/rollover)
+  std::uint64_t ring_publishes_by_shard[kRingShards]{};
+  std::uint64_t ring_validates_by_shard[kRingShards]{};
   std::uint64_t dooms = 0;
   std::uint64_t global_aborts = 0;
   std::uint64_t fallbacks[5]{};       ///< kFallback count by FallbackReason
@@ -273,14 +281,16 @@ bool finalize_from_env();
   ::phtm::obs::emit(::phtm::obs::EventKind::kSubAbort,     \
                     static_cast<std::uint8_t>(cause),      \
                     static_cast<std::uint64_t>(seg), 0)
-#define PHTM_TRACE_RING_PUBLISH(ts, bits)                  \
-  ::phtm::obs::emit(::phtm::obs::EventKind::kRingPublish, 0, \
+#define PHTM_TRACE_RING_PUBLISH(ts, bits, shard)           \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kRingPublish,  \
+                    static_cast<std::uint8_t>(shard),      \
                     static_cast<std::uint64_t>(ts),        \
                     static_cast<std::uint64_t>(bits))
-#define PHTM_TRACE_RING_VALIDATE(result, watermark)        \
+#define PHTM_TRACE_RING_VALIDATE(result, watermark, shard) \
   ::phtm::obs::emit(::phtm::obs::EventKind::kRingValidate, \
                     static_cast<std::uint8_t>(result),     \
-                    static_cast<std::uint64_t>(watermark), 0)
+                    static_cast<std::uint64_t>(watermark), \
+                    static_cast<std::uint64_t>(shard))
 #define PHTM_TRACE_DOOM(victim, code, line)                \
   ::phtm::obs::emit(::phtm::obs::EventKind::kDoom,         \
                     static_cast<std::uint8_t>(code),       \
@@ -306,8 +316,8 @@ bool finalize_from_env();
 #define PHTM_TRACE_SUB_BEGIN(seg) ((void)0)
 #define PHTM_TRACE_SUB_COMMIT(seg) ((void)0)
 #define PHTM_TRACE_SUB_ABORT(seg, cause) ((void)0)
-#define PHTM_TRACE_RING_PUBLISH(ts, bits) ((void)0)
-#define PHTM_TRACE_RING_VALIDATE(result, watermark) ((void)0)
+#define PHTM_TRACE_RING_PUBLISH(ts, bits, shard) ((void)0)
+#define PHTM_TRACE_RING_VALIDATE(result, watermark, shard) ((void)0)
 #define PHTM_TRACE_DOOM(victim, code, line) ((void)0)
 #define PHTM_TRACE_GLOBAL_ABORT() ((void)0)
 #define PHTM_TRACE_FALLBACK(reason) ((void)0)

@@ -63,6 +63,52 @@ class alignas(kCacheLineBytes) BloomSig {
         mix64(reinterpret_cast<std::uintptr_t>(addr) >> 6) % Bits);
   }
 
+  // --- sharding (sharded commit pipeline; DESIGN.md) ---
+  //
+  // The word space is split into kShards contiguous word groups; group s
+  // covers words [s*kWordsPerShard, (s+1)*kWordsPerShard). The default
+  // signature (32 words, 4 shards) puts exactly one cache line of filter in
+  // each shard, so per-shard structures (write-lock tables, ring slots)
+  // never share a filter line across shards. The address hash already
+  // scatters uniformly over the whole bit space, so the partition doubles
+  // as an address partition.
+
+  /// Number of commit-pipeline shards. Degenerates to 1 for signatures too
+  /// small to split (ablation sweeps instantiate BloomSig down to 64 bits).
+  static constexpr unsigned kShards = (kWords % 4 == 0) ? 4u : 1u;
+  static constexpr unsigned kWordsPerShard = kWords / kShards;
+
+  /// Occupancy-mask projection of shard `s`: which occupancy bits (= word
+  /// indices) belong to the shard.
+  static constexpr std::uint64_t shard_word_mask(unsigned s) noexcept {
+    constexpr std::uint64_t group =
+        kWordsPerShard >= 64 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << kWordsPerShard) - 1;
+    return group << (s * kWordsPerShard);
+  }
+
+  static constexpr unsigned shard_of_word(unsigned w) noexcept {
+    return w / kWordsPerShard;
+  }
+
+  /// Shard an address's signature bit lands in.
+  static unsigned shard_of(const void* addr) noexcept {
+    return shard_of_word(bit_of(addr) / 64);
+  }
+
+  /// Shard bitmap (bit s set <=> shard s intersected) of an occupancy mask.
+  static constexpr std::uint64_t shard_mask_of(std::uint64_t occ) noexcept {
+    std::uint64_t m = 0;
+    for (unsigned s = 0; s < kShards; ++s)
+      if (occ & shard_word_mask(s)) m |= std::uint64_t{1} << s;
+    return m;
+  }
+
+  /// Shards this signature's occupancy actually intersects. The occupancy
+  /// may be a conservative superset (shared signatures), so the result is a
+  /// superset too — safe for "which shards must I touch" decisions.
+  std::uint64_t shard_mask() const noexcept { return shard_mask_of(occ_); }
+
   void clear() noexcept {
     if (std::popcount(occ_) >= kDenseCutoff) {
       std::memset(words_, 0, sizeof(words_));
@@ -144,6 +190,16 @@ class alignas(kCacheLineBytes) BloomSig {
   unsigned popcount() const noexcept {
     unsigned n = 0;
     for (std::uint64_t m = occ_; m != 0; m &= m - 1)
+      n += static_cast<unsigned>(
+          __builtin_popcountll(words_[std::countr_zero(m)]));
+    return n;
+  }
+
+  /// Population restricted to the words selected by `word_mask` (per-shard
+  /// accounting on trace/publish records).
+  unsigned popcount(std::uint64_t word_mask) const noexcept {
+    unsigned n = 0;
+    for (std::uint64_t m = occ_ & word_mask; m != 0; m &= m - 1)
       n += static_cast<unsigned>(
           __builtin_popcountll(words_[std::countr_zero(m)]));
     return n;

@@ -42,12 +42,23 @@ struct HtmConfig {
 
   // --- topology ---
   bool hyperthread_pairs = false;  ///< HT siblings share an L1 when both txn
-  /// Sibling mapping: slot s pairs with s ^ ht_sibling_stride. Linux-style
-  /// enumeration on a 4c/8t part puts the second hyperthread of core k at
-  /// index k+4, so with <=4 threads no two share a core — the paper's
-  /// hyper-threading capacity effect appears only beyond 4 threads
-  /// (Fig. 5f).
+  /// Sibling mapping: the stride is the modeled core count. Linux-style
+  /// enumeration puts the second hyperthread of core k at slot k + stride,
+  /// so slot s pairs with s + stride when s % (2*stride) < stride and with
+  /// s - stride otherwise (ht_sibling_of below; works for any stride, not
+  /// just powers of two). On a 4c/8t part, with <=4 threads no
+  /// two share a core — the paper's hyper-threading capacity effect
+  /// appears only beyond 4 threads (Fig. 5f).
   unsigned ht_sibling_stride = 4;
+
+  /// Hyper-thread sibling of `slot` under this profile (see
+  /// ht_sibling_stride). Addition-based, correct for any stride — an XOR
+  /// only matches the Linux-style pairing for power-of-two strides.
+  unsigned ht_sibling_of(unsigned slot) const noexcept {
+    const unsigned stride = ht_sibling_stride;
+    if (stride == 0) return slot;
+    return (slot % (2 * stride)) < stride ? slot + stride : slot - stride;
+  }
 
   std::uint64_t seed = 1;
 
@@ -72,6 +83,38 @@ struct HtmConfig {
     return c;
   }
 
+  /// Same Xeon with hyper-threading on: 36 hardware contexts, siblings of
+  /// core k at index k + 18 (Linux-style enumeration, as in haswell4c8t).
+  /// The 16+-thread sweeps of the sharded commit pipeline run here and on
+  /// the sim*c profiles below.
+  static HtmConfig xeon18c36t() {
+    HtmConfig c = xeon18c();
+    c.hyperthread_pairs = true;
+    c.ht_sibling_stride = 18;
+    return c;
+  }
+
+  /// Synthetic 32-context flat machine (no HT pairing): per-socket shared
+  /// cache scaled with the core count so the read budget per context
+  /// matches xeon18c at equal occupancy.
+  static HtmConfig sim32c() {
+    HtmConfig c;
+    c.hyperthread_pairs = false;
+    c.read_lines_cap = 180'000;
+    return c;
+  }
+
+  /// Synthetic 64-context flat machine — the largest profile the runtime
+  /// supports (kMaxSlots = 64 reader-bitmap bits). Used by the thread-sweep
+  /// benches to drive the monitor table and the sharded ring at full
+  /// occupancy.
+  static HtmConfig sim64c() {
+    HtmConfig c;
+    c.hyperthread_pairs = false;
+    c.read_lines_cap = 360'000;
+    return c;
+  }
+
   /// Deterministic profile for unit tests: no random aborts, generous
   /// duration so only the knob under test fires.
   static HtmConfig testing() {
@@ -84,10 +127,14 @@ struct HtmConfig {
   static HtmConfig by_name(const std::string& name) {
     if (name == "haswell4c8t") return haswell4c8t();
     if (name == "xeon18c") return xeon18c();
+    if (name == "xeon18c36t") return xeon18c36t();
+    if (name == "sim32c") return sim32c();
+    if (name == "sim64c") return sim64c();
     if (name == "testing") return testing();
     throw std::invalid_argument(
         "unknown HTM profile \"" + name +
-        "\" (valid: haswell4c8t, xeon18c, testing)");
+        "\" (valid: haswell4c8t, xeon18c, xeon18c36t, sim32c, sim64c, "
+        "testing)");
   }
 };
 

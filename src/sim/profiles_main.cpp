@@ -21,12 +21,14 @@ void dump(const char* name, const phtm::sim::HtmConfig& c, bool last) {
       "   \"read_lines_cap\": %u,\n"
       "   \"scale_read_cap_with_conc\": %s,\n"
       "   \"tick_budget\": %llu,\n"
-      "   \"hyperthread_pairs\": %s\n"
+      "   \"hyperthread_pairs\": %s,\n"
+      "   \"ht_sibling_stride\": %u\n"
       "  }%s\n",
       name, c.write_lines_cap, c.assoc_sets, c.assoc_ways, c.read_lines_cap,
       c.scale_read_cap_with_conc ? "true" : "false",
       static_cast<unsigned long long>(c.tick_budget),
-      c.hyperthread_pairs ? "true" : "false", last ? "" : ",");
+      c.hyperthread_pairs ? "true" : "false", c.ht_sibling_stride,
+      last ? "" : ",");
 }
 
 }  // namespace
@@ -35,6 +37,9 @@ int main() {
   std::printf("{\n \"schema\": 1,\n \"profiles\": {\n");
   dump("haswell4c8t", phtm::sim::HtmConfig::haswell4c8t(), false);
   dump("xeon18c", phtm::sim::HtmConfig::xeon18c(), false);
+  dump("xeon18c36t", phtm::sim::HtmConfig::xeon18c36t(), false);
+  dump("sim32c", phtm::sim::HtmConfig::sim32c(), false);
+  dump("sim64c", phtm::sim::HtmConfig::sim64c(), false);
   dump("testing", phtm::sim::HtmConfig::testing(), true);
   std::printf(" }\n}\n");
   return 0;

@@ -70,17 +70,26 @@ void HtmRuntime::fault_hw_point(FaultSite site, unsigned slot) {
 #endif
 
 HtmRuntime::~HtmRuntime() {
-  // Overflow chunks are only ever appended (entry addresses must stay
-  // stable for lock-free readers), so the chains are freed exactly once,
-  // here, after every Thread has released its slot.
+  // A chunk lives either in exactly one bucket chain or, after
+  // locked_trim unlinked it, in the retired list — never both — so each
+  // is freed exactly once, here, after every Thread has released its slot.
   for (unsigned i = 0; i < kBucketCount; ++i) {
     MonChunk* c = buckets_[i].head.next.load(std::memory_order_acquire);
     while (c != nullptr) {
       MonChunk* next = c->next.load(std::memory_order_acquire);
       delete c;
+      // relaxed: monotonic statistics counter; orders nothing.
+      mon_chunks_freed_.fetch_add(1, std::memory_order_relaxed);
       c = next;
     }
   }
+  LockGuard<Spinlock> g(retire_lock_);
+  for (const RetiredChunk& r : retired_) {
+    delete r.chunk;
+    // relaxed: monotonic statistics counter; orders nothing.
+    mon_chunks_freed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  retired_.clear();
 }
 
 unsigned HtmRuntime::acquire_slot() {
@@ -100,8 +109,154 @@ void HtmRuntime::release_slot(unsigned slot) {
   slot_used_ &= ~bit_of_slot(slot);
 }
 
+unsigned HtmRuntime::bucket_index(std::uint64_t line) noexcept {
+  return static_cast<unsigned>(hash_line(line) & (kBucketCount - 1));
+}
+
 HtmRuntime::Bucket& HtmRuntime::bucket_of(std::uint64_t line) noexcept {
-  return buckets_[hash_line(line) & (kBucketCount - 1)];
+  return buckets_[bucket_index(line)];
+}
+
+void HtmRuntime::pin_epoch(unsigned slot) noexcept {
+  auto& ann = slots_[slot].reclaim_epoch;
+  std::uint64_t e = mon_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    // Announce-then-verify: the announcement must be globally visible
+    // before the epoch can advance past it, or a thread stalled between
+    // the load and the store could pin an epoch whose grace period has
+    // already elapsed. Both sides seq_cst, Dekker pair with the
+    // announcement scan in try_advance_epoch. The loop re-runs at most
+    // once per concurrent advance (advances are rare: one per trim).
+    ann.store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = mon_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) return;
+    e = now;
+  }
+}
+
+void HtmRuntime::unpin_epoch(unsigned slot) noexcept {
+  // release: everything this traversal read from bucket chains is ordered
+  // before the announcement clears (the advance scan acquires it).
+  slots_[slot].reclaim_epoch.store(0, std::memory_order_release);
+}
+
+// Reclamation step 2 of 3: one epoch advance. Succeeds only when every
+// slot's announcement is idle (0) or already at the current epoch — i.e.
+// no lock-free traversal that pinned an older epoch is still running. CAS
+// rather than fetch_add so racing advancers cannot skip an epoch, which
+// would cut a grace period short.
+bool HtmRuntime::try_advance_epoch() noexcept {
+  std::uint64_t e = mon_epoch_.load(std::memory_order_seq_cst);
+  for (unsigned s = 0; s < kMaxSlots; ++s) {
+    const std::uint64_t a =
+        slots_[s].reclaim_epoch.load(std::memory_order_seq_cst);
+    if (a != 0 && a != e) return false;
+  }
+  return mon_epoch_.compare_exchange_strong(e, e + 1,
+                                            std::memory_order_seq_cst);
+}
+
+// Reclamation step 3 of 3: delete every retired chunk stamped two or more
+// epochs behind. Advancing past the stamp epoch required every traversal
+// pinned at it to finish; advancing once more means any traversal pinned
+// since then started after the unlink and re-validates identities through
+// the tag seqlock anyway. Nothing can still hold a pointer in.
+void HtmRuntime::free_retired() {
+  const std::uint64_t global = mon_epoch_.load(std::memory_order_seq_cst);
+  LockGuard<Spinlock> g(retire_lock_);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i].epoch + 2 <= global) {
+      delete retired_[i].chunk;
+      // relaxed: monotonic statistics counter; orders nothing.
+      mon_chunks_freed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      retired_[kept++] = retired_[i];
+    }
+  }
+  retired_.resize(kept);
+}
+
+void HtmRuntime::mon_quiesce() {
+  for (int i = 0; i < 2; ++i)
+    if (!try_advance_epoch()) break;
+  free_retired();
+}
+
+// Reclamation step 1 of 3: find the longest suffix of `b`'s overflow chain
+// whose entries are all dead (no writer, no reader) or never claimed, cut
+// it out of the chain and move its chunks to the retired list stamped with
+// the current epoch. Only whole suffixes go, so the claimed-entry prefix
+// invariant survives; the head chunk is inline in the bucket and never
+// reclaimed. The suffix's internal next pointers stay intact — a reader
+// that loaded the old link before the cut may keep walking the dead
+// chunks until its grace period elapses.
+void HtmRuntime::locked_trim(Bucket& b) {
+  MonChunk* const first = b.head.next.load(std::memory_order_acquire);
+  if (first == nullptr) return;  // steady state: no overflow chunks
+  MonChunk* pred = &b.head;
+  MonChunk* cut_pred = nullptr;
+  for (MonChunk* c = first; c != nullptr;
+       c = c->next.load(std::memory_order_acquire)) {
+    bool dead = true;
+    for (auto& e : c->entries) {
+      if (e.tag.load(std::memory_order_acquire) == 0) break;  // unclaimed tail
+      if (e.writer.load(std::memory_order_acquire) != 0 ||
+          e.readers.load(std::memory_order_seq_cst) != 0) {
+        dead = false;
+        break;
+      }
+    }
+    if (!dead)
+      cut_pred = nullptr;
+    else if (cut_pred == nullptr)
+      cut_pred = pred;
+    pred = c;
+  }
+  if (cut_pred == nullptr) return;
+  MonChunk* const cut = cut_pred->next.load(std::memory_order_acquire);
+  // Identity seqlock, write side (the same Dekker pair as the retag path
+  // in locked_find_or_claim): flip every claimed entry in the suffix to an
+  // odd tag, then re-check its reader bitmap. A lock-free reader
+  // registering concurrently either left its bit visible to the re-check
+  // here, or sees the odd tag on its own re-check and undoes the bit.
+  for (MonChunk* c = cut; c != nullptr;
+       c = c->next.load(std::memory_order_acquire)) {
+    for (auto& e : c->entries) {
+      const std::uint32_t t0 = e.tag.load(std::memory_order_acquire);
+      if (t0 == 0) break;
+      e.tag.store(t0 + 1, std::memory_order_seq_cst);
+      if (e.readers.load(std::memory_order_seq_cst) != 0) {
+        // A late reader won the race: the suffix is live after all.
+        // Restore every tag we flipped to the next even value (so that
+        // reader's re-check still rejects and re-registers under the
+        // lock) and keep the chain as is.
+        e.tag.store(t0 + 2, std::memory_order_release);
+        for (MonChunk* u = cut; u != nullptr;
+             u = u->next.load(std::memory_order_acquire)) {
+          for (auto& r : u->entries) {
+            const std::uint32_t t = r.tag.load(std::memory_order_acquire);
+            if (t == 0) break;
+            if (t & 1u) r.tag.store(t + 1, std::memory_order_release);
+          }
+        }
+        return;
+      }
+    }
+  }
+  // Every suffix entry is odd-tagged with an empty reader bitmap: no
+  // lock-free registration can succeed against it any more, and writers
+  // would need this bucket lock. Unlink and retire.
+  cut_pred->next.store(nullptr, std::memory_order_release);
+  const std::uint64_t epoch = mon_epoch_.load(std::memory_order_seq_cst);
+  {
+    LockGuard<Spinlock> g(retire_lock_);
+    for (MonChunk* c = cut; c != nullptr;
+         c = c->next.load(std::memory_order_acquire))
+      retired_.push_back(RetiredChunk{c, epoch});
+  }
+  try_advance_epoch();
+  free_retired();
 }
 
 bool HtmRuntime::try_doom(unsigned victim, AbortCode code, std::uint64_t line) {
@@ -153,7 +308,7 @@ unsigned HtmRuntime::effective_write_cap(unsigned slot) const {
   unsigned cap = static_cast<unsigned>(cfg_.write_lines_cap /
                                        PHTM_FAULT_CAP_DIV(*this, slot));
   if (cfg_.hyperthread_pairs) {
-    const unsigned sibling = slot ^ cfg_.ht_sibling_stride;
+    const unsigned sibling = cfg_.ht_sibling_of(slot);
     // relaxed: capacity heuristic; a stale sibling flag only mis-sizes the
     // modelled cap for one attempt, it orders nothing.
     if (sibling < kMaxSlots && slots_[sibling].in_txn.load(std::memory_order_relaxed))
@@ -171,7 +326,7 @@ unsigned HtmRuntime::effective_read_cap(unsigned slot) const {
     cap /= (c == 0 ? 1 : c);
   }
   if (cfg_.hyperthread_pairs) {
-    const unsigned sibling = slot ^ cfg_.ht_sibling_stride;
+    const unsigned sibling = cfg_.ht_sibling_of(slot);
     // relaxed: capacity heuristic; a stale sibling flag only mis-sizes the
     // modelled cap for one attempt, it orders nothing.
     if (sibling < kMaxSlots && slots_[sibling].in_txn.load(std::memory_order_relaxed))
@@ -225,9 +380,12 @@ HtmRuntime::MonEntry& HtmRuntime::locked_find_or_claim(Bucket& b,
     MonEntry* target = dead != nullptr ? dead : unclaimed;
     if (target == nullptr) {
       // span-waiver: monitor-table growth is the simulator's conflict-
-      // detection infrastructure, not guest transactional state; chunks
-      // are never freed, so there is nothing to roll back.
+      // detection infrastructure, not guest transactional state; the chunk
+      // is published under the bucket lock and reclaimed only through the
+      // epoch scheme (locked_trim), so there is nothing to roll back.
       auto* c = new MonChunk;
+      // relaxed: monotonic statistics counter; orders nothing.
+      mon_chunks_allocated_.fetch_add(1, std::memory_order_relaxed);
       target = &c->entries[0];
       target->tag.store(1, std::memory_order_release);
       target->line.store(line, std::memory_order_release);
@@ -260,26 +418,34 @@ HtmRuntime::MonEntry& HtmRuntime::locked_find_or_claim(Bucket& b,
 
 bool HtmRuntime::fast_register_read(unsigned slot, std::uint64_t line) noexcept {
   Bucket& b = bucket_of(line);
+  // Pinned for the whole lock-free window: the probe may walk overflow
+  // chunks a concurrent locked_trim unlinks, and the undo below touches
+  // the entry again after the identity re-check fails. Until the unpin,
+  // no chunk retired under this (or a later) epoch can be freed.
+  pin_epoch(slot);
+  bool ok = false;
   std::uint32_t tag = 0;
-  MonEntry* e = probe_entry(b, line, tag);
-  if (e == nullptr) return false;
-  const std::uint64_t bit = bit_of_slot(slot);
-  e->readers.fetch_or(bit, std::memory_order_seq_cst);
-  // Dekker pair with the locked write path: a registering writer stores
-  // `writer` before sweeping `readers`; we set our reader bit before
-  // loading `writer`. Both sides seq_cst, so at least one observes the
-  // other — a concurrent conflicting writer either dooms us or is seen
-  // here (and doomed on the locked path).
-  const std::uint32_t w = e->writer.load(std::memory_order_seq_cst);
-  if (e->tag.load(std::memory_order_seq_cst) != tag) {
-    // The entry changed identity under us: the bit may sit in an entry now
-    // monitoring a different line, where nothing would ever clear it. Undo
-    // and re-register under the bucket lock.
-    e->readers.fetch_and(~bit, std::memory_order_acq_rel);
-    return false;
+  if (MonEntry* e = probe_entry(b, line, tag)) {
+    const std::uint64_t bit = bit_of_slot(slot);
+    e->readers.fetch_or(bit, std::memory_order_seq_cst);
+    // Dekker pair with the locked write path: a registering writer stores
+    // `writer` before sweeping `readers`; we set our reader bit before
+    // loading `writer`. Both sides seq_cst, so at least one observes the
+    // other — a concurrent conflicting writer either dooms us or is seen
+    // here (and doomed on the locked path).
+    const std::uint32_t w = e->writer.load(std::memory_order_seq_cst);
+    if (e->tag.load(std::memory_order_seq_cst) != tag) {
+      // The entry changed identity under us: the bit may sit in an entry
+      // now monitoring a different line, where nothing would ever clear
+      // it. Undo and re-register under the bucket lock.
+      e->readers.fetch_and(~bit, std::memory_order_acq_rel);
+    } else {
+      // A conflicting writer must be doomed under the lock.
+      ok = (w == 0 || w - 1 == slot);
+    }
   }
-  if (w != 0 && w - 1 != slot) return false;  // dooming requires the lock
-  return true;
+  unpin_epoch(slot);
+  return ok;
 }
 
 void HtmRuntime::register_read_line(unsigned slot, std::uint64_t line) {
@@ -352,23 +518,31 @@ void HtmRuntime::unregister_lines(unsigned slot) {
     Bucket& b = bucket_of(line);
     if (!(s.lines.flags_of(line) & LineSet::kWrite)) {
       // Read-only line: clear the reader bit lock-free. While our bit is
-      // set the entry cannot be retagged (retags require readers == 0), so
-      // the probe either finds the line's entry or the bit is already gone
-      // (cleared by a dooming writer after it doomed us).
+      // set the entry cannot be retagged or trimmed (both require
+      // readers == 0), so the probe either finds the line's entry or the
+      // bit is already gone (cleared by a dooming writer after it doomed
+      // us) — but chunks *before* ours in the chain may be trim
+      // candidates, so the walk itself needs the epoch pin.
+      pin_epoch(slot);
       std::uint32_t tag = 0;
       if (MonEntry* e = probe_entry(b, line, tag)) {
         e->readers.fetch_and(~bit, std::memory_order_acq_rel);
       }
+      unpin_epoch(slot);
       continue;
     }
     LockGuard<Spinlock> g(b.lock);
     std::uint32_t tag = 0;
     MonEntry* e = probe_entry(b, line, tag);
-    if (e == nullptr) continue;
-    if (e->writer.load(std::memory_order_acquire) == slot + 1) {
-      e->writer.store(0, std::memory_order_release);
+    if (e != nullptr) {
+      if (e->writer.load(std::memory_order_acquire) == slot + 1) {
+        e->writer.store(0, std::memory_order_release);
+      }
+      e->readers.fetch_and(~bit, std::memory_order_acq_rel);
     }
-    e->readers.fetch_and(~bit, std::memory_order_acq_rel);
+    // This write-set entry just died; reclaim any fully-dead overflow
+    // suffix while the bucket lock is already held.
+    locked_trim(b);
   }
 }
 

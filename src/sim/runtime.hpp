@@ -59,6 +59,12 @@ struct alignas(kCacheLineBytes) Slot {
   // for commit or idle. Doomers CAS 0 -> packed; commit CASes 0 -> sentinel.
   std::atomic<std::uint64_t> doom{kCommitSentinel};
   std::atomic<bool> in_txn{false};
+  // Epoch announcement for monitor-table chunk reclamation: 0 = not inside
+  // a lock-free bucket-chain traversal; otherwise the global mon_epoch_
+  // value this slot pinned before traversing without the bucket lock. A
+  // nonzero lagging announcement blocks epoch advance, which keeps every
+  // retired chunk this traversal could still reference unreclaimed.
+  std::atomic<std::uint64_t> reclaim_epoch{0};
 
   // Private (owner-thread-only) transaction state.
   WriteBuf wbuf;
@@ -126,6 +132,28 @@ class HtmRuntime {
   std::uint64_t total_begins() const noexcept { return begins_.load(std::memory_order_relaxed); }
   std::uint64_t total_commits() const noexcept { return commits_.load(std::memory_order_relaxed); }
 
+  // Monitor-table chunk reclamation introspection (tests; DESIGN.md
+  // "Sharded commit pipeline", reclamation epochs).
+  // relaxed: monotonic statistics; read for reporting only.
+  std::uint64_t mon_chunks_allocated() const noexcept {
+    return mon_chunks_allocated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t mon_chunks_freed() const noexcept {
+    return mon_chunks_freed_.load(std::memory_order_relaxed);
+  }
+  /// Current reclamation epoch (starts at 1; advances only when no slot's
+  /// announcement lags behind it).
+  std::uint64_t mon_epoch() const noexcept {
+    return mon_epoch_.load(std::memory_order_seq_cst);
+  }
+  /// Advance the reclamation epoch as far as announcements allow and free
+  /// every retired chunk whose grace period has elapsed. Safe concurrently
+  /// (it may then free less); tests call it from quiescence for an exact
+  /// allocated == freed + live accounting.
+  void mon_quiesce();
+  /// Monitor-table bucket a line maps to (tests craft colliding lines).
+  static unsigned bucket_index(std::uint64_t line) noexcept;
+
 #if defined(PHTM_FAULTS) && PHTM_FAULTS
   /// Fault-injection engine, chaos builds only (nullptr when the config's
   /// plan is disabled).  Protocol-level hooks in core consult it directly;
@@ -150,11 +178,14 @@ class HtmRuntime {
     std::atomic<std::uint64_t> readers{0};  // bitmap over slots
   };
   /// Entry storage grows by chaining fixed chunks so entry addresses stay
-  /// stable for the runtime's lifetime — lock-free readers may hold an
-  /// entry pointer across a concurrent retag and rely on the tag seqlock,
-  /// never on deallocation order. Claimed entries form a prefix of the
-  /// chain (claims take the first unclaimed slot; retags reuse dead entries
-  /// in place), so scans stop at the first tag == 0.
+  /// stable while any traversal can reach them — lock-free readers may
+  /// hold an entry pointer across a concurrent retag and rely on the tag
+  /// seqlock for identity; chunk *memory* is protected by epoch-based
+  /// reclamation (pin_epoch / locked_trim below): a chunk is deleted only
+  /// two epoch advances after it was unlinked, and advances wait out every
+  /// pinned traversal. Claimed entries form a prefix of the chain (claims
+  /// take the first unclaimed slot; retags reuse dead entries in place),
+  /// so scans stop at the first tag == 0.
   struct alignas(kCacheLineBytes) MonChunk {
     static constexpr unsigned kEntries = 4;
     MonEntry entries[kEntries];
@@ -199,6 +230,24 @@ class HtmRuntime {
   /// path (first touch, identity churn, or a conflicting writer to doom).
   bool fast_register_read(unsigned slot, std::uint64_t line) noexcept;
 
+  // Epoch-based reclamation of overflow chunks (3-epoch EBR). Lock-free
+  // traversals pin the current epoch in their slot's announcement;
+  // locked_trim unlinks fully-dead suffix chunks and retires them under
+  // the current epoch; a retired chunk is deleted only after the epoch
+  // advanced twice past its stamp (try_advance_epoch refuses to advance
+  // while any announcement lags), i.e. after every traversal that could
+  // still hold a pointer into it has unpinned.
+  void pin_epoch(unsigned slot) noexcept;
+  void unpin_epoch(unsigned slot) noexcept;
+  /// Unlink and retire the longest fully-dead suffix of `b`'s overflow
+  /// chain (claimed entries stay a prefix: only whole dead tails go).
+  void locked_trim(Bucket& b) PHTM_REQUIRES(b.lock);
+  /// One epoch advance; false when a lagging announcement (or a raced
+  /// advance) blocks it.
+  bool try_advance_epoch() noexcept;
+  /// Delete retired chunks whose stamp is >= 2 epochs old.
+  void free_retired();
+
   /// Doom `victim` with cause `code` on `line`. Returns false iff the victim
   /// has latched its commit and can no longer be doomed.
   bool try_doom(unsigned victim, AbortCode code, std::uint64_t line);
@@ -233,6 +282,20 @@ class HtmRuntime {
   alignas(kCacheLineBytes) std::atomic<unsigned> active_{0};
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> begins_{0};
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> commits_{0};
+
+  // --- monitor-table chunk reclamation (see pin_epoch above) ---
+  struct RetiredChunk {
+    MonChunk* chunk;
+    std::uint64_t epoch;  // mon_epoch_ value at retire time
+  };
+  // Own cache line: read (seq_cst) by every pin on the lock-free read
+  // fast path; sharing it with the retire list would put the retire
+  // lock's churn on that path.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> mon_epoch_{1};
+  Spinlock retire_lock_;
+  std::vector<RetiredChunk> retired_ PHTM_GUARDED_BY(retire_lock_);
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> mon_chunks_allocated_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> mon_chunks_freed_{0};
 
 #if defined(PHTM_FAULTS) && PHTM_FAULTS
   // Chaos flavor only: the member itself is compiled out elsewhere so the

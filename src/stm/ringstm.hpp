@@ -4,8 +4,11 @@
 // publishes its Bloom write signature into a circular ring, and readers
 // validate by intersecting their read signature with every ring entry that
 // appeared since their start time. The paper's PART-HTM borrows exactly
-// this ring (same size, same signatures), so this baseline shares the
-// Signature type with src/core.
+// this ring (same size, same signatures), so this baseline shares the ring
+// abstraction with src/core: the Signature type, the kBusy seqlock bit and
+// the ValResult verdict taxonomy all come from core::GlobalRing — only the
+// publication discipline differs (single-writer redo write-back here,
+// HTM/eager-write publication there).
 //
 // Implementation notes (standard RingSTM subtleties):
 //  - per-entry sequence numbers act as seqlocks: an entry is valid for
@@ -22,6 +25,7 @@
 
 #include <vector>
 
+#include "core/ring.hpp"
 #include "obs/trace.hpp"
 #include "sig/signature.hpp"
 #include "sim/writebuf.hpp"
@@ -91,7 +95,10 @@ class RingStmBackend final : public tm::Backend {
   }
 
  private:
-  static constexpr std::uint64_t kBusy = std::uint64_t{1} << 63;
+  // Shared ring vocabulary (see header comment): the busy bit and the
+  // validation verdicts are core::GlobalRing's, not a local reinvention.
+  static constexpr std::uint64_t kBusy = core::GlobalRing::kBusy;
+  using ValResult = core::ValResult;
 
   struct alignas(kCacheLineBytes) RingEntry {
     // shared-atomic: pure-software STM metadata — RingSTM never mixes these
@@ -142,14 +149,17 @@ class RingStmBackend final : public tm::Backend {
   RingEntry& entry_of(std::uint64_t ts) { return ring_[ts % ring_.size()]; }
 
   /// Validate the read signature against every commit since w.start and
-  /// advance the start time. Throws on conflict or ring rollover.
-  void check(W& w) {
+  /// advance the start time on success. Reports through the shared
+  /// core::ValResult taxonomy (kRollover covers slot reuse and window
+  /// overflow, exactly as in core::GlobalRing::validate); check() maps the
+  /// verdict onto this backend's abort causes.
+  ValResult validate_window(W& w) {
     // mc-yield: the timestamp read anchors the validation window against
     // concurrent commit reservations.
     PHTM_MC_YIELD(kRawLoad, &timestamp_.value);
     const std::uint64_t ts = timestamp_.value.load(std::memory_order_acquire);
-    if (ts == w.start) return;
-    if (ts - w.start >= ring_.size()) throw StmAbort{AbortCause::kOther};
+    if (ts == w.start) return ValResult::kOk;
+    if (ts - w.start >= ring_.size()) return ValResult::kRollover;
     for (std::uint64_t i = w.start + 1; i <= ts; ++i) {
       RingEntry& e = entry_of(i);
       // mc-yield: seqlock read side — races the entry's (re)publisher.
@@ -157,7 +167,7 @@ class RingStmBackend final : public tm::Backend {
       for (;;) {
         const std::uint64_t s = e.seq.load(std::memory_order_acquire);
         if (s == i) break;
-        if ((s & ~kBusy) > i) throw StmAbort{AbortCause::kOther};  // reused
+        if ((s & ~kBusy) > i) return ValResult::kRollover;  // slot reused
         // mc-yield: waiting out an in-flight publication; only the
         // publisher can complete the entry, so force a deschedule.
         PHTM_MC_SPIN(&e.seq);
@@ -174,7 +184,7 @@ class RingStmBackend final : public tm::Backend {
       const bool hit = e.sig.atomic_intersects(w.rsig);
       PHTM_MC_YIELD(kRawLoad, &e.seq);  // mc-yield: seqlock recheck
       if (e.seq.load(std::memory_order_acquire) != i)
-        throw StmAbort{AbortCause::kOther};  // torn: slot reused mid-check
+        return ValResult::kRollover;  // torn: slot reused mid-check
       if (hit) {
 #if defined(PHTM_MC) && PHTM_MC
         // Fair-schedule reduction (mc builds only). A conflicting retry
@@ -191,7 +201,7 @@ class RingStmBackend final : public tm::Backend {
           cpu_relax();
         }
 #endif
-        throw StmAbort{AbortCause::kConflict};
+        return ValResult::kConflict;
       }
     }
     // Advance only past fully written-back commits: an entry between
@@ -211,6 +221,16 @@ class RingStmBackend final : public tm::Backend {
     // CAS while its predecessor's write-back was still in flight.
     if (mc_fault_torn_writeback) w.start = ts;
 #endif
+    return ValResult::kOk;
+  }
+
+  /// Throwing wrapper: kConflict aborts with the conflict cause, kRollover
+  /// with kOther (execute() counts kOther as a ring rollover).
+  void check(W& w) {
+    const ValResult v = validate_window(w);
+    if (v != ValResult::kOk)
+      throw StmAbort{v == ValResult::kConflict ? AbortCause::kConflict
+                                               : AbortCause::kOther};
   }
 
   std::uint64_t tx_read(W& w, const std::uint64_t* addr) {

@@ -87,6 +87,11 @@ inline const char* to_string(FallbackReason r) {
 /// stay plain uint64_t so offline aggregation (operator+=, tests) keeps
 /// reading them directly once the writers are joined.
 struct alignas(kCacheLineBytes) StatSheet {
+  /// Commit-pipeline shard count mirrored here (util/ cannot include
+  /// sig/signature.hpp without a layering inversion); a static_assert in
+  /// core/part_htm.cpp pins the two together.
+  static constexpr unsigned kRingShards = 4;
+
   std::uint64_t aborts[static_cast<unsigned>(AbortCause::kCauseCount)]{};
   std::uint64_t commits[static_cast<unsigned>(CommitPath::kPathCount)]{};
   std::uint64_t sub_htm_commits{};   ///< committed sub-HTM transactions
@@ -94,6 +99,11 @@ struct alignas(kCacheLineBytes) StatSheet {
   std::uint64_t global_aborts{};     ///< partitioned-path global aborts
   std::uint64_t validations{};       ///< in-flight validations executed
   std::uint64_t ring_rollovers{};    ///< aborts due to ring overflow
+  /// Per-shard software ring publications (slot fills at global commit).
+  std::uint64_t ring_publishes_by_shard[kRingShards]{};
+  /// Per-shard ring scans: shards a validation pass actually intersected
+  /// (empty-shard watermark advances are free and not counted).
+  std::uint64_t ring_validates_by_shard[kRingShards]{};
   std::uint64_t fallbacks[static_cast<unsigned>(FallbackReason::kReasonCount)]{};
 
   void record_abort(AbortCause c) noexcept {
@@ -110,6 +120,12 @@ struct alignas(kCacheLineBytes) StatSheet {
   void add_global_abort() noexcept { bump(&global_aborts); }
   void add_validation() noexcept { bump(&validations); }
   void add_ring_rollover() noexcept { bump(&ring_rollovers); }
+  void add_ring_publish(unsigned shard) noexcept {
+    bump(&ring_publishes_by_shard[shard]);
+  }
+  void add_ring_validate(unsigned shard) noexcept {
+    bump(&ring_validates_by_shard[shard]);
+  }
 
   /// Torn-read-safe copy for a drainer polling a live sheet: every field is
   /// read with a relaxed atomic load, pairing with bump()'s stores. Counts
@@ -126,6 +142,10 @@ struct alignas(kCacheLineBytes) StatSheet {
     s.global_aborts = read(&global_aborts);
     s.validations = read(&validations);
     s.ring_rollovers = read(&ring_rollovers);
+    for (unsigned i = 0; i < kRingShards; ++i) {
+      s.ring_publishes_by_shard[i] = read(&ring_publishes_by_shard[i]);
+      s.ring_validates_by_shard[i] = read(&ring_validates_by_shard[i]);
+    }
     for (unsigned i = 0; i < static_cast<unsigned>(FallbackReason::kReasonCount); ++i)
       s.fallbacks[i] = read(&fallbacks[i]);
     return s;
@@ -152,6 +172,10 @@ struct alignas(kCacheLineBytes) StatSheet {
     global_aborts += o.global_aborts;
     validations += o.validations;
     ring_rollovers += o.ring_rollovers;
+    for (unsigned i = 0; i < kRingShards; ++i) {
+      ring_publishes_by_shard[i] += o.ring_publishes_by_shard[i];
+      ring_validates_by_shard[i] += o.ring_validates_by_shard[i];
+    }
     for (unsigned i = 0; i < static_cast<unsigned>(FallbackReason::kReasonCount); ++i)
       fallbacks[i] += o.fallbacks[i];
     return *this;

@@ -78,6 +78,86 @@ TEST(ChaosInjectors, RingWraparoundPressureDegradesGracefully) {
   EXPECT_LE(h.total_aborts(), kAbortsPerTxnBound * kThreads * kRounds);
 }
 
+/// Per-shard wraparound at full occupancy: 16 threads, 8-entry shard
+/// rings, ring-pressure burning a slot in *every* shard at each
+/// sub-transaction boundary, and half of all hardware commits bounced to
+/// the partitioned path. Every transaction increments counters in two
+/// *different* commit-pipeline shards, so commits keep exercising the
+/// cross-shard reserve-all/validate-all protocol while each shard's ring
+/// rolls over independently underneath the validators. Correctness is
+/// checked by conservation instead of a round history — the sequential
+/// witness search is n! in transactions per round and does not scale to
+/// 16 — which still catches the failure modes wraparound can cause: a
+/// validator reading a reused slot as live loses an update, and a commit
+/// serialized differently in its two shards double-applies or drops one.
+TEST(ChaosInjectors, PerShardWraparoundAt16ThreadsKeepsConservation) {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  cfg.faults.seed = chaos_seed();
+  cfg.faults.add({FaultSite::kHwCommit, FaultKind::kAbortCapacity,
+                  /*thread_mask=*/~std::uint64_t{0}, /*period=*/0,
+                  /*prob=*/0.5});
+  cfg.faults.add({FaultSite::kSubBoundary, FaultKind::kRingPressure,
+                  /*thread_mask=*/~std::uint64_t{0}, /*period=*/1});
+  tm::BackendConfig bcfg;
+  bcfg.ring_entries = 8;  // per shard: every shard wraps every round
+  sim::HtmRuntime rt(cfg);
+  core::PartHtmBackend backend(rt, bcfg,
+                               core::PartHtmBackend::Mode::kSerializable,
+                               /*no_fast=*/false);
+
+  // One counter line per commit-pipeline shard (the Bloom hash decides a
+  // line's shard; a 64-line pool always covers all four).
+  static constexpr unsigned kShards = core::ShardedRing::kShards;
+  auto* pool = tm::TmHeap::instance().alloc_array<std::uint64_t>(64 * 8);
+  std::uint64_t* counter[kShards] = {};
+  for (unsigned i = 0; i < 64; ++i) {
+    const unsigned s = Signature::shard_of(&pool[i * 8]);
+    if (counter[s] == nullptr) counter[s] = &pool[i * 8];
+  }
+  for (unsigned s = 0; s < kShards; ++s) {
+    ASSERT_NE(counter[s], nullptr) << "no pool line hashed into shard " << s;
+    *counter[s] = 0;
+  }
+
+  struct Env {
+    std::uint64_t* const* counter;
+  } env{counter};
+  struct L {
+    std::uint64_t a, b;
+  };
+
+  constexpr unsigned kThreads = 16, kPer = 30;
+  run_threads(kThreads, [&](unsigned tid) {
+    auto w = backend.make_worker(tid);
+    for (unsigned i = 0; i < kPer; ++i) {
+      L l{(tid + i) % kShards, (tid + i + 1) % kShards};
+      tm::Txn t;
+      t.step = +[](tm::Ctx& c, const void* e, void* lp, unsigned seg) {
+        const auto* cs = static_cast<const Env*>(e)->counter;
+        const auto* loc = static_cast<const L*>(lp);
+        std::uint64_t* cell = cs[seg == 0 ? loc->a : loc->b];
+        c.write(cell, c.read(cell) + 1);
+        return seg == 0;
+      };
+      t.env = &env;
+      t.locals = &l;
+      t.locals_bytes = sizeof(l);
+      backend.execute(*w, t);
+    }
+    // Liveness: per-thread retry work stays bounded under the pressure.
+    EXPECT_LE(w->stats().total_aborts(), kAbortsPerTxnBound * kPer);
+  });
+
+  auto* eng = rt.fault_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_GT(eng->injected(FaultKind::kRingPressure), 0u);
+  EXPECT_GT(eng->injected(FaultKind::kAbortCapacity), 0u);
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < kShards; ++s) total += rt.nontx_load(counter[s]);
+  EXPECT_EQ(total, 2ull * kThreads * kPer)
+      << "a committed increment was lost under per-shard wraparound";
+}
+
 TEST(ChaosInjectors, GlockConvoyWithStalledHolderDrains) {
   sim::HtmConfig cfg = sim::HtmConfig::testing();
   cfg.faults.seed = chaos_seed();

@@ -84,6 +84,48 @@ TEST(GlobalRing, LimitBoundsValidationRange) {
   EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kConflict);
 }
 
+TEST(GlobalRing, RevokeSlotRetractsEntry) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  GlobalRing ring(8);
+  alignas(64) std::uint64_t obj[8];
+  Signature wsig;
+  wsig.add(&obj[0]);
+  // Fill-then-validate commit protocol: the entry is published before the
+  // publisher knows whether it commits...
+  const std::uint64_t ts = ring.reserve(rt);
+  ring.fill_slot(rt, ts, wsig);
+  Signature rsig;
+  rsig.add(&obj[0]);
+  std::uint64_t start = 0;
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kConflict);
+  // ...and a failed commit retracts it, so the rolled-back signature stops
+  // producing phantom conflicts while the watermark still advances.
+  ring.revoke_slot(rt, ts);
+  start = 0;
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kOk);
+  EXPECT_EQ(start, 1u);
+}
+
+TEST(GlobalRing, RevokeAfterSlotReclaimIsNoOp) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  GlobalRing ring(2);
+  alignas(64) std::uint64_t obj[8];
+  Signature empty, wsig;
+  wsig.add(&obj[0]);
+  const std::uint64_t ts1 = ring.reserve(rt);
+  ring.fill_slot(rt, ts1, empty);
+  ring.fill_slot(rt, ring.reserve(rt), empty);
+  const std::uint64_t ts3 = ring.reserve(rt);  // reuses ts1's slot
+  ring.fill_slot(rt, ts3, wsig);
+  // A late revocation of ts1 must not clobber the slot's new occupant.
+  ring.revoke_slot(rt, ts1);
+  Signature rsig;
+  rsig.add(&obj[0]);
+  std::uint64_t start = 2;
+  EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kConflict)
+      << "revoking a reclaimed slot must leave the new entry intact";
+}
+
 TEST(GlobalRing, HtmPublicationVisibleToValidators) {
   sim::HtmRuntime rt(sim::HtmConfig::testing());
   sim::HtmRuntime::Thread th(rt);
@@ -118,6 +160,116 @@ TEST(GlobalRing, ConcurrentCommittersGetUniqueOrderedSlots) {
   std::uint64_t start = rt.nontx_load(ring.timestamp_addr()) - 100;
   EXPECT_EQ(ring.validate(rt, start, rsig), ValResult::kOk);
   EXPECT_EQ(start, std::uint64_t{kThreads} * kPer);
+}
+
+// Probe `lines` (64 distinct cache lines) for one whose signature bit lands
+// in `shard`; the Bloom hash spreads lines across the word groups, so a
+// 64-line pool always covers all four shards.
+std::uint64_t* line_in_shard(std::uint64_t (&lines)[64][8], unsigned shard) {
+  for (auto& line : lines)
+    if (Signature::shard_of(&line[0]) == shard) return &line[0];
+  return nullptr;
+}
+
+TEST(ShardedRing, ShardMappingHelpers) {
+  // Word groups partition the signature: each word belongs to exactly one
+  // shard, the per-shard masks are disjoint and cover all words.
+  std::uint64_t all = 0;
+  for (unsigned s = 0; s < Signature::kShards; ++s) {
+    const std::uint64_t m = Signature::shard_word_mask(s);
+    EXPECT_EQ(all & m, 0u) << "shard word masks must be disjoint";
+    all |= m;
+  }
+  EXPECT_EQ(all, (Signature::kWords >= 64
+                      ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << Signature::kWords) - 1));
+  for (unsigned w = 0; w < Signature::kWords; ++w) {
+    const unsigned s = Signature::shard_of_word(w);
+    ASSERT_LT(s, Signature::kShards);
+    EXPECT_NE(Signature::shard_word_mask(s) & (std::uint64_t{1} << w), 0u);
+  }
+  // shard_mask_of reports exactly the intersected groups.
+  EXPECT_EQ(Signature::shard_mask_of(0), 0u);
+  EXPECT_EQ(Signature::shard_mask_of(Signature::shard_word_mask(0)), 1u);
+}
+
+TEST(ShardedRing, SignatureShardOfMatchesOccupancy) {
+  alignas(64) std::uint64_t lines[64][8];
+  for (unsigned s = 0; s < Signature::kShards; ++s) {
+    std::uint64_t* addr = line_in_shard(lines, s);
+    ASSERT_NE(addr, nullptr) << "no probe line hashed into shard " << s;
+    Signature sig;
+    sig.add(addr);
+    EXPECT_EQ(sig.shard_mask(), std::uint64_t{1} << s)
+        << "a single address must occupy exactly its own shard";
+  }
+}
+
+TEST(ShardedRing, PerShardRolloverIsIndependent) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  ShardedRing ring(4);
+  alignas(64) std::uint64_t lines[64][8];
+  std::uint64_t* in0 = line_in_shard(lines, 0);
+  std::uint64_t* in1 = line_in_shard(lines, 1);
+  ASSERT_NE(in0, nullptr);
+  ASSERT_NE(in1, nullptr);
+
+  // Roll shard 0's ring over (6 commits > 4 entries); shard 1 never moves.
+  Signature w0;
+  w0.add(in0);
+  for (int i = 0; i < 6; ++i)
+    ring.shard(0).fill_slot(rt, ring.shard(0).reserve(rt), w0,
+                            Signature::shard_word_mask(0));
+
+  Signature r0, r1;
+  r0.add(in0);
+  r1.add(in1);
+  std::uint64_t start = 0;
+  EXPECT_EQ(ring.shard(0).validate(rt, start, r0, ~std::uint64_t{0},
+                                   Signature::shard_word_mask(0)),
+            ValResult::kRollover)
+      << "a reader of shard 0 must see shard 0's rollover";
+  // The same reader against shard 1: nothing committed there, O(1) kOk.
+  start = 0;
+  EXPECT_EQ(ring.shard(1).validate(rt, start, r0, ~std::uint64_t{0},
+                                   Signature::shard_word_mask(1)),
+            ValResult::kOk)
+      << "shard 1's ring is untouched by shard 0's rollover";
+  EXPECT_EQ(start, 0u);
+  // A reader whose footprint lives wholly in shard 1 advances past shard
+  // 0's entire history in O(1): its masked occupancy there is empty.
+  start = 0;
+  EXPECT_EQ(ring.shard(0).validate(rt, start, r1, ~std::uint64_t{0},
+                                   Signature::shard_word_mask(0)),
+            ValResult::kOk)
+      << "masked-empty readers are immune to foreign-shard rollover";
+  EXPECT_EQ(start, 6u);
+}
+
+TEST(ShardedRing, HtmPublishTargetsOnlyIntersectedShards) {
+  sim::HtmRuntime rt(sim::HtmConfig::testing());
+  sim::HtmRuntime::Thread th(rt);
+  ShardedRing ring(8);
+  alignas(64) std::uint64_t lines[64][8];
+  std::uint64_t* in2 = line_in_shard(lines, 2);
+  ASSERT_NE(in2, nullptr);
+  Signature wsig;
+  wsig.add(in2);
+  const auto r = rt.attempt(th, [&](sim::HtmOps& ops) {
+    ring.publish_in_htm(ops, wsig, /*busy code=*/9);
+  });
+  ASSERT_TRUE(r.committed);
+  for (unsigned s = 0; s < ShardedRing::kShards; ++s)
+    EXPECT_EQ(rt.nontx_load(ring.timestamp_addr(s)), s == 2 ? 1u : 0u)
+        << "only the written shard's timestamp may advance (shard " << s
+        << ")";
+  // And the publication is visible to a validator of that shard.
+  Signature rsig;
+  rsig.add(in2);
+  std::uint64_t start = 0;
+  EXPECT_EQ(ring.shard(2).validate(rt, start, rsig, ~std::uint64_t{0},
+                                   Signature::shard_word_mask(2)),
+            ValResult::kConflict);
 }
 
 TEST(UndoLog, StagePromoteDiscard) {

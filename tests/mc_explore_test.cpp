@@ -51,6 +51,8 @@ INSTANTIATE_TEST_SUITE_P(Protocol, McScenarioClean,
                          ::testing::Values("fast_fast_ring", "part_vs_fast",
                                            "slow_quiesce", "undo_rollback",
                                            "opaque_zombie",
+                                           "two_shard_opacity",
+                                           "two_shard_writers",
                                            "ringstm_writeback"),
                          [](const auto& info) { return info.param; });
 

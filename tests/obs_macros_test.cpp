@@ -44,8 +44,8 @@ TEST(TraceMacrosCompiledOut, ArgumentsAreNeverEvaluated) {
   PHTM_TRACE_SUB_BEGIN(count(0u));
   PHTM_TRACE_SUB_COMMIT(count(0u));
   PHTM_TRACE_SUB_ABORT(count(0u), count(AbortCause::kCapacity));
-  PHTM_TRACE_RING_PUBLISH(count(0u), count(0u));
-  PHTM_TRACE_RING_VALIDATE(count(0u), count(0u));
+  PHTM_TRACE_RING_PUBLISH(count(0u), count(0u), count(0u));
+  PHTM_TRACE_RING_VALIDATE(count(0u), count(0u), count(0u));
   PHTM_TRACE_DOOM(count(0u), count(0u), count(0u));
   PHTM_TRACE_GLOBAL_ABORT();
   PHTM_TRACE_TXN_ENTER();

@@ -237,8 +237,26 @@ TEST_P(TraceStatsConsistency, EventCountsMatchAggregateCounters) {
   if (stats.total.global_aborts > 0) {
     EXPECT_EQ(ts.global_aborts, stats.total.global_aborts);
   }
-  EXPECT_EQ(ts.ring_validates[0] + ts.ring_validates[1] + ts.ring_validates[2],
-            stats.total.validations);
+  // Ring events are per *shard scanned*: one kRingValidate per shard a
+  // validation pass actually intersected (untouched shards advance silently)
+  // and one kRingPublish per written shard's slot fill — each 1:1 with the
+  // shard-aware StatSheet counters.
+  std::uint64_t ev_validates = 0;
+  for (unsigned v = 0; v < 3; ++v) ev_validates += ts.ring_validates[v];
+  std::uint64_t by_shard = 0;
+  for (unsigned s = 0; s < TraceSummary::kRingShards; ++s) {
+    by_shard += ts.ring_validates_by_shard[s];
+    EXPECT_EQ(ts.ring_validates_by_shard[s],
+              stats.total.ring_validates_by_shard[s])
+        << "ring validate scans, shard " << s;
+    EXPECT_EQ(ts.ring_publishes_by_shard[s],
+              stats.total.ring_publishes_by_shard[s])
+        << "ring publishes, shard " << s;
+  }
+  EXPECT_EQ(ev_validates, by_shard);
+  // A validation pass scans between zero and kRingShards shards.
+  EXPECT_LE(ev_validates,
+            stats.total.validations * TraceSummary::kRingShards);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, TraceStatsConsistency,

@@ -118,7 +118,7 @@ TEST(PartHtm, WriteLocksReleasedAfterPartitionedCommit) {
   };
   t.env = arr;
   be->execute(*w, t);
-  EXPECT_TRUE(be->write_locks().atomic_snapshot().empty())
+  EXPECT_TRUE(be->write_locks_empty())
       << "lock table must be clean after commit";
 }
 
@@ -212,7 +212,7 @@ TEST(PartHtm, SubHtmExhaustionRollsBackUndoLogAndRetractsLocks) {
     EXPECT_EQ(env.seen[i], 0u) << "execution " << i << " saw a leaked write";
   // Lock witness: the aborted attempt's write-lock bits were retracted (the
   // slow path takes no locks, so any residue is the aborted attempt's).
-  EXPECT_TRUE(be->write_locks().atomic_snapshot().empty())
+  EXPECT_TRUE(be->write_locks_empty())
       << "write-locks signature not retracted after global abort";
 }
 

@@ -367,6 +367,100 @@ TEST(RaceStress, StatSheetSnapshotVsLiveRecording) {
   EXPECT_EQ(final_s.validations, rounds);
 }
 
+/// 16-thread hammer on the sharded commit pipeline (DESIGN.md, "Sharded
+/// commit pipeline"): writers increment counter pairs living in *different*
+/// shards, so every software commit runs the cross-shard protocol —
+/// reserve a timestamp in both shard rings, validate every shard, fill
+/// both slots. Readers sum all four per-shard counters in one transaction.
+/// Invariants:
+///  - conservation: every committed increment survives (a lost update means
+///    two cross-shard commits serialized differently in different shards);
+///  - cross-shard atomicity: each commit adds exactly +1 to two counters,
+///    so every consistent snapshot's total is even — an odd sum means a
+///    reader validated shard A before and shard B after a commit that
+///    spanned both without being sent back.
+TEST(RaceStress, ShardedCrossShardCommitsStaySerializable) {
+  using phtm::core::ShardedRing;
+  static_assert(ShardedRing::kShards == 4,
+                "test maps one counter per commit-pipeline shard");
+  static constexpr unsigned kShards = ShardedRing::kShards;
+
+  // One counter line per shard, probed out of a heap pool (the Bloom hash
+  // decides the shard of a line).
+  auto* pool = phtm::tm::TmHeap::instance().alloc_array<std::uint64_t>(64 * 8);
+  std::uint64_t* counter[kShards] = {};
+  for (unsigned i = 0; i < 64; ++i) {
+    const unsigned s = Signature::shard_of(&pool[i * 8]);
+    if (counter[s] == nullptr) counter[s] = &pool[i * 8];
+  }
+  for (unsigned s = 0; s < kShards; ++s) {
+    ASSERT_NE(counter[s], nullptr) << "no pool line hashed into shard " << s;
+    *counter[s] = 0;
+  }
+
+  struct Env {
+    std::uint64_t* const* counter;
+  };
+  struct Locals {
+    unsigned a, b;       // incrementer: the two shards to bump
+    std::uint64_t sum;   // reader: snapshot total
+  };
+  Env env{counter};
+
+  // no-fast keeps every commit on the partitioned (software) path, where
+  // the cross-shard reservation/validation protocol lives.
+  phtm::test::BackendHarness h(phtm::tm::Algo::kPartHtmNoFast);
+  constexpr unsigned kThreads = 16;
+  constexpr unsigned kWriters = 12;
+  const unsigned rounds = stress_rounds() / 20;
+  std::vector<std::uint64_t> commits(kThreads, 0);
+  std::atomic<bool> torn{false};
+  h.run(kThreads, [&](unsigned tid, phtm::tm::Worker& w) {
+    Locals l{};
+    if (tid < kWriters) {
+      for (unsigned i = 0; i < rounds; ++i) {
+        l.a = (tid + i) % kShards;
+        l.b = (tid + i + 1) % kShards;  // always a *different* shard
+        phtm::tm::Txn t = phtm::test::make_txn(
+            +[](phtm::tm::Ctx& c, const void* e, void* lp, unsigned) {
+              const auto* cs = static_cast<const Env*>(e)->counter;
+              const auto* loc = static_cast<Locals*>(lp);
+              c.write(cs[loc->a], c.read(cs[loc->a]) + 1);
+              c.write(cs[loc->b], c.read(cs[loc->b]) + 1);
+              return false;
+            },
+            &env, &l, sizeof(l));
+        h.backend().execute(w, t);
+        commits[tid] += 1;
+      }
+    } else {
+      for (unsigned i = 0; i < rounds; ++i) {
+        phtm::tm::Txn t = phtm::test::make_txn(
+            +[](phtm::tm::Ctx& c, const void* e, void* lp, unsigned) {
+              const auto* cs = static_cast<const Env*>(e)->counter;
+              std::uint64_t sum = 0;
+              for (unsigned s = 0; s < kShards; ++s) sum += c.read(cs[s]);
+              static_cast<Locals*>(lp)->sum = sum;
+              return false;
+            },
+            &env, &l, sizeof(l));
+        h.backend().execute(w, t);
+        if (l.sum % 2 != 0) torn.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  EXPECT_FALSE(torn.load())
+      << "a reader observed an odd counter total: a cross-shard commit was "
+         "visible in one shard but not the other";
+  std::uint64_t expected = 0;
+  for (const auto c : commits) expected += 2 * c;
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < kShards; ++s)
+    total += h.runtime().nontx_load(counter[s]);
+  EXPECT_EQ(total, expected) << "a committed cross-shard increment was lost";
+}
+
 /// Validators must detect intersecting publications: with every writer
 /// publishing the same signature word a validator subscribed to, kOk may
 /// only be returned for an empty window.

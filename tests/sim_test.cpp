@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/runtime.hpp"
@@ -16,6 +17,30 @@ namespace {
 
 std::uint64_t* fresh_words(std::size_t n) {
   return tm::TmHeap::instance().alloc_array<std::uint64_t>(n);
+}
+
+TEST(Sim, HtSiblingMappingPairsLinuxStyleForAnyStride) {
+  // xeon18c36t's stride (18, the core count) is not a power of two: the
+  // mapping must still put core k's second hyperthread at slot k + 18
+  // (an XOR-based pairing gets e.g. 2<->16 wrong and pairs slots 32-35
+  // outside the 36 modeled contexts).
+  const HtmConfig c = HtmConfig::xeon18c36t();
+  ASSERT_EQ(c.ht_sibling_stride, 18u);
+  for (unsigned k = 0; k < 18; ++k) {
+    EXPECT_EQ(c.ht_sibling_of(k), k + 18);
+    EXPECT_EQ(c.ht_sibling_of(k + 18), k);
+  }
+  // Any slot the runtime can hand out maps to a distinct partner, and the
+  // pairing is an involution (slots past the modeled contexts tile the
+  // same 2*stride-block pattern).
+  for (unsigned s = 0; s < 64; ++s) {  // kMaxSlots
+    const unsigned sib = c.ht_sibling_of(s);
+    EXPECT_NE(sib, s);
+    EXPECT_EQ(c.ht_sibling_of(sib), s) << "slot " << s;
+  }
+  // The power-of-two haswell profile keeps its established pairing.
+  const HtmConfig h = HtmConfig::haswell4c8t();
+  for (unsigned k = 0; k < 4; ++k) EXPECT_EQ(h.ht_sibling_of(k), k + 4);
 }
 
 TEST(Sim, CommitPublishesWrites) {
@@ -292,6 +317,75 @@ TEST(Sim, CountersTrackBeginsAndCommits) {
   EXPECT_EQ(rt.active_txns(), 0u);
 }
 
+/// Probe `pool` (pool_lines distinct heap cache lines) for `want` lines
+/// that hash into one monitor bucket. Deterministic given the pool: with a
+/// mean of pool_lines/4096 lines per bucket, some bucket always reaches
+/// the small counts the reclamation tests need.
+std::vector<std::uint64_t*> colliding_lines(std::uint64_t* pool,
+                                            unsigned pool_lines,
+                                            unsigned want) {
+  std::unordered_map<unsigned, std::vector<std::uint64_t*>> per_bucket;
+  for (unsigned i = 0; i < pool_lines; ++i) {
+    auto& v = per_bucket[HtmRuntime::bucket_index(line_of(pool + i * 8))];
+    v.push_back(pool + i * 8);
+    if (v.size() == want) return v;
+  }
+  return {};
+}
+
+/// Epoch-based reclamation of monitor-table overflow chunks, deterministic
+/// path: 9 lines colliding in one monitor bucket chain two overflow chunks
+/// past the 4 inline head entries. (The lines share an L1 associativity set
+/// too — bucket index and set index both reduce the same line hash — so the
+/// transaction writes one line and *reads* the rest; read entries occupy
+/// the chain all the same.) After the entries die, a one-line write
+/// transaction's unregister runs the trailing trim with everything dead,
+/// unlinking + retiring the whole suffix, which two grace-period advances
+/// (mon_quiesce) then free. Re-claiming the same lines afterwards is the
+/// ABA regression: the rebuilt chain must publish correctly even when the
+/// allocator hands back the just-freed chunk memory.
+TEST(Sim, MonitorChunkEpochReclamation) {
+  HtmRuntime rt(HtmConfig::testing());
+  HtmRuntime::Thread th(rt);
+  constexpr unsigned kLines = 9;  // 4 inline + 4 + 1 => two overflow chunks
+  auto* pool = fresh_words(40960 * 8);
+  const std::vector<std::uint64_t*> lines = colliding_lines(pool, 40960, kLines);
+  ASSERT_EQ(lines.size(), kLines) << "probe pool too small to collide";
+
+  const auto alloc0 = rt.mon_chunks_allocated();
+  const auto freed0 = rt.mon_chunks_freed();
+  auto touch_all = [&](std::uint64_t v) {
+    const auto r = rt.attempt(th, [&](HtmOps& ops) {
+      ops.write(lines[0], v);
+      for (unsigned i = 1; i < kLines; ++i) ops.read(lines[i]);
+    });
+    ASSERT_TRUE(r.committed);
+  };
+  auto drain = [&] {
+    // One write in the hot bucket: its unregister's trim sees every entry
+    // dead (no iteration-order dependence) and unlinks the whole suffix.
+    const auto r =
+        rt.attempt(th, [&](HtmOps& ops) { ops.write(lines[0], 0); });
+    ASSERT_TRUE(r.committed);
+    rt.mon_quiesce();
+  };
+
+  touch_all(1);
+  const auto grown = rt.mon_chunks_allocated() - alloc0;
+  EXPECT_GE(grown, 2u) << "9 colliding live lines must chain overflow chunks";
+  drain();
+  EXPECT_EQ(rt.mon_chunks_freed() - freed0, grown)
+      << "a fully dead overflow chain survived trim + quiesce";
+
+  // ABA half: same lines again, through (likely reused) chunk memory.
+  touch_all(2);
+  EXPECT_EQ(rt.nontx_load(lines[0]), 2u) << "re-claimed line lost its write";
+  EXPECT_GE(rt.mon_chunks_allocated() - alloc0, 2 * grown)
+      << "the freed chain must be rebuilt from fresh chunks, not revived";
+  drain();
+  EXPECT_EQ(rt.mon_chunks_freed() - freed0, rt.mon_chunks_allocated() - alloc0);
+}
+
 // Stress: concurrent increments through raw HTM attempts must not lose
 // updates even under heavy doom/retry traffic (commit-latch correctness).
 TEST(SimStress, NoLostUpdatesUnderContention) {
@@ -335,6 +429,66 @@ TEST(SimStress, MixedTxAndNontxRmw) {
     }
   });
   EXPECT_EQ(*counter, std::uint64_t{kThreads} * kPer);
+}
+
+// Stress: overflow-chunk reclamation racing registration. Every thread
+// writes a rotating 6-line window of 12 lines that all collide into one
+// monitor bucket, so the bucket's chain keeps growing past its inline
+// entries, dying, getting trimmed and being rebuilt — concurrently with
+// the other threads' epoch-pinned lock-free probes of the same chain.
+// Conservation of the shared counter catches reclamation bugs directly: a
+// chunk freed under a live reader (use-after-free of its entries) or an
+// ABA'd entry (a stale claim surviving into a reused chunk) breaks the
+// doom protocol and loses an update.
+TEST(SimStress, MonitorReclamationChurnKeepsConservation) {
+  HtmConfig cfg = HtmConfig::testing();
+  cfg.seed = 31;
+  HtmRuntime rt(cfg);
+  auto* counter = fresh_words(1);
+  constexpr unsigned kCollide = 12;
+  auto* pool = fresh_words(65536 * 8);
+  const std::vector<std::uint64_t*> lines =
+      colliding_lines(pool, 65536, kCollide);
+  ASSERT_EQ(lines.size(), kCollide) << "probe pool too small to collide";
+
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPer = 1500;
+  std::vector<std::uint64_t> commits(kThreads, 0);
+  run_threads(kThreads, [&](unsigned tid) {
+    HtmRuntime::Thread th(rt);
+    std::uint64_t mine = 0;
+    for (unsigned i = 0; i < kPer; ++i) {
+      const unsigned base = i * 5 + tid;  // rotate the window per round
+      const auto r = rt.attempt(th, [&](HtmOps& ops) {
+        const std::uint64_t v = ops.read(counter);
+        for (unsigned k = 0; k < 6; ++k)
+          ops.write(lines[(base + k) % kCollide], v);
+        ops.write(counter, v + 1);
+      });
+      if (r.committed) ++mine;
+    }
+    commits[tid] = mine;
+  });
+
+  std::uint64_t expected = 0;
+  for (const auto c : commits) expected += c;
+  EXPECT_EQ(rt.nontx_load(counter), expected)
+      << "an update was lost under chunk-reclamation churn";
+  EXPECT_GT(rt.mon_chunks_allocated(), 0u)
+      << "the hammer never grew a chain — it is not testing reclamation";
+
+  // Deterministic drain: with the churn over every entry is dead, so one
+  // single-line write transaction's unregister runs the hot bucket's trim
+  // with no reader in flight and unlinks the whole overflow chain. After
+  // the quiesce every chunk ever allocated must be freed.
+  {
+    HtmRuntime::Thread th(rt);
+    const auto r =
+        rt.attempt(th, [&](HtmOps& ops) { ops.write(lines[0], 0); });
+    ASSERT_TRUE(r.committed);
+  }
+  rt.mon_quiesce();
+  EXPECT_EQ(rt.mon_chunks_freed(), rt.mon_chunks_allocated());
 }
 
 }  // namespace

@@ -17,7 +17,8 @@ diff cleanly::
       "schema": 1,
       "label": "...",            # from --label
       "commit": "...",           # git rev-parse HEAD (or "unknown")
-      "config": {"build_type": ..., "quick": ..., "max_threads": ...},
+      "config": {"build_type": ..., "quick": ..., "max_threads": ...,
+                 "threads": ...},
       "hotpath": {"BM_SigIntersectsMiss/4": {"ns_per_op": 0.52}, ...},
       "figures": [{"figure": ..., "metric": ..., "algo": ...,
                    "series": {"1": ..., "2": ...}}, ...],
@@ -204,6 +205,10 @@ def main():
                     help="fast smoke numbers (PHTM_QUICK=1, short min_time)")
     ap.add_argument("--max-threads", type=int, default=None,
                     help="cap the figure benches' thread sweep")
+    ap.add_argument("--threads", default=None, metavar="LIST",
+                    help="explicit thread-sweep axis for the figure benches, "
+                         "comma-separated (sets PHTM_BENCH_THREADS, e.g. "
+                         "'1,4,16,64'); replaces each figure's default sweep")
     ap.add_argument("--skip-figures", action="store_true",
                     help="hotpath micro-benchmarks only")
     args = ap.parse_args()
@@ -217,6 +222,8 @@ def main():
         env["PHTM_QUICK"] = "1"
     if args.max_threads is not None:
         env["PHTM_MAX_THREADS"] = str(args.max_threads)
+    if args.threads is not None:
+        env["PHTM_BENCH_THREADS"] = args.threads
 
     trace = trace_enabled(args.build_dir)
     telemetry = {} if trace else None
@@ -229,6 +236,7 @@ def main():
             "build_type": build_type(args.build_dir),
             "quick": bool(args.quick),
             "max_threads": args.max_threads,
+            "threads": args.threads,
             "trace": trace,
         },
         "hotpath": collect_hotpath(bench_dir, env,

@@ -71,6 +71,66 @@ class TraceViewSchema(unittest.TestCase):
             path.unlink()
 
 
+def instant(name: str, tid: int = 1) -> dict:
+    return {"name": name, "ph": "i", "s": "t", "pid": 0, "tid": tid, "ts": 0}
+
+
+class TraceViewShardCounters(unittest.TestCase):
+    """Per-shard ring reconciliation (sharded commit pipeline)."""
+
+    def test_shard_suffixed_vocabulary_accepted(self):
+        events = [meta_event(valid_meta_args(events=4, threads=1)),
+                  instant("ring/publish/s0"),
+                  instant("ring/validate/ok/s3"),
+                  instant("ring/validate/conflict/s1"),
+                  instant("ring/validate/rollover/s2")]
+        trace_view.validate_schema(events)
+
+    def test_unsuffixed_ring_names_rejected(self):
+        # src/obs/trace.cpp always stamps the shard; a bare name means the
+        # trace came from a build this tool does not understand.
+        for name in ("ring/publish", "ring/validate/ok"):
+            with self.assertRaises(trace_view.CheckFailure):
+                trace_view.validate_schema(
+                    [meta_event(valid_meta_args(events=1, threads=1)),
+                     instant(name)])
+
+    def check(self, meta_extra: dict, names: list[str]) -> list[str]:
+        meta = valid_meta_args(events=len(names), threads=1)
+        meta.update(meta_extra)
+        events = [meta_event(meta)] + [instant(n) for n in names]
+        trace_view.validate_schema(events)
+        return trace_view.check_counters(
+            meta, trace_view.count_names(events))
+
+    def test_per_shard_counters_reconcile(self):
+        lines = self.check(
+            {"stats_ring_publishes_s0": 2, "stats_ring_publishes_s1": 0,
+             "stats_ring_validates_s0": 3},
+            ["ring/publish/s0", "ring/publish/s0",
+             "ring/validate/ok/s0", "ring/validate/conflict/s0",
+             "ring/validate/rollover/s0"])
+        self.assertTrue(any("ring/validate/*/s0: 3" in l for l in lines))
+
+    def test_publish_mismatch_rejected(self):
+        with self.assertRaises(trace_view.CheckFailure) as ctx:
+            self.check({"stats_ring_publishes_s2": 5}, ["ring/publish/s2"])
+        self.assertIn("ring/publish/s2", str(ctx.exception))
+
+    def test_validate_sums_across_results_and_mismatch_rejected(self):
+        with self.assertRaises(trace_view.CheckFailure):
+            self.check({"stats_ring_validates_s1": 1},
+                       ["ring/validate/ok/s1", "ring/validate/conflict/s1"])
+
+    def test_drops_relax_to_upper_bound(self):
+        # dropped > 0: counted <= recorded passes, counted > recorded fails.
+        self.check({"dropped": 1, "stats_ring_publishes_s0": 4},
+                   ["ring/publish/s0"])
+        with self.assertRaises(trace_view.CheckFailure):
+            self.check({"dropped": 1, "stats_ring_publishes_s0": 0},
+                       ["ring/publish/s0"])
+
+
 def footprint_doc(**overrides) -> dict:
     span = {"qname": "f", "file": "src/core/a.cpp", "line": 1,
             "kind": "fast", "reads": {"lo": 0, "hi": 0},

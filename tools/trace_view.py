@@ -9,10 +9,11 @@ from raw events instead of aggregate counters.
 `--check` validates the file for CI: the JSON must parse, carry exactly one
 `phtm_meta` record (the tracer's exact loss accounting plus any aggregate
 counters the run registered via PHTM_TRACE_META), use only the known event
-vocabulary, and — the acceptance invariant — the per-cause abort totals and
-per-path commit totals counted from raw events must agree with the run's
-own `stats_*` counters: exact equality when `dropped == 0`, `<=` otherwise
-(a dropped event can only lose a count, never invent one).
+vocabulary, and — the acceptance invariant — the per-cause abort totals,
+per-path commit totals, and per-shard ring publish/validate totals counted
+from raw events must agree with the run's own `stats_*` counters: exact
+equality when `dropped == 0`, `<=` otherwise (a dropped event can only
+lose a count, never invent one).
 
 `--footprint FOOT.json [--profile NAME]` reconciles the trace against
 tools/tmfoot's static capacity analysis (`tmfoot.py --footprint-out`): if
@@ -38,6 +39,11 @@ CAUSES = ("conflict", "capacity", "explicit", "other")
 PATHS = ("HTM", "SW", "GL")
 REASONS = ("conflict_exhaustion", "partitioned_exhaustion", "starvation",
            "irrevocable", "quarantine")
+RING_RESULTS = ("ok", "conflict", "rollover")
+# Per-shard keys are stats_ring_publishes_s<k> / stats_ring_validates_s<k>;
+# the shard count comes from the keys the run registered, not a constant
+# here, so the tool keeps working if core::ShardedRing::kShards changes.
+RING_KEY_RE = re.compile(r"^stats_ring_(publishes|validates)_s(\d+)$")
 
 # Event-name vocabulary the C++ writer emits (src/obs/trace.cpp).
 NAME_RE = re.compile(
@@ -46,7 +52,7 @@ NAME_RE = re.compile(
     r"|abort/(conflict|capacity|explicit|other)"
     r"|path/(HTM|SW|GL)"
     r"|sub_begin|sub_commit|sub_abort"
-    r"|ring/publish|ring/validate/(ok|conflict|rollover)"
+    r"|ring/publish/s\d+|ring/validate/(ok|conflict|rollover)/s\d+"
     r"|doom/(none|conflict|capacity|explicit|other)"
     r"|fallback/(conflict_exhaustion|partitioned_exhaustion|starvation"
     r"|irrevocable|quarantine)"
@@ -231,6 +237,22 @@ def check_counters(meta: dict, names: Counter) -> list[str]:
             found_any = True
             compare(f"fallbacks/{reason}",
                     names.get(f"fallback/{reason}", 0), meta[key])
+    # Sharded commit pipeline: each shard's publish counter matches its
+    # ring/publish/s<k> instants, and its validate counter matches the sum
+    # over that shard's ok/conflict/rollover validation outcomes.
+    for key in sorted(meta):
+        m = RING_KEY_RE.match(key)
+        if not m:
+            continue
+        found_any = True
+        kind, shard = m.group(1), m.group(2)
+        if kind == "publishes":
+            compare(f"ring/publish/s{shard}",
+                    names.get(f"ring/publish/s{shard}", 0), meta[key])
+        else:
+            counted = sum(names.get(f"ring/validate/{r}/s{shard}", 0)
+                          for r in RING_RESULTS)
+            compare(f"ring/validate/*/s{shard}", counted, meta[key])
     if not found_any:
         lines.append("  (run registered no stats_* counters; "
                      "schema-only check)")
