@@ -1,0 +1,258 @@
+// Server soak — sustained-rate serving benchmark for the transaction
+// server (src/server), EXPERIMENTS.md "Server soak".
+//
+// An open-loop Poisson generator drives the five-phase schedule
+//   warmup -> sustained -> burst -> overload -> drain
+// against a TxnServer over PART-HTM on the simulated Haswell runtime.
+// Per phase it reports offered/accepted/committed/shed/rejected counts,
+// committed throughput, and the accepted-request latency tail (p50 /
+// p99 / p999, measured from the *scheduled* arrival instant — see
+// src/server/traffic.hpp on why closed-loop numbers would lie) against
+// the latency SLO.
+//
+// The process exit code judges only harness invariants (request
+// conservation), never the timings: like every bench here, wall-clock
+// results are for humans and BENCH_server.json, not for CI gating.
+//
+// Environment knobs (on top of bench_common's PHTM_QUICK):
+//   PHTM_SERVER_WORKERS   worker threads (default 2)
+//   PHTM_SERVER_RATE      sustained offered load, txn/s (default 4000)
+//   PHTM_SERVER_SLO_MS    p99 latency objective, ms (default 10)
+//   PHTM_SERVER_JSON      path: write the schema-1 server report
+//                         (tools/bench_report.py --server folds it into
+//                         BENCH_server.json)
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/nrw.hpp"
+#include "bench_common.hpp"
+#include "obs/trace.hpp"
+#include "server/server.hpp"
+#include "server/traffic.hpp"
+
+namespace {
+
+using namespace phtm;
+
+struct PhaseReport {
+  server::Phase phase;
+  std::uint64_t offered = 0;
+  server::PhaseTotals totals;
+  double throughput = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  bool slo_ok = true;
+};
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+// Register the run's aggregate counters with the tracer so the exported
+// trace carries them: trace_view.py --check reconciles abort/commit/
+// fallback event counts AND the server's shed/degrade events against
+// these (exact when nothing was dropped). No-op in plain builds.
+void register_trace_counters(const StatSheet& total,
+                             const server::ServerTotals& st) {
+  (void)total;
+  (void)st;  // plain builds: the PHTM_TRACE_META macros compile out
+  PHTM_TRACE_META("stats_aborts_conflict",
+                  total.aborts[static_cast<unsigned>(AbortCause::kConflict)]);
+  PHTM_TRACE_META("stats_aborts_capacity",
+                  total.aborts[static_cast<unsigned>(AbortCause::kCapacity)]);
+  PHTM_TRACE_META("stats_aborts_explicit",
+                  total.aborts[static_cast<unsigned>(AbortCause::kExplicit)]);
+  PHTM_TRACE_META("stats_aborts_other",
+                  total.aborts[static_cast<unsigned>(AbortCause::kOther)]);
+  PHTM_TRACE_META("stats_commits_HTM",
+                  total.commits[static_cast<unsigned>(CommitPath::kHtm)]);
+  PHTM_TRACE_META("stats_commits_SW",
+                  total.commits[static_cast<unsigned>(CommitPath::kSoftware)]);
+  PHTM_TRACE_META("stats_commits_GL",
+                  total.commits[static_cast<unsigned>(CommitPath::kGlobalLock)]);
+  for (unsigned r = 0; r < static_cast<unsigned>(FallbackReason::kReasonCount);
+       ++r) {
+    const std::string key = std::string("stats_fallbacks_") +
+                            to_string(static_cast<FallbackReason>(r));
+    PHTM_TRACE_META(key.c_str(), total.fallbacks[r]);
+  }
+  for (unsigned s = 0; s < StatSheet::kRingShards; ++s) {
+    const std::string suffix = std::string("_s") + std::to_string(s);
+    PHTM_TRACE_META((std::string("stats_ring_publishes") + suffix).c_str(),
+                    total.ring_publishes_by_shard[s]);
+    PHTM_TRACE_META((std::string("stats_ring_validates") + suffix).c_str(),
+                    total.ring_validates_by_shard[s]);
+  }
+  PHTM_TRACE_META("stats_server_sheds", st.shed);
+  for (unsigned i = 0;
+       i < static_cast<unsigned>(server::OverloadState::kStateCount); ++i) {
+    const std::string key =
+        std::string("stats_server_degrades_") +
+        server::to_string(static_cast<server::OverloadState>(i));
+    PHTM_TRACE_META(key.c_str(), st.degrades[i]);
+  }
+}
+
+void write_json(const char* path, unsigned workers, double slo_ms,
+                const std::vector<PhaseReport>& reps,
+                const server::ServerTotals& t, bool conservation_ok) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_server: cannot open PHTM_SERVER_JSON=%s\n",
+                 path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\"schema\":1,\"workers\":%u,\"slo_p99_ms\":%g,", workers,
+               slo_ms);
+  std::fprintf(f, "\"phases\":[");
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const PhaseReport& r = reps[i];
+    std::fprintf(
+        f,
+        "%s{\"name\":\"%s\",\"rate_tps\":%g,\"duration_s\":%g,"
+        "\"offered\":%" PRIu64 ",\"accepted\":%" PRIu64 ",\"committed\":%" PRIu64
+        ",\"shed\":%" PRIu64 ",\"rejected\":%" PRIu64
+        ",\"throughput\":%.6g,\"p50_us\":%.6g,\"p99_us\":%.6g,"
+        "\"p999_us\":%.6g,\"slo_ok\":%s}",
+        i ? "," : "", r.phase.name.c_str(), r.phase.rate_tps,
+        r.phase.duration_s, r.offered, r.totals.accepted, r.totals.committed,
+        r.totals.shed, r.totals.rejected, r.throughput, r.p50_us, r.p99_us,
+        r.p999_us, r.slo_ok ? "true" : "false");
+  }
+  std::fprintf(f,
+               "],\"totals\":{\"submitted\":%" PRIu64 ",\"accepted\":%" PRIu64
+               ",\"rejected\":%" PRIu64 ",\"committed\":%" PRIu64
+               ",\"shed\":%" PRIu64 ",\"degrades\":{",
+               t.submitted, t.accepted, t.rejected(), t.committed, t.shed);
+  for (unsigned i = 0;
+       i < static_cast<unsigned>(server::OverloadState::kStateCount); ++i)
+    std::fprintf(f, "%s\"%s\":%" PRIu64, i ? "," : "",
+                 server::to_string(static_cast<server::OverloadState>(i)),
+                 t.degrades[i]);
+  std::fprintf(f, "}},\"conservation_ok\":%s}\n",
+               conservation_ok ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  using namespace phtm;
+  const unsigned workers =
+      static_cast<unsigned>(bench::env_int("PHTM_SERVER_WORKERS", 2));
+  const double rate = bench::env_int("PHTM_SERVER_RATE", 4'000);
+  const double slo_ms = bench::env_int("PHTM_SERVER_SLO_MS", 10);
+  const bool quick = bench::env_int("PHTM_QUICK", 0) != 0;
+  const double unit_s = quick ? 0.3 : 2.0;
+
+  // The overload phase offers 6x the sustained rate: far past what the
+  // worker pool absorbs, so the pending queue fills and the controller
+  // must shed. The drain phase offers a trickle so the recovery
+  // (shedding -> degraded -> normal via the calm hysteresis) is visible.
+  const std::vector<server::Phase> phases{
+      {"warmup", rate, 0.25 * unit_s},  {"sustained", rate, unit_s},
+      {"burst", 3 * rate, 0.5 * unit_s}, {"overload", 6 * rate, unit_s},
+      {"drain", 0.25 * rate, 0.5 * unit_s},
+  };
+
+  sim::HtmRuntime rt(sim::HtmConfig::haswell4c8t());
+  auto backend = tm::make_backend(tm::Algo::kPartHtm, rt, {});
+
+  server::ServerConfig scfg;
+  scfg.workers = workers;
+  // The queue bound is the other half of the latency story: even when
+  // the controller is between states, an accepted request can wait at
+  // most capacity/service-rate in queue.
+  scfg.queue_capacity = 64;
+  scfg.limits.max_pending = 64;
+  // Shed bound well inside the SLO: whatever the server still executes
+  // under shedding spent at most a quarter of the objective in queue,
+  // leaving the rest for the service-time tail.
+  scfg.shed_delay_ns =
+      static_cast<std::uint64_t>(slo_ms * 1e6 / 4.0);
+  // Slower de-escalation than the library default: a soak's overload
+  // phase has brief calm windows (generator catch-up gaps), and stepping
+  // down on each one thrashes the degrade toggle and lets stale backlog
+  // through between shedding windows.
+  scfg.overload.cool_polls = 10;
+  server::TxnServer srv(*backend, scfg);
+
+  // Heavier than Fig. 3a: a read footprint big enough that the hardware
+  // fast path sees genuine capacity pressure (the degrade trigger's
+  // signal) and per-request service time is long enough that the
+  // overload phase actually outruns the worker pool (the shed trigger).
+  apps::NrwApp::Config acfg;
+  acfg.n_reads = 2000;
+  acfg.m_writes = 100;
+  apps::NrwApp app(acfg, workers);
+  srv.start();
+  const std::vector<std::uint64_t> offered = server::run_open_loop(
+      phases, /*seed=*/42,
+      [&](unsigned phase, std::uint64_t sched_ns) {
+        apps::NrwApp::Locals l;
+        // Round-robin the disjoint write slices across requests; the
+        // server copies the locals, so the stack instance may die.
+        const tm::Txn txn =
+            app.make_txn(static_cast<unsigned>(sched_ns) % workers, l);
+        srv.submit(txn, phase, sched_ns);
+      },
+      [&](unsigned phase) {
+        std::fprintf(stderr, "bench_server: phase %s (%.0f tps, %.2fs)\n",
+                     phases[phase].name.c_str(), phases[phase].rate_tps,
+                     phases[phase].duration_s);
+      });
+  srv.stop();
+
+  const server::ServerTotals totals = srv.counters();
+  const StatSheet sheet = srv.backend_stats();
+
+  std::vector<PhaseReport> reps;
+  for (unsigned p = 0; p < phases.size(); ++p) {
+    PhaseReport r;
+    r.phase = phases[p];
+    r.offered = offered[p];
+    r.totals = srv.phase_totals(p);
+    r.throughput =
+        static_cast<double>(r.totals.committed) / phases[p].duration_s;
+    r.p50_us = us(r.totals.latency_ns.quantile(0.50));
+    r.p99_us = us(r.totals.latency_ns.quantile(0.99));
+    r.p999_us = us(r.totals.latency_ns.quantile(0.999));
+    r.slo_ok = r.totals.committed == 0 || r.p99_us <= slo_ms * 1000.0;
+    reps.push_back(r);
+  }
+
+  std::printf("\n=== Server soak: PART-HTM, %u workers, SLO p99 <= %g ms ===\n",
+              workers, slo_ms);
+  Table tbl({"phase", "offered", "accepted", "committed", "shed", "rejected",
+             "tx/s", "p50_us", "p99_us", "p999_us", "SLO"});
+  for (const PhaseReport& r : reps)
+    tbl.add_row({r.phase.name, std::to_string(r.offered),
+                 std::to_string(r.totals.accepted),
+                 std::to_string(r.totals.committed),
+                 std::to_string(r.totals.shed),
+                 std::to_string(r.totals.rejected),
+                 Table::num(r.throughput, 0), Table::num(r.p50_us, 1),
+                 Table::num(r.p99_us, 1), Table::num(r.p999_us, 1),
+                 r.slo_ok ? "ok" : "MISS"});
+  tbl.print();
+  std::printf("totals: submitted=%" PRIu64 " accepted=%" PRIu64
+              " rejected=%" PRIu64 " committed=%" PRIu64 " shed=%" PRIu64
+              " degrades(normal/degraded/shedding)=%" PRIu64 "/%" PRIu64
+              "/%" PRIu64 "\n",
+              totals.submitted, totals.accepted, totals.rejected(),
+              totals.committed, totals.shed, totals.degrades[0],
+              totals.degrades[1], totals.degrades[2]);
+
+  // Harness invariants — the only thing the exit code judges.
+  const bool conservation_ok =
+      totals.submitted == totals.accepted + totals.rejected() &&
+      totals.accepted == totals.committed + totals.shed;
+  if (!conservation_ok)
+    std::fprintf(stderr, "bench_server: REQUEST CONSERVATION VIOLATED\n");
+
+  if (const char* path = std::getenv("PHTM_SERVER_JSON");
+      path != nullptr && *path != '\0')
+    write_json(path, workers, slo_ms, reps, totals, conservation_ok);
+
+  register_trace_counters(sheet, totals);
+  return conservation_ok ? 0 : 1;
+}

@@ -800,7 +800,7 @@ void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
   // The transaction's step function identifies its site for the
   // degradation heuristics (one logical transaction type per call site).
   SiteState& site = sites_.of(reinterpret_cast<const void*>(txn.step));
-  if (!no_fast_) {
+  if (!no_fast_ && !degraded()) {
     if (site.should_skip_fast(cfg_.policy)) {
       // Quarantined site (persistent hardware failure): go straight to
       // the software paths until a probe re-admits it.

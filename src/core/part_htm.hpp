@@ -39,6 +39,21 @@ class PartHtmBackend final : public tm::Backend {
   std::unique_ptr<tm::Worker> make_worker(unsigned tid) override;
   void execute(tm::Worker& w, const tm::Txn& txn) override;
 
+  /// Overload-controller degrade hook (tm::Backend): while set, every
+  /// transaction skips the hardware fast path and runs force-partitioned —
+  /// the same routing as the no-fast construction flavor, but toggled at
+  /// runtime by the serving layer's controller thread.
+  void set_degraded(bool on) noexcept override {
+    // relaxed: advisory path-selection flag — a worker that misses the
+    // flip by one transaction merely burns (or skips) one more fast
+    // attempt; no protocol ordering runs through it.
+    degraded_.store(on ? 1u : 0u, std::memory_order_relaxed);
+  }
+  bool degraded() const noexcept override {
+    // relaxed: see set_degraded.
+    return degraded_.load(std::memory_order_relaxed) != 0;
+  }
+
   // Introspection for tests/benches.
   const Signature& write_locks(unsigned shard) const noexcept {
     return write_locks_[shard];
@@ -125,6 +140,11 @@ class PartHtmBackend final : public tm::Backend {
   Padded<std::uint64_t> gl_ticket_{0};   ///< next ticket to hand out
   Padded<std::uint64_t> gl_serving_{0};  ///< ticket currently admitted
   SiteTable sites_;                      ///< per-site degradation state
+  // shared-atomic: overload-controller degrade flag — written by the
+  // serving layer's controller thread, read by every worker at execute()
+  // entry. Pure path selection (fast vs force-partitioned); correctness
+  // never depends on when a worker observes a flip.
+  alignas(kCacheLineBytes) std::atomic<std::uint32_t> degraded_{0};
 };
 
 }  // namespace phtm::core

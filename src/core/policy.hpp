@@ -174,6 +174,18 @@ class SiteTable {
     return sites_[h & (kSites - 1)];
   }
 
+  /// Number of currently quarantined sites — the overload controller's
+  /// "quarantine pressure" input (src/core/signals.hpp). A moving count:
+  /// sites may flip while the scan runs; the consumer is a heuristic.
+  unsigned quarantined_count() const noexcept {
+    unsigned n = 0;
+    for (const SiteState& s : sites_)
+      // relaxed: heuristic introspection of the quarantine flag (see the
+      // shared-atomic note on SiteState) — a stale read skews one poll.
+      if (s.quarantined.load(std::memory_order_relaxed) != 0) ++n;
+    return n;
+  }
+
  private:
   SiteState sites_[kSites];
 };

@@ -1,0 +1,91 @@
+// Per-cause contention signals exported to the serving layer.
+//
+// The contention manager (core/policy.hpp) makes *per-transaction*
+// decisions; the admission layer (src/server) needs the same evidence at
+// *population* scale: is this process's hardware capacity flapping, are
+// commits convoying on the global lock, are sites being quarantined? The
+// answer is already in the per-thread StatSheets — this header turns a
+// snapshot delta into the three named rates the overload controller
+// consumes (DESIGN.md "Serving architecture").
+//
+// All rates are normalized per committed transaction so they are
+// load-independent: a fixed abort mix reads the same at 1k and 100k tps.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace phtm::core {
+
+/// Population-scale contention signals over an observation window.
+struct PolicySignals {
+  std::uint64_t commits = 0;  ///< transactions committed in the window
+
+  /// Capacity flap: hardware capacity aborts per commit. High values mean
+  /// fast-path attempts are being burned on footprints that cannot fit —
+  /// the remedy is force-partitioned execution (degrade), not shedding.
+  double capacity_flap = 0.0;
+
+  /// Glock convoy: global-lock commits plus the fallback decisions that
+  /// route transactions there (conflict exhaustion, starvation
+  /// escalations), per commit. The global lock serializes everything, so
+  /// a convoy caps throughput no matter how many workers drain queues —
+  /// the only remedy left is admission-level shedding.
+  double glock_convoy = 0.0;
+
+  /// Quarantine pressure: quarantine fallbacks per commit. Sites with
+  /// persistent hardware failure streaks are already being degraded
+  /// per-site; population-wide pressure says the whole process should
+  /// stop probing the hardware (degrade).
+  double quarantine_pressure = 0.0;
+
+  /// Signals over the window `delta` = (current totals) - (previous
+  /// totals), both obtained via StatSheet::snapshot() aggregation, so the
+  /// computation is mid-run safe. An empty window (no commits) yields all
+  /// zeros: no evidence, no pressure.
+  static PolicySignals from_delta(const StatSheet& delta) noexcept {
+    PolicySignals s;
+    s.commits = delta.total_commits();
+    if (s.commits == 0) return s;
+    const double per = 1.0 / static_cast<double>(s.commits);
+    s.capacity_flap =
+        static_cast<double>(
+            delta.aborts[static_cast<unsigned>(AbortCause::kCapacity)]) *
+        per;
+    s.glock_convoy =
+        static_cast<double>(
+            delta.commits[static_cast<unsigned>(CommitPath::kGlobalLock)] +
+            delta.fallbacks[static_cast<unsigned>(
+                FallbackReason::kConflictExhaustion)] +
+            delta.fallbacks[static_cast<unsigned>(
+                FallbackReason::kStarvation)]) *
+        per;
+    s.quarantine_pressure =
+        static_cast<double>(delta.fallbacks[static_cast<unsigned>(
+            FallbackReason::kQuarantine)]) *
+        per;
+    return s;
+  }
+};
+
+/// delta = a - b fieldwise, for totals taken from the same sheets at two
+/// poll instants (a later than b). snapshot() is a moving picture, so a
+/// field may transiently read lower than the previous poll; clamp at zero
+/// rather than wrapping.
+inline StatSheet stat_delta(const StatSheet& a, const StatSheet& b) noexcept {
+  const auto sub = [](std::uint64_t x, std::uint64_t y) {
+    return x > y ? x - y : 0;
+  };
+  StatSheet d;
+  for (unsigned i = 0; i < static_cast<unsigned>(AbortCause::kCauseCount); ++i)
+    d.aborts[i] = sub(a.aborts[i], b.aborts[i]);
+  for (unsigned i = 0; i < static_cast<unsigned>(CommitPath::kPathCount); ++i)
+    d.commits[i] = sub(a.commits[i], b.commits[i]);
+  for (unsigned i = 0;
+       i < static_cast<unsigned>(FallbackReason::kReasonCount); ++i)
+    d.fallbacks[i] = sub(a.fallbacks[i], b.fallbacks[i]);
+  return d;
+}
+
+}  // namespace phtm::core

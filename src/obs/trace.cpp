@@ -112,6 +112,8 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kDoom: return "doom";
     case EventKind::kGlobalAbort: return "global_abort";
     case EventKind::kFallback: return "fallback";
+    case EventKind::kServerShed: return "server_shed";
+    case EventKind::kServerDegrade: return "server_degrade";
     default: return "?";
   }
 }
@@ -282,6 +284,10 @@ TraceSummary summarize(const std::vector<ThreadTrace>& traces) {
         case EventKind::kFallback:
           if (e.aux < 5) ++s.fallbacks[e.aux];
           break;
+        case EventKind::kServerShed: ++s.server_sheds; break;
+        case EventKind::kServerDegrade:
+          if (e.aux < TraceSummary::kServerStates) ++s.server_degrades[e.aux];
+          break;
         default: break;
       }
     }
@@ -321,6 +327,17 @@ const char* val_name(std::uint8_t aux) noexcept {
     case 0: return "ok";
     case 1: return "conflict";
     case 2: return "rollover";
+    default: return "?";
+  }
+}
+
+// Serving-layer overload-controller states (src/server/admission.hpp
+// OverloadState) — mirrored by value, like abort_code_name above.
+const char* server_state_name(std::uint8_t aux) noexcept {
+  switch (aux) {
+    case 0: return "normal";
+    case 1: return "degraded";
+    case 2: return "shedding";
     default: return "?";
   }
 }
@@ -475,6 +492,22 @@ bool write_chrome_trace(const std::string& path,
                        "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"args\":{\"txn\":%u}}",
                        reason_name(e.aux), t.tid, us_of(e.ns, base), e.txn);
           break;
+        case EventKind::kServerShed:
+          std::fprintf(f,
+                       ",\n{\"name\":\"server/shed\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{\"req\":%llu,\"delay_ns\":%llu}}",
+                       t.tid, us_of(e.ns, base),
+                       static_cast<unsigned long long>(e.a0),
+                       static_cast<unsigned long long>(e.a1));
+          break;
+        case EventKind::kServerDegrade:
+          std::fprintf(f,
+                       ",\n{\"name\":\"server/degrade/%s\",\"ph\":\"i\","
+                       "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{}}",
+                       server_state_name(e.aux), t.tid, us_of(e.ns, base));
+          break;
         default:
           break;
       }
@@ -561,7 +594,13 @@ bool write_telemetry_json(const std::string& path, const TraceSummary& s,
     std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
                  to_string(static_cast<FallbackReason>(i)),
                  static_cast<unsigned long long>(s.fallbacks[i]));
-  std::fputs("},\n  \"commit_latency_ns\": {", f);
+  std::fprintf(f, "},\n  \"server\": {\"sheds\": %llu, \"degrades\": {",
+               static_cast<unsigned long long>(s.server_sheds));
+  for (unsigned i = 0; i < TraceSummary::kServerStates; ++i)
+    std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
+                 server_state_name(static_cast<std::uint8_t>(i)),
+                 static_cast<unsigned long long>(s.server_degrades[i]));
+  std::fputs("}},\n  \"commit_latency_ns\": {", f);
   for (unsigned i = 0; i < 3; ++i) {
     std::fprintf(f, "%s\"%s\": ", i ? ", " : "",
                  to_string(static_cast<CommitPath>(i)));

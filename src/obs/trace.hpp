@@ -66,6 +66,10 @@ enum class EventKind : std::uint8_t {
   kDoom,           ///< a0 = victim slot, aux = AbortCode, a1 = cache line
   kGlobalAbort,    ///< partitioned-path global abort (rollback + unlock)
   kFallback,       ///< aux = FallbackReason; 1:1 with record_fallback
+  kServerShed,     ///< admission layer dropped an accepted request before
+                   ///< execution; a0 = request id, a1 = queue delay ns
+  kServerDegrade,  ///< overload-controller state transition; aux = new
+                   ///< state (0 normal / 1 degraded / 2 shedding)
   kKindCount,
 };
 
@@ -195,6 +199,11 @@ struct TraceSummary {
   std::uint64_t dooms = 0;
   std::uint64_t global_aborts = 0;
   std::uint64_t fallbacks[5]{};       ///< kFallback count by FallbackReason
+  /// Serving-layer overload events (src/server): sheds plus controller
+  /// state transitions by new state (normal/degraded/shedding).
+  static constexpr unsigned kServerStates = 3;
+  std::uint64_t server_sheds = 0;
+  std::uint64_t server_degrades[kServerStates]{};
   Histogram commit_latency_ns[3];     ///< by CommitPath
   Histogram abort_latency_ns[4];      ///< by AbortCause
 };
@@ -301,6 +310,13 @@ bool finalize_from_env();
 #define PHTM_TRACE_FALLBACK(reason)                        \
   ::phtm::obs::emit(::phtm::obs::EventKind::kFallback,     \
                     static_cast<std::uint8_t>(reason), 0, 0)
+#define PHTM_TRACE_SERVER_SHED(id, delay_ns)               \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kServerShed, 0,\
+                    static_cast<std::uint64_t>(id),        \
+                    static_cast<std::uint64_t>(delay_ns))
+#define PHTM_TRACE_SERVER_DEGRADE(state)                   \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kServerDegrade,\
+                    static_cast<std::uint8_t>(state), 0, 0)
 #define PHTM_TRACE_TXN_ENTER() ::phtm::obs::txn_enter()
 #define PHTM_TRACE_TXN_EXIT() ::phtm::obs::txn_exit()
 #define PHTM_TRACE_META(key, value) ::phtm::obs::set_meta((key), (value))
@@ -321,6 +337,8 @@ bool finalize_from_env();
 #define PHTM_TRACE_DOOM(victim, code, line) ((void)0)
 #define PHTM_TRACE_GLOBAL_ABORT() ((void)0)
 #define PHTM_TRACE_FALLBACK(reason) ((void)0)
+#define PHTM_TRACE_SERVER_SHED(id, delay_ns) ((void)0)
+#define PHTM_TRACE_SERVER_DEGRADE(state) ((void)0)
 #define PHTM_TRACE_TXN_ENTER() ((void)0)
 #define PHTM_TRACE_TXN_EXIT() ((void)0)
 #define PHTM_TRACE_META(key, value) ((void)0)

@@ -1,0 +1,181 @@
+// Envoy-style admission control for the transaction server.
+//
+// Two mechanisms, composed by server.hpp (DESIGN.md "Serving
+// architecture"):
+//
+//   - Resource / ResourceManager: bounded budgets (max in-flight, max
+//     pending, max retries) in the shape of Envoy's ResourceManagerImpl —
+//     a current/max pair per budget, checked before the work is created
+//     and released when it completes. Like the original, the check and
+//     the increment are separate atomic operations: under races the
+//     budget may briefly overshoot by the number of racing admitters,
+//     which is deliberate (an exact gate would put a CAS loop on every
+//     request for a bound that is heuristic anyway).
+//
+//   - OverloadController: a three-state hysteresis machine (normal ->
+//     degraded -> shedding) driven by the contention manager's per-cause
+//     population signals (core/signals.hpp) plus queue fill. Escalation
+//     is immediate — overload must be cut off within one poll — while
+//     de-escalation requires `cool_polls` consecutive calm polls, so the
+//     controller cannot flap across a threshold. Degraded forces the
+//     backend off the hardware fast path (tm::Backend::set_degraded);
+//     shedding additionally rejects new arrivals and drops queued
+//     requests that have already waited past the shed threshold.
+//
+// This layer is control-plane code: it runs once per request (not per
+// transactional access), so it uses plain seq_cst std::atomic operations
+// throughout — none of the hot-path relaxed-ordering machinery of
+// src/core is warranted here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/signals.hpp"
+
+namespace phtm::server {
+
+/// One bounded budget: a current/max pair. can_admit() is a pre-check,
+/// not a reservation — callers that admit must inc() and later dec().
+class Resource {
+ public:
+  explicit Resource(std::uint64_t max) noexcept : max_(max) {}
+
+  bool can_admit() const noexcept { return count_.load() < max_; }
+  void inc() noexcept { count_.fetch_add(1); }
+  void dec() noexcept { count_.fetch_sub(1); }
+
+  std::uint64_t count() const noexcept { return count_.load(); }
+  std::uint64_t max() const noexcept { return max_; }
+
+ private:
+  const std::uint64_t max_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// The server's budget set (Envoy ResourceManager shape).
+struct ResourceLimits {
+  std::uint64_t max_in_flight = 256;  ///< admitted and not yet finished
+  std::uint64_t max_pending = 128;    ///< admitted and not yet executing
+  std::uint64_t max_retries = 32;     ///< concurrent re-submissions
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(const ResourceLimits& l) noexcept
+      : in_flight_(l.max_in_flight),
+        pending_(l.max_pending),
+        retries_(l.max_retries) {}
+
+  Resource& in_flight() noexcept { return in_flight_; }
+  Resource& pending() noexcept { return pending_; }
+  Resource& retries() noexcept { return retries_; }
+
+ private:
+  Resource in_flight_;
+  Resource pending_;
+  Resource retries_;
+};
+
+/// Overload-controller states, ordered by severity. The numeric values
+/// are part of the trace vocabulary (obs kServerDegrade aux byte,
+/// "server/degrade/<state>" — keep in sync with server_state_name in
+/// src/obs/trace.cpp and tools/trace_view.py).
+enum class OverloadState : unsigned {
+  kNormal = 0,    ///< full service: fast path on, all arrivals admitted
+  kDegraded,      ///< force-partitioned: backend fast path suppressed
+  kShedding,      ///< degraded + reject arrivals + drop stale queued work
+  kStateCount,
+};
+
+inline const char* to_string(OverloadState s) noexcept {
+  switch (s) {
+    case OverloadState::kNormal: return "normal";
+    case OverloadState::kDegraded: return "degraded";
+    case OverloadState::kShedding: return "shedding";
+    default: return "?";
+  }
+}
+
+/// Thresholds mapping the per-cause signals to state transitions.
+/// Degrade-class evidence (capacity flap, quarantine pressure) says the
+/// hardware fast path is wasted effort — force-partitioned execution
+/// fixes that without refusing work. Shed-class evidence (glock convoy,
+/// queue fill) says the process cannot absorb the offered load at all —
+/// only admission-level rejection helps.
+struct OverloadConfig {
+  double degrade_capacity_hi = 1.0;   ///< capacity aborts per commit
+  double degrade_quarantine_hi = 0.05;///< quarantine fallbacks per commit
+  double shed_convoy_hi = 0.5;        ///< glock-routed fraction of commits
+  double shed_queue_hi = 0.9;         ///< pending-queue fill fraction
+  /// De-escalation: every trigger must read below `calm_frac` x its hi
+  /// threshold for `cool_polls` consecutive polls before stepping down
+  /// one state (hysteresis: the up and down thresholds never meet).
+  double calm_frac = 0.5;
+  unsigned cool_polls = 3;
+};
+
+/// Three-state hysteresis machine. Single-caller contract: update() is
+/// invoked from the server's controller thread only; state() may be read
+/// from any thread.
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadConfig& cfg = {}) noexcept
+      : cfg_(cfg) {}
+
+  /// One poll: fold the window's signals and the queue fill into a state.
+  /// Returns the (possibly unchanged) state after the transition rules.
+  OverloadState update(const core::PolicySignals& sig,
+                       double queue_fill) noexcept {
+    const bool shed_evidence = sig.glock_convoy >= cfg_.shed_convoy_hi ||
+                               queue_fill >= cfg_.shed_queue_hi;
+    const bool degrade_evidence =
+        sig.capacity_flap >= cfg_.degrade_capacity_hi ||
+        sig.quarantine_pressure >= cfg_.degrade_quarantine_hi;
+    const bool calm =
+        sig.glock_convoy < cfg_.shed_convoy_hi * cfg_.calm_frac &&
+        queue_fill < cfg_.shed_queue_hi * cfg_.calm_frac &&
+        sig.capacity_flap < cfg_.degrade_capacity_hi * cfg_.calm_frac &&
+        sig.quarantine_pressure <
+            cfg_.degrade_quarantine_hi * cfg_.calm_frac;
+
+    OverloadState s = state();
+    if (shed_evidence) {
+      s = OverloadState::kShedding;          // escalate immediately
+      calm_streak_ = 0;
+    } else if (degrade_evidence && s == OverloadState::kNormal) {
+      s = OverloadState::kDegraded;          // escalate immediately
+      calm_streak_ = 0;
+    } else if (calm) {
+      if (++calm_streak_ >= cfg_.cool_polls && s != OverloadState::kNormal) {
+        // Step down one state per cool period, never two at once: a
+        // shedding server re-proves itself in degraded mode first.
+        s = s == OverloadState::kShedding ? OverloadState::kDegraded
+                                          : OverloadState::kNormal;
+        calm_streak_ = 0;
+      }
+    } else {
+      calm_streak_ = 0;                      // mixed evidence: hold state
+    }
+    state_.store(static_cast<unsigned>(s));
+    return s;
+  }
+
+  OverloadState state() const noexcept {
+    return static_cast<OverloadState>(state_.load());
+  }
+
+  /// Test/bench hook: pin the state machine (e.g. deterministic shed
+  /// coverage without manufacturing a convoy). Resets the calm streak.
+  void force_state(OverloadState s) noexcept {
+    state_.store(static_cast<unsigned>(s));
+    calm_streak_ = 0;
+  }
+
+ private:
+  OverloadConfig cfg_;
+  std::atomic<unsigned> state_{static_cast<unsigned>(OverloadState::kNormal)};
+  unsigned calm_streak_ = 0;  ///< controller-thread-only
+};
+
+}  // namespace phtm::server

@@ -1,0 +1,92 @@
+// Bounded MPMC request queue for the transaction server.
+//
+// A mutex/condvar ring, deliberately boring: the queue hands requests to
+// worker threads that then run transactions taking microseconds to
+// milliseconds, so queue overhead is noise — and a blocking pop is
+// exactly what an idle worker should do (burning a core spinning on an
+// empty queue would distort the latency measurements the server exists
+// to take). Capacity is fixed at construction; try_push never blocks
+// (the admission layer turns a full queue into a typed rejection, never
+// back-pressure into the open-loop generator).
+//
+// src/server is serving-layer code, not protocol code: the R4 rule
+// barring blocking primitives applies to the TM protocol headers
+// (src/core|stm|sim|sig), not here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace phtm::server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Current occupancy (racy by nature; used for fill-fraction signals).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return count_;
+  }
+
+  double fill() const {
+    return static_cast<double>(size()) / static_cast<double>(capacity());
+  }
+
+  /// Non-blocking bounded push. False when full or closed — the caller
+  /// (admission layer) accounts the rejection; nothing ever waits to
+  /// enqueue, so the queue cannot grow without bound by construction.
+  bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (closed_ || count_ == ring_.size()) return false;
+      ring_[(head_ + count_) % ring_.size()] = std::move(v);
+      ++count_;
+    }
+    nonempty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an element or close(). False only when the
+  /// queue is closed *and* drained — workers exit on false.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> g(mu_);
+    nonempty_.wait(g, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return false;
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return true;
+  }
+
+  /// Wake every waiter; pops drain the remaining elements then fail.
+  void close() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      closed_ = true;
+    }
+    nonempty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable nonempty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace phtm::server

@@ -1,0 +1,214 @@
+#include "server/server.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace phtm::server {
+namespace {
+
+/// Steady-clock now in ns — same epoch run_open_loop stamps scheduled_ns
+/// with, so (now_ns() - scheduled_ns) is the true sojourn time.
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TxnServer::TxnServer(tm::Backend& backend, const ServerConfig& cfg)
+    : backend_(backend),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      rm_(cfg.limits),
+      controller_(cfg.overload),
+      slots_(cfg.workers == 0 ? 1 : cfg.workers) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+}
+
+TxnServer::~TxnServer() { stop(); }
+
+void TxnServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  control_stop_.store(false);
+  threads_.reserve(cfg_.workers);
+  for (unsigned t = 0; t < cfg_.workers; ++t)
+    threads_.emplace_back([this, t] { worker_main(t); });
+  control_thread_ = std::thread([this] { control_main(); });
+}
+
+void TxnServer::stop() {
+  if (!running_.load()) return;
+  // Closing the queue wakes idle workers; already-accepted requests are
+  // drained (executed or shed) before the pops start failing.
+  queue_.close();
+  for (std::thread& th : threads_) th.join();
+  threads_.clear();
+  control_stop_.store(true);
+  if (control_thread_.joinable()) control_thread_.join();
+  running_.store(false);
+}
+
+AdmitResult TxnServer::submit(const tm::Txn& txn, unsigned phase,
+                              std::uint64_t scheduled_ns, bool is_retry) {
+  assert(phase < kMaxPhases);
+  assert(txn.locals_bytes <= kMaxLocalBytes);
+  submitted_.fetch_add(1);
+  PhaseSheet& ps = phases_[phase];
+
+  if (controller_.state() == OverloadState::kShedding) {
+    rejected_overload_.fetch_add(1);
+    ps.rejected.fetch_add(1);
+    return AdmitResult::kRejectedOverload;
+  }
+  if (is_retry && !rm_.retries().can_admit()) {
+    rejected_retry_.fetch_add(1);
+    ps.rejected.fetch_add(1);
+    return AdmitResult::kRejectedRetry;
+  }
+  if (!rm_.in_flight().can_admit()) {
+    rejected_in_flight_.fetch_add(1);
+    ps.rejected.fetch_add(1);
+    return AdmitResult::kRejectedInFlight;
+  }
+  if (!rm_.pending().can_admit()) {
+    rejected_pending_.fetch_add(1);
+    ps.rejected.fetch_add(1);
+    return AdmitResult::kRejectedPending;
+  }
+
+  Request r;
+  r.txn = txn;
+  if (txn.locals != nullptr && txn.locals_bytes > 0)
+    std::memcpy(r.locals, txn.locals, txn.locals_bytes);
+  // The queue copies the request; the worker re-points txn.locals at the
+  // inline buffer after popping. Null it here so a stale caller pointer
+  // can never be dereferenced by mistake.
+  r.txn.locals = nullptr;
+  r.id = next_id_.fetch_add(1);
+  r.scheduled_ns = scheduled_ns;
+  r.phase = phase;
+  r.retry = is_retry;
+
+  rm_.in_flight().inc();
+  rm_.pending().inc();
+  if (is_retry) rm_.retries().inc();
+
+  if (!queue_.try_push(std::move(r))) {
+    rm_.in_flight().dec();
+    rm_.pending().dec();
+    if (is_retry) rm_.retries().dec();
+    rejected_pending_.fetch_add(1);
+    ps.rejected.fetch_add(1);
+    return AdmitResult::kRejectedPending;
+  }
+  accepted_.fetch_add(1);
+  ps.accepted.fetch_add(1);
+  if (is_retry) retries_admitted_.fetch_add(1);
+  return AdmitResult::kAccepted;
+}
+
+void TxnServer::worker_main(unsigned tid) {
+  WorkerSlot& slot = slots_[tid];
+  slot.worker = backend_.make_worker(tid);
+  slot.ready.store(true);
+  Request r;
+  while (queue_.pop(r)) {
+    rm_.pending().dec();
+    PhaseSheet& ps = phases_[r.phase];
+    const std::uint64_t delay_ns =
+        now_ns() > r.scheduled_ns ? now_ns() - r.scheduled_ns : 0;
+    if (controller_.state() == OverloadState::kShedding &&
+        delay_ns > cfg_.shed_delay_ns) {
+      // Stale under shedding: this request can no longer finish inside
+      // the objective — answer it with a drop, not a late commit.
+      shed_.fetch_add(1);
+      ps.shed.fetch_add(1);
+      PHTM_TRACE_SERVER_SHED(r.id, delay_ns);
+    } else {
+      r.txn.locals = r.locals;
+      backend_.execute(*slot.worker, r.txn);
+      committed_.fetch_add(1);
+      ps.committed.fetch_add(1);
+      if (r.phase < kMaxPhases)
+        slot.latency_ns[r.phase].record(now_ns() - r.scheduled_ns);
+    }
+    rm_.in_flight().dec();
+    if (r.retry) rm_.retries().dec();
+  }
+}
+
+void TxnServer::control_main() {
+  StatSheet prev = backend_stats();
+  while (!control_stop_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(cfg_.poll_period_us));
+    const StatSheet cur = backend_stats();
+    const core::PolicySignals sig =
+        core::PolicySignals::from_delta(core::stat_delta(prev, cur));
+    prev = cur;
+    const OverloadState old = controller_.state();
+    const OverloadState s = controller_.update(sig, queue_.fill());
+    if (s != old) apply_state(s);
+  }
+}
+
+void TxnServer::apply_state(OverloadState s) {
+  // Single apply path for controller transitions and force_state: the
+  // backend toggle, the transition counter and the trace event stay 1:1
+  // (tools/trace_view.py --check reconciles event counts against the
+  // stats_server_degrades_* meta keys).
+  backend_.set_degraded(s != OverloadState::kNormal);
+  degrades_[static_cast<unsigned>(s)].fetch_add(1);
+  PHTM_TRACE_SERVER_DEGRADE(static_cast<unsigned>(s));
+}
+
+void TxnServer::force_state(OverloadState s) {
+  const OverloadState old = controller_.state();
+  controller_.force_state(s);
+  if (s != old) apply_state(s);
+}
+
+ServerTotals TxnServer::counters() const {
+  ServerTotals t;
+  t.submitted = submitted_.load();
+  t.accepted = accepted_.load();
+  t.rejected_overload = rejected_overload_.load();
+  t.rejected_in_flight = rejected_in_flight_.load();
+  t.rejected_pending = rejected_pending_.load();
+  t.rejected_retry = rejected_retry_.load();
+  t.committed = committed_.load();
+  t.shed = shed_.load();
+  t.retries_admitted = retries_admitted_.load();
+  for (unsigned i = 0; i < static_cast<unsigned>(OverloadState::kStateCount);
+       ++i)
+    t.degrades[i] = degrades_[i].load();
+  return t;
+}
+
+PhaseTotals TxnServer::phase_totals(unsigned phase) const {
+  assert(phase < kMaxPhases);
+  const PhaseSheet& ps = phases_[phase];
+  PhaseTotals t;
+  t.accepted = ps.accepted.load();
+  t.committed = ps.committed.load();
+  t.shed = ps.shed.load();
+  t.rejected = ps.rejected.load();
+  for (const WorkerSlot& s : slots_)
+    if (s.ready.load()) t.latency_ns.merge(s.latency_ns[phase]);
+  return t;
+}
+
+StatSheet TxnServer::backend_stats() const {
+  StatSheet sum{};
+  for (const WorkerSlot& s : slots_)
+    if (s.ready.load()) sum += s.worker->stats().snapshot();
+  return sum;
+}
+
+}  // namespace phtm::server

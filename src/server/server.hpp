@@ -1,0 +1,201 @@
+// TxnServer: a multi-worker transaction service over a tm::Backend.
+//
+// Topology (DESIGN.md "Serving architecture"):
+//
+//   open-loop generator --> submit() --> [admission] --> bounded queue
+//                                            |                |
+//                                         rejects       N worker threads
+//                                                       (backend.execute)
+//                                                            |
+//                                    controller thread <-- StatSheets
+//                                    (signals -> degrade/shed decisions)
+//
+// submit() is the admission layer: it consults the overload controller
+// and the ResourceManager budgets, then either enqueues a copy of the
+// request (accepted) or returns a typed rejection. Workers drain the
+// queue and run transactions to commit; under shedding, queued requests
+// whose delay already exceeds the shed threshold are dropped at dispatch
+// (a request that has waited past the latency objective is better
+// answered "no" immediately than "yes" too late — and shedding them is
+// what keeps the *accepted* requests' tail inside the SLO).
+//
+// The controller thread polls the workers' StatSheets (mid-run-safe
+// snapshots), folds the deltas into the per-cause contention signals
+// (core/signals.hpp), and walks the overload state machine; state
+// transitions toggle the backend's degraded mode and are traced as
+// server/degrade events. Every shed is traced as server/shed. Both event
+// families reconcile 1:1 against the counters this class keeps
+// (tools/trace_view.py --check).
+//
+// Conservation invariant (checked by tests/server_integration_test.cpp):
+//     submitted == accepted + rejected        (at submit time)
+//     accepted  == committed + shed           (after stop())
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/admission.hpp"
+#include "server/queue.hpp"
+#include "tm/backend.hpp"
+#include "util/cacheline.hpp"
+#include "util/histogram.hpp"
+
+namespace phtm::server {
+
+/// Admission verdict for one submitted request.
+enum class AdmitResult : unsigned {
+  kAccepted = 0,
+  kRejectedOverload,   ///< controller in shedding state
+  kRejectedInFlight,   ///< max in-flight budget exhausted
+  kRejectedPending,    ///< pending budget or queue capacity exhausted
+  kRejectedRetry,      ///< retry budget exhausted (retry submissions only)
+};
+
+struct ServerConfig {
+  unsigned workers = 2;
+  std::size_t queue_capacity = 128;
+  ResourceLimits limits{};
+  OverloadConfig overload{};
+  /// Shedding drops a queued request at dispatch once its queue delay
+  /// exceeds this bound. Set it below the latency SLO minus the typical
+  /// service time: then every request the server *does* execute can
+  /// still finish inside the objective.
+  std::uint64_t shed_delay_ns = 2'000'000;
+  std::uint64_t poll_period_us = 1000;  ///< controller poll period
+};
+
+/// Aggregate request accounting (all plain totals; see counters()).
+struct ServerTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_in_flight = 0;
+  std::uint64_t rejected_pending = 0;
+  std::uint64_t rejected_retry = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retries_admitted = 0;
+  std::uint64_t degrades[static_cast<unsigned>(OverloadState::kStateCount)]{};
+
+  std::uint64_t rejected() const noexcept {
+    return rejected_overload + rejected_in_flight + rejected_pending +
+           rejected_retry;
+  }
+};
+
+/// Per-phase view assembled after stop(): counts plus the accepted-
+/// request latency distribution (scheduled arrival -> commit).
+struct PhaseTotals {
+  std::uint64_t accepted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  Histogram latency_ns;
+};
+
+class TxnServer {
+ public:
+  static constexpr unsigned kMaxPhases = 8;
+  static constexpr std::size_t kMaxLocalBytes = 256;
+
+  /// The backend (and its runtime) must outlive the server. Worker slots
+  /// are created lazily inside the worker threads via make_worker.
+  TxnServer(tm::Backend& backend, const ServerConfig& cfg);
+  ~TxnServer();
+
+  TxnServer(const TxnServer&) = delete;
+  TxnServer& operator=(const TxnServer&) = delete;
+
+  void start();
+  /// Drains the queue (accepted requests still execute or shed), joins
+  /// workers and the controller. Idempotent.
+  void stop();
+
+  /// Admission: copy `txn` (locals included, <= kMaxLocalBytes) into the
+  /// queue or reject. `scheduled_ns` is the open-loop arrival instant
+  /// latency is measured from; `phase` tags the soak phase (< kMaxPhases).
+  /// `is_retry` charges the retry budget on top of the normal checks.
+  AdmitResult submit(const tm::Txn& txn, unsigned phase,
+                     std::uint64_t scheduled_ns, bool is_retry = false);
+
+  /// Controller state as of the last poll.
+  OverloadState state() const noexcept { return controller_.state(); }
+
+  /// Test hook: pin the overload state machine (applies side effects —
+  /// backend degrade toggle, transition counter, trace event).
+  void force_state(OverloadState s);
+
+  ServerTotals counters() const;
+  /// Valid after stop(): per-phase counts + merged latency histograms.
+  PhaseTotals phase_totals(unsigned phase) const;
+
+  /// Aggregated worker statistics (mid-run safe).
+  StatSheet backend_stats() const;
+
+  const ServerConfig& config() const noexcept { return cfg_; }
+  double queue_fill() const { return queue_.fill(); }
+
+ private:
+  struct Request {
+    tm::Txn txn{};  ///< locals re-pointed at req.locals on dispatch
+    unsigned char locals[kMaxLocalBytes];
+    std::uint64_t id = 0;
+    std::uint64_t scheduled_ns = 0;
+    unsigned phase = 0;
+    bool retry = false;
+  };
+
+  /// One worker thread's slot: the backend worker (created inside the
+  /// thread, owned here so the controller can keep polling its StatSheet
+  /// until the server dies) and the per-phase latency histograms (owner-
+  /// written, merged after join).
+  struct alignas(kCacheLineBytes) WorkerSlot {
+    std::unique_ptr<tm::Worker> worker;
+    std::atomic<bool> ready{false};
+    Histogram latency_ns[kMaxPhases];
+  };
+
+  /// Per-phase atomic counters.
+  struct alignas(kCacheLineBytes) PhaseSheet {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> committed{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> rejected{0};
+  };
+
+  void worker_main(unsigned tid);
+  void control_main();
+  void apply_state(OverloadState s);
+
+  tm::Backend& backend_;
+  ServerConfig cfg_;
+  BoundedQueue<Request> queue_;
+  ResourceManager rm_;
+  OverloadController controller_;
+
+  std::vector<WorkerSlot> slots_;
+  std::vector<std::thread> threads_;
+  std::thread control_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> control_stop_{false};
+
+  std::atomic<std::uint64_t> next_id_{0};
+  // Aggregate counters (control-plane: one bump per request, seq_cst).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_in_flight_{0};
+  std::atomic<std::uint64_t> rejected_pending_{0};
+  std::atomic<std::uint64_t> rejected_retry_{0};
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> retries_admitted_{0};
+  std::atomic<std::uint64_t>
+      degrades_[static_cast<unsigned>(OverloadState::kStateCount)]{};
+  PhaseSheet phases_[kMaxPhases];
+};
+
+}  // namespace phtm::server

@@ -1,0 +1,103 @@
+// Open-loop traffic generation for the transaction server.
+//
+// Arrivals are a Poisson process at each phase's configured rate: the
+// generator draws exponential inter-arrival gaps from a deterministic
+// per-run RNG, builds an *absolute* arrival schedule, and submits each
+// request when its scheduled instant passes — whether or not earlier
+// requests have finished. This open-loop discipline is what makes the
+// measured tail latencies honest: a closed-loop driver (next request
+// only after the previous response) silently throttles itself exactly
+// when the server is slow, hiding the queueing delay that overload
+// actually inflicts on real arrivals (coordinated omission). For the
+// same reason, request latency is measured from the *scheduled* arrival
+// instant, not from whenever the generator thread got around to calling
+// submit.
+//
+// When the generator falls behind schedule (submission itself outpaced
+// by the configured rate), it does not sleep — the backlog of due
+// arrivals is submitted immediately and the lateness is visible in the
+// measured latencies, never discarded.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace phtm::server {
+
+/// One segment of the soak schedule (EXPERIMENTS.md "Server soak").
+struct Phase {
+  std::string name;       ///< "warmup", "sustained", "burst", ...
+  double rate_tps = 0;    ///< offered load, transactions per second
+  double duration_s = 0;  ///< phase length in wall seconds
+};
+
+/// Exponential inter-arrival gap for a Poisson process at `rate_tps`.
+inline double exp_gap_s(Rng& rng, double rate_tps) noexcept {
+  // Clamp the uniform away from 0: -log(0) is inf and a zero draw has
+  // probability 2^-53 anyway.
+  double u = rng.uniform();
+  if (u < 1e-12) u = 1e-12;
+  return -std::log(u) / rate_tps;
+}
+
+/// Drives `phases` against `submit(phase_index, scheduled_ns)`.
+/// `scheduled_ns` is the request's intended arrival on the steady clock —
+/// the timestamp latency must be measured from. `on_phase(i)` fires at
+/// each phase boundary (before its first arrival). The generator runs on
+/// the calling thread and returns the per-phase offered counts.
+template <typename SubmitFn, typename PhaseFn>
+std::vector<std::uint64_t> run_open_loop(const std::vector<Phase>& phases,
+                                         std::uint64_t seed,
+                                         SubmitFn&& submit,
+                                         PhaseFn&& on_phase) {
+  using clock = std::chrono::steady_clock;
+  Rng rng(seed);
+  std::vector<std::uint64_t> offered(phases.size(), 0);
+  const auto t0 = clock::now();
+  double next_s = 0;  // schedule offset from t0, seconds
+  double phase_end_s = 0;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const Phase& ph = phases[p];
+    on_phase(static_cast<unsigned>(p));
+    const double start_s = phase_end_s;
+    phase_end_s += ph.duration_s;
+    if (ph.rate_tps <= 0) {  // silent phase (pure drain): just wait it out
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<clock::duration>(
+                   std::chrono::duration<double>(phase_end_s)));
+      next_s = phase_end_s;
+      continue;
+    }
+    if (next_s < start_s) next_s = start_s;
+    for (;;) {
+      next_s += exp_gap_s(rng, ph.rate_tps);
+      if (next_s >= phase_end_s) break;
+      const auto due =
+          t0 + std::chrono::duration_cast<clock::duration>(
+                   std::chrono::duration<double>(next_s));
+      // Open loop: sleep only if the arrival is in the future; a backlog
+      // of due arrivals goes out immediately.
+      if (due > clock::now()) std::this_thread::sleep_until(due);
+      const std::uint64_t sched_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              due.time_since_epoch())
+              .count());
+      ++offered[p];
+      submit(static_cast<unsigned>(p), sched_ns);
+    }
+    // Let the phase's tail arrivals actually reach phase_end before the
+    // next phase is announced.
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<clock::duration>(
+                 std::chrono::duration<double>(phase_end_s)));
+  }
+  return offered;
+}
+
+}  // namespace phtm::server

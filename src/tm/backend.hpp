@@ -64,6 +64,14 @@ class Backend {
   /// recording are internal; `w` must have been produced by make_worker of
   /// this backend and be used by one thread only.
   virtual void execute(Worker& w, const Txn& txn) = 0;
+
+  /// Degraded mode: an external overload controller (src/server) asking the
+  /// backend to stop burning hardware fast-path attempts and run
+  /// force-partitioned until the pressure clears. Advisory and idempotent;
+  /// backends without a fast path ignore it (default no-op). May be called
+  /// from any thread while workers are executing.
+  virtual void set_degraded(bool) noexcept {}
+  virtual bool degraded() const noexcept { return false; }
 };
 
 /// Cause-aware contention-management knobs (PART-HTM's policy engine,

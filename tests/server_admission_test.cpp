@@ -1,0 +1,214 @@
+// Unit tests for the serving layer's admission machinery: resource
+// budgets, the bounded request queue, the overload state machine's
+// hysteresis, and the StatSheet -> PolicySignals mapping it consumes.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/signals.hpp"
+#include "server/admission.hpp"
+#include "server/queue.hpp"
+
+namespace phtm::server {
+namespace {
+
+TEST(Resource, BudgetExhaustion) {
+  Resource r(2);
+  EXPECT_TRUE(r.can_admit());
+  r.inc();
+  EXPECT_TRUE(r.can_admit());
+  r.inc();
+  EXPECT_FALSE(r.can_admit());  // at max: full
+  EXPECT_EQ(r.count(), 2u);
+  r.dec();
+  EXPECT_TRUE(r.can_admit());   // release reopens the budget
+  EXPECT_EQ(r.count(), 1u);
+}
+
+TEST(Resource, ZeroBudgetAdmitsNothing) {
+  Resource r(0);
+  EXPECT_FALSE(r.can_admit());
+}
+
+TEST(ResourceManager, ThreeIndependentBudgets) {
+  ResourceLimits lim;
+  lim.max_in_flight = 2;
+  lim.max_pending = 1;
+  lim.max_retries = 1;
+  ResourceManager rm(lim);
+  rm.in_flight().inc();
+  rm.pending().inc();
+  EXPECT_TRUE(rm.in_flight().can_admit());   // 1 of 2
+  EXPECT_FALSE(rm.pending().can_admit());    // 1 of 1
+  EXPECT_TRUE(rm.retries().can_admit());     // untouched
+  EXPECT_EQ(rm.in_flight().max(), 2u);
+  EXPECT_EQ(rm.pending().max(), 1u);
+  EXPECT_EQ(rm.retries().max(), 1u);
+}
+
+TEST(BoundedQueue, PendingOverflowRejects) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: non-blocking rejection
+  EXPECT_DOUBLE_EQ(q.fill(), 1.0);
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);  // FIFO
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenFails) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(7));
+  ASSERT_TRUE(q.try_push(8));
+  q.close();
+  EXPECT_FALSE(q.try_push(9));  // closed: no new work
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));   // accepted work still drains
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.pop(v));  // drained + closed: workers exit
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPopper) {
+  BoundedQueue<int> q(1);
+  std::thread t([&] {
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));  // blocks until close, then fails
+  });
+  q.close();
+  t.join();
+}
+
+// --- Overload state machine -------------------------------------------
+
+core::PolicySignals calm_signals() { return {}; }  // all-zero rates
+
+core::PolicySignals capacity_storm() {
+  core::PolicySignals s;
+  s.commits = 100;
+  s.capacity_flap = 2.0;  // two capacity aborts per commit
+  return s;
+}
+
+core::PolicySignals glock_storm() {
+  core::PolicySignals s;
+  s.commits = 100;
+  s.glock_convoy = 0.8;  // most commits routed through the global lock
+  return s;
+}
+
+TEST(OverloadController, StartsNormal) {
+  OverloadController c;
+  EXPECT_EQ(c.state(), OverloadState::kNormal);
+}
+
+TEST(OverloadController, DegradeEvidenceEscalatesImmediately) {
+  OverloadController c;
+  EXPECT_EQ(c.update(capacity_storm(), 0.0), OverloadState::kDegraded);
+}
+
+TEST(OverloadController, ShedEvidenceEscalatesImmediately) {
+  OverloadController c;
+  // Straight from normal to shedding: a glock convoy (or a filling
+  // queue) cannot wait for an intermediate degrade poll.
+  EXPECT_EQ(c.update(glock_storm(), 0.0), OverloadState::kShedding);
+  OverloadController c2;
+  EXPECT_EQ(c2.update(calm_signals(), 0.95), OverloadState::kShedding);
+}
+
+TEST(OverloadController, DeescalationNeedsCoolPollsAndStepsOneState) {
+  OverloadConfig cfg;
+  cfg.cool_polls = 3;
+  OverloadController c(cfg);
+  ASSERT_EQ(c.update(glock_storm(), 0.0), OverloadState::kShedding);
+  // Two calm polls: not enough.
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kShedding);
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kShedding);
+  // Third calm poll steps down exactly one state, never two.
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kDegraded);
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kDegraded);
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kDegraded);
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kNormal);
+}
+
+TEST(OverloadController, MixedEvidenceHoldsStateAndResetsStreak) {
+  OverloadConfig cfg;
+  cfg.cool_polls = 2;
+  OverloadController c(cfg);
+  ASSERT_EQ(c.update(glock_storm(), 0.0), OverloadState::kShedding);
+  // Below the hi thresholds but above calm_frac x hi: hysteresis band.
+  core::PolicySignals mid;
+  mid.commits = 100;
+  mid.glock_convoy = cfg.shed_convoy_hi * 0.7;
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kShedding);
+  EXPECT_EQ(c.update(mid, 0.0), OverloadState::kShedding);  // streak reset
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kShedding);
+  EXPECT_EQ(c.update(calm_signals(), 0.0), OverloadState::kDegraded);
+}
+
+TEST(OverloadController, DegradeEvidenceDoesNotDowngradeShedding) {
+  OverloadController c;
+  ASSERT_EQ(c.update(glock_storm(), 0.0), OverloadState::kShedding);
+  // Capacity trouble while shedding is not a reason to re-admit load.
+  EXPECT_EQ(c.update(capacity_storm(), 0.0), OverloadState::kShedding);
+}
+
+TEST(OverloadController, ForceStatePinsAndUpdateResumes) {
+  OverloadController c;
+  c.force_state(OverloadState::kShedding);
+  EXPECT_EQ(c.state(), OverloadState::kShedding);
+  // The machine keeps operating from the pinned state.
+  EXPECT_EQ(c.update(glock_storm(), 0.0), OverloadState::kShedding);
+}
+
+// --- StatSheet -> PolicySignals ---------------------------------------
+
+TEST(PolicySignals, FromDeltaNormalizesPerCommit) {
+  StatSheet d{};
+  d.commits[static_cast<unsigned>(CommitPath::kHtm)] = 60;
+  d.commits[static_cast<unsigned>(CommitPath::kSoftware)] = 30;
+  d.commits[static_cast<unsigned>(CommitPath::kGlobalLock)] = 10;
+  d.aborts[static_cast<unsigned>(AbortCause::kCapacity)] = 200;
+  d.fallbacks[static_cast<unsigned>(FallbackReason::kConflictExhaustion)] = 5;
+  d.fallbacks[static_cast<unsigned>(FallbackReason::kStarvation)] = 5;
+  d.fallbacks[static_cast<unsigned>(FallbackReason::kQuarantine)] = 10;
+  const core::PolicySignals s = core::PolicySignals::from_delta(d);
+  EXPECT_EQ(s.commits, 100u);
+  EXPECT_DOUBLE_EQ(s.capacity_flap, 2.0);        // 200 / 100
+  EXPECT_DOUBLE_EQ(s.glock_convoy, 0.2);         // (10 + 5 + 5) / 100
+  EXPECT_DOUBLE_EQ(s.quarantine_pressure, 0.1);  // 10 / 100
+}
+
+TEST(PolicySignals, EmptyWindowYieldsNoEvidence) {
+  StatSheet d{};
+  d.aborts[static_cast<unsigned>(AbortCause::kCapacity)] = 50;  // no commits
+  const core::PolicySignals s = core::PolicySignals::from_delta(d);
+  EXPECT_EQ(s.commits, 0u);
+  EXPECT_DOUBLE_EQ(s.capacity_flap, 0.0);
+  EXPECT_DOUBLE_EQ(s.glock_convoy, 0.0);
+  EXPECT_DOUBLE_EQ(s.quarantine_pressure, 0.0);
+}
+
+TEST(PolicySignals, StatDeltaClampsAtZero) {
+  StatSheet a{}, b{};
+  a.commits[static_cast<unsigned>(CommitPath::kHtm)] = 10;
+  b.commits[static_cast<unsigned>(CommitPath::kHtm)] = 3;
+  // A torn snapshot can transiently read lower than the previous poll.
+  a.aborts[static_cast<unsigned>(AbortCause::kConflict)] = 1;
+  b.aborts[static_cast<unsigned>(AbortCause::kConflict)] = 4;
+  const StatSheet d = core::stat_delta(a, b);
+  EXPECT_EQ(d.commits[static_cast<unsigned>(CommitPath::kHtm)], 7u);
+  EXPECT_EQ(d.aborts[static_cast<unsigned>(AbortCause::kConflict)], 0u);
+}
+
+}  // namespace
+}  // namespace phtm::server

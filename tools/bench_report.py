@@ -22,8 +22,18 @@ diff cleanly::
       "hotpath": {"BM_SigIntersectsMiss/4": {"ns_per_op": 0.52}, ...},
       "figures": [{"figure": ..., "metric": ..., "algo": ...,
                    "series": {"1": ..., "2": ...}}, ...],
+      "server": {"schema": 1, "phases": [...], "totals": {...},
+                 "conservation_ok": true},           # --server[-only] runs
       "telemetry": {"bench_fig3_nrw": {...}, ...}   # trace builds only
     }
+
+With --server the transaction-server soak (bench_server, EXPERIMENTS.md
+"Server soak") also runs: the binary's PHTM_SERVER_JSON block — per-phase
+offered/accepted/committed/shed/rejected counts, committed throughput and
+the p50/p99/p999 accepted-request latency tail against the SLO — is
+schema-checked and folded in under "server". --server-only skips the
+hotpath and figure benches (the CI server lane's mode). A soak that
+violates request conservation fails the report outright.
 
 When the build directory was configured with -DPHTM_TRACE=ON (detected
 from CMakeCache.txt), each bench binary is run with PHTM_TRACE_TELEMETRY
@@ -51,8 +61,12 @@ import tempfile
 # block's shape changed — refuse rather than fold misread numbers into
 # the report.
 VALID_TELEMETRY_SCHEMAS = (1,)
+# Server-soak block schema versions (stamped by bench/bench_server.cpp
+# write_json). Same refuse-on-unknown discipline as telemetry.
+VALID_SERVER_SCHEMAS = (1,)
 
 HOTPATH_BIN = "bench_hotpath"
+SERVER_BIN = "bench_server"
 # Figure binaries folded into the report. Keep in sync with bench/CMakeLists.
 FIGURE_BINS = [
     "bench_fig3_nrw",
@@ -194,6 +208,63 @@ def collect_figures(bench_dir, env, telemetry):
     return figures
 
 
+# Per-phase fields the soak block must carry for every phase — the report
+# is only useful if successive runs expose the same columns.
+SERVER_PHASE_KEYS = ("name", "rate_tps", "duration_s", "offered", "accepted",
+                     "committed", "shed", "rejected", "throughput", "p50_us",
+                     "p99_us", "p999_us", "slo_ok")
+
+
+def check_server_block(block):
+    schema = block.get("schema")
+    if schema not in VALID_SERVER_SCHEMAS:
+        sys.exit(f"bench_report: server block has unknown schema version "
+                 f"{schema!r}; this tool understands "
+                 f"{list(VALID_SERVER_SCHEMAS)} — update tools/bench_report.py "
+                 "for the new block shape")
+    for key in ("workers", "slo_p99_ms", "phases", "totals",
+                "conservation_ok"):
+        if key not in block:
+            sys.exit(f"bench_report: server block missing {key!r}")
+    if not isinstance(block["phases"], list) or not block["phases"]:
+        sys.exit("bench_report: server block has no phases")
+    for ph in block["phases"]:
+        for key in SERVER_PHASE_KEYS:
+            if key not in ph:
+                sys.exit(f"bench_report: server phase "
+                         f"{ph.get('name')!r} missing {key!r}")
+    totals = block["totals"]
+    for key in ("submitted", "accepted", "rejected", "committed", "shed",
+                "degrades"):
+        if key not in totals:
+            sys.exit(f"bench_report: server totals missing {key!r}")
+    if block["conservation_ok"] is not True:
+        sys.exit("bench_report: server soak violated request conservation "
+                 "(submitted != accepted + rejected or "
+                 "accepted != committed + shed) — harness bug")
+
+
+def collect_server(bench_dir, env, telemetry):
+    binary = os.path.join(bench_dir, SERVER_BIN)
+    if not os.path.exists(binary):
+        sys.exit(f"bench_report: {binary} not found "
+                 "(build the bench targets first)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        run_with_telemetry([binary], dict(env, PHTM_SERVER_JSON=out_path),
+                           SERVER_BIN, telemetry)
+        with open(out_path, encoding="utf-8") as f:
+            try:
+                block = json.load(f)
+            except json.JSONDecodeError as e:
+                sys.exit(f"bench_report: bad server block: {e}")
+    finally:
+        os.unlink(out_path)
+    check_server_block(block)
+    return block
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--label", required=True,
@@ -211,7 +282,15 @@ def main():
                          "'1,4,16,64'); replaces each figure's default sweep")
     ap.add_argument("--skip-figures", action="store_true",
                     help="hotpath micro-benchmarks only")
+    ap.add_argument("--server", action="store_true",
+                    help="also run the transaction-server soak "
+                         "(bench_server) and fold its block in")
+    ap.add_argument("--server-only", action="store_true",
+                    help="run only the server soak (implies --server; "
+                         "skips hotpath and figures)")
     args = ap.parse_args()
+    if args.server_only:
+        args.server = True
 
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     bench_dir = os.path.join(args.build_dir, "bench")
@@ -239,11 +318,15 @@ def main():
             "threads": args.threads,
             "trace": trace,
         },
-        "hotpath": collect_hotpath(bench_dir, env,
-                                   "0.02" if args.quick else "0.2", telemetry),
-        "figures": [] if args.skip_figures
+        "hotpath": {} if args.server_only
+                   else collect_hotpath(bench_dir, env,
+                                        "0.02" if args.quick else "0.2",
+                                        telemetry),
+        "figures": [] if args.skip_figures or args.server_only
                    else collect_figures(bench_dir, env, telemetry),
     }
+    if args.server:
+        report["server"] = collect_server(bench_dir, env, telemetry)
     if telemetry:
         report["telemetry"] = telemetry
     with open(out_path, "w", encoding="utf-8") as f:

@@ -131,6 +131,60 @@ class TraceViewShardCounters(unittest.TestCase):
                        ["ring/publish/s0"])
 
 
+class TraceViewServerCounters(unittest.TestCase):
+    """Serving-layer vocabulary + shed/degrade reconciliation."""
+
+    def test_server_vocabulary_accepted(self):
+        events = [meta_event(valid_meta_args(events=4, threads=1)),
+                  instant("server/shed"),
+                  instant("server/degrade/normal"),
+                  instant("server/degrade/degraded"),
+                  instant("server/degrade/shedding")]
+        trace_view.validate_schema(events)
+
+    def test_unknown_server_state_rejected(self):
+        # src/obs/trace.cpp stamps only the three OverloadState names; an
+        # unknown state means the vocabulary drifted.
+        for name in ("server/degrade/panic", "server/degrade", "server/"):
+            with self.assertRaises(trace_view.CheckFailure):
+                trace_view.validate_schema(
+                    [meta_event(valid_meta_args(events=1, threads=1)),
+                     instant(name)])
+
+    def check(self, meta_extra: dict, names: list[str]) -> list[str]:
+        meta = valid_meta_args(events=len(names), threads=1)
+        meta.update(meta_extra)
+        events = [meta_event(meta)] + [instant(n) for n in names]
+        trace_view.validate_schema(events)
+        return trace_view.check_counters(
+            meta, trace_view.count_names(events))
+
+    def test_shed_and_degrade_counters_reconcile(self):
+        lines = self.check(
+            {"stats_server_sheds": 2, "stats_server_degrades_normal": 1,
+             "stats_server_degrades_degraded": 1,
+             "stats_server_degrades_shedding": 1},
+            ["server/shed", "server/shed", "server/degrade/degraded",
+             "server/degrade/shedding", "server/degrade/normal"])
+        self.assertTrue(any("server/shed: 2" in l for l in lines))
+
+    def test_shed_mismatch_rejected(self):
+        with self.assertRaises(trace_view.CheckFailure) as ctx:
+            self.check({"stats_server_sheds": 3}, ["server/shed"])
+        self.assertIn("server/shed", str(ctx.exception))
+
+    def test_degrade_state_mismatch_rejected(self):
+        with self.assertRaises(trace_view.CheckFailure):
+            self.check({"stats_server_degrades_shedding": 0},
+                       ["server/degrade/shedding"])
+
+    def test_drops_relax_to_upper_bound(self):
+        self.check({"dropped": 1, "stats_server_sheds": 5}, ["server/shed"])
+        with self.assertRaises(trace_view.CheckFailure):
+            self.check({"dropped": 1, "stats_server_sheds": 0},
+                       ["server/shed"])
+
+
 def footprint_doc(**overrides) -> dict:
     span = {"qname": "f", "file": "src/core/a.cpp", "line": 1,
             "kind": "fast", "reads": {"lo": 0, "hi": 0},
@@ -208,6 +262,59 @@ class BenchReportTelemetrySchema(unittest.TestCase):
     def test_missing_schema_rejected(self):
         with self.assertRaises(SystemExit):
             self.fold({"events": 0})
+
+
+def server_block(**overrides) -> dict:
+    phase = {"name": "sustained", "rate_tps": 1000.0, "duration_s": 1.0,
+             "offered": 10, "accepted": 9, "committed": 8, "shed": 1,
+             "rejected": 1, "throughput": 8.0, "p50_us": 100.0,
+             "p99_us": 900.0, "p999_us": 1500.0, "slo_ok": True}
+    block = {"schema": 1, "workers": 2, "slo_p99_ms": 5.0,
+             "phases": [phase],
+             "totals": {"submitted": 10, "accepted": 9, "rejected": 1,
+                        "committed": 8, "shed": 1,
+                        "degrades": {"normal": 0, "degraded": 0,
+                                     "shedding": 0}},
+             "conservation_ok": True}
+    block.update(overrides)
+    return block
+
+
+class BenchReportServerSchema(unittest.TestCase):
+    """bench_server soak-block validation (bench_report --server)."""
+
+    def test_current_schema_accepted(self):
+        bench_report.check_server_block(server_block())
+
+    def test_unknown_schema_rejected_with_valid_list(self):
+        with self.assertRaises(SystemExit) as ctx:
+            bench_report.check_server_block(server_block(schema=99))
+        msg = str(ctx.exception)
+        self.assertIn("99", msg)
+        self.assertIn(str(list(bench_report.VALID_SERVER_SCHEMAS)), msg)
+
+    def test_missing_phase_field_rejected(self):
+        block = server_block()
+        del block["phases"][0]["p99_us"]
+        with self.assertRaises(SystemExit) as ctx:
+            bench_report.check_server_block(block)
+        self.assertIn("p99_us", str(ctx.exception))
+
+    def test_empty_phases_rejected(self):
+        with self.assertRaises(SystemExit):
+            bench_report.check_server_block(server_block(phases=[]))
+
+    def test_missing_totals_field_rejected(self):
+        block = server_block()
+        del block["totals"]["degrades"]
+        with self.assertRaises(SystemExit):
+            bench_report.check_server_block(block)
+
+    def test_conservation_violation_rejected(self):
+        with self.assertRaises(SystemExit) as ctx:
+            bench_report.check_server_block(
+                server_block(conservation_ok=False))
+        self.assertIn("conservation", str(ctx.exception))
 
 
 if __name__ == "__main__":

@@ -40,6 +40,9 @@ PATHS = ("HTM", "SW", "GL")
 REASONS = ("conflict_exhaustion", "partitioned_exhaustion", "starvation",
            "irrevocable", "quarantine")
 RING_RESULTS = ("ok", "conflict", "rollover")
+# Serving-layer overload states (src/server/admission.hpp OverloadState —
+# keep in sync with server_state_name in src/obs/trace.cpp).
+SERVER_STATES = ("normal", "degraded", "shedding")
 # Per-shard keys are stats_ring_publishes_s<k> / stats_ring_validates_s<k>;
 # the shard count comes from the keys the run registered, not a constant
 # here, so the tool keeps working if core::ShardedRing::kShards changes.
@@ -56,6 +59,7 @@ NAME_RE = re.compile(
     r"|doom/(none|conflict|capacity|explicit|other)"
     r"|fallback/(conflict_exhaustion|partitioned_exhaustion|starvation"
     r"|irrevocable|quarantine)"
+    r"|server/shed|server/degrade/(normal|degraded|shedding)"
     r"|global_abort)$")
 
 
@@ -253,6 +257,20 @@ def check_counters(meta: dict, names: Counter) -> list[str]:
             counted = sum(names.get(f"ring/validate/{r}/s{shard}", 0)
                           for r in RING_RESULTS)
             compare(f"ring/validate/*/s{shard}", counted, meta[key])
+    # Serving layer: every shed and every overload-state transition is
+    # traced through the same apply path that bumps the server's counters
+    # (src/server/server.cpp apply_state / worker_main), so they reconcile
+    # like the TM-level events do.
+    if "stats_server_sheds" in meta:
+        found_any = True
+        compare("server/shed", names.get("server/shed", 0),
+                meta["stats_server_sheds"])
+    for state in SERVER_STATES:
+        key = f"stats_server_degrades_{state}"
+        if key in meta:
+            found_any = True
+            compare(f"server/degrade/{state}",
+                    names.get(f"server/degrade/{state}", 0), meta[key])
     if not found_any:
         lines.append("  (run registered no stats_* counters; "
                      "schema-only check)")
