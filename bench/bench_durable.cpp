@@ -1,0 +1,197 @@
+// Durable-mode micro-benchmarks (persist library flavor: PHTM_FAULTS=1 +
+// PHTM_PERSIST=1).
+//
+// Pins the cost model of the crash-consistent commit protocol
+// (DESIGN.md "Durability & recovery"):
+//
+//   Commit/*     one single-segment partitioned commit, volatile vs.
+//                durable — the delta is the WAL tax (undo-chunk append,
+//                two pfences, data pwbs, commit record);
+//   PersistOps/* the raw simulated-NVM primitives;
+//   Recover/*    a freeze + seeded crash + full recover() pass over a
+//                committed-transaction log.
+//
+// The volatile control runs the same no-fast-path backend so both sides
+// pay the identical partitioned software path; only the persistence
+// calls differ. The default build's hot path is unaffected by all of
+// this by construction (persist_compiled_out_symbols), so the regression
+// budget this file guards is the *durable flavor's own* overhead, not
+// the plain build's.
+//
+// In a PHTM_TRACE=ON tree the run registers its persistence counters
+// with the tracer (stats_persists_* / stats_crashes / stats_recoveries),
+// so tools/trace_view.py --check reconciles them 1:1 against the
+// persist/crash/recovery events.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/part_htm.hpp"
+#include "obs/trace.hpp"
+#include "sim/config.hpp"
+#include "sim/persist.hpp"
+#include "tm/heap.hpp"
+
+namespace {
+
+using namespace phtm;
+
+// Ops recorded outside any worker's sheet (domain driven directly).
+StatSheet g_direct;
+
+sim::HtmConfig bench_cfg() {
+  sim::HtmConfig cfg = sim::HtmConfig::testing();
+  return cfg;
+}
+
+/// One backend + worker + one durable word, persist on or off. The
+/// durable rig's log is reset (volatile cursor only) before it can fill;
+/// the amortized branch is noise next to the WAL work being measured.
+struct Rig {
+  explicit Rig(bool durable)
+      : rt(bench_cfg()),
+        backend(rt, tm::BackendConfig{}, core::PartHtmBackend::Mode::kSerializable,
+                /*no_fast=*/true),
+        dlog(std::size_t{1} << 14) {
+    cell = tm::TmHeap::instance().alloc_array<std::uint64_t>(8);
+    cell[0] = 0;
+    if (durable) {
+      dom.configure(bench_cfg().persist);
+      dom.format(cell, 0);
+      backend.set_persist(&dom, &dlog);
+    }
+    worker = backend.make_worker(0);
+  }
+  sim::HtmRuntime rt;
+  core::PartHtmBackend backend;
+  persist::PersistDomain dom;
+  persist::DurableLog dlog;
+  std::unique_ptr<tm::Worker> worker;
+  std::uint64_t* cell = nullptr;
+  std::uint64_t iters = 0;
+};
+
+Rig& volatile_rig() {
+  static Rig r(/*durable=*/false);
+  return r;
+}
+
+Rig& durable_rig() {
+  static Rig r(/*durable=*/true);
+  return r;
+}
+
+void run_one_txn(Rig& rig) {
+  std::uint64_t scratch = 0;
+  tm::Txn t;
+  t.step = +[](tm::Ctx& c, const void* e, void*, unsigned) {
+    std::uint64_t* cell = const_cast<std::uint64_t*>(
+        static_cast<const std::uint64_t*>(e));
+    c.write(cell, c.read(cell) + 1);
+    return false;  // single segment
+  };
+  t.env = rig.cell;
+  t.locals = &scratch;
+  t.locals_bytes = sizeof(scratch);
+  rig.backend.execute(*rig.worker, t);
+}
+
+/// Control: the identical partitioned software commit with no persistence
+/// domain attached — the baseline the WAL tax is measured against.
+void BM_CommitVolatile(benchmark::State& state) {
+  Rig& rig = volatile_rig();
+  for (auto _ : state) run_one_txn(rig);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommitVolatile);
+
+/// Durable commit: chunk append + fence, data pwbs, fence, commit record,
+/// fence (part_htm.cpp persist_sub_commit / persist_commit_record).
+void BM_CommitDurable(benchmark::State& state) {
+  Rig& rig = durable_rig();
+  for (auto _ : state) {
+    // ~2 cells per txn; reset the volatile cursor well before the 2^14
+    // cells fill (the durable image just gets overwritten in place).
+    if ((++rig.iters & 4095) == 0) rig.dlog.reset_volatile(0, 1);
+    run_one_txn(rig);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommitDurable);
+
+/// Raw primitive costs: four line write-backs and the fence that drains
+/// them (the per-sub-commit pattern for a 4-write segment).
+void BM_PersistOps(benchmark::State& state) {
+  persist::PersistDomain dom(bench_cfg().persist);
+  std::uint64_t words[4] = {};
+  for (auto _ : state) {
+    for (auto& w : words) dom.pwb(&w, &g_direct);
+    dom.pfence(&g_direct);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_PersistOps);
+
+/// Freeze + seeded crash + full recovery over a log of range(0) committed
+/// single-word transactions. Items = transactions scanned per pass.
+void BM_Recover(benchmark::State& state) {
+  const unsigned txns = static_cast<unsigned>(state.range(0));
+  persist::PersistDomain dom(bench_cfg().persist);
+  persist::DurableLog log(std::size_t{2} * txns + 8);
+  std::vector<std::uint64_t> words(txns, 0);
+  for (unsigned i = 0; i < txns; ++i) {
+    dom.format(&words[i], 0);
+    const std::uint64_t seq = log.alloc_seq();
+    core::UndoLog::Entry e{&words[i], 0};
+    words[i] = i + 1;
+    log.append_undo_chunk(dom, &g_direct, seq, &e, 1);
+    dom.pfence(&g_direct);
+    dom.pwb(&words[i], &g_direct);
+    dom.pfence(&g_direct);
+    log.append_outcome(dom, &g_direct, persist::RecordKind::kCommit, seq,
+                       nullptr);
+    dom.pfence(&g_direct);
+  }
+  for (auto _ : state) {
+    dom.freeze(&g_direct);
+    dom.crash(/*seed=*/state.iterations() + 1);
+    const persist::RecoveryReport rep =
+        persist::recover(dom, log, &g_direct);
+    benchmark::DoNotOptimize(rep.committed.size());
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_Recover)->Arg(16)->Arg(256);
+
+// Register the run's persistence counters with the tracer so an
+// instrumented build's trace reconciles under trace_view.py --check
+// (exact 1:1 with the persist/crash/recovery events when nothing was
+// dropped). No-op in untraced builds.
+void register_trace_counters() {
+  StatSheet total = g_direct;
+  total += volatile_rig().worker->stats();
+  total += durable_rig().worker->stats();
+  (void)total;  // untraced builds: the macros compile out
+  PHTM_TRACE_META("stats_persists_pwb",
+                  total.persists[static_cast<unsigned>(PersistOp::kPwb)]);
+  PHTM_TRACE_META("stats_persists_pfence",
+                  total.persists[static_cast<unsigned>(PersistOp::kPfence)]);
+  PHTM_TRACE_META("stats_persists_psync",
+                  total.persists[static_cast<unsigned>(PersistOp::kPsync)]);
+  PHTM_TRACE_META("stats_crashes", total.crashes);
+  PHTM_TRACE_META("stats_recoveries", total.recoveries);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  register_trace_counters();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -106,6 +106,13 @@ struct PartHtmBackend::W final : tm::Worker {
 
   tm::LocalsSnapshot txn_snap;  // whole-transaction rollback state
   tm::LocalsSnapshot seg_snap;  // per-segment rollback state
+
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  /// Durable sequence number of the in-flight global transaction: 0 until
+  /// its first undo chunk hits the log (read-only transactions and
+  /// transactions that abort before any sub-commit never consume one).
+  std::uint64_t dseq = 0;
+#endif
 };
 
 // ---------------------------------------------------------------------------
@@ -227,6 +234,14 @@ class PartHtmBackend::SubCtx final : public tm::Ctx {
         if (!self_locked(addr)) ops_.xabort(kXLockedByOther);
         // Already locked by this global transaction: the pre-lock value is
         // in the undo log (Fig. 2 lines 29-31) — just write.
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+        // Durable mode: re-log the displaced value anyway, so the segment
+        // that re-writes an address still covers it with a data
+        // write-back (the durable image must end at the LAST committed
+        // value). Reverse-order replay keeps rollback correct with the
+        // extra intermediate entries, exactly as in serializable mode.
+        w_.undo.stage(addr, ops_.read(addr));
+#endif
       } else {
         w_.undo.stage(addr, ops_.read(addr));
         ops_.write(tm::TmHeap::instance().shadow_of(addr), 1);  // acquire
@@ -467,6 +482,9 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   w.agg_sig.clear();
   w.undo.clear();
   w.wrote = false;
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  w.dseq = 0;
+#endif
 
   unsigned seg = 0;
   bool more = true;
@@ -591,7 +609,13 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     // The undo log and aggregate signature absorb the just-committed
     // sub-transaction *before* validating, so a failing validation's abort
     // handler rolls back and unlocks everything including this segment.
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+    const std::size_t undo_mark = w.undo.committed().size();
+#endif
     w.undo.promote_staged();
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+    persist_sub_commit(w, undo_mark);
+#endif
     w.agg_sig.union_with(w.write_sig);
     w.write_sig.clear();
     if (cfg_.validate_after_each_sub || mode_ == Mode::kOpaque) {
@@ -626,7 +650,13 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
       global_abort(w);
       return POutcome::kAborted;
     }
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+    persist_commit_record(w, nullptr);  // solo: no reserved timestamps
+#endif
     release_locks(w);
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+    crash_seam(w);  // seam: commit durable, locks released
+#endif
     w.read_sig.clear();
     w.agg_sig.clear();
     dec_active();
@@ -643,7 +673,7 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
   // timestamp (everything ordered before us), while read-only shards
   // validate to their current timestamp.
   const std::uint64_t wmask = Signature::shard_mask_of(w.agg_sig.occupancy());
-  std::uint64_t ts[ShardedRing::kShards];
+  std::uint64_t ts[ShardedRing::kShards] = {};  // unwritten shards stay 0
   std::uint64_t limits[ShardedRing::kShards];
   for (unsigned s = 0; s < ShardedRing::kShards; ++s)
     limits[s] = ~std::uint64_t{0};
@@ -689,7 +719,13 @@ PartHtmBackend::POutcome PartHtmBackend::partitioned_once(W& w, const tm::Txn& t
     global_abort(w);
     return POutcome::kAborted;
   }
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  persist_commit_record(w, ts);  // records the shard serialization point
+#endif
   release_locks(w);
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  crash_seam(w);  // seam: commit durable, locks released
+#endif
   w.read_sig.clear();
   w.agg_sig.clear();
   dec_active();
@@ -725,6 +761,9 @@ void PartHtmBackend::global_abort(W& w) {
   const auto& log = w.undo.committed();
   for (auto it = log.rbegin(); it != log.rend(); ++it)
     rt_.nontx_store(it->addr, it->old_val);
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  persist_abort_record(w);
+#endif
   release_locks(w);
   w.read_sig.clear();
   w.write_sig.clear();
@@ -734,6 +773,92 @@ void PartHtmBackend::global_abort(W& w) {
   PHTM_TRACE_GLOBAL_ABORT();
   dec_active();
 }
+
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+
+void PartHtmBackend::crash_seam(W& w) {
+#if defined(PHTM_FAULTS) && PHTM_FAULTS
+  if (pdom_ == nullptr) return;
+  if (auto* eng = rt_.fault_engine()) {
+    const sim::FaultDecision fd =
+        eng->visit(sim::FaultSite::kCrashPoint, w.th.slot());
+    if (fd.kind == sim::FaultKind::kCrash) pdom_->freeze(&w.stats());
+  }
+#else
+  (void)w;  // persist without faults: no crash seams, durability only
+#endif
+}
+
+void PartHtmBackend::persist_sub_commit(W& w, std::size_t mark) {
+  if (pdom_ == nullptr) return;
+  const auto& log = w.undo.committed();
+  if (log.size() == mark) return;  // read-only segment: nothing durable
+  if (w.dseq == 0) w.dseq = dlog_->alloc_seq();
+  // WAL order: chunk cells first, fence, THEN the data words — so a torn
+  // chunk implies its data never reached the durable image (recovery
+  // treats the chunk as absent and the data is still old; see durable.hpp).
+  dlog_->append_undo_chunk(*pdom_, &w.stats(), w.dseq, &log[mark],
+                           log.size() - mark);
+  pdom_->pfence(&w.stats());
+  crash_seam(w);  // seam: chunk durable, data write-backs not yet issued
+  for (std::size_t i = mark; i < log.size(); ++i)
+    pdom_->pwb(log[i].addr, &w.stats());
+  crash_seam(w);  // seam: data write-backs pending, not yet fenced
+}
+
+void PartHtmBackend::persist_commit_record(W& w, const std::uint64_t* shard_ts) {
+  if (pdom_ == nullptr || w.dseq == 0) return;
+  // Drain the data write-backs of every chunk, then make the verdict
+  // durable. Locks are still held: release happens only after the record
+  // fence below, which is what keeps unresolved-at-crash transactions
+  // address-disjoint from everything resolved.
+  pdom_->pfence(&w.stats());
+  crash_seam(w);  // seam: data durable, commit record not yet appended
+  dlog_->append_outcome(*pdom_, &w.stats(), persist::RecordKind::kCommit,
+                        w.dseq, shard_ts);
+  pdom_->pfence(&w.stats());
+  crash_seam(w);  // seam: commit durable, locks still held
+}
+
+void PartHtmBackend::persist_abort_record(W& w) {
+  if (pdom_ == nullptr || w.dseq == 0) return;
+  // The volatile rollback has already restored the displaced values; make
+  // the restoration durable, then the verdict, then (caller) the unlock.
+  const auto& log = w.undo.committed();
+  for (const auto& e : log) pdom_->pwb(e.addr, &w.stats());
+  pdom_->pfence(&w.stats());
+  dlog_->append_outcome(*pdom_, &w.stats(), persist::RecordKind::kAbort,
+                        w.dseq, nullptr);
+  pdom_->pfence(&w.stats());
+}
+
+/// Durable slow path context: DirectCtx's strong-atomicity routing plus a
+/// value undo record per write, so the glock holder can run the same WAL
+/// protocol as the partitioned path before releasing the lock.
+class PersistDirectCtx final : public tm::Ctx {
+ public:
+  explicit PersistDirectCtx(sim::HtmRuntime& rt) : rt_(rt) {}
+
+  std::uint64_t read(const std::uint64_t* addr) override {
+    sim::burn_work(tm::kDirectAccessCost);
+    return rt_.nontx_load(addr);
+  }
+  void write(std::uint64_t* addr, std::uint64_t val) override {
+    sim::burn_work(tm::kDirectAccessCost);
+    // span-waiver: slow-path-only context — runs under the global lock,
+    // never inside a hardware transaction.
+    undo.push_back({addr, rt_.nontx_load(addr)});
+    rt_.nontx_store(addr, val);
+  }
+  void work(std::uint64_t n) override { sim::burn_work(n); }
+
+  std::vector<UndoLog::Entry> undo;
+
+ private:
+  sim::HtmRuntime& rt_;
+};
+
+#endif  // PHTM_PERSIST
 
 void PartHtmBackend::slow_path(W& w, const tm::Txn& txn) {
   // Fig. 1 lines 61-65: acquire the global lock (aborting every hardware
@@ -775,8 +900,37 @@ void PartHtmBackend::slow_path(W& w, const tm::Txn& txn) {
       sim::burn_work(fd.arg != 0 ? fd.arg : 10'000);
   }
 #endif
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  if (pdom_ != nullptr) {
+    // Durable slow path: same WAL shape as the partitioned path, run in
+    // one piece while the global lock is held (the glock IS the lock that
+    // must outlive the outcome record — an unresolved slow transaction at
+    // crash is trivially disjoint from every concurrent one).
+    PersistDirectCtx ctx(rt_);
+    tm::run_all_segments(ctx, txn);
+    if (!ctx.undo.empty()) {
+      w.dseq = dlog_->alloc_seq();
+      dlog_->append_undo_chunk(*pdom_, &w.stats(), w.dseq, ctx.undo.data(),
+                               ctx.undo.size());
+      pdom_->pfence(&w.stats());
+      crash_seam(w);  // seam: chunk durable, data write-backs pending
+      for (const auto& e : ctx.undo) pdom_->pwb(e.addr, &w.stats());
+      pdom_->pfence(&w.stats());
+      crash_seam(w);  // seam: data durable, commit record not appended
+      dlog_->append_outcome(*pdom_, &w.stats(), persist::RecordKind::kCommit,
+                            w.dseq, nullptr);
+      pdom_->pfence(&w.stats());
+      crash_seam(w);  // seam: commit durable, glock still held
+      w.dseq = 0;
+    }
+  } else {
+    tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
+    tm::run_all_segments(ctx, txn);
+  }
+#else
   tm::DirectCtx ctx(rt_);  // strong-atomicity routed (see DirectCtx)
   tm::run_all_segments(ctx, txn);
+#endif
   rt_.nontx_store(&glock_.value, 0);
   // Hand off after the release store: the successor re-asserts glock_
   // itself, and the short free window lets hardware transactions slip
@@ -800,7 +954,14 @@ void PartHtmBackend::execute(tm::Worker& wb, const tm::Txn& txn) {
   // The transaction's step function identifies its site for the
   // degradation heuristics (one logical transaction type per call site).
   SiteState& site = sites_.of(reinterpret_cast<const void*>(txn.step));
-  if (!no_fast_ && !degraded()) {
+  bool skip_fast = no_fast_ || degraded();
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  // Durable mode: fast-path hardware commits publish writes without undo
+  // chunks, so they cannot be WAL-ordered — route everything through the
+  // partitioned (or slow) path, the same plumbing as degraded mode.
+  skip_fast = skip_fast || pdom_ != nullptr;
+#endif
+  if (!skip_fast) {
     if (site.should_skip_fast(cfg_.policy)) {
       // Quarantined site (persistent hardware failure): go straight to
       // the software paths until a probe re-admits it.

@@ -26,6 +26,11 @@
 #include "tm/backend.hpp"
 #include "util/cacheline.hpp"
 
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+#include "core/durable.hpp"
+#include "sim/persist.hpp"
+#endif
+
 namespace phtm::core {
 
 class PartHtmBackend final : public tm::Backend {
@@ -67,6 +72,34 @@ class PartHtmBackend final : public tm::Backend {
   }
   ShardedRing& ring() noexcept { return ring_; }
 
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  /// Durable mode (PHTM_PERSIST flavor only): run the write-ahead durable
+  /// commit protocol against `dom`/`log`. The harness owns both — they are
+  /// the "persistent memory" that survives an injected crash while this
+  /// backend's own state (locks, ring, tickets) is volatile and must be
+  /// quiescent (threads joined) when the crash is taken. Durable mode
+  /// routes every transaction through the partitioned or slow path: fast
+  /// hardware commits are not undo-logged, so they cannot be WAL-ordered.
+  void set_persist(persist::PersistDomain* dom,
+                   persist::DurableLog* log) noexcept {
+    pdom_ = dom;
+    dlog_ = log;
+  }
+  bool persist_on() const noexcept { return pdom_ != nullptr; }
+  persist::PersistDomain* persist_domain() noexcept { return pdom_; }
+  persist::DurableLog* durable_log() noexcept { return dlog_; }
+
+  /// Post-crash recovery entry point (see persist::recover). Call after
+  /// PersistDomain::crash() with all workers joined; afterwards the same
+  /// backend may resume executing transactions (its volatile protocol
+  /// state is clean by quiescence, and memory now equals the recovered
+  /// durable image).
+  persist::RecoveryReport recover_durable(
+      StatSheet* st = nullptr, std::uint64_t max_steps = ~std::uint64_t{0}) {
+    return persist::recover(*pdom_, *dlog_, st, max_steps);
+  }
+#endif
+
  private:
   struct W;
   class FastCtx;
@@ -105,6 +138,23 @@ class PartHtmBackend final : public tm::Backend {
   bool is_shard_ts_line(std::uint64_t line) noexcept;
 
   void slow_path(W& w, const tm::Txn& txn);
+
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  /// Consult the fault engine at the kCrashPoint seam; a kCrash decision
+  /// freezes the persist domain (the crash instant — execution continues,
+  /// see PersistDomain::freeze).
+  void crash_seam(W& w);
+  /// WAL steps for one committed sub-transaction: undo chunks -> fence ->
+  /// data write-backs (entries [mark, end) of the promoted undo log).
+  void persist_sub_commit(W& w, std::size_t mark);
+  /// Durable commit point: drain data, append the Commit record
+  /// (shard_ts = 4 reserved timestamps, or null for solo commits), fence.
+  /// Must run BEFORE release_locks.
+  void persist_commit_record(W& w, const std::uint64_t* shard_ts);
+  /// Durable abort point: write back the rolled-back words, fence, append
+  /// the Abort record, fence. Must run BEFORE release_locks.
+  void persist_abort_record(W& w);
+#endif
 
   /// Undo committed sub-HTM writes, release locks, leave the path.
   void global_abort(W& w);
@@ -145,6 +195,10 @@ class PartHtmBackend final : public tm::Backend {
   // entry. Pure path selection (fast vs force-partitioned); correctness
   // never depends on when a worker observes a flip.
   alignas(kCacheLineBytes) std::atomic<std::uint32_t> degraded_{0};
+#if defined(PHTM_PERSIST) && PHTM_PERSIST
+  persist::PersistDomain* pdom_ = nullptr;  ///< harness-owned; null = off
+  persist::DurableLog* dlog_ = nullptr;     ///< harness-owned; null = off
+#endif
 };
 
 }  // namespace phtm::core

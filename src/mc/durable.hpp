@@ -1,0 +1,122 @@
+// Durable opacity over crash-recovery outcomes (src/mc).
+//
+// After an injected crash and a recover() pass, the durable (= restored
+// volatile) state must be explainable by a *prefix* of the committed
+// transaction history: there must exist a subset S of the transactions
+// the pre-crash execution committed, and a serialization of S, such that
+//
+//   (a) S contains every transaction the harness confirmed durable before
+//       the freeze (its commit record was fenced while the domain was
+//       still live — "the user saw the commit complete"),
+//   (b) the serialization respects real-time order among S's members,
+//   (c) every read in S is explained by S alone (own writes shadowing the
+//       initial durable image) — this is the prefix-closure property: a
+//       surviving transaction must not have read from a dropped one, and
+//   (d) replaying S over the initial durable image reproduces the
+//       recovered memory exactly.
+//
+// Transactions outside S are the crash's prerogative: committed in the
+// volatile world, lost durably — allowed only if nothing surviving
+// depended on them. Re-crash-during-recovery scenarios feed the state
+// after the *final* recovery pass through the same predicate (recovery
+// idempotence: extra passes must not change the explicable set).
+//
+// Scenario scale is the model checker's (≤ ~5 transactions), so the
+// subset × permutation search is exact and instant.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mc/opacity.hpp"
+
+namespace phtm::mc {
+
+struct DurableInput {
+  /// Transactions the pre-crash execution committed (volatile view), with
+  /// the same op/stamp contract as HistoryInput.
+  std::vector<CommittedTx> txns;
+  /// Indices into `txns` of transactions confirmed durable before the
+  /// freeze; every admissible survivor set must contain them.
+  std::vector<unsigned> must_include;
+  /// Initial durable image of every tracked word.
+  std::vector<std::pair<const std::uint64_t*, std::uint64_t>> initial;
+  /// Memory after crash + recover() (durable image == restored volatile).
+  std::vector<std::pair<const std::uint64_t*, std::uint64_t>> recovered;
+};
+
+struct DurableVerdict {
+  bool ok = true;
+  std::string diagnosis;
+  std::vector<unsigned> survivors;  ///< tids of S in witness order (if ok)
+};
+
+inline DurableVerdict check_durable(const DurableInput& in) {
+  DurableVerdict v;
+  const std::size_t n = in.txns.size();
+  std::uint64_t must_mask = 0;
+  for (unsigned i : in.must_include) must_mask |= std::uint64_t{1} << i;
+
+  std::string first_fail = "empty survivor set does not match";
+  for (std::uint64_t sub = 0; sub < (std::uint64_t{1} << n); ++sub) {
+    if ((sub & must_mask) != must_mask) continue;  // (a)
+    std::vector<unsigned> members;
+    for (std::size_t i = 0; i < n; ++i)
+      if (sub & (std::uint64_t{1} << i)) members.push_back(static_cast<unsigned>(i));
+    std::sort(members.begin(), members.end());
+    do {
+      // (b) real-time order among the survivors.
+      bool rt_ok = true;
+      for (std::size_t p = 0; p < members.size() && rt_ok; ++p)
+        for (std::size_t q = p + 1; q < members.size() && rt_ok; ++q)
+          if (in.txns[members[q]].end_step < in.txns[members[p]].begin_step)
+            rt_ok = false;
+      if (!rt_ok) continue;
+      // (c) reads explained by the survivor prefix alone.
+      detail::Mem mem(in.initial.begin(), in.initial.end());
+      bool ok = true;
+      std::string why;
+      for (unsigned idx : members) {
+        if (!detail::sim_ops(in.txns[idx].ops, mem, /*commit=*/true, &why)) {
+          std::ostringstream os;
+          os << "survivor tid=" << in.txns[idx].tid << ": " << why;
+          first_fail = os.str();
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      // (d) the recovered image is exactly this prefix's outcome.
+      for (const auto& [a, rv] : in.recovered) {
+        auto it = mem.find(a);
+        const std::uint64_t wv = it == mem.end() ? 0 : it->second;
+        if (wv != rv) {
+          std::ostringstream os;
+          os << "recovered memory at " << a << " is " << rv
+             << " but the survivor prefix produces " << wv;
+          first_fail = os.str();
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      v.ok = true;
+      v.survivors.clear();
+      for (unsigned idx : members) v.survivors.push_back(in.txns[idx].tid);
+      return v;
+    } while (std::next_permutation(members.begin(), members.end()));
+  }
+
+  v.ok = false;
+  v.diagnosis =
+      "durable opacity violation: no confirmed-superset survivor subset of "
+      "the committed history explains the recovered state (last failure: " +
+      first_fail + ")";
+  return v;
+}
+
+}  // namespace phtm::mc

@@ -114,6 +114,9 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kFallback: return "fallback";
     case EventKind::kServerShed: return "server_shed";
     case EventKind::kServerDegrade: return "server_degrade";
+    case EventKind::kPersist: return "persist";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRecovery: return "recovery";
     default: return "?";
   }
 }
@@ -288,6 +291,11 @@ TraceSummary summarize(const std::vector<ThreadTrace>& traces) {
         case EventKind::kServerDegrade:
           if (e.aux < TraceSummary::kServerStates) ++s.server_degrades[e.aux];
           break;
+        case EventKind::kPersist:
+          if (e.aux < TraceSummary::kPersistOps) ++s.persists[e.aux];
+          break;
+        case EventKind::kCrash: ++s.crashes; break;
+        case EventKind::kRecovery: ++s.recoveries; break;
         default: break;
       }
     }
@@ -329,6 +337,11 @@ const char* val_name(std::uint8_t aux) noexcept {
     case 2: return "rollover";
     default: return "?";
   }
+}
+
+// Persistence-domain ops (util/stats.hpp PersistOp) by value.
+const char* persist_op_name(std::uint8_t aux) noexcept {
+  return aux < 3 ? to_string(static_cast<PersistOp>(aux)) : "?";
 }
 
 // Serving-layer overload-controller states (src/server/admission.hpp
@@ -508,6 +521,27 @@ bool write_chrome_trace(const std::string& path,
                        "\"args\":{}}",
                        server_state_name(e.aux), t.tid, us_of(e.ns, base));
           break;
+        case EventKind::kPersist:
+          std::fprintf(f,
+                       ",\n{\"name\":\"persist/%s\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"args\":{\"txn\":%u}}",
+                       persist_op_name(e.aux), t.tid, us_of(e.ns, base), e.txn);
+          break;
+        case EventKind::kCrash:
+          std::fprintf(f,
+                       ",\n{\"name\":\"crash\",\"ph\":\"i\",\"s\":\"g\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"args\":{}}",
+                       t.tid, us_of(e.ns, base));
+          break;
+        case EventKind::kRecovery:
+          std::fprintf(f,
+                       ",\n{\"name\":\"recovery\",\"ph\":\"i\",\"s\":\"g\","
+                       "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                       "\"args\":{\"rolled_back\":%llu,\"torn_cells\":%llu}}",
+                       t.tid, us_of(e.ns, base),
+                       static_cast<unsigned long long>(e.a0),
+                       static_cast<unsigned long long>(e.a1));
+          break;
         default:
           break;
       }
@@ -600,7 +634,15 @@ bool write_telemetry_json(const std::string& path, const TraceSummary& s,
     std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
                  server_state_name(static_cast<std::uint8_t>(i)),
                  static_cast<unsigned long long>(s.server_degrades[i]));
-  std::fputs("}},\n  \"commit_latency_ns\": {", f);
+  std::fputs("}},\n  \"persist\": {\"ops\": {", f);
+  for (unsigned i = 0; i < TraceSummary::kPersistOps; ++i)
+    std::fprintf(f, "%s\"%s\": %llu", i ? ", " : "",
+                 persist_op_name(static_cast<std::uint8_t>(i)),
+                 static_cast<unsigned long long>(s.persists[i]));
+  std::fprintf(f, "}, \"crashes\": %llu, \"recoveries\": %llu},\n",
+               static_cast<unsigned long long>(s.crashes),
+               static_cast<unsigned long long>(s.recoveries));
+  std::fputs("  \"commit_latency_ns\": {", f);
   for (unsigned i = 0; i < 3; ++i) {
     std::fprintf(f, "%s\"%s\": ", i ? ", " : "",
                  to_string(static_cast<CommitPath>(i)));

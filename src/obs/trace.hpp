@@ -70,6 +70,10 @@ enum class EventKind : std::uint8_t {
                    ///< execution; a0 = request id, a1 = queue delay ns
   kServerDegrade,  ///< overload-controller state transition; aux = new
                    ///< state (0 normal / 1 degraded / 2 shedding)
+  kPersist,        ///< persistence-domain op; aux = PersistOp
+                   ///< (0 pwb / 1 pfence / 2 psync)
+  kCrash,          ///< injected crash (persist-domain freeze)
+  kRecovery,       ///< recovery pass; a0 = rolled-back txns, a1 = torn cells
   kKindCount,
 };
 
@@ -204,6 +208,12 @@ struct TraceSummary {
   static constexpr unsigned kServerStates = 3;
   std::uint64_t server_sheds = 0;
   std::uint64_t server_degrades[kServerStates]{};
+  /// Durability events (persist flavor): ops by PersistOp, crash freezes,
+  /// recovery passes.
+  static constexpr unsigned kPersistOps = 3;
+  std::uint64_t persists[kPersistOps]{};
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
   Histogram commit_latency_ns[3];     ///< by CommitPath
   Histogram abort_latency_ns[4];      ///< by AbortCause
 };
@@ -317,6 +327,15 @@ bool finalize_from_env();
 #define PHTM_TRACE_SERVER_DEGRADE(state)                   \
   ::phtm::obs::emit(::phtm::obs::EventKind::kServerDegrade,\
                     static_cast<std::uint8_t>(state), 0, 0)
+#define PHTM_TRACE_PERSIST(op)                             \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kPersist,      \
+                    static_cast<std::uint8_t>(op), 0, 0)
+#define PHTM_TRACE_CRASH() \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kCrash, 0, 0, 0)
+#define PHTM_TRACE_RECOVERY(rolled_back, torn)             \
+  ::phtm::obs::emit(::phtm::obs::EventKind::kRecovery, 0,  \
+                    static_cast<std::uint64_t>(rolled_back),\
+                    static_cast<std::uint64_t>(torn))
 #define PHTM_TRACE_TXN_ENTER() ::phtm::obs::txn_enter()
 #define PHTM_TRACE_TXN_EXIT() ::phtm::obs::txn_exit()
 #define PHTM_TRACE_META(key, value) ::phtm::obs::set_meta((key), (value))
@@ -339,6 +358,9 @@ bool finalize_from_env();
 #define PHTM_TRACE_FALLBACK(reason) ((void)0)
 #define PHTM_TRACE_SERVER_SHED(id, delay_ns) ((void)0)
 #define PHTM_TRACE_SERVER_DEGRADE(state) ((void)0)
+#define PHTM_TRACE_PERSIST(op) ((void)0)
+#define PHTM_TRACE_CRASH() ((void)0)
+#define PHTM_TRACE_RECOVERY(rolled_back, torn) ((void)0)
 #define PHTM_TRACE_TXN_ENTER() ((void)0)
 #define PHTM_TRACE_TXN_EXIT() ((void)0)
 #define PHTM_TRACE_META(key, value) ((void)0)

@@ -22,6 +22,19 @@
 
 namespace phtm::sim {
 
+/// Persistence-domain model (CLWB+SFENCE on ADR — see sim/persist.hpp).
+/// Plain data in every build; consulted only by the persist library flavor
+/// (PHTM_PERSIST=1), same pattern as FaultPlan below.
+struct PersistConfig {
+  /// CLWB issue cost: paid per pwb (burn_work ticks).
+  std::uint64_t flush_latency_ticks = 40;
+  /// SFENCE drain cost: paid per pfence; psync pays double (ADR drain).
+  std::uint64_t fence_cost_ticks = 100;
+  /// Write-backs the flush queue holds before the oldest line spontaneously
+  /// drains to the durable image (cache-eviction analogue).
+  unsigned flush_queue_depth = 64;
+};
+
 struct HtmConfig {
   // --- write-set (L1) model ---
   unsigned write_lines_cap = 512;  ///< total L1 lines (32 KB / 64 B)
@@ -67,6 +80,12 @@ struct HtmConfig {
   // (PHTM_FAULTS=1).  See sim/fault.hpp for the determinism contract.
   FaultPlan faults;
 
+  // --- persistence domain (durable flavor) ---
+  // Plain data in every build; consulted only by the persist library
+  // flavor (PHTM_PERSIST=1). Per-profile values model the gap between a
+  // DIMM-class device (haswell/xeon defaults) and the synthetic machines.
+  PersistConfig persist;
+
   /// Intel i7-4770 profile used for most of the paper's plots:
   /// 4 cores, 8 hardware threads, HT pairs share the 32 KB L1.
   static HtmConfig haswell4c8t() {
@@ -80,6 +99,9 @@ struct HtmConfig {
     HtmConfig c;
     c.hyperthread_pairs = false;
     c.read_lines_cap = 100'000;  // much larger shared cache per socket
+    c.persist.flush_latency_ticks = 60;  // DIMM farther from the core
+    c.persist.fence_cost_ticks = 140;
+    c.persist.flush_queue_depth = 128;
     return c;
   }
 
@@ -112,15 +134,20 @@ struct HtmConfig {
     HtmConfig c;
     c.hyperthread_pairs = false;
     c.read_lines_cap = 360'000;
+    c.persist.flush_queue_depth = 256;  // deeper write-pending queue
     return c;
   }
 
   /// Deterministic profile for unit tests: no random aborts, generous
-  /// duration so only the knob under test fires.
+  /// duration so only the knob under test fires. Persistence costs are
+  /// token (1/2 ticks) so durable-protocol tests stay fast.
   static HtmConfig testing() {
     HtmConfig c;
     c.random_other_per_access = 0.0;
     c.tick_budget = 1'000'000'000;
+    c.persist.flush_latency_ticks = 1;
+    c.persist.fence_cost_ticks = 2;
+    c.persist.flush_queue_depth = 16;
     return c;
   }
 

@@ -15,6 +15,7 @@ const char* to_string(FaultSite s) noexcept {
     case FaultSite::kHwCommit: return "hw_commit";
     case FaultSite::kSubBoundary: return "sub_boundary";
     case FaultSite::kGlockHeld: return "glock_held";
+    case FaultSite::kCrashPoint: return "crash_point";
   }
   return "?";
 }
@@ -29,6 +30,7 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::kStall: return "stall";
     case FaultKind::kCapacityFlap: return "capacity_flap";
     case FaultKind::kRingPressure: return "ring_pressure";
+    case FaultKind::kCrash: return "crash";
   }
   return "?";
 }

@@ -35,8 +35,9 @@ enum class FaultSite : std::uint8_t {
   kHwCommit,     ///< hardware commit point, before the doom latch closes
   kSubBoundary,  ///< partitioned path, between sub-transactions
   kGlockHeld,    ///< slow path, while the global lock is held
+  kCrashPoint,   ///< durable commit protocol steps (persist flavor only)
 };
-inline constexpr unsigned kFaultSiteCount = 5;
+inline constexpr unsigned kFaultSiteCount = 6;
 
 enum class FaultKind : std::uint8_t {
   kNone,
@@ -47,8 +48,9 @@ enum class FaultKind : std::uint8_t {
   kStall,          ///< burn `arg` simulator ticks in place (preemption)
   kCapacityFlap,   ///< halve capacity on odd firing epochs (see below)
   kRingPressure,   ///< burn a global-ring slot with an empty entry
+  kCrash,          ///< freeze the persist domain (whole-machine crash)
 };
-inline constexpr unsigned kFaultKindCount = 8;
+inline constexpr unsigned kFaultKindCount = 9;
 
 const char* to_string(FaultSite s) noexcept;
 const char* to_string(FaultKind k) noexcept;

@@ -1,0 +1,182 @@
+#include "sim/persist.hpp"
+
+#include "obs/trace.hpp"
+#include "sim/runtime.hpp"
+
+namespace phtm::persist {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Per-address crash coin flip: pure function of (seed, addr), independent
+/// of container iteration order, so a torn prefix replays exactly from the
+/// seed alone.
+bool crash_keeps(std::uint64_t seed, const std::uint64_t* addr) {
+  return (splitmix64(seed ^ reinterpret_cast<std::uint64_t>(addr)) & 1) != 0;
+}
+
+}  // namespace
+
+void PersistDomain::configure(const sim::PersistConfig& cfg) {
+  LockGuard<Spinlock> g(lock_);
+  cfg_ = cfg;
+}
+
+void PersistDomain::drain_locked(Image& im) {
+  for (std::uint64_t* addr : im.order) im.durable[addr] = im.pending[addr];
+  im.pending.clear();
+  im.order.clear();
+}
+
+void PersistDomain::pwb(std::uint64_t* addr, StatSheet* st) {
+  // raw-atomic: capture the word's current volatile value at pwb time (the
+  // model's CLWB snapshot semantics, header comment).
+  // relaxed: value capture only — persistence ordering comes from pfence,
+  // never from the write-back itself.
+  const std::uint64_t val = __atomic_load_n(addr, __ATOMIC_RELAXED);
+  std::uint64_t lat = 0;
+  {
+    LockGuard<Spinlock> g(lock_);
+    lat = cfg_.flush_latency_ticks;
+    auto [it, fresh] = live_.pending.emplace(addr, val);
+    if (fresh) {
+      live_.order.push_back(addr);
+    } else {
+      it->second = val;
+    }
+    // Finite flush queue: overflowing spontaneously evicts the oldest
+    // entry into the durable image (a line written back long before any
+    // fence — pwb'd state may persist at ANY later moment).
+    while (live_.order.size() > cfg_.flush_queue_depth) {
+      std::uint64_t* oldest = live_.order.front();
+      live_.order.pop_front();
+      live_.durable[oldest] = live_.pending[oldest];
+      live_.pending.erase(oldest);
+    }
+    ++pwbs_;
+    ticks_ += lat;
+  }
+  sim::burn_work(lat);
+  PHTM_TRACE_PERSIST(PersistOp::kPwb);
+  if (st) st->add_persist(PersistOp::kPwb);
+}
+
+void PersistDomain::fence_impl(StatSheet* st, bool sync) {
+  std::uint64_t cost = 0;
+  {
+    LockGuard<Spinlock> g(lock_);
+    drain_locked(live_);
+    // psync additionally waits out the ADR capacitor path; model that as a
+    // second fence worth of latency.
+    cost = sync ? 2 * cfg_.fence_cost_ticks : cfg_.fence_cost_ticks;
+    if (sync) {
+      ++psyncs_;
+    } else {
+      ++pfences_;
+    }
+    ticks_ += cost;
+  }
+  sim::burn_work(cost);
+  PHTM_TRACE_PERSIST(sync ? PersistOp::kPsync : PersistOp::kPfence);
+  if (st) st->add_persist(sync ? PersistOp::kPsync : PersistOp::kPfence);
+}
+
+void PersistDomain::pfence(StatSheet* st) { fence_impl(st, /*sync=*/false); }
+void PersistDomain::psync(StatSheet* st) { fence_impl(st, /*sync=*/true); }
+
+void PersistDomain::format(std::uint64_t* addr, std::uint64_t val) {
+  LockGuard<Spinlock> g(lock_);
+  live_.durable[addr] = val;
+}
+
+std::uint64_t PersistDomain::durable(const std::uint64_t* addr) const {
+  LockGuard<Spinlock> g(lock_);
+  const auto it =
+      live_.durable.find(const_cast<std::uint64_t*>(addr));
+  return it == live_.durable.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::uint64_t*, std::uint64_t>>
+PersistDomain::snapshot_durable() const {
+  LockGuard<Spinlock> g(lock_);
+  std::vector<std::pair<std::uint64_t*, std::uint64_t>> out;
+  out.reserve(live_.durable.size());
+  for (const auto& [addr, val] : live_.durable) out.emplace_back(addr, val);
+  return out;
+}
+
+void PersistDomain::freeze(StatSheet* st) {
+  {
+    LockGuard<Spinlock> g(lock_);
+    if (frozen_) return;  // first crash seam wins
+    frozen_ = true;
+    frozen_img_ = live_;
+    ++crashes_;
+  }
+  PHTM_TRACE_CRASH();
+  if (st) st->add_crash();
+}
+
+bool PersistDomain::frozen() const {
+  LockGuard<Spinlock> g(lock_);
+  return frozen_;
+}
+
+void PersistDomain::crash(std::uint64_t seed) {
+  crash_keep([seed](const std::uint64_t* addr) {
+    return crash_keeps(seed, addr);
+  });
+}
+
+void PersistDomain::crash_keep(
+    const std::function<bool(const std::uint64_t*)>& keep) {
+  LockGuard<Spinlock> g(lock_);
+  if (!frozen_) frozen_img_ = live_;
+  live_.durable = frozen_img_.durable;
+  for (std::uint64_t* addr : frozen_img_.order) {
+    if (keep(addr)) live_.durable[addr] = frozen_img_.pending[addr];
+  }
+  live_.pending.clear();
+  live_.order.clear();
+  frozen_img_ = Image{};
+  frozen_ = false;
+}
+
+std::size_t PersistDomain::pending_size() const {
+  LockGuard<Spinlock> g(lock_);
+  return frozen_ ? frozen_img_.order.size() : live_.order.size();
+}
+
+std::uint64_t PersistDomain::pwbs() const {
+  LockGuard<Spinlock> g(lock_);
+  return pwbs_;
+}
+std::uint64_t PersistDomain::pfences() const {
+  LockGuard<Spinlock> g(lock_);
+  return pfences_;
+}
+std::uint64_t PersistDomain::psyncs() const {
+  LockGuard<Spinlock> g(lock_);
+  return psyncs_;
+}
+std::uint64_t PersistDomain::crashes() const {
+  LockGuard<Spinlock> g(lock_);
+  return crashes_;
+}
+std::uint64_t PersistDomain::ticks() const {
+  LockGuard<Spinlock> g(lock_);
+  return ticks_;
+}
+
+sim::PersistConfig PersistDomain::config() const {
+  LockGuard<Spinlock> g(lock_);
+  return cfg_;
+}
+
+}  // namespace phtm::persist

@@ -22,13 +22,18 @@ void dump(const char* name, const phtm::sim::HtmConfig& c, bool last) {
       "   \"scale_read_cap_with_conc\": %s,\n"
       "   \"tick_budget\": %llu,\n"
       "   \"hyperthread_pairs\": %s,\n"
-      "   \"ht_sibling_stride\": %u\n"
+      "   \"ht_sibling_stride\": %u,\n"
+      "   \"persist_flush_latency_ticks\": %llu,\n"
+      "   \"persist_fence_cost_ticks\": %llu,\n"
+      "   \"persist_flush_queue_depth\": %u\n"
       "  }%s\n",
       name, c.write_lines_cap, c.assoc_sets, c.assoc_ways, c.read_lines_cap,
       c.scale_read_cap_with_conc ? "true" : "false",
       static_cast<unsigned long long>(c.tick_budget),
       c.hyperthread_pairs ? "true" : "false", c.ht_sibling_stride,
-      last ? "" : ",");
+      static_cast<unsigned long long>(c.persist.flush_latency_ticks),
+      static_cast<unsigned long long>(c.persist.fence_cost_ticks),
+      c.persist.flush_queue_depth, last ? "" : ",");
 }
 
 }  // namespace

@@ -47,6 +47,7 @@ void HtmRuntime::fault_hw_point(FaultSite site, unsigned slot) {
     case FaultKind::kNone:
     case FaultKind::kCapacityFlap:   // stateful: read via capacity_divisor
     case FaultKind::kRingPressure:   // protocol-level, core hooks only
+    case FaultKind::kCrash:          // fired at crash_seam() only, never here
       return;
     case FaultKind::kAbortConflict:
       throw TxAbort{AbortStatus{AbortCode::kConflict, 0, 0}};

@@ -65,6 +65,25 @@ enum class FallbackReason : unsigned {
   kReasonCount,
 };
 
+/// Persistence-domain operations (durable flavor, sim/persist.hpp). Each
+/// op is traced as one kPersist event and counted here 1:1, same contract
+/// as the abort/commit taxonomies above.
+enum class PersistOp : unsigned {
+  kPwb = 0,   ///< persist write-back (CLWB): word onto the flush queue
+  kPfence,    ///< persist fence (SFENCE): drain the flush queue
+  kPsync,     ///< persist sync: fence plus the full ADR drain
+  kOpCount,
+};
+
+inline const char* to_string(PersistOp op) {
+  switch (op) {
+    case PersistOp::kPwb: return "pwb";
+    case PersistOp::kPfence: return "pfence";
+    case PersistOp::kPsync: return "psync";
+    default: return "?";
+  }
+}
+
 inline const char* to_string(FallbackReason r) {
   switch (r) {
     case FallbackReason::kConflictExhaustion: return "conflict_exhaustion";
@@ -105,6 +124,10 @@ struct alignas(kCacheLineBytes) StatSheet {
   /// (empty-shard watermark advances are free and not counted).
   std::uint64_t ring_validates_by_shard[kRingShards]{};
   std::uint64_t fallbacks[static_cast<unsigned>(FallbackReason::kReasonCount)]{};
+  /// Persistence-domain ops by kind (durable flavor; zero elsewhere).
+  std::uint64_t persists[static_cast<unsigned>(PersistOp::kOpCount)]{};
+  std::uint64_t crashes{};     ///< injected crash freezes (kCrashPoint)
+  std::uint64_t recoveries{};  ///< recover() passes executed
 
   void record_abort(AbortCause c) noexcept {
     bump(&aborts[static_cast<unsigned>(c)]);
@@ -126,6 +149,11 @@ struct alignas(kCacheLineBytes) StatSheet {
   void add_ring_validate(unsigned shard) noexcept {
     bump(&ring_validates_by_shard[shard]);
   }
+  void add_persist(PersistOp op) noexcept {
+    bump(&persists[static_cast<unsigned>(op)]);
+  }
+  void add_crash() noexcept { bump(&crashes); }
+  void add_recovery() noexcept { bump(&recoveries); }
 
   /// Torn-read-safe copy for a drainer polling a live sheet: every field is
   /// read with a relaxed atomic load, pairing with bump()'s stores. Counts
@@ -148,6 +176,10 @@ struct alignas(kCacheLineBytes) StatSheet {
     }
     for (unsigned i = 0; i < static_cast<unsigned>(FallbackReason::kReasonCount); ++i)
       s.fallbacks[i] = read(&fallbacks[i]);
+    for (unsigned i = 0; i < static_cast<unsigned>(PersistOp::kOpCount); ++i)
+      s.persists[i] = read(&persists[i]);
+    s.crashes = read(&crashes);
+    s.recoveries = read(&recoveries);
     return s;
   }
 
@@ -178,6 +210,10 @@ struct alignas(kCacheLineBytes) StatSheet {
     }
     for (unsigned i = 0; i < static_cast<unsigned>(FallbackReason::kReasonCount); ++i)
       fallbacks[i] += o.fallbacks[i];
+    for (unsigned i = 0; i < static_cast<unsigned>(PersistOp::kOpCount); ++i)
+      persists[i] += o.persists[i];
+    crashes += o.crashes;
+    recoveries += o.recoveries;
     return *this;
   }
 

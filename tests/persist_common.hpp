@@ -1,0 +1,195 @@
+// Shared scaffolding for the recovery suites (tests/persist_*,
+// tests/recovery_*, tests/durable_opacity_*).
+//
+// The persist tests drive the PART-HTM backend in durable mode (persist
+// library flavor: PHTM_FAULTS=1 + PHTM_PERSIST=1) on real threads while
+// the fault layer's kCrashPoint seams freeze the persistence domain
+// mid-protocol, then take the crash, run recovery, and check DURABLE
+// OPACITY: the recovered state must be explainable by a confirmed-superset
+// subset of the committed history (mc/durable.hpp).
+//
+// Freeze-and-continue: a kCrash decision freezes the domain (the crash
+// instant) but execution continues normally — everything after the freeze
+// is exactly the work a real crash would have lost. The harness joins the
+// round's threads, takes the crash (PersistDomain::crash), recovers, and
+// checks the freeze round's transactions against the volatile snapshot
+// taken at the round boundary (rounds are joined, so the snapshot is a
+// consistent durable prefix: every earlier round's transaction was
+// confirmed durable long before the freeze).
+//
+// Seeds follow the chaos protocol (chaos_common.hpp): PHTM_CHAOS_SEED or
+// the fixed default, printed once for replay.
+#pragma once
+
+#include "chaos_common.hpp"
+
+#include "core/durable.hpp"
+#include "mc/durable.hpp"
+#include "sim/persist.hpp"
+
+#if !defined(PHTM_PERSIST) || !PHTM_PERSIST
+#error "persist tests must link the persist library flavor (PHTM_PERSIST=1)"
+#endif
+
+namespace phtm::test {
+
+/// Round-based durable-history harness: each round runs one two-segment
+/// read-modify-write transaction per thread (same shape as the chaos
+/// harness), captures the ops through the model checker's Recorder, and
+/// remembers per transaction whether its commit was confirmed durable
+/// (execute() returned while the domain was still unfrozen — its commit
+/// record was fenced strictly before the crash instant).
+class PersistHarness {
+ public:
+  static constexpr unsigned kCells = 8;
+
+  explicit PersistHarness(const sim::HtmConfig& cfg, unsigned threads,
+                          core::PartHtmBackend::Mode mode =
+                              core::PartHtmBackend::Mode::kSerializable,
+                          std::size_t log_cells = 4096)
+      : rt_(cfg),
+        backend_(rt_, tm::BackendConfig{}, mode, /*no_fast=*/false),
+        dlog_(log_cells),
+        threads_(threads) {
+    dom_.configure(cfg.persist);
+    cells_ = tm::TmHeap::instance().alloc_array<std::uint64_t>(kCells * 8);
+    for (unsigned i = 0; i < kCells; ++i) {
+      cells_[i * 8] = 0;
+      dom_.format(&cells_[i * 8], 0);  // mkfs: register the durable words
+    }
+    backend_.set_persist(&dom_, &dlog_);
+    for (unsigned t = 0; t < threads; ++t)
+      workers_.push_back(backend_.make_worker(t));
+  }
+
+  sim::HtmRuntime& runtime() noexcept { return rt_; }
+  core::PartHtmBackend& backend() noexcept { return backend_; }
+  persist::PersistDomain& domain() noexcept { return dom_; }
+  persist::DurableLog& log() noexcept { return dlog_; }
+  std::uint64_t* cell(unsigned i) noexcept { return &cells_[i * 8]; }
+
+  /// Aggregate worker stat sheets (persist op counters etc.). Call after
+  /// the round's threads joined.
+  StatSheet stats() const {
+    StatSheet s;
+    for (const auto& w : workers_) s += w->stats();
+    return s;
+  }
+
+  struct RoundResult {
+    std::vector<mc::CommittedTx> txns;  ///< stamps zeroed (preemptive run)
+    std::vector<unsigned> confirmed;    ///< indices confirmed durable
+    /// Volatile cell snapshot at the round boundary BEFORE this round —
+    /// the consistent durable prefix the round's survivors extend.
+    std::vector<std::pair<const std::uint64_t*, std::uint64_t>> pre;
+    bool froze = false;  ///< the domain froze during this round
+  };
+
+  /// One round: every thread executes one two-segment increment of two
+  /// cells; per-thread confirmation is sampled right after execute().
+  RoundResult run_round(unsigned round) {
+    RoundResult out;
+    for (unsigned i = 0; i < kCells; ++i)
+      out.pre.emplace_back(&cells_[i * 8], cells_[i * 8]);
+
+    mc::Recorder rec;
+    rec.reset(threads_);
+    struct Env {
+      std::uint64_t* cells;
+      mc::Recorder* rec;
+    } env{cells_, &rec};
+    struct L {
+      mc::TxLog log;
+      std::uint64_t tid;
+      std::uint64_t a, b;
+    };
+    static_assert(std::is_trivially_copyable_v<L>);
+
+    std::vector<char> conf(threads_, 0);
+    run_threads(threads_, [&](unsigned tid) {
+      L l{};
+      l.tid = tid;
+      l.a = tid % kCells;
+      l.b = (tid + 1 + round) % kCells;
+      tm::Txn t;
+      t.step = +[](tm::Ctx& c, const void* e, void* lp, unsigned seg) {
+        const Env& en = *static_cast<const Env*>(e);
+        L& loc = *static_cast<L*>(lp);
+        const unsigned tid = static_cast<unsigned>(loc.tid);
+        std::uint64_t* cell = &en.cells[(seg == 0 ? loc.a : loc.b) * 8];
+        const std::uint64_t v = mc::rec_read(c, *en.rec, tid, loc.log, cell);
+        mc::rec_write(c, *en.rec, tid, loc.log, cell, v + 1);
+        return seg == 0;
+      };
+      t.env = &env;
+      t.locals = &l;
+      t.locals_bytes = sizeof(L);
+      backend_.execute(*workers_[tid], t);
+      rec.finish(tid, l.log);
+      // Confirmation sample: if the domain is not frozen now, this
+      // transaction's commit record was fenced before the crash instant
+      // (pfence precedes execute() returning precedes this load) — a
+      // real client was told "committed" and durability is owed.
+      conf[tid] = dom_.frozen() ? 0 : 1;
+    });
+
+    for (unsigned tid = 0; tid < threads_; ++tid) {
+      const mc::TxRecord& r = rec.record(tid);
+      EXPECT_TRUE(r.committed) << "tid " << tid << " never committed";
+      out.txns.push_back(mc::CommittedTx{tid, r.mirror, 0, 0});
+      if (conf[tid]) out.confirmed.push_back(tid);
+    }
+    out.froze = dom_.frozen();
+    return out;
+  }
+
+  /// Run rounds until the fault plan freezes the domain; returns the
+  /// freeze round's result (froze == true) or the last round's (froze ==
+  /// false) after `max_rounds`.
+  RoundResult run_until_frozen(unsigned max_rounds) {
+    RoundResult last;
+    for (unsigned r = 0; r < max_rounds; ++r) {
+      last = run_round(r);
+      if (last.froze) return last;
+    }
+    return last;
+  }
+
+  /// Durable-opacity input for a freeze round: survivors must extend the
+  /// pre-round snapshot, include every harness-confirmed transaction and
+  /// every transaction recovery itself reported committed (a post-restart
+  /// client would be told those committed), and reproduce the recovered
+  /// cells exactly.
+  mc::DurableVerdict check_round(const RoundResult& r,
+                                 const persist::RecoveryReport& rep,
+                                 const std::vector<std::uint64_t>& txn_seqs =
+                                     {}) const {
+    mc::DurableInput in;
+    in.initial = r.pre;
+    in.txns = r.txns;
+    in.must_include = r.confirmed;
+    for (std::size_t i = 0; i < txn_seqs.size(); ++i) {
+      if (txn_seqs[i] == 0) continue;
+      for (std::uint64_t s : rep.committed)
+        if (s == txn_seqs[i]) {
+          bool dup = false;
+          for (unsigned m : in.must_include) dup = dup || m == i;
+          if (!dup) in.must_include.push_back(static_cast<unsigned>(i));
+        }
+    }
+    for (unsigned i = 0; i < kCells; ++i)
+      in.recovered.emplace_back(&cells_[i * 8], cells_[i * 8]);
+    return mc::check_durable(in);
+  }
+
+ private:
+  sim::HtmRuntime rt_;
+  core::PartHtmBackend backend_;
+  persist::PersistDomain dom_;
+  persist::DurableLog dlog_;
+  unsigned threads_;
+  std::uint64_t* cells_ = nullptr;
+  std::vector<std::unique_ptr<tm::Worker>> workers_;
+};
+
+}  // namespace phtm::test

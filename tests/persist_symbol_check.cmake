@@ -1,0 +1,30 @@
+# Asserts that a plain (non-durable) binary carries no persistence-layer
+# symbols: without PHTM_PERSIST the durable commit protocol is compiled
+# out, sim/persist.cpp is not in the link, and nothing may reference
+# phtm::persist. A match means a persist call leaked past the macro gate
+# (or a plain library started touching the domain unconditionally) — the
+# durable layer is no longer zero-cost when unset.
+#
+# Usage: cmake -DNM=<nm> -DBINARY=<file> -P persist_symbol_check.cmake
+if(NOT EXISTS "${BINARY}")
+  message(FATAL_ERROR "binary not found: ${BINARY}")
+endif()
+
+execute_process(COMMAND "${NM}" "${BINARY}"
+                OUTPUT_VARIABLE symbols
+                RESULT_VARIABLE rv
+                ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY}: ${err}")
+endif()
+
+# The phtm::persist namespace mangles as ...N4phtm7persist...; any hit
+# means durable-layer code was linked in.
+string(REGEX MATCHALL "[^\n]*4phtm7persist[^\n]*" hits "${symbols}")
+if(hits)
+  list(LENGTH hits n)
+  list(GET hits 0 first)
+  message(FATAL_ERROR
+          "plain binary contains ${n} persist-layer symbol(s), e.g.: ${first}")
+endif()
+message(STATUS "no persist-layer symbols in ${BINARY}")

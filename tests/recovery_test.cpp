@@ -1,0 +1,255 @@
+// Deterministic write-ahead-log and recovery scenarios (core/durable.hpp)
+// driven directly against a PersistDomain + DurableLog: torn commit
+// records, unresolved-transaction rollback, double undo replay, and
+// re-crash in the middle of recovery (idempotence).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/durable.hpp"
+#include "sim/config.hpp"
+#include "sim/persist.hpp"
+
+namespace phtm::test {
+namespace {
+
+using persist::DurableLog;
+using persist::PersistDomain;
+using persist::RecordKind;
+using persist::RecoveryReport;
+
+sim::PersistConfig fast_cfg() {
+  sim::PersistConfig c;
+  c.flush_latency_ticks = 1;
+  c.fence_cost_ticks = 2;
+  c.flush_queue_depth = 64;
+  return c;
+}
+
+/// One correctly WAL-ordered single-word transaction against dom/log:
+/// x: old -> val. Stops after `upto` protocol steps (0..5) so tests can
+/// crash at every window. Returns the transaction's seq.
+std::uint64_t wal_txn(PersistDomain& dom, DurableLog& log, std::uint64_t* x,
+                      std::uint64_t val, unsigned upto = 5) {
+  const std::uint64_t seq = log.alloc_seq();
+  core::UndoLog::Entry e{x, *x};
+  *x = val;                                                // step 0: write
+  if (upto < 1) return seq;
+  log.append_undo_chunk(dom, nullptr, seq, &e, 1);         // step 1: chunk
+  if (upto < 2) return seq;
+  dom.pfence();                                            // step 2: fence
+  if (upto < 3) return seq;
+  dom.pwb(x);                                              // step 3: data
+  if (upto < 4) return seq;
+  dom.pfence();                                            // step 4: fence
+  if (upto < 5) return seq;
+  log.append_outcome(dom, nullptr, RecordKind::kCommit, seq, nullptr);
+  dom.pfence();                                            // step 5: record
+  return seq;
+}
+
+TEST(Recovery, CommittedTransactionSurvivesCleanCrash) {
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t x = 5;
+  dom.format(&x, 5);
+  const std::uint64_t seq = wal_txn(dom, log, &x, 6);
+  dom.crash(/*seed=*/1);  // nothing pending: the fence drained everything
+  x = 0xdead;             // volatile state is garbage after a crash
+  const RecoveryReport rep = persist::recover(dom, log);
+  EXPECT_TRUE(rep.complete);
+  ASSERT_EQ(rep.committed.size(), 1u);
+  EXPECT_EQ(rep.committed[0], seq);
+  EXPECT_TRUE(rep.rolled_back.empty());
+  EXPECT_EQ(rep.torn_cells, 0u);
+  EXPECT_EQ(x, 6u);               // volatile restored from durable
+  EXPECT_EQ(dom.durable(&x), 6u);
+}
+
+TEST(Recovery, UnresolvedTransactionRollsBackAndAppendsAbort) {
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t x = 5;
+  dom.format(&x, 5);
+  const std::uint64_t seq =
+      wal_txn(dom, log, &x, 6, /*upto=*/4);  // data durable, no record
+  dom.crash(1);
+  const RecoveryReport rep = persist::recover(dom, log);
+  EXPECT_TRUE(rep.complete);
+  ASSERT_EQ(rep.rolled_back.size(), 1u);
+  EXPECT_EQ(rep.rolled_back[0], seq);
+  EXPECT_EQ(x, 5u);
+  EXPECT_EQ(dom.durable(&x), 5u);
+  // The rollback is durable: a second recovery finds an Abort record and
+  // replays nothing (idempotence).
+  dom.crash(2);
+  const RecoveryReport rep2 = persist::recover(dom, log);
+  EXPECT_TRUE(rep2.complete);
+  EXPECT_TRUE(rep2.rolled_back.empty());
+  ASSERT_EQ(rep2.aborted.size(), 1u);
+  EXPECT_EQ(rep2.aborted[0], seq);
+  EXPECT_EQ(x, 5u);
+}
+
+TEST(Recovery, TornCommitRecordMeansRollback) {
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t x = 5;
+  dom.format(&x, 5);
+  const std::uint64_t seq = wal_txn(dom, log, &x, 6, /*upto=*/4);
+  log.append_outcome(dom, nullptr, RecordKind::kCommit, seq, nullptr);
+  // No fence after the record: its 34 cell words are pending. Crash with
+  // the checksum word lost — a torn record, which must read as ABSENT.
+  const std::uint64_t* drop = &log.cell(1)[DurableLog::kCellWords - 1];
+  dom.crash_keep([drop](const std::uint64_t* a) { return a != drop; });
+  const RecoveryReport rep = persist::recover(dom, log);
+  EXPECT_TRUE(rep.complete);
+  EXPECT_EQ(rep.torn_cells, 1u);
+  ASSERT_EQ(rep.rolled_back.size(), 1u);
+  EXPECT_EQ(rep.rolled_back[0], seq);
+  EXPECT_EQ(x, 5u) << "a torn commit record must not commit the data";
+}
+
+TEST(Recovery, TornRecordThatFullyPersistedCommits) {
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t x = 5;
+  dom.format(&x, 5);
+  (void)wal_txn(dom, log, &x, 6, /*upto=*/4);
+  log.append_outcome(dom, nullptr, RecordKind::kCommit, log.alloc_seq() - 1,
+                     nullptr);
+  dom.crash_keep([](const std::uint64_t*) { return true; });  // all made it
+  const RecoveryReport rep = persist::recover(dom, log);
+  EXPECT_EQ(rep.committed.size(), 1u);
+  EXPECT_EQ(x, 6u);
+}
+
+TEST(Recovery, DoubleUndoReplayIsIdempotent) {
+  // Re-crash in the middle of recovery: the first pass restores a prefix
+  // of the undo pairs (step budget), the crash tears its write-backs, and
+  // the second pass replays everything again — same final state.
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t w[3] = {10, 20, 30};
+  for (auto& v : w) dom.format(&v, v);
+  const std::uint64_t seq = log.alloc_seq();
+  core::UndoLog::Entry es[3] = {{&w[0], 10}, {&w[1], 20}, {&w[2], 30}};
+  w[0] = 11;
+  w[1] = 21;
+  w[2] = 31;
+  log.append_undo_chunk(dom, nullptr, seq, es, 3);
+  dom.pfence();
+  for (auto& v : w) dom.pwb(&v);
+  dom.pfence();  // data durable, no outcome record: unresolved
+  dom.crash(1);
+
+  // First recovery pass: budget of 2 steps — restores two pairs, then
+  // "crashes" again before the Abort record could be written.
+  const RecoveryReport rep1 = persist::recover(dom, log, nullptr,
+                                               /*max_steps=*/2);
+  EXPECT_FALSE(rep1.complete);
+  EXPECT_TRUE(rep1.rolled_back.empty());
+  dom.crash(99);  // tear the partial pass's write-backs arbitrarily
+
+  const RecoveryReport rep2 = persist::recover(dom, log);
+  EXPECT_TRUE(rep2.complete);
+  ASSERT_EQ(rep2.rolled_back.size(), 1u);
+  EXPECT_EQ(rep2.rolled_back[0], seq);
+  EXPECT_EQ(w[0], 10u);
+  EXPECT_EQ(w[1], 20u);
+  EXPECT_EQ(w[2], 30u);
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(dom.durable(&w[i]), es[i].old_val);
+
+  // Third pass (nothing to do): state unchanged, transaction resolved.
+  dom.crash(123);
+  const RecoveryReport rep3 = persist::recover(dom, log);
+  EXPECT_TRUE(rep3.complete);
+  EXPECT_TRUE(rep3.rolled_back.empty());
+  ASSERT_EQ(rep3.aborted.size(), 1u);
+  EXPECT_EQ(w[0], 10u);
+  EXPECT_EQ(w[1], 20u);
+  EXPECT_EQ(w[2], 30u);
+}
+
+TEST(Recovery, MultiChunkRollbackRestoresOldestValueLast) {
+  // Same word re-written across two chunks (two "segments"): replay must
+  // go newest chunk first so the oldest displaced value lands last.
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t x = 1;
+  dom.format(&x, 1);
+  const std::uint64_t seq = log.alloc_seq();
+  core::UndoLog::Entry e1{&x, 1};
+  x = 2;
+  log.append_undo_chunk(dom, nullptr, seq, &e1, 1);
+  dom.pfence();
+  dom.pwb(&x);
+  core::UndoLog::Entry e2{&x, 2};  // second segment displaces our own 2
+  x = 3;
+  log.append_undo_chunk(dom, nullptr, seq, &e2, 1);
+  dom.pfence();
+  dom.pwb(&x);
+  dom.pfence();
+  dom.crash(7);
+  const RecoveryReport rep = persist::recover(dom, log);
+  EXPECT_TRUE(rep.complete);
+  ASSERT_EQ(rep.rolled_back.size(), 1u);
+  EXPECT_EQ(x, 1u) << "reverse replay must restore the pre-transaction value";
+}
+
+TEST(Recovery, TornUndoChunkImpliesItsDataNeverPersisted) {
+  // WAL ordering argument: a chunk is fenced before its data words are
+  // even pwb'd, so a crash that tears the chunk finds the data still old.
+  // Recovery must treat the torn chunk as absent and the state is already
+  // consistent.
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t x = 5;
+  dom.format(&x, 5);
+  const std::uint64_t seq = log.alloc_seq();
+  core::UndoLog::Entry e{&x, 5};
+  x = 6;
+  log.append_undo_chunk(dom, nullptr, seq, &e, 1);
+  // Crash BEFORE the chunk fence: cell words pending, data never pwb'd.
+  const std::uint64_t* keep_not = &log.cell(0)[0];  // lose the head word
+  dom.crash_keep([keep_not](const std::uint64_t* a) { return a != keep_not; });
+  const RecoveryReport rep = persist::recover(dom, log);
+  EXPECT_TRUE(rep.complete);
+  EXPECT_EQ(rep.torn_cells, 1u);
+  EXPECT_TRUE(rep.rolled_back.empty());
+  EXPECT_EQ(x, 5u);
+  EXPECT_EQ(dom.durable(&x), 5u);
+}
+
+TEST(Recovery, CursorAndSeqResumeAfterSurvivingCells) {
+  PersistDomain dom(fast_cfg());
+  DurableLog log(64);
+  std::uint64_t x = 5;
+  dom.format(&x, 5);
+  (void)wal_txn(dom, log, &x, 6);  // cells 0 (chunk) + 1 (commit), seq 1
+  dom.crash(3);
+  const RecoveryReport rep = persist::recover(dom, log);
+  EXPECT_EQ(rep.next_cell, 2u);
+  EXPECT_EQ(rep.next_seq, 2u);
+  // A post-recovery transaction appends past the survivors with a fresh
+  // seq; a second recovery sees both transactions.
+  const std::uint64_t seq2 = wal_txn(dom, log, &x, 7);
+  EXPECT_EQ(seq2, 2u);
+  dom.crash(4);
+  const RecoveryReport rep2 = persist::recover(dom, log);
+  EXPECT_EQ(rep2.committed.size(), 2u);
+  EXPECT_EQ(x, 7u);
+}
+
+TEST(Recovery, LogFullThrows) {
+  PersistDomain dom(fast_cfg());
+  DurableLog log(1);
+  std::uint64_t x = 1;
+  core::UndoLog::Entry e{&x, 1};
+  log.append_undo_chunk(dom, nullptr, 1, &e, 1);
+  EXPECT_THROW(log.append_outcome(dom, nullptr, RecordKind::kCommit, 1, nullptr),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace phtm::test

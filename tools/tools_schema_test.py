@@ -185,6 +185,63 @@ class TraceViewServerCounters(unittest.TestCase):
                        ["server/shed"])
 
 
+class TraceViewPersistCounters(unittest.TestCase):
+    """Durable-mode vocabulary + persist/crash/recovery reconciliation."""
+
+    def test_persist_vocabulary_accepted(self):
+        events = [meta_event(valid_meta_args(events=5, threads=1)),
+                  instant("persist/pwb"),
+                  instant("persist/pfence"),
+                  instant("persist/psync"),
+                  instant("crash"),
+                  instant("recovery")]
+        trace_view.validate_schema(events)
+
+    def test_unknown_persist_op_rejected(self):
+        # src/obs/trace.cpp stamps only the three PersistOp names; an
+        # unknown op means the vocabulary drifted.
+        for name in ("persist/clflush", "persist", "recovery/partial"):
+            with self.assertRaises(trace_view.CheckFailure):
+                trace_view.validate_schema(
+                    [meta_event(valid_meta_args(events=1, threads=1)),
+                     instant(name)])
+
+    def check(self, meta_extra: dict, names: list[str]) -> list[str]:
+        meta = valid_meta_args(events=len(names), threads=1)
+        meta.update(meta_extra)
+        events = [meta_event(meta)] + [instant(n) for n in names]
+        trace_view.validate_schema(events)
+        return trace_view.check_counters(
+            meta, trace_view.count_names(events))
+
+    def test_persist_counters_reconcile(self):
+        lines = self.check(
+            {"stats_persists_pwb": 2, "stats_persists_pfence": 1,
+             "stats_persists_psync": 0, "stats_crashes": 1,
+             "stats_recoveries": 1},
+            ["persist/pwb", "persist/pwb", "persist/pfence",
+             "crash", "recovery"])
+        self.assertTrue(any("persist/pwb: 2" in l for l in lines))
+        self.assertTrue(any("recovery: 1" in l for l in lines))
+
+    def test_persist_op_mismatch_rejected(self):
+        with self.assertRaises(trace_view.CheckFailure) as ctx:
+            self.check({"stats_persists_pfence": 3}, ["persist/pfence"])
+        self.assertIn("persist/pfence", str(ctx.exception))
+
+    def test_crash_and_recovery_mismatch_rejected(self):
+        with self.assertRaises(trace_view.CheckFailure):
+            self.check({"stats_crashes": 0}, ["crash"])
+        with self.assertRaises(trace_view.CheckFailure):
+            self.check({"stats_recoveries": 2}, ["recovery"])
+
+    def test_drops_relax_to_upper_bound(self):
+        self.check({"dropped": 1, "stats_persists_pwb": 5}, ["persist/pwb"])
+        with self.assertRaises(trace_view.CheckFailure):
+            self.check({"dropped": 1, "stats_persists_pwb": 0},
+                       ["persist/pwb"])
+
+
 def footprint_doc(**overrides) -> dict:
     span = {"qname": "f", "file": "src/core/a.cpp", "line": 1,
             "kind": "fast", "reads": {"lo": 0, "hi": 0},

@@ -43,6 +43,9 @@ RING_RESULTS = ("ok", "conflict", "rollover")
 # Serving-layer overload states (src/server/admission.hpp OverloadState —
 # keep in sync with server_state_name in src/obs/trace.cpp).
 SERVER_STATES = ("normal", "degraded", "shedding")
+# Persistence-domain ops (util/stats.hpp PersistOp — keep in sync with
+# persist_op_name in src/obs/trace.cpp).
+PERSIST_OPS = ("pwb", "pfence", "psync")
 # Per-shard keys are stats_ring_publishes_s<k> / stats_ring_validates_s<k>;
 # the shard count comes from the keys the run registered, not a constant
 # here, so the tool keeps working if core::ShardedRing::kShards changes.
@@ -60,6 +63,7 @@ NAME_RE = re.compile(
     r"|fallback/(conflict_exhaustion|partitioned_exhaustion|starvation"
     r"|irrevocable|quarantine)"
     r"|server/shed|server/degrade/(normal|degraded|shedding)"
+    r"|persist/(pwb|pfence|psync)|crash|recovery"
     r"|global_abort)$")
 
 
@@ -271,6 +275,21 @@ def check_counters(meta: dict, names: Counter) -> list[str]:
             found_any = True
             compare(f"server/degrade/{state}",
                     names.get(f"server/degrade/{state}", 0), meta[key])
+    # Durable mode: every pwb/pfence/psync, every crash freeze and every
+    # recovery pass is traced at the same single point that bumps the
+    # StatSheet counter (sim/persist.cpp, core/durable.hpp), so the 1:1
+    # invariant holds for the persistence layer too.
+    for op in PERSIST_OPS:
+        key = f"stats_persists_{op}"
+        if key in meta:
+            found_any = True
+            compare(f"persist/{op}", names.get(f"persist/{op}", 0), meta[key])
+    if "stats_crashes" in meta:
+        found_any = True
+        compare("crash", names.get("crash", 0), meta["stats_crashes"])
+    if "stats_recoveries" in meta:
+        found_any = True
+        compare("recovery", names.get("recovery", 0), meta["stats_recoveries"])
     if not found_any:
         lines.append("  (run registered no stats_* counters; "
                      "schema-only check)")
